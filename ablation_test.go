@@ -1,0 +1,205 @@
+// Ablation benchmarks for the design decisions DESIGN.md §4 calls out:
+// the scheduler's triggered-preemption policy, transport-level ingest
+// batching, and native windowing + EE triggers vs. client-emulated
+// window maintenance.
+package sstore_test
+
+import (
+	"fmt"
+	"testing"
+
+	sstore "repro"
+	"repro/internal/apps/voter"
+	"repro/internal/workload"
+)
+
+// buildPipeline constructs a two-stage conflict-free workflow so both
+// scheduler modes are legal: in_s -> double -> out_s -> store.
+func buildPipeline(b *testing.B, mode interface{}) *sstore.Store {
+	b.Helper()
+	cfg := sstore.Config{}
+	if m, ok := mode.(int); ok && m == 1 {
+		cfg.Mode = sstore.ModeFIFO
+	}
+	st := sstore.Open(cfg)
+	if err := st.ExecScript(`
+		CREATE STREAM in_s (v BIGINT);
+		CREATE STREAM out_s (v BIGINT);
+		CREATE TABLE sink (v BIGINT);
+	`); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&sstore.Procedure{
+		Name:     "double",
+		WriteSet: []string{"out_s"},
+		Handler: func(ctx *sstore.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				if err := ctx.Emit("out_s", sstore.Row{sstore.Int(r[0].Int() * 2)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&sstore.Procedure{
+		Name:     "store",
+		WriteSet: []string{"sink"},
+		Handler: func(ctx *sstore.ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO sink SELECT v FROM batch")
+			return err
+		},
+	}); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.BindStream("in_s", "double", 8); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.BindStream("out_s", "store", 8); err != nil {
+		b.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		b.Fatal(err)
+	}
+	return st
+}
+
+// BenchmarkAblationSchedulerMode compares ModeWorkflowSerial (triggered
+// work preempts, runs lock-free on the worker) against ModeFIFO (triggered
+// work re-enters the shared queue) on a conflict-free pipeline.
+func BenchmarkAblationSchedulerMode(b *testing.B) {
+	for m, name := range []string{"workflow-serial", "fifo"} {
+		b.Run(name, func(b *testing.B) {
+			st := buildPipeline(b, m)
+			defer st.Stop()
+			row := sstore.Row{sstore.Int(1)}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := st.Ingest("in_s", row); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.FlushBatches()
+			st.Drain()
+		})
+	}
+}
+
+// BenchmarkAblationIngestChunk sweeps the transport batching of the voter
+// feed: one client message per 1/8/64 votes (TE granularity unchanged).
+func BenchmarkAblationIngestChunk(b *testing.B) {
+	feed := workload.Votes(workload.DefaultVoterConfig(benchSeed, 100_000))
+	for _, chunk := range []int{1, 8, 64} {
+		b.Run(fmt.Sprintf("chunk=%d", chunk), func(b *testing.B) {
+			st := sstore.Open(sstore.Config{})
+			if err := voterSetup(st); err != nil {
+				b.Fatal(err)
+			}
+			if err := st.Start(); err != nil {
+				b.Fatal(err)
+			}
+			defer st.Stop()
+			b.ResetTimer()
+			i := 0
+			for n := 0; n < b.N; n += chunk {
+				rows := make([]sstore.Row, 0, chunk)
+				for k := 0; k < chunk; k++ {
+					v := feed[i%len(feed)]
+					i++
+					rows = append(rows, sstore.Row{
+						sstore.Int(v.Phone), sstore.Int(v.Contestant), sstore.Int(v.TS)})
+				}
+				if err := st.Ingest("votes_in", rows...); err != nil {
+					b.Fatal(err)
+				}
+			}
+			st.FlushBatches()
+			st.Drain()
+		})
+	}
+}
+
+// BenchmarkAblationWindowMaintenance compares native windowing + EE
+// trigger (one ingest drives everything in-engine) against the client-
+// emulated equivalent (the client issues the update statements that the
+// trigger would have chained).
+func BenchmarkAblationWindowMaintenance(b *testing.B) {
+	build := func(native bool) *sstore.Store {
+		st := sstore.Open(sstore.Config{})
+		if err := st.ExecScript(`
+			CREATE STREAM ticks (sym INT, ts BIGINT);
+			CREATE WINDOW w ON ticks ROWS 100 SLIDE 1;
+			CREATE TABLE freq (sym INT PRIMARY KEY, n BIGINT DEFAULT 0);
+		`); err != nil {
+			b.Fatal(err)
+		}
+		if native {
+			if err := st.CreateTrigger("maintain", "w",
+				"UPDATE freq SET n = n + 1 WHERE sym IN (SELECT sym FROM inserted)",
+				"UPDATE freq SET n = n - 1 WHERE sym IN (SELECT sym FROM expired)",
+			); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := st.RegisterProcedure(&sstore.Procedure{
+			Name:    "sinkproc",
+			Handler: func(ctx *sstore.ProcCtx) error { return nil },
+		}); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.BindStream("ticks", "sinkproc", 1); err != nil {
+			b.Fatal(err)
+		}
+		if err := st.Start(); err != nil {
+			b.Fatal(err)
+		}
+		for s := int64(0); s < 16; s++ {
+			if _, err := st.Exec("INSERT INTO freq (sym, n) VALUES (?, 0)", sstore.Int(s)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		return st
+	}
+	b.Run("native-window", func(b *testing.B) {
+		st := build(true)
+		defer st.Stop()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := st.Ingest("ticks",
+				sstore.Row{sstore.Int(int64(i % 16)), sstore.Int(int64(i))}); err != nil {
+				b.Fatal(err)
+			}
+		}
+		st.Drain()
+	})
+	b.Run("client-emulated", func(b *testing.B) {
+		st := build(false)
+		defer st.Stop()
+		window := make([]int64, 0, 100)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			sym := int64(i % 16)
+			if err := st.Ingest("ticks", sstore.Row{sstore.Int(sym), sstore.Int(int64(i))}); err != nil {
+				b.Fatal(err)
+			}
+			// Client-side deque + two extra client statements per tick.
+			window = append(window, sym)
+			if _, err := st.Exec("UPDATE freq SET n = n + 1 WHERE sym = ?", sstore.Int(sym)); err != nil {
+				b.Fatal(err)
+			}
+			if len(window) > 100 {
+				old := window[0]
+				window = window[1:]
+				if _, err := st.Exec("UPDATE freq SET n = n - 1 WHERE sym = ?", sstore.Int(old)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		st.Drain()
+	})
+}
+
+// voterSetup installs the full §3.1 application via the internal package
+// (shared with the experiment drivers).
+func voterSetup(st *sstore.Store) error { return voter.Setup(st, 25) }

@@ -1,0 +1,128 @@
+// Command benchrunner regenerates every experiment table recorded in
+// EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
+// one experiment.
+//
+//	benchrunner            # E1..E5
+//	benchrunner -e E2 -votes 6000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	var (
+		exp   = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 all")
+		votes = flag.Int("votes", 6000, "voter feed size")
+		seed  = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+	run := func(name string, fn func() error) {
+		if *exp != "all" && !strings.EqualFold(*exp, name) {
+			return
+		}
+		fmt.Printf("\n===== %s =====\n", name)
+		if err := fn(); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+	}
+
+	run("E1", func() error {
+		rows, err := bench.E1(*seed, *votes, []int{1, 2, 4, 8, 16, 32})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-9s %-10s %s\n", "system", "pipeline", "anomalies", "detail")
+		for _, r := range rows {
+			pl := "-"
+			if r.Pipeline > 0 {
+				pl = fmt.Sprint(r.Pipeline)
+			}
+			fmt.Printf("%-10s %-9s %-10d %s\n", r.System, pl, r.Anomalies, r.Detail)
+		}
+		return nil
+	})
+
+	run("E2", func() error {
+		rtts := []time.Duration{0, 100 * time.Microsecond, 500 * time.Microsecond, 2 * time.Millisecond}
+		rows, err := bench.E2(*seed, *votes, rtts, 16, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-18s %-10s %-12s %s\n", "system", "RTT", "votes/sec", "correct")
+		for _, r := range rows {
+			fmt.Printf("%-18s %-10s %-12.0f %v\n", r.System, r.RTT, r.VotesSec, r.Correct)
+		}
+		return nil
+	})
+
+	run("E2TCP", func() error {
+		rows, err := bench.E2TCP(*seed, *votes, 16, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-24s %-12s %s\n", "system", "votes/sec", "correct")
+		for _, r := range rows {
+			fmt.Printf("%-24s %-12.0f %v\n", r.System, r.VotesSec, r.Correct)
+		}
+		return nil
+	})
+
+	run("E3", func() error {
+		rows, err := bench.E3(*seed, *votes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-10s %-14s %-12s %-12s (per 1000 votes)\n", "system", "client->PE", "PE->EE", "EE-internal")
+		for _, r := range rows {
+			fmt.Printf("%-10s %-14.0f %-12.0f %-12.0f\n", r.System, r.ClientToPE, r.PEToEE, r.EEInternal)
+		}
+		return nil
+	})
+
+	run("E4", func() error {
+		res, err := bench.E4(*seed, 20, 6, 60, 300)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("OLTP txns        : %d\n", res.OLTPTxns)
+		fmt.Printf("GPS tuples       : %d\n", res.GPSTuples)
+		fmt.Printf("window slides    : %d\n", res.WindowSlides)
+		fmt.Printf("stolen alerts    : %d\n", res.Alerts)
+		fmt.Printf("completed rides  : %d\n", res.CompletedRides)
+		fmt.Printf("double discounts : %d (must be 0)\n", res.DoubleDiscounts)
+		fmt.Printf("invariants hold  : %v\n", res.InvariantsOK)
+		fmt.Printf("elapsed          : %s (%.0f GPS tuples/sec)\n",
+			res.Elapsed, float64(res.GPSTuples)/res.Elapsed.Seconds())
+		return nil
+	})
+
+	run("E5", func() error {
+		dirA, err := os.MkdirTemp("", "sstore-e5a")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirA)
+		dirB, err := os.MkdirTemp("", "sstore-e5b")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dirB)
+		rows, err := bench.E5(dirA, dirB, *seed, *votes)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-16s %-12s %-12s %-14s %s\n", "mode", "records", "bytes", "recovery", "state==reference")
+		for _, r := range rows {
+			fmt.Printf("%-16s %-12d %-12d %-14s %v\n", r.Mode, r.LogRecords, r.LogBytes, r.RecoveryDur, r.StateEqual)
+		}
+		return nil
+	})
+}

@@ -1,0 +1,100 @@
+// Command sstored runs the S-Store server: it assembles an engine,
+// optionally installs one of the built-in demo applications (stored
+// procedures are compiled code, as in H-Store), recovers durable state,
+// and serves the wire protocol over TCP.
+//
+// Usage:
+//
+//	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore
+//	sstored -app bikeshare
+//	sstored -ddl schema.sql            # bare engine with custom schema
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/apps/bikeshare"
+	"repro/internal/apps/voter"
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/server"
+	"repro/internal/wal"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7477", "listen address")
+		dir      = flag.String("dir", "", "durability directory (empty = volatile)")
+		app      = flag.String("app", "none", "built-in application: voter | bikeshare | none")
+		ddlFile  = flag.String("ddl", "", "DDL script to execute at startup")
+		sync     = flag.Bool("sync", false, "fsync the command log on every record")
+		logAll   = flag.Bool("log-all-tes", false, "log every transaction execution instead of upstream backup")
+		hstore   = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
+		contest  = flag.Int("contestants", 25, "voter: number of contestants")
+		stations = flag.Int("stations", 20, "bikeshare: number of stations")
+	)
+	flag.Parse()
+
+	cfg := core.Config{Dir: *dir, HStoreMode: *hstore}
+	if *sync {
+		cfg.Sync = wal.SyncEveryRecord
+	}
+	if *logAll {
+		cfg.LogMode = pe.LogAllTEs
+	}
+	st := core.Open(cfg)
+
+	switch *app {
+	case "voter":
+		var err error
+		if *hstore {
+			err = voter.SetupHStore(st, *contest)
+		} else {
+			err = voter.Setup(st, *contest)
+		}
+		if err != nil {
+			log.Fatalf("sstored: voter setup: %v", err)
+		}
+	case "bikeshare":
+		if err := bikeshare.Setup(st, *stations, 8, 200); err != nil {
+			log.Fatalf("sstored: bikeshare setup: %v", err)
+		}
+	case "none":
+	default:
+		log.Fatalf("sstored: unknown app %q", *app)
+	}
+	if *ddlFile != "" {
+		script, err := os.ReadFile(*ddlFile)
+		if err != nil {
+			log.Fatalf("sstored: %v", err)
+		}
+		if err := st.ExecScript(string(script)); err != nil {
+			log.Fatalf("sstored: ddl: %v", err)
+		}
+	}
+	if err := st.Start(); err != nil {
+		log.Fatalf("sstored: start: %v", err)
+	}
+	srv := server.New(st)
+	if err := srv.Listen(*addr); err != nil {
+		log.Fatalf("sstored: %v", err)
+	}
+	fmt.Printf("sstored listening on %s (app=%s, durable=%v)\n", srv.Addr(), *app, *dir != "")
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("sstored: shutting down")
+	srv.Close()
+	if *dir != "" {
+		if err := st.Checkpoint(); err != nil {
+			log.Printf("sstored: final checkpoint: %v", err)
+		}
+	}
+	st.Stop()
+}

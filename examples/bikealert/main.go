@@ -1,0 +1,139 @@
+// Bikealert: windowed anomaly detection over a GPS stream (the §3.2
+// stolen-bike scenario distilled). Position reports flow through a
+// time-based window; a streaming stored procedure computes per-report
+// speeds and emits suspects; a downstream stage files alerts — a
+// two-stage workflow with an OLTP query on the side, all in one engine.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	sstore "repro"
+)
+
+const stolenSpeed = 26.8 // m/s ≈ 60 mph
+
+func main() {
+	st := sstore.Open(sstore.Config{})
+	if err := st.ExecScript(`
+		CREATE TABLE last_pos (bike INT PRIMARY KEY, ts BIGINT, x FLOAT, y FLOAT);
+		CREATE TABLE alerts (bike INT, ts BIGINT, speed FLOAT);
+		CREATE STREAM gps (bike INT, ts BIGINT, x FLOAT, y FLOAT);
+		CREATE STREAM suspects (bike INT, ts BIGINT, speed FLOAT);
+		CREATE WINDOW recent ON gps RANGE 5000000 SLIDE 1000000 TIMESTAMP ts;
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	speedCheck := &sstore.Procedure{
+		Name:     "speed_check",
+		ReadSet:  []string{"last_pos"},
+		WriteSet: []string{"last_pos"},
+		Handler: func(ctx *sstore.ProcCtx) error {
+			for _, p := range ctx.Batch {
+				bike, ts := p[0], p[1]
+				x, y := p[2].Float(), p[3].Float()
+				prev, err := ctx.QueryRow("SELECT ts, x, y FROM last_pos WHERE bike = ?", bike)
+				if err != nil {
+					return err
+				}
+				if prev == nil {
+					if _, err := ctx.Exec("INSERT INTO last_pos VALUES (?, ?, ?, ?)",
+						bike, ts, p[2], p[3]); err != nil {
+						return err
+					}
+					continue
+				}
+				dt := float64(ts.Int()-prev[0].Int()) / 1e6
+				if dt <= 0 {
+					continue
+				}
+				dx, dy := x-prev[1].Float(), y-prev[2].Float()
+				speed := math.Sqrt(dx*dx+dy*dy) / dt
+				if _, err := ctx.Exec(
+					"UPDATE last_pos SET ts = ?, x = ?, y = ? WHERE bike = ?",
+					ts, p[2], p[3], bike); err != nil {
+					return err
+				}
+				if speed > stolenSpeed {
+					if err := ctx.Emit("suspects",
+						sstore.Row{bike, ts, sstore.Float(speed)}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+	fileAlert := &sstore.Procedure{
+		Name:     "file_alert",
+		WriteSet: []string{"alerts"},
+		Handler: func(ctx *sstore.ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO alerts SELECT bike, ts, speed FROM batch")
+			return err
+		},
+	}
+	for _, p := range []*sstore.Procedure{speedCheck, fileAlert} {
+		if err := st.RegisterProcedure(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.BindStream("gps", "speed_check", 8); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.BindStream("suspects", "file_alert", 1); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer st.Stop()
+
+	// Two bikes at 1 Hz: bike 1 pedals at ~6 m/s, bike 2 is on a truck
+	// doing ~30 m/s after t=5.
+	for tick := int64(0); tick < 12; tick++ {
+		ts := tick * 1_000_000
+		speed2 := 6.0
+		if tick > 5 {
+			speed2 = 30.0
+		}
+		batch := []sstore.Row{
+			{sstore.Int(1), sstore.Int(ts), sstore.Float(6 * float64(tick)), sstore.Float(0)},
+			{sstore.Int(2), sstore.Int(ts), sstore.Float(0), sstore.Float(cumulative(tick, speed2))},
+		}
+		if err := st.Ingest("gps", batch...); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+
+	alerts, err := st.Query("SELECT bike, ts, speed FROM alerts ORDER BY ts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alerts.Rows {
+		fmt.Printf("stolen-bike alert: bike %d at t=%ds doing %.0f m/s\n",
+			a[0].Int(), a[1].Int()/1_000_000, a[2].Float())
+	}
+	inWin, err := st.Query("SELECT COUNT(*) FROM recent")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("reports in the 5s monitoring window: %d\n", inWin.Rows[0][0].Int())
+}
+
+// cumulative returns bike 2's position: 6 m/s through t=5, then 30 m/s.
+func cumulative(tick int64, _ float64) float64 {
+	pos := 0.0
+	for t := int64(1); t <= tick; t++ {
+		if t > 5 {
+			pos += 30
+		} else {
+			pos += 6
+		}
+	}
+	return pos
+}

@@ -1,0 +1,80 @@
+// Quickstart: the smallest useful S-Store program. A stream of sensor
+// readings feeds a native sliding window; an EE trigger keeps a rolling
+// aggregate current inside the ingesting transaction, and a bound stored
+// procedure (PE trigger) records alarms for hot readings — no polling
+// anywhere.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	sstore "repro"
+)
+
+func main() {
+	st := sstore.Open(sstore.Config{})
+
+	if err := st.ExecScript(`
+		CREATE STREAM readings (sensor INT, ts BIGINT, temp FLOAT);
+		CREATE WINDOW recent ON readings ROWS 5 SLIDE 1;
+		CREATE TABLE rolling (id INT PRIMARY KEY, avg_temp FLOAT);
+		CREATE TABLE alarms (sensor INT, ts BIGINT, temp FLOAT);
+	`); err != nil {
+		log.Fatal(err)
+	}
+
+	// EE trigger: every time the 5-reading window changes, refresh the
+	// rolling average — inside the same transaction as the insert.
+	if err := st.CreateTrigger("roll", "recent",
+		"DELETE FROM rolling",
+		"INSERT INTO rolling SELECT 0, AVG(temp) FROM new",
+	); err != nil {
+		log.Fatal(err)
+	}
+
+	// PE trigger: each batch of readings becomes one transaction execution
+	// of `detect`, which files alarms for readings above threshold.
+	if err := st.RegisterProcedure(&sstore.Procedure{
+		Name: "detect",
+		Handler: func(ctx *sstore.ProcCtx) error {
+			_, err := ctx.Exec(
+				"INSERT INTO alarms SELECT sensor, ts, temp FROM batch WHERE temp > 90.0")
+			return err
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.BindStream("readings", "detect", 4); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer st.Stop()
+
+	// Push readings: sensor 7 goes hot at t=6.
+	temps := []float64{71, 72, 70, 69, 73, 95, 97, 74}
+	for i, t := range temps {
+		if err := st.Ingest("readings",
+			sstore.Row{sstore.Int(7), sstore.Int(int64(i)), sstore.Float(t)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+
+	avg, err := st.Query("SELECT avg_temp FROM rolling")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("rolling average over last 5 readings: %.1f\n", avg.Rows[0][0].Float())
+
+	alarms, err := st.Query("SELECT ts, temp FROM alarms ORDER BY ts")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, a := range alarms.Rows {
+		fmt.Printf("ALARM at t=%d: %.0f degrees\n", a[0].Int(), a[1].Float())
+	}
+}

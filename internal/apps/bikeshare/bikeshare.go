@@ -1,0 +1,505 @@
+// Package bikeshare implements the paper's §3.2 application: a city bike
+// share whose workload mixes pure OLTP (checkouts, returns, payment), pure
+// streaming (1 Hz GPS per bike, real-time ride statistics, stolen-bike
+// alerts), and transactional stream/OLTP combinations (station-depletion
+// discounts that are offered by a streaming workflow stage and accepted
+// atomically by OLTP requests). One engine runs all three classes — the
+// paper's versatility claim (E4).
+package bikeshare
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/ee"
+	"repro/internal/pe"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// StolenSpeedMS is the stolen-bike threshold: the paper's 60 mph.
+const StolenSpeedMS = 26.8
+
+// LowWater is the bikes-available level that triggers a discount offer.
+const LowWater = 2
+
+// DiscountWindowUS is the 15-minute acceptance window, in microseconds.
+const DiscountWindowUS = 15 * 60 * 1_000_000
+
+// CentsPerMinute is the rental rate.
+const CentsPerMinute = 15
+
+// DDL defines the full schema: OLTP tables, the GPS stream, its windows,
+// and the internal workflow streams.
+const DDL = `
+	CREATE TABLE stations (id INT PRIMARY KEY, name VARCHAR NOT NULL,
+		lat FLOAT, lon FLOAT, docks INT NOT NULL, bikes_avail INT NOT NULL);
+	CREATE TABLE bikes (id INT PRIMARY KEY, station INT, rider INT);
+	CREATE TABLE riders (id INT PRIMARY KEY, name VARCHAR NOT NULL, spent_cents BIGINT DEFAULT 0);
+	CREATE TABLE rides (id INT PRIMARY KEY, rider INT NOT NULL, bike INT NOT NULL,
+		start_station INT, end_station INT, start_ts BIGINT, end_ts BIGINT,
+		cost_cents BIGINT, active INT NOT NULL);
+	CREATE INDEX rides_by_rider ON rides (rider);
+	CREATE TABLE ride_stats (bike INT PRIMARY KEY, dist_m FLOAT DEFAULT 0,
+		max_speed FLOAT DEFAULT 0, last_ts BIGINT, last_lat FLOAT, last_lon FLOAT,
+		points BIGINT DEFAULT 0);
+	CREATE TABLE alerts (seq INT PRIMARY KEY, bike INT, ts BIGINT, speed_ms FLOAT, kind VARCHAR);
+	CREATE TABLE discounts (station INT PRIMARY KEY, rider INT, pct INT,
+		expires BIGINT, state VARCHAR NOT NULL);
+
+	CREATE STREAM gps (bike INT, ts BIGINT, lat FLOAT, lon FLOAT);
+	CREATE STREAM alert_s (bike INT, ts BIGINT, speed_ms FLOAT);
+	CREATE STREAM station_events (station INT, ts BIGINT);
+	CREATE WINDOW w_recent ON gps RANGE 10000000 SLIDE 1000000 TIMESTAMP ts;
+`
+
+// Setup installs schema, procedures, and workflow wiring, then seeds
+// stations/bikes/riders deterministically.
+func Setup(st *core.Store, stations, bikesPerStation, riders int) error {
+	if err := st.ExecScript(DDL); err != nil {
+		return err
+	}
+	for _, p := range []*pe.Procedure{
+		checkoutProc(), returnProc(), acceptDiscountProc(), expireDiscountsProc(),
+		gpsProc(), alertProc(), offerProc(),
+	} {
+		if err := st.RegisterProcedure(p); err != nil {
+			return err
+		}
+	}
+	if err := st.BindStream("gps", "bs_gps", 16); err != nil {
+		return err
+	}
+	if err := st.BindStream("alert_s", "bs_alert", 1); err != nil {
+		return err
+	}
+	if err := st.BindStream("station_events", "bs_offer", 1); err != nil {
+		return err
+	}
+	return seed(st, stations, bikesPerStation, riders)
+}
+
+func seed(st *core.Store, stations, bikesPerStation, riders int) error {
+	ctx := &ee.ExecCtx{Undo: storage.NewUndoLog()}
+	ex := st.EE()
+	bikeID := int64(1)
+	for s := 1; s <= stations; s++ {
+		lat := 40.70 + 0.01*float64(s%10)
+		lon := -74.02 + 0.01*float64(s/10)
+		if _, err := ex.ExecSQL(ctx, "INSERT INTO stations VALUES (?, ?, ?, ?, ?, ?)",
+			types.NewInt(int64(s)), types.NewString(fmt.Sprintf("station-%d", s)),
+			types.NewFloat(lat), types.NewFloat(lon),
+			types.NewInt(int64(bikesPerStation*2)), types.NewInt(int64(bikesPerStation))); err != nil {
+			return err
+		}
+		for b := 0; b < bikesPerStation; b++ {
+			if _, err := ex.ExecSQL(ctx, "INSERT INTO bikes VALUES (?, ?, NULL)",
+				types.NewInt(bikeID), types.NewInt(int64(s))); err != nil {
+				return err
+			}
+			bikeID++
+		}
+	}
+	for r := 1; r <= riders; r++ {
+		if _, err := ex.ExecSQL(ctx, "INSERT INTO riders (id, name) VALUES (?, ?)",
+			types.NewInt(int64(r)), types.NewString(fmt.Sprintf("rider-%d", r))); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkoutProc: a member checks a bike out of a station (pure OLTP).
+// Params: rider, station, ts. Returns the bike id (or aborts).
+func checkoutProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_checkout",
+		ReadSet:  []string{"stations", "bikes", "rides"},
+		WriteSet: []string{"stations", "bikes", "rides", "ride_stats"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			rider, station, ts := ctx.Params[0], ctx.Params[1], ctx.Params[2]
+			stn, err := ctx.QueryRow("SELECT bikes_avail FROM stations WHERE id = ?", station)
+			if err != nil {
+				return err
+			}
+			if stn == nil {
+				return ctx.Abort("no such station")
+			}
+			if stn[0].Int() <= 0 {
+				return ctx.Abort("no bikes available")
+			}
+			active, err := ctx.QueryRow(
+				"SELECT id FROM rides WHERE rider = ? AND active = 1", rider)
+			if err != nil {
+				return err
+			}
+			if active != nil {
+				return ctx.Abort("rider already has a bike")
+			}
+			bike, err := ctx.QueryRow(
+				"SELECT id FROM bikes WHERE station = ? ORDER BY id LIMIT 1", station)
+			if err != nil {
+				return err
+			}
+			if bike == nil {
+				return ctx.Abort("inventory inconsistent: no bike at station")
+			}
+			if _, err := ctx.Exec("UPDATE bikes SET station = NULL, rider = ? WHERE id = ?",
+				rider, bike[0]); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"UPDATE stations SET bikes_avail = bikes_avail - 1 WHERE id = ?", station); err != nil {
+				return err
+			}
+			rid, err := ctx.QueryRow("SELECT COUNT(*) FROM rides")
+			if err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"INSERT INTO rides VALUES (?, ?, ?, ?, NULL, ?, NULL, NULL, 1)",
+				types.NewInt(rid[0].Int()+1), rider, bike[0], station, ts); err != nil {
+				return err
+			}
+			// Fresh per-ride statistics for the bike.
+			if _, err := ctx.Exec("DELETE FROM ride_stats WHERE bike = ?", bike[0]); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"INSERT INTO ride_stats (bike, last_ts) VALUES (?, NULL)", bike[0]); err != nil {
+				return err
+			}
+			// The station may have just gone low: let the discount stage
+			// reevaluate (OLTP feeding a streaming workflow).
+			if err := ctx.Emit("station_events", types.Row{station, ts}); err != nil {
+				return err
+			}
+			ctx.SetResult(&ee.Result{Columns: []string{"bike"}, Rows: []types.Row{{bike[0]}}})
+			return nil
+		},
+	}
+}
+
+// returnProc: a member returns a bike; the ride is charged, an accepted
+// discount at this station is applied atomically, and dock state updates.
+// Params: rider, station, ts.
+func returnProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_return",
+		ReadSet:  []string{"rides", "stations", "discounts"},
+		WriteSet: []string{"rides", "stations", "bikes", "riders", "discounts", "ride_stats"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			rider, station, ts := ctx.Params[0], ctx.Params[1], ctx.Params[2]
+			ride, err := ctx.QueryRow(
+				"SELECT id, bike, start_ts FROM rides WHERE rider = ? AND active = 1", rider)
+			if err != nil {
+				return err
+			}
+			if ride == nil {
+				return ctx.Abort("no active ride")
+			}
+			stn, err := ctx.QueryRow("SELECT docks, bikes_avail FROM stations WHERE id = ?", station)
+			if err != nil {
+				return err
+			}
+			if stn == nil {
+				return ctx.Abort("no such station")
+			}
+			if stn[1].Int() >= stn[0].Int() {
+				return ctx.Abort("no free dock")
+			}
+			minutes := (ts.Int() - ride[2].Int()) / 60_000_000
+			if minutes < 1 {
+				minutes = 1
+			}
+			cost := minutes * CentsPerMinute
+			// Apply an accepted, unexpired discount for this rider at this
+			// station — the transactional guarantee the paper calls out.
+			disc, err := ctx.QueryRow(`SELECT pct FROM discounts
+				WHERE station = ? AND rider = ? AND state = 'accepted' AND expires >= ?`,
+				station, rider, ts)
+			if err != nil {
+				return err
+			}
+			if disc != nil {
+				cost = cost * (100 - disc[0].Int()) / 100
+				if _, err := ctx.Exec(
+					"DELETE FROM discounts WHERE station = ? AND rider = ?", station, rider); err != nil {
+					return err
+				}
+			}
+			if _, err := ctx.Exec(
+				"UPDATE rides SET active = 0, end_station = ?, end_ts = ?, cost_cents = ? WHERE id = ?",
+				station, ts, types.NewInt(cost), ride[0]); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"UPDATE bikes SET station = ?, rider = NULL WHERE id = ?", station, ride[1]); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"UPDATE stations SET bikes_avail = bikes_avail + 1 WHERE id = ?", station); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec(
+				"UPDATE riders SET spent_cents = spent_cents + ? WHERE id = ?",
+				types.NewInt(cost), rider); err != nil {
+				return err
+			}
+			if err := ctx.Emit("station_events", types.Row{station, ts}); err != nil {
+				return err
+			}
+			ctx.SetResult(&ee.Result{Columns: []string{"cost_cents"},
+				Rows: []types.Row{{types.NewInt(cost)}}})
+			return nil
+		},
+	}
+}
+
+// acceptDiscountProc: a rider claims the open offer at a station. Serial
+// execution makes the check-and-claim atomic: of two racing accepts,
+// exactly one wins. Params: rider, station, ts. Returns 1/0.
+func acceptDiscountProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_accept_discount",
+		ReadSet:  []string{"discounts"},
+		WriteSet: []string{"discounts"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			rider, station, ts := ctx.Params[0], ctx.Params[1], ctx.Params[2]
+			offer, err := ctx.QueryRow(
+				"SELECT pct FROM discounts WHERE station = ? AND state = 'offered'", station)
+			if err != nil {
+				return err
+			}
+			ok := int64(0)
+			if offer != nil {
+				if _, err := ctx.Exec(`UPDATE discounts
+					SET state = 'accepted', rider = ?, expires = ?
+					WHERE station = ?`,
+					rider, types.NewInt(ts.Int()+DiscountWindowUS), station); err != nil {
+					return err
+				}
+				ok = 1
+			}
+			ctx.SetResult(&ee.Result{Columns: []string{"accepted"},
+				Rows: []types.Row{{types.NewInt(ok)}}})
+			return nil
+		},
+	}
+}
+
+// expireDiscountsProc: accepted offers whose 15-minute window passed
+// reopen for other riders. Params: ts.
+func expireDiscountsProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_expire_discounts",
+		WriteSet: []string{"discounts"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			res, err := ctx.Exec(`UPDATE discounts
+				SET state = 'offered', rider = NULL, expires = NULL
+				WHERE state = 'accepted' AND expires < ?`, ctx.Params[0])
+			if err != nil {
+				return err
+			}
+			ctx.SetResult(&ee.Result{Columns: []string{"expired"},
+				Rows: []types.Row{{types.NewInt(int64(res.RowsAffected))}}})
+			return nil
+		},
+	}
+}
+
+// gpsProc is the streaming stage: per position report it updates the
+// per-ride statistics (distance, max speed) in Go control code + SQL, and
+// emits a stolen-bike alert when the implied speed exceeds 60 mph.
+func gpsProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_gps",
+		ReadSet:  []string{"ride_stats"},
+		WriteSet: []string{"ride_stats"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, p := range ctx.Batch {
+				bike, ts := p[0], p[1]
+				lat, lon := p[2].Float(), p[3].Float()
+				st, err := ctx.QueryRow(
+					"SELECT dist_m, max_speed, last_ts, last_lat, last_lon, points FROM ride_stats WHERE bike = ?", bike)
+				if err != nil {
+					return err
+				}
+				if st == nil {
+					// Bike not on a checked-out ride: track it anyway
+					// (company-side monitoring sees every bike).
+					if _, err := ctx.Exec(
+						"INSERT INTO ride_stats (bike, last_ts, last_lat, last_lon, points) VALUES (?, ?, ?, ?, 1)",
+						bike, ts, p[2], p[3]); err != nil {
+						return err
+					}
+					continue
+				}
+				if st[2].IsNull() {
+					if _, err := ctx.Exec(
+						"UPDATE ride_stats SET last_ts = ?, last_lat = ?, last_lon = ?, points = 1 WHERE bike = ?",
+						ts, p[2], p[3], bike); err != nil {
+						return err
+					}
+					continue
+				}
+				dtUS := ts.Int() - st[2].Int()
+				if dtUS <= 0 {
+					continue // out-of-order or duplicate report
+				}
+				dLat := (lat - st[3].Float()) * workload.MetersPerDegree
+				dLon := (lon - st[4].Float()) * workload.MetersPerDegree
+				dist := math.Sqrt(dLat*dLat + dLon*dLon)
+				speed := dist / (float64(dtUS) / 1e6)
+				maxSpeed := st[1].Float()
+				if speed > maxSpeed {
+					maxSpeed = speed
+				}
+				if _, err := ctx.Exec(`UPDATE ride_stats SET dist_m = ?, max_speed = ?,
+					last_ts = ?, last_lat = ?, last_lon = ?, points = ? WHERE bike = ?`,
+					types.NewFloat(st[0].Float()+dist), types.NewFloat(maxSpeed),
+					ts, p[2], p[3], types.NewInt(st[5].Int()+1), bike); err != nil {
+					return err
+				}
+				if speed > StolenSpeedMS {
+					if err := ctx.Emit("alert_s",
+						types.Row{bike, ts, types.NewFloat(speed)}); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// alertProc records stolen-bike alerts (downstream workflow stage), at
+// most one per bike per 30 simulated seconds to avoid alert storms.
+func alertProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_alert",
+		ReadSet:  []string{"alerts"},
+		WriteSet: []string{"alerts"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, a := range ctx.Batch {
+				recent, err := ctx.QueryRow(
+					"SELECT seq FROM alerts WHERE bike = ? AND ts > ? LIMIT 1",
+					a[0], types.NewInt(a[1].Int()-30_000_000))
+				if err != nil {
+					return err
+				}
+				if recent != nil {
+					continue
+				}
+				seq, err := ctx.QueryRow("SELECT COUNT(*) FROM alerts")
+				if err != nil {
+					return err
+				}
+				if _, err := ctx.Exec("INSERT INTO alerts VALUES (?, ?, ?, ?, 'stolen')",
+					types.NewInt(seq[0].Int()+1), a[0], a[1], a[2]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// offerProc reevaluates a station's discount after every checkout/return:
+// low stations get an offer proportional to the shortage; recovered
+// stations withdraw untaken offers.
+func offerProc() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "bs_offer",
+		ReadSet:  []string{"stations", "discounts"},
+		WriteSet: []string{"discounts"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, ev := range ctx.Batch {
+				station := ev[0]
+				stn, err := ctx.QueryRow("SELECT bikes_avail, docks FROM stations WHERE id = ?", station)
+				if err != nil {
+					return err
+				}
+				if stn == nil {
+					continue
+				}
+				avail := stn[0].Int()
+				existing, err := ctx.QueryRow(
+					"SELECT state FROM discounts WHERE station = ?", station)
+				if err != nil {
+					return err
+				}
+				switch {
+				case avail <= LowWater && existing == nil:
+					pct := int64(10)
+					if avail == 0 {
+						pct = 25
+					}
+					if _, err := ctx.Exec(
+						"INSERT INTO discounts VALUES (?, NULL, ?, NULL, 'offered')",
+						station, types.NewInt(pct)); err != nil {
+						return err
+					}
+				case avail > LowWater && existing != nil && existing[0].Str() == "offered":
+					if _, err := ctx.Exec(
+						"DELETE FROM discounts WHERE station = ? AND state = 'offered'", station); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// IngestGPS pushes a batch of generated GPS points into the engine.
+func IngestGPS(st *core.Store, points []workload.GPSPoint) error {
+	rows := make([]types.Row, len(points))
+	for i, p := range points {
+		rows[i] = types.Row{
+			types.NewInt(p.Bike), types.NewInt(p.TS),
+			types.NewFloat(p.Lat), types.NewFloat(p.Lon),
+		}
+	}
+	return st.Ingest("gps", rows...)
+}
+
+// Invariants checks global consistency of the mixed workload: every bike
+// is either docked or on exactly one active ride, station availability
+// sums match, and at most one discount row exists per station.
+func Invariants(st *core.Store) error {
+	total, err := st.Query("SELECT COUNT(*) FROM bikes")
+	if err != nil {
+		return err
+	}
+	docked, err := st.Query("SELECT COUNT(*) FROM bikes WHERE station IS NOT NULL")
+	if err != nil {
+		return err
+	}
+	riding, err := st.Query("SELECT COUNT(*) FROM rides WHERE active = 1")
+	if err != nil {
+		return err
+	}
+	if docked.Rows[0][0].Int()+riding.Rows[0][0].Int() != total.Rows[0][0].Int() {
+		return fmt.Errorf("bikeshare: bike conservation violated: %d docked + %d riding != %d bikes",
+			docked.Rows[0][0].Int(), riding.Rows[0][0].Int(), total.Rows[0][0].Int())
+	}
+	availSum, err := st.Query("SELECT SUM(bikes_avail) FROM stations")
+	if err != nil {
+		return err
+	}
+	if !availSum.Rows[0][0].IsNull() && availSum.Rows[0][0].Int() != docked.Rows[0][0].Int() {
+		return fmt.Errorf("bikeshare: station availability %d != docked bikes %d",
+			availSum.Rows[0][0].Int(), docked.Rows[0][0].Int())
+	}
+	over, err := st.Query("SELECT COUNT(*) FROM stations WHERE bikes_avail < 0")
+	if err != nil {
+		return err
+	}
+	if over.Rows[0][0].Int() != 0 {
+		return fmt.Errorf("bikeshare: negative availability at %d stations", over.Rows[0][0].Int())
+	}
+	return nil
+}

@@ -1,0 +1,278 @@
+package bikeshare
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+func newStore(t testing.TB, stations, bikesPer, riders int) *core.Store {
+	t.Helper()
+	st := core.Open(core.Config{})
+	if err := Setup(st, stations, bikesPer, riders); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+const baseTS = int64(1_700_000_000_000_000)
+
+func TestCheckoutReturnLifecycle(t *testing.T) {
+	st := newStore(t, 4, 3, 5)
+	defer st.Stop()
+	res, err := st.Call("bs_checkout", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bike := res.Rows[0][0].Int()
+	if bike == 0 {
+		t.Fatal("no bike id returned")
+	}
+	// Double-checkout by the same rider aborts.
+	if _, err := st.Call("bs_checkout", types.NewInt(1), types.NewInt(2), types.NewInt(baseTS)); err == nil {
+		t.Fatal("double checkout accepted")
+	}
+	// Return after 10 minutes at another station: 10 * 15 cents.
+	res, err = st.Call("bs_return", types.NewInt(1), types.NewInt(2),
+		types.NewInt(baseTS+10*60*1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := res.Rows[0][0].Int(); cost != 150 {
+		t.Fatalf("cost = %d, want 150", cost)
+	}
+	// Bike is now docked at station 2.
+	q, _ := st.Query("SELECT station FROM bikes WHERE id = ?", types.NewInt(bike))
+	if q.Rows[0][0].Int() != 2 {
+		t.Fatalf("bike at %v", q.Rows[0][0])
+	}
+	if err := Invariants(st); err != nil {
+		t.Fatal(err)
+	}
+	// Returning again aborts.
+	if _, err := st.Call("bs_return", types.NewInt(1), types.NewInt(2), types.NewInt(baseTS)); err == nil {
+		t.Fatal("double return accepted")
+	}
+}
+
+func TestCheckoutExhaustsStation(t *testing.T) {
+	st := newStore(t, 2, 2, 5)
+	defer st.Stop()
+	for r := 1; r <= 2; r++ {
+		if _, err := st.Call("bs_checkout", types.NewInt(int64(r)), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Call("bs_checkout", types.NewInt(3), types.NewInt(1), types.NewInt(baseTS)); err == nil ||
+		!strings.Contains(err.Error(), "no bikes") {
+		t.Fatalf("err = %v", err)
+	}
+	if err := Invariants(st); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDiscountOfferedWhenLow(t *testing.T) {
+	st := newStore(t, 2, 3, 5) // LowWater=2: after 1 checkout avail=2 -> offer
+	defer st.Stop()
+	if _, err := st.Call("bs_checkout", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain() // let the station_events workflow run
+	q, _ := st.Query("SELECT state, pct FROM discounts WHERE station = 1")
+	if len(q.Rows) != 1 || q.Rows[0][0].Str() != "offered" {
+		t.Fatalf("discounts: %v", q.Rows)
+	}
+	// Returning restores availability; the untaken offer is withdrawn.
+	if _, err := st.Call("bs_return", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS+60_000_000)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	q, _ = st.Query("SELECT COUNT(*) FROM discounts")
+	if q.Rows[0][0].Int() != 0 {
+		t.Fatalf("offer not withdrawn: %v", q.Rows)
+	}
+}
+
+func TestDiscountAcceptanceIsExclusive(t *testing.T) {
+	st := newStore(t, 1, 3, 10)
+	defer st.Stop()
+	if _, err := st.Call("bs_checkout", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	// 10 riders race to accept the single offer; exactly one must win.
+	var wg sync.WaitGroup
+	wins := make(chan int64, 10)
+	for r := 1; r <= 10; r++ {
+		wg.Add(1)
+		go func(r int64) {
+			defer wg.Done()
+			res, err := st.Call("bs_accept_discount", types.NewInt(r), types.NewInt(1), types.NewInt(baseTS))
+			if err == nil && res.Rows[0][0].Int() == 1 {
+				wins <- r
+			}
+		}(int64(r))
+	}
+	wg.Wait()
+	close(wins)
+	var winners []int64
+	for w := range wins {
+		winners = append(winners, w)
+	}
+	if len(winners) != 1 {
+		t.Fatalf("discount accepted by %d riders: %v", len(winners), winners)
+	}
+	q, _ := st.Query("SELECT rider, state FROM discounts WHERE station = 1")
+	if q.Rows[0][1].Str() != "accepted" || q.Rows[0][0].Int() != winners[0] {
+		t.Fatalf("discount row: %v (winner %d)", q.Rows, winners[0])
+	}
+}
+
+func TestDiscountAppliedAndExpired(t *testing.T) {
+	st := newStore(t, 2, 3, 5)
+	defer st.Stop()
+	// Drain station 1 low so an offer appears.
+	if _, err := st.Call("bs_checkout", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	// Rider 1 accepts and returns at station 1 within the window: 25%
+	// off? (avail=2 -> pct=10).
+	if res, _ := st.Call("bs_accept_discount", types.NewInt(1), types.NewInt(1), types.NewInt(baseTS)); res.Rows[0][0].Int() != 1 {
+		t.Fatal("accept failed")
+	}
+	res, err := st.Call("bs_return", types.NewInt(1), types.NewInt(1),
+		types.NewInt(baseTS+10*60*1_000_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := res.Rows[0][0].Int(); cost != 135 { // 150 - 10%
+		t.Fatalf("discounted cost = %d, want 135", cost)
+	}
+	// Discount is consumed.
+	q, _ := st.Query("SELECT COUNT(*) FROM discounts WHERE rider = 1")
+	if q.Rows[0][0].Int() != 0 {
+		t.Fatal("used discount not removed")
+	}
+
+	// Expiry: rider 2 accepts a fresh offer but waits past 15 minutes.
+	if _, err := st.Call("bs_checkout", types.NewInt(2), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Call("bs_checkout", types.NewInt(3), types.NewInt(1), types.NewInt(baseTS)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	if res, _ := st.Call("bs_accept_discount", types.NewInt(2), types.NewInt(1), types.NewInt(baseTS)); res.Rows[0][0].Int() != 1 {
+		t.Fatal("second accept failed")
+	}
+	late := baseTS + DiscountWindowUS + 1
+	if res, _ := st.Call("bs_expire_discounts", types.NewInt(late)); res.Rows[0][0].Int() != 1 {
+		t.Fatal("expiry did not reopen the offer")
+	}
+	q, _ = st.Query("SELECT state FROM discounts WHERE station = 1")
+	if q.Rows[0][0].Str() != "offered" {
+		t.Fatalf("state = %v", q.Rows)
+	}
+	// An expired discount no longer reduces the fare.
+	res, err = st.Call("bs_return", types.NewInt(2), types.NewInt(1), types.NewInt(late))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cost := res.Rows[0][0].Int(); cost == 0 || cost%CentsPerMinute != 0 {
+		t.Fatalf("expired discount applied? cost=%d", cost)
+	}
+}
+
+func TestGPSStatsAndStolenAlerts(t *testing.T) {
+	st := newStore(t, 2, 3, 5)
+	defer st.Stop()
+	cfg := workload.DefaultBikeConfig(11, 6, 40)
+	cfg.StolenPct = 20 // make sure some bikes are stolen
+	points := workload.GPS(cfg)
+	if err := IngestGPS(st, points); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	// Stats exist for every reporting bike.
+	q, _ := st.Query("SELECT COUNT(*) FROM ride_stats WHERE points > 1")
+	if q.Rows[0][0].Int() != 6 {
+		t.Fatalf("stats rows: %v", q.Rows)
+	}
+	// Distance accumulated and speeds plausible for normal bikes.
+	q, _ = st.Query("SELECT COUNT(*) FROM ride_stats WHERE dist_m <= 0")
+	if q.Rows[0][0].Int() != 0 {
+		t.Fatal("bikes with zero distance")
+	}
+	// Alerts fired for stolen bikes only. The generator stole bikes with
+	// rng; check alerts reference bikes whose max_speed > threshold.
+	alerts, _ := st.Query("SELECT DISTINCT bike FROM alerts")
+	if len(alerts.Rows) == 0 {
+		t.Fatal("no stolen-bike alerts")
+	}
+	for _, r := range alerts.Rows {
+		q, _ = st.Query("SELECT max_speed FROM ride_stats WHERE bike = ?", r[0])
+		if q.Rows[0][0].Float() <= StolenSpeedMS {
+			t.Fatalf("alert for slow bike %v (%.1f m/s)", r[0], q.Rows[0][0].Float())
+		}
+	}
+	// The 10-second time window retains only recent points.
+	q, _ = st.Query("SELECT COUNT(*) FROM w_recent")
+	if n := q.Rows[0][0].Int(); n == 0 || n > 6*11 {
+		t.Fatalf("w_recent holds %d points", n)
+	}
+}
+
+func TestMixedWorkloadInvariants(t *testing.T) {
+	// OLTP churn interleaved with GPS streaming: invariants hold at the
+	// end (E4's correctness half).
+	st := newStore(t, 5, 4, 12)
+	defer st.Stop()
+	cfg := workload.DefaultBikeConfig(13, 20, 30)
+	points := workload.GPS(cfg)
+	ts := baseTS
+	pi := 0
+	for round := 0; round < 30; round++ {
+		ts += 60_000_000
+		for r := 1; r <= 12; r++ {
+			rider := types.NewInt(int64(r))
+			stn := types.NewInt(int64(1 + (r+round)%5))
+			if round%2 == 0 {
+				_, _ = st.Call("bs_checkout", rider, stn, types.NewInt(ts))
+			} else {
+				_, _ = st.Call("bs_return", rider, stn, types.NewInt(ts))
+			}
+		}
+		// interleave a slice of the GPS feed
+		end := pi + 20
+		if end > len(points) {
+			end = len(points)
+		}
+		if pi < end {
+			if err := IngestGPS(st, points[pi:end]); err != nil {
+				t.Fatal(err)
+			}
+			pi = end
+		}
+		_, _ = st.Call("bs_expire_discounts", types.NewInt(ts))
+	}
+	st.FlushBatches()
+	st.Drain()
+	if err := Invariants(st); err != nil {
+		t.Fatal(err)
+	}
+	// Some rides completed and were charged.
+	q, _ := st.Query("SELECT COUNT(*) FROM rides WHERE active = 0 AND cost_cents > 0")
+	if q.Rows[0][0].Int() == 0 {
+		t.Fatal("no completed paid rides")
+	}
+}

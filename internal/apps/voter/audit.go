@@ -1,0 +1,217 @@
+package voter
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Divergence quantifies how far an engine's final state drifted from the
+// oracle — each field is one of the anomaly classes §3.1 predicts for the
+// naïve H-Store implementation. A correct run is the zero value.
+type Divergence struct {
+	// WrongEliminations counts positions where the elimination order
+	// differs from the oracle ("candidate Y removed instead of X").
+	WrongEliminations int
+	// MissedEliminations is the |count difference| in eliminations.
+	MissedEliminations int
+	// FalseWinner reports a winner that differs from the oracle's.
+	FalseWinner bool
+	// CountDiffs counts surviving candidates whose vote totals differ.
+	CountDiffs int
+	// OrphanVotes counts recorded votes that reference an eliminated
+	// candidate ("votes for an invalid candidate counted").
+	OrphanVotes int
+	// TotalDiff is engineTotal - oracleTotal (accepted-vote drift).
+	TotalDiff int64
+	// SurvivorDiffs counts candidates alive in one state but not the other.
+	SurvivorDiffs int
+}
+
+// IsClean reports a divergence-free run.
+func (d *Divergence) IsClean() bool {
+	return d.WrongEliminations == 0 && d.MissedEliminations == 0 && !d.FalseWinner &&
+		d.CountDiffs == 0 && d.OrphanVotes == 0 && d.TotalDiff == 0 && d.SurvivorDiffs == 0
+}
+
+// Anomalies returns the scalar anomaly count the experiment tables report.
+func (d *Divergence) Anomalies() int {
+	n := d.WrongEliminations + d.MissedEliminations + d.CountDiffs + d.SurvivorDiffs + d.OrphanVotes
+	if d.FalseWinner {
+		n++
+	}
+	if d.TotalDiff != 0 {
+		n++
+	}
+	return n
+}
+
+// String renders a compact anomaly report.
+func (d *Divergence) String() string {
+	if d.IsClean() {
+		return "clean (0 anomalies)"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d anomalies:", d.Anomalies())
+	if d.WrongEliminations > 0 {
+		fmt.Fprintf(&b, " wrongElim=%d", d.WrongEliminations)
+	}
+	if d.MissedEliminations > 0 {
+		fmt.Fprintf(&b, " missedElim=%d", d.MissedEliminations)
+	}
+	if d.FalseWinner {
+		b.WriteString(" falseWinner")
+	}
+	if d.CountDiffs > 0 {
+		fmt.Fprintf(&b, " countDiffs=%d", d.CountDiffs)
+	}
+	if d.OrphanVotes > 0 {
+		fmt.Fprintf(&b, " orphanVotes=%d", d.OrphanVotes)
+	}
+	if d.TotalDiff != 0 {
+		fmt.Fprintf(&b, " totalDiff=%d", d.TotalDiff)
+	}
+	if d.SurvivorDiffs > 0 {
+		fmt.Fprintf(&b, " survivorDiffs=%d", d.SurvivorDiffs)
+	}
+	return b.String()
+}
+
+// Audit compares an engine's final Voter state against the oracle.
+func Audit(st *core.Store, o *Oracle) (*Divergence, error) {
+	d := &Divergence{}
+
+	// Elimination order.
+	res, err := st.Query("SELECT contestant FROM eliminations ORDER BY ord")
+	if err != nil {
+		return nil, err
+	}
+	got := make([]int64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		got = append(got, r[0].Int())
+	}
+	n := min(len(got), len(o.Eliminations))
+	for i := 0; i < n; i++ {
+		if got[i] != o.Eliminations[i] {
+			d.WrongEliminations++
+		}
+	}
+	d.MissedEliminations = abs(len(got) - len(o.Eliminations))
+
+	// Winner.
+	res, err = st.Query("SELECT contestant FROM winner WHERE id = 0")
+	if err != nil {
+		return nil, err
+	}
+	var gotWinner int64
+	if len(res.Rows) > 0 {
+		gotWinner = res.Rows[0][0].Int()
+	}
+	d.FalseWinner = gotWinner != o.Winner
+
+	// Survivors and their counts.
+	res, err = st.Query("SELECT contestant, n FROM vote_counts ORDER BY contestant")
+	if err != nil {
+		return nil, err
+	}
+	gotCounts := map[int64]int64{}
+	for _, r := range res.Rows {
+		gotCounts[r[0].Int()] = r[1].Int()
+	}
+	for id, want := range o.Counts {
+		gotN, alive := gotCounts[id]
+		if !alive {
+			d.SurvivorDiffs++
+			continue
+		}
+		if gotN != want {
+			d.CountDiffs++
+		}
+	}
+	for id := range gotCounts {
+		if _, ok := o.Counts[id]; !ok {
+			d.SurvivorDiffs++
+		}
+	}
+
+	// Orphan votes: recorded votes whose candidate no longer exists.
+	res, err = st.Query(`SELECT COUNT(*) FROM votes v
+		LEFT JOIN contestants c ON c.id = v.contestant
+		WHERE c.id IS NULL`)
+	if err != nil {
+		return nil, err
+	}
+	d.OrphanVotes = int(res.Rows[0][0].Int())
+
+	// Accepted-vote total.
+	res, err = st.Query("SELECT n FROM vote_totals WHERE id = 0")
+	if err != nil {
+		return nil, err
+	}
+	var gotTotal int64
+	if len(res.Rows) > 0 {
+		gotTotal = res.Rows[0][0].Int()
+	}
+	d.TotalDiff = gotTotal - o.Total
+	return d, nil
+}
+
+// CountRow is one (contestant, votes) pair for display.
+type CountRow struct {
+	ID   int64
+	Name string
+	N    int64
+}
+
+// CurrentCounts reads the live per-candidate counts (display helper).
+func CurrentCounts(st *core.Store) ([]CountRow, error) {
+	res, err := st.Query(`SELECT c.id, c.name, vc.n FROM vote_counts vc
+		JOIN contestants c ON c.id = vc.contestant ORDER BY vc.n DESC, c.id`)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]CountRow, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, CountRow{ID: r[0].Int(), Name: r[1].Str(), N: r[2].Int()})
+	}
+	return out, nil
+}
+
+// WinnerOf returns the declared winner (0 when undecided).
+func WinnerOf(st *core.Store) (int64, error) {
+	res, err := st.Query("SELECT contestant FROM winner WHERE id = 0")
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+// TotalOf returns the accepted-vote total.
+func TotalOf(st *core.Store) (int64, error) {
+	res, err := st.Query("SELECT n FROM vote_totals WHERE id = 0")
+	if err != nil {
+		return 0, err
+	}
+	if len(res.Rows) == 0 {
+		return 0, nil
+	}
+	return res.Rows[0][0].Int(), nil
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

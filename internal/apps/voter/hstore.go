@@ -1,0 +1,262 @@
+package voter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ee"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// resultRow wraps one integer as a procedure result.
+func resultRow(v int64) *ee.Result {
+	return &ee.Result{Columns: []string{"v"}, Rows: []types.Row{{types.NewInt(v)}}}
+}
+
+// SetupHStore installs the naïve H-Store variant: the same tables and the
+// same application logic, but decomposed into independent OLTP procedures
+// with no streams, windows, or triggers. The workflow lives in the client
+// (HClient below), which is exactly what §3.1 warns about: client-driven
+// sequencing provides none of the ordering guarantees, and the client pays
+// extra round trips for stage invocation and window maintenance.
+func SetupHStore(st *core.Store, contestants int) error {
+	if err := st.ExecScript(tableDDL); err != nil {
+		return err
+	}
+	if err := seedContestants(st, contestants); err != nil {
+		return err
+	}
+	procs := []*pe.Procedure{
+		{
+			// Stage 1 as an OLTP call: validate and record one vote.
+			// Returns accepted (1/0).
+			Name:     "hv_validate",
+			ReadSet:  []string{"contestants", "winner"},
+			WriteSet: []string{"votes"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				phone, cand, ts := ctx.Params[0], ctx.Params[1], ctx.Params[2]
+				accepted := int64(0)
+				w, err := ctx.QueryRow("SELECT contestant FROM winner WHERE id = 0")
+				if err != nil {
+					return err
+				}
+				if w == nil {
+					c, err := ctx.QueryRow("SELECT id FROM contestants WHERE id = ?", cand)
+					if err != nil {
+						return err
+					}
+					p, err := ctx.QueryRow("SELECT phone FROM votes WHERE phone = ?", phone)
+					if err != nil {
+						return err
+					}
+					if c != nil && p == nil {
+						if _, err := ctx.Exec("INSERT INTO votes VALUES (?, ?, ?)", phone, cand, ts); err != nil {
+							return err
+						}
+						accepted = 1
+					}
+				}
+				ctx.SetResult(resultRow(accepted))
+				return nil
+			},
+		},
+		{
+			// Stage 2 as an OLTP call: bump the candidate count and the
+			// running total. Returns the new total.
+			Name:     "hv_count",
+			ReadSet:  []string{"vote_totals"},
+			WriteSet: []string{"vote_counts", "vote_totals"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				cand := ctx.Params[0]
+				if _, err := ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", cand); err != nil {
+					return err
+				}
+				if _, err := ctx.Exec("UPDATE vote_totals SET n = n + 1 WHERE id = 0"); err != nil {
+					return err
+				}
+				row, err := ctx.QueryRow("SELECT n FROM vote_totals WHERE id = 0")
+				if err != nil {
+					return err
+				}
+				ctx.SetResult(resultRow(row[0].Int()))
+				return nil
+			},
+		},
+		{
+			// Client-side window maintenance: +1 for the entering vote,
+			// -1 for the one expiring from the client's deque. Two extra
+			// PE→EE statements and one extra client→PE trip per vote that
+			// S-Store's native window does not pay.
+			Name:     "hv_trend",
+			WriteSet: []string{"trending"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				add, rem := ctx.Params[0], ctx.Params[1]
+				if add.Int() > 0 {
+					res, err := ctx.Exec("UPDATE trending SET n = n + 1 WHERE contestant = ?", add)
+					if err != nil {
+						return err
+					}
+					if res.RowsAffected == 0 {
+						if _, err := ctx.Exec("INSERT INTO trending VALUES (?, 1)", add); err != nil {
+							return err
+						}
+					}
+				}
+				if rem.Int() > 0 {
+					if _, err := ctx.Exec("UPDATE trending SET n = n - 1 WHERE contestant = ?", rem); err != nil {
+						return err
+					}
+					if _, err := ctx.Exec("DELETE FROM trending WHERE n <= 0"); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		},
+		{
+			// Stage 3 as an OLTP call, invoked by the client when it
+			// observes the total crossing a multiple of 100.
+			Name:     "hv_remove_lowest",
+			ReadSet:  []string{"vote_counts", "contestants", "eliminations"},
+			WriteSet: []string{"contestants", "votes", "vote_counts", "trending", "winner", "eliminations"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				return EliminateLowest(ctx, ctx.Params[0].Int())
+			},
+		},
+		{
+			// The poll the push-based design eliminates.
+			Name:    "hv_total",
+			ReadSet: []string{"vote_totals"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				row, err := ctx.QueryRow("SELECT n FROM vote_totals WHERE id = 0")
+				if err != nil {
+					return err
+				}
+				ctx.SetResult(resultRow(row[0].Int()))
+				return nil
+			},
+		},
+	}
+	for _, p := range procs {
+		if err := st.RegisterProcedure(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HClient drives the H-Store variant the way a real application would:
+// submit votes asynchronously with up to Pipeline in flight, invoke the
+// counting stage after each validation response, maintain the trending
+// window client-side, and invoke elimination when a counted total crosses
+// a multiple of 100. The driver is single-threaded and therefore
+// deterministic: every anomaly it produces is reproducible by seed.
+//
+// Pipeline = 1 serializes the whole workflow through the client (correct
+// but slow — every stage pays a full round trip); Pipeline > 1 recovers
+// throughput but admits exactly the §3.1 anomalies, because later votes
+// are validated and counted before an earlier elimination runs.
+type HClient struct {
+	St *core.Store
+	// Pipeline is the number of votes submitted per round (in-flight
+	// window).
+	Pipeline int
+	// MaintainTrending enables the client-side trending window (extra
+	// round trips; disable to make throughput comparisons conservative).
+	MaintainTrending bool
+	// PollEvery issues an hv_total poll every n rounds (0 = no polling) —
+	// models the dashboard that must poll for new data.
+	PollEvery int
+	// Transport overrides how invocations reach the engine; the RTT
+	// experiments inject a latency-charging wrapper here. Nil = direct.
+	Transport func(proc string, params ...types.Value) <-chan pe.CallResult
+
+	trendDeque []int64
+	rounds     int
+}
+
+func (c *HClient) callAsync(proc string, params ...types.Value) <-chan pe.CallResult {
+	if c.Transport != nil {
+		return c.Transport(proc, params...)
+	}
+	return c.St.CallAsync(proc, params...)
+}
+
+func (c *HClient) call(proc string, params ...types.Value) (*pe.Result, error) {
+	cr := <-c.callAsync(proc, params...)
+	return cr.Result, cr.Err
+}
+
+// Run feeds the votes through the client-driven workflow.
+func (c *HClient) Run(votes []workload.Vote) error {
+	if c.Pipeline < 1 {
+		c.Pipeline = 1
+	}
+	for i := 0; i < len(votes); i += c.Pipeline {
+		end := i + c.Pipeline
+		if end > len(votes) {
+			end = len(votes)
+		}
+		round := votes[i:end]
+		// Phase 1: submit every validation in the round asynchronously.
+		vchans := make([]<-chan pe.CallResult, len(round))
+		for j, v := range round {
+			vchans[j] = c.callAsync("hv_validate",
+				types.NewInt(v.Phone), types.NewInt(v.Contestant), types.NewInt(v.TS))
+		}
+		// Phase 2: harvest, then count the accepted votes (still async —
+		// the client does not wait for one count before sending the next).
+		var accepted []workload.Vote
+		for j := range vchans {
+			cr := <-vchans[j]
+			if cr.Err != nil {
+				return fmt.Errorf("hv_validate: %w", cr.Err)
+			}
+			if len(cr.Result.Rows) > 0 && cr.Result.Rows[0][0].Int() == 1 {
+				accepted = append(accepted, round[j])
+			}
+		}
+		cchans := make([]<-chan pe.CallResult, len(accepted))
+		for j, v := range accepted {
+			cchans[j] = c.callAsync("hv_count", types.NewInt(v.Contestant))
+		}
+		if c.MaintainTrending {
+			for _, v := range accepted {
+				c.trendDeque = append(c.trendDeque, v.Contestant)
+				rem := int64(0)
+				if len(c.trendDeque) > TrendWindow {
+					rem = c.trendDeque[0]
+					c.trendDeque = c.trendDeque[1:]
+				}
+				if _, err := c.call("hv_trend", types.NewInt(v.Contestant), types.NewInt(rem)); err != nil {
+					return fmt.Errorf("hv_trend: %w", err)
+				}
+			}
+		}
+		// Phase 3: inspect the totals; when one crossed a multiple of 100,
+		// fire the elimination — too late, if the pipeline already counted
+		// votes past the boundary.
+		for j := range cchans {
+			cr := <-cchans[j]
+			if cr.Err != nil {
+				return fmt.Errorf("hv_count: %w", cr.Err)
+			}
+			total := cr.Result.Rows[0][0].Int()
+			if total%EliminateEvery == 0 {
+				if _, err := c.call("hv_remove_lowest", types.NewInt(total)); err != nil {
+					return fmt.Errorf("hv_remove_lowest: %w", err)
+				}
+			}
+		}
+		c.rounds++
+		if c.PollEvery > 0 && c.rounds%c.PollEvery == 0 {
+			if _, err := c.call("hv_total"); err != nil {
+				return fmt.Errorf("hv_total: %w", err)
+			}
+		}
+	}
+	c.St.Drain()
+	return nil
+}

@@ -1,0 +1,345 @@
+// Package voter implements the paper's §3.1 application, "Voter with
+// Leaderboard": a televised talent contest where viewers vote by text
+// message, leaderboards update with every vote, and every 100th vote
+// eliminates the weakest candidate — returning that candidate's votes to
+// their voters for re-casting, until one winner remains.
+//
+// The workload is implemented twice over the same engine:
+//
+//   - S-Store mode (this file): a three-procedure workflow SP1→SP2→SP3
+//     wired with PE triggers, a native ROWS-100 window feeding the
+//     trending leaderboard through an EE trigger, and the engine's
+//     ordering guarantees doing the correctness work.
+//   - H-Store mode (hstore.go): the same logic as independent OLTP
+//     procedures driven by a polling client — the paper's naïve baseline,
+//     which both loses throughput (extra round trips) and produces
+//     incorrect results under pipelining.
+//
+// oracle.go holds the sequential reference semantics both are audited
+// against (audit.go).
+package voter
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/ee"
+	"repro/internal/pe"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// EliminateEvery is the vote count between eliminations (the paper's 100).
+const EliminateEvery = 100
+
+// TrendWindow is the trending-leaderboard window size (last 100 votes).
+const TrendWindow = 100
+
+// DDL shared by both modes: the persistent tables.
+const tableDDL = `
+	CREATE TABLE contestants (id INT PRIMARY KEY, name VARCHAR NOT NULL);
+	CREATE TABLE votes (phone BIGINT PRIMARY KEY, contestant INT NOT NULL, ts BIGINT);
+	CREATE INDEX votes_by_contestant ON votes (contestant);
+	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0);
+	CREATE TABLE vote_totals (id INT PRIMARY KEY, n BIGINT DEFAULT 0);
+	CREATE TABLE trending (contestant INT PRIMARY KEY, n BIGINT);
+	CREATE TABLE winner (id INT PRIMARY KEY, contestant INT);
+	CREATE TABLE eliminations (ord INT PRIMARY KEY, contestant INT, at_total BIGINT);
+`
+
+// streamDDL exists only in S-Store mode.
+const streamDDL = `
+	CREATE STREAM votes_in (phone BIGINT, contestant INT, ts BIGINT);
+	CREATE STREAM validated (phone BIGINT, contestant INT, ts BIGINT);
+	CREATE STREAM removals (at_total BIGINT);
+	CREATE WINDOW w_trend ON validated ROWS 100 SLIDE 1;
+`
+
+// Setup installs the S-Store variant on a store: schema, the SP1→SP2→SP3
+// workflow (Fig. 3), the trending window, and its EE trigger.
+func Setup(st *core.Store, contestants int) error {
+	if err := st.ExecScript(tableDDL + streamDDL); err != nil {
+		return err
+	}
+	if err := seedContestants(st, contestants); err != nil {
+		return err
+	}
+	// Trending leaderboard: maintained incrementally inside the inserting
+	// transaction from the window's deltas — votes entering the last-100
+	// window increment, votes expiring from it decrement. No polling, no
+	// client round trips, no recomputation (native windowing + EE
+	// triggers, §2). Rows are pre-seeded per contestant and SP3 removes a
+	// candidate's row at elimination.
+	if err := st.CreateTrigger("trend_maintain", "w_trend",
+		"UPDATE trending SET n = n + 1 WHERE contestant IN (SELECT contestant FROM inserted)",
+		"UPDATE trending SET n = n - 1 WHERE contestant IN (SELECT contestant FROM expired)",
+	); err != nil {
+		return err
+	}
+	if err := st.RegisterProcedure(sp1()); err != nil {
+		return err
+	}
+	if err := st.RegisterProcedure(sp2()); err != nil {
+		return err
+	}
+	if err := st.RegisterProcedure(sp3()); err != nil {
+		return err
+	}
+	if err := st.BindStream("votes_in", "sp1_validate", 1); err != nil {
+		return err
+	}
+	if err := st.BindStream("validated", "sp2_leaderboard", 1); err != nil {
+		return err
+	}
+	return st.BindStream("removals", "sp3_eliminate", 1)
+}
+
+func seedContestants(st *core.Store, n int) error {
+	names := []string{
+		"Avery", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper",
+		"Indigo", "Jules", "Kai", "Lennon", "Marlow", "Noa", "Oakley", "Parker",
+		"Quinn", "Reese", "Sage", "Tatum", "Umber", "Vesper", "Wren", "Xen", "Yael",
+	}
+	ctx := &ee.ExecCtx{Undo: storage.NewUndoLog()}
+	for i := 1; i <= n; i++ {
+		name := fmt.Sprintf("cand-%d", i)
+		if i <= len(names) {
+			name = names[i-1]
+		}
+		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO contestants VALUES (?, ?)",
+			types.NewInt(int64(i)), types.NewString(name)); err != nil {
+			return err
+		}
+		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO vote_counts (contestant, n) VALUES (?, 0)",
+			types.NewInt(int64(i))); err != nil {
+			return err
+		}
+		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO trending (contestant, n) VALUES (?, 0)",
+			types.NewInt(int64(i))); err != nil {
+			return err
+		}
+	}
+	_, err := st.EE().ExecSQL(ctx, "INSERT INTO vote_totals VALUES (0, 0)")
+	return err
+}
+
+// sp1 validates each incoming vote — the contestant must exist and the
+// phone must not have a live vote — records it, and forwards it downstream.
+func sp1() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "sp1_validate",
+		ReadSet:  []string{"contestants", "winner"},
+		WriteSet: []string{"votes"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, v := range ctx.Batch {
+				phone, cand := v[0], v[1]
+				// Voting closes once a winner is declared.
+				w, err := ctx.QueryRow("SELECT contestant FROM winner WHERE id = 0")
+				if err != nil {
+					return err
+				}
+				if w != nil {
+					continue
+				}
+				c, err := ctx.QueryRow("SELECT id FROM contestants WHERE id = ?", cand)
+				if err != nil {
+					return err
+				}
+				if c == nil {
+					continue // invalid candidate
+				}
+				p, err := ctx.QueryRow("SELECT phone FROM votes WHERE phone = ?", phone)
+				if err != nil {
+					return err
+				}
+				if p != nil {
+					continue // this phone already voted
+				}
+				if _, err := ctx.Exec("INSERT INTO votes VALUES (?, ?, ?)", phone, cand, v[2]); err != nil {
+					return err
+				}
+				if err := ctx.Emit("validated", v); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// sp2 maintains the vote counts and the running total; every
+// EliminateEvery'th vote it emits a removal event for SP3. The trending
+// leaderboard updates as a side effect of the validated stream feeding
+// w_trend (native windowing + EE trigger: zero extra round trips).
+func sp2() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "sp2_leaderboard",
+		ReadSet:  []string{"vote_totals", "contestants"},
+		WriteSet: []string{"vote_counts", "vote_totals", "trending"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, v := range ctx.Batch {
+				if _, err := ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?",
+					v[1]); err != nil {
+					return err
+				}
+				if _, err := ctx.Exec("UPDATE vote_totals SET n = n + 1 WHERE id = 0"); err != nil {
+					return err
+				}
+				row, err := ctx.QueryRow("SELECT n FROM vote_totals WHERE id = 0")
+				if err != nil {
+					return err
+				}
+				total := row[0].Int()
+				if total%EliminateEvery == 0 {
+					remaining, err := ctx.QueryRow("SELECT COUNT(*) FROM contestants")
+					if err != nil {
+						return err
+					}
+					if remaining[0].Int() > 1 {
+						if err := ctx.Emit("removals", types.Row{types.NewInt(total)}); err != nil {
+							return err
+						}
+					}
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// sp3 eliminates the lowest-vote candidate: it deletes the candidate, all
+// votes cast for them (returning those votes to their phones), the count
+// row, and the trending entry — and declares the winner when one remains.
+func sp3() *pe.Procedure {
+	return &pe.Procedure{
+		Name:     "sp3_eliminate",
+		ReadSet:  []string{"vote_counts", "contestants", "eliminations"},
+		WriteSet: []string{"contestants", "votes", "vote_counts", "trending", "winner", "eliminations"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, ev := range ctx.Batch {
+				if err := EliminateLowest(ctx, ev[0].Int()); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}
+}
+
+// EliminateLowest holds the shared elimination logic (also used verbatim by
+// the H-Store variant so the comparison isolates the architecture, not the
+// application code).
+func EliminateLowest(ctx *pe.ProcCtx, atTotal int64) error {
+	remaining, err := ctx.QueryRow("SELECT COUNT(*) FROM contestants")
+	if err != nil {
+		return err
+	}
+	if remaining[0].Int() <= 1 {
+		return nil
+	}
+	low, err := ctx.QueryRow(
+		"SELECT contestant FROM vote_counts ORDER BY n ASC, contestant ASC LIMIT 1")
+	if err != nil {
+		return err
+	}
+	if low == nil {
+		return nil
+	}
+	loser := low[0]
+	for _, stmt := range []string{
+		"DELETE FROM votes WHERE contestant = ?",
+		"DELETE FROM vote_counts WHERE contestant = ?",
+		"DELETE FROM trending WHERE contestant = ?",
+		"DELETE FROM contestants WHERE id = ?",
+	} {
+		if _, err := ctx.Exec(stmt, loser); err != nil {
+			return err
+		}
+	}
+	ord, err := ctx.QueryRow("SELECT COUNT(*) FROM eliminations")
+	if err != nil {
+		return err
+	}
+	if _, err := ctx.Exec("INSERT INTO eliminations VALUES (?, ?, ?)",
+		types.NewInt(ord[0].Int()+1), loser, types.NewInt(atTotal)); err != nil {
+		return err
+	}
+	if remaining[0].Int() == 2 { // one left now: the winner
+		last, err := ctx.QueryRow("SELECT id FROM contestants")
+		if err != nil {
+			return err
+		}
+		if _, err := ctx.Exec("INSERT INTO winner VALUES (0, ?)", last[0]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RunSStore feeds the vote stream through the S-Store workflow. One
+// Ingest call per vote models one text message arriving at the engine.
+func RunSStore(st *core.Store, votes []workload.Vote) error {
+	return RunSStoreChunked(st, votes, 1)
+}
+
+// RunSStoreChunked pushes the feed in chunks of `chunk` votes per client
+// message. Transaction granularity is unchanged — the border binding still
+// makes one SP1 execution per vote — only the client↔PE message count
+// drops, which is exactly the batching freedom the push-based interface
+// gives a streaming client (the polling baseline cannot batch its stage
+// invocations, because each depends on the previous response).
+func RunSStoreChunked(st *core.Store, votes []workload.Vote, chunk int) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	rows := make([]types.Row, 0, chunk)
+	for i := 0; i < len(votes); i += chunk {
+		end := i + chunk
+		if end > len(votes) {
+			end = len(votes)
+		}
+		rows = rows[:0]
+		for _, v := range votes[i:end] {
+			rows = append(rows,
+				types.Row{types.NewInt(v.Phone), types.NewInt(v.Contestant), types.NewInt(v.TS)})
+		}
+		if err := st.Ingest("votes_in", rows...); err != nil {
+			return err
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	return nil
+}
+
+// Leaderboards reads the three §3.1 leaderboards (Fig. 2): top three,
+// bottom three, and top three trending over the last 100 votes.
+func Leaderboards(st *core.Store) (top, bottom, trend []string, err error) {
+	read := func(q string) ([]string, error) {
+		res, err := st.Query(q)
+		if err != nil {
+			return nil, err
+		}
+		var out []string
+		for _, r := range res.Rows {
+			out = append(out, fmt.Sprintf("%s (%d)", r[0].Str(), r[1].Int()))
+		}
+		return out, nil
+	}
+	if top, err = read(`SELECT c.name, vc.n FROM vote_counts vc
+		JOIN contestants c ON c.id = vc.contestant
+		ORDER BY vc.n DESC, c.id ASC LIMIT 3`); err != nil {
+		return
+	}
+	if bottom, err = read(`SELECT c.name, vc.n FROM vote_counts vc
+		JOIN contestants c ON c.id = vc.contestant
+		ORDER BY vc.n ASC, c.id ASC LIMIT 3`); err != nil {
+		return
+	}
+	trend, err = read(`SELECT c.name, t.n FROM trending t
+		JOIN contestants c ON c.id = t.contestant
+		WHERE t.n > 0
+		ORDER BY t.n DESC, c.id ASC LIMIT 3`)
+	return
+}

@@ -1,0 +1,417 @@
+// Package bench implements the experiment drivers that regenerate the
+// paper's demonstrated results (see DESIGN.md §2 for the experiment
+// index). Each experiment returns structured rows; bench_test.go exposes
+// them as testing.B benchmarks and cmd/benchrunner prints the tables
+// recorded in EXPERIMENTS.md.
+package bench
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/apps/bikeshare"
+	"repro/internal/apps/voter"
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// newVoterSStore builds a started S-Store voter instance.
+func newVoterSStore(contestants int) (*core.Store, error) {
+	st := core.Open(core.Config{})
+	if err := voter.Setup(st, contestants); err != nil {
+		return nil, err
+	}
+	if err := st.Start(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// newVoterHStore builds a started H-Store-baseline voter instance.
+func newVoterHStore(contestants int) (*core.Store, error) {
+	st := core.Open(core.Config{HStoreMode: true})
+	if err := voter.SetupHStore(st, contestants); err != nil {
+		return nil, err
+	}
+	if err := st.Start(); err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// ---------- E1: correctness under pipelining ----------
+
+// E1Row is one row of the E1 anomaly table.
+type E1Row struct {
+	System    string
+	Pipeline  int
+	Anomalies int
+	Detail    string
+}
+
+// E1 runs the §3.1 correctness comparison: the same seeded vote feed
+// through S-Store and through the H-Store baseline at several client
+// pipeline depths, auditing each final state against the sequential
+// reference semantics.
+func E1(seed int64, votes int, pipelines []int) ([]E1Row, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	// Uniform popularity keeps bottom candidates tied, making elimination
+	// order maximally sensitive to the §3.1 ordering races.
+	cfg.Skew = 0
+	feed := workload.Votes(cfg)
+	oracle := voter.RunOracle(feed, cfg.Contestants, voter.EliminateEvery)
+	var rows []E1Row
+
+	ss, err := newVoterSStore(cfg.Contestants)
+	if err != nil {
+		return nil, err
+	}
+	if err := voter.RunSStore(ss, feed); err != nil {
+		return nil, err
+	}
+	d, err := voter.Audit(ss, oracle)
+	ss.Stop()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, E1Row{System: "S-Store", Pipeline: 0, Anomalies: d.Anomalies(), Detail: d.String()})
+
+	for _, p := range pipelines {
+		hs, err := newVoterHStore(cfg.Contestants)
+		if err != nil {
+			return nil, err
+		}
+		cl := &voter.HClient{St: hs, Pipeline: p, MaintainTrending: true}
+		if err := cl.Run(feed); err != nil {
+			return nil, err
+		}
+		d, err := voter.Audit(hs, oracle)
+		hs.Stop()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E1Row{System: "H-Store", Pipeline: p, Anomalies: d.Anomalies(), Detail: d.String()})
+	}
+	return rows, nil
+}
+
+// ---------- E2: throughput vs round-trip time ----------
+
+// E2Row is one row of the E2 throughput table.
+type E2Row struct {
+	System   string
+	RTT      time.Duration
+	VotesSec float64
+	Correct  bool
+}
+
+// simWait delays for d with microsecond accuracy: time.Sleep rounds small
+// waits up to the host timer granularity (≈1ms on stock kernels), which
+// would distort sub-millisecond RTT experiments, so short waits spin.
+func simWait(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	if d >= time.Millisecond {
+		time.Sleep(d)
+		return
+	}
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+	}
+}
+
+// rttTransport wraps an engine's async call path with a simulated network
+// round trip; concurrent in-flight calls overlap their RTTs, exactly like
+// a pipelined connection.
+func rttTransport(st *core.Store, rtt time.Duration) func(string, ...types.Value) <-chan pe.CallResult {
+	return func(proc string, params ...types.Value) <-chan pe.CallResult {
+		out := make(chan pe.CallResult, 1)
+		go func() {
+			simWait(rtt / 2) // request propagation
+			cr := <-st.CallAsync(proc, params...)
+			simWait(rtt / 2) // response propagation
+			out <- cr
+		}()
+		return out
+	}
+}
+
+// E2 measures end-to-end vote throughput for both systems across simulated
+// client↔server round-trip times. S-Store pushes votes (one message per
+// chunk); the baseline drives the workflow per stage and must wait for
+// responses, so its effective rate collapses as RTT grows — the paper's
+// throughput demonstration.
+func E2(seed int64, votes int, rtts []time.Duration, hPipeline, ssChunk int) ([]E2Row, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	feed := workload.Votes(cfg)
+	oracle := voter.RunOracle(feed, cfg.Contestants, voter.EliminateEvery)
+	var rows []E2Row
+	for _, rtt := range rtts {
+		ss, err := newVoterSStore(cfg.Contestants)
+		if err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := runSStoreRTT(ss, feed, rtt, ssChunk); err != nil {
+			return nil, err
+		}
+		el := time.Since(t0)
+		d, err := voter.Audit(ss, oracle)
+		ss.Stop()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E2Row{System: fmt.Sprintf("S-Store(chunk=%d)", ssChunk), RTT: rtt,
+			VotesSec: float64(len(feed)) / el.Seconds(), Correct: d.IsClean()})
+
+		hs, err := newVoterHStore(cfg.Contestants)
+		if err != nil {
+			return nil, err
+		}
+		cl := &voter.HClient{St: hs, Pipeline: hPipeline, MaintainTrending: true,
+			Transport: rttTransport(hs, rtt)}
+		t0 = time.Now()
+		if err := cl.Run(feed); err != nil {
+			return nil, err
+		}
+		el = time.Since(t0)
+		d, err = voter.Audit(hs, oracle)
+		hs.Stop()
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, E2Row{System: fmt.Sprintf("H-Store(p=%d)", hPipeline), RTT: rtt,
+			VotesSec: float64(len(feed)) / el.Seconds(), Correct: d.IsClean()})
+	}
+	return rows, nil
+}
+
+// runSStoreRTT paces chunked ingest messages by one RTT each (the push
+// interface needs no response before the next message, but a TCP client
+// still pays propagation per message; charging the full RTT is the
+// conservative model).
+func runSStoreRTT(st *core.Store, feed []workload.Vote, rtt time.Duration, chunk int) error {
+	if chunk < 1 {
+		chunk = 1
+	}
+	for i := 0; i < len(feed); i += chunk {
+		end := i + chunk
+		if end > len(feed) {
+			end = len(feed)
+		}
+		simWait(rtt)
+		rows := make([]types.Row, 0, end-i)
+		for _, v := range feed[i:end] {
+			rows = append(rows, types.Row{
+				types.NewInt(v.Phone), types.NewInt(v.Contestant), types.NewInt(v.TS)})
+		}
+		if err := st.Ingest("votes_in", rows...); err != nil {
+			return err
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	return nil
+}
+
+// ---------- E3: round-trip accounting ----------
+
+// E3Row reports layer crossings per 1000 input votes.
+type E3Row struct {
+	System     string
+	ClientToPE float64
+	PEToEE     float64
+	EEInternal float64
+}
+
+// E3 counts the layer crossings both systems pay for the same feed — the
+// mechanism behind E2 (paper: fewer client→PE trips from push-based
+// workflows, fewer PE→EE trips from native windowing).
+func E3(seed int64, votes int) ([]E3Row, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	feed := workload.Votes(cfg)
+	per1k := func(n int64) float64 { return float64(n) * 1000 / float64(len(feed)) }
+
+	ss, err := newVoterSStore(cfg.Contestants)
+	if err != nil {
+		return nil, err
+	}
+	if err := voter.RunSStore(ss, feed); err != nil {
+		return nil, err
+	}
+	ssm := ss.Metrics().Snapshot()
+	ss.Stop()
+
+	hs, err := newVoterHStore(cfg.Contestants)
+	if err != nil {
+		return nil, err
+	}
+	cl := &voter.HClient{St: hs, Pipeline: 1, MaintainTrending: true}
+	if err := cl.Run(feed); err != nil {
+		return nil, err
+	}
+	hsm := hs.Metrics().Snapshot()
+	hs.Stop()
+
+	return []E3Row{
+		{System: "S-Store", ClientToPE: per1k(ssm.ClientToPE), PEToEE: per1k(ssm.PEToEE), EEInternal: per1k(ssm.EEInternal)},
+		{System: "H-Store", ClientToPE: per1k(hsm.ClientToPE), PEToEE: per1k(hsm.PEToEE), EEInternal: per1k(hsm.EEInternal)},
+	}, nil
+}
+
+// ---------- E4: BikeShare mixed workload ----------
+
+// E4Result summarizes the §3.2 mixed-workload run.
+type E4Result struct {
+	OLTPTxns        int64
+	GPSTuples       int64
+	WindowSlides    int64
+	Alerts          int64
+	CompletedRides  int64
+	DoubleDiscounts int64
+	Elapsed         time.Duration
+	InvariantsOK    bool
+}
+
+// E4 runs the BikeShare scenario: OLTP churn, the GPS stream, and discount
+// accept/expire races, then checks the global invariants and that no
+// discount was double-assigned.
+func E4(seed int64, stations, bikesPer, riders, ticks int) (*E4Result, error) {
+	st := core.Open(core.Config{})
+	if err := bikeshare.Setup(st, stations, bikesPer, riders); err != nil {
+		return nil, err
+	}
+	if err := st.Start(); err != nil {
+		return nil, err
+	}
+	defer st.Stop()
+
+	gcfg := workload.DefaultBikeConfig(seed, stations*bikesPer, ticks)
+	gcfg.StolenPct = 2
+	points := workload.GPS(gcfg)
+	ts := int64(1_700_000_000_000_000)
+	t0 := time.Now()
+	pi := 0
+	perTick := len(points) / ticks
+	var oltp int64
+	for tick := 0; tick < ticks; tick++ {
+		ts += 1_000_000
+		// Each rider checks out on one tick and returns on the next, at a
+		// station that advances each visit.
+		rider := int64(1 + (tick/2)%riders)
+		stn := int64(1 + tick%stations)
+		if tick%2 == 0 {
+			_, _ = st.Call("bs_checkout", types.NewInt(rider), types.NewInt(stn), types.NewInt(ts))
+		} else {
+			_, _ = st.Call("bs_return", types.NewInt(rider), types.NewInt(stn), types.NewInt(ts))
+		}
+		oltp++
+		// A rider tries to grab whatever discount is open at this station.
+		_, _ = st.Call("bs_accept_discount", types.NewInt(rider), types.NewInt(stn), types.NewInt(ts))
+		oltp++
+		end := pi + perTick
+		if end > len(points) {
+			end = len(points)
+		}
+		if pi < end {
+			if err := bikeshare.IngestGPS(st, points[pi:end]); err != nil {
+				return nil, err
+			}
+			pi = end
+		}
+		if tick%15 == 0 {
+			_, _ = st.Call("bs_expire_discounts", types.NewInt(ts))
+			oltp++
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	elapsed := time.Since(t0)
+
+	res := &E4Result{OLTPTxns: oltp, Elapsed: elapsed}
+	m := st.Metrics().Snapshot()
+	res.GPSTuples = m.TuplesIngested
+	res.WindowSlides = m.WindowSlides
+	if q, err := st.Query("SELECT COUNT(*) FROM alerts"); err == nil {
+		res.Alerts = q.Rows[0][0].Int()
+	}
+	if q, err := st.Query("SELECT COUNT(*) FROM rides WHERE active = 0"); err == nil {
+		res.CompletedRides = q.Rows[0][0].Int()
+	}
+	// A station's discount row is unique by PK; double assignment would
+	// require two rows or a rider mismatch. Count stations whose accepted
+	// discount references a rider that does not exist (impossible) — and
+	// verify the PK invariant via a grouped query.
+	if q, err := st.Query(`SELECT COUNT(*) FROM discounts GROUP BY station HAVING COUNT(*) > 1`); err == nil {
+		res.DoubleDiscounts = int64(len(q.Rows))
+	}
+	res.InvariantsOK = bikeshare.Invariants(st) == nil
+	return res, nil
+}
+
+// ---------- E5: fault tolerance ----------
+
+// E5Row compares the two logging modes.
+type E5Row struct {
+	Mode        string
+	LogRecords  int64
+	LogBytes    int64
+	RecoveryDur time.Duration
+	StateEqual  bool
+}
+
+// E5 runs the same voter feed under upstream backup (border-only logging)
+// and full per-TE logging, crashes, recovers, and reports log volume vs
+// recovery time, verifying both recover the identical state.
+func E5(dirA, dirB string, seed int64, votes int) ([]E5Row, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	feed := workload.Votes(cfg)
+	oracle := voter.RunOracle(feed, cfg.Contestants, voter.EliminateEvery)
+	run := func(dir string, mode pe.LogMode) (E5Row, error) {
+		name := "upstream-backup"
+		if mode == pe.LogAllTEs {
+			name = "log-all-TEs"
+		}
+		st := core.Open(core.Config{Dir: dir, LogMode: mode})
+		if err := voter.Setup(st, cfg.Contestants); err != nil {
+			return E5Row{}, err
+		}
+		if err := st.Start(); err != nil {
+			return E5Row{}, err
+		}
+		if err := voter.RunSStore(st, feed); err != nil {
+			return E5Row{}, err
+		}
+		m := st.Metrics().Snapshot()
+		st.Stop() // crash point
+
+		st2 := core.Open(core.Config{Dir: dir, LogMode: mode})
+		if err := voter.Setup(st2, cfg.Contestants); err != nil {
+			return E5Row{}, err
+		}
+		t0 := time.Now()
+		if err := st2.Start(); err != nil {
+			return E5Row{}, err
+		}
+		rec := time.Since(t0)
+		d, err := voter.Audit(st2, oracle)
+		st2.Stop()
+		if err != nil {
+			return E5Row{}, err
+		}
+		return E5Row{Mode: name, LogRecords: m.LogRecords, LogBytes: m.LogBytes,
+			RecoveryDur: rec, StateEqual: d.IsClean()}, nil
+	}
+	a, err := run(dirA, pe.LogBorderOnly)
+	if err != nil {
+		return nil, err
+	}
+	b, err := run(dirB, pe.LogAllTEs)
+	if err != nil {
+		return nil, err
+	}
+	return []E5Row{a, b}, nil
+}

@@ -1,0 +1,161 @@
+package bench
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/apps/voter"
+	"repro/internal/client"
+	"repro/internal/pe"
+	"repro/internal/server"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// E2TCPRow is one row of the real-network variant of E2.
+type E2TCPRow struct {
+	System   string
+	VotesSec float64
+	Correct  bool
+}
+
+// E2TCP runs the §3.1 throughput comparison over real TCP on localhost —
+// the closest substitute for the paper's live client-server demo. The
+// S-Store client pushes chunked ingest messages over one connection; the
+// H-Store client drives the workflow over a pool of `pipeline`
+// connections (one in-flight call each).
+func E2TCP(seed int64, votes, pipeline, ssChunk int) ([]E2TCPRow, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	feed := workload.Votes(cfg)
+	oracle := voter.RunOracle(feed, cfg.Contestants, voter.EliminateEvery)
+	var rows []E2TCPRow
+
+	// ---- S-Store over TCP ----
+	ss, err := newVoterSStore(cfg.Contestants)
+	if err != nil {
+		return nil, err
+	}
+	srv := server.New(ss)
+	srv.Logf = func(string, ...any) {}
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	conn, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		return nil, err
+	}
+	t0 := time.Now()
+	chunk := make([]types.Row, 0, ssChunk)
+	for i, v := range feed {
+		chunk = append(chunk, types.Row{
+			types.NewInt(v.Phone), types.NewInt(v.Contestant), types.NewInt(v.TS)})
+		if len(chunk) == ssChunk || i == len(feed)-1 {
+			if err := conn.Ingest("votes_in", chunk...); err != nil {
+				return nil, err
+			}
+			chunk = chunk[:0]
+		}
+	}
+	if err := conn.Flush(); err != nil {
+		return nil, err
+	}
+	el := time.Since(t0)
+	conn.Close()
+	srv.Close()
+	d, err := voter.Audit(ss, oracle)
+	ss.Stop()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, E2TCPRow{System: fmt.Sprintf("S-Store/tcp(chunk=%d)", ssChunk),
+		VotesSec: float64(len(feed)) / el.Seconds(), Correct: d.IsClean()})
+
+	// ---- H-Store over TCP ----
+	hs, err := newVoterHStore(cfg.Contestants)
+	if err != nil {
+		return nil, err
+	}
+	hsrv := server.New(hs)
+	hsrv.Logf = func(string, ...any) {}
+	if err := hsrv.Listen("127.0.0.1:0"); err != nil {
+		return nil, err
+	}
+	pool, err := newConnPool(hsrv.Addr(), pipeline)
+	if err != nil {
+		return nil, err
+	}
+	cl := &voter.HClient{St: hs, Pipeline: pipeline, MaintainTrending: true,
+		Transport: pool.transport()}
+	t0 = time.Now()
+	if err := cl.Run(feed); err != nil {
+		return nil, err
+	}
+	el = time.Since(t0)
+	pool.close()
+	hsrv.Close()
+	d, err = voter.Audit(hs, oracle)
+	hs.Stop()
+	if err != nil {
+		return nil, err
+	}
+	rows = append(rows, E2TCPRow{System: fmt.Sprintf("H-Store/tcp(p=%d)", pipeline),
+		VotesSec: float64(len(feed)) / el.Seconds(), Correct: d.IsClean()})
+	return rows, nil
+}
+
+// connPool round-robins calls across n TCP connections, each carrying one
+// request at a time — a pipelined client without reordering within a
+// connection.
+type connPool struct {
+	conns []*client.TCP
+	mu    sync.Mutex
+	next  int
+}
+
+func newConnPool(addr string, n int) (*connPool, error) {
+	p := &connPool{}
+	for i := 0; i < n; i++ {
+		c, err := client.DialTCP(addr)
+		if err != nil {
+			p.close()
+			return nil, err
+		}
+		p.conns = append(p.conns, c)
+	}
+	return p, nil
+}
+
+func (p *connPool) pick() *client.TCP {
+	p.mu.Lock()
+	c := p.conns[p.next%len(p.conns)]
+	p.next++
+	p.mu.Unlock()
+	return c
+}
+
+func (p *connPool) transport() func(string, ...types.Value) <-chan pe.CallResult {
+	return func(proc string, params ...types.Value) <-chan pe.CallResult {
+		out := make(chan pe.CallResult, 1)
+		c := p.pick()
+		go func() {
+			resp, err := c.Call(proc, params...)
+			if err != nil {
+				out <- pe.CallResult{Err: err}
+				return
+			}
+			out <- pe.CallResult{Result: &pe.Result{
+				Columns:      resp.Columns,
+				Rows:         resp.Rows,
+				RowsAffected: int(resp.RowsAffected),
+			}}
+		}()
+		return out
+	}
+}
+
+func (p *connPool) close() {
+	for _, c := range p.conns {
+		_ = c.Close()
+	}
+}

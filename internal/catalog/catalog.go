@@ -1,0 +1,235 @@
+// Package catalog holds the engine's metadata: every relation (table,
+// stream, or window), its backing storage, and the streaming attributes —
+// window specifications and their transactional slide state. The catalog is
+// pure data; query planning lives in the execution engine and trigger /
+// workflow wiring lives in the partition engine.
+package catalog
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// RelationKind distinguishes the three relation classes of S-Store.
+type RelationKind uint8
+
+// Relation kinds.
+const (
+	KindTable RelationKind = iota
+	KindStream
+	KindWindow
+)
+
+func (k RelationKind) String() string {
+	switch k {
+	case KindTable:
+		return "TABLE"
+	case KindStream:
+		return "STREAM"
+	case KindWindow:
+		return "WINDOW"
+	default:
+		return fmt.Sprintf("RelationKind(%d)", uint8(k))
+	}
+}
+
+// WindowSpec mirrors sql.WindowSpec but lives here so catalog does not
+// depend on the SQL front end.
+type WindowSpec struct {
+	Rows    bool   // tuple-based (ROWS) vs time-based (RANGE)
+	Size    int64  // rows, or microseconds for RANGE
+	Slide   int64  // rows, or microseconds for RANGE
+	TimeCol int    // ordinal of the event-time column (RANGE only)
+	Source  string // source stream name
+}
+
+// WindowState is the transactional runtime state of one window. Mutations
+// happen only inside the execution engine under the owning transaction's
+// undo log, so aborts restore both the backing table and these fields.
+type WindowState struct {
+	Spec WindowSpec
+
+	// Tuple-based: tuples staged since the last slide. The window advances
+	// by Slide tuples at a time once full (paper: windows only "jump" in
+	// slide-sized steps).
+	Staged []types.Row
+	// Total tuples ever admitted into the window (drives the first fill).
+	Admitted int64
+
+	// Time-based: the high watermark (max event time seen, quantized to
+	// Slide boundaries). Tuples older than watermark-Size are evicted.
+	Watermark int64
+
+	// SlideCount increments every time the window slides; EE triggers on
+	// the window fire when it does.
+	SlideCount int64
+
+	// OwnerProc is the stored procedure whose consecutive transaction
+	// executions may access this window ("scope of a transaction
+	// execution", §2). Empty means unrestricted (window not yet claimed).
+	OwnerProc string
+}
+
+// Relation is one named relation: its kind, schema, backing storage, and —
+// for windows — the window runtime state.
+type Relation struct {
+	Name   string
+	Kind   RelationKind
+	Schema *types.Schema
+	Table  *storage.Table
+	Win    *WindowState // non-nil iff Kind == KindWindow
+}
+
+// Catalog is the metadata root. It is mutated only during DDL (which the
+// partition engine serializes like any transaction) and read during
+// planning and execution.
+type Catalog struct {
+	rels map[string]*Relation
+}
+
+// New returns an empty catalog.
+func New() *Catalog {
+	return &Catalog{rels: make(map[string]*Relation)}
+}
+
+func key(name string) string { return strings.ToLower(name) }
+
+// Relation resolves a name (case-insensitive) to its relation, or nil.
+func (c *Catalog) Relation(name string) *Relation { return c.rels[key(name)] }
+
+// MustRelation resolves a name or returns a descriptive error.
+func (c *Catalog) MustRelation(name string) (*Relation, error) {
+	if r := c.rels[key(name)]; r != nil {
+		return r, nil
+	}
+	return nil, fmt.Errorf("catalog: relation %q does not exist", name)
+}
+
+// Names returns all relation names in sorted order (deterministic output
+// for tools and tests).
+func (c *Catalog) Names() []string {
+	out := make([]string, 0, len(c.rels))
+	for _, r := range c.rels {
+		out = append(out, r.Name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// CreateTable registers a new base table.
+func (c *Catalog) CreateTable(schema *types.Schema) (*Relation, error) {
+	return c.create(schema, KindTable, nil)
+}
+
+// CreateStream registers a new stream. Streams are keyless append-only
+// relations; the engine garbage-collects their tuples after downstream
+// consumption.
+func (c *Catalog) CreateStream(schema *types.Schema) (*Relation, error) {
+	if schema.HasPrimaryKey() {
+		return nil, fmt.Errorf("catalog: stream %q cannot declare a primary key", schema.Name())
+	}
+	return c.create(schema, KindStream, nil)
+}
+
+// CreateWindow registers a window over an existing stream. The window's
+// schema equals the source stream's schema (window name substituted).
+func (c *Catalog) CreateWindow(name string, spec WindowSpec) (*Relation, error) {
+	src, err := c.MustRelation(spec.Source)
+	if err != nil {
+		return nil, err
+	}
+	if src.Kind != KindStream {
+		return nil, fmt.Errorf("catalog: window %q source %q is a %s, want STREAM", name, spec.Source, src.Kind)
+	}
+	if spec.Size <= 0 || spec.Slide <= 0 {
+		return nil, fmt.Errorf("catalog: window %q size and slide must be positive", name)
+	}
+	if !spec.Rows {
+		if spec.TimeCol < 0 || spec.TimeCol >= src.Schema.NumColumns() {
+			return nil, fmt.Errorf("catalog: window %q time column %d out of range", name, spec.TimeCol)
+		}
+		ct := src.Schema.Column(spec.TimeCol).Type
+		if ct != types.TypeTimestamp && ct != types.TypeInt {
+			return nil, fmt.Errorf("catalog: window %q time column must be TIMESTAMP or BIGINT, got %s", name, ct)
+		}
+	}
+	cols := src.Schema.Columns()
+	schema, err := types.NewSchema(name, cols, nil)
+	if err != nil {
+		return nil, err
+	}
+	spec.Source = src.Name
+	return c.create(schema, KindWindow, &WindowState{Spec: spec})
+}
+
+func (c *Catalog) create(schema *types.Schema, kind RelationKind, win *WindowState) (*Relation, error) {
+	name := schema.Name()
+	if _, exists := c.rels[key(name)]; exists {
+		return nil, fmt.Errorf("catalog: relation %q already exists", name)
+	}
+	r := &Relation{
+		Name:   name,
+		Kind:   kind,
+		Schema: schema,
+		Table:  storage.NewTable(schema),
+		Win:    win,
+	}
+	c.rels[key(name)] = r
+	return r, nil
+}
+
+// Drop removes a relation. Dropping a stream with dependent windows fails.
+func (c *Catalog) Drop(name string) error {
+	r := c.rels[key(name)]
+	if r == nil {
+		return fmt.Errorf("catalog: relation %q does not exist", name)
+	}
+	if r.Kind == KindStream {
+		for _, w := range c.WindowsOver(r.Name) {
+			return fmt.Errorf("catalog: stream %q has dependent window %q", name, w.Name)
+		}
+	}
+	delete(c.rels, key(name))
+	return nil
+}
+
+// WindowsOver lists the windows whose source is the given stream, sorted by
+// name for determinism.
+func (c *Catalog) WindowsOver(stream string) []*Relation {
+	var out []*Relation
+	for _, r := range c.rels {
+		if r.Kind == KindWindow && key(r.Win.Spec.Source) == key(stream) {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Streams lists every stream relation, sorted by name.
+func (c *Catalog) Streams() []*Relation {
+	var out []*Relation
+	for _, r := range c.rels {
+		if r.Kind == KindStream {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Tables lists every base table, sorted by name.
+func (c *Catalog) Tables() []*Relation {
+	var out []*Relation
+	for _, r := range c.rels {
+		if r.Kind == KindTable {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,140 @@
+package catalog
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func tableSchema(t *testing.T, name string) *types.Schema {
+	t.Helper()
+	s, err := types.NewSchema(name, []types.Column{
+		{Name: "id", Type: types.TypeInt, NotNull: true},
+		{Name: "v", Type: types.TypeInt},
+	}, []string{"id"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func streamSchema(t *testing.T, name string) *types.Schema {
+	t.Helper()
+	s, err := types.NewSchema(name, []types.Column{
+		{Name: "v", Type: types.TypeInt},
+		{Name: "ts", Type: types.TypeTimestamp},
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateAndResolve(t *testing.T) {
+	c := New()
+	if _, err := c.CreateTable(tableSchema(t, "t1")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateStream(streamSchema(t, "s1")); err != nil {
+		t.Fatal(err)
+	}
+	// Case-insensitive resolution.
+	if c.Relation("T1") == nil || c.Relation("S1") == nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if c.Relation("t1").Kind != KindTable || c.Relation("s1").Kind != KindStream {
+		t.Fatal("kinds wrong")
+	}
+	if _, err := c.MustRelation("absent"); err == nil || !strings.Contains(err.Error(), "does not exist") {
+		t.Fatalf("MustRelation: %v", err)
+	}
+	// Duplicate names rejected across kinds.
+	if _, err := c.CreateStream(streamSchema(t, "T1")); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+}
+
+func TestStreamRules(t *testing.T) {
+	c := New()
+	if _, err := c.CreateStream(tableSchema(t, "bad")); err == nil {
+		t.Fatal("stream with primary key accepted")
+	}
+}
+
+func TestWindowCreation(t *testing.T) {
+	c := New()
+	if _, err := c.CreateStream(streamSchema(t, "s")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.CreateTable(tableSchema(t, "t")); err != nil {
+		t.Fatal(err)
+	}
+	// Over a table: rejected.
+	if _, err := c.CreateWindow("w", WindowSpec{Rows: true, Size: 5, Slide: 1, Source: "t"}); err == nil {
+		t.Fatal("window over table accepted")
+	}
+	// Bad sizes rejected.
+	if _, err := c.CreateWindow("w", WindowSpec{Rows: true, Size: 0, Slide: 1, Source: "s"}); err == nil {
+		t.Fatal("zero size accepted")
+	}
+	// Time column must be timestamp/int and in range.
+	if _, err := c.CreateWindow("w", WindowSpec{Rows: false, Size: 10, Slide: 1, Source: "s", TimeCol: 9}); err == nil {
+		t.Fatal("out-of-range time column accepted")
+	}
+	w, err := c.CreateWindow("w", WindowSpec{Rows: false, Size: 10, Slide: 2, Source: "s", TimeCol: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Kind != KindWindow || w.Win == nil || w.Win.Spec.Source != "s" {
+		t.Fatalf("window relation: %+v", w)
+	}
+	// Window schema mirrors the stream's columns.
+	if w.Schema.NumColumns() != 2 || w.Schema.ColumnIndex("ts") != 1 {
+		t.Fatal("window schema mismatch")
+	}
+	// WindowsOver finds it, sorted.
+	if _, err := c.CreateWindow("a_first", WindowSpec{Rows: true, Size: 3, Slide: 1, Source: "s"}); err != nil {
+		t.Fatal(err)
+	}
+	wins := c.WindowsOver("S")
+	if len(wins) != 2 || wins[0].Name != "a_first" || wins[1].Name != "w" {
+		t.Fatalf("WindowsOver: %v", wins)
+	}
+}
+
+func TestDropRules(t *testing.T) {
+	c := New()
+	c.CreateStream(streamSchema(t, "s"))
+	c.CreateWindow("w", WindowSpec{Rows: true, Size: 3, Slide: 1, Source: "s"})
+	// Stream with dependent window cannot be dropped.
+	if err := c.Drop("s"); err == nil {
+		t.Fatal("dropped stream with dependent window")
+	}
+	if err := c.Drop("w"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("s"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Drop("s"); err == nil {
+		t.Fatal("double drop accepted")
+	}
+}
+
+func TestEnumerationsSortedAndKindString(t *testing.T) {
+	c := New()
+	c.CreateTable(tableSchema(t, "zz"))
+	c.CreateTable(tableSchema(t, "aa"))
+	c.CreateStream(streamSchema(t, "mm"))
+	names := c.Names()
+	if len(names) != 3 || names[0] != "aa" || names[2] != "zz" {
+		t.Fatalf("Names: %v", names)
+	}
+	if len(c.Tables()) != 2 || len(c.Streams()) != 1 {
+		t.Fatal("kind enumerations wrong")
+	}
+	if KindTable.String() != "TABLE" || KindStream.String() != "STREAM" || KindWindow.String() != "WINDOW" {
+		t.Fatal("kind strings")
+	}
+}

@@ -1,0 +1,179 @@
+// Package client provides the two client transports: a TCP client for the
+// wire protocol and an in-process loopback with a configurable simulated
+// round-trip time. The loopback is what the round-trip experiments (E2,
+// E3) run on: it charges exactly one RTT per client→PE interaction, making
+// the cost of polling and per-stage invocation measurable without network
+// noise (see DESIGN.md §1.5 on this substitution).
+package client
+
+import (
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Conn is the client interface shared by both transports.
+type Conn interface {
+	// Call invokes a stored procedure.
+	Call(proc string, params ...types.Value) (*wire.Response, error)
+	// Ingest pushes tuples onto a border stream.
+	Ingest(stream string, rows ...types.Row) error
+	// Query runs ad-hoc read-only SQL.
+	Query(sqlText string, params ...types.Value) (*wire.Response, error)
+	// Flush dispatches partial border batches and waits for quiescence.
+	Flush() error
+	// Close releases the connection.
+	Close() error
+}
+
+// ---------- TCP transport ----------
+
+// TCP is a synchronous wire-protocol client; one request in flight per
+// connection (open several connections to pipeline).
+type TCP struct {
+	mu   sync.Mutex
+	conn net.Conn
+}
+
+// DialTCP connects to a server address.
+func DialTCP(addr string) (*TCP, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("client: %w", err)
+	}
+	return &TCP{conn: conn}, nil
+}
+
+func (c *TCP) roundTrip(req *wire.Request) (*wire.Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if err := wire.WriteFrame(c.conn, wire.EncodeRequest(req)); err != nil {
+		return nil, err
+	}
+	payload, err := wire.ReadFrame(c.conn)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := wire.DecodeResponse(payload)
+	if err != nil {
+		return nil, err
+	}
+	if resp.Kind == wire.MsgError {
+		return resp, fmt.Errorf("server: %s", resp.Err)
+	}
+	return resp, nil
+}
+
+// Call implements Conn.
+func (c *TCP) Call(proc string, params ...types.Value) (*wire.Response, error) {
+	return c.roundTrip(&wire.Request{Kind: wire.MsgCall, Target: proc, Params: params})
+}
+
+// Ingest implements Conn.
+func (c *TCP) Ingest(stream string, rows ...types.Row) error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgIngest, Target: stream, Rows: rows})
+	return err
+}
+
+// Query implements Conn.
+func (c *TCP) Query(sqlText string, params ...types.Value) (*wire.Response, error) {
+	return c.roundTrip(&wire.Request{Kind: wire.MsgQuery, Target: sqlText, Params: params})
+}
+
+// Flush implements Conn.
+func (c *TCP) Flush() error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgFlush})
+	return err
+}
+
+// Explain returns the server's plan description for a statement.
+func (c *TCP) Explain(sqlText string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgExplain, Target: sqlText})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Rows) == 0 {
+		return "", fmt.Errorf("client: empty explain response")
+	}
+	return resp.Rows[0][0].Str(), nil
+}
+
+// Ping checks liveness.
+func (c *TCP) Ping() error {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgPing})
+	if err != nil {
+		return err
+	}
+	if resp.Kind != wire.MsgPong {
+		return fmt.Errorf("client: unexpected response kind %d", resp.Kind)
+	}
+	return nil
+}
+
+// Close implements Conn.
+func (c *TCP) Close() error { return c.conn.Close() }
+
+// ---------- loopback transport with simulated RTT ----------
+
+// Loopback calls the store in-process, sleeping RTT per interaction. With
+// RTT 0 it measures pure engine cost; with a realistic RTT it shows how
+// the baseline's extra round trips dominate (the paper's §3.1 argument).
+type Loopback struct {
+	St  *core.Store
+	RTT time.Duration
+}
+
+func (c *Loopback) charge() {
+	if c.RTT > 0 {
+		time.Sleep(c.RTT)
+	}
+}
+
+// Call implements Conn.
+func (c *Loopback) Call(proc string, params ...types.Value) (*wire.Response, error) {
+	c.charge()
+	res, err := c.St.Call(proc, params...)
+	if err != nil {
+		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}, err
+	}
+	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
+}
+
+// Ingest implements Conn.
+func (c *Loopback) Ingest(stream string, rows ...types.Row) error {
+	c.charge()
+	return c.St.Ingest(stream, rows...)
+}
+
+// Query implements Conn.
+func (c *Loopback) Query(sqlText string, params ...types.Value) (*wire.Response, error) {
+	c.charge()
+	res, err := c.St.Query(sqlText, params...)
+	if err != nil {
+		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}, err
+	}
+	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
+}
+
+// Flush implements Conn.
+func (c *Loopback) Flush() error {
+	c.charge()
+	c.St.FlushBatches()
+	c.St.Drain()
+	return nil
+}
+
+// Close implements Conn.
+func (c *Loopback) Close() error { return nil }
+
+var (
+	_ Conn = (*TCP)(nil)
+	_ Conn = (*Loopback)(nil)
+)

@@ -1,0 +1,257 @@
+// Package core assembles the S-Store engine: catalog + execution engine +
+// partition engine + durability, behind one Store type. This is the
+// paper's primary contribution packaged as a library — a main-memory OLTP
+// engine (H-Store) extended with streams, windows, EE/PE triggers,
+// workflows, the stream-oriented transaction model, and upstream-backup
+// fault tolerance. The root package sstore re-exports this API.
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/catalog"
+	"repro/internal/ee"
+	"repro/internal/metrics"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Config configures a Store.
+type Config struct {
+	// Dir enables durability when non-empty: a command log and snapshots
+	// are kept there, and Recover() restores state from them.
+	Dir string
+	// Sync selects the log fsync policy (default SyncNever: benchmarks on
+	// tmpfs-like media; production would use SyncEveryRecord).
+	Sync wal.SyncPolicy
+	// LogMode selects upstream backup (border-only, default) or full
+	// per-TE logging.
+	LogMode pe.LogMode
+	// Mode selects the admission policy; ModeWorkflowSerial is the S-Store
+	// default.
+	Mode pe.SchedulerMode
+	// HStoreMode disables all streaming features — the §3.1 baseline.
+	HStoreMode bool
+	// ForceUnsafe permits ModeFIFO despite shared writable tables.
+	ForceUnsafe bool
+}
+
+// Store is one single-partition S-Store instance.
+type Store struct {
+	cfg Config
+	cat *catalog.Catalog
+	ee  *ee.Engine
+	pe  *pe.Engine
+	met *metrics.Metrics
+	log *wal.Log
+}
+
+// Open creates a Store. Durability files are opened lazily by Recover /
+// Start; Open itself touches no disk.
+func Open(cfg Config) *Store {
+	met := &metrics.Metrics{}
+	cat := catalog.New()
+	exec := ee.New(cat, met)
+	part := pe.New(exec, pe.Config{
+		Mode:        cfg.Mode,
+		HStoreMode:  cfg.HStoreMode,
+		ForceUnsafe: cfg.ForceUnsafe,
+	})
+	return &Store{cfg: cfg, cat: cat, ee: exec, pe: part, met: met}
+}
+
+// Catalog exposes the metadata (read-only use expected).
+func (s *Store) Catalog() *catalog.Catalog { return s.cat }
+
+// EE exposes the execution engine (tests, tools).
+func (s *Store) EE() *ee.Engine { return s.ee }
+
+// PE exposes the partition engine (tests, tools).
+func (s *Store) PE() *pe.Engine { return s.pe }
+
+// Metrics returns the engine's counter set.
+func (s *Store) Metrics() *metrics.Metrics { return s.met }
+
+// ExecScript runs a DDL script (CREATE TABLE / STREAM / WINDOW / INDEX).
+func (s *Store) ExecScript(ddl string) error { return s.ee.ExecScript(ddl) }
+
+// CreateTrigger registers an EE trigger (see ee.Engine.CreateTrigger).
+func (s *Store) CreateTrigger(name, relation string, bodies ...string) error {
+	return s.ee.CreateTrigger(name, relation, bodies...)
+}
+
+// RegisterProcedure adds a stored procedure.
+func (s *Store) RegisterProcedure(p *pe.Procedure) error { return s.pe.RegisterProcedure(p) }
+
+// BindStream wires a PE trigger: tuples on stream become batches of
+// batchSize for proc.
+func (s *Store) BindStream(stream, proc string, batchSize int) error {
+	return s.pe.BindStream(stream, proc, batchSize)
+}
+
+// Recover restores state from the durability directory: load the latest
+// snapshot (if any), then replay intact command-log records past it. Must
+// run after DDL + procedure registration and before Start.
+func (s *Store) Recover() error {
+	if s.cfg.Dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("core: durability dir: %w", err)
+	}
+	logPath, snapPath := wal.Paths(s.cfg.Dir)
+	meta, err := wal.LoadSnapshot(snapPath, s.cat)
+	switch {
+	case err == nil:
+		s.pe.SetNextBatchID(meta.NextBatchID)
+	case err == wal.ErrNoSnapshot:
+		meta = wal.Snapshot{}
+	default:
+		return err
+	}
+	lastLSN, err := wal.ScanLog(logPath, func(lsn uint64, payload []byte) error {
+		if lsn <= meta.LastLSN {
+			return nil // already covered by the snapshot
+		}
+		rec, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		return s.replay(rec)
+	})
+	if err != nil {
+		return fmt.Errorf("core: log replay: %w", err)
+	}
+	if lastLSN < meta.LastLSN {
+		lastLSN = meta.LastLSN // log truncated at the last checkpoint
+	}
+	s.log, err = wal.OpenLog(logPath, lastLSN, s.cfg.Sync)
+	if err != nil {
+		return err
+	}
+	s.pe.SetLogger(s, s.cfg.LogMode)
+	return nil
+}
+
+func (s *Store) replay(rec *pe.LogRecord) error {
+	// Replay must see the same log mode the record was written under; the
+	// engine interprets triggered records only in LogAllTEs mode.
+	s.pe.SetLogger(nil, s.cfg.LogMode)
+	return s.pe.Replay(rec)
+}
+
+// LogCommit implements pe.CommitLogger: serialize and append the record,
+// honoring the sync policy, before the commit is acknowledged.
+func (s *Store) LogCommit(rec *pe.LogRecord) error {
+	if s.log == nil {
+		return nil
+	}
+	payload := wal.EncodeRecord(rec)
+	if _, err := s.log.Append(payload); err != nil {
+		return err
+	}
+	s.met.LogRecords.Add(1)
+	s.met.LogBytes.Add(int64(len(payload) + 8))
+	return nil
+}
+
+// Start launches the partition worker. When durability is configured but
+// Recover was not called, Start calls it.
+func (s *Store) Start() error {
+	if s.cfg.Dir != "" && s.log == nil {
+		if err := s.Recover(); err != nil {
+			return err
+		}
+	}
+	return s.pe.Start()
+}
+
+// Stop stops the worker and closes the log.
+func (s *Store) Stop() {
+	s.pe.Stop()
+	if s.log != nil {
+		_ = s.log.Sync()
+		_ = s.log.Close()
+		s.log = nil
+	}
+}
+
+// Checkpoint writes a snapshot at a quiescent point and truncates the
+// command log (H-Store's periodic snapshotting).
+func (s *Store) Checkpoint() error {
+	if s.cfg.Dir == "" {
+		return fmt.Errorf("core: no durability directory configured")
+	}
+	_, snapPath := wal.Paths(s.cfg.Dir)
+	return s.pe.RunExclusive(func() error {
+		meta := wal.Snapshot{NextBatchID: s.pe.NextBatchID()}
+		if s.log != nil {
+			meta.LastLSN = s.log.LSN()
+		}
+		if err := wal.WriteSnapshot(snapPath, s.cat, meta); err != nil {
+			return err
+		}
+		if s.log != nil {
+			return s.log.Truncate()
+		}
+		return nil
+	})
+}
+
+// Call invokes a stored procedure (one OLTP transaction).
+func (s *Store) Call(proc string, params ...types.Value) (*pe.Result, error) {
+	return s.pe.Call(proc, params...)
+}
+
+// CallAsync submits an invocation without waiting.
+func (s *Store) CallAsync(proc string, params ...types.Value) <-chan pe.CallResult {
+	return s.pe.CallAsync(proc, params...)
+}
+
+// Ingest pushes tuples onto a bound border stream.
+func (s *Store) Ingest(stream string, rows ...types.Row) error {
+	return s.pe.Ingest(stream, rows...)
+}
+
+// FlushBatches dispatches partial border batches.
+func (s *Store) FlushBatches() { s.pe.FlushBatches() }
+
+// Query runs an ad-hoc read-only query.
+func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
+	return s.pe.Query(sqlText, params...)
+}
+
+// Exec runs an ad-hoc DML statement as its own transaction (not command-
+// logged; durable writes belong in stored procedures).
+func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) {
+	return s.pe.Exec(sqlText, params...)
+}
+
+// Explain returns the physical plan the engine would execute for a SQL
+// statement (access paths, join order, grouping). Planning runs on the
+// partition goroutine so it never races with execution.
+func (s *Store) Explain(sqlText string) (string, error) {
+	var out string
+	err := s.pe.RunExclusive(func() error {
+		var err error
+		out, err = s.ee.ExplainSQL(sqlText)
+		return err
+	})
+	return out, err
+}
+
+// Drain waits for all queued work to finish.
+func (s *Store) Drain() { s.pe.Drain() }
+
+// RemoveDurableState deletes the snapshot and log (test helper).
+func RemoveDurableState(dir string) error {
+	for _, n := range []string{wal.DefaultLogName, wal.DefaultSnapshotName} {
+		if err := os.Remove(filepath.Join(dir, n)); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+	}
+	return nil
+}

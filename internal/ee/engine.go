@@ -1,0 +1,506 @@
+package ee
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/catalog"
+	"repro/internal/metrics"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// Pseudo-relation names visible inside EE trigger bodies. For stream
+// triggers NEW and INSERTED both hold the arriving batch and EXPIRED is
+// empty. For window triggers NEW holds the post-change window contents,
+// INSERTED the tuples that entered on this change, and EXPIRED the tuples
+// that were evicted — the deltas incremental maintenance needs.
+const (
+	NewRelation      = "new"
+	InsertedRelation = "inserted"
+	ExpiredRelation  = "expired"
+)
+
+// Engine is the execution engine: it owns statement preparation, physical
+// execution, native window maintenance, and EE (query-level) triggers.
+// All methods must be called from the partition engine's single execution
+// goroutine; the engine carries no internal locking by design (H-Store's
+// serial single-sited execution model).
+type Engine struct {
+	cat *catalog.Catalog
+	met *metrics.Metrics
+
+	// triggers maps a relation (lowercased) to its EE triggers in creation
+	// order.
+	triggers map[string][]*Trigger
+	// persistent marks streams whose tuples are retained for a downstream
+	// PE-trigger consumer; the partition engine garbage-collects them when
+	// the consuming transaction execution commits.
+	persistent map[string]bool
+
+	stmtCache map[string]*Prepared
+
+	// MaxTriggerDepth bounds EE trigger cascades to catch accidental
+	// cycles (insert into s from a trigger on s).
+	MaxTriggerDepth int
+}
+
+// Trigger is an EE trigger: statements executed inside the running
+// transaction whenever tuples arrive on a stream (or a window slides).
+type Trigger struct {
+	Name     string
+	Relation string
+	Stmts    []*Prepared
+}
+
+// New creates an execution engine over the catalog.
+func New(cat *catalog.Catalog, met *metrics.Metrics) *Engine {
+	if met == nil {
+		met = &metrics.Metrics{}
+	}
+	return &Engine{
+		cat:             cat,
+		met:             met,
+		triggers:        make(map[string][]*Trigger),
+		persistent:      make(map[string]bool),
+		stmtCache:       make(map[string]*Prepared),
+		MaxTriggerDepth: 16,
+	}
+}
+
+// Catalog returns the engine's catalog.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Metrics returns the engine's counters.
+func (e *Engine) Metrics() *metrics.Metrics { return e.met }
+
+// MarkStreamPersistent tells the EE that a stream's tuples are consumed by
+// a downstream PE trigger and must be retained until that consumer's
+// transaction execution commits.
+func (e *Engine) MarkStreamPersistent(stream string) {
+	e.persistent[strings.ToLower(stream)] = true
+}
+
+// ExecCtx is the per-transaction-execution context threaded through every
+// statement: the undo log that makes the TE atomic, the transient NEW
+// batches for trigger bodies, the owning procedure name (for window
+// scoping), and the hook the partition engine uses to observe stream
+// appends (PE triggers fire from those at commit).
+type ExecCtx struct {
+	Undo     *storage.UndoLog
+	ProcName string
+	ReadOnly bool
+
+	// NewRows holds transient relations visible to the current statement
+	// (EE trigger batches).
+	NewRows map[string][]types.Row
+
+	// OnStreamInsert, when non-nil, is called for every batch of rows
+	// appended to a stream together with their row ids (for later GC).
+	OnStreamInsert func(stream string, ids []storage.RowID, rows []types.Row)
+
+	// DisableEETriggers turns off EE trigger firing and native window
+	// maintenance — the configuration used by the naïve H-Store baseline.
+	DisableEETriggers bool
+
+	depth int // trigger cascade depth
+}
+
+// Result is the outcome of one statement.
+type Result struct {
+	Columns      []string
+	Rows         []types.Row
+	RowsAffected int
+}
+
+// PrepareCached prepares a statement and memoizes it by text (statements
+// inside stored procedures are prepared once, H-Store style).
+func (e *Engine) PrepareCached(text string) (*Prepared, error) {
+	if p, ok := e.stmtCache[text]; ok {
+		return p, nil
+	}
+	p, err := e.Prepare(text, nil)
+	if err != nil {
+		return nil, err
+	}
+	e.stmtCache[text] = p
+	return p, nil
+}
+
+// InvalidateCache drops all cached plans (called after DDL).
+func (e *Engine) InvalidateCache() { e.stmtCache = make(map[string]*Prepared) }
+
+// Execute runs a prepared statement. Top-level calls (depth 0) count as a
+// PE→EE crossing; trigger-chained calls count as EE-internal work.
+func (e *Engine) Execute(ctx *ExecCtx, p *Prepared, params ...types.Value) (*Result, error) {
+	if ctx.depth == 0 {
+		e.met.PEToEE.Add(1)
+	} else {
+		e.met.EEInternal.Add(1)
+	}
+	switch {
+	case p.sel != nil:
+		return e.execSelect(ctx, p, params)
+	case p.ins != nil:
+		if ctx.ReadOnly {
+			return nil, fmt.Errorf("ee: INSERT in read-only context")
+		}
+		return e.execInsert(ctx, p.ins, params)
+	case p.upd != nil:
+		if ctx.ReadOnly {
+			return nil, fmt.Errorf("ee: UPDATE in read-only context")
+		}
+		return e.execUpdate(ctx, p.upd, params)
+	case p.del != nil:
+		if ctx.ReadOnly {
+			return nil, fmt.Errorf("ee: DELETE in read-only context")
+		}
+		return e.execDelete(ctx, p.del, params)
+	}
+	return nil, fmt.Errorf("ee: empty prepared statement %q", p.Text)
+}
+
+// ExecSQL parses, prepares (cached), and executes in one step.
+func (e *Engine) ExecSQL(ctx *ExecCtx, text string, params ...types.Value) (*Result, error) {
+	p, err := e.PrepareCached(text)
+	if err != nil {
+		return nil, err
+	}
+	return e.Execute(ctx, p, params...)
+}
+
+// ---------- DDL ----------
+
+// ExecDDL applies a DDL statement to the catalog. DDL is executed by the
+// partition engine between transactions, so no undo logging is needed.
+func (e *Engine) ExecDDL(stmt sql.Statement) error {
+	defer e.InvalidateCache()
+	switch s := stmt.(type) {
+	case *sql.CreateTable:
+		schema, err := schemaFromDefs(s.Name, s.Columns, s.PrimaryKey)
+		if err != nil {
+			return err
+		}
+		if s.IfNotExists && e.cat.Relation(s.Name) != nil {
+			return nil
+		}
+		_, err = e.cat.CreateTable(schema)
+		return err
+	case *sql.CreateStream:
+		schema, err := schemaFromDefs(s.Name, s.Columns, nil)
+		if err != nil {
+			return err
+		}
+		if s.IfNotExists && e.cat.Relation(s.Name) != nil {
+			return nil
+		}
+		_, err = e.cat.CreateStream(schema)
+		return err
+	case *sql.CreateWindow:
+		src, err := e.cat.MustRelation(s.Stream)
+		if err != nil {
+			return err
+		}
+		spec := catalog.WindowSpec{
+			Rows:   s.Spec.Rows,
+			Size:   s.Spec.Size,
+			Slide:  s.Spec.Slide,
+			Source: s.Stream,
+		}
+		if !spec.Rows {
+			ord := src.Schema.ColumnIndex(s.Spec.TimeCol)
+			if ord < 0 {
+				return fmt.Errorf("ee: window %q: unknown time column %q", s.Name, s.Spec.TimeCol)
+			}
+			spec.TimeCol = ord
+		}
+		_, err = e.cat.CreateWindow(s.Name, spec)
+		return err
+	case *sql.CreateIndex:
+		rel, err := e.cat.MustRelation(s.Table)
+		if err != nil {
+			return err
+		}
+		ords := make([]int, 0, len(s.Columns))
+		for _, c := range s.Columns {
+			o := rel.Schema.ColumnIndex(c)
+			if o < 0 {
+				return fmt.Errorf("ee: index %q: unknown column %q", s.Name, c)
+			}
+			ords = append(ords, o)
+		}
+		_, err = rel.Table.CreateIndex(s.Name, ords, s.Unique, true)
+		return err
+	case *sql.CreateTrigger:
+		return fmt.Errorf("ee: CREATE TRIGGER requires a body; use Engine.CreateTrigger")
+	case *sql.Drop:
+		if s.Kind == "TRIGGER" {
+			return e.DropTrigger(s.Name, s.IfExists)
+		}
+		if e.cat.Relation(s.Name) == nil && s.IfExists {
+			return nil
+		}
+		return e.cat.Drop(s.Name)
+	default:
+		return fmt.Errorf("ee: %T is not a DDL statement", stmt)
+	}
+}
+
+// ExecScript runs a semicolon-separated DDL script.
+func (e *Engine) ExecScript(script string) error {
+	stmts, err := sql.ParseScript(script)
+	if err != nil {
+		return err
+	}
+	for _, s := range stmts {
+		if err := e.ExecDDL(s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func schemaFromDefs(name string, defs []sql.ColumnDef, pk []string) (*types.Schema, error) {
+	cols := make([]types.Column, 0, len(defs))
+	for _, d := range defs {
+		c := types.Column{Name: d.Name, Type: d.Type, NotNull: d.NotNull}
+		if d.Default != nil {
+			lit, ok := d.Default.(*sql.Literal)
+			if !ok {
+				return nil, fmt.Errorf("ee: default for %s.%s must be a literal", name, d.Name)
+			}
+			v, err := types.Coerce(lit.Value, d.Type)
+			if err != nil {
+				return nil, err
+			}
+			c.Default = v
+			c.HasDeflt = true
+		}
+		cols = append(cols, c)
+	}
+	return types.NewSchema(name, cols, pk)
+}
+
+// ---------- EE triggers ----------
+
+// CreateTrigger registers an EE trigger: each body statement runs inside
+// the inserting transaction whenever tuples arrive on relation (a stream)
+// or the relation (a window) slides. Bodies may reference the pseudo-
+// relation NEW holding the arriving batch / current window contents.
+func (e *Engine) CreateTrigger(name, relation string, bodies ...string) error {
+	rel, err := e.cat.MustRelation(relation)
+	if err != nil {
+		return err
+	}
+	if rel.Kind == catalog.KindTable {
+		return fmt.Errorf("ee: EE triggers attach to streams or windows, %q is a table", relation)
+	}
+	for _, ts := range e.triggers[strings.ToLower(relation)] {
+		if ts.Name == name {
+			return fmt.Errorf("ee: trigger %q already exists", name)
+		}
+	}
+	tr := &Trigger{Name: name, Relation: rel.Name}
+	transient := map[string]*types.Schema{
+		NewRelation:      rel.Schema,
+		InsertedRelation: rel.Schema,
+		ExpiredRelation:  rel.Schema,
+	}
+	for _, b := range bodies {
+		p, err := e.Prepare(b, transient)
+		if err != nil {
+			return fmt.Errorf("ee: trigger %q body: %w", name, err)
+		}
+		tr.Stmts = append(tr.Stmts, p)
+	}
+	k := strings.ToLower(relation)
+	e.triggers[k] = append(e.triggers[k], tr)
+	return nil
+}
+
+// DropTrigger removes an EE trigger by name.
+func (e *Engine) DropTrigger(name string, ifExists bool) error {
+	for rel, list := range e.triggers {
+		for i, tr := range list {
+			if tr.Name == name {
+				e.triggers[rel] = append(list[:i], list[i+1:]...)
+				return nil
+			}
+		}
+	}
+	if ifExists {
+		return nil
+	}
+	return fmt.Errorf("ee: trigger %q does not exist", name)
+}
+
+// fireTriggers runs every trigger on relation with the NEW / INSERTED /
+// EXPIRED transients bound.
+func (e *Engine) fireTriggers(ctx *ExecCtx, relation string, newRows, inserted, expired []types.Row) error {
+	trs := e.triggers[strings.ToLower(relation)]
+	if len(trs) == 0 || ctx.DisableEETriggers {
+		return nil
+	}
+	if ctx.depth >= e.MaxTriggerDepth {
+		return fmt.Errorf("ee: trigger cascade deeper than %d on %q", e.MaxTriggerDepth, relation)
+	}
+	savedNew := ctx.NewRows
+	savedDepth := ctx.depth
+	ctx.NewRows = map[string][]types.Row{
+		NewRelation:      newRows,
+		InsertedRelation: inserted,
+		ExpiredRelation:  expired,
+	}
+	ctx.depth++
+	defer func() {
+		ctx.NewRows = savedNew
+		ctx.depth = savedDepth
+	}()
+	for _, tr := range trs {
+		for _, p := range tr.Stmts {
+			if _, err := e.Execute(ctx, p); err != nil {
+				return fmt.Errorf("ee: trigger %q: %w", tr.Name, err)
+			}
+		}
+	}
+	return nil
+}
+
+// ---------- relation access helpers ----------
+
+// readRows returns the rows visible for a table access, enforcing window
+// scope on window reads.
+func (e *Engine) readRows(ctx *ExecCtx, access *tableAccess) (*catalog.Relation, error) {
+	if access.transient {
+		return nil, nil
+	}
+	rel, err := e.cat.MustRelation(access.relName)
+	if err != nil {
+		return nil, err
+	}
+	if rel.Kind == catalog.KindWindow {
+		if err := e.checkWindowScope(ctx, rel, false); err != nil {
+			return nil, err
+		}
+	}
+	return rel, nil
+}
+
+// checkWindowScope enforces the paper's "scope of a transaction execution":
+// window state may only be accessed by (consecutive) TEs of the procedure
+// that owns the window. The first procedure to touch a window claims it.
+// Ad-hoc contexts (no procedure) may read but never write.
+func (e *Engine) checkWindowScope(ctx *ExecCtx, rel *catalog.Relation, write bool) error {
+	win := rel.Win
+	if ctx.ProcName == "" {
+		if write {
+			return fmt.Errorf("ee: window %q: writes require the owning procedure (scope violation)", rel.Name)
+		}
+		return nil // monitoring reads allowed
+	}
+	if win.OwnerProc == "" {
+		owner := ctx.ProcName
+		win.OwnerProc = owner
+		if ctx.Undo != nil {
+			ctx.Undo.PushFunc(func() { win.OwnerProc = "" })
+		}
+		return nil
+	}
+	if win.OwnerProc != ctx.ProcName {
+		return fmt.Errorf("ee: window %q is scoped to procedure %q; access from %q violates transaction-execution scope",
+			rel.Name, win.OwnerProc, ctx.ProcName)
+	}
+	return nil
+}
+
+// InsertRows is the uniform write path: tables store rows directly;
+// streams append, drive native windows, fire EE triggers, notify the PE,
+// and garbage-collect; windows admit rows through their slide logic.
+func (e *Engine) InsertRows(ctx *ExecCtx, relName string, rows []types.Row) (int, error) {
+	rel, err := e.cat.MustRelation(relName)
+	if err != nil {
+		return 0, err
+	}
+	switch rel.Kind {
+	case catalog.KindTable:
+		for _, r := range rows {
+			if _, err := rel.Table.Insert(r, ctx.Undo); err != nil {
+				return 0, err
+			}
+		}
+		return len(rows), nil
+	case catalog.KindStream:
+		return e.insertStream(ctx, rel, rows)
+	case catalog.KindWindow:
+		if err := e.checkWindowScope(ctx, rel, true); err != nil {
+			return 0, err
+		}
+		if err := e.admitToWindow(ctx, rel, rows); err != nil {
+			return 0, err
+		}
+		return len(rows), nil
+	}
+	return 0, fmt.Errorf("ee: unknown relation kind for %q", relName)
+}
+
+// insertStream appends a batch to a stream and runs the streaming side
+// effects in a fixed order: (1) store tuples, (2) update windows over the
+// stream, (3) fire EE triggers with NEW = batch, (4) notify the PE layer
+// for PE triggers, (5) GC the tuples unless a PE consumer needs them.
+func (e *Engine) insertStream(ctx *ExecCtx, rel *catalog.Relation, rows []types.Row) (int, error) {
+	validated := make([]types.Row, 0, len(rows))
+	ids := make([]storage.RowID, 0, len(rows))
+	for _, r := range rows {
+		id, err := rel.Table.Insert(r, ctx.Undo)
+		if err != nil {
+			return 0, err
+		}
+		vr, _ := rel.Table.Get(id)
+		validated = append(validated, vr)
+		ids = append(ids, id)
+	}
+	e.met.TuplesIngested.Add(int64(len(rows)))
+
+	if !ctx.DisableEETriggers {
+		for _, w := range e.cat.WindowsOver(rel.Name) {
+			if err := e.admitToWindow(ctx, w, validated); err != nil {
+				return 0, err
+			}
+		}
+	}
+	if err := e.fireTriggers(ctx, rel.Name, validated, validated, nil); err != nil {
+		return 0, err
+	}
+	if ctx.OnStreamInsert != nil {
+		ctx.OnStreamInsert(rel.Name, ids, validated)
+	}
+	if !e.persistent[strings.ToLower(rel.Name)] {
+		// No PE consumer: the batch only existed to drive windows and EE
+		// triggers, so it expires immediately (automatic GC, §2).
+		for _, id := range ids {
+			if err := rel.Table.Delete(id, ctx.Undo); err != nil {
+				return 0, err
+			}
+		}
+		e.met.StreamGCTuples.Add(int64(len(ids)))
+	}
+	return len(rows), nil
+}
+
+// GCStreamRows removes consumed input tuples from a stream; the partition
+// engine calls this inside the consuming TE so consumption and deletion
+// commit atomically.
+func (e *Engine) GCStreamRows(ctx *ExecCtx, stream string, ids []storage.RowID) error {
+	rel, err := e.cat.MustRelation(stream)
+	if err != nil {
+		return err
+	}
+	for _, id := range ids {
+		if err := rel.Table.Delete(id, ctx.Undo); err != nil {
+			return err
+		}
+	}
+	e.met.StreamGCTuples.Add(int64(len(ids)))
+	return nil
+}

@@ -1,0 +1,123 @@
+package ee
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the physical plan of a prepared statement: access paths,
+// join order, grouping, ordering, and DML targets. The format is stable
+// enough for tests to assert on access-path choices.
+func (p *Prepared) Explain() string {
+	var b strings.Builder
+	switch {
+	case p.sel != nil:
+		explainSelect(&b, p.sel, 0)
+	case p.ins != nil:
+		fmt.Fprintf(&b, "INSERT into %s", p.ins.relName)
+		if p.ins.query != nil {
+			b.WriteString(" from query:\n")
+			explainSelect(&b, p.ins.query, 1)
+		} else {
+			fmt.Fprintf(&b, " (%d literal rows)\n", len(p.ins.rows))
+		}
+	case p.upd != nil:
+		fmt.Fprintf(&b, "UPDATE %s (%d assignments)\n", p.upd.relName, len(p.upd.sets))
+		writeIndent(&b, 1)
+		b.WriteString("scan: " + describeAccess(&p.upd.access) + "\n")
+		explainSubs(&b, p.upd.subs, 1)
+	case p.del != nil:
+		fmt.Fprintf(&b, "DELETE from %s\n", p.del.relName)
+		writeIndent(&b, 1)
+		b.WriteString("scan: " + describeAccess(&p.del.access) + "\n")
+		explainSubs(&b, p.del.subs, 1)
+	default:
+		b.WriteString("(empty statement)\n")
+	}
+	return b.String()
+}
+
+func explainSelect(b *strings.Builder, plan *selectPlan, depth int) {
+	writeIndent(b, depth)
+	b.WriteString("SELECT")
+	if plan.distinct {
+		b.WriteString(" DISTINCT")
+	}
+	fmt.Fprintf(b, " (%d output columns)\n", len(plan.projs))
+	writeIndent(b, depth+1)
+	b.WriteString("scan: " + describeAccess(&plan.src.base) + "\n")
+	for _, js := range plan.src.joins {
+		writeIndent(b, depth+1)
+		kind := "join"
+		if js.left {
+			kind = "left join"
+		}
+		fmt.Fprintf(b, "%s: %s\n", kind, describeAccess(&js.access))
+	}
+	if plan.where != nil {
+		writeIndent(b, depth+1)
+		b.WriteString("filter: residual predicate\n")
+	}
+	if plan.grouped {
+		writeIndent(b, depth+1)
+		fmt.Fprintf(b, "aggregate: %d keys, %d aggregates", len(plan.groupKeys), len(plan.aggs))
+		if plan.having != nil {
+			b.WriteString(", having")
+		}
+		b.WriteString("\n")
+	}
+	if len(plan.orderBy) > 0 {
+		writeIndent(b, depth+1)
+		fmt.Fprintf(b, "sort: %d keys\n", len(plan.orderBy))
+	}
+	if plan.limit != nil || plan.offset != nil {
+		writeIndent(b, depth+1)
+		b.WriteString("limit/offset\n")
+	}
+	explainSubs(b, plan.subs, depth+1)
+}
+
+func explainSubs(b *strings.Builder, subs []*selectPlan, depth int) {
+	for i, sub := range subs {
+		writeIndent(b, depth)
+		fmt.Fprintf(b, "subquery %d (materialized once):\n", i)
+		explainSelect(b, sub, depth+1)
+	}
+}
+
+func describeAccess(a *tableAccess) string {
+	if a.transient {
+		return fmt.Sprintf("%s (transient batch)", a.relName)
+	}
+	switch {
+	case a.index != nil && a.eqKey != nil:
+		return fmt.Sprintf("%s via index %s (equality probe)", a.relName, a.index.Name())
+	case a.index != nil:
+		bounds := ""
+		if a.lo != nil && a.hi != nil {
+			bounds = "bounded range"
+		} else if a.lo != nil {
+			bounds = "lower-bounded range"
+		} else {
+			bounds = "upper-bounded range"
+		}
+		return fmt.Sprintf("%s via index %s (%s)", a.relName, a.index.Name(), bounds)
+	default:
+		return fmt.Sprintf("%s (full scan)", a.relName)
+	}
+}
+
+func writeIndent(b *strings.Builder, depth int) {
+	for i := 0; i < depth; i++ {
+		b.WriteString("  ")
+	}
+}
+
+// ExplainSQL prepares a statement and returns its plan description.
+func (e *Engine) ExplainSQL(text string) (string, error) {
+	p, err := e.Prepare(text, nil)
+	if err != nil {
+		return "", err
+	}
+	return p.Explain(), nil
+}

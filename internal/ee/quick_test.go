@@ -1,0 +1,196 @@
+package ee
+
+import (
+	"math/rand"
+	"regexp"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/types"
+)
+
+// TestLikeMatchAgainstRegexpReference checks the hand-written LIKE matcher
+// against a regexp-based reference over random inputs.
+func TestLikeMatchAgainstRegexpReference(t *testing.T) {
+	alphabet := []byte("ab%_")
+	rng := rand.New(rand.NewSource(17))
+	randStr := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(2)] // strings use only a,b
+		}
+		return string(b)
+	}
+	randPat := func(n int) string {
+		b := make([]byte, rng.Intn(n))
+		for i := range b {
+			b[i] = alphabet[rng.Intn(4)]
+		}
+		return string(b)
+	}
+	ref := func(s, pat string) bool {
+		var re strings.Builder
+		re.WriteString("^")
+		for i := 0; i < len(pat); i++ {
+			switch pat[i] {
+			case '%':
+				re.WriteString(".*")
+			case '_':
+				re.WriteString(".")
+			default:
+				re.WriteString(regexp.QuoteMeta(string(pat[i])))
+			}
+		}
+		re.WriteString("$")
+		return regexp.MustCompile(re.String()).MatchString(s)
+	}
+	for i := 0; i < 5000; i++ {
+		s, pat := randStr(8), randPat(8)
+		if got, want := likeMatch(s, pat), ref(s, pat); got != want {
+			t.Fatalf("likeMatch(%q, %q) = %v, reference %v", s, pat, got, want)
+		}
+	}
+}
+
+// TestTupleWindowMatchesModel drives random batch sizes through a tuple
+// window and checks contents against a pure-Go sliding-window model.
+func TestTupleWindowMatchesModel(t *testing.T) {
+	const size, slide = 7, 3
+	e := newTestEngine(t, `
+		CREATE STREAM s (v INT, ts BIGINT);
+		CREATE WINDOW w ON s ROWS 7 SLIDE 3;
+	`)
+	ctx := freshCtx()
+	rng := rand.New(rand.NewSource(23))
+	var model []int64  // window contents
+	var staged []int64 // pending tuples
+	next := int64(0)
+	for round := 0; round < 200; round++ {
+		n := 1 + rng.Intn(5)
+		vals := make([]int64, n)
+		for i := range vals {
+			next++
+			vals[i] = next
+		}
+		pushVals(t, e, ctx, "s", vals...)
+		// Model the same semantics: fill directly to size, then stage and
+		// jump by slide.
+		for _, v := range vals {
+			if len(model) < size && len(staged) == 0 {
+				model = append(model, v)
+				continue
+			}
+			staged = append(staged, v)
+			if len(staged) == slide {
+				model = append(model[slide:], staged...)
+				staged = staged[:0]
+			}
+		}
+		got := winContents(t, e, ctx, "w")
+		if len(got) != len(model) {
+			t.Fatalf("round %d: window %v model %v", round, got, model)
+		}
+		for i := range model {
+			if got[i] != model[i] {
+				t.Fatalf("round %d: window %v model %v", round, got, model)
+			}
+		}
+	}
+}
+
+// TestTimeWindowInvariants: whatever arrives, the window never holds a
+// tuple older than watermark-size, and the watermark is slide-aligned.
+func TestTimeWindowInvariants(t *testing.T) {
+	const size, slide = 100, 10
+	e := newTestEngine(t, `
+		CREATE STREAM g (v INT, ts BIGINT);
+		CREATE WINDOW tw ON g RANGE 100 SLIDE 10 TIMESTAMP ts;
+	`)
+	ctx := freshCtx()
+	rng := rand.New(rand.NewSource(29))
+	base := int64(0)
+	rel := e.Catalog().Relation("tw")
+	for i := 0; i < 500; i++ {
+		base += rng.Int63n(20)
+		ts := base - rng.Int63n(30) // jittered, sometimes out of order
+		if ts < 0 {
+			ts = 0
+		}
+		if _, err := e.InsertRows(ctx, "g", []types.Row{{types.NewInt(int64(i)), types.NewInt(ts)}}); err != nil {
+			t.Fatal(err)
+		}
+		win := rel.Win
+		if win.Watermark%slide != 0 {
+			t.Fatalf("watermark %d not slide-aligned", win.Watermark)
+		}
+		cutoff := win.Watermark - size
+		for _, r := range rel.Table.ScanRows() {
+			if r[1].Int() <= cutoff && win.Watermark > 0 {
+				t.Fatalf("tuple ts=%d older than cutoff %d retained", r[1].Int(), cutoff)
+			}
+		}
+	}
+}
+
+// TestExprThreeValuedProperties uses testing/quick over the comparison
+// operators: for non-null ints, exactly one of <, =, > holds; with any
+// NULL operand, every comparison is NULL.
+func TestExprThreeValuedProperties(t *testing.T) {
+	e := newTestEngine(t, "CREATE TABLE t (a INT, b INT)")
+	ctx := freshCtx()
+	ops := []string{"<", "=", ">"}
+	preps := make([]*Prepared, len(ops))
+	for i, op := range ops {
+		p, err := e.Prepare("SELECT COUNT(*) FROM t WHERE a "+op+" b", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		preps[i] = p
+	}
+	check := func(a, b int8) bool {
+		mustExec(t, e, ctx, "DELETE FROM t")
+		mustExec(t, e, ctx, "INSERT INTO t VALUES (?, ?)", types.NewInt(int64(a)), types.NewInt(int64(b)))
+		holds := 0
+		for _, p := range preps {
+			res, err := e.Execute(ctx, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			holds += int(res.Rows[0][0].Int())
+		}
+		return holds == 1
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+	// NULL operand: no comparison is ever true.
+	mustExec(t, e, ctx, "DELETE FROM t")
+	mustExec(t, e, ctx, "INSERT INTO t VALUES (NULL, 5)")
+	for i, p := range preps {
+		res, err := e.Execute(ctx, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Rows[0][0].Int() != 0 {
+			t.Errorf("NULL %s 5 evaluated true", ops[i])
+		}
+	}
+}
+
+// TestArithmeticIntFloatPromotion: int op int stays int; any float operand
+// promotes, for random operands.
+func TestArithmeticIntFloatPromotion(t *testing.T) {
+	f := func(a, b int16) bool {
+		l, r := types.NewInt(int64(a)), types.NewInt(int64(b))
+		v, err := evalArith("+", l, r)
+		if err != nil || v.Type() != types.TypeInt || v.Int() != int64(a)+int64(b) {
+			return false
+		}
+		vf, err := evalArith("*", types.NewFloat(float64(a)), r)
+		return err == nil && vf.Type() == types.TypeFloat && vf.Float() == float64(a)*float64(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,138 @@
+package ee
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+const subqDDL = `
+	CREATE TABLE emp (id INT PRIMARY KEY, dept INT, salary BIGINT);
+	CREATE TABLE dept (id INT PRIMARY KEY, name VARCHAR, active BOOLEAN);
+`
+
+func seedSubq(t *testing.T, e *Engine, ctx *ExecCtx) {
+	t.Helper()
+	mustExec(t, e, ctx, `INSERT INTO dept VALUES (1, 'eng', TRUE), (2, 'ops', TRUE), (3, 'closed', FALSE)`)
+	mustExec(t, e, ctx, `INSERT INTO emp VALUES
+		(10, 1, 100), (11, 1, 200), (12, 2, 150), (13, 3, 90), (14, NULL, 50)`)
+}
+
+func TestInSubquerySelect(t *testing.T) {
+	e := newTestEngine(t, subqDDL)
+	ctx := freshCtx()
+	seedSubq(t, e, ctx)
+	res := mustExec(t, e, ctx,
+		"SELECT id FROM emp WHERE dept IN (SELECT id FROM dept WHERE active = TRUE) ORDER BY id")
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 10 || res.Rows[2][0].Int() != 12 {
+		t.Fatalf("in-subquery: %v", res.Rows)
+	}
+	// NOT IN excludes matches and NULL dept rows (x = NULL is unknown).
+	res = mustExec(t, e, ctx,
+		"SELECT id FROM emp WHERE dept NOT IN (SELECT id FROM dept WHERE active = TRUE) ORDER BY id")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 13 {
+		t.Fatalf("not-in-subquery: %v", res.Rows)
+	}
+}
+
+func TestInSubqueryNullSemantics(t *testing.T) {
+	e := newTestEngine(t, `
+		CREATE TABLE a (x INT);
+		CREATE TABLE b (y INT);
+	`)
+	ctx := freshCtx()
+	mustExec(t, e, ctx, "INSERT INTO a VALUES (1), (2)")
+	mustExec(t, e, ctx, "INSERT INTO b VALUES (1), (NULL)")
+	// 1 IN (1, NULL) -> true; 2 IN (1, NULL) -> unknown -> filtered.
+	res := mustExec(t, e, ctx, "SELECT x FROM a WHERE x IN (SELECT y FROM b)")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 1 {
+		t.Fatalf("null in-subquery: %v", res.Rows)
+	}
+	// NOT IN with NULL in the set filters everything.
+	res = mustExec(t, e, ctx, "SELECT x FROM a WHERE x NOT IN (SELECT y FROM b)")
+	if len(res.Rows) != 0 {
+		t.Fatalf("not-in with null set: %v", res.Rows)
+	}
+}
+
+func TestInSubqueryUpdateDelete(t *testing.T) {
+	e := newTestEngine(t, subqDDL)
+	ctx := freshCtx()
+	seedSubq(t, e, ctx)
+	res := mustExec(t, e, ctx,
+		"UPDATE emp SET salary = salary + 10 WHERE dept IN (SELECT id FROM dept WHERE name = 'eng')")
+	if res.RowsAffected != 2 {
+		t.Fatalf("update affected %d", res.RowsAffected)
+	}
+	res = mustExec(t, e, ctx, "SELECT salary FROM emp WHERE id = 10")
+	if res.Rows[0][0].Int() != 110 {
+		t.Fatalf("salary: %v", res.Rows)
+	}
+	res = mustExec(t, e, ctx,
+		"DELETE FROM emp WHERE dept IN (SELECT id FROM dept WHERE active = FALSE)")
+	if res.RowsAffected != 1 {
+		t.Fatalf("delete affected %d", res.RowsAffected)
+	}
+}
+
+func TestInSubqueryErrors(t *testing.T) {
+	e := newTestEngine(t, subqDDL)
+	if _, err := e.Prepare("SELECT id FROM emp WHERE dept IN (SELECT id, name FROM dept)", nil); err == nil ||
+		!strings.Contains(err.Error(), "one column") {
+		t.Fatalf("multi-column subquery: %v", err)
+	}
+	if _, err := e.Prepare("INSERT INTO emp VALUES (99, (SELECT id FROM dept), 0)", nil); err == nil {
+		t.Error("scalar subquery in VALUES accepted")
+	}
+	if _, err := e.Prepare("SELECT id FROM emp WHERE dept IN (SELECT id FROM nosuch)", nil); err == nil {
+		t.Error("subquery over missing relation accepted")
+	}
+}
+
+func TestNestedSubquery(t *testing.T) {
+	e := newTestEngine(t, subqDDL+"CREATE TABLE wanted (dept INT);")
+	ctx := freshCtx()
+	seedSubq(t, e, ctx)
+	mustExec(t, e, ctx, "INSERT INTO wanted VALUES (1)")
+	res := mustExec(t, e, ctx, `SELECT id FROM emp WHERE dept IN
+		(SELECT id FROM dept WHERE id IN (SELECT dept FROM wanted)) ORDER BY id`)
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 10 {
+		t.Fatalf("nested: %v", res.Rows)
+	}
+}
+
+func TestSubqueryAgainstTransient(t *testing.T) {
+	// Trigger-style: predicate over the inserted batch.
+	e := newTestEngine(t, `
+		CREATE STREAM s (v INT);
+		CREATE TABLE seen (v INT PRIMARY KEY, hits BIGINT DEFAULT 0);
+	`)
+	ctx := freshCtx()
+	for v := int64(1); v <= 3; v++ {
+		mustExec(t, e, ctx, "INSERT INTO seen (v, hits) VALUES (?, 0)", types.NewInt(v))
+	}
+	if err := e.CreateTrigger("tg", "s",
+		"UPDATE seen SET hits = hits + 1 WHERE v IN (SELECT v FROM new)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.InsertRows(ctx, "s", []types.Row{{types.NewInt(1)}, {types.NewInt(3)}}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, ctx, "SELECT v FROM seen WHERE hits = 1 ORDER BY v")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 1 || res.Rows[1][0].Int() != 3 {
+		t.Fatalf("transient subquery: %v", res.Rows)
+	}
+}
+
+func TestSubqueryInJoinOn(t *testing.T) {
+	e := newTestEngine(t, subqDDL)
+	ctx := freshCtx()
+	seedSubq(t, e, ctx)
+	res := mustExec(t, e, ctx, `SELECT e.id FROM emp e
+		JOIN dept d ON d.id = e.dept AND d.id IN (SELECT id FROM dept WHERE active = TRUE)
+		ORDER BY e.id`)
+	if len(res.Rows) != 3 {
+		t.Fatalf("join-on subquery: %v", res.Rows)
+	}
+}

@@ -1,0 +1,162 @@
+package ee
+
+import (
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// admitToWindow runs a batch of stream tuples through a window's slide
+// logic inside the current transaction. All mutations — backing-table
+// inserts/evictions and the slide bookkeeping — are undo-logged, so an
+// abort restores the exact window state ("partial window state may carry
+// over from one TE to the next" and must survive aborts untouched, §2).
+//
+// Tuple windows (ROWS n SLIDE s): the window fills to n tuples, then
+// advances only in slide-sized steps — arriving tuples stage until s have
+// accumulated, at which point the s oldest tuples expire and the staged
+// ones enter. Time windows (RANGE d SLIDE s over event-time column t):
+// the watermark is the maximum observed event time quantized to s; the
+// window holds tuples with t > watermark − d. EE triggers on the window
+// fire after every slide with NEW bound to the post-slide contents.
+func (e *Engine) admitToWindow(ctx *ExecCtx, rel *catalog.Relation, rows []types.Row) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	win := rel.Win
+	if win == nil {
+		return fmt.Errorf("ee: relation %q is not a window", rel.Name)
+	}
+	if win.Spec.Rows {
+		return e.admitTupleWindow(ctx, rel, rows)
+	}
+	return e.admitTimeWindow(ctx, rel, rows)
+}
+
+// saveWindowMeta pushes an undo closure restoring the slide bookkeeping.
+func saveWindowMeta(ctx *ExecCtx, win *catalog.WindowState) {
+	if ctx.Undo == nil {
+		return
+	}
+	staged := append([]types.Row(nil), win.Staged...)
+	admitted, watermark, slides := win.Admitted, win.Watermark, win.SlideCount
+	ctx.Undo.PushFunc(func() {
+		win.Staged = staged
+		win.Admitted = admitted
+		win.Watermark = watermark
+		win.SlideCount = slides
+	})
+}
+
+func (e *Engine) admitTupleWindow(ctx *ExecCtx, rel *catalog.Relation, rows []types.Row) error {
+	win := rel.Win
+	size, slide := win.Spec.Size, win.Spec.Slide
+	saveWindowMeta(ctx, win)
+	var entered, evicted []types.Row
+	for _, r := range rows {
+		win.Admitted++
+		if int64(rel.Table.Count()) < size && len(win.Staged) == 0 {
+			// Filling phase: tuples enter directly until the window is full.
+			if _, err := rel.Table.Insert(r, ctx.Undo); err != nil {
+				return fmt.Errorf("ee: window %q: %w", rel.Name, err)
+			}
+			entered = append(entered, r)
+			continue
+		}
+		win.Staged = append(win.Staged, r.Clone())
+		if int64(len(win.Staged)) < slide {
+			continue
+		}
+		// Slide: evict the oldest `slide` tuples, admit the staged batch.
+		ev, err := e.evictOldest(ctx, rel, int(slide))
+		if err != nil {
+			return err
+		}
+		evicted = append(evicted, ev...)
+		for _, sr := range win.Staged {
+			if _, err := rel.Table.Insert(sr, ctx.Undo); err != nil {
+				return fmt.Errorf("ee: window %q: %w", rel.Name, err)
+			}
+			entered = append(entered, sr)
+		}
+		win.Staged = win.Staged[:0]
+		win.SlideCount++
+		e.met.WindowSlides.Add(1)
+	}
+	if len(entered) > 0 || len(evicted) > 0 {
+		return e.fireTriggers(ctx, rel.Name, rel.Table.ScanRows(), entered, evicted)
+	}
+	return nil
+}
+
+func (e *Engine) evictOldest(ctx *ExecCtx, rel *catalog.Relation, n int) ([]types.Row, error) {
+	ids := make([]storage.RowID, 0, n)
+	rows := make([]types.Row, 0, n)
+	rel.Table.Scan(func(id storage.RowID, r types.Row) bool {
+		ids = append(ids, id)
+		rows = append(rows, r)
+		return len(ids) < n
+	})
+	for _, id := range ids {
+		if err := rel.Table.Delete(id, ctx.Undo); err != nil {
+			return nil, fmt.Errorf("ee: window %q eviction: %w", rel.Name, err)
+		}
+	}
+	return rows, nil
+}
+
+func (e *Engine) admitTimeWindow(ctx *ExecCtx, rel *catalog.Relation, rows []types.Row) error {
+	win := rel.Win
+	size, slide, tcol := win.Spec.Size, win.Spec.Slide, win.Spec.TimeCol
+	saveWindowMeta(ctx, win)
+	maxTS := win.Watermark
+	var entered []types.Row
+	for _, r := range rows {
+		tv := r[tcol]
+		if tv.IsNull() {
+			return fmt.Errorf("ee: window %q: NULL event time", rel.Name)
+		}
+		ts := tv.Int()
+		if win.Watermark > 0 && ts <= win.Watermark-size {
+			// Tuple is already outside the window: a late arrival. Drop it;
+			// it could never be observed by any query.
+			continue
+		}
+		if _, err := rel.Table.Insert(r, ctx.Undo); err != nil {
+			return fmt.Errorf("ee: window %q: %w", rel.Name, err)
+		}
+		entered = append(entered, r)
+		if ts > maxTS {
+			maxTS = ts
+		}
+	}
+	// Quantize the watermark to slide boundaries so the window advances in
+	// slide-sized jumps.
+	var evictedRows []types.Row
+	newWM := (maxTS / slide) * slide
+	if newWM > win.Watermark {
+		win.Watermark = newWM
+		cutoff := newWM - size
+		var evict []storage.RowID
+		rel.Table.Scan(func(id storage.RowID, r types.Row) bool {
+			if r[tcol].Int() <= cutoff {
+				evict = append(evict, id)
+				evictedRows = append(evictedRows, r)
+			}
+			return true
+		})
+		for _, id := range evict {
+			if err := rel.Table.Delete(id, ctx.Undo); err != nil {
+				return fmt.Errorf("ee: window %q eviction: %w", rel.Name, err)
+			}
+		}
+		win.SlideCount++
+		e.met.WindowSlides.Add(1)
+	}
+	if len(entered) > 0 || len(evictedRows) > 0 {
+		return e.fireTriggers(ctx, rel.Name, rel.Table.ScanRows(), entered, evictedRows)
+	}
+	return nil
+}

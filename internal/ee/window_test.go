@@ -1,0 +1,342 @@
+package ee
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+const streamSchema = `
+	CREATE STREAM s (v INT, ts BIGINT);
+	CREATE WINDOW w10 ON s ROWS 10 SLIDE 5;
+`
+
+func winContents(t *testing.T, e *Engine, ctx *ExecCtx, name string) []int64 {
+	t.Helper()
+	res := mustExec(t, e, ctx, "SELECT v FROM "+name)
+	out := make([]int64, 0, len(res.Rows))
+	for _, r := range res.Rows {
+		out = append(out, r[0].Int())
+	}
+	return out
+}
+
+func pushVals(t *testing.T, e *Engine, ctx *ExecCtx, stream string, vals ...int64) {
+	t.Helper()
+	rows := make([]types.Row, len(vals))
+	for i, v := range vals {
+		rows[i] = types.Row{types.NewInt(v), types.NewInt(v)}
+	}
+	if _, err := e.InsertRows(ctx, stream, rows); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTupleWindowFillAndSlide(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	ctx := freshCtx()
+	// Fill phase: first 10 tuples enter directly.
+	pushVals(t, e, ctx, "s", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	got := winContents(t, e, ctx, "w10")
+	if len(got) != 10 || got[0] != 1 || got[9] != 10 {
+		t.Fatalf("after fill: %v", got)
+	}
+	// Tuples 11..14 stage without sliding.
+	pushVals(t, e, ctx, "s", 11, 12, 13, 14)
+	if got := winContents(t, e, ctx, "w10"); len(got) != 10 || got[9] != 10 {
+		t.Fatalf("staged leak: %v", got)
+	}
+	// 15th triggers the slide: evict 1..5, admit 11..15.
+	pushVals(t, e, ctx, "s", 15)
+	got = winContents(t, e, ctx, "w10")
+	if len(got) != 10 || got[0] != 6 || got[9] != 15 {
+		t.Fatalf("after slide: %v", got)
+	}
+	cat := e.Catalog().Relation("w10")
+	if cat.Win.SlideCount != 1 {
+		t.Errorf("slide count %d", cat.Win.SlideCount)
+	}
+}
+
+func TestTupleWindowBigBatchMultipleSlides(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	ctx := freshCtx()
+	vals := make([]int64, 30)
+	for i := range vals {
+		vals[i] = int64(i + 1)
+	}
+	pushVals(t, e, ctx, "s", vals...)
+	got := winContents(t, e, ctx, "w10")
+	// 30 tuples: fill 1-10, slides at 15,20,25,30 -> window 21..30
+	if len(got) != 10 || got[0] != 21 || got[9] != 30 {
+		t.Fatalf("multi-slide: %v", got)
+	}
+	if e.Catalog().Relation("w10").Win.SlideCount != 4 {
+		t.Errorf("slides = %d", e.Catalog().Relation("w10").Win.SlideCount)
+	}
+}
+
+func TestTimeWindow(t *testing.T) {
+	e := newTestEngine(t, `
+		CREATE STREAM g (v INT, ts BIGINT);
+		CREATE WINDOW tw ON g RANGE 100 SLIDE 10 TIMESTAMP ts;
+	`)
+	ctx := freshCtx()
+	push := func(v, ts int64) {
+		if _, err := e.InsertRows(ctx, "g", []types.Row{{types.NewInt(v), types.NewInt(ts)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := int64(1); i <= 10; i++ {
+		push(i, i*10) // ts 10..100
+	}
+	if got := winContents(t, e, ctx, "tw"); len(got) != 10 {
+		t.Fatalf("time fill: %v", got)
+	}
+	// ts=150: watermark 150, cutoff 50 evicts ts<=50 (5 tuples)
+	push(11, 150)
+	got := winContents(t, e, ctx, "tw")
+	if len(got) != 6 || got[0] != 6 {
+		t.Fatalf("time slide: %v", got)
+	}
+	// Late tuple older than the cutoff is dropped.
+	push(99, 40)
+	if got := winContents(t, e, ctx, "tw"); len(got) != 6 {
+		t.Fatalf("late tuple admitted: %v", got)
+	}
+	// In-window late tuple is admitted.
+	push(55, 120)
+	if got := winContents(t, e, ctx, "tw"); len(got) != 7 {
+		t.Fatalf("in-window late tuple dropped: %v", got)
+	}
+}
+
+func TestWindowAbortRestoresState(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	setup := freshCtx()
+	pushVals(t, e, setup, "s", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12)
+	setup.Undo.Release()
+
+	before := winContents(t, e, freshCtx(), "w10")
+	win := e.Catalog().Relation("w10").Win
+	stagedBefore, admittedBefore := len(win.Staged), win.Admitted
+
+	ctx := freshCtx()
+	pushVals(t, e, ctx, "s", 13, 14, 15, 16, 17, 18) // causes a slide
+	if got := winContents(t, e, ctx, "w10"); got[0] == before[0] {
+		t.Fatal("slide did not happen")
+	}
+	ctx.Undo.Rollback()
+
+	after := winContents(t, e, freshCtx(), "w10")
+	if len(after) != len(before) {
+		t.Fatalf("window size changed: %v -> %v", before, after)
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("window content changed: %v -> %v", before, after)
+		}
+	}
+	if len(win.Staged) != stagedBefore || win.Admitted != admittedBefore {
+		t.Errorf("slide metadata not restored: staged %d->%d admitted %d->%d",
+			stagedBefore, len(win.Staged), admittedBefore, win.Admitted)
+	}
+}
+
+func TestStreamImmediateGC(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	ctx := freshCtx()
+	pushVals(t, e, ctx, "s", 1, 2, 3)
+	// No PE consumer: tuples must be GC'd from the stream immediately.
+	if n := e.Catalog().Relation("s").Table.Count(); n != 0 {
+		t.Errorf("stream retains %d tuples", n)
+	}
+	if got := e.Metrics().StreamGCTuples.Load(); got != 3 {
+		t.Errorf("gc counter = %d", got)
+	}
+}
+
+func TestStreamPersistentForPEConsumer(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	e.MarkStreamPersistent("s")
+	ctx := freshCtx()
+	var gotIDs int
+	ctx.OnStreamInsert = func(stream string, ids []storage.RowID, rows []types.Row) { gotIDs = len(ids) }
+	pushVals(t, e, ctx, "s", 1, 2, 3)
+	if gotIDs != 3 {
+		t.Errorf("OnStreamInsert saw %d ids", gotIDs)
+	}
+	if n := e.Catalog().Relation("s").Table.Count(); n != 3 {
+		t.Errorf("persistent stream GC'd early: %d", n)
+	}
+}
+
+func TestWindowScopeEnforcement(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	fill := freshCtx()
+	fill.ProcName = "sp2"
+	pushVals(t, e, fill, "s", 1, 2, 3)
+
+	// sp2 claimed w10 implicitly through the stream insert path? No — the
+	// claim happens on window access. Read as sp2 claims it.
+	ctx2 := freshCtx()
+	ctx2.ProcName = "sp2"
+	mustExec(t, e, ctx2, "SELECT COUNT(*) FROM w10")
+	if owner := e.Catalog().Relation("w10").Win.OwnerProc; owner != "sp2" {
+		t.Fatalf("owner = %q", owner)
+	}
+	// A different procedure is rejected.
+	ctx3 := freshCtx()
+	ctx3.ProcName = "sp9"
+	if _, err := e.ExecSQL(ctx3, "SELECT COUNT(*) FROM w10"); err == nil {
+		t.Fatal("scope violation not detected")
+	}
+	// Ad-hoc read-only access is allowed (monitoring).
+	adhoc := freshCtx()
+	mustExec(t, e, adhoc, "SELECT COUNT(*) FROM w10")
+	// Ad-hoc writes are not.
+	if _, err := e.InsertRows(adhoc, "w10", []types.Row{{types.NewInt(1), types.NewInt(1)}}); err == nil {
+		t.Fatal("ad-hoc window write accepted")
+	}
+	// Claim rolls back with the transaction.
+	e2 := newTestEngine(t, streamSchema)
+	ctxA := freshCtx()
+	ctxA.ProcName = "spA"
+	mustExec(t, e2, ctxA, "SELECT COUNT(*) FROM w10")
+	ctxA.Undo.Rollback()
+	if owner := e2.Catalog().Relation("w10").Win.OwnerProc; owner != "" {
+		t.Fatalf("claim survived rollback: %q", owner)
+	}
+}
+
+func TestEETriggerChain(t *testing.T) {
+	e := newTestEngine(t, `
+		CREATE STREAM s1 (v INT, ts BIGINT);
+		CREATE STREAM s2 (v INT);
+		CREATE TABLE sink (v INT);
+	`)
+	// s1 -> (trigger) -> s2 -> (trigger) -> sink, all inside one txn.
+	if err := e.CreateTrigger("t1", "s1", "INSERT INTO s2 SELECT v FROM new WHERE v % 2 = 0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTrigger("t2", "s2", "INSERT INTO sink SELECT v FROM new"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := freshCtx()
+	pushVals(t, e, ctx, "s1", 1, 2, 3, 4, 5, 6)
+	res := mustExec(t, e, ctx, "SELECT v FROM sink ORDER BY v")
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 2 || res.Rows[2][0].Int() != 6 {
+		t.Fatalf("trigger chain: %v", res.Rows)
+	}
+	// Whole chain is EE-internal: only the stream-GC machinery ran, so
+	// EEInternal should have counted the two trigger statements.
+	if got := e.Metrics().EEInternal.Load(); got < 2 {
+		t.Errorf("EE-internal statements = %d", got)
+	}
+}
+
+func TestEETriggerOnWindow(t *testing.T) {
+	e := newTestEngine(t, `
+		CREATE STREAM s (v INT, ts BIGINT);
+		CREATE WINDOW w ON s ROWS 3 SLIDE 3;
+		CREATE TABLE agg (total INT);
+	`)
+	// Every time w's contents change, recompute the aggregate.
+	if err := e.CreateTrigger("tw", "w",
+		"DELETE FROM agg",
+		"INSERT INTO agg SELECT SUM(v) FROM new"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := freshCtx()
+	pushVals(t, e, ctx, "s", 1, 2, 3) // fill: window = 1,2,3
+	res := mustExec(t, e, ctx, "SELECT total FROM agg")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 6 {
+		t.Fatalf("fill trigger: %v", res.Rows)
+	}
+	pushVals(t, e, ctx, "s", 4, 5, 6) // slide: window = 4,5,6
+	res = mustExec(t, e, ctx, "SELECT total FROM agg")
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 15 {
+		t.Fatalf("window trigger: %v", res.Rows)
+	}
+}
+
+func TestEETriggerWindowDeltas(t *testing.T) {
+	// Incremental maintenance via the INSERTED / EXPIRED transients.
+	e := newTestEngine(t, `
+		CREATE STREAM s (v INT, ts BIGINT);
+		CREATE WINDOW w ON s ROWS 3 SLIDE 1;
+		CREATE TABLE counts (v INT PRIMARY KEY, n BIGINT DEFAULT 0);
+	`)
+	ctx := freshCtx()
+	for v := int64(1); v <= 9; v++ {
+		mustExec(t, e, ctx, "INSERT INTO counts (v, n) VALUES (?, 0)", types.NewInt(v))
+	}
+	if err := e.CreateTrigger("tw", "w",
+		"UPDATE counts SET n = n + 1 WHERE v IN (SELECT v FROM inserted)",
+		"UPDATE counts SET n = n - 1 WHERE v IN (SELECT v FROM expired)"); err != nil {
+		t.Fatal(err)
+	}
+	pushVals(t, e, ctx, "s", 1, 2, 3, 4, 5) // window = 3,4,5
+	res := mustExec(t, e, ctx, "SELECT v FROM counts WHERE n = 1 ORDER BY v")
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 3 || res.Rows[2][0].Int() != 5 {
+		t.Fatalf("delta maintenance: %v", res.Rows)
+	}
+	// Counts for expired tuples are back to zero, never negative.
+	res = mustExec(t, e, ctx, "SELECT COUNT(*) FROM counts WHERE n < 0")
+	if res.Rows[0][0].Int() != 0 {
+		t.Fatal("negative counts")
+	}
+}
+
+func TestEETriggerCascadeDepthLimit(t *testing.T) {
+	e := newTestEngine(t, "CREATE STREAM loop (v INT)")
+	if err := e.CreateTrigger("t", "loop", "INSERT INTO loop SELECT v + 1 FROM new"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := freshCtx()
+	_, err := e.InsertRows(ctx, "loop", []types.Row{{types.NewInt(1)}})
+	if err == nil || !strings.Contains(err.Error(), "cascade") {
+		t.Fatalf("cascade not bounded: %v", err)
+	}
+}
+
+func TestTriggerManagement(t *testing.T) {
+	e := newTestEngine(t, streamSchema+"CREATE TABLE t (v INT);")
+	if err := e.CreateTrigger("tr", "t", "DELETE FROM t"); err == nil {
+		t.Error("trigger on table accepted")
+	}
+	if err := e.CreateTrigger("tr", "s", "DELETE FROM nope"); err == nil {
+		t.Error("bad body accepted")
+	}
+	if err := e.CreateTrigger("tr", "s", "INSERT INTO s (v, ts) SELECT v, ts FROM new"); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.CreateTrigger("tr", "s", "DELETE FROM s"); err == nil {
+		t.Error("duplicate trigger name accepted")
+	}
+	if err := e.DropTrigger("tr", false); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.DropTrigger("tr", false); err == nil {
+		t.Error("double drop accepted")
+	}
+	if err := e.DropTrigger("tr", true); err != nil {
+		t.Error("drop if exists failed")
+	}
+}
+
+func TestHStoreModeDisablesStreamMachinery(t *testing.T) {
+	e := newTestEngine(t, streamSchema)
+	if err := e.CreateTrigger("t", "s", "INSERT INTO s (v, ts) SELECT v + 100, ts FROM new"); err != nil {
+		t.Fatal(err)
+	}
+	ctx := freshCtx()
+	ctx.DisableEETriggers = true
+	pushVals(t, e, ctx, "s", 1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+	// No window maintenance in H-Store mode.
+	if got := winContents(t, e, ctx, "w10"); len(got) != 0 {
+		t.Fatalf("window maintained in hstore mode: %v", got)
+	}
+}

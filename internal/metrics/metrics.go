@@ -1,0 +1,190 @@
+// Package metrics provides the counters the experiments report: layer
+// round trips (client↔PE, PE↔EE), transaction outcomes, stream/window
+// activity, and latency histograms. Counters are atomic so reporting
+// goroutines can read while the partition engine writes.
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Metrics is one engine's counter set.
+type Metrics struct {
+	// ClientToPE counts client→partition-engine round trips (one per
+	// request that crosses the client boundary). S-Store's push-based
+	// workflows remove the polling and per-stage invocation trips that the
+	// H-Store baseline pays (paper §3.1).
+	ClientToPE atomic.Int64
+	// PEToEE counts statement executions crossing the partition-engine /
+	// execution-engine boundary. Native windowing and EE triggers keep
+	// chained work inside the EE, so S-Store pays fewer crossings.
+	PEToEE atomic.Int64
+	// EEInternal counts statements executed inside the EE by trigger
+	// chaining (no boundary crossing).
+	EEInternal atomic.Int64
+
+	TxnCommitted atomic.Int64
+	TxnAborted   atomic.Int64
+
+	TuplesIngested atomic.Int64
+	BatchesBorder  atomic.Int64 // border (BSP) transaction executions
+	TriggeredTxns  atomic.Int64 // PE-trigger (ISP) transaction executions
+	WindowSlides   atomic.Int64
+	StreamGCTuples atomic.Int64
+
+	LogRecords atomic.Int64
+	LogBytes   atomic.Int64
+
+	latency Histogram
+}
+
+// ObserveLatency records one transaction latency.
+func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.Observe(d) }
+
+// Latency returns the latency histogram.
+func (m *Metrics) Latency() *Histogram { return &m.latency }
+
+// Snapshot is a point-in-time copy of every counter.
+type Snapshot struct {
+	ClientToPE, PEToEE, EEInternal       int64
+	TxnCommitted, TxnAborted             int64
+	TuplesIngested                       int64
+	BatchesBorder, TriggeredTxns         int64
+	WindowSlides, StreamGCTuples         int64
+	LogRecords, LogBytes                 int64
+	LatencyCount                         int64
+	LatencyP50, LatencyP99, LatencyP9999 time.Duration
+}
+
+// Snapshot captures the current counter values.
+func (m *Metrics) Snapshot() Snapshot {
+	return Snapshot{
+		ClientToPE:     m.ClientToPE.Load(),
+		PEToEE:         m.PEToEE.Load(),
+		EEInternal:     m.EEInternal.Load(),
+		TxnCommitted:   m.TxnCommitted.Load(),
+		TxnAborted:     m.TxnAborted.Load(),
+		TuplesIngested: m.TuplesIngested.Load(),
+		BatchesBorder:  m.BatchesBorder.Load(),
+		TriggeredTxns:  m.TriggeredTxns.Load(),
+		WindowSlides:   m.WindowSlides.Load(),
+		StreamGCTuples: m.StreamGCTuples.Load(),
+		LogRecords:     m.LogRecords.Load(),
+		LogBytes:       m.LogBytes.Load(),
+		LatencyCount:   m.latency.Count(),
+		LatencyP50:     m.latency.Quantile(0.50),
+		LatencyP99:     m.latency.Quantile(0.99),
+		LatencyP9999:   m.latency.Quantile(0.9999),
+	}
+}
+
+// Delta returns s - prev, counter-wise (latency quantiles keep s's values).
+func (s Snapshot) Delta(prev Snapshot) Snapshot {
+	d := s
+	d.ClientToPE -= prev.ClientToPE
+	d.PEToEE -= prev.PEToEE
+	d.EEInternal -= prev.EEInternal
+	d.TxnCommitted -= prev.TxnCommitted
+	d.TxnAborted -= prev.TxnAborted
+	d.TuplesIngested -= prev.TuplesIngested
+	d.BatchesBorder -= prev.BatchesBorder
+	d.TriggeredTxns -= prev.TriggeredTxns
+	d.WindowSlides -= prev.WindowSlides
+	d.StreamGCTuples -= prev.StreamGCTuples
+	d.LogRecords -= prev.LogRecords
+	d.LogBytes -= prev.LogBytes
+	d.LatencyCount -= prev.LatencyCount
+	return d
+}
+
+// String renders a compact one-line summary.
+func (s Snapshot) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "txn=%d aborted=%d client->PE=%d PE->EE=%d EE-internal=%d",
+		s.TxnCommitted, s.TxnAborted, s.ClientToPE, s.PEToEE, s.EEInternal)
+	fmt.Fprintf(&b, " ingested=%d slides=%d gc=%d", s.TuplesIngested, s.WindowSlides, s.StreamGCTuples)
+	return b.String()
+}
+
+// Histogram is a concurrency-safe latency histogram with exponential
+// buckets from 1µs to ~17s.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [64]int64
+	count   int64
+	sum     time.Duration
+	samples []time.Duration // reservoir for exact small-n quantiles
+}
+
+const reservoirSize = 4096
+
+// Observe records one sample.
+func (h *Histogram) Observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += d
+	b := bucketOf(d)
+	h.buckets[b]++
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, d)
+	} else {
+		// deterministic-enough replacement keyed by count
+		h.samples[int(h.count)%reservoirSize] = d
+	}
+}
+
+func bucketOf(d time.Duration) int {
+	us := d.Microseconds()
+	b := 0
+	for us > 0 && b < 63 {
+		us >>= 1
+		b++
+	}
+	return b
+}
+
+// Count returns the number of samples observed.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean latency.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Quantile returns the approximate q-quantile (exact while fewer than
+// reservoirSize samples have been observed).
+func (h *Histogram) Quantile(q float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), h.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}

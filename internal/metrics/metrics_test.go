@@ -1,0 +1,90 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSnapshotAndDelta(t *testing.T) {
+	m := &Metrics{}
+	m.ClientToPE.Add(10)
+	m.PEToEE.Add(20)
+	m.TxnCommitted.Add(5)
+	s1 := m.Snapshot()
+	if s1.ClientToPE != 10 || s1.PEToEE != 20 || s1.TxnCommitted != 5 {
+		t.Fatalf("snapshot: %+v", s1)
+	}
+	m.ClientToPE.Add(7)
+	m.TxnAborted.Add(1)
+	d := m.Snapshot().Delta(s1)
+	if d.ClientToPE != 7 || d.TxnAborted != 1 || d.PEToEE != 0 {
+		t.Fatalf("delta: %+v", d)
+	}
+	if !strings.Contains(d.String(), "client->PE=7") {
+		t.Fatalf("String: %s", d.String())
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 1; i <= 100; i++ {
+		h.Observe(time.Duration(i) * time.Millisecond)
+	}
+	if h.Count() != 100 {
+		t.Fatalf("count %d", h.Count())
+	}
+	p50 := h.Quantile(0.50)
+	if p50 < 45*time.Millisecond || p50 > 55*time.Millisecond {
+		t.Fatalf("p50 = %s", p50)
+	}
+	p99 := h.Quantile(0.99)
+	if p99 < 95*time.Millisecond {
+		t.Fatalf("p99 = %s", p99)
+	}
+	mean := h.Mean()
+	if mean < 48*time.Millisecond || mean > 53*time.Millisecond {
+		t.Fatalf("mean = %s", mean)
+	}
+	// Negative durations clamp rather than corrupt.
+	h.Observe(-time.Second)
+	if h.Quantile(0) < 0 {
+		t.Fatal("negative quantile")
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	var h Histogram
+	if h.Quantile(0.5) != 0 || h.Mean() != 0 || h.Count() != 0 {
+		t.Fatal("empty histogram should be zeroed")
+	}
+}
+
+func TestHistogramConcurrentSafety(t *testing.T) {
+	var h Histogram
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				h.Observe(time.Duration(i) * time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if h.Count() != 40000 {
+		t.Fatalf("count %d", h.Count())
+	}
+}
+
+func TestLatencyThroughMetrics(t *testing.T) {
+	m := &Metrics{}
+	m.ObserveLatency(5 * time.Millisecond)
+	m.ObserveLatency(10 * time.Millisecond)
+	s := m.Snapshot()
+	if s.LatencyCount != 2 || s.LatencyP50 == 0 {
+		t.Fatalf("latency snapshot: %+v", s)
+	}
+}

@@ -1,0 +1,775 @@
+package pe
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/ee"
+	"repro/internal/metrics"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// LogMode selects what the commit logger records.
+type LogMode uint8
+
+const (
+	// LogBorderOnly is S-Store's upstream backup: only client inputs
+	// (border batches and OLTP calls) are logged; triggered executions are
+	// re-derived deterministically during replay.
+	LogBorderOnly LogMode = iota
+	// LogAllTEs logs every transaction execution, including PE-triggered
+	// ones. Replay then suppresses PE triggers and replays each TE from the
+	// log. More log volume, less replay computation (the E5 ablation).
+	LogAllTEs
+)
+
+// RecordKind tags command-log records.
+type RecordKind uint8
+
+// Log record kinds.
+const (
+	RecCall RecordKind = iota + 1
+	RecBorder
+	RecTriggered
+)
+
+// LogRecord is one command-log entry: enough to re-execute the client
+// request (or TE, in LogAllTEs mode) deterministically.
+type LogRecord struct {
+	Kind        RecordKind
+	Proc        string
+	Params      []types.Value
+	Batch       []types.Row
+	BatchID     uint64
+	InputStream string
+}
+
+// CommitLogger is the durability hook the partition engine calls at commit
+// time, before acknowledging the client. Implemented by the wal package.
+type CommitLogger interface {
+	LogCommit(rec *LogRecord) error
+}
+
+// Config controls a partition engine instance.
+type Config struct {
+	// Mode selects the admission policy (see SchedulerMode).
+	Mode SchedulerMode
+	// HStoreMode disables the streaming machinery inside transactions (EE
+	// triggers and native window maintenance) and ignores stream bindings —
+	// the naïve baseline of §3.1. Clients must drive workflows themselves.
+	HStoreMode bool
+	// ForceUnsafe permits ModeFIFO even when a workflow's procedures share
+	// writable tables (used only by the scheduler ablation experiments).
+	ForceUnsafe bool
+}
+
+// binding wires a stream to the downstream procedure its tuples feed.
+type binding struct {
+	stream    string
+	proc      *Procedure
+	batchSize int
+}
+
+// Engine is one partition's engine. All transaction executions run serially
+// on the partition goroutine; clients interact through Call / Ingest /
+// Query from any goroutine.
+type Engine struct {
+	ee    *ee.Engine
+	met   *metrics.Metrics
+	cfg   Config
+	sched *scheduler
+
+	procs    map[string]*Procedure
+	bindings map[string]*binding // lowercased stream name -> consumer
+
+	// per-procedure prepared-statement caches; the "batch" transient
+	// relation resolves against the bound input stream's schema.
+	prepMu   sync.Mutex
+	prepared map[string]map[string]*ee.Prepared
+
+	logger  CommitLogger
+	logMode LogMode
+
+	ingestMu    sync.Mutex
+	partial     map[string][]types.Row // border stream -> partial batch
+	nextBatchID uint64
+
+	nextTxnID uint64 // touched only by the partition goroutine / replay
+
+	started atomic.Bool
+	wg      sync.WaitGroup
+
+	// replayQueue collects triggered executions during recovery replay so
+	// they run inline instead of through the (stopped) worker.
+	replayQueue []*txnRequest
+	replaying   bool
+
+	// localTriggered is the partition worker's private queue of PE-
+	// triggered executions (they are produced and consumed by the worker,
+	// so no locking is needed). Used in ModeWorkflowSerial.
+	localTriggered []*txnRequest
+}
+
+// New creates a partition engine over an execution engine.
+func New(exec *ee.Engine, cfg Config) *Engine {
+	return &Engine{
+		ee:       exec,
+		met:      exec.Metrics(),
+		cfg:      cfg,
+		sched:    newScheduler(cfg.Mode),
+		procs:    make(map[string]*Procedure),
+		bindings: make(map[string]*binding),
+		prepared: make(map[string]map[string]*ee.Prepared),
+		partial:  make(map[string][]types.Row),
+	}
+}
+
+// EE exposes the execution engine (used by assembly and tests).
+func (e *Engine) EE() *ee.Engine { return e.ee }
+
+// Metrics returns the shared counter set.
+func (e *Engine) Metrics() *metrics.Metrics { return e.met }
+
+// SetLogger installs the commit logger (must be called before Start).
+func (e *Engine) SetLogger(l CommitLogger, mode LogMode) {
+	e.logger = l
+	e.logMode = mode
+}
+
+// RegisterProcedure adds a stored procedure. Procedures must be registered
+// before Start and before any binding that references them.
+func (e *Engine) RegisterProcedure(p *Procedure) error {
+	if p.Name == "" || p.Handler == nil {
+		return fmt.Errorf("pe: procedure needs a name and a handler")
+	}
+	key := strings.ToLower(p.Name)
+	if _, dup := e.procs[key]; dup {
+		return fmt.Errorf("pe: procedure %q already registered", p.Name)
+	}
+	e.procs[key] = p
+	return nil
+}
+
+// Procedure looks up a registered procedure by name.
+func (e *Engine) Procedure(name string) *Procedure { return e.procs[strings.ToLower(name)] }
+
+// BindStream declares that tuples arriving on stream become input batches
+// of size batchSize for proc — the PE trigger wiring of a workflow edge.
+// Client-fed streams make proc a border procedure (BSP); procedure-fed
+// streams make it interior (ISP). In HStoreMode bindings are rejected:
+// the baseline has no PE triggers.
+func (e *Engine) BindStream(stream, procName string, batchSize int) error {
+	if e.cfg.HStoreMode {
+		return fmt.Errorf("pe: stream bindings are an S-Store feature; engine is in H-Store mode")
+	}
+	p := e.Procedure(procName)
+	if p == nil {
+		return fmt.Errorf("pe: unknown procedure %q", procName)
+	}
+	rel := e.ee.Catalog().Relation(stream)
+	if rel == nil {
+		return fmt.Errorf("pe: unknown stream %q", stream)
+	}
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	key := strings.ToLower(stream)
+	if _, dup := e.bindings[key]; dup {
+		return fmt.Errorf("pe: stream %q already has a consumer", stream)
+	}
+	e.bindings[key] = &binding{stream: rel.Name, proc: p, batchSize: batchSize}
+	e.ee.MarkStreamPersistent(stream)
+	return nil
+}
+
+// Start validates the workflow wiring and launches the partition worker.
+func (e *Engine) Start() error {
+	if e.started.Load() {
+		return fmt.Errorf("pe: already started")
+	}
+	if err := e.validateWorkflows(); err != nil {
+		return err
+	}
+	e.started.Store(true)
+	e.wg.Add(1)
+	go e.worker()
+	return nil
+}
+
+// Stop drains nothing: it closes the queue and waits for the worker.
+func (e *Engine) Stop() {
+	if !e.started.Load() {
+		return
+	}
+	e.sched.close()
+	e.wg.Wait()
+	e.started.Store(false)
+}
+
+// errNotStarted guards the synchronous client entry points: waiting on the
+// worker before Start would deadlock the caller.
+func (e *Engine) errNotStarted() error {
+	if !e.started.Load() {
+		return fmt.Errorf("pe: engine not started (call Start before issuing requests)")
+	}
+	return nil
+}
+
+// validateWorkflows detects shared writable tables among procedures
+// connected by stream bindings. Per the paper such workflows require
+// serial execution of the involved procedures, which ModeWorkflowSerial
+// provides; ModeFIFO is rejected unless ForceUnsafe.
+func (e *Engine) validateWorkflows() error {
+	if e.cfg.Mode == ModeWorkflowSerial || e.cfg.ForceUnsafe {
+		return nil
+	}
+	// Union the procedures reachable through bindings into one component
+	// (fine-grained components are unnecessary: any conflict anywhere is a
+	// rejection).
+	var procs []*Procedure
+	seen := map[string]bool{}
+	for _, b := range e.bindings {
+		if !seen[b.proc.Name] {
+			seen[b.proc.Name] = true
+			procs = append(procs, b.proc)
+		}
+	}
+	sort.Slice(procs, func(i, j int) bool { return procs[i].Name < procs[j].Name })
+	writes := map[string]string{} // table -> writer proc
+	for _, p := range procs {
+		for _, t := range p.WriteSet {
+			writes[strings.ToLower(t)] = p.Name
+		}
+	}
+	for _, p := range procs {
+		for _, t := range append(append([]string{}, p.ReadSet...), p.WriteSet...) {
+			if w, ok := writes[strings.ToLower(t)]; ok && w != p.Name {
+				return fmt.Errorf("pe: workflow procedures %s and %s share writable table %q; "+
+					"ModeFIFO would violate the serial-execution requirement (use ModeWorkflowSerial)",
+					w, p.Name, t)
+			}
+		}
+	}
+	return nil
+}
+
+// worker is the partition goroutine: it executes every transaction
+// serially. Triggered work is goroutine-local (PE triggers fire from this
+// goroutine), and client submissions are fetched in batches, so the
+// shared lock is touched once per burst rather than once per transaction.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	var pending []*txnRequest
+	for {
+		if len(e.localTriggered) > 0 {
+			r := e.localTriggered[0]
+			e.localTriggered = e.localTriggered[1:]
+			e.executeRequest(r)
+			continue
+		}
+		if len(pending) > 0 {
+			r := pending[0]
+			pending = pending[1:]
+			e.executeRequest(r)
+			continue
+		}
+		var ok bool
+		e.localTriggered = e.localTriggered[:0]
+		pending, ok = e.sched.popAll(pending[:0])
+		if !ok {
+			return
+		}
+	}
+}
+
+// ---------- client API ----------
+
+// Call invokes a stored procedure as one OLTP transaction and waits for the
+// result. One client→PE round trip.
+func (e *Engine) Call(proc string, params ...types.Value) (*Result, error) {
+	cr := <-e.CallAsync(proc, params...)
+	return cr.Result, cr.Err
+}
+
+// CallAsync submits an invocation and returns a channel that yields the
+// result; it lets clients pipeline requests (the H-Store baseline driver
+// depends on this to model asynchronous submission).
+func (e *Engine) CallAsync(proc string, params ...types.Value) <-chan CallResult {
+	e.met.ClientToPE.Add(1)
+	done := make(chan CallResult, 1)
+	if err := e.errNotStarted(); err != nil {
+		done <- CallResult{Err: err}
+		return done
+	}
+	p := e.Procedure(proc)
+	if p == nil {
+		done <- CallResult{Err: fmt.Errorf("pe: unknown procedure %q", proc)}
+		return done
+	}
+	r := &txnRequest{kind: reqInvoke, proc: p, params: params, done: done, enqueued: time.Now()}
+	if !e.sched.push(r) {
+		done <- CallResult{Err: fmt.Errorf("pe: engine stopped")}
+	}
+	return done
+}
+
+// Ingest pushes tuples onto a border stream. Tuples accumulate into batches
+// of the bound size; each full batch becomes one border transaction
+// execution, processed in arrival order. One client→PE round trip per call
+// regardless of tuple count — the push-based model's economy.
+func (e *Engine) Ingest(stream string, rows ...types.Row) error {
+	e.met.ClientToPE.Add(1)
+	b := e.bindings[strings.ToLower(stream)]
+	if b == nil {
+		return fmt.Errorf("pe: stream %q has no bound procedure; nothing would consume the tuples", stream)
+	}
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	pend := append(e.partial[b.stream], cloneRows(rows)...)
+	for len(pend) >= b.batchSize {
+		batch := pend[:b.batchSize:b.batchSize]
+		pend = pend[b.batchSize:]
+		e.nextBatchID++
+		r := &txnRequest{
+			kind:        reqBorder,
+			proc:        b.proc,
+			batch:       batch,
+			batchID:     e.nextBatchID,
+			inputStream: b.stream,
+			enqueued:    time.Now(),
+		}
+		if !e.sched.push(r) {
+			return fmt.Errorf("pe: engine stopped")
+		}
+	}
+	e.partial[b.stream] = pend
+	return nil
+}
+
+// FlushBatches dispatches any partial border batches (end of input).
+func (e *Engine) FlushBatches() {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	for stream, pend := range e.partial {
+		if len(pend) == 0 {
+			continue
+		}
+		b := e.bindings[strings.ToLower(stream)]
+		e.nextBatchID++
+		e.sched.push(&txnRequest{
+			kind: reqBorder, proc: b.proc, batch: pend, batchID: e.nextBatchID,
+			inputStream: b.stream, enqueued: time.Now(),
+		})
+		e.partial[stream] = nil
+	}
+}
+
+// Query runs an ad-hoc read-only SQL statement as its own transaction.
+func (e *Engine) Query(sqlText string, params ...types.Value) (*Result, error) {
+	if err := e.errNotStarted(); err != nil {
+		return nil, err
+	}
+	e.met.ClientToPE.Add(1)
+	done := make(chan CallResult, 1)
+	r := &txnRequest{kind: reqQuery, sqlText: sqlText, params: params, done: done, enqueued: time.Now()}
+	if !e.sched.push(r) {
+		return nil, fmt.Errorf("pe: engine stopped")
+	}
+	cr := <-done
+	return cr.Result, cr.Err
+}
+
+// Exec runs an ad-hoc DML statement as its own transaction. Ad-hoc writes
+// are not command-logged — durable state changes belong in stored
+// procedures; Exec exists for setup, tooling, and tests.
+func (e *Engine) Exec(sqlText string, params ...types.Value) (*Result, error) {
+	if err := e.errNotStarted(); err != nil {
+		return nil, err
+	}
+	e.met.ClientToPE.Add(1)
+	done := make(chan CallResult, 1)
+	r := &txnRequest{kind: reqExec, sqlText: sqlText, params: params, done: done, enqueued: time.Now()}
+	if !e.sched.push(r) {
+		return nil, fmt.Errorf("pe: engine stopped")
+	}
+	cr := <-done
+	return cr.Result, cr.Err
+}
+
+// RunExclusive executes fn on the partition goroutine with no transaction
+// running — the quiescent point snapshots are taken at.
+func (e *Engine) RunExclusive(fn func() error) error {
+	if err := e.errNotStarted(); err != nil {
+		return err
+	}
+	done := make(chan CallResult, 1)
+	r := &txnRequest{kind: reqBarrier, fn: fn, done: done}
+	if !e.sched.push(r) {
+		return fmt.Errorf("pe: engine stopped")
+	}
+	cr := <-done
+	return cr.Err
+}
+
+// Drain blocks until every queued request (including transitively triggered
+// ones) has executed. Partial ingest batches are not flushed; call
+// FlushBatches first if the input is complete.
+func (e *Engine) Drain() {
+	e.sched.mu.Lock()
+	e.sched.drainWaiters++
+	for !(len(e.sched.triggered) == 0 && len(e.sched.normal) == 0 && e.sched.idle) {
+		if e.sched.closed {
+			break
+		}
+		e.sched.cond.Wait()
+	}
+	e.sched.drainWaiters--
+	e.sched.mu.Unlock()
+}
+
+func cloneRows(rows []types.Row) []types.Row {
+	out := make([]types.Row, len(rows))
+	for i, r := range rows {
+		out[i] = r.Clone()
+	}
+	return out
+}
+
+// ---------- transaction execution ----------
+
+type emission struct {
+	stream string
+	ids    []storage.RowID
+	rows   []types.Row
+}
+
+// undoPool recycles undo logs across transaction executions; Release keeps
+// the backing arrays, so steady-state execution allocates no undo memory.
+var undoPool = sync.Pool{New: func() any { return storage.NewUndoLog() }}
+
+func (e *Engine) executeRequest(r *txnRequest) {
+	start := time.Now()
+	if r.kind == reqQuery {
+		ectx := &ee.ExecCtx{ReadOnly: true}
+		res, err := e.ee.ExecSQL(ectx, r.sqlText, r.params...)
+		r.respond(res, err)
+		return
+	}
+	if r.kind == reqBarrier {
+		r.respond(nil, r.fn())
+		return
+	}
+	if r.kind == reqExec {
+		undo := undoPool.Get().(*storage.UndoLog)
+		ectx := &ee.ExecCtx{Undo: undo, DisableEETriggers: e.cfg.HStoreMode}
+		res, err := e.ee.ExecSQL(ectx, r.sqlText, r.params...)
+		if err != nil {
+			undo.Rollback()
+			e.met.TxnAborted.Add(1)
+		} else {
+			undo.Release()
+			e.met.TxnCommitted.Add(1)
+		}
+		undoPool.Put(undo)
+		r.respond(res, err)
+		return
+	}
+
+	e.nextTxnID++
+	txnID := e.nextTxnID
+	undo := undoPool.Get().(*storage.UndoLog)
+	defer func() {
+		undo.Release()
+		undoPool.Put(undo)
+	}()
+	var emits []emission
+	ectx := &ee.ExecCtx{
+		Undo:              undo,
+		ProcName:          r.proc.Name,
+		DisableEETriggers: e.cfg.HStoreMode,
+		OnStreamInsert: func(stream string, ids []storage.RowID, rows []types.Row) {
+			for i := range emits {
+				if emits[i].stream == stream {
+					emits[i].ids = append(emits[i].ids, ids...)
+					emits[i].rows = append(emits[i].rows, rows...)
+					return
+				}
+			}
+			emits = append(emits, emission{stream: stream, ids: ids, rows: rows})
+		},
+	}
+	if r.batch != nil {
+		ectx.NewRows = map[string][]types.Row{"batch": r.batch}
+	}
+	pctx := &ProcCtx{
+		pe:      e,
+		ectx:    ectx,
+		Proc:    r.proc,
+		Batch:   r.batch,
+		BatchID: r.batchID,
+		Params:  r.params,
+		TxnID:   txnID,
+	}
+
+	// Border batches pass through their stream relation inside the TE:
+	// this is what drives windows over border streams and EE triggers on
+	// them (uniform state management, §2). The inserted rows are
+	// garbage-collected at commit below — this TE is their consumer — and
+	// the insert must not re-fire this stream's own PE trigger.
+	if r.kind == reqBorder && r.inputStream != "" {
+		saved := ectx.OnStreamInsert
+		ectx.OnStreamInsert = func(stream string, ids []storage.RowID, rows []types.Row) {
+			if stream == r.inputStream {
+				r.gcIDs = append(r.gcIDs, ids...)
+				return
+			}
+			if saved != nil {
+				saved(stream, ids, rows)
+			}
+		}
+		_, err := e.ee.InsertRows(ectx, r.inputStream, r.batch)
+		ectx.OnStreamInsert = saved
+		if err != nil {
+			undo.Rollback()
+			e.met.TxnAborted.Add(1)
+			r.respond(nil, fmt.Errorf("pe: border ingest into %s: %w", r.inputStream, err))
+			return
+		}
+	}
+
+	if err := e.runHandler(r.proc, pctx); err != nil {
+		undo.Rollback()
+		e.met.TxnAborted.Add(1)
+		r.respond(nil, err)
+		return
+	}
+	// Garbage-collect the consumed upstream batch atomically with commit.
+	if len(r.gcIDs) > 0 && r.inputStream != "" {
+		if err := e.ee.GCStreamRows(ectx, r.inputStream, r.gcIDs); err != nil {
+			undo.Rollback()
+			e.met.TxnAborted.Add(1)
+			r.respond(nil, fmt.Errorf("pe: gc of %s: %w", r.inputStream, err))
+			return
+		}
+	}
+	// Durability: the command-log record must be written before the commit
+	// is acknowledged.
+	if err := e.logCommit(r); err != nil {
+		undo.Rollback()
+		e.met.TxnAborted.Add(1)
+		r.respond(nil, fmt.Errorf("pe: command log: %w", err))
+		return
+	}
+	undo.Release()
+	e.met.TxnCommitted.Add(1)
+	switch r.kind {
+	case reqBorder:
+		e.met.BatchesBorder.Add(1)
+	case reqTriggered:
+		e.met.TriggeredTxns.Add(1)
+	}
+	e.met.ObserveLatency(time.Since(start))
+
+	// PE triggers: emitted batches become downstream transaction
+	// executions, enqueued ahead of pending border work (ModeWorkflowSerial)
+	// so the workflow chain for batch b completes before batch b+1 starts.
+	for _, em := range emits {
+		b := e.bindings[strings.ToLower(em.stream)]
+		if b == nil {
+			continue
+		}
+		tr := &txnRequest{
+			kind:        reqTriggered,
+			proc:        b.proc,
+			batch:       em.rows,
+			batchID:     r.batchID,
+			inputStream: em.stream,
+			gcIDs:       em.ids,
+			enqueued:    time.Now(),
+			replay:      r.replay,
+		}
+		switch {
+		case e.replaying:
+			e.replayQueue = append(e.replayQueue, tr)
+		case e.cfg.Mode == ModeWorkflowSerial:
+			e.localTriggered = append(e.localTriggered, tr)
+		default:
+			e.sched.push(tr)
+		}
+	}
+	r.respond(pctx.out, nil)
+}
+
+// runHandler executes the procedure body, converting panics into aborts so
+// a buggy procedure cannot take down the partition.
+func (e *Engine) runHandler(p *Procedure, pctx *ProcCtx) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("pe: procedure %s panicked: %v", p.Name, rec)
+		}
+	}()
+	return p.Handler(pctx)
+}
+
+func (e *Engine) logCommit(r *txnRequest) error {
+	if e.logger == nil || r.replay {
+		return nil
+	}
+	var rec *LogRecord
+	switch r.kind {
+	case reqInvoke:
+		rec = &LogRecord{Kind: RecCall, Proc: r.proc.Name, Params: r.params}
+	case reqBorder:
+		rec = &LogRecord{Kind: RecBorder, Proc: r.proc.Name, Batch: r.batch,
+			BatchID: r.batchID, InputStream: r.inputStream}
+	case reqTriggered:
+		if e.logMode != LogAllTEs {
+			return nil // upstream backup: derived work is not logged
+		}
+		rec = &LogRecord{Kind: RecTriggered, Proc: r.proc.Name, Batch: r.batch,
+			BatchID: r.batchID, InputStream: r.inputStream}
+	default:
+		return nil
+	}
+	return e.logger.LogCommit(rec)
+}
+
+func (r *txnRequest) respond(res *ee.Result, err error) {
+	if r.done == nil {
+		return
+	}
+	if err != nil {
+		r.done <- CallResult{Err: err}
+		return
+	}
+	out := &Result{}
+	if res != nil {
+		out.Columns = res.Columns
+		out.Rows = res.Rows
+		out.RowsAffected = res.RowsAffected
+	}
+	r.done <- CallResult{Result: out}
+}
+
+// prepareForProc prepares a statement in the procedure's namespace, where
+// the transient relation "batch" has the schema of the procedure's bound
+// input stream (when one exists).
+func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, error) {
+	e.prepMu.Lock()
+	cache := e.prepared[p.Name]
+	if cache == nil {
+		cache = make(map[string]*ee.Prepared)
+		e.prepared[p.Name] = cache
+	}
+	if prep, ok := cache[sqlText]; ok {
+		e.prepMu.Unlock()
+		return prep, nil
+	}
+	e.prepMu.Unlock()
+
+	transient := map[string]*types.Schema{}
+	for _, b := range e.bindings {
+		if b.proc == p {
+			if rel := e.ee.Catalog().Relation(b.stream); rel != nil {
+				transient["batch"] = rel.Schema
+			}
+			break
+		}
+	}
+	prep, err := e.ee.Prepare(sqlText, transient)
+	if err != nil {
+		return nil, err
+	}
+	e.prepMu.Lock()
+	e.prepared[p.Name][sqlText] = prep
+	e.prepMu.Unlock()
+	return prep, nil
+}
+
+// ---------- recovery replay ----------
+
+// Replay re-executes one logged record during recovery. The engine must
+// not be started. In LogBorderOnly mode, border records re-derive their
+// triggered descendants inline; in LogAllTEs mode triggered records come
+// from the log and PE triggers are suppressed for upstream records.
+func (e *Engine) Replay(rec *LogRecord) error {
+	if e.started.Load() {
+		return fmt.Errorf("pe: replay requires a stopped engine")
+	}
+	p := e.Procedure(rec.Proc)
+	if p == nil {
+		return fmt.Errorf("pe: replay references unknown procedure %q", rec.Proc)
+	}
+	r := &txnRequest{proc: p, params: rec.Params, batch: rec.Batch,
+		batchID: rec.BatchID, inputStream: rec.InputStream, replay: true,
+		done: make(chan CallResult, 1)}
+	switch rec.Kind {
+	case RecCall:
+		r.kind = reqInvoke
+	case RecBorder:
+		r.kind = reqBorder
+		if rec.BatchID > e.nextBatchID {
+			e.nextBatchID = rec.BatchID
+		}
+	case RecTriggered:
+		r.kind = reqTriggered
+		// In LogAllTEs mode the upstream record's re-run re-inserted the
+		// consumed tuples into the input stream; this TE must GC the
+		// oldest len(batch) of them, as the original execution did.
+		if rec.InputStream != "" {
+			if rel := e.ee.Catalog().Relation(rec.InputStream); rel != nil {
+				need := len(rec.Batch)
+				rel.Table.Scan(func(id storage.RowID, _ types.Row) bool {
+					r.gcIDs = append(r.gcIDs, id)
+					return len(r.gcIDs) < need
+				})
+			}
+		}
+	default:
+		return fmt.Errorf("pe: unknown log record kind %d", rec.Kind)
+	}
+
+	// Collect re-derived descendants locally: they must never reach the
+	// scheduler (the worker is stopped, and in LogAllTEs mode they arrive
+	// as their own log records).
+	suppress := e.logMode == LogAllTEs
+	e.replaying = true
+	e.executeRequest(r)
+	cr := <-r.done
+	if cr.Err != nil {
+		e.replaying = false
+		e.replayQueue = nil
+		return fmt.Errorf("pe: replay of %s: %w", rec.Proc, cr.Err)
+	}
+	if suppress {
+		e.replayQueue = nil
+		e.replaying = false
+		return nil
+	}
+	// Upstream backup: run the derived descendants inline, depth-first in
+	// FIFO order, exactly as ModeWorkflowSerial would have.
+	for len(e.replayQueue) > 0 {
+		next := e.replayQueue[0]
+		e.replayQueue = e.replayQueue[1:]
+		next.done = make(chan CallResult, 1)
+		e.executeRequest(next)
+		if cr := <-next.done; cr.Err != nil {
+			e.replaying = false
+			e.replayQueue = nil
+			return fmt.Errorf("pe: replay of triggered %s: %w", next.proc.Name, cr.Err)
+		}
+	}
+	e.replaying = false
+	return nil
+}
+
+// NextBatchID exposes the border batch counter for snapshots.
+func (e *Engine) NextBatchID() uint64 { return e.nextBatchID }
+
+// SetNextBatchID restores the border batch counter from a snapshot.
+func (e *Engine) SetNextBatchID(v uint64) { e.nextBatchID = v }

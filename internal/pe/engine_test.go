@@ -1,0 +1,479 @@
+package pe
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/ee"
+	"repro/internal/metrics"
+	"repro/internal/types"
+)
+
+func newTestPE(t testing.TB, cfg Config, ddl string) *Engine {
+	t.Helper()
+	ex := ee.New(catalog.New(), &metrics.Metrics{})
+	if err := ex.ExecScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	return New(ex, cfg)
+}
+
+func intRow(vals ...int64) types.Row {
+	r := make(types.Row, len(vals))
+	for i, v := range vals {
+		r[i] = types.NewInt(v)
+	}
+	return r
+}
+
+const counterDDL = `
+	CREATE TABLE counter (id INT PRIMARY KEY, n BIGINT DEFAULT 0);
+	CREATE STREAM in_s (v BIGINT);
+	CREATE STREAM mid_s (v BIGINT);
+	CREATE TABLE log_t (stage VARCHAR, v BIGINT, seq BIGINT);
+`
+
+// registerChain wires in_s -> sp_a -> mid_s -> sp_b, where each stage
+// appends (stage, value, seq) to log_t using a shared sequence counter.
+func registerChain(t testing.TB, e *Engine, batchSize int) {
+	t.Helper()
+	appendLog := func(ctx *ProcCtx, stage string) error {
+		for _, row := range ctx.Batch {
+			res, err := ctx.Exec("SELECT n FROM counter WHERE id = 0")
+			if err != nil {
+				return err
+			}
+			seq := int64(0)
+			if len(res.Rows) == 0 {
+				if _, err := ctx.Exec("INSERT INTO counter (id, n) VALUES (0, 0)"); err != nil {
+					return err
+				}
+			} else {
+				seq = res.Rows[0][0].Int()
+			}
+			if _, err := ctx.Exec("UPDATE counter SET n = n + 1 WHERE id = 0"); err != nil {
+				return err
+			}
+			if _, err := ctx.Exec("INSERT INTO log_t VALUES (?, ?, ?)",
+				types.NewString(stage), row[0], types.NewInt(seq)); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	must(t, e.RegisterProcedure(&Procedure{
+		Name:     "sp_a",
+		ReadSet:  []string{"counter"},
+		WriteSet: []string{"counter", "log_t"},
+		Handler: func(ctx *ProcCtx) error {
+			if err := appendLog(ctx, "a"); err != nil {
+				return err
+			}
+			return ctx.Emit("mid_s", ctx.Batch...)
+		},
+	}))
+	must(t, e.RegisterProcedure(&Procedure{
+		Name:     "sp_b",
+		ReadSet:  []string{"counter"},
+		WriteSet: []string{"counter", "log_t"},
+		Handler: func(ctx *ProcCtx) error {
+			return appendLog(ctx, "b")
+		},
+	}))
+	must(t, e.BindStream("in_s", "sp_a", batchSize))
+	must(t, e.BindStream("mid_s", "sp_b", 1))
+}
+
+func must(t testing.TB, err error) {
+	t.Helper()
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkflowChainOrdering(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	registerChain(t, e, 1)
+	must(t, e.Start())
+	defer e.Stop()
+	for v := int64(1); v <= 5; v++ {
+		must(t, e.Ingest("in_s", intRow(v)))
+	}
+	e.Drain()
+	res, err := e.Query("SELECT stage, v FROM log_t ORDER BY seq")
+	must(t, err)
+	// ModeWorkflowSerial: a(1) b(1) a(2) b(2) ... strictly interleaved.
+	want := []string{"a1", "b1", "a2", "b2", "a3", "b3", "a4", "b4", "a5", "b5"}
+	if len(res.Rows) != len(want) {
+		t.Fatalf("%d rows", len(res.Rows))
+	}
+	for i, r := range res.Rows {
+		got := fmt.Sprintf("%s%d", r[0].Str(), r[1].Int())
+		if got != want[i] {
+			t.Fatalf("position %d: %s want %s (full: %v)", i, got, want[i], res.Rows)
+		}
+	}
+	// Stream tuples consumed by sp_b must be garbage collected.
+	if n, _ := e.Query("SELECT COUNT(*) FROM mid_s"); n.Rows[0][0].Int() != 0 {
+		t.Error("mid_s not GC'd")
+	}
+	if n, _ := e.Query("SELECT COUNT(*) FROM in_s"); n.Rows[0][0].Int() != 0 {
+		t.Error("in_s retained rows (border batches are not stored)")
+	}
+	m := e.Metrics().Snapshot()
+	if m.BatchesBorder != 5 || m.TriggeredTxns != 5 {
+		t.Errorf("border=%d triggered=%d", m.BatchesBorder, m.TriggeredTxns)
+	}
+}
+
+func TestBatchSizeGrouping(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	registerChain(t, e, 3)
+	must(t, e.Start())
+	defer e.Stop()
+	for v := int64(1); v <= 7; v++ { // 7 tuples: two full batches + partial
+		must(t, e.Ingest("in_s", intRow(v)))
+	}
+	e.Drain()
+	if got := e.Metrics().BatchesBorder.Load(); got != 2 {
+		t.Fatalf("border batches = %d, want 2 (partial must wait)", got)
+	}
+	e.FlushBatches()
+	e.Drain()
+	if got := e.Metrics().BatchesBorder.Load(); got != 3 {
+		t.Fatalf("after flush: %d", got)
+	}
+	res, _ := e.Query("SELECT COUNT(*) FROM log_t WHERE stage = 'a'")
+	if res.Rows[0][0].Int() != 7 {
+		t.Fatalf("processed %d tuples", res.Rows[0][0].Int())
+	}
+}
+
+func TestNaturalOrderPreserved(t *testing.T) {
+	// Natural order: TEs of the same procedure execute in batch order even
+	// when ingested from multiple goroutines (arrival order is admission
+	// order).
+	e := newTestPE(t, Config{}, counterDDL)
+	registerChain(t, e, 1)
+	must(t, e.Start())
+	defer e.Stop()
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				_ = e.Ingest("in_s", intRow(int64(g*100+i)))
+			}
+		}(g)
+	}
+	wg.Wait()
+	e.Drain()
+	// Per-source monotonicity: for each goroutine g, its values must appear
+	// in its submission order within stage a.
+	res, _ := e.Query("SELECT v FROM log_t WHERE stage = 'a' ORDER BY seq")
+	lastPer := map[int64]int64{}
+	for _, r := range res.Rows {
+		v := r[0].Int()
+		g := v / 100
+		if prev, ok := lastPer[g]; ok && v <= prev {
+			t.Fatalf("source %d went backwards: %d after %d", g, v, prev)
+		}
+		lastPer[g] = v
+	}
+	if len(res.Rows) != 100 {
+		t.Fatalf("lost tuples: %d", len(res.Rows))
+	}
+}
+
+func TestOLTPCall(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{
+		Name: "bump",
+		Handler: func(ctx *ProcCtx) error {
+			if len(ctx.Params) != 1 {
+				return fmt.Errorf("want 1 param")
+			}
+			if _, err := ctx.Exec("INSERT INTO counter (id, n) VALUES (?, 1)", ctx.Params[0]); err != nil {
+				// exists: bump
+				_, err = ctx.Exec("UPDATE counter SET n = n + 1 WHERE id = ?", ctx.Params[0])
+				return err
+			}
+			return nil
+		},
+	}))
+	must(t, e.Start())
+	defer e.Stop()
+	for i := 0; i < 5; i++ {
+		if _, err := e.Call("bump", types.NewInt(7)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	res, _ := e.Query("SELECT n FROM counter WHERE id = 7")
+	if res.Rows[0][0].Int() != 5 {
+		t.Fatalf("n = %v", res.Rows)
+	}
+	if _, err := e.Call("nosuch"); err == nil {
+		t.Error("unknown procedure accepted")
+	}
+}
+
+func TestAbortRollsBackEverything(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{
+		Name: "half",
+		Handler: func(ctx *ProcCtx) error {
+			if _, err := ctx.Exec("INSERT INTO counter (id, n) VALUES (1, 1)"); err != nil {
+				return err
+			}
+			if err := ctx.Emit("mid_s", intRow(42)); err != nil {
+				return err
+			}
+			return ctx.Abort("changed my mind")
+		},
+	}))
+	must(t, e.RegisterProcedure(&Procedure{
+		Name:    "sink",
+		Handler: func(ctx *ProcCtx) error { return nil },
+	}))
+	must(t, e.BindStream("mid_s", "sink", 1))
+	must(t, e.Start())
+	defer e.Stop()
+	if _, err := e.Call("half"); err == nil || !strings.Contains(err.Error(), "changed my mind") {
+		t.Fatalf("err = %v", err)
+	}
+	res, _ := e.Query("SELECT COUNT(*) FROM counter")
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("aborted insert visible")
+	}
+	res, _ = e.Query("SELECT COUNT(*) FROM mid_s")
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("aborted emission visible")
+	}
+	e.Drain()
+	// Crucially: no downstream TE fired for the aborted emission.
+	if got := e.Metrics().TriggeredTxns.Load(); got != 0 {
+		t.Errorf("aborted TE triggered %d downstream txns", got)
+	}
+	if e.Metrics().TxnAborted.Load() != 1 {
+		t.Error("abort not counted")
+	}
+}
+
+func TestPanicBecomesAbort(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{
+		Name: "boom",
+		Handler: func(ctx *ProcCtx) error {
+			_, _ = ctx.Exec("INSERT INTO counter (id, n) VALUES (9, 9)")
+			panic("kaboom")
+		},
+	}))
+	must(t, e.Start())
+	defer e.Stop()
+	if _, err := e.Call("boom"); err == nil || !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("err = %v", err)
+	}
+	res, _ := e.Query("SELECT COUNT(*) FROM counter")
+	if res.Rows[0][0].Int() != 0 {
+		t.Error("panic left partial state")
+	}
+	// Engine still works.
+	if _, err := e.Query("SELECT COUNT(*) FROM counter"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBatchVisibleToSQL(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{
+		Name: "sql_batch",
+		Handler: func(ctx *ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO log_t SELECT 'x', v, 0 FROM batch WHERE v % 2 = 0")
+			return err
+		},
+	}))
+	must(t, e.BindStream("in_s", "sql_batch", 4))
+	must(t, e.Start())
+	defer e.Stop()
+	must(t, e.Ingest("in_s", intRow(1), intRow(2), intRow(3), intRow(4)))
+	e.Drain()
+	res, _ := e.Query("SELECT v FROM log_t ORDER BY v")
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 2 || res.Rows[1][0].Int() != 4 {
+		t.Fatalf("batch SQL: %v", res.Rows)
+	}
+}
+
+func TestFIFOModeRejectsSharedTables(t *testing.T) {
+	e := newTestPE(t, Config{Mode: ModeFIFO}, counterDDL)
+	registerChain(t, e, 1)
+	if err := e.Start(); err == nil || !strings.Contains(err.Error(), "share writable table") {
+		t.Fatalf("expected shared-table rejection, got %v", err)
+	}
+	// ForceUnsafe permits it (for the ablation).
+	e2 := newTestPE(t, Config{Mode: ModeFIFO, ForceUnsafe: true}, counterDDL)
+	registerChain(t, e2, 1)
+	must(t, e2.Start())
+	e2.Stop()
+}
+
+func TestHStoreModeRejectsBindings(t *testing.T) {
+	e := newTestPE(t, Config{HStoreMode: true}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{Name: "p", Handler: func(*ProcCtx) error { return nil }}))
+	if err := e.BindStream("in_s", "p", 1); err == nil {
+		t.Fatal("H-Store mode accepted a PE trigger binding")
+	}
+}
+
+func TestIngestUnboundStreamFails(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.Start())
+	defer e.Stop()
+	if err := e.Ingest("in_s", intRow(1)); err == nil {
+		t.Fatal("ingest into unbound stream accepted")
+	}
+}
+
+func TestRegistrationErrors(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	if err := e.RegisterProcedure(&Procedure{Name: ""}); err == nil {
+		t.Error("empty procedure accepted")
+	}
+	must(t, e.RegisterProcedure(&Procedure{Name: "p", Handler: func(*ProcCtx) error { return nil }}))
+	if err := e.RegisterProcedure(&Procedure{Name: "P", Handler: func(*ProcCtx) error { return nil }}); err == nil {
+		t.Error("duplicate (case-insensitive) accepted")
+	}
+	if err := e.BindStream("nosuch", "p", 1); err == nil {
+		t.Error("binding unknown stream accepted")
+	}
+	if err := e.BindStream("in_s", "nosuch", 1); err == nil {
+		t.Error("binding unknown proc accepted")
+	}
+	must(t, e.BindStream("in_s", "p", 1))
+	if err := e.BindStream("in_s", "p", 1); err == nil {
+		t.Error("double binding accepted")
+	}
+}
+
+func TestReplayRebuildState(t *testing.T) {
+	// Execute a workflow live with an in-memory logger, then replay the
+	// records into a fresh engine and compare final states.
+	var records []*LogRecord
+	logger := loggerFunc(func(rec *LogRecord) error {
+		records = append(records, cloneRecord(rec))
+		return nil
+	})
+
+	build := func() *Engine {
+		e := newTestPE(t, Config{}, counterDDL)
+		registerChain(t, e, 2)
+		return e
+	}
+	live := build()
+	live.SetLogger(logger, LogBorderOnly)
+	must(t, live.Start())
+	for v := int64(1); v <= 6; v++ {
+		must(t, live.Ingest("in_s", intRow(v)))
+	}
+	live.Drain()
+	wantLog, _ := live.Query("SELECT stage, v, seq FROM log_t ORDER BY seq")
+	live.Stop()
+
+	// Only border records should be logged in upstream-backup mode.
+	for _, r := range records {
+		if r.Kind != RecBorder {
+			t.Fatalf("unexpected record kind %d in LogBorderOnly", r.Kind)
+		}
+	}
+	if len(records) != 3 {
+		t.Fatalf("%d border records, want 3", len(records))
+	}
+
+	re := build()
+	for _, rec := range records {
+		must(t, re.Replay(rec))
+	}
+	gotLog, err := queryStopped(re, "SELECT stage, v, seq FROM log_t ORDER BY seq")
+	must(t, err)
+	if len(gotLog.Rows) != len(wantLog.Rows) {
+		t.Fatalf("replayed %d rows want %d", len(gotLog.Rows), len(wantLog.Rows))
+	}
+	for i := range gotLog.Rows {
+		if !gotLog.Rows[i].Equal(wantLog.Rows[i]) {
+			t.Fatalf("row %d: %v want %v", i, gotLog.Rows[i], wantLog.Rows[i])
+		}
+	}
+	if re.NextBatchID() != 3 {
+		t.Errorf("batch counter not restored: %d", re.NextBatchID())
+	}
+}
+
+func TestReplayAllTEsMode(t *testing.T) {
+	var records []*LogRecord
+	logger := loggerFunc(func(rec *LogRecord) error {
+		records = append(records, cloneRecord(rec))
+		return nil
+	})
+	build := func() *Engine {
+		e := newTestPE(t, Config{}, counterDDL)
+		registerChain(t, e, 1)
+		return e
+	}
+	live := build()
+	live.SetLogger(logger, LogAllTEs)
+	must(t, live.Start())
+	for v := int64(1); v <= 4; v++ {
+		must(t, live.Ingest("in_s", intRow(v)))
+	}
+	live.Drain()
+	want, _ := live.Query("SELECT stage, v, seq FROM log_t ORDER BY seq")
+	live.Stop()
+
+	// Both border and triggered records present.
+	kinds := map[RecordKind]int{}
+	for _, r := range records {
+		kinds[r.Kind]++
+	}
+	if kinds[RecBorder] != 4 || kinds[RecTriggered] != 4 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+
+	re := build()
+	re.SetLogger(nil, LogAllTEs) // mode matters for replay semantics
+	re.logMode = LogAllTEs
+	for _, rec := range records {
+		must(t, re.Replay(rec))
+	}
+	got, err := queryStopped(re, "SELECT stage, v, seq FROM log_t ORDER BY seq")
+	must(t, err)
+	if len(got.Rows) != len(want.Rows) {
+		t.Fatalf("replayed %d rows want %d", len(got.Rows), len(want.Rows))
+	}
+	for i := range got.Rows {
+		if !got.Rows[i].Equal(want.Rows[i]) {
+			t.Fatalf("row %d: %v want %v", i, got.Rows[i], want.Rows[i])
+		}
+	}
+}
+
+// queryStopped runs a read-only query directly against a stopped engine.
+func queryStopped(e *Engine, sqlText string) (*ee.Result, error) {
+	return e.ee.ExecSQL(&ee.ExecCtx{ReadOnly: true}, sqlText)
+}
+
+type loggerFunc func(rec *LogRecord) error
+
+func (f loggerFunc) LogCommit(rec *LogRecord) error { return f(rec) }
+
+func cloneRecord(rec *LogRecord) *LogRecord {
+	c := *rec
+	c.Params = append([]types.Value(nil), rec.Params...)
+	c.Batch = make([]types.Row, len(rec.Batch))
+	for i, r := range rec.Batch {
+		c.Batch[i] = r.Clone()
+	}
+	return &c
+}

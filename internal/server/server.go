@@ -1,0 +1,162 @@
+// Package server exposes a Store over TCP using the wire protocol. Each
+// connection is served by one goroutine that decodes frames, dispatches to
+// the partition engine, and streams responses back in request order —
+// clients may pipeline.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/wire"
+)
+
+// Server accepts wire-protocol connections for a Store.
+type Server struct {
+	st *core.Store
+	ln net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+	wg     sync.WaitGroup
+
+	// Logf receives connection-level errors; defaults to log.Printf.
+	Logf func(format string, args ...any)
+}
+
+// New creates a server for the store (which must already be Started).
+func New(st *core.Store) *Server {
+	return &Server{st: st, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
+}
+
+// Listen binds addr (e.g. "127.0.0.1:7477") and begins accepting.
+func (s *Server) Listen(addr string) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return fmt.Errorf("server: %w", err)
+	}
+	s.ln = ln
+	s.wg.Add(1)
+	go s.acceptLoop()
+	return nil
+}
+
+// Addr returns the bound address (useful with port 0).
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Close stops accepting and closes every connection.
+func (s *Server) Close() {
+	s.mu.Lock()
+	s.closed = true
+	if s.ln != nil {
+		_ = s.ln.Close()
+	}
+	for c := range s.conns {
+		_ = c.Close()
+	}
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+func (s *Server) acceptLoop() {
+	defer s.wg.Done()
+	for {
+		conn, err := s.ln.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			_ = conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serve(conn)
+	}
+}
+
+func (s *Server) serve(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		_ = conn.Close()
+	}()
+	for {
+		payload, err := wire.ReadFrame(conn)
+		if err != nil {
+			if !errors.Is(err, io.EOF) && !errors.Is(err, net.ErrClosed) && !errors.Is(err, io.ErrUnexpectedEOF) {
+				s.Logf("server: read: %v", err)
+			}
+			return
+		}
+		req, err := wire.DecodeRequest(payload)
+		if err != nil {
+			s.Logf("server: bad frame: %v", err)
+			return
+		}
+		resp := s.dispatch(req)
+		if err := wire.WriteFrame(conn, wire.EncodeResponse(resp)); err != nil {
+			s.Logf("server: write: %v", err)
+			return
+		}
+	}
+}
+
+func (s *Server) dispatch(req *wire.Request) *wire.Response {
+	fail := func(err error) *wire.Response {
+		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}
+	}
+	switch req.Kind {
+	case wire.MsgPing:
+		return &wire.Response{Kind: wire.MsgPong}
+	case wire.MsgCall:
+		res, err := s.st.Call(req.Target, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	case wire.MsgIngest:
+		if err := s.st.Ingest(req.Target, req.Rows...); err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, RowsAffected: int64(len(req.Rows))}
+	case wire.MsgQuery:
+		res, err := s.st.Query(req.Target, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	case wire.MsgFlush:
+		s.st.FlushBatches()
+		s.st.Drain()
+		return &wire.Response{Kind: wire.MsgResult}
+	case wire.MsgExplain:
+		plan, err := s.st.Explain(req.Target)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: []string{"plan"},
+			Rows: []types.Row{{types.NewString(plan)}}}
+	default:
+		return fail(fmt.Errorf("server: unknown message kind %d", req.Kind))
+	}
+}

@@ -1,0 +1,184 @@
+package server
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+func newServer(t *testing.T) (*Server, *core.Store) {
+	t.Helper()
+	st := core.Open(core.Config{})
+	if err := st.ExecScript(`
+		CREATE TABLE kv (k INT PRIMARY KEY, v VARCHAR);
+		CREATE STREAM feed (k INT, v VARCHAR);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name: "put",
+		Handler: func(ctx *pe.ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO kv VALUES (?, ?)", ctx.Params[0], ctx.Params[1])
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name: "absorb",
+		Handler: func(ctx *pe.ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO kv SELECT k, v FROM batch")
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindStream("feed", "absorb", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	srv.Logf = t.Logf
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Stop() })
+	return srv, st
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Call("put", types.NewInt(1), types.NewString("hello")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query("SELECT v FROM kv WHERE k = ?", types.NewInt(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].Str() != "hello" {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+	// Errors arrive as responses, not dropped connections.
+	if _, err := c.Call("nosuch"); err == nil || !strings.Contains(err.Error(), "unknown procedure") {
+		t.Fatalf("err = %v", err)
+	}
+	// The connection still works after a server-side error.
+	if err := c.Ping(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPIngestAndFlush(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for i := 0; i < 5; i++ {
+		if err := c.Ingest("feed", types.Row{types.NewInt(int64(100 + i)), types.NewString("s")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := c.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows[0][0].Int() != 5 {
+		t.Fatalf("ingested rows: %v", resp.Rows)
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv, _ := newServer(t)
+	var wg sync.WaitGroup
+	errs := make(chan error, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			c, err := client.DialTCP(srv.Addr())
+			if err != nil {
+				errs <- err
+				return
+			}
+			defer c.Close()
+			for i := 0; i < 20; i++ {
+				k := int64(g*1000 + i)
+				if _, err := c.Call("put", types.NewInt(k), types.NewString("x")); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+	c, _ := client.DialTCP(srv.Addr())
+	defer c.Close()
+	resp, err := c.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows[0][0].Int() != 160 {
+		t.Fatalf("count: %v", resp.Rows)
+	}
+}
+
+func TestLoopbackConn(t *testing.T) {
+	_, st := newServer(t)
+	lb := &client.Loopback{St: st}
+	if _, err := lb.Call("put", types.NewInt(9), types.NewString("lb")); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := lb.Query("SELECT v FROM kv WHERE k = 9")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows[0][0].Str() != "lb" {
+		t.Fatalf("rows: %v", resp.Rows)
+	}
+	if err := lb.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExplainOverTCP(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	plan, err := c.Explain("SELECT v FROM kv WHERE k = 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "kv_pkey") || !strings.Contains(plan, "equality probe") {
+		t.Fatalf("plan: %s", plan)
+	}
+	if _, err := c.Explain("SELECT nope FROM kv"); err == nil {
+		t.Fatal("bad explain accepted")
+	}
+}

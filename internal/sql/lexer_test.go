@@ -1,0 +1,65 @@
+package sql
+
+import "testing"
+
+func TestLexBasics(t *testing.T) {
+	toks, err := Lex("SELECT a, b2 FROM t WHERE x >= 1.5 AND y != 'it''s' -- comment\n LIMIT ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []struct {
+		kind TokenKind
+		text string
+	}{
+		{TokKeyword, "SELECT"}, {TokIdent, "a"}, {TokSym, ","}, {TokIdent, "b2"},
+		{TokKeyword, "FROM"}, {TokIdent, "t"}, {TokKeyword, "WHERE"},
+		{TokIdent, "x"}, {TokSym, ">="}, {TokFloat, "1.5"}, {TokKeyword, "AND"},
+		{TokIdent, "y"}, {TokSym, "!="}, {TokString, "it's"},
+		{TokKeyword, "LIMIT"}, {TokParam, "?"}, {TokEOF, ""},
+	}
+	if len(toks) != len(want) {
+		t.Fatalf("got %d tokens want %d: %v", len(toks), len(want), toks)
+	}
+	for i, w := range want {
+		if toks[i].Kind != w.kind || toks[i].Text != w.text {
+			t.Errorf("token %d = {%d %q}, want {%d %q}", i, toks[i].Kind, toks[i].Text, w.kind, w.text)
+		}
+	}
+}
+
+func TestLexNumbers(t *testing.T) {
+	toks, err := Lex("1 2.5 .5 1e3 2.5E-2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []TokenKind{TokInt, TokFloat, TokFloat, TokFloat, TokFloat}
+	for i, k := range kinds {
+		if toks[i].Kind != k {
+			t.Errorf("token %d (%q) kind=%d want %d", i, toks[i].Text, toks[i].Kind, k)
+		}
+	}
+	if _, err := Lex("1e"); err == nil {
+		t.Error("malformed exponent accepted")
+	}
+}
+
+func TestLexErrors(t *testing.T) {
+	if _, err := Lex("'unterminated"); err == nil {
+		t.Error("unterminated string accepted")
+	}
+	if _, err := Lex("a @ b"); err == nil {
+		t.Error("bad character accepted")
+	}
+}
+
+func TestLexKeywordCaseInsensitive(t *testing.T) {
+	toks, err := Lex("select Select SELECT sEleCt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if toks[i].Kind != TokKeyword || toks[i].Text != "SELECT" {
+			t.Errorf("token %d = %v", i, toks[i])
+		}
+	}
+}

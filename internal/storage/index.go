@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// Index maps key tuples (a projection of the row) to RowIDs. Two physical
+// layouts exist behind the same API: a hash index (point lookups only) and
+// an ordered skiplist index (point + range scans). Unique indexes hold at
+// most one RowID per key.
+type Index struct {
+	name    string
+	cols    []int
+	unique  bool
+	ordered bool
+
+	hash map[uint64][]hashEntry // hash layout
+	sl   *skiplist              // ordered layout
+	size int
+}
+
+type hashEntry struct {
+	key types.Row
+	ids []RowID
+}
+
+func newIndex(name string, cols []int, unique, ordered bool) *Index {
+	ix := &Index{name: name, cols: append([]int(nil), cols...), unique: unique, ordered: ordered}
+	if ordered {
+		ix.sl = newSkiplist()
+	} else {
+		ix.hash = make(map[uint64][]hashEntry)
+	}
+	return ix
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Columns returns the indexed column ordinals.
+func (ix *Index) Columns() []int { return append([]int(nil), ix.cols...) }
+
+// Unique reports whether the index enforces key uniqueness.
+func (ix *Index) Unique() bool { return ix.unique }
+
+// Ordered reports whether the index supports range scans.
+func (ix *Index) Ordered() bool { return ix.ordered }
+
+// Len returns the number of (key, RowID) pairs in the index.
+func (ix *Index) Len() int { return ix.size }
+
+func (ix *Index) insert(key types.Row, id RowID) error {
+	if ix.ordered {
+		if err := ix.sl.insert(key, id, ix.unique); err != nil {
+			return fmt.Errorf("index %q: %w", ix.name, err)
+		}
+		ix.size++
+		return nil
+	}
+	h := key.Hash()
+	bucket := ix.hash[h]
+	for i := range bucket {
+		if bucket[i].key.Equal(key) {
+			if ix.unique {
+				return fmt.Errorf("index %q: duplicate key %v", ix.name, key)
+			}
+			bucket[i].ids = append(bucket[i].ids, id)
+			ix.hash[h] = bucket
+			ix.size++
+			return nil
+		}
+	}
+	ix.hash[h] = append(bucket, hashEntry{key: key.Clone(), ids: []RowID{id}})
+	ix.size++
+	return nil
+}
+
+func (ix *Index) remove(key types.Row, id RowID) {
+	if ix.ordered {
+		if ix.sl.remove(key, id) {
+			ix.size--
+		}
+		return
+	}
+	h := key.Hash()
+	bucket := ix.hash[h]
+	for i := range bucket {
+		if !bucket[i].key.Equal(key) {
+			continue
+		}
+		ids := bucket[i].ids
+		for j, got := range ids {
+			if got == id {
+				ids[j] = ids[len(ids)-1]
+				ids = ids[:len(ids)-1]
+				ix.size--
+				break
+			}
+		}
+		if len(ids) == 0 {
+			bucket[i] = bucket[len(bucket)-1]
+			bucket = bucket[:len(bucket)-1]
+		} else {
+			bucket[i].ids = ids
+		}
+		if len(bucket) == 0 {
+			delete(ix.hash, h)
+		} else {
+			ix.hash[h] = bucket
+		}
+		return
+	}
+}
+
+// Lookup returns the RowIDs stored under exactly key. The second result
+// reports whether the key exists.
+func (ix *Index) Lookup(key types.Row) ([]RowID, bool) {
+	if ix.ordered {
+		ids := ix.sl.lookup(key)
+		return ids, len(ids) > 0
+	}
+	for _, e := range ix.hash[key.Hash()] {
+		if e.key.Equal(key) {
+			return append([]RowID(nil), e.ids...), true
+		}
+	}
+	return nil, false
+}
+
+// LookupUnique returns the single RowID for key on a unique index.
+func (ix *Index) LookupUnique(key types.Row) (RowID, bool) {
+	ids, ok := ix.Lookup(key)
+	if !ok || len(ids) == 0 {
+		return 0, false
+	}
+	return ids[0], true
+}
+
+// Range iterates (key, id) pairs with lo <= key <= hi in key order.
+// A nil bound is unbounded on that side. Requires an ordered index.
+func (ix *Index) Range(lo, hi types.Row, fn func(key types.Row, id RowID) bool) error {
+	if !ix.ordered {
+		return fmt.Errorf("index %q: range scan on hash index", ix.name)
+	}
+	ix.sl.scan(lo, hi, fn)
+	return nil
+}

@@ -1,0 +1,149 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// skiplist is the ordered index layout: keys sorted by types.Row.Compare,
+// each key holding the set of RowIDs indexed under it. A deterministic
+// xorshift generator drives level assignment so index shape (and therefore
+// benchmarks) are reproducible run to run.
+const maxLevel = 24
+
+type slNode struct {
+	key  types.Row
+	ids  []RowID
+	next [maxLevel]*slNode
+}
+
+type skiplist struct {
+	head   *slNode
+	level  int
+	length int // distinct keys
+	rng    uint64
+}
+
+func newSkiplist() *skiplist {
+	return &skiplist{head: &slNode{}, level: 1, rng: 0x9E3779B97F4A7C15}
+}
+
+func (s *skiplist) randLevel() int {
+	// xorshift64*; take one level per set low bit pair (p = 1/4 per level).
+	x := s.rng
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	s.rng = x
+	x *= 0x2545F4914F6CDD1D
+	lvl := 1
+	for lvl < maxLevel && x&3 == 0 {
+		lvl++
+		x >>= 2
+	}
+	return lvl
+}
+
+// findPredecessors fills update with the rightmost node at each level whose
+// key is strictly less than key, returning the candidate node (which may or
+// may not match key).
+func (s *skiplist) findPredecessors(key types.Row, update *[maxLevel]*slNode) *slNode {
+	x := s.head
+	for i := s.level - 1; i >= 0; i-- {
+		for x.next[i] != nil && x.next[i].key.Compare(key) < 0 {
+			x = x.next[i]
+		}
+		update[i] = x
+	}
+	return x.next[0]
+}
+
+func (s *skiplist) insert(key types.Row, id RowID, unique bool) error {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand != nil && cand.key.Compare(key) == 0 {
+		if unique {
+			return fmt.Errorf("duplicate key %v", key)
+		}
+		cand.ids = append(cand.ids, id)
+		return nil
+	}
+	lvl := s.randLevel()
+	if lvl > s.level {
+		for i := s.level; i < lvl; i++ {
+			update[i] = s.head
+		}
+		s.level = lvl
+	}
+	n := &slNode{key: key.Clone(), ids: []RowID{id}}
+	for i := 0; i < lvl; i++ {
+		n.next[i] = update[i].next[i]
+		update[i].next[i] = n
+	}
+	s.length++
+	return nil
+}
+
+func (s *skiplist) remove(key types.Row, id RowID) bool {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand == nil || cand.key.Compare(key) != 0 {
+		return false
+	}
+	removed := false
+	for j, got := range cand.ids {
+		if got == id {
+			cand.ids[j] = cand.ids[len(cand.ids)-1]
+			cand.ids = cand.ids[:len(cand.ids)-1]
+			removed = true
+			break
+		}
+	}
+	if !removed {
+		return false
+	}
+	if len(cand.ids) == 0 {
+		for i := 0; i < s.level; i++ {
+			if update[i].next[i] == cand {
+				update[i].next[i] = cand.next[i]
+			}
+		}
+		for s.level > 1 && s.head.next[s.level-1] == nil {
+			s.level--
+		}
+		s.length--
+	}
+	return true
+}
+
+func (s *skiplist) lookup(key types.Row) []RowID {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand != nil && cand.key.Compare(key) == 0 {
+		return append([]RowID(nil), cand.ids...)
+	}
+	return nil
+}
+
+// scan visits keys in [lo, hi] (nil = unbounded) in ascending order.
+func (s *skiplist) scan(lo, hi types.Row, fn func(key types.Row, id RowID) bool) {
+	var x *slNode
+	if lo == nil {
+		x = s.head.next[0]
+	} else {
+		var update [maxLevel]*slNode
+		x = s.findPredecessors(lo, &update)
+	}
+	for x != nil {
+		if hi != nil && x.key.Compare(hi) > 0 {
+			return
+		}
+		for _, id := range x.ids {
+			if !fn(x.key, id) {
+				return
+			}
+		}
+		x = x.next[0]
+	}
+}

@@ -1,0 +1,133 @@
+package storage
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func intKey(i int64) types.Row { return types.Row{types.NewInt(i)} }
+
+func TestSkiplistInsertLookupRemove(t *testing.T) {
+	sl := newSkiplist()
+	for i := int64(0); i < 100; i++ {
+		if err := sl.insert(intKey(i), RowID(i+1), true); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if sl.length != 100 {
+		t.Fatalf("length %d", sl.length)
+	}
+	if err := sl.insert(intKey(50), 999, true); err == nil {
+		t.Fatal("unique violation accepted")
+	}
+	if ids := sl.lookup(intKey(50)); len(ids) != 1 || ids[0] != 51 {
+		t.Fatalf("lookup: %v", ids)
+	}
+	if !sl.remove(intKey(50), 51) {
+		t.Fatal("remove failed")
+	}
+	if sl.remove(intKey(50), 51) {
+		t.Fatal("double remove succeeded")
+	}
+	if ids := sl.lookup(intKey(50)); ids != nil {
+		t.Fatal("lookup after remove")
+	}
+}
+
+func TestSkiplistDuplicateKeysNonUnique(t *testing.T) {
+	sl := newSkiplist()
+	for i := 0; i < 5; i++ {
+		if err := sl.insert(intKey(7), RowID(i+1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if ids := sl.lookup(intKey(7)); len(ids) != 5 {
+		t.Fatalf("dup ids: %v", ids)
+	}
+	if sl.length != 1 {
+		t.Fatalf("distinct keys: %d", sl.length)
+	}
+	// remove one id at a time; wrong id is a no-op
+	if sl.remove(intKey(7), 99) {
+		t.Fatal("removed phantom id")
+	}
+	for i := 0; i < 5; i++ {
+		if !sl.remove(intKey(7), RowID(i+1)) {
+			t.Fatal("remove")
+		}
+	}
+	if sl.length != 0 {
+		t.Fatal("key not drained")
+	}
+}
+
+// TestSkiplistMatchesSortedSlice is a property test: after a random mix of
+// inserts and deletes, a full scan must equal the sorted model exactly.
+func TestSkiplistMatchesSortedSlice(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sl := newSkiplist()
+	model := map[int64]bool{}
+	for step := 0; step < 20000; step++ {
+		k := rng.Int63n(500)
+		if model[k] {
+			if !sl.remove(intKey(k), RowID(k+1)) {
+				t.Fatalf("step %d: remove %d failed", step, k)
+			}
+			delete(model, k)
+		} else {
+			if err := sl.insert(intKey(k), RowID(k+1), true); err != nil {
+				t.Fatalf("step %d: insert %d: %v", step, k, err)
+			}
+			model[k] = true
+		}
+	}
+	want := make([]int64, 0, len(model))
+	for k := range model {
+		want = append(want, k)
+	}
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	var got []int64
+	sl.scan(nil, nil, func(k types.Row, _ RowID) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	if len(got) != len(want) {
+		t.Fatalf("scan %d keys want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("position %d: %d want %d", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSkiplistBoundedScan(t *testing.T) {
+	sl := newSkiplist()
+	for i := int64(0); i < 100; i += 2 { // evens only
+		_ = sl.insert(intKey(i), RowID(i+1), true)
+	}
+	var got []int64
+	// lo falls between keys; hi is exact
+	sl.scan(intKey(13), intKey(20), func(k types.Row, _ RowID) bool {
+		got = append(got, k[0].Int())
+		return true
+	})
+	want := []int64{14, 16, 18, 20}
+	if len(got) != len(want) {
+		t.Fatalf("got %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("got %v", got)
+		}
+	}
+	// early stop
+	n := 0
+	sl.scan(nil, nil, func(types.Row, RowID) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop n=%d", n)
+	}
+}

@@ -1,0 +1,319 @@
+// Package storage implements the in-memory storage engine: row-store
+// tables with insertion-ordered scans, hash and ordered secondary indexes,
+// primary-key and unique constraints, and per-transaction undo logs that
+// give the engine physical atomicity.
+//
+// Tables are not internally synchronized: the partition engine executes
+// transactions serially (H-Store style), so at most one writer touches a
+// table at any instant. Read-only snapshot helpers copy out data.
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/types"
+)
+
+// RowID identifies a live row within one table. IDs are assigned
+// monotonically and never reused, so scanning in RowID order equals
+// insertion order — the property streams rely on for FIFO batches.
+type RowID uint64
+
+// rowSlot is one entry of the table heap. Dead slots are tombstoned and
+// reclaimed by compaction once they outnumber live ones.
+type rowSlot struct {
+	id   RowID
+	row  types.Row
+	dead bool
+}
+
+// Table is an in-memory row store with attached indexes.
+type Table struct {
+	name    string
+	schema  *types.Schema
+	slots   []rowSlot
+	byID    map[RowID]int // RowID -> slot position
+	nextID  RowID
+	dead    int
+	indexes []*Index
+	pk      *Index // non-nil when the schema declares a primary key
+	// needSort is set when an undo restore re-inserted a row out of RowID
+	// order; Scan re-sorts lazily so iteration always follows insertion
+	// (RowID) order — the FIFO property streams and windows depend on.
+	needSort bool
+}
+
+// NewTable creates an empty table. When the schema has a primary key, a
+// unique ordered index named "<table>_pkey" is created automatically.
+func NewTable(schema *types.Schema) *Table {
+	t := &Table{
+		name:   schema.Name(),
+		schema: schema,
+		byID:   make(map[RowID]int),
+		nextID: 1,
+	}
+	if schema.HasPrimaryKey() {
+		pk, err := t.CreateIndex(schema.Name()+"_pkey", schema.PrimaryKey(), true, true)
+		if err != nil {
+			panic("storage: fresh table cannot fail pk creation: " + err.Error())
+		}
+		t.pk = pk
+	}
+	return t
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *types.Schema { return t.schema }
+
+// Count returns the number of live rows.
+func (t *Table) Count() int { return len(t.byID) }
+
+// PrimaryIndex returns the primary-key index, or nil for keyless tables.
+func (t *Table) PrimaryIndex() *Index { return t.pk }
+
+// Indexes returns all indexes on the table.
+func (t *Table) Indexes() []*Index { return append([]*Index(nil), t.indexes...) }
+
+// IndexByName finds an index by name, or nil.
+func (t *Table) IndexByName(name string) *Index {
+	for _, ix := range t.indexes {
+		if ix.Name() == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// CreateIndex builds an index over the given column ordinals and backfills
+// it from existing rows. ordered selects a skiplist (range-scannable) index;
+// otherwise a hash index is built. Unique indexes reject duplicate keys.
+func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Index, error) {
+	for _, ix := range t.indexes {
+		if ix.Name() == name {
+			return nil, fmt.Errorf("storage: index %q already exists on %s", name, t.name)
+		}
+	}
+	for _, c := range cols {
+		if c < 0 || c >= t.schema.NumColumns() {
+			return nil, fmt.Errorf("storage: index %q references column %d outside schema of %s", name, c, t.name)
+		}
+	}
+	ix := newIndex(name, cols, unique, ordered)
+	for _, s := range t.slots {
+		if s.dead {
+			continue
+		}
+		if err := ix.insert(s.row.Key(cols), s.id); err != nil {
+			return nil, fmt.Errorf("storage: backfilling %q: %w", name, err)
+		}
+	}
+	t.indexes = append(t.indexes, ix)
+	return ix, nil
+}
+
+// Get returns the row stored under id. The returned row must be treated as
+// immutable; callers that mutate must Clone first.
+func (t *Table) Get(id RowID) (types.Row, bool) {
+	pos, ok := t.byID[id]
+	if !ok {
+		return nil, false
+	}
+	return t.slots[pos].row, true
+}
+
+// Insert validates the row against the schema, assigns a RowID, and updates
+// every index. When undo is non-nil a compensating delete is recorded.
+func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
+	validated, err := t.schema.ValidateRow(row)
+	if err != nil {
+		return 0, err
+	}
+	// Check unique constraints before touching any state so a failed insert
+	// leaves the table untouched.
+	for _, ix := range t.indexes {
+		if ix.unique {
+			if _, exists := ix.Lookup(validated.Key(ix.cols)); exists {
+				return 0, fmt.Errorf("storage: %s: duplicate key %v for unique index %q",
+					t.name, validated.Key(ix.cols), ix.Name())
+			}
+		}
+	}
+	id := t.nextID
+	t.nextID++
+	t.byID[id] = len(t.slots)
+	t.slots = append(t.slots, rowSlot{id: id, row: validated})
+	for _, ix := range t.indexes {
+		if err := ix.insert(validated.Key(ix.cols), id); err != nil {
+			panic("storage: index insert failed after uniqueness pre-check: " + err.Error())
+		}
+	}
+	if undo != nil {
+		undo.push(undoEntry{table: t, kind: undoInsert, id: id})
+	}
+	return id, nil
+}
+
+// Delete removes the row under id from the heap and all indexes. When undo
+// is non-nil a compensating insert (restoring the same RowID) is recorded.
+func (t *Table) Delete(id RowID, undo *UndoLog) error {
+	pos, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("storage: %s: delete of missing row %d", t.name, id)
+	}
+	row := t.slots[pos].row
+	for _, ix := range t.indexes {
+		ix.remove(row.Key(ix.cols), id)
+	}
+	t.slots[pos].dead = true
+	t.slots[pos].row = nil
+	delete(t.byID, id)
+	t.dead++
+	if undo != nil {
+		undo.push(undoEntry{table: t, kind: undoDelete, id: id, row: row})
+	}
+	t.maybeCompact()
+	return nil
+}
+
+// Update replaces the row under id, revalidating and reindexing. When undo
+// is non-nil a compensating update restoring the old image is recorded.
+func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
+	pos, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("storage: %s: update of missing row %d", t.name, id)
+	}
+	validated, err := t.schema.ValidateRow(newRow)
+	if err != nil {
+		return err
+	}
+	old := t.slots[pos].row
+	// Uniqueness pre-check, ignoring our own entry.
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		newKey := validated.Key(ix.cols)
+		if newKey.Equal(old.Key(ix.cols)) {
+			continue
+		}
+		if _, exists := ix.Lookup(newKey); exists {
+			return fmt.Errorf("storage: %s: duplicate key %v for unique index %q",
+				t.name, newKey, ix.Name())
+		}
+	}
+	for _, ix := range t.indexes {
+		oldKey, newKey := old.Key(ix.cols), validated.Key(ix.cols)
+		if oldKey.Equal(newKey) {
+			continue
+		}
+		ix.remove(oldKey, id)
+		if err := ix.insert(newKey, id); err != nil {
+			panic("storage: index update failed after uniqueness pre-check: " + err.Error())
+		}
+	}
+	t.slots[pos].row = validated
+	if undo != nil {
+		undo.push(undoEntry{table: t, kind: undoUpdate, id: id, row: old})
+	}
+	return nil
+}
+
+// restoreInsert re-inserts a previously deleted row under its original
+// RowID; used only by undo (the uniqueness invariant held before the
+// deletion, so it holds again).
+func (t *Table) restoreInsert(id RowID, row types.Row) {
+	if _, ok := t.byID[id]; ok {
+		panic(fmt.Sprintf("storage: %s: undo restore collides with live row %d", t.name, id))
+	}
+	if n := len(t.slots); n > 0 && t.slots[n-1].id > id {
+		t.needSort = true
+	}
+	t.byID[id] = len(t.slots)
+	t.slots = append(t.slots, rowSlot{id: id, row: row})
+	for _, ix := range t.indexes {
+		if err := ix.insert(row.Key(ix.cols), id); err != nil {
+			panic("storage: undo restore violated index invariant: " + err.Error())
+		}
+	}
+	if id >= t.nextID {
+		t.nextID = id + 1
+	}
+}
+
+// Scan iterates live rows in insertion (RowID) order. The callback returns
+// false to stop early. The callback must not mutate the table.
+func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
+	if t.needSort {
+		t.sortSlots()
+	}
+	for i := range t.slots {
+		if t.slots[i].dead {
+			continue
+		}
+		if !fn(t.slots[i].id, t.slots[i].row) {
+			return
+		}
+	}
+}
+
+// ScanRows returns all live rows in insertion order (copied slice headers;
+// rows themselves are shared and must not be mutated).
+func (t *Table) ScanRows() []types.Row {
+	out := make([]types.Row, 0, len(t.byID))
+	t.Scan(func(_ RowID, r types.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// Truncate removes every row. When undo is non-nil each removal is
+// undoable.
+func (t *Table) Truncate(undo *UndoLog) {
+	ids := make([]RowID, 0, len(t.byID))
+	t.Scan(func(id RowID, _ types.Row) bool { ids = append(ids, id); return true })
+	for _, id := range ids {
+		if err := t.Delete(id, undo); err != nil {
+			panic("storage: truncate delete of live row failed: " + err.Error())
+		}
+	}
+}
+
+// sortSlots restores RowID order after undo restores appended rows out of
+// order. It also drops tombstones while it is at it.
+func (t *Table) sortSlots() {
+	live := make([]rowSlot, 0, len(t.byID))
+	for _, s := range t.slots {
+		if !s.dead {
+			live = append(live, s)
+		}
+	}
+	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
+	for i, s := range live {
+		t.byID[s.id] = i
+	}
+	t.slots = live
+	t.dead = 0
+	t.needSort = false
+}
+
+// maybeCompact rewrites the slot array once tombstones dominate, keeping
+// scans O(live).
+func (t *Table) maybeCompact() {
+	if t.dead < 64 || t.dead <= len(t.slots)/2 {
+		return
+	}
+	live := make([]rowSlot, 0, len(t.byID))
+	for _, s := range t.slots {
+		if !s.dead {
+			t.byID[s.id] = len(live)
+			live = append(live, s)
+		}
+	}
+	t.slots = live
+	t.dead = 0
+}

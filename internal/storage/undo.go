@@ -1,0 +1,91 @@
+package storage
+
+import "repro/internal/types"
+
+// UndoLog collects the inverse of every mutation a transaction performs so
+// an abort can restore the exact pre-transaction physical state (rows keep
+// their RowIDs across rollback, which keeps streams' FIFO order stable).
+//
+// The log is value-based (before-images), not operation-based, so rollback
+// cannot fail: every compensating action restores state that existed when
+// the forward action ran.
+type UndoLog struct {
+	entries []undoEntry
+	marks   []int // savepoint stack (indexes into entries)
+}
+
+type undoKind uint8
+
+const (
+	undoInsert undoKind = iota // forward op was Insert -> undo deletes
+	undoDelete                 // forward op was Delete -> undo re-inserts
+	undoUpdate                 // forward op was Update -> undo restores image
+	undoFunc                   // forward op was engine metadata -> undo runs closure
+)
+
+type undoEntry struct {
+	table *Table
+	kind  undoKind
+	id    RowID
+	row   types.Row // before-image for delete/update
+	fn    func()    // compensating closure (undoFunc)
+}
+
+// NewUndoLog returns an empty undo log.
+func NewUndoLog() *UndoLog { return &UndoLog{} }
+
+func (u *UndoLog) push(e undoEntry) { u.entries = append(u.entries, e) }
+
+// PushFunc records an arbitrary compensating closure. The engine uses this
+// for non-table state that must roll back with the transaction (window
+// slide positions, stream watermarks). The closure must not fail.
+func (u *UndoLog) PushFunc(fn func()) { u.push(undoEntry{kind: undoFunc, fn: fn}) }
+
+// Len returns the number of recorded compensating actions.
+func (u *UndoLog) Len() int { return len(u.entries) }
+
+// Mark pushes a savepoint and returns its token.
+func (u *UndoLog) Mark() int {
+	u.marks = append(u.marks, len(u.entries))
+	return len(u.entries)
+}
+
+// RollbackTo undoes every action recorded after the savepoint token.
+func (u *UndoLog) RollbackTo(mark int) {
+	for len(u.entries) > mark {
+		e := u.entries[len(u.entries)-1]
+		u.entries = u.entries[:len(u.entries)-1]
+		e.apply()
+	}
+	for len(u.marks) > 0 && u.marks[len(u.marks)-1] >= mark {
+		u.marks = u.marks[:len(u.marks)-1]
+	}
+}
+
+// Rollback undoes everything, newest first, leaving the log empty.
+func (u *UndoLog) Rollback() { u.RollbackTo(0) }
+
+// Release discards the log after a successful commit.
+func (u *UndoLog) Release() {
+	u.entries = u.entries[:0]
+	u.marks = u.marks[:0]
+}
+
+func (e undoEntry) apply() {
+	switch e.kind {
+	case undoInsert:
+		// The row was inserted by this txn; nothing else could have removed
+		// it under serial execution.
+		if err := e.table.Delete(e.id, nil); err != nil {
+			panic("storage: undo of insert failed: " + err.Error())
+		}
+	case undoDelete:
+		e.table.restoreInsert(e.id, e.row)
+	case undoUpdate:
+		if err := e.table.Update(e.id, e.row, nil); err != nil {
+			panic("storage: undo of update failed: " + err.Error())
+		}
+	case undoFunc:
+		e.fn()
+	}
+}

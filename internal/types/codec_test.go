@@ -1,0 +1,92 @@
+package types
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestValueCodecRoundTrip(t *testing.T) {
+	vals := []Value{
+		Null, NewBool(true), NewBool(false),
+		NewInt(0), NewInt(-1), NewInt(math.MaxInt64), NewInt(math.MinInt64),
+		NewFloat(0), NewFloat(-2.5), NewFloat(math.Inf(1)),
+		NewString(""), NewString("hello"), NewString("O'Neil — naïve"),
+		NewTimestamp(0), NewTimestamp(1 << 40),
+	}
+	for _, v := range vals {
+		buf := EncodeValue(nil, v)
+		got, rest, err := DecodeValue(buf)
+		if err != nil {
+			t.Fatalf("decode %v: %v", v, err)
+		}
+		if len(rest) != 0 {
+			t.Errorf("decode %v left %d bytes", v, len(rest))
+		}
+		if got.Type() != v.Type() || !got.Equal(v) {
+			t.Errorf("round trip %v -> %v", v, got)
+		}
+	}
+	// NaN round-trips by bit pattern.
+	got, _, err := DecodeValue(EncodeValue(nil, NewFloat(math.NaN())))
+	if err != nil || !math.IsNaN(got.Float()) {
+		t.Errorf("NaN round trip failed: %v %v", got, err)
+	}
+}
+
+func TestRowCodecRoundTripRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 500; i++ {
+		r := make(Row, rng.Intn(8))
+		for j := range r {
+			r[j] = randomValue(rng)
+		}
+		got, rest, err := DecodeRow(EncodeRow(nil, r))
+		if err != nil {
+			t.Fatalf("decode: %v", err)
+		}
+		if len(rest) != 0 {
+			t.Fatalf("leftover bytes")
+		}
+		if len(got) != len(r) {
+			t.Fatalf("arity %d != %d", len(got), len(r))
+		}
+		for j := range r {
+			// NaN compares equal under storage order.
+			if r[j].Compare(got[j]) != 0 {
+				t.Fatalf("row %v -> %v", r, got)
+			}
+		}
+	}
+}
+
+func TestRowsCodec(t *testing.T) {
+	rows := []Row{
+		{NewInt(1), NewString("a")},
+		{NewInt(2), NewString("b")},
+		{},
+	}
+	got, rest, err := DecodeRows(EncodeRows(nil, rows))
+	if err != nil || len(rest) != 0 {
+		t.Fatalf("DecodeRows: %v rest=%d", err, len(rest))
+	}
+	if len(got) != 3 || !got[0].Equal(rows[0]) || !got[1].Equal(rows[1]) || len(got[2]) != 0 {
+		t.Errorf("rows round trip mismatch: %v", got)
+	}
+}
+
+func TestCodecCorruption(t *testing.T) {
+	buf := EncodeRow(nil, Row{NewInt(5), NewString("abc")})
+	for cut := 0; cut < len(buf); cut++ {
+		if _, _, err := DecodeRow(buf[:cut]); err == nil {
+			t.Errorf("truncation at %d not detected", cut)
+		}
+	}
+	if _, _, err := DecodeValue([]byte{0xFF}); err == nil {
+		t.Error("unknown tag not detected")
+	}
+	// Absurd arity must not allocate/loop.
+	if _, _, err := DecodeRow([]byte{0xFF, 0xFF, 0xFF, 0xFF, 0x7F}); err == nil {
+		t.Error("absurd arity not detected")
+	}
+}

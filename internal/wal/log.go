@@ -1,0 +1,154 @@
+// Package wal implements H-Store-style durability for the engine: a
+// command log of client requests (upstream backup for streaming workflows,
+// §2) plus periodic full snapshots. Recovery loads the latest snapshot and
+// replays the log suffix through the partition engine; because execution is
+// serial and procedures are deterministic, replay reconstructs the exact
+// pre-crash state.
+package wal
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// SyncPolicy controls when the log file is fsync'd.
+type SyncPolicy uint8
+
+// Sync policies.
+const (
+	// SyncNever leaves flushing to the OS (fastest, weakest).
+	SyncNever SyncPolicy = iota
+	// SyncEveryRecord fsyncs after each append (group commit would batch
+	// this in a multi-client deployment; our partition is serial anyway).
+	SyncEveryRecord
+)
+
+// Log is an append-only record log. Each record is framed as
+// [len u32][crc32 u32][lsn u64][payload] with the CRC covering lsn+payload;
+// a torn tail is detected and ignored at read time, which is exactly the
+// semantics command logging needs (the interrupted transaction never
+// acked, so dropping it is correct). Carrying the LSN in the frame makes
+// replay robust to a crash between snapshot-write and log-truncate: stale
+// records are recognizable by LSN and skipped.
+type Log struct {
+	f      *os.File
+	path   string
+	lsn    uint64 // last assigned LSN
+	policy SyncPolicy
+	buf    []byte
+}
+
+// OpenLog opens (creating if needed) the log at path and positions for
+// appending. startLSN is the LSN of the last record already in the file
+// (use ScanLog to discover it).
+func OpenLog(path string, startLSN uint64, policy SyncPolicy) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open log: %w", err)
+	}
+	return &Log{f: f, path: path, lsn: startLSN, policy: policy}, nil
+}
+
+// Append writes one record and returns its LSN.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	lsn := l.lsn + 1
+	l.buf = l.buf[:0]
+	var lsnB [8]byte
+	binary.LittleEndian.PutUint64(lsnB[:], lsn)
+	crc := crc32.NewIEEE()
+	crc.Write(lsnB[:])
+	crc.Write(payload)
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(8+len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:8], crc.Sum32())
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, lsnB[:]...)
+	l.buf = append(l.buf, payload...)
+	if _, err := l.f.Write(l.buf); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	if l.policy == SyncEveryRecord {
+		if err := l.f.Sync(); err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	l.lsn = lsn
+	return lsn, nil
+}
+
+// LSN returns the LSN of the last appended record.
+func (l *Log) LSN() uint64 { return l.lsn }
+
+// Truncate empties the log file after a successful snapshot. LSNs keep
+// increasing monotonically across truncation.
+func (l *Log) Truncate() error {
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: seek: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Sync forces the log to stable storage.
+func (l *Log) Sync() error { return l.f.Sync() }
+
+// Close closes the log file.
+func (l *Log) Close() error { return l.f.Close() }
+
+// ScanLog reads every intact record from path, calling fn(lsn, payload)
+// with the LSN stored in each record's frame. It stops silently at a torn
+// or corrupt tail (the crash case) and returns the last LSN delivered
+// (0 when the log is empty or missing).
+func ScanLog(path string, fn func(lsn uint64, payload []byte) error) (uint64, error) {
+	f, err := os.Open(path)
+	if errors.Is(err, os.ErrNotExist) {
+		return 0, nil
+	}
+	if err != nil {
+		return 0, fmt.Errorf("wal: open for scan: %w", err)
+	}
+	defer f.Close()
+	var last uint64
+	var hdr [8]byte
+	for {
+		if _, err := io.ReadFull(f, hdr[:]); err != nil {
+			return last, nil // clean EOF or torn header: stop
+		}
+		n := binary.LittleEndian.Uint32(hdr[0:4])
+		want := binary.LittleEndian.Uint32(hdr[4:8])
+		if n < 8 || n > 1<<30 {
+			return last, nil // implausible length: corrupt tail
+		}
+		body := make([]byte, n)
+		if _, err := io.ReadFull(f, body); err != nil {
+			return last, nil // torn payload
+		}
+		if crc32.ChecksumIEEE(body) != want {
+			return last, nil // corrupt record
+		}
+		lsn := binary.LittleEndian.Uint64(body[:8])
+		last = lsn
+		if err := fn(lsn, body[8:]); err != nil {
+			return last, err
+		}
+	}
+}
+
+// DefaultLogName and DefaultSnapshotName are the file names used inside a
+// durability directory.
+const (
+	DefaultLogName      = "command.log"
+	DefaultSnapshotName = "snapshot.bin"
+)
+
+// Paths resolves the standard file locations under dir.
+func Paths(dir string) (logPath, snapPath string) {
+	return filepath.Join(dir, DefaultLogName), filepath.Join(dir, DefaultSnapshotName)
+}

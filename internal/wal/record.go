@@ -1,0 +1,74 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+// EncodeRecord serializes a partition-engine log record:
+//
+//	kind u8 | proc str | batchID uvarint | inputStream str | params row | batch rows
+func EncodeRecord(rec *pe.LogRecord) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(rec.Kind))
+	buf = appendString(buf, rec.Proc)
+	buf = binary.AppendUvarint(buf, rec.BatchID)
+	buf = appendString(buf, rec.InputStream)
+	buf = types.EncodeRow(buf, types.Row(rec.Params))
+	buf = types.EncodeRows(buf, rec.Batch)
+	return buf
+}
+
+// DecodeRecord parses a payload written by EncodeRecord.
+func DecodeRecord(payload []byte) (*pe.LogRecord, error) {
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	rec := &pe.LogRecord{Kind: pe.RecordKind(payload[0])}
+	buf := payload[1:]
+	var err error
+	if rec.Proc, buf, err = readString(buf); err != nil {
+		return nil, fmt.Errorf("wal: record proc: %w", err)
+	}
+	id, n := binary.Uvarint(buf)
+	if n <= 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	rec.BatchID = id
+	buf = buf[n:]
+	if rec.InputStream, buf, err = readString(buf); err != nil {
+		return nil, fmt.Errorf("wal: record stream: %w", err)
+	}
+	params, buf, err := types.DecodeRow(buf)
+	if err != nil {
+		return nil, fmt.Errorf("wal: record params: %w", err)
+	}
+	rec.Params = []types.Value(params)
+	if rec.Batch, _, err = types.DecodeRows(buf); err != nil {
+		return nil, fmt.Errorf("wal: record batch: %w", err)
+	}
+	if len(rec.Params) == 0 {
+		rec.Params = nil
+	}
+	if len(rec.Batch) == 0 {
+		rec.Batch = nil
+	}
+	return rec, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
+}

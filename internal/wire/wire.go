@@ -1,0 +1,181 @@
+// Package wire defines the binary client/server protocol: length-prefixed
+// frames carrying procedure calls, stream ingests, ad-hoc queries, and
+// their responses. The engine is a client-server system like H-Store; the
+// protocol is deliberately small — a handful of message types over TCP —
+// and shared by the real network transport (internal/server,
+// internal/client) and the in-process loopback used for reproducible
+// round-trip experiments.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+
+	"repro/internal/types"
+)
+
+// MsgKind tags a frame.
+type MsgKind uint8
+
+// Frame kinds.
+const (
+	MsgCall   MsgKind = iota + 1 // procedure invocation
+	MsgIngest                    // stream tuple push
+	MsgQuery                     // ad-hoc read-only SQL
+	MsgFlush                     // flush partial border batches
+	MsgResult                    // success response with rows
+	MsgError                     // failure response
+	MsgPing                      // liveness check
+	MsgPong
+	MsgExplain // plan introspection for a SQL statement
+)
+
+// MaxFrame bounds a frame to keep a corrupt length prefix from allocating
+// unbounded memory.
+const MaxFrame = 64 << 20
+
+// Request is a decoded client frame.
+type Request struct {
+	Kind   MsgKind
+	Target string // procedure, stream, or SQL text
+	Params types.Row
+	Rows   []types.Row
+}
+
+// Response is a decoded server frame.
+type Response struct {
+	Kind         MsgKind // MsgResult or MsgError
+	Err          string
+	Columns      []string
+	Rows         []types.Row
+	RowsAffected int64
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame.
+func ReadFrame(r io.Reader) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return nil, fmt.Errorf("wire: frame of %d bytes exceeds limit", n)
+	}
+	payload := make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, err
+	}
+	return payload, nil
+}
+
+// EncodeRequest serializes a request frame payload.
+func EncodeRequest(req *Request) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(req.Kind))
+	buf = appendString(buf, req.Target)
+	buf = types.EncodeRow(buf, req.Params)
+	buf = types.EncodeRows(buf, req.Rows)
+	return buf
+}
+
+// DecodeRequest parses a request frame payload.
+func DecodeRequest(payload []byte) (*Request, error) {
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	req := &Request{Kind: MsgKind(payload[0])}
+	buf := payload[1:]
+	var err error
+	if req.Target, buf, err = readString(buf); err != nil {
+		return nil, err
+	}
+	if req.Params, buf, err = types.DecodeRow(buf); err != nil {
+		return nil, err
+	}
+	if req.Rows, _, err = types.DecodeRows(buf); err != nil {
+		return nil, err
+	}
+	if len(req.Params) == 0 {
+		req.Params = nil
+	}
+	if len(req.Rows) == 0 {
+		req.Rows = nil
+	}
+	return req, nil
+}
+
+// EncodeResponse serializes a response frame payload.
+func EncodeResponse(resp *Response) []byte {
+	buf := make([]byte, 0, 64)
+	buf = append(buf, byte(resp.Kind))
+	buf = appendString(buf, resp.Err)
+	buf = binary.AppendUvarint(buf, uint64(len(resp.Columns)))
+	for _, c := range resp.Columns {
+		buf = appendString(buf, c)
+	}
+	buf = types.EncodeRows(buf, resp.Rows)
+	buf = binary.AppendVarint(buf, resp.RowsAffected)
+	return buf
+}
+
+// DecodeResponse parses a response frame payload.
+func DecodeResponse(payload []byte) (*Response, error) {
+	if len(payload) < 1 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	resp := &Response{Kind: MsgKind(payload[0])}
+	buf := payload[1:]
+	var err error
+	if resp.Err, buf, err = readString(buf); err != nil {
+		return nil, err
+	}
+	n, c := binary.Uvarint(buf)
+	if c <= 0 || n > uint64(len(buf)) {
+		return nil, io.ErrUnexpectedEOF
+	}
+	buf = buf[c:]
+	for i := uint64(0); i < n; i++ {
+		var col string
+		if col, buf, err = readString(buf); err != nil {
+			return nil, err
+		}
+		resp.Columns = append(resp.Columns, col)
+	}
+	if resp.Rows, buf, err = types.DecodeRows(buf); err != nil {
+		return nil, err
+	}
+	ra, c2 := binary.Varint(buf)
+	if c2 <= 0 {
+		return nil, io.ErrUnexpectedEOF
+	}
+	resp.RowsAffected = ra
+	if len(resp.Rows) == 0 {
+		resp.Rows = nil
+	}
+	return resp, nil
+}
+
+func appendString(buf []byte, s string) []byte {
+	buf = binary.AppendUvarint(buf, uint64(len(s)))
+	return append(buf, s...)
+}
+
+func readString(buf []byte) (string, []byte, error) {
+	l, n := binary.Uvarint(buf)
+	if n <= 0 || uint64(len(buf)-n) < l {
+		return "", nil, io.ErrUnexpectedEOF
+	}
+	return string(buf[n : n+int(l)]), buf[n+int(l):], nil
+}

@@ -1,0 +1,102 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/types"
+)
+
+func TestRequestCodec(t *testing.T) {
+	reqs := []*Request{
+		{Kind: MsgCall, Target: "vote", Params: types.Row{types.NewInt(1), types.NewString("x")}},
+		{Kind: MsgIngest, Target: "gps", Rows: []types.Row{
+			{types.NewInt(1), types.NewFloat(40.7)},
+			{types.NewInt(2), types.Null},
+		}},
+		{Kind: MsgQuery, Target: "SELECT 1 FROM t"},
+		{Kind: MsgPing},
+		{Kind: MsgFlush},
+	}
+	for _, req := range reqs {
+		got, err := DecodeRequest(EncodeRequest(req))
+		if err != nil {
+			t.Fatalf("%+v: %v", req, err)
+		}
+		if got.Kind != req.Kind || got.Target != req.Target ||
+			len(got.Params) != len(req.Params) || len(got.Rows) != len(req.Rows) {
+			t.Fatalf("round trip: %+v -> %+v", req, got)
+		}
+		for i := range req.Params {
+			if !got.Params[i].Equal(req.Params[i]) {
+				t.Fatalf("param %d", i)
+			}
+		}
+		for i := range req.Rows {
+			if !got.Rows[i].Equal(req.Rows[i]) {
+				t.Fatalf("row %d", i)
+			}
+		}
+	}
+}
+
+func TestResponseCodec(t *testing.T) {
+	resps := []*Response{
+		{Kind: MsgResult, Columns: []string{"a", "b"},
+			Rows: []types.Row{{types.NewInt(1), types.NewString("x")}}, RowsAffected: 1},
+		{Kind: MsgError, Err: "boom"},
+		{Kind: MsgPong},
+	}
+	for _, resp := range resps {
+		got, err := DecodeResponse(EncodeResponse(resp))
+		if err != nil {
+			t.Fatalf("%+v: %v", resp, err)
+		}
+		if got.Kind != resp.Kind || got.Err != resp.Err ||
+			len(got.Columns) != len(resp.Columns) || got.RowsAffected != resp.RowsAffected {
+			t.Fatalf("round trip: %+v -> %+v", resp, got)
+		}
+	}
+}
+
+func TestFrameIO(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("abc"), {}, []byte("final")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if string(got) != string(want) {
+			t.Fatalf("frame %q want %q", got, want)
+		}
+	}
+	if _, err := ReadFrame(&buf); err == nil {
+		t.Fatal("read past end")
+	}
+	// absurd length prefix rejected
+	huge := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if _, err := ReadFrame(bytes.NewReader(huge)); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+}
+
+func TestDecodeCorruption(t *testing.T) {
+	if _, err := DecodeRequest(nil); err == nil {
+		t.Error("empty request accepted")
+	}
+	if _, err := DecodeResponse(nil); err == nil {
+		t.Error("empty response accepted")
+	}
+	good := EncodeRequest(&Request{Kind: MsgCall, Target: "p", Params: types.Row{types.NewInt(5)}})
+	for cut := 1; cut < len(good); cut++ {
+		if _, err := DecodeRequest(good[:cut]); err == nil {
+			t.Errorf("truncation at %d accepted", cut)
+		}
+	}
+}

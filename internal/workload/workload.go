@@ -1,0 +1,162 @@
+// Package workload provides the deterministic, seeded input generators the
+// experiments run on: the Voter vote feed (§3.1) and the BikeShare GPS /
+// OLTP mix (§3.2). The paper's inputs were live text-message votes and GPS
+// hardware; seeded generators are the documented substitution — arrival
+// order, skew, and anomaly-provoking patterns are what the experiments
+// depend on, and those are preserved (see DESIGN.md §1.5).
+package workload
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Vote is one incoming vote text message.
+type Vote struct {
+	Phone      int64
+	Contestant int64
+	TS         int64 // microseconds
+}
+
+// VoterConfig parameterizes the vote feed.
+type VoterConfig struct {
+	Seed        int64
+	NumVotes    int
+	Contestants int   // candidate ids are 1..Contestants
+	PhoneSpace  int64 // distinct phone numbers; duplicates force rejections
+	// InvalidPct is the percentage (0-100) of votes for a non-existent
+	// candidate id (validation must reject them).
+	InvalidPct int
+	// DupPct is the percentage of votes reusing an earlier phone number
+	// (one-vote-per-phone must reject them, unless that phone's candidate
+	// was eliminated and the vote returned).
+	DupPct int
+	// Skew biases candidate popularity: 0 = uniform; larger values make
+	// low-numbered candidates win more votes (self-similar 80/20-ish).
+	Skew float64
+}
+
+// DefaultVoterConfig mirrors the demo setup: 25 candidates, elimination
+// every 100 votes.
+func DefaultVoterConfig(seed int64, numVotes int) VoterConfig {
+	return VoterConfig{
+		Seed:        seed,
+		NumVotes:    numVotes,
+		Contestants: 25,
+		PhoneSpace:  1 << 40,
+		InvalidPct:  2,
+		DupPct:      5,
+		Skew:        0.6,
+	}
+}
+
+// Votes generates the deterministic vote feed for a configuration.
+func Votes(cfg VoterConfig) []Vote {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	votes := make([]Vote, 0, cfg.NumVotes)
+	used := make([]int64, 0, cfg.NumVotes)
+	ts := int64(1_700_000_000_000_000)
+	for i := 0; i < cfg.NumVotes; i++ {
+		ts += int64(rng.Intn(2000)) + 1 // 1µs..2ms apart
+		var phone int64
+		if len(used) > 0 && rng.Intn(100) < cfg.DupPct {
+			phone = used[rng.Intn(len(used))]
+		} else {
+			phone = 1_000_000_0000 + rng.Int63n(cfg.PhoneSpace)
+			used = append(used, phone)
+		}
+		var cand int64
+		if rng.Intn(100) < cfg.InvalidPct {
+			cand = int64(cfg.Contestants) + 1 + rng.Int63n(100)
+		} else {
+			cand = skewedCandidate(rng, cfg.Contestants, cfg.Skew)
+		}
+		votes = append(votes, Vote{Phone: phone, Contestant: cand, TS: ts})
+	}
+	return votes
+}
+
+// skewedCandidate draws 1..n with popularity decaying by rank.
+func skewedCandidate(rng *rand.Rand, n int, skew float64) int64 {
+	if skew <= 0 {
+		return 1 + rng.Int63n(int64(n))
+	}
+	// Inverse-CDF of a truncated power law: exponent > 1 pushes mass
+	// toward 0, so low-numbered candidates draw more votes.
+	u := rng.Float64()
+	x := math.Pow(u, 1.0+skew)
+	idx := int64(x * float64(n))
+	if idx >= int64(n) {
+		idx = int64(n) - 1
+	}
+	return idx + 1
+}
+
+// GPSPoint is one bike position report (1 Hz per bike in the paper).
+type GPSPoint struct {
+	Bike int64
+	TS   int64 // microseconds
+	Lat  float64
+	Lon  float64
+}
+
+// BikeConfig parameterizes the GPS feed.
+type BikeConfig struct {
+	Seed      int64
+	Bikes     int
+	Ticks     int     // seconds of simulation
+	SpeedMS   float64 // nominal rider speed, m/s
+	StolenPct int     // percentage of bikes that "get stolen" (60+ mph)
+}
+
+// DefaultBikeConfig is a small city: ~12 mph riders, 1% thefts.
+func DefaultBikeConfig(seed int64, bikes, ticks int) BikeConfig {
+	return BikeConfig{Seed: seed, Bikes: bikes, Ticks: ticks, SpeedMS: 5.4, StolenPct: 1}
+}
+
+// MetersPerDegree approximates both latitude and longitude degrees at the
+// simulated city's latitude (the small-angle error is irrelevant here).
+const MetersPerDegree = 111_000.0
+
+// GPS generates per-tick position reports: bikes random-walk at rider
+// speed; stolen bikes accelerate to truck speed (>60 mph) halfway through.
+func GPS(cfg BikeConfig) []GPSPoint {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	type bikeState struct {
+		lat, lon float64
+		dLat     float64
+		dLon     float64
+		stolen   bool
+	}
+	states := make([]bikeState, cfg.Bikes)
+	for i := range states {
+		states[i].lat = 40.70 + rng.Float64()*0.10
+		states[i].lon = -74.02 + rng.Float64()*0.10
+		ang := rng.Float64() * 2 * math.Pi
+		states[i].dLat = math.Sin(ang) * cfg.SpeedMS / MetersPerDegree
+		states[i].dLon = math.Cos(ang) * cfg.SpeedMS / MetersPerDegree
+		states[i].stolen = rng.Intn(100) < cfg.StolenPct
+	}
+	out := make([]GPSPoint, 0, cfg.Bikes*cfg.Ticks)
+	base := int64(1_700_000_000_000_000)
+	for tick := 0; tick < cfg.Ticks; tick++ {
+		ts := base + int64(tick)*1_000_000
+		for i := range states {
+			s := &states[i]
+			speedup := 1.0
+			if s.stolen && tick >= cfg.Ticks/2 {
+				speedup = 6.0 // ~32 m/s ≈ 72 mph: a bike on a truck
+			}
+			// occasional direction jitter
+			if rng.Intn(10) == 0 {
+				ang := rng.Float64() * 2 * math.Pi
+				s.dLat = math.Sin(ang) * cfg.SpeedMS / MetersPerDegree
+				s.dLon = math.Cos(ang) * cfg.SpeedMS / MetersPerDegree
+			}
+			s.lat += s.dLat * speedup
+			s.lon += s.dLon * speedup
+			out = append(out, GPSPoint{Bike: int64(i + 1), TS: ts, Lat: s.lat, Lon: s.lon})
+		}
+	}
+	return out
+}

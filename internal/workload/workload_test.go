@@ -1,0 +1,138 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestVotesDeterministic(t *testing.T) {
+	cfg := DefaultVoterConfig(7, 1000)
+	a := Votes(cfg)
+	b := Votes(cfg)
+	if len(a) != 1000 || len(b) != 1000 {
+		t.Fatalf("sizes %d %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("vote %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Different seed, different feed.
+	c := Votes(DefaultVoterConfig(8, 1000))
+	same := 0
+	for i := range a {
+		if a[i] == c[i] {
+			same++
+		}
+	}
+	if same > 50 {
+		t.Fatalf("seeds 7 and 8 produced %d identical votes", same)
+	}
+}
+
+func TestVotesProperties(t *testing.T) {
+	cfg := DefaultVoterConfig(42, 5000)
+	votes := Votes(cfg)
+	invalid, dup := 0, 0
+	seen := map[int64]bool{}
+	lastTS := int64(0)
+	for _, v := range votes {
+		if v.Contestant > int64(cfg.Contestants) {
+			invalid++
+		}
+		if seen[v.Phone] {
+			dup++
+		}
+		seen[v.Phone] = true
+		if v.TS <= lastTS {
+			t.Fatal("timestamps must be strictly increasing")
+		}
+		lastTS = v.TS
+	}
+	// Configured at 2% invalid, 5% duplicates; allow generous slack.
+	if invalid < 50 || invalid > 250 {
+		t.Errorf("invalid votes = %d", invalid)
+	}
+	if dup < 100 || dup > 500 {
+		t.Errorf("duplicate phones = %d", dup)
+	}
+}
+
+func TestSkewBiasesLowCandidates(t *testing.T) {
+	cfg := DefaultVoterConfig(3, 20000)
+	cfg.InvalidPct = 0
+	cfg.DupPct = 0
+	votes := Votes(cfg)
+	counts := map[int64]int{}
+	for _, v := range votes {
+		counts[v.Contestant]++
+	}
+	if counts[25] >= counts[1] {
+		t.Errorf("skew inverted: c1=%d c25=%d", counts[1], counts[25])
+	}
+	// Uniform when skew is zero: spread within 3x.
+	cfg.Skew = 0
+	cfg.Seed = 4
+	votes = Votes(cfg)
+	counts = map[int64]int{}
+	for _, v := range votes {
+		counts[v.Contestant]++
+	}
+	lo, hi := 1<<30, 0
+	for i := int64(1); i <= 25; i++ {
+		if counts[i] < lo {
+			lo = counts[i]
+		}
+		if counts[i] > hi {
+			hi = counts[i]
+		}
+	}
+	if lo == 0 || hi > lo*3 {
+		t.Errorf("uniform spread lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestGPSDeterministicAndStolen(t *testing.T) {
+	cfg := DefaultBikeConfig(5, 10, 60)
+	cfg.StolenPct = 30
+	a := GPS(cfg)
+	b := GPS(cfg)
+	if len(a) != 600 {
+		t.Fatalf("points %d", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("GPS not deterministic")
+		}
+	}
+	// All bikes report once per tick, timestamps 1s apart.
+	perBike := map[int64]int{}
+	for _, p := range a {
+		perBike[p.Bike]++
+	}
+	for bikeID, n := range perBike {
+		if n != 60 {
+			t.Fatalf("bike %d reported %d times", bikeID, n)
+		}
+	}
+	// Stolen bikes exceed the 60 mph threshold in the second half; at
+	// least one bike must be stolen at 30%.
+	fast := map[int64]bool{}
+	last := map[int64]GPSPoint{}
+	for _, p := range a {
+		if prev, ok := last[p.Bike]; ok {
+			dLat := (p.Lat - prev.Lat) * MetersPerDegree
+			dLon := (p.Lon - prev.Lon) * MetersPerDegree
+			d2 := dLat*dLat + dLon*dLon
+			if d2 > 26.8*26.8 {
+				fast[p.Bike] = true
+			}
+		}
+		last[p.Bike] = p
+	}
+	if len(fast) == 0 {
+		t.Fatal("no stolen bikes at 30% theft rate")
+	}
+	if len(fast) == 10 {
+		t.Fatal("every bike stolen at 30% theft rate")
+	}
+}

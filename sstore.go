@@ -1,0 +1,111 @@
+// Package sstore is a single-node reproduction of S-Store, the streaming
+// NewSQL system of Cetintemel et al. (PVLDB 7(13), 2014): a main-memory
+// OLTP engine in the H-Store mold — serial single-partition execution,
+// stored procedures, command logging + snapshots — extended with native
+// stream processing:
+//
+//   - Streams: append-only relations with hidden, garbage-collected state.
+//   - Windows: engine-maintained tuple (ROWS n SLIDE s) and time
+//     (RANGE d SLIDE s) windows over streams.
+//   - EE triggers: SQL chained inside the running transaction when tuples
+//     arrive on a stream or a window slides.
+//   - PE triggers / workflows: committed stream output becomes the input
+//     batch of the downstream stored procedure, with the paper's ordering
+//     guarantees (natural order, workflow order, serial execution over
+//     shared writable tables, window scoping).
+//
+// # Quick start
+//
+//	st := sstore.Open(sstore.Config{})
+//	st.ExecScript(`
+//	    CREATE STREAM readings (sensor INT, v FLOAT);
+//	    CREATE TABLE alarms (sensor INT, v FLOAT);
+//	`)
+//	st.RegisterProcedure(&sstore.Procedure{
+//	    Name: "detect",
+//	    Handler: func(ctx *sstore.ProcCtx) error {
+//	        _, err := ctx.Exec("INSERT INTO alarms SELECT sensor, v FROM batch WHERE v > 100.0")
+//	        return err
+//	    },
+//	})
+//	st.BindStream("readings", "detect", 8)
+//	st.Start()
+//	st.Ingest("readings", sstore.Row{sstore.Int(1), sstore.Float(250)})
+//
+// The package is a thin façade over internal/core; see DESIGN.md for the
+// architecture and EXPERIMENTS.md for the paper-reproduction results.
+package sstore
+
+import (
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// Store is one single-partition S-Store instance.
+type Store = core.Store
+
+// Config configures a Store; the zero value is a volatile, fully
+// stream-enabled engine.
+type Config = core.Config
+
+// Procedure is a stored procedure definition.
+type Procedure = pe.Procedure
+
+// ProcCtx is the execution context handed to procedure handlers.
+type ProcCtx = pe.ProcCtx
+
+// Result is a statement or procedure result.
+type Result = pe.Result
+
+// Value is one SQL scalar value.
+type Value = types.Value
+
+// Row is one tuple.
+type Row = types.Row
+
+// Scheduler modes (Config.Mode).
+const (
+	// ModeWorkflowSerial is the S-Store default: PE-triggered transactions
+	// run before pending border work, giving serial workflow chains.
+	ModeWorkflowSerial = pe.ModeWorkflowSerial
+	// ModeFIFO admits strictly in arrival order (ablation only).
+	ModeFIFO = pe.ModeFIFO
+)
+
+// Log modes (Config.LogMode).
+const (
+	// LogBorderOnly is upstream backup: log only client inputs.
+	LogBorderOnly = pe.LogBorderOnly
+	// LogAllTEs logs every transaction execution.
+	LogAllTEs = pe.LogAllTEs
+)
+
+// Sync policies (Config.Sync).
+const (
+	SyncNever       = wal.SyncNever
+	SyncEveryRecord = wal.SyncEveryRecord
+)
+
+// Open creates a Store from the configuration. Call ExecScript /
+// RegisterProcedure / BindStream / CreateTrigger, then Start.
+func Open(cfg Config) *Store { return core.Open(cfg) }
+
+// Null is the SQL NULL value.
+var Null = types.Null
+
+// Int builds a BIGINT value.
+func Int(v int64) Value { return types.NewInt(v) }
+
+// Float builds a FLOAT value.
+func Float(v float64) Value { return types.NewFloat(v) }
+
+// Str builds a VARCHAR value.
+func Str(v string) Value { return types.NewString(v) }
+
+// Bool builds a BOOLEAN value.
+func Bool(v bool) Value { return types.NewBool(v) }
+
+// TS builds a TIMESTAMP value from microseconds since the epoch.
+func TS(usec int64) Value { return types.NewTimestamp(usec) }
