@@ -1,4 +1,4 @@
-// Ablation benchmarks for the design decisions DESIGN.md §4 calls out:
+// Ablation benchmarks for the design decisions DESIGN.md §5 calls out:
 // the scheduler's triggered-preemption policy, transport-level ingest
 // batching, and native windowing + EE triggers vs. client-emulated
 // window maintenance.

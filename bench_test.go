@@ -1,5 +1,5 @@
 // Benchmarks regenerating the paper's demonstrated results, one per
-// experiment in DESIGN.md §2 (E1–E5), plus engine microbenchmarks. Custom
+// experiment in DESIGN.md §2 (E1–E6), plus engine microbenchmarks. Custom
 // metrics carry the non-time results (anomaly counts, round trips per
 // vote) so `go test -bench` output stands alone as the experiment record.
 package sstore_test
@@ -174,6 +174,29 @@ func BenchmarkE5Recovery(b *testing.B) {
 		}
 		os.RemoveAll(dirA)
 		os.RemoveAll(dirB)
+	}
+}
+
+// ---------- E6: multi-partition scale-out ----------
+
+func BenchmarkE6PartitionScaling(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := bench.E6(benchSeed, 6000, []int{1, 4}, 16)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if !r.Correct {
+				b.Fatalf("partitions=%d counted %d valid votes (reference mismatch)", r.Partitions, r.Counted)
+			}
+			switch r.Partitions {
+			case 1:
+				b.ReportMetric(r.VotesSec, "p1-votes/s")
+			case 4:
+				b.ReportMetric(r.VotesSec, "p4-votes/s")
+				b.ReportMetric(r.Speedup, "p4-speedup")
+			}
+		}
 	}
 }
 

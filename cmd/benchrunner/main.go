@@ -2,8 +2,9 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E5
+//	benchrunner            # E1..E6
 //	benchrunner -e E2 -votes 6000
+//	benchrunner -e E6 -votes 40000
 package main
 
 import (
@@ -18,7 +19,7 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 all")
+		exp   = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 all")
 		votes = flag.Int("votes", 6000, "voter feed size")
 		seed  = flag.Int64("seed", 42, "workload seed")
 	)
@@ -122,6 +123,18 @@ func main() {
 		fmt.Printf("%-16s %-12s %-12s %-14s %s\n", "mode", "records", "bytes", "recovery", "state==reference")
 		for _, r := range rows {
 			fmt.Printf("%-16s %-12d %-12d %-14s %v\n", r.Mode, r.LogRecords, r.LogBytes, r.RecoveryDur, r.StateEqual)
+		}
+		return nil
+	})
+
+	run("E6", func() error {
+		rows, err := bench.E6(*seed, *votes, []int{1, 2, 4, 8}, 16)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%-12s %-12s %-9s %-10s %s\n", "partitions", "votes/sec", "speedup", "counted", "correct")
+		for _, r := range rows {
+			fmt.Printf("%-12d %-12.0f %-9.2f %-10d %v\n", r.Partitions, r.VotesSec, r.Speedup, r.Counted, r.Correct)
 		}
 		return nil
 	})

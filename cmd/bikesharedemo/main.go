@@ -40,7 +40,11 @@ func main() {
 	if err := st.Start(); err != nil {
 		fail(err)
 	}
-	defer st.Stop()
+	defer func() {
+		if err := st.Stop(); err != nil {
+			fmt.Fprintf(os.Stderr, "bikesharedemo: stop: %v\n", err)
+		}
+	}()
 
 	// Mixed workload: OLTP churn interleaved with the GPS stream.
 	gcfg := workload.DefaultBikeConfig(*seed, *stations**bikes, *ticks)

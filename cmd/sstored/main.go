@@ -37,10 +37,11 @@ func main() {
 		hstore   = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
 		contest  = flag.Int("contestants", 25, "voter: number of contestants")
 		stations = flag.Int("stations", 20, "bikeshare: number of stations")
+		parts    = flag.Int("partitions", 1, "number of serial-execution partitions (PARTITION BY relations hash-split across them)")
 	)
 	flag.Parse()
 
-	cfg := core.Config{Dir: *dir, HStoreMode: *hstore}
+	cfg := core.Config{Dir: *dir, HStoreMode: *hstore, Partitions: *parts}
 	if *sync {
 		cfg.Sync = wal.SyncEveryRecord
 	}
@@ -52,15 +53,26 @@ func main() {
 	switch *app {
 	case "voter":
 		var err error
-		if *hstore {
+		switch {
+		case *hstore:
+			if *parts > 1 {
+				log.Printf("sstored: the H-Store baseline voter is unpartitioned; all data pins to partition 0")
+			}
 			err = voter.SetupHStore(st, *contest)
-		} else {
+		case *parts > 1:
+			// The partitioned variant hash-splits the vote feed by phone
+			// (no global elimination; see DESIGN.md §4.3).
+			err = voter.SetupPartitioned(st, *contest)
+		default:
 			err = voter.Setup(st, *contest)
 		}
 		if err != nil {
 			log.Fatalf("sstored: voter setup: %v", err)
 		}
 	case "bikeshare":
+		if *parts > 1 {
+			log.Printf("sstored: the bikeshare app is unpartitioned; all data pins to partition 0")
+		}
 		if err := bikeshare.Setup(st, *stations, 8, 200); err != nil {
 			log.Fatalf("sstored: bikeshare setup: %v", err)
 		}
@@ -84,7 +96,8 @@ func main() {
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("sstored: %v", err)
 	}
-	fmt.Printf("sstored listening on %s (app=%s, durable=%v)\n", srv.Addr(), *app, *dir != "")
+	fmt.Printf("sstored listening on %s (app=%s, partitions=%d, durable=%v)\n",
+		srv.Addr(), *app, st.NumPartitions(), *dir != "")
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -96,5 +109,7 @@ func main() {
 			log.Printf("sstored: final checkpoint: %v", err)
 		}
 	}
-	st.Stop()
+	if err := st.Stop(); err != nil {
+		log.Printf("sstored: shutdown: %v", err)
+	}
 }

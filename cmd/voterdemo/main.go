@@ -109,8 +109,12 @@ func main() {
 	printBoard("bottom 3", bottom)
 	printBoard("trending (last 100)", trend)
 
-	ss.Stop()
-	hs.Stop()
+	if err := ss.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "voterdemo: stop: %v\n", err)
+	}
+	if err := hs.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "voterdemo: stop: %v\n", err)
+	}
 }
 
 func printBoard(title string, rows []string) {

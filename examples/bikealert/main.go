@@ -89,7 +89,11 @@ func main() {
 	if err := st.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer st.Stop()
+	defer func() {
+		if err := st.Stop(); err != nil {
+			log.Printf("stop: %v", err)
+		}
+	}()
 
 	// Two bikes at 1 Hz: bike 1 pedals at ~6 m/s, bike 2 is on a truck
 	// doing ~30 m/s after t=5.

@@ -81,7 +81,9 @@ func main() {
 	for _, r := range before.Rows {
 		fmt.Printf("  account %d: %d\n", r[0].Int(), r[1].Int())
 	}
-	st.Stop() // crash: 4 deposits exist only in the command log
+	if err := st.Stop(); err != nil { // crash: 4 deposits exist only in the command log
+		log.Fatal(err)
+	}
 
 	// Phase 2: reopen — snapshot restores the first 6 deposits, log replay
 	// re-executes the last 4 through the workflow.
@@ -89,7 +91,11 @@ func main() {
 	if err := st2.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer st2.Stop()
+	defer func() {
+		if err := st2.Stop(); err != nil {
+			log.Printf("stop: %v", err)
+		}
+	}()
 	after, _ := st2.Query("SELECT id, balance FROM account ORDER BY id")
 	fmt.Println("state after recovery:")
 	for _, r := range after.Rows {

@@ -105,7 +105,11 @@ func main() {
 	if err := st.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer st.Stop()
+	defer func() {
+		if err := st.Stop(); err != nil {
+			log.Printf("stop: %v", err)
+		}
+	}()
 
 	if _, err := st.Exec("INSERT INTO total VALUES (0, 0)"); err != nil {
 		log.Fatal(err)

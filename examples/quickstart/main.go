@@ -51,7 +51,11 @@ func main() {
 	if err := st.Start(); err != nil {
 		log.Fatal(err)
 	}
-	defer st.Stop()
+	defer func() {
+		if err := st.Stop(); err != nil {
+			log.Printf("stop: %v", err)
+		}
+	}()
 
 	// Push readings: sensor 7 goes hot at t=6.
 	temps := []float64{71, 72, 70, 69, 73, 95, 97, 74}

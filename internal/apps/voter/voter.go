@@ -95,34 +95,47 @@ func Setup(st *core.Store, contestants int) error {
 	return st.BindStream("removals", "sp3_eliminate", 1)
 }
 
-func seedContestants(st *core.Store, n int) error {
-	names := []string{
-		"Avery", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper",
-		"Indigo", "Jules", "Kai", "Lennon", "Marlow", "Noa", "Oakley", "Parker",
-		"Quinn", "Reese", "Sage", "Tatum", "Umber", "Vesper", "Wren", "Xen", "Yael",
+var contestantNames = []string{
+	"Avery", "Blake", "Casey", "Drew", "Emery", "Finley", "Gray", "Harper",
+	"Indigo", "Jules", "Kai", "Lennon", "Marlow", "Noa", "Oakley", "Parker",
+	"Quinn", "Reese", "Sage", "Tatum", "Umber", "Vesper", "Wren", "Xen", "Yael",
+}
+
+// contestantName returns the display name for contestant i.
+func contestantName(i int) string {
+	if i >= 1 && i <= len(contestantNames) {
+		return contestantNames[i-1]
 	}
+	return fmt.Sprintf("cand-%d", i)
+}
+
+// seedEngine seeds one engine replica's per-contestant rows (contestants,
+// zeroed vote_counts and trending). withTotals adds the single
+// vote_totals row the unpartitioned workflow keeps; the partitioned
+// variant has no global total.
+func seedEngine(exec *ee.Engine, n int, withTotals bool) error {
 	ctx := &ee.ExecCtx{Undo: storage.NewUndoLog()}
 	for i := 1; i <= n; i++ {
-		name := fmt.Sprintf("cand-%d", i)
-		if i <= len(names) {
-			name = names[i-1]
-		}
-		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO contestants VALUES (?, ?)",
-			types.NewInt(int64(i)), types.NewString(name)); err != nil {
+		id := types.NewInt(int64(i))
+		if _, err := exec.ExecSQL(ctx, "INSERT INTO contestants VALUES (?, ?)",
+			id, types.NewString(contestantName(i))); err != nil {
 			return err
 		}
-		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO vote_counts (contestant, n) VALUES (?, 0)",
-			types.NewInt(int64(i))); err != nil {
+		if _, err := exec.ExecSQL(ctx, "INSERT INTO vote_counts (contestant, n) VALUES (?, 0)", id); err != nil {
 			return err
 		}
-		if _, err := st.EE().ExecSQL(ctx, "INSERT INTO trending (contestant, n) VALUES (?, 0)",
-			types.NewInt(int64(i))); err != nil {
+		if _, err := exec.ExecSQL(ctx, "INSERT INTO trending (contestant, n) VALUES (?, 0)", id); err != nil {
 			return err
 		}
 	}
-	_, err := st.EE().ExecSQL(ctx, "INSERT INTO vote_totals VALUES (0, 0)")
-	return err
+	if withTotals {
+		_, err := exec.ExecSQL(ctx, "INSERT INTO vote_totals VALUES (0, 0)")
+		return err
+	}
+	return nil
 }
+
+func seedContestants(st *core.Store, n int) error { return seedEngine(st.EE(), n, true) }
 
 // sp1 validates each incoming vote — the contestant must exist and the
 // phone must not have a live vote — records it, and forwards it downstream.

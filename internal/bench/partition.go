@@ -1,0 +1,70 @@
+package bench
+
+import (
+	"time"
+
+	"repro/internal/apps/voter"
+	"repro/internal/core"
+	"repro/internal/workload"
+)
+
+// ---------- E6: multi-partition throughput scaling ----------
+
+// E6Row is one row of the partition scale-out table.
+type E6Row struct {
+	Partitions int
+	VotesSec   float64
+	Speedup    float64 // vs the 1-partition row of the same run
+	Counted    int64   // valid votes counted across all partitions
+	Correct    bool    // Counted matches the sequential reference
+}
+
+// E6 runs the partitioned Voter ingest workload (validate → count, with a
+// partition-local trending window) at each requested partition count over
+// the identical feed, and reports throughput scaling versus one partition.
+// Two effects add up: partition workers run in parallel on independent
+// serial engines, and each partition's working set — the votes shard the
+// per-vote support probe scans — shrinks by the partition factor.
+func E6(seed int64, votes int, partitionCounts []int, chunk int) ([]E6Row, error) {
+	cfg := workload.DefaultVoterConfig(seed, votes)
+	feed := workload.Votes(cfg)
+	expected := voter.ExpectedValidVotes(feed, cfg.Contestants)
+	var rows []E6Row
+	var base float64
+	for _, n := range partitionCounts {
+		st := core.Open(core.Config{Partitions: n})
+		if err := voter.SetupPartitioned(st, cfg.Contestants); err != nil {
+			return nil, err
+		}
+		if err := st.Start(); err != nil {
+			return nil, err
+		}
+		t0 := time.Now()
+		if err := voter.RunPartitioned(st, feed, chunk); err != nil {
+			return nil, err
+		}
+		elapsed := time.Since(t0)
+		res, err := st.Query("SELECT SUM(n) FROM vote_counts")
+		if err != nil {
+			return nil, err
+		}
+		counted := res.Rows[0][0].Int()
+		if err := st.Stop(); err != nil {
+			return nil, err
+		}
+		r := E6Row{
+			Partitions: n,
+			VotesSec:   float64(len(feed)) / elapsed.Seconds(),
+			Counted:    counted,
+			Correct:    counted == expected,
+		}
+		if n == 1 {
+			base = r.VotesSec
+		}
+		if base > 0 {
+			r.Speedup = r.VotesSec / base
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}

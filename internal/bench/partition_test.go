@@ -1,0 +1,29 @@
+package bench
+
+import "testing"
+
+// TestE6Correctness runs the partition scale-out experiment small and
+// checks the engine counted exactly the reference number of valid votes at
+// every partition count — i.e. hash routing neither lost, duplicated, nor
+// misvalidated any vote. Throughput ratios are reported by benchrunner;
+// they are hardware-dependent and not asserted here.
+func TestE6Correctness(t *testing.T) {
+	rows, err := E6(7, 2000, []int{1, 2, 4}, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %v", rows)
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Errorf("partitions=%d counted %d valid votes (reference mismatch)", r.Partitions, r.Counted)
+		}
+		if r.Counted == 0 {
+			t.Errorf("partitions=%d counted nothing", r.Partitions)
+		}
+	}
+	if rows[0].Counted != rows[1].Counted || rows[1].Counted != rows[2].Counted {
+		t.Errorf("partition counts disagree: %v", rows)
+	}
+}

@@ -82,6 +82,30 @@ type Relation struct {
 	Schema *types.Schema
 	Table  *storage.Table
 	Win    *WindowState // non-nil iff Kind == KindWindow
+
+	// PartCol is the ordinal of the hash-partitioning column declared with
+	// PARTITION BY, or -1 when the relation is unpartitioned. In a
+	// multi-partition store the router hashes this column to pick the owning
+	// partition; unpartitioned tables are treated as replicated reference
+	// data and unpartitioned streams are pinned to partition 0.
+	PartCol int
+}
+
+// Partitioned reports whether the relation declares a partitioning column.
+func (r *Relation) Partitioned() bool { return r.PartCol >= 0 }
+
+// SetPartitionColumn resolves and records the PARTITION BY column. Windows
+// inherit their source stream's partitioning and cannot declare their own.
+func (r *Relation) SetPartitionColumn(name string) error {
+	if r.Kind == KindWindow {
+		return fmt.Errorf("catalog: window %q cannot declare PARTITION BY", r.Name)
+	}
+	ord := r.Schema.ColumnIndex(name)
+	if ord < 0 {
+		return fmt.Errorf("catalog: relation %q has no column %q to partition by", r.Name, name)
+	}
+	r.PartCol = ord
+	return nil
 }
 
 // Catalog is the metadata root. It is mutated only during DDL (which the
@@ -163,7 +187,15 @@ func (c *Catalog) CreateWindow(name string, spec WindowSpec) (*Relation, error) 
 		return nil, err
 	}
 	spec.Source = src.Name
-	return c.create(schema, KindWindow, &WindowState{Spec: spec})
+	rel, err := c.create(schema, KindWindow, &WindowState{Spec: spec})
+	if err != nil {
+		return nil, err
+	}
+	// A window over a partitioned stream holds partition-local state; it
+	// inherits the source's partitioning (same schema, same ordinal) so the
+	// query router knows to fan reads out across partitions.
+	rel.PartCol = src.PartCol
+	return rel, nil
 }
 
 func (c *Catalog) create(schema *types.Schema, kind RelationKind, win *WindowState) (*Relation, error) {
@@ -172,11 +204,12 @@ func (c *Catalog) create(schema *types.Schema, kind RelationKind, win *WindowSta
 		return nil, fmt.Errorf("catalog: relation %q already exists", name)
 	}
 	r := &Relation{
-		Name:   name,
-		Kind:   kind,
-		Schema: schema,
-		Table:  storage.NewTable(schema),
-		Win:    win,
+		Name:    name,
+		Kind:    kind,
+		Schema:  schema,
+		Table:   storage.NewTable(schema),
+		Win:     win,
+		PartCol: -1,
 	}
 	c.rels[key(name)] = r
 	return r, nil

@@ -138,3 +138,43 @@ func TestEnumerationsSortedAndKindString(t *testing.T) {
 		t.Fatal("kind strings")
 	}
 }
+
+func TestPartitionColumnMetadata(t *testing.T) {
+	c := New()
+	tbl, err := c.CreateTable(tableSchema(t, "t"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tbl.Partitioned() {
+		t.Fatal("fresh relation should be unpartitioned")
+	}
+	if err := tbl.SetPartitionColumn("V"); err != nil { // case-insensitive
+		t.Fatal(err)
+	}
+	if !tbl.Partitioned() || tbl.PartCol != 1 {
+		t.Fatalf("PartCol = %d", tbl.PartCol)
+	}
+	if err := tbl.SetPartitionColumn("nope"); err == nil {
+		t.Fatal("unknown partition column accepted")
+	}
+
+	// Windows inherit the source stream's partitioning and cannot declare
+	// their own.
+	s, err := c.CreateStream(streamSchema(t, "s"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.SetPartitionColumn("v"); err != nil {
+		t.Fatal(err)
+	}
+	w, err := c.CreateWindow("w", WindowSpec{Rows: true, Size: 4, Slide: 2, Source: "s"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.PartCol != s.PartCol {
+		t.Fatalf("window PartCol = %d, want %d", w.PartCol, s.PartCol)
+	}
+	if err := w.SetPartitionColumn("v"); err == nil {
+		t.Fatal("window PARTITION BY accepted")
+	}
+}

@@ -3,13 +3,28 @@
 // paper's primary contribution packaged as a library — a main-memory OLTP
 // engine (H-Store) extended with streams, windows, EE/PE triggers,
 // workflows, the stream-oriented transaction model, and upstream-backup
-// fault tolerance. The root package sstore re-exports this API.
+// fault tolerance.
+//
+// A Store owns Config.Partitions independent partition replicas, each the
+// H-Store unit of serial execution: its own catalog, execution engine,
+// partition-engine goroutine, and WAL segment. A thin router (router.go)
+// dispatches client requests to the owning partition by hashing the
+// relation's PARTITION BY column (or a procedure's partitioning parameter),
+// fans ad-hoc queries out across partitions and merges the results, and
+// runs store-wide operations (checkpoint, explain) under an all-partition
+// barrier. With the default of one partition the Store behaves exactly as
+// the historical single-partition engine. The root package sstore
+// re-exports this API.
 package core
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/ee"
@@ -22,7 +37,8 @@ import (
 // Config configures a Store.
 type Config struct {
 	// Dir enables durability when non-empty: a command log and snapshots
-	// are kept there, and Recover() restores state from them.
+	// are kept there (one segment pair per partition), and Recover()
+	// restores state from them.
 	Dir string
 	// Sync selects the log fsync policy (default SyncNever: benchmarks on
 	// tmpfs-like media; production would use SyncEveryRecord).
@@ -37,76 +53,57 @@ type Config struct {
 	HStoreMode bool
 	// ForceUnsafe permits ModeFIFO despite shared writable tables.
 	ForceUnsafe bool
+	// Partitions is the number of independent serial-execution partitions
+	// (the H-Store scale-out unit). 0 or 1 yields the classic
+	// single-partition engine; N > 1 hash-partitions PARTITION BY relations
+	// across N replicas of the schema.
+	Partitions int
 }
 
-// Store is one single-partition S-Store instance.
-type Store struct {
-	cfg Config
+// partition is one serial-execution replica: catalog + EE + PE + WAL
+// segment. DDL, triggers, procedures, and bindings are replicated to every
+// partition; data is split by the router.
+type partition struct {
+	idx int
 	cat *catalog.Catalog
 	ee  *ee.Engine
 	pe  *pe.Engine
-	met *metrics.Metrics
+	met *metrics.Metrics // shared across partitions
 	log *wal.Log
 }
 
-// Open creates a Store. Durability files are opened lazily by Recover /
-// Start; Open itself touches no disk.
-func Open(cfg Config) *Store {
-	met := &metrics.Metrics{}
-	cat := catalog.New()
-	exec := ee.New(cat, met)
-	part := pe.New(exec, pe.Config{
-		Mode:        cfg.Mode,
-		HStoreMode:  cfg.HStoreMode,
-		ForceUnsafe: cfg.ForceUnsafe,
-	})
-	return &Store{cfg: cfg, cat: cat, ee: exec, pe: part, met: met}
-}
-
-// Catalog exposes the metadata (read-only use expected).
-func (s *Store) Catalog() *catalog.Catalog { return s.cat }
-
-// EE exposes the execution engine (tests, tools).
-func (s *Store) EE() *ee.Engine { return s.ee }
-
-// PE exposes the partition engine (tests, tools).
-func (s *Store) PE() *pe.Engine { return s.pe }
-
-// Metrics returns the engine's counter set.
-func (s *Store) Metrics() *metrics.Metrics { return s.met }
-
-// ExecScript runs a DDL script (CREATE TABLE / STREAM / WINDOW / INDEX).
-func (s *Store) ExecScript(ddl string) error { return s.ee.ExecScript(ddl) }
-
-// CreateTrigger registers an EE trigger (see ee.Engine.CreateTrigger).
-func (s *Store) CreateTrigger(name, relation string, bodies ...string) error {
-	return s.ee.CreateTrigger(name, relation, bodies...)
-}
-
-// RegisterProcedure adds a stored procedure.
-func (s *Store) RegisterProcedure(p *pe.Procedure) error { return s.pe.RegisterProcedure(p) }
-
-// BindStream wires a PE trigger: tuples on stream become batches of
-// batchSize for proc.
-func (s *Store) BindStream(stream, proc string, batchSize int) error {
-	return s.pe.BindStream(stream, proc, batchSize)
-}
-
-// Recover restores state from the durability directory: load the latest
-// snapshot (if any), then replay intact command-log records past it. Must
-// run after DDL + procedure registration and before Start.
-func (s *Store) Recover() error {
-	if s.cfg.Dir == "" {
+// LogCommit implements pe.CommitLogger: serialize and append the record to
+// this partition's log segment, honoring the sync policy, before the commit
+// is acknowledged.
+func (p *partition) LogCommit(rec *pe.LogRecord) error {
+	if p.log == nil {
 		return nil
 	}
-	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
-		return fmt.Errorf("core: durability dir: %w", err)
+	payload := wal.EncodeRecord(rec)
+	if _, err := p.log.Append(payload); err != nil {
+		return err
 	}
-	logPath, snapPath := wal.Paths(s.cfg.Dir)
-	meta, err := wal.LoadSnapshot(snapPath, s.cat)
+	p.met.LogRecords.Add(1)
+	p.met.LogBytes.Add(int64(len(payload) + 8))
+	return nil
+}
+
+// replay re-executes one logged record during recovery. Replay must see the
+// same log mode the record was written under; the engine interprets
+// triggered records only in LogAllTEs mode.
+func (p *partition) replay(rec *pe.LogRecord, mode pe.LogMode) error {
+	p.pe.SetLogger(nil, mode)
+	return p.pe.Replay(rec)
+}
+
+// recover restores this partition from its snapshot + log segment and opens
+// the log for appending.
+func (p *partition) recover(dir string, sync wal.SyncPolicy, mode pe.LogMode) error {
+	logPath, snapPath := wal.PartitionPaths(dir, p.idx)
+	meta, err := wal.LoadSnapshot(snapPath, p.cat)
 	switch {
 	case err == nil:
-		s.pe.SetNextBatchID(meta.NextBatchID)
+		p.pe.SetNextBatchID(meta.NextBatchID)
 	case err == wal.ErrNoSnapshot:
 		meta = wal.Snapshot{}
 	default:
@@ -120,137 +117,342 @@ func (s *Store) Recover() error {
 		if err != nil {
 			return err
 		}
-		return s.replay(rec)
+		return p.replay(rec, mode)
 	})
 	if err != nil {
-		return fmt.Errorf("core: log replay: %w", err)
+		return fmt.Errorf("core: log replay (partition %d): %w", p.idx, err)
 	}
 	if lastLSN < meta.LastLSN {
 		lastLSN = meta.LastLSN // log truncated at the last checkpoint
 	}
-	s.log, err = wal.OpenLog(logPath, lastLSN, s.cfg.Sync)
+	p.log, err = wal.OpenLog(logPath, lastLSN, sync)
 	if err != nil {
 		return err
 	}
-	s.pe.SetLogger(s, s.cfg.LogMode)
+	p.pe.SetLogger(p, mode)
 	return nil
 }
 
-func (s *Store) replay(rec *pe.LogRecord) error {
-	// Replay must see the same log mode the record was written under; the
-	// engine interprets triggered records only in LogAllTEs mode.
-	s.pe.SetLogger(nil, s.cfg.LogMode)
-	return s.pe.Replay(rec)
+// Store is one S-Store instance: a router over Config.Partitions
+// serial-execution partitions (one by default).
+type Store struct {
+	cfg   Config
+	met   *metrics.Metrics
+	parts []*partition
+	// exclMu serializes all-partition barriers: two interleaved barrier
+	// acquisitions over the same partition set would deadlock each other.
+	exclMu sync.Mutex
+	// routeMu guards the router's reads of partition 0's catalog against
+	// runtime DDL (broadcast through Exec), which mutates the catalog maps
+	// on the partition workers while clients are routing.
+	routeMu sync.RWMutex
+	// recovered is set once Recover completed for every partition;
+	// recoverErr poisons the store after a partial recovery, which cannot
+	// be retried (replayed partitions would replay twice).
+	recovered  bool
+	recoverErr error
 }
 
-// LogCommit implements pe.CommitLogger: serialize and append the record,
-// honoring the sync policy, before the commit is acknowledged.
-func (s *Store) LogCommit(rec *pe.LogRecord) error {
-	if s.log == nil {
+// Open creates a Store. Durability files are opened lazily by Recover /
+// Start; Open itself touches no disk.
+func Open(cfg Config) *Store {
+	n := cfg.Partitions
+	if n < 1 {
+		n = 1
+	}
+	cfg.Partitions = n
+	met := &metrics.Metrics{}
+	s := &Store{cfg: cfg, met: met}
+	for i := 0; i < n; i++ {
+		cat := catalog.New()
+		exec := ee.New(cat, met)
+		part := pe.New(exec, pe.Config{
+			Mode:        cfg.Mode,
+			HStoreMode:  cfg.HStoreMode,
+			ForceUnsafe: cfg.ForceUnsafe,
+		})
+		s.parts = append(s.parts, &partition{idx: i, cat: cat, ee: exec, pe: part, met: met})
+	}
+	return s
+}
+
+// NumPartitions returns the partition count the store was opened with.
+func (s *Store) NumPartitions() int { return len(s.parts) }
+
+// Catalog exposes partition 0's metadata (read-only use expected; every
+// partition holds an identical schema replica).
+func (s *Store) Catalog() *catalog.Catalog { return s.parts[0].cat }
+
+// EE exposes partition 0's execution engine (tests, tools).
+func (s *Store) EE() *ee.Engine { return s.parts[0].ee }
+
+// EEAt exposes partition i's execution engine (tests, tools, and seeding
+// replicated reference data before Start).
+func (s *Store) EEAt(i int) *ee.Engine { return s.parts[i].ee }
+
+// PE exposes partition 0's partition engine (tests, tools).
+func (s *Store) PE() *pe.Engine { return s.parts[0].pe }
+
+// PEAt exposes partition i's partition engine (tests, tools).
+func (s *Store) PEAt(i int) *pe.Engine { return s.parts[i].pe }
+
+// Metrics returns the engine's counter set (shared by all partitions).
+func (s *Store) Metrics() *metrics.Metrics { return s.met }
+
+// ExecScript runs a DDL script (CREATE TABLE / STREAM / WINDOW / INDEX) on
+// every partition replica. Like the single-partition engine, DDL belongs
+// before Start: it executes on the caller's goroutine, and the lock here
+// only keeps the router's catalog reads consistent, not running
+// transactions.
+func (s *Store) ExecScript(ddl string) error {
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	for _, p := range s.parts {
+		if err := p.ee.ExecScript(ddl); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CreateTrigger registers an EE trigger on every partition (see
+// ee.Engine.CreateTrigger).
+func (s *Store) CreateTrigger(name, relation string, bodies ...string) error {
+	for _, p := range s.parts {
+		if err := p.ee.CreateTrigger(name, relation, bodies...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// RegisterProcedure adds a stored procedure to every partition.
+func (s *Store) RegisterProcedure(proc *pe.Procedure) error {
+	for _, p := range s.parts {
+		if err := p.pe.RegisterProcedure(proc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BindStream wires a PE trigger on every partition: tuples on stream become
+// batches of batchSize for proc. On a PARTITION BY stream each partition
+// consumes only its hash share.
+func (s *Store) BindStream(stream, proc string, batchSize int) error {
+	for _, p := range s.parts {
+		if err := p.pe.BindStream(stream, proc, batchSize); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Recover restores state from the durability directory: for each partition,
+// load the latest snapshot (if any), then replay intact command-log records
+// past it. Must run after DDL + procedure registration and before Start.
+// partitionsFileName records the partition count a durability directory
+// was written with. Hash ownership depends on N, so reopening with a
+// different count would silently orphan WAL segments (N shrank) or strand
+// rows on partitions that no longer own their key (N grew).
+const partitionsFileName = "PARTITIONS"
+
+func (s *Store) Recover() error {
+	if s.cfg.Dir == "" || s.recovered {
 		return nil
 	}
-	payload := wal.EncodeRecord(rec)
-	if _, err := s.log.Append(payload); err != nil {
-		return err
+	if s.recoverErr != nil {
+		return fmt.Errorf("core: an earlier recovery failed partway (%w); open a fresh Store", s.recoverErr)
 	}
-	s.met.LogRecords.Add(1)
-	s.met.LogBytes.Add(int64(len(payload) + 8))
+	if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+		return fmt.Errorf("core: durability dir: %w", err) // nothing replayed: retryable
+	}
+	if err := s.checkPartitionCount(); err != nil {
+		return err // nothing replayed: retryable after fixing the config
+	}
+	for _, p := range s.parts {
+		if err := p.recover(s.cfg.Dir, s.cfg.Sync, s.cfg.LogMode); err != nil {
+			s.recoverErr = err // some partitions replayed: a retry would double-apply
+			return err
+		}
+	}
+	s.recovered = true
 	return nil
 }
 
-// Start launches the partition worker. When durability is configured but
+// checkPartitionCount verifies the directory was written with this
+// store's partition count, stamping it on first use.
+func (s *Store) checkPartitionCount() error {
+	path := filepath.Join(s.cfg.Dir, partitionsFileName)
+	data, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		n, convErr := strconv.Atoi(strings.TrimSpace(string(data)))
+		if convErr != nil {
+			return fmt.Errorf("core: corrupt %s file in %s: %q", partitionsFileName, s.cfg.Dir, data)
+		}
+		if n != len(s.parts) {
+			return fmt.Errorf("core: durability dir %s was written with %d partitions, store opened with %d; "+
+				"reopen with Partitions: %d (resharding is not supported)", s.cfg.Dir, n, len(s.parts), n)
+		}
+		return nil
+	case os.IsNotExist(err):
+		// No stamp. A directory that already holds durability files was
+		// written by a pre-stamp (single-partition) version — treat its
+		// recorded count as 1 rather than blessing whatever count we were
+		// opened with, which would strand its rows on partition 0.
+		legacy, globErr := filepath.Glob(filepath.Join(s.cfg.Dir, wal.DefaultLogName+"*"))
+		if globErr == nil && len(legacy) == 0 {
+			legacy, _ = filepath.Glob(filepath.Join(s.cfg.Dir, wal.DefaultSnapshotName+"*"))
+		}
+		if len(legacy) > 0 && len(s.parts) != 1 {
+			return fmt.Errorf("core: durability dir %s predates partition stamping (single-partition data), store opened with %d partitions; "+
+				"reopen with Partitions: 1 (resharding is not supported)", s.cfg.Dir, len(s.parts))
+		}
+		return os.WriteFile(path, []byte(strconv.Itoa(len(s.parts))+"\n"), 0o644)
+	default:
+		return fmt.Errorf("core: %s file: %w", partitionsFileName, err)
+	}
+}
+
+// Start launches the partition workers. When durability is configured but
 // Recover was not called, Start calls it.
 func (s *Store) Start() error {
-	if s.cfg.Dir != "" && s.log == nil {
+	if s.cfg.Dir != "" && s.recovered && s.parts[0].log == nil {
+		// Stop closed the logs; restarting this Store would silently run
+		// with LogCommit as a no-op (acked commits lost on crash), and
+		// re-running Recover would replay the log on top of live state.
+		return fmt.Errorf("core: durable store was stopped; open a fresh Store to restart")
+	}
+	if s.cfg.Dir != "" && !s.recovered {
 		if err := s.Recover(); err != nil {
 			return err
 		}
 	}
-	return s.pe.Start()
-}
-
-// Stop stops the worker and closes the log.
-func (s *Store) Stop() {
-	s.pe.Stop()
-	if s.log != nil {
-		_ = s.log.Sync()
-		_ = s.log.Close()
-		s.log = nil
+	for i, p := range s.parts {
+		if err := p.pe.Start(); err != nil {
+			for _, q := range s.parts[:i] {
+				q.pe.Stop()
+			}
+			return err
+		}
 	}
+	return nil
 }
 
-// Checkpoint writes a snapshot at a quiescent point and truncates the
-// command log (H-Store's periodic snapshotting).
+// Stop stops every partition worker and closes the log segments, reporting
+// any sync/close failure (a dropped fsync at shutdown is data loss under
+// SyncNever, so callers should check).
+func (s *Store) Stop() error {
+	for _, p := range s.parts {
+		p.pe.Stop()
+	}
+	var errs []error
+	for _, p := range s.parts {
+		if p.log == nil {
+			continue
+		}
+		if err := p.log.Sync(); err != nil {
+			errs = append(errs, fmt.Errorf("core: log sync (partition %d): %w", p.idx, err))
+		}
+		if err := p.log.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("core: log close (partition %d): %w", p.idx, err))
+		}
+		p.log = nil
+	}
+	return errors.Join(errs...)
+}
+
+// Checkpoint writes a snapshot of every partition at a store-wide quiescent
+// point and truncates the command logs (H-Store's periodic snapshotting).
+// All partitions are held at their barrier simultaneously, so the snapshot
+// set is a consistent cut across the store.
 func (s *Store) Checkpoint() error {
 	if s.cfg.Dir == "" {
 		return fmt.Errorf("core: no durability directory configured")
 	}
-	_, snapPath := wal.Paths(s.cfg.Dir)
-	return s.pe.RunExclusive(func() error {
-		meta := wal.Snapshot{NextBatchID: s.pe.NextBatchID()}
-		if s.log != nil {
-			meta.LastLSN = s.log.LSN()
-		}
-		if err := wal.WriteSnapshot(snapPath, s.cat, meta); err != nil {
-			return err
-		}
-		if s.log != nil {
-			return s.log.Truncate()
+	return s.runExclusiveAll(func() error {
+		for _, p := range s.parts {
+			_, snapPath := wal.PartitionPaths(s.cfg.Dir, p.idx)
+			meta := wal.Snapshot{NextBatchID: p.pe.NextBatchID()}
+			if p.log != nil {
+				meta.LastLSN = p.log.LSN()
+			}
+			if err := wal.WriteSnapshot(snapPath, p.cat, meta); err != nil {
+				return err
+			}
+			if p.log != nil {
+				if err := p.log.Truncate(); err != nil {
+					return err
+				}
+			}
 		}
 		return nil
 	})
 }
 
-// Call invokes a stored procedure (one OLTP transaction).
+// Call invokes a stored procedure (one OLTP transaction) on its owning
+// partition — selected by the procedure's PartitionParam, partition 0 when
+// unpartitioned.
 func (s *Store) Call(proc string, params ...types.Value) (*pe.Result, error) {
-	return s.pe.Call(proc, params...)
+	eng, err := s.callTarget(proc, params)
+	if err != nil {
+		return nil, err
+	}
+	return eng.Call(proc, params...)
 }
 
-// CallAsync submits an invocation without waiting.
+// CallAsync submits an invocation to the owning partition without waiting.
 func (s *Store) CallAsync(proc string, params ...types.Value) <-chan pe.CallResult {
-	return s.pe.CallAsync(proc, params...)
+	eng, err := s.callTarget(proc, params)
+	if err != nil {
+		done := make(chan pe.CallResult, 1)
+		done <- pe.CallResult{Err: err}
+		return done
+	}
+	return eng.CallAsync(proc, params...)
 }
 
-// Ingest pushes tuples onto a bound border stream.
-func (s *Store) Ingest(stream string, rows ...types.Row) error {
-	return s.pe.Ingest(stream, rows...)
-}
-
-// FlushBatches dispatches partial border batches.
-func (s *Store) FlushBatches() { s.pe.FlushBatches() }
-
-// Query runs an ad-hoc read-only query.
-func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
-	return s.pe.Query(sqlText, params...)
-}
-
-// Exec runs an ad-hoc DML statement as its own transaction (not command-
-// logged; durable writes belong in stored procedures).
-func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) {
-	return s.pe.Exec(sqlText, params...)
+// FlushBatches dispatches partial border batches on every partition.
+func (s *Store) FlushBatches() {
+	for _, p := range s.parts {
+		p.pe.FlushBatches()
+	}
 }
 
 // Explain returns the physical plan the engine would execute for a SQL
-// statement (access paths, join order, grouping). Planning runs on the
-// partition goroutine so it never races with execution.
+// statement (access paths, join order, grouping). Planning runs on
+// partition 0's goroutine — all partitions share the same schema, so the
+// plan is representative — and never races with execution.
 func (s *Store) Explain(sqlText string) (string, error) {
 	var out string
-	err := s.pe.RunExclusive(func() error {
+	err := s.parts[0].pe.RunExclusive(func() error {
 		var err error
-		out, err = s.ee.ExplainSQL(sqlText)
+		out, err = s.parts[0].ee.ExplainSQL(sqlText)
 		return err
 	})
 	return out, err
 }
 
-// Drain waits for all queued work to finish.
-func (s *Store) Drain() { s.pe.Drain() }
+// Drain waits for all queued work on every partition to finish.
+func (s *Store) Drain() {
+	for _, p := range s.parts {
+		p.pe.Drain()
+	}
+}
 
-// RemoveDurableState deletes the snapshot and log (test helper).
+// RemoveDurableState deletes the snapshots and logs of every partition
+// (test helper).
 func RemoveDurableState(dir string) error {
-	for _, n := range []string{wal.DefaultLogName, wal.DefaultSnapshotName} {
-		if err := os.Remove(filepath.Join(dir, n)); err != nil && !os.IsNotExist(err) {
+	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", partitionsFileName} {
+		matches, err := filepath.Glob(filepath.Join(dir, pat))
+		if err != nil {
 			return err
+		}
+		for _, m := range matches {
+			if err := os.Remove(m); err != nil && !os.IsNotExist(err) {
+				return err
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,741 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"strings"
+	"testing"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+const partDDL = `
+	CREATE TABLE totals (k INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY k;
+	CREATE TABLE ref (id INT PRIMARY KEY, v BIGINT);
+	CREATE STREAM events (k INT, amt BIGINT) PARTITION BY k;
+	CREATE STREAM derived (k INT, amt BIGINT) PARTITION BY k;
+`
+
+// buildPartApp is buildApp over hash-partitioned relations: events ->
+// ingest -> derived -> apply, with per-key state in totals.
+func buildPartApp(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	st := Open(cfg)
+	if err := st.ExecScript(partDDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "ingest",
+		WriteSet: []string{"derived"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				if err := ctx.Emit("derived", types.Row{r[0], types.NewInt(r[1].Int() * 2)}); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "apply",
+		ReadSet:  []string{"totals"},
+		WriteSet: []string{"totals"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				row, err := ctx.QueryRow("SELECT n FROM totals WHERE k = ?", r[0])
+				if err != nil {
+					return err
+				}
+				if row == nil {
+					if _, err := ctx.Exec("INSERT INTO totals (k, n) VALUES (?, ?)", r[0], r[1]); err != nil {
+						return err
+					}
+				} else if _, err := ctx.Exec("UPDATE totals SET n = n + ? WHERE k = ?", r[1], r[0]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:           "bump",
+		ReadSet:        []string{"totals"},
+		WriteSet:       []string{"totals"},
+		PartitionParam: 1,
+		Handler: func(ctx *pe.ProcCtx) error {
+			res, err := ctx.Exec("UPDATE totals SET n = n + 100 WHERE k = ?", ctx.Params[0])
+			if err != nil {
+				return err
+			}
+			ctx.SetResult(res)
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindStream("events", "ingest", 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindStream("derived", "apply", 1); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func ingestKeys(t testing.TB, st *Store, keys int, perKey int) {
+	t.Helper()
+	for i := 0; i < perKey; i++ {
+		for k := 0; k < keys; k++ {
+			if err := st.Ingest("events", types.Row{types.NewInt(int64(k)), types.NewInt(1)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+}
+
+func TestPartitionedEndToEnd(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if st.NumPartitions() != 4 {
+		t.Fatalf("NumPartitions = %d", st.NumPartitions())
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 8, 3) // 8 keys x 3 events, each doubled
+	got := totals(t, st)
+	if len(got) != 8 {
+		t.Fatalf("totals = %v", got)
+	}
+	for k, v := range got {
+		if v != 6 {
+			t.Fatalf("totals[%d] = %d want 6 (%v)", k, v, got)
+		}
+	}
+	// The hash split must actually spread keys: with 8 keys over 4
+	// partitions at least 2 partitions hold data.
+	used := 0
+	for i := 0; i < st.NumPartitions(); i++ {
+		rel := st.parts[i].cat.Relation("totals")
+		if rel.Table.Count() > 0 {
+			used++
+		}
+	}
+	if used < 2 {
+		t.Fatalf("hash split used only %d partitions", used)
+	}
+}
+
+func TestPartitionedQueryMerge(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 2)
+
+	// Global aggregate: COUNT and SUM combined across partitions.
+	res, err := st.Query("SELECT COUNT(*), SUM(n) FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 6 || res.Rows[0][1].Int() != 6*4 {
+		t.Fatalf("global agg = %v", res.Rows)
+	}
+
+	// GROUP BY merge: per-key groups recombine (each key lives on exactly
+	// one partition here, but the merge path is exercised regardless).
+	res, err = st.Query("SELECT k, SUM(n) FROM totals GROUP BY k ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("groups = %v", res.Rows)
+	}
+	for i, r := range res.Rows {
+		if r[0].Int() != int64(i) || r[1].Int() != 4 {
+			t.Fatalf("group row %d = %v", i, r)
+		}
+	}
+
+	// Plain select with ORDER BY ... DESC and LIMIT across partitions.
+	res, err = st.Query("SELECT k, n FROM totals ORDER BY k DESC LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 5 || res.Rows[2][0].Int() != 3 {
+		t.Fatalf("order/limit rows = %v", res.Rows)
+	}
+
+	// MIN / MAX combine.
+	res, err = st.Query("SELECT MIN(k), MAX(k) FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 0 || res.Rows[0][1].Int() != 5 {
+		t.Fatalf("min/max = %v", res.Rows)
+	}
+
+	// Unsupported shapes fail loudly instead of silently merging wrong.
+	if _, err := st.Query("SELECT AVG(n) FROM totals"); err == nil ||
+		!strings.Contains(err.Error(), "cannot be merged") {
+		t.Fatalf("AVG err = %v", err)
+	}
+	if _, err := st.Query("SELECT k, SUM(n) FROM totals GROUP BY k LIMIT 2"); err == nil {
+		t.Fatal("agg+LIMIT should be rejected")
+	}
+}
+
+func TestPartitionedCallRouting(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 4, 1)
+	// bump routes by its first parameter; the update must land on the
+	// partition owning that key, so exactly one row changes per call.
+	for k := 0; k < 4; k++ {
+		res, err := st.Call("bump", types.NewInt(int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("bump(%d) affected %d rows", k, res.RowsAffected)
+		}
+	}
+	res, err := st.Query("SELECT SUM(n) FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 4*2+4*100 {
+		t.Fatalf("sum after bumps = %d", got)
+	}
+}
+
+func TestPartitionedExecRouting(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 3})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	// Routed INSERT: each row lands on exactly one partition.
+	for k := 0; k < 9; k++ {
+		if _, err := st.Exec("INSERT INTO totals (k, n) VALUES (?, ?)",
+			types.NewInt(int64(k)), types.NewInt(int64(k))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var stored int
+	for i := 0; i < st.NumPartitions(); i++ {
+		stored += st.parts[i].cat.Relation("totals").Table.Count()
+	}
+	if stored != 9 {
+		t.Fatalf("stored %d rows across partitions, want 9 (no duplication)", stored)
+	}
+
+	// Broadcast UPDATE on a partitioned table: RowsAffected sums shards.
+	res, err := st.Exec("UPDATE totals SET n = n + 1 WHERE k < 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 5 {
+		t.Fatalf("broadcast update affected %d", res.RowsAffected)
+	}
+
+	// Replicated reference table: INSERT applies to every partition, and a
+	// query over it runs on partition 0 (no double counting).
+	if _, err := st.Exec("INSERT INTO ref VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.NumPartitions(); i++ {
+		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 1 {
+			t.Fatalf("partition %d ref rows = %d", i, n)
+		}
+	}
+	q, err := st.Query("SELECT COUNT(*) FROM ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rows[0][0].Int() != 1 {
+		t.Fatalf("replicated count = %v (double counted?)", q.Rows)
+	}
+
+	// A multi-row INSERT spanning partitions is rejected, not misrouted.
+	if _, err := st.Exec("INSERT INTO totals (k, n) VALUES (100, 0), (101, 0), (102, 0)"); err == nil {
+		t.Fatal("cross-partition multi-row INSERT should be rejected")
+	}
+}
+
+func TestPartitionedRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 8, 2)
+	want := totals(t, st)
+	if err := st.Stop(); err != nil { // crash point: logs persisted
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	got := totals(t, st2)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered %v want %v", got, want)
+	}
+	// Routing is deterministic across processes: rows recovered into
+	// partition k are still owned by partition k, so keyed calls work.
+	for k := 0; k < 8; k++ {
+		res, err := st2.Call("bump", types.NewInt(int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("post-recovery bump(%d) affected %d rows", k, res.RowsAffected)
+		}
+	}
+}
+
+func TestPartitionedCheckpointRecovery(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 3})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 6, 2)
+	if err := st.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 6, 1) // post-snapshot work lives only in the logs
+	want := totals(t, st)
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 3})
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	if got := totals(t, st2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered %v want %v", got, want)
+	}
+}
+
+func TestSinglePartitionConfigUnchanged(t *testing.T) {
+	// Partitions: 0 and 1 both mean the classic single-partition engine,
+	// including for PARTITION BY schemas.
+	for _, n := range []int{0, 1} {
+		st := buildPartApp(t, Config{Partitions: n})
+		if st.NumPartitions() != 1 {
+			t.Fatalf("Partitions=%d -> NumPartitions=%d", n, st.NumPartitions())
+		}
+		if err := st.Start(); err != nil {
+			t.Fatal(err)
+		}
+		ingestKeys(t, st, 4, 2)
+		got := totals(t, st)
+		for k, v := range got {
+			if v != 4 {
+				t.Fatalf("totals[%d] = %d", k, v)
+			}
+		}
+		if err := st.Stop(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestPartitionHashDeterministic(t *testing.T) {
+	vals := []types.Value{
+		types.NewInt(7), types.NewFloat(7.0), types.NewString("abc"),
+		types.NewBool(true), types.NewTimestamp(123456), types.Null,
+	}
+	// Int 7 and Float 7.0 compare equal, so they must hash equal.
+	if partitionHash(vals[0]) != partitionHash(vals[1]) {
+		t.Fatal("BIGINT 7 and FLOAT 7.0 must hash alike")
+	}
+	for _, v := range vals {
+		if partitionHash(v) != partitionHash(v) {
+			t.Fatalf("hash of %v unstable", v)
+		}
+	}
+}
+
+// TestPartitionedMergeRejections pins the shapes the fan-out merge must
+// reject loudly instead of combining wrong (DESIGN.md §4.2).
+func TestPartitionedMergeRejections(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 8, 1)
+
+	// GROUP BY key missing from the projection would collapse all groups.
+	if _, err := st.Query("SELECT COUNT(*) FROM totals GROUP BY k"); err == nil ||
+		!strings.Contains(err.Error(), "bare column") {
+		t.Fatalf("hidden GROUP BY key err = %v", err)
+	}
+
+	// An alias shadowing a different expression (the engine groups by the
+	// source column, the merge would re-group on the projected value).
+	if _, err := st.Query("SELECT k % 3 AS k, SUM(n) FROM totals GROUP BY k"); err == nil ||
+		!strings.Contains(err.Error(), "bare column") {
+		t.Fatalf("alias-shadowed GROUP BY key err = %v", err)
+	}
+
+	// GROUP BY without aggregates re-deduplicates instead of concatenating
+	// duplicate per-partition group rows.
+	res, err := st.Query("SELECT k FROM totals GROUP BY k ORDER BY k")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 8 {
+		t.Fatalf("grouped keys = %v", res.Rows)
+	}
+	for i, r := range res.Rows {
+		if r[0].Int() != int64(i) {
+			t.Fatalf("grouped keys = %v", res.Rows)
+		}
+	}
+
+	// Self-join of a partitioned relation loses cross-partition pairs.
+	if _, err := st.Query("SELECT COUNT(*) FROM totals a JOIN totals b ON a.n = b.n"); err == nil ||
+		!strings.Contains(err.Error(), "joining two partitioned") {
+		t.Fatalf("partitioned join err = %v", err)
+	}
+
+	// Joining against a replicated reference table is co-located and fine.
+	if _, err := st.Exec("INSERT INTO ref VALUES (0, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err = st.Query("SELECT COUNT(*) FROM totals t JOIN ref r ON r.id = 0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 8 {
+		t.Fatalf("replicated join count = %v", res.Rows)
+	}
+}
+
+// TestCallMissingPartitionParam pins that a keyed procedure invoked with
+// too few parameters errors instead of silently running on partition 0.
+func TestCallMissingPartitionParam(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, err := st.Call("bump"); err == nil ||
+		!strings.Contains(err.Error(), "routes by parameter") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// TestPartitionCountMismatchRejected pins that a durability directory
+// written with N partitions refuses to open with a different count instead
+// of silently orphaning WAL segments or misrouting recovered keys.
+func TestPartitionCountMismatchRejected(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 8, 1)
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 1})
+	if err := st2.Start(); err == nil || !strings.Contains(err.Error(), "written with 4 partitions") {
+		st2.Stop()
+		t.Fatalf("err = %v", err)
+	}
+
+	// The matching count still opens (the mismatch did not poison the dir).
+	st3 := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Stop()
+	if got := totals(t, st3); len(got) != 8 {
+		t.Fatalf("recovered totals = %v", got)
+	}
+}
+
+// TestHavingAndSubqueryRejections pins two more merge-unsafe shapes.
+func TestHavingAndSubqueryRejections(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 1)
+
+	// Aggregate HAVING without a projected aggregate filters partial
+	// groups per partition.
+	if _, err := st.Query("SELECT k FROM totals GROUP BY k HAVING COUNT(*) > 1"); err == nil ||
+		!strings.Contains(err.Error(), "HAVING") {
+		t.Fatalf("aggregate HAVING err = %v", err)
+	}
+
+	// Subquery over a partitioned relation inside a JOIN ON clause.
+	if _, err := st.Query(
+		"SELECT COUNT(*) FROM totals t JOIN ref r ON r.id IN (SELECT k FROM totals)"); err == nil ||
+		!strings.Contains(err.Error(), "subquery over partitioned") {
+		t.Fatalf("join-on subquery err = %v", err)
+	}
+
+	// Partitioned relation joined inside a subquery whose FROM is not
+	// partitioned.
+	if _, err := st.Query(
+		"SELECT k FROM totals WHERE k IN (SELECT r.id FROM ref r JOIN derived d ON d.k = r.id)"); err == nil ||
+		!strings.Contains(err.Error(), "subquery over partitioned") {
+		t.Fatalf("nested-join subquery err = %v", err)
+	}
+}
+
+// TestSubqueryOverPinnedStreamRejected pins that a fan-out query cannot
+// consult an unpartitioned stream in a subquery: its tuples exist only on
+// partition 0, so legs 1..N-1 would see it empty.
+func TestSubqueryOverPinnedStreamRejected(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.ExecScript("CREATE STREAM alerts (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 4, 1)
+	if _, err := st.Query("SELECT k FROM totals WHERE k IN (SELECT id FROM alerts)"); err == nil ||
+		!strings.Contains(err.Error(), "partition 0 only") {
+		t.Fatalf("pinned-stream subquery err = %v", err)
+	}
+}
+
+// TestConcurrentRoutingUnderRace drives routed ingest, keyed calls,
+// broadcast writes, and fan-out queries from concurrent goroutines; its
+// value is under -race, where it verifies the router's synchronization.
+// (Runtime DDL through Exec is impossible — the engine's prepared path
+// rejects DDL — so schema stays fixed here, as the API requires.)
+func TestConcurrentRoutingUnderRace(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 2})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			if _, err := st.Exec("UPDATE totals SET n = n + 1 WHERE k < 0"); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 200; i++ {
+		if err := st.Ingest("events", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := st.Query("SELECT COUNT(*) FROM totals"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	st.FlushBatches()
+	st.Drain()
+}
+
+// TestRound4Guards pins the fourth review round: LEFT JOIN onto a
+// partitioned right side, Exec(SELECT) completeness, partition-column
+// UPDATE, and legacy-directory partition stamping.
+func TestRound4Guards(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 1)
+	if _, err := st.Exec("INSERT INTO ref VALUES (3, 1)"); err != nil {
+		t.Fatal(err)
+	}
+
+	// LEFT JOIN with a partitioned right side would emit spurious NULL
+	// rows from non-owning legs.
+	if _, err := st.Query("SELECT r.id, t.n FROM ref r LEFT JOIN totals t ON t.k = r.id"); err == nil ||
+		!strings.Contains(err.Error(), "LEFT JOIN onto partitioned") {
+		t.Fatalf("left join err = %v", err)
+	}
+	// The mirrored direction (partitioned left, replicated right) is
+	// leg-safe and keeps working.
+	if _, err := st.Query("SELECT t.k FROM totals t LEFT JOIN ref r ON r.id = t.k"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exec of a SELECT must return the complete fanned-out result, not
+	// partition 0's shard.
+	res, err := st.Exec("SELECT k FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 {
+		t.Fatalf("Exec(SELECT) rows = %d want 6", len(res.Rows))
+	}
+
+	// Changing the partition key would strand the row.
+	if _, err := st.Exec("UPDATE totals SET k = 100 WHERE k = 1"); err == nil ||
+		!strings.Contains(err.Error(), "cannot change partition column") {
+		t.Fatalf("rekey err = %v", err)
+	}
+	// Non-key updates still broadcast fine.
+	if _, err := st.Exec("UPDATE totals SET n = n + 1 WHERE k = 1"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLegacyDirRequiresSinglePartition pins that a pre-stamp durability
+// directory (WAL files, no PARTITIONS file) refuses to open multi-
+// partition instead of stranding its rows on partition 0.
+func TestLegacyDirRequiresSinglePartition(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 1})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 4, 1)
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Remove(dir + "/PARTITIONS"); err != nil { // simulate pre-stamp writer
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st2.Start(); err == nil || !strings.Contains(err.Error(), "predates partition stamping") {
+		st2.Stop()
+		t.Fatalf("err = %v", err)
+	}
+
+	st3 := buildPartApp(t, Config{Dir: dir, Partitions: 1})
+	if err := st3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Stop()
+	if got := totals(t, st3); len(got) != 4 {
+		t.Fatalf("legacy recovery totals = %v", got)
+	}
+}
+
+// TestWritePathSubqueryGuards pins the sixth review round: broadcast
+// UPDATE/DELETE and INSERT...SELECT must not silently evaluate
+// cross-partition subqueries or shard-local SELECT sources.
+func TestWritePathSubqueryGuards(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 8, 1)
+
+	// DELETE with a subquery over a partitioned relation: each leg would
+	// see only its shard of the subquery result.
+	if _, err := st.Exec("DELETE FROM totals WHERE k IN (SELECT k FROM derived)"); err == nil ||
+		!strings.Contains(err.Error(), "subquery over partitioned") {
+		t.Fatalf("delete subquery err = %v", err)
+	}
+	// UPDATE likewise.
+	if _, err := st.Exec("UPDATE totals SET n = 0 WHERE k IN (SELECT k FROM totals)"); err == nil ||
+		!strings.Contains(err.Error(), "subquery over partitioned") {
+		t.Fatalf("update subquery err = %v", err)
+	}
+	// A subquery over a replicated table is leg-identical and fine.
+	if _, err := st.Exec("INSERT INTO ref VALUES (2, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec("UPDATE totals SET n = n + 1 WHERE k IN (SELECT id FROM ref)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 1 {
+		t.Fatalf("replicated-subquery update affected %d", res.RowsAffected)
+	}
+
+	// INSERT ... SELECT from a partitioned source into a replicated table
+	// would leave each replica holding only its shard.
+	if _, err := st.Exec("INSERT INTO ref SELECT k, n FROM totals"); err == nil ||
+		!strings.Contains(err.Error(), "INSERT ... SELECT from partitioned") {
+		t.Fatalf("insert-select err = %v", err)
+	}
+	// Replicated-to-replicated INSERT ... SELECT stays leg-identical and
+	// keeps working.
+	if _, err := st.Exec("INSERT INTO ref SELECT id + 100, v FROM ref"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.NumPartitions(); i++ {
+		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 2 {
+			t.Fatalf("partition %d ref rows = %d want 2", i, n)
+		}
+	}
+}
+
+// TestPinnedSubqueryAllowedOnPartitionZero pins that a query with no
+// partitioned relation — which runs solely on partition 0 — may consult a
+// pinned stream in a subquery (partition 0 holds it in full).
+func TestPinnedSubqueryAllowedOnPartitionZero(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.ExecScript("CREATE STREAM alerts (id INT)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, err := st.Exec("INSERT INTO ref VALUES (1, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Query("SELECT id FROM ref WHERE id IN (SELECT id FROM alerts)"); err != nil {
+		t.Fatalf("partition-0-only pinned subquery rejected: %v", err)
+	}
+}
+
+// TestFanoutLimitCoercion pins that a non-integer LIMIT in a fanned-out
+// query returns an error instead of panicking the router.
+func TestFanoutLimitCoercion(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 4, 1)
+	if _, err := st.Query("SELECT k FROM totals LIMIT ?", types.NewString("abc")); err == nil ||
+		!strings.Contains(err.Error(), "LIMIT must be a non-negative integer") {
+		t.Fatalf("string LIMIT err = %v", err)
+	}
+	if _, err := st.Query("SELECT k FROM totals LIMIT ?", types.NewInt(-1)); err == nil {
+		t.Fatal("negative LIMIT accepted")
+	}
+	// A float that is a whole number coerces fine.
+	res, err := st.Query("SELECT k FROM totals ORDER BY k LIMIT ?", types.NewFloat(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %v", res.Rows)
+	}
+}

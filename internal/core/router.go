@@ -1,0 +1,945 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/catalog"
+	"repro/internal/pe"
+	"repro/internal/sql"
+	"repro/internal/types"
+)
+
+// This file is the router: the thin layer that maps client requests onto
+// the store's partitions. Routing rules:
+//
+//   - Ingest on a PARTITION BY stream splits the tuples by key hash and
+//     forwards each share to its owning partition; unpartitioned streams
+//     are pinned to partition 0.
+//   - Call routes by the procedure's PartitionParam (partition 0 when
+//     unpartitioned).
+//   - Exec routes single-partition INSERTs by key, broadcasts UPDATE /
+//     DELETE on partitioned tables (each partition touches only its local
+//     rows), and broadcasts writes to unpartitioned tables, which are
+//     treated as replicated reference data.
+//   - Query fans out to all partitions when a partitioned relation is
+//     referenced and merges the per-partition results (concatenation,
+//     re-aggregation of COUNT/SUM/MIN/MAX, global re-sort, LIMIT).
+//
+// The hash is deterministic across processes (unlike types.Value.Hash,
+// which is seeded per process) because a row routed to partition k before a
+// crash must still be owned by partition k after recovery.
+
+// partitionHash is FNV-1a over a canonical encoding of the value,
+// collapsing BIGINT 2 and FLOAT 2.0 the way Value.Compare equality does.
+func partitionHash(v types.Value) uint64 {
+	const (
+		offset = 14695981039346656037
+		prime  = 1099511628211
+	)
+	h := uint64(offset)
+	mix := func(b byte) {
+		h ^= uint64(b)
+		h *= prime
+	}
+	mix64 := func(u uint64) {
+		for i := 0; i < 8; i++ {
+			mix(byte(u >> (8 * i)))
+		}
+	}
+	switch v.Type() {
+	case types.TypeNull:
+		mix(0)
+	case types.TypeBool:
+		mix(1)
+		if v.Bool() {
+			mix(1)
+		} else {
+			mix(0)
+		}
+	case types.TypeInt, types.TypeFloat:
+		mix(2)
+		f := v.Float()
+		if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= -1e15 && f <= 1e15 {
+			mix64(uint64(int64(f)))
+		} else {
+			mix64(math.Float64bits(f))
+		}
+	case types.TypeString:
+		mix(3)
+		for i := 0; i < len(v.Str()); i++ {
+			mix(v.Str()[i])
+		}
+	case types.TypeTimestamp:
+		mix(4)
+		mix64(uint64(v.Timestamp()))
+	}
+	return h
+}
+
+// partitionFor maps a key value to its owning partition index.
+func (s *Store) partitionFor(v types.Value) int {
+	return int(partitionHash(v) % uint64(len(s.parts)))
+}
+
+// routingRelation resolves a relation for routing decisions, synchronized
+// against runtime DDL. The returned Relation's metadata fields (Kind,
+// PartCol, Schema) are immutable after creation; only the catalog map
+// itself needs the lock.
+func (s *Store) routingRelation(name string) *catalog.Relation {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.parts[0].cat.Relation(name)
+}
+
+// callTarget picks the partition engine that owns a procedure invocation.
+// A missing partitioning parameter is an error, not a fallback: silently
+// running on partition 0 would write keyed rows to a partition that does
+// not own them.
+func (s *Store) callTarget(proc string, params []types.Value) (*pe.Engine, error) {
+	p0 := s.parts[0]
+	if len(s.parts) == 1 {
+		return p0.pe, nil
+	}
+	pr := p0.pe.Procedure(proc)
+	if pr == nil || pr.PartitionParam <= 0 {
+		return p0.pe, nil // unknown proc errors in the engine; unpartitioned runs on 0
+	}
+	if pr.PartitionParam > len(params) {
+		return nil, fmt.Errorf("core: procedure %q routes by parameter %d but only %d supplied",
+			proc, pr.PartitionParam, len(params))
+	}
+	return s.parts[s.partitionFor(params[pr.PartitionParam-1])].pe, nil
+}
+
+// Ingest pushes tuples onto a bound border stream, hash-splitting them
+// across partitions when the stream declares PARTITION BY. Relative order
+// is preserved within each partition (the paper's per-partition natural
+// order; there is no cross-partition order, exactly as in H-Store).
+func (s *Store) Ingest(stream string, rows ...types.Row) error {
+	if len(s.parts) == 1 {
+		return s.parts[0].pe.Ingest(stream, rows...)
+	}
+	rel := s.routingRelation(stream)
+	if rel == nil || !rel.Partitioned() {
+		return s.parts[0].pe.Ingest(stream, rows...)
+	}
+	buckets := make([][]types.Row, len(s.parts))
+	for _, r := range rows {
+		if rel.PartCol >= len(r) {
+			return fmt.Errorf("core: ingest into %s: row has %d columns, partition column is #%d",
+				stream, len(r), rel.PartCol+1)
+		}
+		i := s.partitionFor(r[rel.PartCol])
+		buckets[i] = append(buckets[i], r)
+	}
+	for i, b := range buckets {
+		if len(b) == 0 {
+			continue
+		}
+		if err := s.parts[i].pe.Ingest(stream, b...); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Exec runs an ad-hoc DML statement as its own transaction (not command-
+// logged; durable writes belong in stored procedures), routed per the rules
+// at the top of this file.
+func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) {
+	if len(s.parts) == 1 {
+		return s.parts[0].pe.Exec(sqlText, params...)
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	switch st := stmt.(type) {
+	case *sql.Insert:
+		rel := s.routingRelation(st.Table)
+		if rel == nil {
+			return s.parts[0].pe.Exec(sqlText, params...) // engine produces the error
+		}
+		if !rel.Partitioned() {
+			// INSERT ... SELECT must read the same rows on every replica
+			// (broadcast) or in full on partition 0 (pinned stream target).
+			if st.Query != nil {
+				s.routeMu.RLock()
+				err := vetSourceSelect(s.parts[0].cat, st.Query, rel.Kind == catalog.KindTable)
+				s.routeMu.RUnlock()
+				if err != nil {
+					return nil, err
+				}
+			}
+			if rel.Kind == catalog.KindTable {
+				return s.broadcastExec(sqlText, params, false)
+			}
+			return s.parts[0].pe.Exec(sqlText, params...)
+		}
+		idx, err := s.insertTarget(st, rel, params)
+		if err != nil {
+			return nil, err
+		}
+		return s.parts[idx].pe.Exec(sqlText, params...)
+	case *sql.Update:
+		// Re-keying a row would leave it on a partition that no longer owns
+		// its hash: keyed routing would miss it and routed INSERTs could
+		// duplicate its primary key store-wide.
+		if rel := s.routingRelation(st.Table); rel != nil && rel.Partitioned() {
+			partName := rel.Schema.Column(rel.PartCol).Name
+			for _, a := range st.Set {
+				if strings.EqualFold(a.Column, partName) {
+					return nil, fmt.Errorf("core: UPDATE cannot change partition column %q of %q (rows cannot move between partitions)", partName, rel.Name)
+				}
+			}
+		}
+		exprs := []sql.Expr{st.Where}
+		for _, a := range st.Set {
+			exprs = append(exprs, a.Value)
+		}
+		if err := s.vetWriteExprs(st.Table, exprs...); err != nil {
+			return nil, err
+		}
+		return s.routeWrite(st.Table, sqlText, params)
+	case *sql.Delete:
+		if err := s.vetWriteExprs(st.Table, st.Where); err != nil {
+			return nil, err
+		}
+		return s.routeWrite(st.Table, sqlText, params)
+	case *sql.Select:
+		// The broadcast branch would return only partition 0's result for a
+		// fanned-out read; reads belong to the Query merge path.
+		return s.querySelect(st, sqlText, params)
+	default:
+		// Anything else ad-hoc applies to every schema replica. (The
+		// engine's prepared path rejects DDL, so this branch cannot mutate
+		// the catalog; runtime schema changes go through ExecScript.)
+		return s.broadcastExec(sqlText, params, false)
+	}
+}
+
+// vetWriteExprs guards UPDATE / DELETE expressions: a broadcast write
+// (partitioned or replicated target) evaluates subqueries per leg against
+// local data, so subqueries over partitioned or partition-0-pinned
+// relations would silently change which rows are touched. Writes pinned to
+// partition 0 (unpartitioned stream target) still must not consult
+// partitioned relations, whose data partition 0 holds only a shard of.
+func (s *Store) vetWriteExprs(table string, exprs ...sql.Expr) error {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	cat := s.parts[0].cat
+	rel := cat.Relation(table)
+	broadcast := rel == nil || rel.Partitioned() || rel.Kind == catalog.KindTable
+	return fanoutSubqueryCheck(cat, broadcast, exprs...)
+}
+
+// routeWrite routes an UPDATE / DELETE by its target relation.
+func (s *Store) routeWrite(table, sqlText string, params []types.Value) (*pe.Result, error) {
+	rel := s.routingRelation(table)
+	switch {
+	case rel == nil:
+		return s.parts[0].pe.Exec(sqlText, params...)
+	case rel.Partitioned():
+		return s.broadcastExec(sqlText, params, true)
+	case rel.Kind == catalog.KindTable:
+		return s.broadcastExec(sqlText, params, false)
+	default:
+		return s.parts[0].pe.Exec(sqlText, params...)
+	}
+}
+
+// broadcastExec runs the statement on every partition concurrently (the
+// partitions are independent serial engines, exactly like the Query
+// fan-out). With sum set the returned RowsAffected is the total across
+// partitions (hash-split data); without it partition 0's count stands for
+// the logical result (replicated data, where every partition affected the
+// same logical rows).
+//
+// There is no cross-partition atomicity: each leg commits or rolls back
+// on its own, so a failure on one partition leaves the others' changes in
+// place (a cross-partition coordinator is a ROADMAP item). The error says
+// so when it happens; ad-hoc Exec is a setup/tooling path, not the
+// durable write path.
+func (s *Store) broadcastExec(sqlText string, params []types.Value, sum bool) (*pe.Result, error) {
+	results := make([]*pe.Result, len(s.parts))
+	errs := make([]error, len(s.parts))
+	var wg sync.WaitGroup
+	for i := range s.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.parts[i].pe.Exec(sqlText, params...)
+		}(i)
+	}
+	wg.Wait()
+	applied := 0
+	var firstErr error
+	for _, err := range errs {
+		if err == nil {
+			applied++
+		} else if firstErr == nil {
+			firstErr = err
+		}
+	}
+	if firstErr != nil {
+		if applied > 0 {
+			return nil, fmt.Errorf("core: broadcast statement failed on %d of %d partitions but committed on the rest "+
+				"(ad-hoc cross-partition writes are not atomic): %w", len(s.parts)-applied, len(s.parts), firstErr)
+		}
+		return nil, firstErr
+	}
+	first := results[0]
+	if sum && first != nil {
+		total := 0
+		for _, res := range results {
+			if res != nil {
+				total += res.RowsAffected
+			}
+		}
+		first.RowsAffected = total
+	}
+	return first, nil
+}
+
+// insertTarget resolves the owning partition of an INSERT ... VALUES into a
+// partitioned relation. Every value tuple must hash to the same partition.
+func (s *Store) insertTarget(ins *sql.Insert, rel *catalog.Relation, params []types.Value) (int, error) {
+	if ins.Query != nil {
+		return 0, fmt.Errorf("core: INSERT ... SELECT into partitioned relation %q is not routable; insert per partition", rel.Name)
+	}
+	pos := rel.PartCol
+	if len(ins.Columns) > 0 {
+		partName := rel.Schema.Column(rel.PartCol).Name
+		pos = -1
+		for i, c := range ins.Columns {
+			if strings.EqualFold(c, partName) {
+				pos = i
+				break
+			}
+		}
+		if pos < 0 {
+			return 0, fmt.Errorf("core: INSERT into partitioned %q must supply partition column %q", rel.Name, partName)
+		}
+	}
+	target := -1
+	for _, row := range ins.Rows {
+		if pos >= len(row) {
+			return 0, fmt.Errorf("core: INSERT into %q: tuple has no value for partition column", rel.Name)
+		}
+		v, err := staticExprValue(row[pos], params)
+		if err != nil {
+			return 0, err
+		}
+		i := s.partitionFor(v)
+		if target == -1 {
+			target = i
+		} else if target != i {
+			return 0, fmt.Errorf("core: multi-row INSERT into %q spans partitions; split it by partition key", rel.Name)
+		}
+	}
+	if target == -1 {
+		target = 0
+	}
+	return target, nil
+}
+
+// staticExprValue evaluates the partition-key expression of an INSERT tuple
+// without an execution context: literals and positional parameters only.
+func staticExprValue(e sql.Expr, params []types.Value) (types.Value, error) {
+	switch x := e.(type) {
+	case *sql.Literal:
+		return x.Value, nil
+	case *sql.Param:
+		if x.Index < 0 || x.Index >= len(params) {
+			return types.Null, fmt.Errorf("core: parameter ?%d not supplied", x.Index+1)
+		}
+		return params[x.Index], nil
+	}
+	return types.Null, fmt.Errorf("core: partition key must be a literal or parameter")
+}
+
+// Query runs an ad-hoc read-only query. Queries touching only unpartitioned
+// relations run on partition 0; queries over partitioned relations fan out
+// to every partition and the results are merged (see mergePlan for the
+// supported shapes).
+func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
+	if len(s.parts) == 1 {
+		return s.parts[0].pe.Query(sqlText, params...)
+	}
+	stmt, err := sql.Parse(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return s.parts[0].pe.Query(sqlText, params...)
+	}
+	return s.querySelect(sel, sqlText, params)
+}
+
+// querySelect is Query after parsing; Exec reuses it for ad-hoc SELECTs so
+// the text is not parsed twice.
+func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Value) (*pe.Result, error) {
+	part, err := s.queryScope(sel)
+	if err != nil {
+		return nil, err
+	}
+	if !part {
+		return s.parts[0].pe.Query(sqlText, params...)
+	}
+	plan, err := mergePlan(sel, params)
+	if err != nil {
+		return nil, err
+	}
+	results := make([]*pe.Result, len(s.parts))
+	errs := make([]error, len(s.parts))
+	var wg sync.WaitGroup
+	for i := range s.parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.parts[i].pe.Query(sqlText, params...)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return plan.merge(sel, results)
+}
+
+// queryScope reports whether the select references any partitioned
+// relation, and rejects shapes a fan-out would silently evaluate wrong:
+//
+//   - Subqueries over partitioned relations see only partition-local data
+//     inside each leg.
+//   - Joins between two partitioned relations (including self-joins) lose
+//     every match whose sides live on different partitions; only a single
+//     partitioned relation joined against replicated reference tables is
+//     co-located everywhere.
+//   - Unpartitioned streams/windows exist only on partition 0, so joining
+//     them into a fan-out leaves legs 1..N-1 empty.
+func (s *Store) queryScope(sel *sql.Select) (partitioned bool, err error) {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	cat := s.parts[0].cat
+	isPart := func(name string) bool {
+		rel := cat.Relation(name)
+		return rel != nil && rel.Partitioned()
+	}
+	nPart, nLocal := 0, 0 // partitioned refs; partition-0-only refs
+	classify := func(name string) {
+		rel := cat.Relation(name)
+		if rel == nil {
+			return
+		}
+		switch {
+		case rel.Partitioned():
+			nPart++
+		case rel.Kind != catalog.KindTable:
+			nLocal++ // unpartitioned stream/window: data on partition 0 only
+		}
+	}
+	classify(sel.From.Name)
+	for _, j := range sel.Joins {
+		classify(j.Table.Name)
+		// LEFT JOIN onto a partitioned right side NULL-extends the outer
+		// row on every leg that does not own the match — the merge would
+		// keep both the real match and the spurious NULL row.
+		if j.Left && isPart(j.Table.Name) {
+			return false, fmt.Errorf("core: LEFT JOIN onto partitioned relation %q is not supported across partitions (non-owning partitions would emit spurious NULL-extended rows)", j.Table.Name)
+		}
+	}
+	partitioned = nPart > 0
+	if nPart > 1 {
+		return false, fmt.Errorf("core: joining two partitioned relations is not supported across partitions (cross-partition matches would be lost); join against replicated tables or query per partition")
+	}
+	if nPart > 0 && nLocal > 0 {
+		return false, fmt.Errorf("core: joining a partitioned relation with an unpartitioned stream or window is not supported across partitions (its tuples live on partition 0 only)")
+	}
+	// Subqueries anywhere in the statement (WHERE, HAVING, projection, JOIN
+	// ON — and nested inside other subqueries) must not touch partitioned or
+	// partition-0-pinned relations: each fan-out leg would evaluate them
+	// against partition-local data.
+	// Pinned streams/windows only break subqueries when the statement fans
+	// out; a query running solely on partition 0 sees them in full.
+	return partitioned, fanoutSubqueryCheck(cat, partitioned, selectExprs(sel)...)
+}
+
+// fanoutSubqueryCheck rejects subqueries (recursively — WalkExpr does not
+// descend into InSubquery.Query) whose relations a distributed execution
+// cannot see in full. Partitioned relations expose only the local shard in
+// every leg; with rejectLocal set, partition-0-pinned streams/windows are
+// also rejected because legs 1..N-1 see them empty (statements running
+// solely on partition 0 may pass rejectLocal=false). The caller must hold
+// routeMu (read) or otherwise own the catalog.
+func fanoutSubqueryCheck(cat *catalog.Catalog, rejectLocal bool, exprs ...sql.Expr) error {
+	var subErr error
+	var checkExprs func(exprs ...sql.Expr)
+	var checkSubSelect func(q *sql.Select)
+	badRel := func(name string) {
+		rel := cat.Relation(name)
+		if rel == nil {
+			return
+		}
+		switch {
+		case rel.Partitioned():
+			subErr = fmt.Errorf("core: subquery over partitioned relation %q is not supported across partitions", name)
+		case rejectLocal && rel.Kind != catalog.KindTable:
+			subErr = fmt.Errorf("core: subquery over unpartitioned stream/window %q is not supported across partitions (its tuples live on partition 0 only)", name)
+		}
+	}
+	checkExprs = func(exprs ...sql.Expr) {
+		for _, e := range exprs {
+			sql.WalkExpr(e, func(x sql.Expr) {
+				if sub, ok := x.(*sql.InSubquery); ok && sub.Query != nil {
+					checkSubSelect(sub.Query)
+				}
+			})
+		}
+	}
+	checkSubSelect = func(q *sql.Select) {
+		badRel(q.From.Name)
+		for _, j := range q.Joins {
+			badRel(j.Table.Name)
+		}
+		checkExprs(selectExprs(q)...)
+	}
+	checkExprs(exprs...)
+	return subErr
+}
+
+// vetSourceSelect guards INSERT ... SELECT routing: when the insert is
+// broadcast to every replica (onlyReplicated), the SELECT must read
+// replicated tables exclusively, or the replicas diverge — each would
+// insert its own shard's rows. When the insert runs on partition 0 only,
+// partitioned sources are still wrong (partition 0 holds just its shard),
+// but pinned streams/windows are fine (partition 0 holds them in full).
+func vetSourceSelect(cat *catalog.Catalog, q *sql.Select, onlyReplicated bool) error {
+	check := func(name string) error {
+		rel := cat.Relation(name)
+		if rel == nil {
+			return nil
+		}
+		if rel.Partitioned() {
+			return fmt.Errorf("core: INSERT ... SELECT from partitioned relation %q is not routable; insert per partition", name)
+		}
+		if onlyReplicated && rel.Kind != catalog.KindTable {
+			return fmt.Errorf("core: INSERT ... SELECT from stream/window %q into a replicated table is not routable (its tuples live on partition 0 only)", name)
+		}
+		return nil
+	}
+	if err := check(q.From.Name); err != nil {
+		return err
+	}
+	for _, j := range q.Joins {
+		if err := check(j.Table.Name); err != nil {
+			return err
+		}
+	}
+	return fanoutSubqueryCheck(cat, onlyReplicated, selectExprs(q)...)
+}
+
+// ---------- fan-out result merge ----------
+
+// aggKind classifies one output column of a fanned-out query for the merge.
+type aggKind uint8
+
+const (
+	aggKey   aggKind = iota // grouping / passthrough column
+	aggCount                // combine by summing
+	aggSum                  // combine by summing
+	aggMin                  // combine by minimum
+	aggMax                  // combine by maximum
+)
+
+// queryMerge is the combination plan for per-partition results.
+type queryMerge struct {
+	cols     []aggKind // nil when the projection is SELECT *
+	hasAgg   bool
+	distinct bool
+	limit    int // -1 = no limit
+}
+
+// mergePlan classifies the select's projection and clauses, rejecting
+// shapes whose per-partition execution cannot be combined correctly.
+func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
+	m := &queryMerge{distinct: sel.Distinct, limit: -1}
+	star := false
+	for _, it := range sel.Items {
+		if it.Star {
+			star = true
+			continue
+		}
+		k := aggKey
+		if f, ok := it.Expr.(*sql.FuncCall); ok && sql.IsAggregate(f.Name) {
+			if f.Distinct {
+				return nil, fmt.Errorf("core: %s(DISTINCT ...) cannot be merged across partitions", f.Name)
+			}
+			switch strings.ToUpper(f.Name) {
+			case "COUNT":
+				k = aggCount
+			case "SUM":
+				k = aggSum
+			case "MIN":
+				k = aggMin
+			case "MAX":
+				k = aggMax
+			default: // AVG: partition-local averages cannot be recombined
+				return nil, fmt.Errorf("core: %s cannot be merged across partitions; compute SUM and COUNT instead", strings.ToUpper(f.Name))
+			}
+		} else if sql.ContainsAggregate(it.Expr) {
+			return nil, fmt.Errorf("core: expression over an aggregate cannot be merged across partitions; select the bare aggregate")
+		}
+		if k != aggKey {
+			m.hasAgg = true
+		}
+		m.cols = append(m.cols, k)
+	}
+	if star {
+		if m.hasAgg {
+			return nil, fmt.Errorf("core: SELECT * mixed with aggregates cannot be merged across partitions")
+		}
+		if len(sel.GroupBy) > 0 {
+			return nil, fmt.Errorf("core: SELECT * with GROUP BY cannot be merged across partitions")
+		}
+		m.cols = nil // unknown width: plain concatenation
+	}
+	if len(sel.GroupBy) > 0 && !star {
+		// Every grouping key must be a projected column: the merge re-groups
+		// on the output key columns, so a hidden key would collapse distinct
+		// groups into one.
+		for _, g := range sel.GroupBy {
+			cr, ok := g.(*sql.ColumnRef)
+			if !ok {
+				return nil, fmt.Errorf("core: GROUP BY over an expression cannot be merged across partitions; group by a projected column")
+			}
+			// Only a bare projection of the same source column counts: the
+			// engine binds GROUP BY keys in row scope, so an alias shadowing
+			// a different expression (SELECT k % 3 AS k ... GROUP BY k)
+			// would make the merge re-group on values the engine never
+			// grouped by.
+			found := false
+			for i, it := range sel.Items {
+				if m.cols[i] != aggKey {
+					continue
+				}
+				if pc, ok := it.Expr.(*sql.ColumnRef); ok && strings.EqualFold(pc.Column, cr.Column) {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return nil, fmt.Errorf("core: GROUP BY key %q must be projected as a bare column to merge across partitions", cr.Column)
+			}
+		}
+		// A grouped projection without aggregates is DISTINCT over the keys;
+		// re-deduplicate the concatenated per-partition groups.
+		if !m.hasAgg {
+			m.distinct = true
+		}
+	}
+	// HAVING over an aggregate filters partial per-partition groups before
+	// the merge can recombine them — wrong regardless of the projection.
+	// (Key-only HAVING on a non-aggregate grouped select is leg-identical
+	// and safe.)
+	if sel.Having != nil && (m.hasAgg || sql.ContainsAggregate(sel.Having)) {
+		return nil, fmt.Errorf("core: HAVING cannot be applied across partitions; filter the merged result instead")
+	}
+	if m.hasAgg {
+		if sel.Distinct {
+			return nil, fmt.Errorf("core: SELECT DISTINCT with aggregates cannot be merged across partitions")
+		}
+		if sel.Limit != nil {
+			return nil, fmt.Errorf("core: LIMIT with aggregates truncates partial groups per partition; omit it and trim the merged result")
+		}
+	}
+	if sel.Offset != nil {
+		return nil, fmt.Errorf("core: OFFSET cannot be applied across partitions")
+	}
+	if sel.Limit != nil && !m.hasAgg {
+		v, err := staticExprValue(sel.Limit, params)
+		if err != nil {
+			return nil, fmt.Errorf("core: LIMIT across partitions: %w", err)
+		}
+		iv, err := types.Coerce(v, types.TypeInt)
+		if err != nil || iv.IsNull() || iv.Int() < 0 {
+			return nil, fmt.Errorf("core: LIMIT must be a non-negative integer, got %s", v)
+		}
+		m.limit = int(iv.Int())
+	}
+	return m, nil
+}
+
+// selectExprs collects every expression position of a Select (WHERE,
+// HAVING, projection items, join ON clauses) — the single traversal the
+// cross-partition subquery guards share, so a future clause only needs
+// threading in here.
+func selectExprs(q *sql.Select) []sql.Expr {
+	exprs := []sql.Expr{q.Where, q.Having}
+	for _, it := range q.Items {
+		exprs = append(exprs, it.Expr)
+	}
+	for _, j := range q.Joins {
+		exprs = append(exprs, j.On)
+	}
+	return exprs
+}
+
+// merge combines the per-partition results according to the plan.
+func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result) (*pe.Result, error) {
+	out := &pe.Result{}
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		if out.Columns == nil {
+			out.Columns = r.Columns
+		}
+	}
+	if m.hasAgg {
+		rows, err := m.mergeGroups(results)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = rows
+	} else {
+		for _, r := range results {
+			if r != nil {
+				out.Rows = append(out.Rows, r.Rows...)
+			}
+		}
+		if m.distinct {
+			out.Rows = dedupeRows(out.Rows)
+		}
+	}
+	if len(sel.OrderBy) > 0 {
+		if err := sortRows(sel, out); err != nil {
+			return nil, err
+		}
+	}
+	if m.limit >= 0 && len(out.Rows) > m.limit {
+		out.Rows = out.Rows[:m.limit]
+	}
+	return out, nil
+}
+
+// mergeGroups re-aggregates grouped results: rows with equal key columns
+// combine their aggregate columns (partition-local groups are partial).
+// Group output order is first-seen across partitions; an ORDER BY re-sorts.
+func (m *queryMerge) mergeGroups(results []*pe.Result) ([]types.Row, error) {
+	var order []string
+	groups := make(map[string]types.Row)
+	for _, r := range results {
+		if r == nil {
+			continue
+		}
+		for _, row := range r.Rows {
+			if len(row) != len(m.cols) {
+				return nil, fmt.Errorf("core: merge: result width %d != projection width %d", len(row), len(m.cols))
+			}
+			var kb strings.Builder
+			for i, k := range m.cols {
+				if k == aggKey {
+					kb.WriteString(row[i].SQLLiteral())
+					kb.WriteByte(0)
+				}
+			}
+			key := kb.String()
+			acc, ok := groups[key]
+			if !ok {
+				groups[key] = row.Clone()
+				order = append(order, key)
+				continue
+			}
+			for i, k := range m.cols {
+				acc[i] = combineAgg(k, acc[i], row[i])
+			}
+		}
+	}
+	rows := make([]types.Row, 0, len(order))
+	for _, key := range order {
+		rows = append(rows, groups[key])
+	}
+	return rows, nil
+}
+
+// combineAgg folds one partition-local aggregate value into the
+// accumulator. NULL (SUM/MIN/MAX over an empty partition) is the identity.
+func combineAgg(k aggKind, acc, v types.Value) types.Value {
+	if k == aggKey {
+		return acc
+	}
+	if v.IsNull() {
+		return acc
+	}
+	if acc.IsNull() {
+		return v
+	}
+	switch k {
+	case aggCount, aggSum:
+		if acc.Type() == types.TypeInt && v.Type() == types.TypeInt {
+			return types.NewInt(acc.Int() + v.Int())
+		}
+		return types.NewFloat(acc.Float() + v.Float())
+	case aggMin:
+		if v.Compare(acc) < 0 {
+			return v
+		}
+	case aggMax:
+		if v.Compare(acc) > 0 {
+			return v
+		}
+	}
+	return acc
+}
+
+// dedupeRows removes duplicate rows (SELECT DISTINCT re-applied globally).
+func dedupeRows(rows []types.Row) []types.Row {
+	seen := make(map[string]bool, len(rows))
+	out := rows[:0]
+	for _, r := range rows {
+		var kb strings.Builder
+		for _, v := range r {
+			kb.WriteString(v.SQLLiteral())
+			kb.WriteByte(0)
+		}
+		if seen[kb.String()] {
+			continue
+		}
+		seen[kb.String()] = true
+		out = append(out, r)
+	}
+	return out
+}
+
+// sortRows re-applies the ORDER BY to the merged rows. Each order key must
+// resolve to an output column: by alias, by projected column name, by
+// result column name, or by 1-based ordinal literal.
+func sortRows(sel *sql.Select, res *pe.Result) error {
+	type orderKey struct {
+		ord  int
+		desc bool
+	}
+	// With a star in the projection, select-item indexes do not line up
+	// with output ordinals (the star expands to an unknown width); resolve
+	// order keys against the result's column names only.
+	hasStar := false
+	for _, it := range sel.Items {
+		if it.Star {
+			hasStar = true
+		}
+	}
+	keys := make([]orderKey, 0, len(sel.OrderBy))
+	for _, oi := range sel.OrderBy {
+		ord := -1
+		switch x := oi.Expr.(type) {
+		case *sql.Literal:
+			if x.Value.Type() == types.TypeInt {
+				n := int(x.Value.Int())
+				if n >= 1 && n <= len(res.Columns) {
+					ord = n - 1
+				}
+			}
+		case *sql.ColumnRef:
+			if !hasStar {
+				for i, it := range sel.Items {
+					if it.Alias != "" && strings.EqualFold(it.Alias, x.Column) {
+						ord = i
+						break
+					}
+					if cr, ok := it.Expr.(*sql.ColumnRef); ok && strings.EqualFold(cr.Column, x.Column) &&
+						(x.Table == "" || strings.EqualFold(cr.Table, x.Table)) {
+						ord = i
+						break
+					}
+				}
+			}
+			if ord < 0 {
+				for i, c := range res.Columns {
+					if strings.EqualFold(c, x.Column) {
+						ord = i
+						break
+					}
+				}
+			}
+		}
+		if ord < 0 || ord >= len(res.Columns) {
+			return fmt.Errorf("core: ORDER BY key does not name an output column; qualify it or use its ordinal")
+		}
+		keys = append(keys, orderKey{ord: ord, desc: oi.Desc})
+	}
+	sort.SliceStable(res.Rows, func(a, b int) bool {
+		ra, rb := res.Rows[a], res.Rows[b]
+		for _, k := range keys {
+			c := ra[k.ord].Compare(rb[k.ord])
+			if c != 0 {
+				if k.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return nil
+}
+
+// runExclusiveAll holds every partition at its barrier simultaneously and
+// runs fn once while the whole store is quiescent — the all-partition
+// generalization of pe.Engine.RunExclusive that Checkpoint builds on.
+func (s *Store) runExclusiveAll(fn func() error) error {
+	n := len(s.parts)
+	if n == 1 {
+		return s.parts[0].pe.RunExclusive(fn)
+	}
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	var entered sync.WaitGroup
+	entered.Add(n)
+	release := make(chan struct{})
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 1; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			reached := false
+			errs[i] = s.parts[i].pe.RunExclusive(func() error {
+				reached = true
+				entered.Done()
+				<-release
+				return nil
+			})
+			if !reached {
+				entered.Done() // engine refused the barrier; unblock fn
+			}
+		}(i)
+	}
+	var fnErr error
+	reached0 := false
+	errs[0] = s.parts[0].pe.RunExclusive(func() error {
+		reached0 = true
+		entered.Done()
+		entered.Wait() // every partition parked at its barrier
+		fnErr = fn()
+		return fnErr
+	})
+	if !reached0 {
+		entered.Done()
+	}
+	close(release)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return fnErr // errs[0] already covers fn's error; this is the nil path
+}

@@ -185,8 +185,14 @@ func (e *Engine) ExecDDL(stmt sql.Statement) error {
 		if s.IfNotExists && e.cat.Relation(s.Name) != nil {
 			return nil
 		}
-		_, err = e.cat.CreateTable(schema)
-		return err
+		rel, err := e.cat.CreateTable(schema)
+		if err != nil {
+			return err
+		}
+		if s.PartitionBy != "" {
+			return rel.SetPartitionColumn(s.PartitionBy)
+		}
+		return nil
 	case *sql.CreateStream:
 		schema, err := schemaFromDefs(s.Name, s.Columns, nil)
 		if err != nil {
@@ -195,8 +201,14 @@ func (e *Engine) ExecDDL(stmt sql.Statement) error {
 		if s.IfNotExists && e.cat.Relation(s.Name) != nil {
 			return nil
 		}
-		_, err = e.cat.CreateStream(schema)
-		return err
+		rel, err := e.cat.CreateStream(schema)
+		if err != nil {
+			return err
+		}
+		if s.PartitionBy != "" {
+			return rel.SetPartitionColumn(s.PartitionBy)
+		}
+		return nil
 	case *sql.CreateWindow:
 		src, err := e.cat.MustRelation(s.Stream)
 		if err != nil {

@@ -29,6 +29,14 @@ type Procedure struct {
 	// involved procedures.
 	ReadSet  []string
 	WriteSet []string
+	// PartitionParam is the 1-based index of the invocation parameter whose
+	// hash selects the owning partition in a multi-partition store (the
+	// H-Store "partitioning parameter"). 0 means the procedure is
+	// unpartitioned: direct calls run on partition 0 only — such procedures
+	// must not write tables the deployment treats as replicated reference
+	// data, or partition 0's replica silently diverges (seed replicated
+	// data before Start, or broadcast through ad-hoc Exec).
+	PartitionParam int
 }
 
 // ProcCtx is the interface the control code sees: its input (batch or

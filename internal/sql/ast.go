@@ -247,20 +247,26 @@ type ColumnDef struct {
 	PrimaryKey bool // inline PRIMARY KEY marker
 }
 
-// CreateTable is CREATE TABLE name (cols..., [PRIMARY KEY (cols)]).
+// CreateTable is CREATE TABLE name (cols..., [PRIMARY KEY (cols)])
+// [PARTITION BY (col)]. PartitionBy names the hash-partitioning column in a
+// multi-partition deployment; empty means unpartitioned (the relation lives
+// on partition 0, or is treated as replicated reference data).
 type CreateTable struct {
 	Name        string
 	Columns     []ColumnDef
 	PrimaryKey  []string
+	PartitionBy string
 	IfNotExists bool
 }
 
-// CreateStream is CREATE STREAM name (cols...). Streams are keyless,
-// append-only relations whose tuples are garbage-collected after
-// consumption.
+// CreateStream is CREATE STREAM name (cols...) [PARTITION BY (col)].
+// Streams are keyless, append-only relations whose tuples are
+// garbage-collected after consumption; a partitioned stream hash-routes
+// ingested tuples to their owning partition.
 type CreateStream struct {
 	Name        string
 	Columns     []ColumnDef
+	PartitionBy string
 	IfNotExists bool
 }
 

@@ -1,0 +1,70 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParsePartitionBy(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE t (a INT PRIMARY KEY, b BIGINT) PARTITION BY a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ct := stmt.(*CreateTable)
+	if ct.PartitionBy != "a" {
+		t.Fatalf("PartitionBy = %q", ct.PartitionBy)
+	}
+
+	// Parenthesized form, case-insensitive column match.
+	stmt, err = Parse("CREATE STREAM s (K BIGINT, v FLOAT) PARTITION BY (k)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := stmt.(*CreateStream)
+	if cs.PartitionBy != "k" {
+		t.Fatalf("PartitionBy = %q", cs.PartitionBy)
+	}
+
+	// Absent clause leaves the field empty.
+	stmt, err = Parse("CREATE TABLE u (a INT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*CreateTable).PartitionBy != "" {
+		t.Fatal("unexpected partition column")
+	}
+
+	// Unknown column is rejected at parse time.
+	if _, err := Parse("CREATE TABLE w (a INT) PARTITION BY nope"); err == nil ||
+		!strings.Contains(err.Error(), "not a declared column") {
+		t.Fatalf("err = %v", err)
+	}
+
+	// Unclosed paren is a syntax error.
+	if _, err := Parse("CREATE TABLE x (a INT) PARTITION BY (a"); err == nil {
+		t.Fatal("unclosed paren accepted")
+	}
+}
+
+// TestPartitionIsContextualKeyword pins that PARTITION stays usable as an
+// ordinary identifier — it is only special right after the column list.
+func TestPartitionIsContextualKeyword(t *testing.T) {
+	stmt, err := Parse("CREATE TABLE jobs (partition INT, v BIGINT)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := stmt.(*CreateTable).Columns[0].Name; got != "partition" {
+		t.Fatalf("column name = %q", got)
+	}
+	if _, err := Parse("SELECT partition FROM jobs WHERE partition = 3"); err != nil {
+		t.Fatal(err)
+	}
+	// And the column can even be the partition key.
+	stmt, err = Parse("CREATE TABLE jobs2 (partition INT) PARTITION BY partition")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stmt.(*CreateTable).PartitionBy != "partition" {
+		t.Fatal("contextual PARTITION BY failed")
+	}
+}

@@ -152,3 +152,15 @@ const (
 func Paths(dir string) (logPath, snapPath string) {
 	return filepath.Join(dir, DefaultLogName), filepath.Join(dir, DefaultSnapshotName)
 }
+
+// PartitionPaths resolves the per-partition file locations under dir.
+// Partition 0 keeps the legacy unsuffixed names so single-partition
+// durability directories written by earlier versions recover unchanged;
+// partitions 1..N-1 append ".<idx>" to each name.
+func PartitionPaths(dir string, idx int) (logPath, snapPath string) {
+	if idx == 0 {
+		return Paths(dir)
+	}
+	return filepath.Join(dir, fmt.Sprintf("%s.%d", DefaultLogName, idx)),
+		filepath.Join(dir, fmt.Sprintf("%s.%d", DefaultSnapshotName, idx))
+}

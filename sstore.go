@@ -1,6 +1,6 @@
 // Package sstore is a single-node reproduction of S-Store, the streaming
 // NewSQL system of Cetintemel et al. (PVLDB 7(13), 2014): a main-memory
-// OLTP engine in the H-Store mold — serial single-partition execution,
+// OLTP engine in the H-Store mold — serial per-partition execution,
 // stored procedures, command logging + snapshots — extended with native
 // stream processing:
 //
@@ -32,6 +32,17 @@
 //	st.Start()
 //	st.Ingest("readings", sstore.Row{sstore.Int(1), sstore.Float(250)})
 //
+// # Scale-out
+//
+// Config.Partitions > 1 runs N independent serial-execution partitions in
+// the H-Store mold, each with its own catalog replica, engine goroutine,
+// and WAL segment. Declare a hash key with PARTITION BY on tables and
+// streams; Ingest and keyed Calls (Procedure.PartitionParam) route to the
+// owning partition, ad-hoc queries fan out and merge:
+//
+//	st := sstore.Open(sstore.Config{Partitions: 4})
+//	st.ExecScript(`CREATE STREAM readings (sensor INT, v FLOAT) PARTITION BY sensor;`)
+//
 // The package is a thin façade over internal/core; see DESIGN.md for the
 // architecture and EXPERIMENTS.md for the paper-reproduction results.
 package sstore
@@ -43,11 +54,13 @@ import (
 	"repro/internal/wal"
 )
 
-// Store is one single-partition S-Store instance.
+// Store is one S-Store instance: a router over Config.Partitions
+// serial-execution partitions (one by default).
 type Store = core.Store
 
 // Config configures a Store; the zero value is a volatile, fully
-// stream-enabled engine.
+// stream-enabled single-partition engine. Set Partitions > 1 for hash-
+// partitioned scale-out.
 type Config = core.Config
 
 // Procedure is a stored procedure definition.
