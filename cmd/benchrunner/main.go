@@ -2,12 +2,14 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E6
+//	benchrunner            # E1..E7
 //	benchrunner -e E2 -votes 6000
 //	benchrunner -e E6 -votes 40000
+//	benchrunner -e E7 -votes 20000 -json BENCH_E7.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -19,9 +21,12 @@ import (
 
 func main() {
 	var (
-		exp   = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 all")
-		votes = flag.Int("votes", 6000, "voter feed size")
-		seed  = flag.Int64("seed", 42, "workload seed")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 all")
+		votes    = flag.Int("votes", 6000, "voter feed size")
+		seed     = flag.Int64("seed", 42, "workload seed")
+		jsonOut  = flag.String("json", "", "write machine-readable E7 results to this file")
+		parts    = flag.Int("partitions", 2, "E7: partition count")
+		pipeline = flag.Int("pipeline", 128, "E7: concurrent clients")
 	)
 	flag.Parse()
 	run := func(name string, fn func() error) {
@@ -138,4 +143,75 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E7", func() error {
+		rows, err := bench.E7(*seed, *votes, *parts, *pipeline, bench.DefaultE7Configs())
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, r := range rows {
+			if r.Policy == "every-record" {
+				base = r.VotesSec
+			}
+		}
+		fmt.Printf("%-18s %-12s %-10s %-10s %-9s %-10s %s\n",
+			"policy", "votes/sec", "p50", "p99", "vs-every", "counted", "correct")
+		for _, r := range rows {
+			speedup := "-"
+			if base > 0 {
+				speedup = fmt.Sprintf("%.2fx", r.VotesSec/base)
+			}
+			fmt.Printf("%-18s %-12.0f %-10s %-10s %-9s %-10d %v\n",
+				r.Policy, r.VotesSec, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+				speedup, r.Counted, r.Correct)
+		}
+		if *jsonOut != "" {
+			if err := writeE7JSON(*jsonOut, *seed, *votes, *parts, *pipeline, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e7JSON is the BENCH_E7.json document: enough context to reproduce the
+// run plus one entry per sync policy.
+type e7JSON struct {
+	Experiment string      `json:"experiment"`
+	Seed       int64       `json:"seed"`
+	Votes      int         `json:"votes"`
+	Partitions int         `json:"partitions"`
+	Pipeline   int         `json:"pipeline"`
+	Rows       []e7JSONRow `json:"results"`
+}
+
+type e7JSONRow struct {
+	Policy   string  `json:"policy"`
+	VotesSec float64 `json:"votes_per_sec"`
+	P50us    int64   `json:"p50_us"`
+	P99us    int64   `json:"p99_us"`
+	Counted  int64   `json:"counted"`
+	Correct  bool    `json:"correct"`
+}
+
+func writeE7JSON(path string, seed int64, votes, parts, pipeline int, rows []bench.E7Row) error {
+	doc := e7JSON{Experiment: "E7 durable Voter throughput vs sync policy",
+		Seed: seed, Votes: votes, Partitions: parts, Pipeline: pipeline}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, e7JSONRow{
+			Policy:   r.Policy,
+			VotesSec: r.VotesSec,
+			P50us:    r.P50.Microseconds(),
+			P99us:    r.P99.Microseconds(),
+			Counted:  r.Counted,
+			Correct:  r.Correct,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }

@@ -5,7 +5,7 @@
 //
 // Usage:
 //
-//	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore
+//	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore -sync group
 //	sstored -app bikeshare
 //	sstored -ddl schema.sql            # bare engine with custom schema
 package main
@@ -32,7 +32,9 @@ func main() {
 		dir      = flag.String("dir", "", "durability directory (empty = volatile)")
 		app      = flag.String("app", "none", "built-in application: voter | bikeshare | none")
 		ddlFile  = flag.String("ddl", "", "DDL script to execute at startup")
-		sync     = flag.Bool("sync", false, "fsync the command log on every record")
+		syncPol  = flag.String("sync", "never", "command-log fsync policy: never | every | group")
+		gcIval   = flag.Duration("group-interval", 0, "group commit: max wait for a batch fsync (0 = default)")
+		gcBatch  = flag.Int("group-batch", 0, "group commit: fsync early at this many pending commits (0 = default)")
 		logAll   = flag.Bool("log-all-tes", false, "log every transaction execution instead of upstream backup")
 		hstore   = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
 		contest  = flag.Int("contestants", 25, "voter: number of contestants")
@@ -41,9 +43,22 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := core.Config{Dir: *dir, HStoreMode: *hstore, Partitions: *parts}
-	if *sync {
+	cfg := core.Config{
+		Dir:                 *dir,
+		HStoreMode:          *hstore,
+		Partitions:          *parts,
+		GroupCommitInterval: *gcIval,
+		GroupCommitMaxBatch: *gcBatch,
+	}
+	switch *syncPol {
+	case "never":
+		cfg.Sync = wal.SyncNever
+	case "every":
 		cfg.Sync = wal.SyncEveryRecord
+	case "group":
+		cfg.Sync = wal.SyncGroupCommit
+	default:
+		log.Fatalf("sstored: unknown sync policy %q (want never, every, or group)", *syncPol)
 	}
 	if *logAll {
 		cfg.LogMode = pe.LogAllTEs

@@ -14,7 +14,10 @@ import (
 )
 
 func build(dir string) *sstore.Store {
-	st := sstore.Open(sstore.Config{Dir: dir, Sync: sstore.SyncNever})
+	// Group commit: commits are durable before they are acknowledged, but
+	// the fsync cost amortizes over batches instead of hitting every
+	// transaction's critical path (see Config.GroupCommitInterval).
+	st := sstore.Open(sstore.Config{Dir: dir, Sync: sstore.SyncGroupCommit})
 	if err := st.ExecScript(`
 		CREATE TABLE account (id INT PRIMARY KEY, balance BIGINT DEFAULT 0);
 		CREATE STREAM deposits (id INT, amount BIGINT);

@@ -1,0 +1,82 @@
+package voter
+
+import (
+	"repro/internal/core"
+	"repro/internal/ee"
+	"repro/internal/pe"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// This file is the Call-driven OLTP variant of Voter: one stored procedure
+// cast_vote(phone, contestant, ts) validates and counts a vote in a single
+// transaction — the classic H-Store/VoltDB Voter benchmark shape. Unlike
+// the streaming variants, every vote is a direct client invocation and so
+// a command-log record whose durability gates the acknowledgement; this is
+// the workload the E7 durable-throughput experiment measures sync policies
+// against. Partitioned by phone, with vote_counts holding partition-local
+// partials exactly like the scale-out workflow variant (partitioned.go).
+
+const oltpDDL = `
+	CREATE TABLE contestants (id INT PRIMARY KEY, name VARCHAR NOT NULL);
+	CREATE TABLE votes (phone BIGINT PRIMARY KEY, contestant INT NOT NULL, ts BIGINT) PARTITION BY phone;
+	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY contestant;
+`
+
+// SetupOLTP installs the Call-driven Voter variant: schema, replicated
+// seed rows on every partition, and the cast_vote procedure.
+func SetupOLTP(st *core.Store, contestants int) error {
+	if err := st.ExecScript(oltpDDL); err != nil {
+		return err
+	}
+	for i := 0; i < st.NumPartitions(); i++ {
+		exec := st.EEAt(i)
+		ctx := &ee.ExecCtx{Undo: storage.NewUndoLog()}
+		for c := 1; c <= contestants; c++ {
+			id := types.NewInt(int64(c))
+			if _, err := exec.ExecSQL(ctx, "INSERT INTO contestants VALUES (?, ?)",
+				id, types.NewString(contestantName(c))); err != nil {
+				return err
+			}
+			if _, err := exec.ExecSQL(ctx, "INSERT INTO vote_counts (contestant, n) VALUES (?, 0)", id); err != nil {
+				return err
+			}
+		}
+	}
+	return st.RegisterProcedure(castVote())
+}
+
+// castVote is the single-transaction Voter procedure: contestant must
+// exist, the phone must not have voted (the phone shard is co-located via
+// PartitionParam), then the vote lands and the partition-local partial
+// count increments.
+func castVote() *pe.Procedure {
+	return &pe.Procedure{
+		Name:           "cast_vote",
+		ReadSet:        []string{"contestants"},
+		WriteSet:       []string{"votes", "vote_counts"},
+		PartitionParam: 1,
+		Handler: func(ctx *pe.ProcCtx) error {
+			phone, cand := ctx.Params[0], ctx.Params[1]
+			c, err := ctx.QueryRow("SELECT id FROM contestants WHERE id = ?", cand)
+			if err != nil {
+				return err
+			}
+			if c == nil {
+				return nil // invalid candidate: accepted, not counted
+			}
+			p, err := ctx.QueryRow("SELECT phone FROM votes WHERE phone = ?", phone)
+			if err != nil {
+				return err
+			}
+			if p != nil {
+				return nil // this phone already voted
+			}
+			if _, err := ctx.Exec("INSERT INTO votes VALUES (?, ?, ?)", phone, cand, ctx.Params[2]); err != nil {
+				return err
+			}
+			_, err = ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", cand)
+			return err
+		},
+	}
+}

@@ -3,6 +3,8 @@ package bench
 import (
 	"testing"
 	"time"
+
+	"repro/internal/wal"
 )
 
 // The experiment drivers are exercised end to end here with small inputs,
@@ -134,5 +136,29 @@ func TestSimWaitPrecision(t *testing.T) {
 	}
 	if el > 20*d {
 		t.Fatalf("simWait wildly imprecise: %s", el)
+	}
+}
+
+func TestE7Driver(t *testing.T) {
+	// Small feed, two representative policies; the ≥5x throughput claim is
+	// asserted only by the full benchrunner run (timing at test scale is
+	// noise), but correctness and the durable ack path are not.
+	rows, err := E7(42, 800, 2, 16, []E7Config{
+		{Name: "every-record", Sync: wal.SyncEveryRecord},
+		{Name: "group", Sync: wal.SyncGroupCommit, Interval: 200 * time.Microsecond, MaxBatch: 16},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if !r.Correct {
+			t.Fatalf("%s counted %d votes (incorrect)", r.Policy, r.Counted)
+		}
+		if r.VotesSec <= 0 || r.P50 <= 0 || r.P99 < r.P50 {
+			t.Fatalf("%s implausible stats: %+v", r.Policy, r)
+		}
 	}
 }

@@ -25,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/ee"
@@ -40,9 +41,19 @@ type Config struct {
 	// are kept there (one segment pair per partition), and Recover()
 	// restores state from them.
 	Dir string
-	// Sync selects the log fsync policy (default SyncNever: benchmarks on
-	// tmpfs-like media; production would use SyncEveryRecord).
+	// Sync selects the log fsync policy: SyncNever (default; benchmarks on
+	// tmpfs-like media), SyncEveryRecord (one fsync on every commit's
+	// critical path), or SyncGroupCommit (the production choice: commits
+	// append and execution continues, a per-partition daemon fsyncs once
+	// per batch, and clients are acknowledged when their commit future
+	// resolves — see E7 in EXPERIMENTS.md for the throughput gap).
 	Sync wal.SyncPolicy
+	// GroupCommitInterval is the longest a SyncGroupCommit transaction
+	// waits for its batch fsync (0 = wal.DefaultGroupCommitInterval).
+	GroupCommitInterval time.Duration
+	// GroupCommitMaxBatch fsyncs early once this many commits are pending
+	// in a partition's batch (0 = wal.DefaultGroupCommitMaxBatch).
+	GroupCommitMaxBatch int
 	// LogMode selects upstream backup (border-only, default) or full
 	// per-TE logging.
 	LogMode pe.LogMode
@@ -88,6 +99,32 @@ func (p *partition) LogCommit(rec *pe.LogRecord) error {
 	return nil
 }
 
+// AsyncCommit implements pe.AsyncCommitLogger: the engine pipelines commits
+// only when this partition's log batches fsyncs.
+func (p *partition) AsyncCommit() bool { return p.log != nil && p.log.GroupCommit() }
+
+// LogCommitAsync appends the record to this partition's log segment and
+// returns the commit future the engine acknowledges the client on.
+func (p *partition) LogCommitAsync(rec *pe.LogRecord) (<-chan error, error) {
+	payload := wal.EncodeRecord(rec)
+	_, ack, err := p.log.AppendAsync(payload)
+	if err != nil {
+		return nil, err
+	}
+	p.met.LogRecords.Add(1)
+	p.met.LogBytes.Add(int64(len(payload) + 8))
+	return ack, nil
+}
+
+// SyncCommits forces the partition's pending batch durable, resolving every
+// outstanding commit future (the checkpoint barrier's drain).
+func (p *partition) SyncCommits() error {
+	if p.log == nil {
+		return nil
+	}
+	return p.log.SyncNow()
+}
+
 // replay re-executes one logged record during recovery. Replay must see the
 // same log mode the record was written under; the engine interprets
 // triggered records only in LogAllTEs mode.
@@ -98,8 +135,9 @@ func (p *partition) replay(rec *pe.LogRecord, mode pe.LogMode) error {
 
 // recover restores this partition from its snapshot + log segment and opens
 // the log for appending.
-func (p *partition) recover(dir string, sync wal.SyncPolicy, mode pe.LogMode) error {
-	logPath, snapPath := wal.PartitionPaths(dir, p.idx)
+func (p *partition) recover(cfg *Config) error {
+	mode := cfg.LogMode
+	logPath, snapPath := wal.PartitionPaths(cfg.Dir, p.idx)
 	meta, err := wal.LoadSnapshot(snapPath, p.cat)
 	switch {
 	case err == nil:
@@ -125,7 +163,11 @@ func (p *partition) recover(dir string, sync wal.SyncPolicy, mode pe.LogMode) er
 	if lastLSN < meta.LastLSN {
 		lastLSN = meta.LastLSN // log truncated at the last checkpoint
 	}
-	p.log, err = wal.OpenLog(logPath, lastLSN, sync)
+	p.log, err = wal.OpenLogOpts(logPath, lastLSN, wal.Options{
+		Policy:              cfg.Sync,
+		GroupCommitInterval: cfg.GroupCommitInterval,
+		GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
+	})
 	if err != nil {
 		return err
 	}
@@ -271,7 +313,7 @@ func (s *Store) Recover() error {
 		return err // nothing replayed: retryable after fixing the config
 	}
 	for _, p := range s.parts {
-		if err := p.recover(s.cfg.Dir, s.cfg.Sync, s.cfg.LogMode); err != nil {
+		if err := p.recover(&s.cfg); err != nil {
 			s.recoverErr = err // some partitions replayed: a retry would double-apply
 			return err
 		}

@@ -183,11 +183,16 @@ func TestPartitionedQueryMerge(t *testing.T) {
 		t.Fatalf("min/max = %v", res.Rows)
 	}
 
-	// Unsupported shapes fail loudly instead of silently merging wrong.
-	if _, err := st.Query("SELECT AVG(n) FROM totals"); err == nil ||
-		!strings.Contains(err.Error(), "cannot be merged") {
-		t.Fatalf("AVG err = %v", err)
+	// AVG pushdown: rewritten into SUM/COUNT per leg and recombined.
+	res, err = st.Query("SELECT AVG(n) FROM totals")
+	if err != nil {
+		t.Fatal(err)
 	}
+	if got := res.Rows[0][0].Float(); got != 4 {
+		t.Fatalf("AVG(n) = %v want 4", got)
+	}
+
+	// Unsupported shapes fail loudly instead of silently merging wrong.
 	if _, err := st.Query("SELECT k, SUM(n) FROM totals GROUP BY k LIMIT 2"); err == nil {
 		t.Fatal("agg+LIMIT should be rejected")
 	}

@@ -395,6 +395,19 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 	if err != nil {
 		return nil, err
 	}
+	// AVG pushdown: the legs execute a rewritten projection (SUM + hidden
+	// COUNT per AVG), so serialize the rewritten AST.
+	legSQL, legParams := sqlText, params
+	if len(plan.avgHidden) > 0 {
+		var inlined bool
+		legSQL, inlined, err = rewriteAvgSelect(sel, params)
+		if err != nil {
+			return nil, err
+		}
+		if inlined {
+			legParams = nil
+		}
+	}
 	results := make([]*pe.Result, len(s.parts))
 	errs := make([]error, len(s.parts))
 	var wg sync.WaitGroup
@@ -402,7 +415,7 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.parts[i].pe.Query(sqlText, params...)
+			results[i], errs[i] = s.parts[i].pe.Query(legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()
@@ -557,6 +570,7 @@ const (
 	aggSum                  // combine by summing
 	aggMin                  // combine by minimum
 	aggMax                  // combine by maximum
+	aggAvg                  // partial SUM in the leg; recombined with a hidden COUNT
 )
 
 // queryMerge is the combination plan for per-partition results.
@@ -565,6 +579,14 @@ type queryMerge struct {
 	hasAgg   bool
 	distinct bool
 	limit    int // -1 = no limit
+	// AVG pushdown: partition-local averages cannot be recombined, so the
+	// router rewrites each fan-out AVG(x) into SUM(x) at its original
+	// position plus a hidden COUNT(x) appended to the projection, and the
+	// merge divides. avgHidden maps the AVG item's position to its hidden
+	// count column; outWidth is the client-visible projection width the
+	// merged rows are trimmed back to.
+	avgHidden map[int]int
+	outWidth  int
 }
 
 // mergePlan classifies the select's projection and clauses, rejecting
@@ -591,7 +613,12 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 				k = aggMin
 			case "MAX":
 				k = aggMax
-			default: // AVG: partition-local averages cannot be recombined
+			case "AVG":
+				if f.Star {
+					return nil, fmt.Errorf("core: AVG(*) cannot be merged across partitions")
+				}
+				k = aggAvg // decomposed into SUM + hidden COUNT at fan-out
+			default:
 				return nil, fmt.Errorf("core: %s cannot be merged across partitions; compute SUM and COUNT instead", strings.ToUpper(f.Name))
 			}
 		} else if sql.ContainsAggregate(it.Expr) {
@@ -610,6 +637,17 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 			return nil, fmt.Errorf("core: SELECT * with GROUP BY cannot be merged across partitions")
 		}
 		m.cols = nil // unknown width: plain concatenation
+	}
+	m.outWidth = len(m.cols)
+	for i, k := range m.cols {
+		if k != aggAvg {
+			continue
+		}
+		if m.avgHidden == nil {
+			m.avgHidden = make(map[int]int)
+		}
+		m.avgHidden[i] = len(m.cols)
+		m.cols = append(m.cols, aggCount)
 	}
 	if len(sel.GroupBy) > 0 && !star {
 		// Every grouping key must be a projected column: the merge re-groups
@@ -692,6 +730,79 @@ func selectExprs(q *sql.Select) []sql.Expr {
 	return exprs
 }
 
+// rewriteAvgSelect serializes the fan-out leg statement for a projection
+// containing AVG: each AVG(x) item becomes SUM(x) (same position, same
+// alias) and a hidden COUNT(x) is appended per AVG, in projection order —
+// matching the positions mergePlan recorded in avgHidden.
+//
+// When no AVG argument contains a parameter, the hidden COUNT duplicates
+// no '?' and every placeholder keeps its original text order, so the leg
+// text preserves placeholders and binds the caller's params — one cached
+// plan per statement shape. An AVG argument with a parameter forces
+// inlining params as literals (inlined=true: execute with no params),
+// since its duplication would scramble positional binding.
+func rewriteAvgSelect(sel *sql.Select, params []types.Value) (legSQL string, inlined bool, err error) {
+	leg := *sel
+	leg.Items = make([]sql.SelectItem, len(sel.Items), len(sel.Items)+len(sel.Items)/2+1)
+	copy(leg.Items, sel.Items)
+	avgArgHasParam := false
+	for i, it := range sel.Items {
+		f, ok := it.Expr.(*sql.FuncCall)
+		if !ok || strings.ToUpper(f.Name) != "AVG" || f.Distinct {
+			continue
+		}
+		for _, a := range f.Args {
+			sql.WalkExpr(a, func(x sql.Expr) {
+				if _, isParam := x.(*sql.Param); isParam {
+					avgArgHasParam = true
+				}
+			})
+		}
+		leg.Items[i] = sql.SelectItem{Expr: &sql.FuncCall{Name: "SUM", Args: f.Args}, Alias: it.Alias}
+		leg.Items = append(leg.Items, sql.SelectItem{Expr: &sql.FuncCall{Name: "COUNT", Args: f.Args}})
+	}
+	if !avgArgHasParam {
+		if legSQL, err = sql.FormatSelectPlaceholders(&leg); err == nil {
+			return legSQL, false, nil
+		}
+		// Placeholder order could not be preserved; fall through to inlining.
+	}
+	legSQL, err = sql.FormatSelect(&leg, params)
+	return legSQL, true, err
+}
+
+// finalizeAvg divides each merged partial SUM by its hidden COUNT (NULL
+// over zero rows, matching the engine's AVG), trims the hidden columns,
+// and restores the client-visible column names. The column slice is
+// copied before renaming: the leg result's Columns aliases the EE's
+// cached prepared plan, which must not be mutated.
+func (m *queryMerge) finalizeAvg(sel *sql.Select, out *pe.Result) {
+	for _, row := range out.Rows {
+		for pos, hid := range m.avgHidden {
+			sum, cnt := row[pos], row[hid]
+			if sum.IsNull() || cnt.IsNull() || cnt.Int() == 0 {
+				row[pos] = types.Null
+				continue
+			}
+			row[pos] = types.NewFloat(sum.Float() / float64(cnt.Int()))
+		}
+	}
+	for i := range out.Rows {
+		out.Rows[i] = out.Rows[i][:m.outWidth]
+	}
+	cols := append([]string(nil), out.Columns...)
+	if len(cols) >= m.outWidth {
+		cols = cols[:m.outWidth]
+	}
+	// An unaliased AVG item was executed as SUM in the legs; rename.
+	for pos := range m.avgHidden {
+		if pos < len(sel.Items) && sel.Items[pos].Alias == "" && pos < len(cols) {
+			cols[pos] = "avg"
+		}
+	}
+	out.Columns = cols
+}
+
 // merge combines the per-partition results according to the plan.
 func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result) (*pe.Result, error) {
 	out := &pe.Result{}
@@ -709,6 +820,9 @@ func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result) (*pe.Result, e
 			return nil, err
 		}
 		out.Rows = rows
+		if len(m.avgHidden) > 0 {
+			m.finalizeAvg(sel, out)
+		}
 	} else {
 		for _, r := range results {
 			if r != nil {
@@ -783,7 +897,7 @@ func combineAgg(k aggKind, acc, v types.Value) types.Value {
 		return v
 	}
 	switch k {
-	case aggCount, aggSum:
+	case aggCount, aggSum, aggAvg: // aggAvg holds the leg's partial SUM
 		if acc.Type() == types.TypeInt && v.Type() == types.TypeInt {
 			return types.NewInt(acc.Int() + v.Int())
 		}

@@ -55,6 +55,37 @@ type CommitLogger interface {
 	LogCommit(rec *LogRecord) error
 }
 
+// AsyncCommitLogger is the group-commit extension of CommitLogger: the
+// append and the fsync are decoupled, so the partition worker can keep
+// executing subsequent transactions while a batch of commit records drains
+// to disk. LogCommitAsync appends the record and returns a commit future
+// that resolves (nil on success) once the record is durable; the engine
+// acknowledges the client only then, preserving the command-log guarantee.
+// SyncCommits forces everything appended so far durable and resolves every
+// outstanding future before returning — the checkpoint barrier's drain.
+type AsyncCommitLogger interface {
+	CommitLogger
+	// AsyncCommit reports whether the logger is currently batching fsyncs;
+	// when false the engine uses the synchronous LogCommit path.
+	AsyncCommit() bool
+	LogCommitAsync(rec *LogRecord) (<-chan error, error)
+	SyncCommits() error
+}
+
+// pendingAck is one commit awaiting its fsync: the transaction has executed
+// and its record is appended, but the client is not acknowledged until the
+// commit future resolves.
+type pendingAck struct {
+	r     *txnRequest
+	out   *ee.Result
+	ack   <-chan error
+	start time.Time
+}
+
+// ackQueueDepth bounds the in-flight commit pipeline; a full queue applies
+// backpressure to the partition worker.
+const ackQueueDepth = 4096
+
 // Config controls a partition engine instance.
 type Config struct {
 	// Mode selects the admission policy (see SchedulerMode).
@@ -95,6 +126,17 @@ type Engine struct {
 	logger  CommitLogger
 	logMode LogMode
 
+	// Group-commit ack pipeline: the worker queues committed-but-not-yet-
+	// durable requests here and the acker goroutine acknowledges each once
+	// its commit future resolves. ackPending counts queued-but-unacked
+	// commits; the checkpoint barrier waits for it to reach zero.
+	asyncLog   AsyncCommitLogger // nil unless the logger batches fsyncs
+	ackQ       chan pendingAck
+	ackWG      sync.WaitGroup
+	ackMu      sync.Mutex
+	ackCond    *sync.Cond
+	ackPending int
+
 	ingestMu    sync.Mutex
 	partial     map[string][]types.Row // border stream -> partial batch
 	nextBatchID uint64
@@ -117,7 +159,7 @@ type Engine struct {
 
 // New creates a partition engine over an execution engine.
 func New(exec *ee.Engine, cfg Config) *Engine {
-	return &Engine{
+	e := &Engine{
 		ee:       exec,
 		met:      exec.Metrics(),
 		cfg:      cfg,
@@ -127,6 +169,8 @@ func New(exec *ee.Engine, cfg Config) *Engine {
 		prepared: make(map[string]map[string]*ee.Prepared),
 		partial:  make(map[string][]types.Row),
 	}
+	e.ackCond = sync.NewCond(&e.ackMu)
+	return e
 }
 
 // EE exposes the execution engine (used by assembly and tests).
@@ -135,10 +179,17 @@ func (e *Engine) EE() *ee.Engine { return e.ee }
 // Metrics returns the shared counter set.
 func (e *Engine) Metrics() *metrics.Metrics { return e.met }
 
-// SetLogger installs the commit logger (must be called before Start).
+// SetLogger installs the commit logger (must be called before Start). When
+// the logger implements AsyncCommitLogger and reports AsyncCommit, commits
+// pipeline: the worker appends and moves on, and acknowledgements are
+// delivered by the acker goroutine as batches become durable.
 func (e *Engine) SetLogger(l CommitLogger, mode LogMode) {
 	e.logger = l
 	e.logMode = mode
+	e.asyncLog = nil
+	if al, ok := l.(AsyncCommitLogger); ok && al.AsyncCommit() {
+		e.asyncLog = al
+	}
 }
 
 // RegisterProcedure adds a stored procedure. Procedures must be registered
@@ -196,18 +247,32 @@ func (e *Engine) Start() error {
 		return err
 	}
 	e.started.Store(true)
+	if e.asyncLog != nil {
+		e.ackQ = make(chan pendingAck, ackQueueDepth)
+		e.ackWG.Add(1)
+		go e.acker()
+	}
 	e.wg.Add(1)
 	go e.worker()
 	return nil
 }
 
-// Stop drains nothing: it closes the queue and waits for the worker.
+// Stop drains nothing: it closes the queue and waits for the worker, then
+// forces outstanding group commits durable and waits for their acks.
 func (e *Engine) Stop() {
 	if !e.started.Load() {
 		return
 	}
 	e.sched.close()
 	e.wg.Wait()
+	if e.asyncLog != nil {
+		// The worker has exited, so no new acks can be queued; resolving
+		// every future lets the acker drain and terminate.
+		_ = e.asyncLog.SyncCommits()
+		close(e.ackQ)
+		e.ackWG.Wait()
+		e.ackQ = nil
+	}
 	e.started.Store(false)
 }
 
@@ -285,6 +350,64 @@ func (e *Engine) worker() {
 			return
 		}
 	}
+}
+
+// acker delivers commit acknowledgements in LSN order: it waits on each
+// queued commit's future and responds to the client once the record is
+// durable. Queue order is append order, and one fsync covers a contiguous
+// batch, so waiting on futures FIFO never blocks behind an unresolved
+// later one.
+func (e *Engine) acker() {
+	defer e.ackWG.Done()
+	for pa := range e.ackQ {
+		err := <-pa.ack
+		if err != nil {
+			// The transaction executed but its record never became durable:
+			// the client must not treat it as committed. Its in-memory
+			// effects cannot be rolled back here — later transactions have
+			// already executed on top — so the partition is left in a
+			// degraded state: the poisoned log fails every subsequent logged
+			// commit loudly, and the durable truth after a restart is the
+			// log (which ends before this record). This mirrors what a
+			// durability failure means for any command-logging system: the
+			// process must restart and recover; it must never false-ack.
+			pa.r.respond(nil, fmt.Errorf("pe: group commit: %w", err))
+		} else {
+			e.met.ObserveLatency(time.Since(pa.start))
+			pa.r.respond(pa.out, nil)
+		}
+		e.ackMu.Lock()
+		e.ackPending--
+		if e.ackPending == 0 {
+			e.ackCond.Broadcast()
+		}
+		e.ackMu.Unlock()
+	}
+}
+
+// queueAck hands a committed request to the acker. Called only by the
+// partition worker.
+func (e *Engine) queueAck(r *txnRequest, out *ee.Result, ack <-chan error, start time.Time) {
+	e.ackMu.Lock()
+	e.ackPending++
+	e.ackMu.Unlock()
+	e.ackQ <- pendingAck{r: r, out: out, ack: ack, start: start}
+}
+
+// drainAcks forces every outstanding group commit durable and waits for its
+// acknowledgement to be delivered. Runs on the partition worker at barrier
+// points (checkpoint), so the snapshot+truncate that follows never destroys
+// a log record whose future is still pending.
+func (e *Engine) drainAcks() {
+	if e.asyncLog == nil {
+		return
+	}
+	_ = e.asyncLog.SyncCommits() // resolves every future; errors reach clients via the acker
+	e.ackMu.Lock()
+	for e.ackPending > 0 {
+		e.ackCond.Wait()
+	}
+	e.ackMu.Unlock()
 }
 
 // ---------- client API ----------
@@ -461,6 +584,7 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		return
 	}
 	if r.kind == reqBarrier {
+		e.drainAcks()
 		r.respond(nil, r.fn())
 		return
 	}
@@ -558,11 +682,15 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		}
 	}
 	// Durability: the command-log record must be written before the commit
-	// is acknowledged.
-	if err := e.logCommit(r); err != nil {
+	// is acknowledged. Under group commit the append happens here (so the
+	// log keeps transaction order) but the acknowledgement waits for the
+	// batch fsync, delivered by the acker once the future resolves; the
+	// worker itself moves straight on to the next transaction.
+	ack, lerr := e.logCommit(r)
+	if lerr != nil {
 		undo.Rollback()
 		e.met.TxnAborted.Add(1)
-		r.respond(nil, fmt.Errorf("pe: command log: %w", err))
+		r.respond(nil, fmt.Errorf("pe: command log: %w", lerr))
 		return
 	}
 	undo.Release()
@@ -573,7 +701,9 @@ func (e *Engine) executeRequest(r *txnRequest) {
 	case reqTriggered:
 		e.met.TriggeredTxns.Add(1)
 	}
-	e.met.ObserveLatency(time.Since(start))
+	if ack == nil {
+		e.met.ObserveLatency(time.Since(start))
+	}
 
 	// PE triggers: emitted batches become downstream transaction
 	// executions, enqueued ahead of pending border work (ModeWorkflowSerial)
@@ -602,6 +732,10 @@ func (e *Engine) executeRequest(r *txnRequest) {
 			e.sched.push(tr)
 		}
 	}
+	if ack != nil {
+		e.queueAck(r, pctx.out, ack, start)
+		return
+	}
 	r.respond(pctx.out, nil)
 }
 
@@ -616,9 +750,13 @@ func (e *Engine) runHandler(p *Procedure, pctx *ProcCtx) (err error) {
 	return p.Handler(pctx)
 }
 
-func (e *Engine) logCommit(r *txnRequest) error {
+// logCommit writes the request's command-log record. On the synchronous
+// path (SyncNever / SyncEveryRecord) it returns (nil, err) with the record
+// durable per policy; on the group-commit path it returns the commit
+// future the acknowledgement must wait for.
+func (e *Engine) logCommit(r *txnRequest) (<-chan error, error) {
 	if e.logger == nil || r.replay {
-		return nil
+		return nil, nil
 	}
 	var rec *LogRecord
 	switch r.kind {
@@ -629,14 +767,17 @@ func (e *Engine) logCommit(r *txnRequest) error {
 			BatchID: r.batchID, InputStream: r.inputStream}
 	case reqTriggered:
 		if e.logMode != LogAllTEs {
-			return nil // upstream backup: derived work is not logged
+			return nil, nil // upstream backup: derived work is not logged
 		}
 		rec = &LogRecord{Kind: RecTriggered, Proc: r.proc.Name, Batch: r.batch,
 			BatchID: r.batchID, InputStream: r.inputStream}
 	default:
-		return nil
+		return nil, nil
 	}
-	return e.logger.LogCommit(rec)
+	if e.asyncLog != nil {
+		return e.asyncLog.LogCommitAsync(rec)
+	}
+	return nil, e.logger.LogCommit(rec)
 }
 
 func (r *txnRequest) respond(res *ee.Result, err error) {

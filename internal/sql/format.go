@@ -1,0 +1,286 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/types"
+)
+
+// This file renders a parsed (and possibly rewritten) statement back to
+// executable SQL text. The router uses it for distributed-query pushdown:
+// a fan-out leg cannot execute the original text when the plan per
+// partition differs from the client's query (e.g. AVG(x) decomposed into
+// SUM(x) and COUNT(x) for the merge to recombine), so the rewritten AST is
+// serialized and sent instead.
+//
+// Positional parameters are substituted with their literal values: a
+// rewrite may duplicate or reorder expressions, which would scramble the
+// 1:1 text-order correspondence '?' binding depends on.
+//
+// Composite expressions are fully parenthesized; the parser accepts
+// redundant parentheses, and emitting them sidesteps precedence entirely.
+
+// FormatSelect renders sel as SQL text with params inlined as literals.
+func FormatSelect(sel *Select, params []types.Value) (string, error) {
+	f := &formatter{params: params}
+	f.selectStmt(sel)
+	if f.err != nil {
+		return "", f.err
+	}
+	return f.b.String(), nil
+}
+
+// FormatSelectPlaceholders renders sel with '?' placeholders preserved, so
+// the caller can execute the text with the original parameter slice (and
+// the engine can cache one prepared plan across values). This is only
+// sound when the statement's parameters still occur exactly once each, in
+// their original order — re-parsing assigns indexes by text order — so the
+// formatter verifies the emission sequence is 0,1,2,... and errors if a
+// rewrite duplicated or reordered a parameter (fall back to FormatSelect).
+func FormatSelectPlaceholders(sel *Select) (string, error) {
+	f := &formatter{keepParams: true}
+	f.selectStmt(sel)
+	if f.err != nil {
+		return "", f.err
+	}
+	return f.b.String(), nil
+}
+
+type formatter struct {
+	b          strings.Builder
+	params     []types.Value
+	keepParams bool
+	nextParam  int
+	err        error
+}
+
+func (f *formatter) fail(format string, args ...any) {
+	if f.err == nil {
+		f.err = fmt.Errorf("sql: format: "+format, args...)
+	}
+}
+
+func (f *formatter) selectStmt(s *Select) {
+	f.b.WriteString("SELECT ")
+	if s.Distinct {
+		f.b.WriteString("DISTINCT ")
+	}
+	for i, it := range s.Items {
+		if i > 0 {
+			f.b.WriteString(", ")
+		}
+		switch {
+		case it.Star && it.Table != "":
+			f.b.WriteString(it.Table + ".*")
+		case it.Star:
+			f.b.WriteString("*")
+		default:
+			f.expr(it.Expr)
+			if it.Alias != "" {
+				f.b.WriteString(" AS " + it.Alias)
+			}
+		}
+	}
+	f.b.WriteString(" FROM ")
+	f.tableRef(s.From)
+	for _, j := range s.Joins {
+		if j.Left {
+			f.b.WriteString(" LEFT JOIN ")
+		} else {
+			f.b.WriteString(" JOIN ")
+		}
+		f.tableRef(j.Table)
+		if j.On != nil {
+			f.b.WriteString(" ON ")
+			f.expr(j.On)
+		}
+	}
+	if s.Where != nil {
+		f.b.WriteString(" WHERE ")
+		f.expr(s.Where)
+	}
+	if len(s.GroupBy) > 0 {
+		f.b.WriteString(" GROUP BY ")
+		for i, g := range s.GroupBy {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(g)
+		}
+	}
+	if s.Having != nil {
+		f.b.WriteString(" HAVING ")
+		f.expr(s.Having)
+	}
+	if len(s.OrderBy) > 0 {
+		f.b.WriteString(" ORDER BY ")
+		for i, o := range s.OrderBy {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(o.Expr)
+			if o.Desc {
+				f.b.WriteString(" DESC")
+			}
+		}
+	}
+	if s.Limit != nil {
+		f.b.WriteString(" LIMIT ")
+		f.expr(s.Limit)
+	}
+	if s.Offset != nil {
+		f.b.WriteString(" OFFSET ")
+		f.expr(s.Offset)
+	}
+}
+
+func (f *formatter) tableRef(t TableRef) {
+	f.b.WriteString(t.Name)
+	if t.Alias != "" {
+		f.b.WriteString(" " + t.Alias)
+	}
+}
+
+// literal renders a value as re-lexable SQL; timestamps and non-finite
+// floats have no literal syntax.
+func (f *formatter) literal(v types.Value) {
+	switch v.Type() {
+	case types.TypeTimestamp:
+		f.fail("TIMESTAMP value has no SQL literal form")
+	case types.TypeFloat:
+		if fl := v.Float(); math.IsNaN(fl) || math.IsInf(fl, 0) {
+			f.fail("non-finite FLOAT has no SQL literal form")
+		}
+	}
+	if f.err != nil {
+		return
+	}
+	f.b.WriteString(v.SQLLiteral())
+}
+
+func (f *formatter) expr(e Expr) {
+	switch x := e.(type) {
+	case nil:
+		f.fail("nil expression")
+	case *Literal:
+		f.literal(x.Value)
+	case *ColumnRef:
+		if x.Table != "" {
+			f.b.WriteString(x.Table + ".")
+		}
+		f.b.WriteString(x.Column)
+	case *Param:
+		if f.keepParams {
+			if x.Index != f.nextParam {
+				f.fail("parameter ?%d out of order (expected ?%d); placeholders cannot be preserved", x.Index+1, f.nextParam+1)
+				return
+			}
+			f.nextParam++
+			f.b.WriteString("?")
+			return
+		}
+		if x.Index < 0 || x.Index >= len(f.params) {
+			f.fail("parameter ?%d not supplied", x.Index+1)
+			return
+		}
+		f.literal(f.params[x.Index])
+	case *Unary:
+		f.b.WriteString("(" + x.Op + " ")
+		f.expr(x.X)
+		f.b.WriteString(")")
+	case *Binary:
+		f.b.WriteString("(")
+		f.expr(x.L)
+		f.b.WriteString(" " + x.Op + " ")
+		f.expr(x.R)
+		f.b.WriteString(")")
+	case *IsNull:
+		f.b.WriteString("(")
+		f.expr(x.X)
+		if x.Negate {
+			f.b.WriteString(" IS NOT NULL)")
+		} else {
+			f.b.WriteString(" IS NULL)")
+		}
+	case *InList:
+		f.b.WriteString("(")
+		f.expr(x.X)
+		if x.Negate {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" IN (")
+		for i, it := range x.List {
+			if i > 0 {
+				f.b.WriteString(", ")
+			}
+			f.expr(it)
+		}
+		f.b.WriteString("))")
+	case *InSubquery:
+		f.b.WriteString("(")
+		f.expr(x.X)
+		if x.Negate {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" IN (")
+		f.selectStmt(x.Query)
+		f.b.WriteString("))")
+	case *Between:
+		f.b.WriteString("(")
+		f.expr(x.X)
+		if x.Negate {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" BETWEEN ")
+		f.expr(x.Lo)
+		f.b.WriteString(" AND ")
+		f.expr(x.Hi)
+		f.b.WriteString(")")
+	case *Like:
+		f.b.WriteString("(")
+		f.expr(x.X)
+		if x.Negate {
+			f.b.WriteString(" NOT")
+		}
+		f.b.WriteString(" LIKE ")
+		f.expr(x.Pattern)
+		f.b.WriteString(")")
+	case *FuncCall:
+		f.b.WriteString(x.Name + "(")
+		if x.Star {
+			f.b.WriteString("*")
+		} else {
+			if x.Distinct {
+				f.b.WriteString("DISTINCT ")
+			}
+			for i, a := range x.Args {
+				if i > 0 {
+					f.b.WriteString(", ")
+				}
+				f.expr(a)
+			}
+		}
+		f.b.WriteString(")")
+	case *CaseExpr:
+		f.b.WriteString("(CASE")
+		if x.Operand != nil {
+			f.b.WriteString(" ")
+			f.expr(x.Operand)
+		}
+		for _, w := range x.Whens {
+			f.b.WriteString(" WHEN ")
+			f.expr(w.Cond)
+			f.b.WriteString(" THEN ")
+			f.expr(w.Result)
+		}
+		if x.Else != nil {
+			f.b.WriteString(" ELSE ")
+			f.expr(x.Else)
+		}
+		f.b.WriteString(" END)")
+	default:
+		f.fail("unsupported expression %T", e)
+	}
+}

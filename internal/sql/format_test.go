@@ -1,0 +1,121 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/types"
+)
+
+// reformat parses text and renders it back with params inlined.
+func reformat(t *testing.T, text string, params ...types.Value) string {
+	t.Helper()
+	stmt, err := Parse(text)
+	if err != nil {
+		t.Fatalf("parse %q: %v", text, err)
+	}
+	sel, ok := stmt.(*Select)
+	if !ok {
+		t.Fatalf("%q is not a select", text)
+	}
+	out, err := FormatSelect(sel, params)
+	if err != nil {
+		t.Fatalf("format %q: %v", text, err)
+	}
+	return out
+}
+
+// TestFormatSelectRoundTrip re-parses the formatter's output and formats
+// again: the second pass must be byte-identical (a fixed point), proving
+// the emitted text is valid SQL with the same structure.
+func TestFormatSelectRoundTrip(t *testing.T) {
+	queries := []string{
+		"SELECT * FROM t",
+		"SELECT a, b AS bee, t.c FROM t",
+		"SELECT DISTINCT a FROM t WHERE b > 3 AND c < 4.5 OR NOT (d = 'x')",
+		"SELECT a FROM t JOIN u ON t.id = u.id LEFT JOIN v ON v.k = u.k WHERE u.n IS NOT NULL",
+		"SELECT k, SUM(n) FROM t GROUP BY k HAVING k > 0 ORDER BY k DESC LIMIT 5 OFFSET 2",
+		"SELECT COUNT(*), COUNT(DISTINCT a), MIN(-b) FROM t",
+		"SELECT a FROM t WHERE b IN (1, 2, 3) AND c NOT IN (SELECT c FROM u WHERE c > 0)",
+		"SELECT a FROM t WHERE b BETWEEN 1 AND 10 AND name LIKE 'ab%' AND x NOT LIKE '_z'",
+		"SELECT CASE WHEN a > 0 THEN 'pos' ELSE 'neg' END FROM t",
+		"SELECT CASE a WHEN 1 THEN TRUE WHEN 2 THEN FALSE ELSE NULL END FROM t",
+		"SELECT t.* FROM t ORDER BY 1",
+	}
+	for _, q := range queries {
+		once := reformat(t, q)
+		twice := reformat(t, once)
+		if once != twice {
+			t.Fatalf("not a fixed point:\n  in:    %s\n  once:  %s\n  twice: %s", q, once, twice)
+		}
+	}
+}
+
+func TestFormatSelectInlinesParams(t *testing.T) {
+	out := reformat(t, "SELECT a FROM t WHERE b > ? AND c = ? AND d = ?",
+		types.NewInt(7), types.NewString("it's"), types.NewFloat(2.5))
+	for _, want := range []string{"7", "'it''s'", "2.5"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("formatted %q lacks literal %q", out, want)
+		}
+	}
+	if strings.Contains(out, "?") {
+		t.Fatalf("formatted %q still contains a parameter", out)
+	}
+	// The inlined text must itself parse.
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+}
+
+func TestFormatSelectParamErrors(t *testing.T) {
+	stmt, err := Parse("SELECT a FROM t WHERE b = ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := stmt.(*Select)
+	if _, err := FormatSelect(sel, nil); err == nil {
+		t.Fatal("missing parameter accepted")
+	}
+	if _, err := FormatSelect(sel, []types.Value{types.NewTimestamp(5)}); err == nil {
+		t.Fatal("timestamp parameter accepted (no SQL literal form)")
+	}
+}
+
+func TestFormatSelectPlaceholders(t *testing.T) {
+	stmt, err := Parse("SELECT a, SUM(b) FROM t WHERE c > ? AND d IN (?, ?) GROUP BY a HAVING a < ? ORDER BY a LIMIT ?")
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := FormatSelectPlaceholders(stmt.(*Select))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Count(out, "?"); got != 5 {
+		t.Fatalf("formatted %q has %d placeholders, want 5", out, got)
+	}
+	// Reparse must assign the same indexes (sequential text order).
+	re, err := Parse(out)
+	if err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+	if _, err := FormatSelectPlaceholders(re.(*Select)); err != nil {
+		t.Fatalf("reparsed placeholders out of order: %v", err)
+	}
+
+	// A rewrite that duplicates a parameter must be rejected, not emitted
+	// with scrambled binding.
+	sel := stmt.(*Select)
+	dup := *sel
+	dup.Items = append(append([]SelectItem(nil), sel.Items...), SelectItem{Expr: sel.Where})
+	if _, err := FormatSelectPlaceholders(&dup); err == nil {
+		t.Fatal("duplicated parameter accepted in placeholder mode")
+	}
+}
+
+func TestFormatSelectNegativeAndExponentLiterals(t *testing.T) {
+	out := reformat(t, "SELECT a FROM t WHERE b = -5 AND c = 1.5e-7")
+	if _, err := Parse(out); err != nil {
+		t.Fatalf("reparse %q: %v", out, err)
+	}
+}

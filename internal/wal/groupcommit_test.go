@@ -1,0 +1,286 @@
+package wal
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// scanAll collects every intact payload in the log file.
+func scanAll(t *testing.T, path string) [][]byte {
+	t.Helper()
+	var got [][]byte
+	if _, err := ScanLog(path, func(_ uint64, p []byte) error {
+		got = append(got, append([]byte(nil), p...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return got
+}
+
+func TestSyncNeverBuffersWrites(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLog(path, 0, SyncNever)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, err := l.Append([]byte("buffered")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Small appends stay in the user-space buffer: no write(2) yet.
+	if fi, err := os.Stat(path); err != nil || fi.Size() != 0 {
+		t.Fatalf("expected empty file before flush, size=%d err=%v", fi.Size(), err)
+	}
+	if err := l.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() == 0 {
+		t.Fatal("Sync did not flush the buffer")
+	}
+	l.Close()
+	if n := len(scanAll(t, path)); n != 10 {
+		t.Fatalf("recovered %d records", n)
+	}
+}
+
+func TestSyncNeverCloseFlushes(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, _ := OpenLog(path, 0, SyncNever)
+	l.Append([]byte("a"))
+	l.Append([]byte("b"))
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(scanAll(t, path)); n != 2 {
+		t.Fatalf("recovered %d records after Close", n)
+	}
+}
+
+func TestGroupCommitBatchFullResolves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Hour, // only the batch-full path may fire
+		GroupCommitMaxBatch: 4,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var acks []<-chan error
+	for i := 0; i < 3; i++ {
+		_, ack, err := l.AppendAsync([]byte("r"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	// Under max batch with an hour-long interval: nothing resolves.
+	select {
+	case <-acks[0]:
+		t.Fatal("future resolved before batch filled or interval elapsed")
+	case <-time.After(20 * time.Millisecond):
+	}
+	_, ack4, err := l.AppendAsync([]byte("r"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acks = append(acks, ack4)
+	for i, ack := range acks {
+		select {
+		case err := <-ack:
+			if err != nil {
+				t.Fatalf("future %d: %v", i, err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatalf("future %d never resolved after batch filled", i)
+		}
+	}
+	// The ack promises durability: the records must be scannable now.
+	if n := len(scanAll(t, path)); n != 4 {
+		t.Fatalf("acked 4 records but %d are on disk", n)
+	}
+}
+
+func TestGroupCommitIntervalResolves(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Millisecond,
+		GroupCommitMaxBatch: 1 << 20, // only the interval path may fire
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, ack, err := l.AppendAsync([]byte("lonely"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-ack:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("interval tick never resolved the future")
+	}
+	if n := len(scanAll(t, path)); n != 1 {
+		t.Fatalf("%d records on disk", n)
+	}
+}
+
+func TestGroupCommitSyncNowDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Hour,
+		GroupCommitMaxBatch: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var acks []<-chan error
+	for i := 0; i < 5; i++ {
+		_, ack, err := l.AppendAsync([]byte("p"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		acks = append(acks, ack)
+	}
+	if err := l.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	// SyncNow returns only after every pending future resolved.
+	for i, ack := range acks {
+		select {
+		case err := <-ack:
+			if err != nil {
+				t.Fatalf("future %d: %v", i, err)
+			}
+		default:
+			t.Fatalf("future %d unresolved after SyncNow", i)
+		}
+	}
+	if n := len(scanAll(t, path)); n != 5 {
+		t.Fatalf("%d records on disk", n)
+	}
+}
+
+func TestGroupCommitCloseResolvesPending(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Hour,
+		GroupCommitMaxBatch: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, ack, err := l.AppendAsync([]byte("straggler"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-ack:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("Close left the future unresolved")
+	}
+	if n := len(scanAll(t, path)); n != 1 {
+		t.Fatalf("%d records on disk", n)
+	}
+}
+
+func TestGroupCommitTruncateKeepsLSNAndDrains(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Hour,
+		GroupCommitMaxBatch: 1 << 20,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	_, ack, _ := l.AppendAsync([]byte("pre"))
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-ack:
+		if err != nil {
+			t.Fatal(err)
+		}
+	default:
+		t.Fatal("Truncate left the pending future unresolved")
+	}
+	lsn, ack2, err := l.AppendAsync([]byte("post"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lsn != 2 {
+		t.Fatalf("post-truncate lsn = %d", lsn)
+	}
+	if err := l.SyncNow(); err != nil {
+		t.Fatal(err)
+	}
+	<-ack2
+	got := scanAll(t, path)
+	if len(got) != 1 || string(got[0]) != "post" {
+		t.Fatalf("post-truncate scan: %q", got)
+	}
+}
+
+func TestGroupCommitPlainAppendWaits(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "x.log")
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	// Append on a group-commit log blocks until the batch fsync: afterwards
+	// the record must already be durable.
+	if _, err := l.Append([]byte("sync-shim")); err != nil {
+		t.Fatal(err)
+	}
+	if n := len(scanAll(t, path)); n != 1 {
+		t.Fatalf("%d records on disk after synchronous Append", n)
+	}
+}
+
+func TestAppendAsyncOnSyncPoliciesResolvesImmediately(t *testing.T) {
+	for _, pol := range []SyncPolicy{SyncNever, SyncEveryRecord} {
+		path := filepath.Join(t.TempDir(), "x.log")
+		l, err := OpenLog(path, 0, pol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lsn, ack, err := l.AppendAsync([]byte("x"))
+		if err != nil || lsn != 1 {
+			t.Fatalf("policy %d: lsn=%d err=%v", pol, lsn, err)
+		}
+		select {
+		case err := <-ack:
+			if err != nil {
+				t.Fatal(err)
+			}
+		default:
+			t.Fatalf("policy %d: future not pre-resolved", pol)
+		}
+		l.Close()
+	}
+}

@@ -7,6 +7,7 @@
 package wal
 
 import (
+	"bufio"
 	"encoding/binary"
 	"errors"
 	"fmt"
@@ -14,6 +15,8 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sync"
+	"time"
 )
 
 // SyncPolicy controls when the log file is fsync'd.
@@ -23,10 +26,40 @@ type SyncPolicy uint8
 const (
 	// SyncNever leaves flushing to the OS (fastest, weakest).
 	SyncNever SyncPolicy = iota
-	// SyncEveryRecord fsyncs after each append (group commit would batch
-	// this in a multi-client deployment; our partition is serial anyway).
+	// SyncEveryRecord fsyncs after each append — one fsync on the critical
+	// path of every commit.
 	SyncEveryRecord
+	// SyncGroupCommit batches fsyncs: appends return a commit future and a
+	// daemon fsyncs once per batch (Options.GroupCommitInterval /
+	// GroupCommitMaxBatch), resolving every future the fsync covered. One
+	// fsync amortizes over the whole in-flight batch.
+	SyncGroupCommit
 )
+
+// Group-commit defaults, used when the corresponding Options field is zero.
+const (
+	DefaultGroupCommitInterval = 2 * time.Millisecond
+	DefaultGroupCommitMaxBatch = 64
+)
+
+// Options configures OpenLogOpts.
+type Options struct {
+	// Policy selects when appended records are forced to stable storage.
+	Policy SyncPolicy
+	// GroupCommitInterval is the longest a SyncGroupCommit record waits for
+	// its fsync (the commit daemon's tick). Zero means the default.
+	GroupCommitInterval time.Duration
+	// GroupCommitMaxBatch fsyncs early once this many appends are pending,
+	// bounding batch size under load. Zero means the default.
+	GroupCommitMaxBatch int
+}
+
+// commitWaiter is one unresolved commit future: the record at lsn has been
+// appended (buffered) but not yet fsync'd.
+type commitWaiter struct {
+	lsn uint64
+	ch  chan error
+}
 
 // Log is an append-only record log. Each record is framed as
 // [len u32][crc32 u32][lsn u64][payload] with the CRC covering lsn+payload;
@@ -35,27 +68,80 @@ const (
 // acked, so dropping it is correct). Carrying the LSN in the frame makes
 // replay robust to a crash between snapshot-write and log-truncate: stale
 // records are recognizable by LSN and skipped.
+//
+// Appends go through a buffered writer, so even SyncNever pays one write(2)
+// per flush rather than per record; Sync, Truncate, and Close flush first.
+// Under SyncGroupCommit a commit daemon shares the Log with the appender;
+// mu guards the writer, the LSN counter, and the pending futures.
 type Log struct {
-	f      *os.File
 	path   string
-	lsn    uint64 // last assigned LSN
 	policy SyncPolicy
-	buf    []byte
+
+	mu      sync.Mutex
+	f       *os.File
+	w       *bufio.Writer
+	lsn     uint64         // last assigned LSN
+	buf     []byte         // frame scratch, reused across appends
+	pending []commitWaiter // futures awaiting the next fsync (LSN order)
+	err     error          // sticky: a write/fsync failure poisons the log
+
+	// group-commit daemon plumbing (nil unless policy is SyncGroupCommit).
+	interval time.Duration
+	maxBatch int
+	kick     chan struct{}   // batch-full nudge
+	syncReq  chan chan error // SyncNow rendezvous
+	quit     chan struct{}
+	done     chan struct{}
+	stop     sync.Once
 }
 
 // OpenLog opens (creating if needed) the log at path and positions for
 // appending. startLSN is the LSN of the last record already in the file
 // (use ScanLog to discover it).
 func OpenLog(path string, startLSN uint64, policy SyncPolicy) (*Log, error) {
+	return OpenLogOpts(path, startLSN, Options{Policy: policy})
+}
+
+// OpenLogOpts opens a log with explicit options; SyncGroupCommit starts the
+// commit daemon, which runs until Close.
+func OpenLogOpts(path string, startLSN uint64, o Options) (*Log, error) {
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, fmt.Errorf("wal: open log: %w", err)
 	}
-	return &Log{f: f, path: path, lsn: startLSN, policy: policy}, nil
+	l := &Log{
+		path:   path,
+		policy: o.Policy,
+		f:      f,
+		w:      bufio.NewWriterSize(f, 1<<16),
+		lsn:    startLSN,
+	}
+	if o.Policy == SyncGroupCommit {
+		l.interval = o.GroupCommitInterval
+		if l.interval <= 0 {
+			l.interval = DefaultGroupCommitInterval
+		}
+		l.maxBatch = o.GroupCommitMaxBatch
+		if l.maxBatch <= 0 {
+			l.maxBatch = DefaultGroupCommitMaxBatch
+		}
+		l.kick = make(chan struct{}, 1)
+		l.syncReq = make(chan chan error)
+		l.quit = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.daemon()
+	}
+	return l, nil
 }
 
-// Append writes one record and returns its LSN.
-func (l *Log) Append(payload []byte) (uint64, error) {
+// GroupCommit reports whether the log batches fsyncs behind commit futures.
+func (l *Log) GroupCommit() bool { return l.policy == SyncGroupCommit }
+
+// appendFrame encodes and buffers one record. Caller holds l.mu.
+func (l *Log) appendFrame(payload []byte) (uint64, error) {
+	if l.err != nil {
+		return 0, fmt.Errorf("wal: log poisoned by earlier failure: %w", l.err)
+	}
 	lsn := l.lsn + 1
 	l.buf = l.buf[:0]
 	var lsnB [8]byte
@@ -69,24 +155,179 @@ func (l *Log) Append(payload []byte) (uint64, error) {
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, lsnB[:]...)
 	l.buf = append(l.buf, payload...)
-	if _, err := l.f.Write(l.buf); err != nil {
+	if _, err := l.w.Write(l.buf); err != nil {
+		l.err = err
 		return 0, fmt.Errorf("wal: append: %w", err)
-	}
-	if l.policy == SyncEveryRecord {
-		if err := l.f.Sync(); err != nil {
-			return 0, fmt.Errorf("wal: sync: %w", err)
-		}
 	}
 	l.lsn = lsn
 	return lsn, nil
 }
 
+// flushLocked drains the buffered writer to the OS. Caller holds l.mu.
+func (l *Log) flushLocked() error {
+	if l.err != nil {
+		return l.err
+	}
+	if err := l.w.Flush(); err != nil {
+		l.err = err
+		return err
+	}
+	return nil
+}
+
+// Append writes one record and returns its LSN, durable per the policy:
+// SyncEveryRecord returns after its own fsync, SyncGroupCommit waits for
+// the batch fsync (use AppendAsync to pipeline instead), SyncNever returns
+// once the record is buffered.
+func (l *Log) Append(payload []byte) (uint64, error) {
+	if l.policy == SyncGroupCommit {
+		lsn, ack, err := l.AppendAsync(payload)
+		if err != nil {
+			return 0, err
+		}
+		if err := <-ack; err != nil {
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+		return lsn, nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lsn, err := l.appendFrame(payload)
+	if err != nil {
+		return 0, err
+	}
+	if l.policy == SyncEveryRecord {
+		if err := l.flushLocked(); err != nil {
+			return 0, fmt.Errorf("wal: flush: %w", err)
+		}
+		if err := l.f.Sync(); err != nil {
+			l.err = err
+			return 0, fmt.Errorf("wal: sync: %w", err)
+		}
+	}
+	return lsn, nil
+}
+
+// AppendAsync appends one record and returns a commit future that resolves
+// (with the fsync's error, nil on success) once the record is durable. The
+// caller must receive from the future exactly once; futures resolve in LSN
+// order because one fsync covers a contiguous batch. Under SyncNever and
+// SyncEveryRecord the future is already resolved on return.
+func (l *Log) AppendAsync(payload []byte) (uint64, <-chan error, error) {
+	ch := make(chan error, 1)
+	if l.policy != SyncGroupCommit {
+		lsn, err := l.Append(payload)
+		if err != nil {
+			return 0, nil, err
+		}
+		ch <- nil
+		return lsn, ch, nil
+	}
+	l.mu.Lock()
+	lsn, err := l.appendFrame(payload)
+	if err != nil {
+		l.mu.Unlock()
+		return 0, nil, err
+	}
+	l.pending = append(l.pending, commitWaiter{lsn: lsn, ch: ch})
+	full := len(l.pending) >= l.maxBatch
+	l.mu.Unlock()
+	if full {
+		select {
+		case l.kick <- struct{}{}:
+		default: // a nudge is already queued
+		}
+	}
+	return lsn, ch, nil
+}
+
+// daemon is the group-commit loop: it fsyncs once per tick, early when a
+// batch fills or a SyncNow arrives, and resolves the covered futures.
+func (l *Log) daemon() {
+	defer close(l.done)
+	t := time.NewTicker(l.interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			l.syncBatch(nil)
+		case <-l.kick:
+			l.syncBatch(nil)
+		case reply := <-l.syncReq:
+			l.syncBatch(reply)
+		case <-l.quit:
+			l.syncBatch(nil) // resolve stragglers before Close proceeds
+			return
+		}
+	}
+}
+
+// syncBatch flushes buffered frames, fsyncs, and resolves every pending
+// future with the result. The fsync runs outside the lock so the appender
+// keeps buffering the next batch while the disk works; a record buffered
+// mid-fsync joins the next batch, whose own fsync (issued after the flush
+// that covered its bytes) is the one that resolves it.
+func (l *Log) syncBatch(reply chan<- error) {
+	l.mu.Lock()
+	err := l.flushLocked()
+	batch := l.pending
+	l.pending = nil
+	l.mu.Unlock()
+	if err == nil && (len(batch) > 0 || reply != nil) {
+		if err = l.f.Sync(); err != nil {
+			l.mu.Lock()
+			if l.err == nil {
+				l.err = err
+			}
+			l.mu.Unlock()
+		}
+	}
+	for _, w := range batch {
+		w.ch <- err
+	}
+	if reply != nil {
+		reply <- err
+	}
+}
+
+// SyncNow forces everything appended so far to stable storage, resolving
+// all pending commit futures before it returns. The checkpoint barrier uses
+// it to drain the pipeline at a quiescent point.
+func (l *Log) SyncNow() error {
+	if l.policy != SyncGroupCommit {
+		return l.Sync()
+	}
+	reply := make(chan error, 1)
+	select {
+	case l.syncReq <- reply:
+		return <-reply
+	case <-l.done: // daemon stopped (Close in progress): fall back
+		return l.Sync()
+	}
+}
+
 // LSN returns the LSN of the last appended record.
-func (l *Log) LSN() uint64 { return l.lsn }
+func (l *Log) LSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.lsn
+}
 
 // Truncate empties the log file after a successful snapshot. LSNs keep
-// increasing monotonically across truncation.
+// increasing monotonically across truncation. Pending group-commit futures
+// are made durable and resolved first — their records are covered by the
+// snapshot the caller just wrote, but the futures themselves must complete.
 func (l *Log) Truncate() error {
+	if l.policy == SyncGroupCommit {
+		if err := l.SyncNow(); err != nil {
+			return fmt.Errorf("wal: truncate: %w", err)
+		}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if err := l.flushLocked(); err != nil {
+		return fmt.Errorf("wal: truncate: %w", err)
+	}
 	if err := l.f.Truncate(0); err != nil {
 		return fmt.Errorf("wal: truncate: %w", err)
 	}
@@ -96,11 +337,34 @@ func (l *Log) Truncate() error {
 	return l.f.Sync()
 }
 
-// Sync forces the log to stable storage.
-func (l *Log) Sync() error { return l.f.Sync() }
+// Sync flushes buffered frames and forces the log to stable storage. It
+// does not resolve group-commit futures; the daemon (or SyncNow) does.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	err := l.flushLocked()
+	l.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	return l.f.Sync()
+}
 
-// Close closes the log file.
-func (l *Log) Close() error { return l.f.Close() }
+// Close stops the commit daemon (resolving any remaining futures), flushes,
+// and closes the log file.
+func (l *Log) Close() error {
+	if l.policy == SyncGroupCommit {
+		l.stop.Do(func() { close(l.quit) })
+		<-l.done
+	}
+	l.mu.Lock()
+	err := l.flushLocked()
+	l.mu.Unlock()
+	cerr := l.f.Close()
+	if err != nil {
+		return err
+	}
+	return cerr
+}
 
 // ScanLog reads every intact record from path, calling fn(lsn, payload)
 // with the LSN stored in each record's frame. It stops silently at a torn

@@ -97,8 +97,15 @@ const (
 
 // Sync policies (Config.Sync).
 const (
-	SyncNever       = wal.SyncNever
+	// SyncNever leaves flushing to the OS (fastest, weakest).
+	SyncNever = wal.SyncNever
+	// SyncEveryRecord fsyncs on every commit's critical path.
 	SyncEveryRecord = wal.SyncEveryRecord
+	// SyncGroupCommit batches fsyncs per partition: execution keeps going
+	// while a commit daemon hardens batches, and clients are acknowledged
+	// when their commit future resolves (tune with
+	// Config.GroupCommitInterval / GroupCommitMaxBatch).
+	SyncGroupCommit = wal.SyncGroupCommit
 )
 
 // Open creates a Store from the configuration. Call ExecScript /
