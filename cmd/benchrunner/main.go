@@ -2,10 +2,11 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E7
+//	benchrunner            # E1..E8
 //	benchrunner -e E2 -votes 6000
 //	benchrunner -e E6 -votes 40000
 //	benchrunner -e E7 -votes 20000 -json BENCH_E7.json
+//	benchrunner -e E8 -txns 5000 -json BENCH_E8.json
 package main
 
 import (
@@ -21,12 +22,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
-		jsonOut  = flag.String("json", "", "write machine-readable E7 results to this file")
-		parts    = flag.Int("partitions", 2, "E7: partition count")
-		pipeline = flag.Int("pipeline", 128, "E7: concurrent clients")
+		jsonOut  = flag.String("json", "", "write machine-readable E7/E8 results to this file")
+		parts    = flag.Int("partitions", 2, "E7/E8: partition count")
+		pipeline = flag.Int("pipeline", 128, "E7/E8: concurrent clients")
+		txns     = flag.Int("txns", 5000, "E8: pair-insert transactions per mode")
 	)
 	flag.Parse()
 	run := func(name string, fn func() error) {
@@ -174,6 +176,76 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E8", func() error {
+		rows, err := bench.E8(*seed, *txns, *parts, *pipeline)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, r := range rows {
+			if r.Mode == "single-partition" {
+				base = r.TxnsSec
+			}
+		}
+		fmt.Printf("%-18s %-12s %-10s %-10s %-10s %-8s %s\n",
+			"mode", "txns/sec", "p50", "p99", "vs-single", "rows", "correct")
+		for _, r := range rows {
+			ratio := "-"
+			if base > 0 {
+				ratio = fmt.Sprintf("%.2fx", r.TxnsSec/base)
+			}
+			fmt.Printf("%-18s %-12.0f %-10s %-10s %-10s %-8d %v\n",
+				r.Mode, r.TxnsSec, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+				ratio, r.Rows, r.Correct)
+		}
+		if *jsonOut != "" {
+			if err := writeE8JSON(*jsonOut, *seed, *txns, *parts, *pipeline, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e8JSON is the BENCH_E8.json document.
+type e8JSON struct {
+	Experiment string      `json:"experiment"`
+	Seed       int64       `json:"seed"`
+	Txns       int         `json:"txns"`
+	Partitions int         `json:"partitions"`
+	Pipeline   int         `json:"pipeline"`
+	Rows       []e8JSONRow `json:"results"`
+}
+
+type e8JSONRow struct {
+	Mode    string  `json:"mode"`
+	TxnsSec float64 `json:"txns_per_sec"`
+	P50us   int64   `json:"p50_us"`
+	P99us   int64   `json:"p99_us"`
+	Rows    int64   `json:"rows"`
+	Correct bool    `json:"correct"`
+}
+
+func writeE8JSON(path string, seed int64, txns, parts, pipeline int, rows []bench.E8Row) error {
+	doc := e8JSON{Experiment: "E8 multi-partition txn throughput vs single-partition baseline",
+		Seed: seed, Txns: txns, Partitions: parts, Pipeline: pipeline}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, e8JSONRow{
+			Mode:    r.Mode,
+			TxnsSec: r.TxnsSec,
+			P50us:   r.P50.Microseconds(),
+			P99us:   r.P99.Microseconds(),
+			Rows:    r.Rows,
+			Correct: r.Correct,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e7JSON is the BENCH_E7.json document: enough context to reproduce the

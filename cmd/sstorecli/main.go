@@ -5,6 +5,7 @@
 // Input lines are dispatched by shape:
 //
 //	SELECT ...                ad-hoc query
+//	exec <sql>                ad-hoc DML (atomic across partitions when it spans them)
 //	call <proc> [args...]     stored procedure invocation
 //	ingest <stream> v1,v2,... one tuple onto a stream
 //	flush                     dispatch partial batches
@@ -66,6 +67,9 @@ func main() {
 				break
 			}
 			resp, err := c.Call(fields[1], parseArgs(fields[2:])...)
+			printResp(resp, err)
+		case strings.HasPrefix(strings.ToLower(line), "exec "):
+			resp, err := c.Exec(strings.TrimSpace(line[len("exec "):]))
 			printResp(resp, err)
 		case strings.HasPrefix(strings.ToLower(line), "ingest "):
 			fields := strings.Fields(line)

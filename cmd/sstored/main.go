@@ -3,6 +3,11 @@
 // procedures are compiled code, as in H-Store), recovers durable state,
 // and serves the wire protocol over TCP.
 //
+// With -partitions > 1, ad-hoc statements that span partitions — multi-row
+// INSERTs across shards, INSERT ... SELECT, broadcast UPDATE / DELETE —
+// execute atomically through the store's 2PC coordinator, so remote
+// clients never observe (or leave behind) a partially applied write.
+//
 // Usage:
 //
 //	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore -sync group
@@ -75,8 +80,11 @@ func main() {
 			}
 			err = voter.SetupHStore(st, *contest)
 		case *parts > 1:
-			// The partitioned variant hash-splits the vote feed by phone
-			// (no global elimination; see DESIGN.md §4.3).
+			// The streaming partitioned variant hash-splits the vote feed
+			// by phone and keeps elimination per-shard; the coordinated
+			// global-elimination variant (voter.SetupGlobal /
+			// voter.CastVoteGlobal) is driven in-process — see DESIGN.md
+			// §4.3 and EXPERIMENTS.md E8.
 			err = voter.SetupPartitioned(st, *contest)
 		default:
 			err = voter.Setup(st, *contest)

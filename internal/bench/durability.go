@@ -16,6 +16,23 @@ import (
 
 // ---------- E7: durable throughput vs sync policy ----------
 
+// latencyQuantiles flattens per-worker latency slices and returns an exact
+// quantile lookup over the sorted samples (shared by the E7 and E8
+// drivers).
+func latencyQuantiles(latencies [][]time.Duration) func(p float64) time.Duration {
+	var all []time.Duration
+	for _, l := range latencies {
+		all = append(all, l...)
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
+	return func(p float64) time.Duration {
+		if len(all) == 0 {
+			return 0
+		}
+		return all[int(p*float64(len(all)-1))]
+	}
+}
+
 // E7Config is one sync-policy configuration under test.
 type E7Config struct {
 	Name     string
@@ -143,18 +160,7 @@ func runE7Config(dir string, c E7Config, feed []workload.Vote, contestants, part
 		return E7Row{}, err
 	}
 
-	var all []time.Duration
-	for _, l := range latencies {
-		all = append(all, l...)
-	}
-	sort.Slice(all, func(i, j int) bool { return all[i] < all[j] })
-	q := func(p float64) time.Duration {
-		if len(all) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(all)-1))
-		return all[i]
-	}
+	q := latencyQuantiles(latencies)
 	return E7Row{
 		Policy:   c.Name,
 		VotesSec: float64(len(feed)) / elapsed.Seconds(),

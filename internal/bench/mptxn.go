@@ -1,0 +1,176 @@
+package bench
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// ---------- E8: multi-partition transaction throughput ----------
+
+// E8 prices the 2PC coordinator against the single-partition fast path.
+// Both modes run the same logical transaction — insert a pair of rows —
+// on the same durable group-commit store:
+//
+//   - single-partition: a routed stored-procedure Call whose two rows are
+//     co-located (one partition, one commit record, pipelined fsync).
+//   - multi-partition: a coordinated transaction whose rows land on two
+//     different partitions (two forced PREPAREs + one forced decision
+//     record, store-wide serialization).
+//
+// The gap is the price of cross-partition atomicity; the paper's answer —
+// and this repo's — is to co-partition workflows so the fast path carries
+// the volume, and spend the coordinator only where global semantics
+// (e.g. Voter's worldwide-minimum elimination) genuinely require it.
+
+// E8Row is one row of the multi-partition throughput table.
+type E8Row struct {
+	Mode    string
+	TxnsSec float64
+	P50     time.Duration
+	P99     time.Duration
+	Rows    int64 // rows stored at the end
+	Correct bool  // every acknowledged pair fully present
+}
+
+const e8PairDDL = `
+	CREATE TABLE pairs (id BIGINT PRIMARY KEY, grp BIGINT, v BIGINT) PARTITION BY grp;
+`
+
+// e8PutPair is the single-partition baseline: both rows share the group
+// key, so the whole transaction runs on the owning partition.
+func e8PutPair() *pe.Procedure {
+	return &pe.Procedure{
+		Name:           "put_pair",
+		WriteSet:       []string{"pairs"},
+		PartitionParam: 2,
+		Handler: func(ctx *pe.ProcCtx) error {
+			id, grp := ctx.Params[0].Int(), ctx.Params[1]
+			if _, err := ctx.Exec("INSERT INTO pairs VALUES (?, ?, 1)", types.NewInt(id), grp); err != nil {
+				return err
+			}
+			_, err := ctx.Exec("INSERT INTO pairs VALUES (?, ?, 1)", types.NewInt(id+1), grp)
+			return err
+		},
+	}
+}
+
+// E8 measures pair-insert throughput in both modes with `pipeline`
+// concurrent clients over `txns` transactions each mode.
+func E8(seed int64, txns, partitions, pipeline int) ([]E8Row, error) {
+	if pipeline < 1 {
+		pipeline = 1
+	}
+	var rows []E8Row
+	for _, mode := range []string{"single-partition", "multi-partition"} {
+		dir, err := os.MkdirTemp("", "sstore-e8")
+		if err != nil {
+			return nil, err
+		}
+		row, err := runE8Mode(dir, mode, txns, partitions, pipeline)
+		os.RemoveAll(dir)
+		if err != nil {
+			return nil, fmt.Errorf("E8 %s: %w", mode, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runE8Mode(dir, mode string, txns, partitions, pipeline int) (E8Row, error) {
+	st := core.Open(core.Config{
+		Dir:                 dir,
+		Sync:                wal.SyncGroupCommit,
+		GroupCommitInterval: 200 * time.Microsecond,
+		Partitions:          partitions,
+	})
+	if err := st.ExecScript(e8PairDDL); err != nil {
+		return E8Row{}, err
+	}
+	if err := st.RegisterProcedure(e8PutPair()); err != nil {
+		return E8Row{}, err
+	}
+	if err := st.Start(); err != nil {
+		return E8Row{}, err
+	}
+
+	latencies := make([][]time.Duration, pipeline)
+	errs := make([]error, pipeline)
+	next := make(chan int64, pipeline)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < pipeline; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, txns/pipeline+1)
+			for i := range next {
+				id := i * 2
+				s := time.Now()
+				var err error
+				if mode == "single-partition" {
+					_, err = st.Call("put_pair", types.NewInt(id), types.NewInt(i))
+				} else {
+					// The two rows use group keys i and i+txns: hashed
+					// independently, usually on different partitions.
+					err = st.MultiPartitionTxn(func(tx *core.MPTxn) error {
+						for j, grp := range []int64{i, i + int64(txns)} {
+							part := tx.PartitionFor(types.NewInt(grp))
+							if _, err := tx.Exec(part, "INSERT INTO pairs VALUES (?, ?, 1)",
+								types.NewInt(id+int64(j)), types.NewInt(grp)); err != nil {
+								return err
+							}
+						}
+						return nil
+					})
+				}
+				if err != nil {
+					errs[w] = err
+					break
+				}
+				lats = append(lats, time.Since(s))
+			}
+			latencies[w] = lats
+			for range next {
+			} // drain on error
+		}(w)
+	}
+	for i := 0; i < txns; i++ {
+		next <- int64(i)
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			st.Stop()
+			return E8Row{}, err
+		}
+	}
+
+	res, err := st.Query("SELECT COUNT(*) FROM pairs")
+	if err != nil {
+		st.Stop()
+		return E8Row{}, err
+	}
+	stored := res.Rows[0][0].Int()
+	if err := st.Stop(); err != nil {
+		return E8Row{}, err
+	}
+
+	q := latencyQuantiles(latencies)
+	return E8Row{
+		Mode:    mode,
+		TxnsSec: float64(txns) / elapsed.Seconds(),
+		P50:     q(0.50),
+		P99:     q(0.99),
+		Rows:    stored,
+		Correct: stored == int64(2*txns),
+	}, nil
+}

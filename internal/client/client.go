@@ -85,6 +85,13 @@ func (c *TCP) Query(sqlText string, params ...types.Value) (*wire.Response, erro
 	return c.roundTrip(&wire.Request{Kind: wire.MsgQuery, Target: sqlText, Params: params})
 }
 
+// Exec runs an ad-hoc DML statement as its own transaction on the server.
+// Multi-partition statements execute atomically through the server's 2PC
+// coordinator.
+func (c *TCP) Exec(sqlText string, params ...types.Value) (*wire.Response, error) {
+	return c.roundTrip(&wire.Request{Kind: wire.MsgExec, Target: sqlText, Params: params})
+}
+
 // Flush implements Conn.
 func (c *TCP) Flush() error {
 	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgFlush})
@@ -155,6 +162,18 @@ func (c *Loopback) Ingest(stream string, rows ...types.Row) error {
 func (c *Loopback) Query(sqlText string, params ...types.Value) (*wire.Response, error) {
 	c.charge()
 	res, err := c.St.Query(sqlText, params...)
+	if err != nil {
+		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}, err
+	}
+	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
+}
+
+// Exec mirrors TCP.Exec: an ad-hoc DML statement, atomic across
+// partitions via the store's coordinator when it spans them.
+func (c *Loopback) Exec(sqlText string, params ...types.Value) (*wire.Response, error) {
+	c.charge()
+	res, err := c.St.Exec(sqlText, params...)
 	if err != nil {
 		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}, err
 	}

@@ -134,8 +134,13 @@ func (p *partition) replay(rec *pe.LogRecord, mode pe.LogMode) error {
 }
 
 // recover restores this partition from its snapshot + log segment and opens
-// the log for appending.
-func (p *partition) recover(cfg *Config) error {
+// the log for appending. decisions maps multi-partition transaction ids to
+// their durable commit decision (from the coordinator log); prepared legs
+// without one are presumed aborted. The returned maxMP is the largest
+// 2PC transaction id seen anywhere in the segment — the store's id counter
+// must restart above it so a new decision can never resurrect an old
+// in-doubt leg.
+func (p *partition) recover(cfg *Config, decisions map[uint64]bool) (maxMP uint64, err error) {
 	mode := cfg.LogMode
 	logPath, snapPath := wal.PartitionPaths(cfg.Dir, p.idx)
 	meta, err := wal.LoadSnapshot(snapPath, p.cat)
@@ -145,20 +150,24 @@ func (p *partition) recover(cfg *Config) error {
 	case err == wal.ErrNoSnapshot:
 		meta = wal.Snapshot{}
 	default:
-		return err
+		return 0, err
 	}
+	p.pe.SetReplayDecisions(decisions)
 	lastLSN, err := wal.ScanLog(logPath, func(lsn uint64, payload []byte) error {
-		if lsn <= meta.LastLSN {
-			return nil // already covered by the snapshot
-		}
 		rec, err := wal.DecodeRecord(payload)
 		if err != nil {
 			return err
 		}
+		if rec.MPTxnID > maxMP {
+			maxMP = rec.MPTxnID
+		}
+		if lsn <= meta.LastLSN {
+			return nil // already covered by the snapshot
+		}
 		return p.replay(rec, mode)
 	})
 	if err != nil {
-		return fmt.Errorf("core: log replay (partition %d): %w", p.idx, err)
+		return 0, fmt.Errorf("core: log replay (partition %d): %w", p.idx, err)
 	}
 	if lastLSN < meta.LastLSN {
 		lastLSN = meta.LastLSN // log truncated at the last checkpoint
@@ -169,10 +178,10 @@ func (p *partition) recover(cfg *Config) error {
 		GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
 	})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	p.pe.SetLogger(p, mode)
-	return nil
+	return maxMP, nil
 }
 
 // Store is one S-Store instance: a router over Config.Partitions
@@ -183,7 +192,20 @@ type Store struct {
 	parts []*partition
 	// exclMu serializes all-partition barriers: two interleaved barrier
 	// acquisitions over the same partition set would deadlock each other.
+	// The 2PC coordinator holds it too — a multi-partition transaction
+	// parked on some partitions while a checkpoint barrier holds the rest
+	// would deadlock the same way.
 	exclMu sync.Mutex
+	// mpMu serializes multi-partition transactions (held exclusively by the
+	// coordinator) against each other and against fan-out reads (held
+	// shared by distributed queries), which gives readers all-or-nothing
+	// visibility of coordinated writes. Always acquired after exclMu.
+	mpMu sync.RWMutex
+	// nextMPTxnID numbers coordinated transactions; recovery restarts it
+	// above every id seen in any log segment.
+	nextMPTxnID uint64
+	// coordLog holds the 2PC decision records (durable stores only).
+	coordLog *wal.Log
 	// routeMu guards the router's reads of partition 0's catalog against
 	// runtime DDL (broadcast through Exec), which mutates the catalog maps
 	// on the partition workers while clients are routing.
@@ -312,12 +334,55 @@ func (s *Store) Recover() error {
 	if err := s.checkPartitionCount(); err != nil {
 		return err // nothing replayed: retryable after fixing the config
 	}
+	// The coordinator log is scanned before any partition replays: its
+	// decision records are what resolve in-doubt 2PC legs. A torn tail here
+	// drops decisions whose force never completed — those transactions were
+	// never acknowledged, and presuming them aborted is exactly right.
+	decisions := make(map[uint64]bool)
+	maxMP := uint64(0)
+	coordPath := wal.CoordPath(s.cfg.Dir)
+	coordLSN, err := wal.ScanLog(coordPath, func(_ uint64, payload []byte) error {
+		rec, err := wal.DecodeRecord(payload)
+		if err != nil {
+			return err
+		}
+		if rec.Kind == pe.RecDecide {
+			if rec.Commit {
+				decisions[rec.MPTxnID] = true
+			}
+			if rec.MPTxnID > maxMP {
+				maxMP = rec.MPTxnID
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("core: coordinator log scan: %w", err) // nothing replayed: retryable
+	}
 	for _, p := range s.parts {
-		if err := p.recover(&s.cfg); err != nil {
+		pm, err := p.recover(&s.cfg, decisions)
+		if err != nil {
 			s.recoverErr = err // some partitions replayed: a retry would double-apply
 			return err
 		}
+		if pm > maxMP {
+			maxMP = pm
+		}
 	}
+	// Decisions are forced one record at a time on the (serialized)
+	// coordinator; batching fsyncs across transactions that cannot overlap
+	// buys nothing, so the coordinator log runs SyncEveryRecord whenever
+	// the store fsyncs at all.
+	coordPolicy := wal.SyncEveryRecord
+	if s.cfg.Sync == wal.SyncNever {
+		coordPolicy = wal.SyncNever
+	}
+	s.coordLog, err = wal.OpenLog(coordPath, coordLSN, coordPolicy)
+	if err != nil {
+		s.recoverErr = err
+		return err
+	}
+	s.nextMPTxnID = maxMP
 	s.recovered = true
 	return nil
 }
@@ -402,6 +467,12 @@ func (s *Store) Stop() error {
 		}
 		p.log = nil
 	}
+	if s.coordLog != nil {
+		if err := s.coordLog.Close(); err != nil {
+			errs = append(errs, fmt.Errorf("core: coordinator log close: %w", err))
+		}
+		s.coordLog = nil
+	}
 	return errors.Join(errs...)
 }
 
@@ -427,6 +498,15 @@ func (s *Store) Checkpoint() error {
 				if err := p.log.Truncate(); err != nil {
 					return err
 				}
+			}
+		}
+		// The snapshots cover every resolved transaction (the coordinator
+		// cannot be mid-2PC here: it holds exclMu for the whole protocol),
+		// so the decision records are dead weight once the partition logs
+		// are truncated.
+		if s.coordLog != nil {
+			if err := s.coordLog.Truncate(); err != nil {
+				return err
 			}
 		}
 		return nil
@@ -486,7 +566,7 @@ func (s *Store) Drain() {
 // RemoveDurableState deletes the snapshots and logs of every partition
 // (test helper).
 func RemoveDurableState(dir string) error {
-	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", partitionsFileName} {
+	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", wal.DefaultCoordLogName, partitionsFileName} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return err

@@ -1,0 +1,741 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// This file is the 2PC crash/race battery: every test pins one clause of
+// the coordinator's contract. The crash tests construct the exact on-disk
+// states a kill leaves behind (in-doubt PREPARE, decided-but-unapplied
+// leg, mid-flight byte copy) the same way the torn-tail tests do — by
+// operating on the log files directly.
+
+// appendRecords appends encoded partition-engine records to a log file,
+// continuing from the file's current last LSN (what a crashed process
+// would have written next).
+func appendRecords(t *testing.T, path string, recs ...*pe.LogRecord) {
+	t.Helper()
+	last, err := wal.ScanLog(path, func(uint64, []byte) error { return nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := wal.OpenLog(path, last, wal.SyncEveryRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, rec := range recs {
+		if _, err := l.Append(wal.EncodeRecord(rec)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func putOp(k, v int64) pe.LoggedOp {
+	return pe.LoggedOp{SQL: "INSERT INTO kv VALUES (?, ?)",
+		Params: []types.Value{types.NewInt(k), types.NewInt(v)}}
+}
+
+// TestMPInDoubtLegAbortedOnRecovery kills the store between prepare and
+// decide: a partition log ends with a PREPARE record and the coordinator
+// log holds no decision for it. Recovery must presume abort — the prepared
+// leg's writes never appear — while everything acknowledged before still
+// recovers.
+func TestMPInDoubtLegAbortedOnRecovery(t *testing.T) {
+	const parts = 2
+	dir := t.TempDir()
+	st := buildKV(t, gcTestConfig(dir, parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 10; k++ {
+		if _, err := st.Call("put", types.NewInt(k), types.NewInt(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The crash point: partition 0 prepared leg (777, 777) for transaction
+	// 99, partition 1 prepared (778, 778) — and the coordinator died before
+	// forcing a decision.
+	logPath0, _ := wal.PartitionPaths(dir, 0)
+	logPath1, _ := wal.PartitionPaths(dir, 1)
+	appendRecords(t, logPath0, &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 99,
+		Ops: []pe.LoggedOp{putOp(777, 777)}})
+	appendRecords(t, logPath1, &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 99,
+		Ops: []pe.LoggedOp{putOp(778, 778)}})
+
+	got := recoveredKeys(t, dir, parts)
+	if got[777] || got[778] {
+		t.Fatalf("in-doubt prepared leg was applied at recovery: %v", got)
+	}
+	for k := int64(0); k < 10; k++ {
+		if !got[k] {
+			t.Fatalf("acked pre-crash key %d lost: %v", k, got)
+		}
+	}
+}
+
+// TestMPDecidedLegCompletedOnRecovery kills the store after the commit
+// decision is durable but before the legs applied: every partition log
+// ends with a PREPARE, and the coordinator log holds DECIDE-commit.
+// Recovery must complete the transaction on every partition.
+func TestMPDecidedLegCompletedOnRecovery(t *testing.T) {
+	const parts = 2
+	dir := t.TempDir()
+	st := buildKV(t, gcTestConfig(dir, parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Call("put", types.NewInt(1), types.NewInt(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	logPath0, _ := wal.PartitionPaths(dir, 0)
+	logPath1, _ := wal.PartitionPaths(dir, 1)
+	appendRecords(t, logPath0, &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 7,
+		Ops: []pe.LoggedOp{putOp(500, 1), putOp(501, 2)}})
+	appendRecords(t, logPath1, &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 7,
+		Ops: []pe.LoggedOp{putOp(600, 3)}})
+	appendRecords(t, wal.CoordPath(dir),
+		&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: 7, Commit: true})
+	// A decision for a DIFFERENT transaction must not resurrect leg 99.
+	appendRecords(t, logPath0, &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 99,
+		Ops: []pe.LoggedOp{putOp(900, 9)}})
+
+	got := recoveredKeys(t, dir, parts)
+	for _, k := range []int64{500, 501, 600} {
+		if !got[k] {
+			t.Fatalf("decided-commit leg key %d not completed at recovery: %v", k, got)
+		}
+	}
+	if got[900] {
+		t.Fatalf("undedecided transaction 99 applied: %v", got)
+	}
+
+	// The id counter must restart above every id seen in the logs: a new
+	// coordinated transaction's decision must never match an old in-doubt
+	// PREPARE. Re-open, run a fresh MP transaction, crash-copy, recover.
+	st2 := buildKV(t, gcTestConfig(dir, parts))
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := st2.MultiPartitionTxn(func(tx *MPTxn) error {
+		for i, k := range []int64{701, 702} {
+			owner := st2.partitionFor(types.NewInt(k))
+			if _, err := tx.Exec(owner, "INSERT INTO kv VALUES (?, ?)",
+				types.NewInt(k), types.NewInt(int64(i))); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	got = recoveredKeys(t, dir, parts)
+	if !got[701] || !got[702] {
+		t.Fatalf("post-recovery MP transaction lost: %v", got)
+	}
+	if got[900] {
+		t.Fatalf("new transaction's decision resurrected old in-doubt leg 99: %v", got)
+	}
+}
+
+// pairBase separates the MP-pair key range from single-partition keys in
+// the hammer tests: an MP transaction writes (k, k+pairOffset) and the
+// invariant is that both keys exist or neither does.
+const (
+	pairBase   = 1 << 20
+	pairOffset = 1 << 19
+)
+
+// mpPutPair inserts (k, k+pairOffset) as one coordinated transaction,
+// each key on its owning partition.
+func mpPutPair(st *Store, k int64) error {
+	return st.MultiPartitionTxn(func(tx *MPTxn) error {
+		for _, key := range []int64{k, k + pairOffset} {
+			owner := tx.PartitionFor(types.NewInt(key))
+			if _, err := tx.Exec(owner, "INSERT INTO kv VALUES (?, ?)",
+				types.NewInt(key), types.NewInt(key)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// TestMPCrashCopyNeverPartial runs coordinated pair-writes under group
+// commit, snapshots the durability directory mid-flight (the crash), and
+// requires recovery to hold every acknowledged pair completely and no pair
+// partially — the 2PC atomicity contract across the whole crash window
+// (before prepare, between prepare and decide, after decide).
+func TestMPCrashCopyNeverPartial(t *testing.T) {
+	const parts = 3
+	const pairs = 120
+	dir, crashDir := t.TempDir(), t.TempDir()
+	st := buildKV(t, gcTestConfig(dir, parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Wave 1 is acked before the crash point: its pairs are durable by
+	// contract. Wave 2 is mid-flight while the copy is taken.
+	for k := int64(pairBase); k < pairBase+pairs; k++ {
+		if err := mpPutPair(st, k); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	for k := int64(pairBase + pairs); k < pairBase+2*pairs; k++ {
+		wg.Add(1)
+		go func(k int64) {
+			defer wg.Done()
+			_ = mpPutPair(st, k) // may or may not survive the crash
+		}(k)
+	}
+	copyDurableState(t, dir, crashDir, parts)
+	wg.Wait()
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	got := recoveredKeys(t, crashDir, parts)
+	for k := int64(pairBase); k < pairBase+pairs; k++ {
+		if !got[k] || !got[k+pairOffset] {
+			t.Fatalf("acked pair %d incomplete after crash recovery (k=%v, k'=%v)",
+				k, got[k], got[k+pairOffset])
+		}
+	}
+	for k := int64(pairBase); k < pairBase+2*pairs; k++ {
+		if got[k] != got[k+pairOffset] {
+			t.Fatalf("pair %d recovered partially: k=%v k'=%v — 2PC atomicity violated",
+				k, got[k], got[k+pairOffset])
+		}
+	}
+}
+
+// TestMPRaceHammer runs coordinated transactions, single-partition calls,
+// fan-out readers, and checkpoint barriers concurrently (run under -race).
+// It pins liveness (no deadlock between the coordinator's partition holds,
+// the checkpoint's all-partition barrier, and readers) and the visibility
+// contract: a fan-out reader never observes a torn pair, and per-partition
+// serial order means every acknowledged write is present at the end.
+func TestMPRaceHammer(t *testing.T) {
+	const parts = 4
+	const pairs = 60
+	const spKeys = 200
+	dir := t.TempDir()
+	st := buildKV(t, gcTestConfig(dir, parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	errCh := make(chan error, 16)
+	var wg sync.WaitGroup
+	var stop atomic.Bool
+
+	// Coordinated pair writers.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < pairs/2; i++ {
+				k := int64(pairBase + w*(pairs/2) + i)
+				if err := mpPutPair(st, k); err != nil {
+					errCh <- fmt.Errorf("mp pair %d: %w", k, err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Single-partition writers on the fast path.
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < spKeys/2; i++ {
+				k := int64(w*(spKeys/2) + i)
+				if cr := <-st.CallAsync("put", types.NewInt(k), types.NewInt(k)); cr.Err != nil {
+					errCh <- fmt.Errorf("sp put %d: %w", k, cr.Err)
+					return
+				}
+			}
+		}(w)
+	}
+	// Checkpoint barriers interleaved with the coordinator's exclMu holds.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 5; i++ {
+			if err := st.Checkpoint(); err != nil {
+				errCh <- fmt.Errorf("checkpoint: %w", err)
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}()
+	// Fan-out reader asserting pair atomicity: the count of keys in the MP
+	// range must always be even (a torn pair would make it odd).
+	var readerWG sync.WaitGroup
+	readerWG.Add(1)
+	go func() {
+		defer readerWG.Done()
+		for !stop.Load() {
+			res, err := st.Query("SELECT COUNT(*) FROM kv WHERE k >= ?", types.NewInt(pairBase))
+			if err != nil {
+				errCh <- fmt.Errorf("reader: %w", err)
+				return
+			}
+			if n := res.Rows[0][0].Int(); n%2 != 0 {
+				errCh <- fmt.Errorf("reader observed a torn coordinated pair: %d keys in MP range", n)
+				return
+			}
+		}
+	}()
+
+	done := make(chan struct{})
+	go func() {
+		wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Minute):
+		t.Fatal("hammer deadlocked (writers did not finish)")
+	}
+	stop.Store(true)
+	readerWG.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatal(err)
+	}
+
+	res, err := st.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != spKeys+2*pairs {
+		t.Fatalf("store holds %d keys, want %d", n, spKeys+2*pairs)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	// Everything was acknowledged; recovery reproduces it all.
+	got := recoveredKeys(t, dir, parts)
+	if len(got) != spKeys+2*pairs {
+		t.Fatalf("recovered %d keys, want %d", len(got), spKeys+2*pairs)
+	}
+}
+
+// TestMPAbortRollsBackEveryLeg makes one leg of a coordinated transaction
+// fail (duplicate primary key) after another leg already executed: the
+// error must surface and neither leg's writes may remain — the partial-
+// apply failure mode of the old broadcast path is gone.
+func TestMPAbortRollsBackEveryLeg(t *testing.T) {
+	const parts = 3
+	st := buildKV(t, Config{Partitions: parts})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, err := st.Exec("INSERT INTO kv VALUES (5, 5)"); err != nil {
+		t.Fatal(err)
+	}
+
+	err := st.MultiPartitionTxn(func(tx *MPTxn) error {
+		if _, err := tx.Exec(st.partitionFor(types.NewInt(1000)),
+			"INSERT INTO kv VALUES (1000, 1)"); err != nil {
+			return err
+		}
+		_, err := tx.Exec(st.partitionFor(types.NewInt(5)), "INSERT INTO kv VALUES (5, 5)")
+		return err // duplicate key: this leg fails
+	})
+	if err == nil || !strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("err = %v, want duplicate key", err)
+	}
+	res, err := st.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 1 {
+		t.Fatalf("store holds %d keys after aborted transaction, want 1", n)
+	}
+
+	// A handler that swallows a failed write must still abort: the failed
+	// statement was never recorded for replay, so committing could diverge
+	// recovered state from memory.
+	err = st.MultiPartitionTxn(func(tx *MPTxn) error {
+		tx.Exec(st.partitionFor(types.NewInt(5)), "INSERT INTO kv VALUES (5, 5)") //nolint:errcheck
+		_, err := tx.Exec(st.partitionFor(types.NewInt(2000)), "INSERT INTO kv VALUES (2000, 2)")
+		return err
+	})
+	if err == nil {
+		t.Fatal("swallowed write failure committed; poisoned transaction must abort")
+	}
+	res, err = st.Query("SELECT k FROM kv WHERE k = 2000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 0 {
+		t.Fatal("poisoned transaction's other leg committed")
+	}
+
+	// The workers must be fully released: plain work proceeds.
+	if _, err := st.Call("put", types.NewInt(6), types.NewInt(6)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestMPAtomicVisibilityForAdHocFanout is the atomicity property test for
+// ad-hoc fan-out writes: a writer issues multi-row INSERTs spanning
+// partitions (each batch sharing a marker) while a reader fans out grouped
+// counts; the reader must only ever see a batch complete (6 rows) or
+// absent — never the partial application the old broadcast allowed.
+func TestMPAtomicVisibilityForAdHocFanout(t *testing.T) {
+	const parts = 3
+	const batches = 80
+	const rowsPerBatch = 6
+	st := Open(Config{Partitions: parts})
+	if err := st.ExecScript(`CREATE TABLE obs (k BIGINT PRIMARY KEY, b BIGINT) PARTITION BY k;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	insertSQL := "INSERT INTO obs (k, b) VALUES " +
+		strings.TrimSuffix(strings.Repeat("(?, ?), ", rowsPerBatch), ", ")
+	writeErr := make(chan error, 1)
+	go func() {
+		defer close(writeErr)
+		for b := int64(0); b < batches; b++ {
+			params := make([]types.Value, 0, rowsPerBatch*2)
+			for i := int64(0); i < rowsPerBatch; i++ {
+				params = append(params, types.NewInt(b*rowsPerBatch+i), types.NewInt(b))
+			}
+			if _, err := st.Exec(insertSQL, params...); err != nil {
+				writeErr <- err
+				return
+			}
+		}
+	}()
+
+	for {
+		res, err := st.Query("SELECT b, COUNT(*) FROM obs GROUP BY b")
+		if err != nil {
+			t.Fatal(err)
+		}
+		complete := 0
+		for _, row := range res.Rows {
+			if n := row[1].Int(); n != rowsPerBatch {
+				t.Fatalf("reader saw batch %d with %d of %d rows: partial application is visible",
+					row[0].Int(), n, rowsPerBatch)
+			}
+			complete++
+		}
+		if complete == batches {
+			break
+		}
+		select {
+		case err, open := <-writeErr:
+			if open && err != nil {
+				t.Fatal(err)
+			}
+		default:
+		}
+	}
+	if err, open := <-writeErr; open && err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInsertSelectIntoPartitioned pins the other lifted rejection: an
+// INSERT ... SELECT whose rows hash across partitions commits atomically,
+// with each row on its owning partition.
+func TestInsertSelectIntoPartitioned(t *testing.T) {
+	const parts = 3
+	st := Open(Config{Partitions: parts})
+	ddl := `
+		CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT) PARTITION BY k;
+		CREATE TABLE src (id BIGINT PRIMARY KEY, v BIGINT);
+	`
+	if err := st.ExecScript(ddl); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	for i := int64(0); i < 12; i++ {
+		if _, err := st.Exec("INSERT INTO src VALUES (?, ?)", types.NewInt(i), types.NewInt(i*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Replicated source → partitioned target: rows fan out by hash.
+	res, err := st.Exec("INSERT INTO kv SELECT id, v FROM src")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 12 {
+		t.Fatalf("INSERT ... SELECT affected %d rows, want 12", res.RowsAffected)
+	}
+	spread := 0
+	for i := 0; i < parts; i++ {
+		if st.parts[i].cat.Relation("kv").Table.Count() > 0 {
+			spread++
+		}
+	}
+	if spread < 2 {
+		t.Fatalf("materialized rows landed on %d partitions; expected a spread", spread)
+	}
+	// Every row is on its owning partition: keyed fast-path reads find it.
+	for i := int64(0); i < 12; i++ {
+		owner := st.partitionFor(types.NewInt(i))
+		q, err := st.parts[owner].pe.Query("SELECT v FROM kv WHERE k = ?", types.NewInt(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 || q.Rows[0][0].Int() != i*10 {
+			t.Fatalf("key %d misplaced or wrong: %v", i, q.Rows)
+		}
+	}
+
+	// Partitioned source → partitioned target, atomic failure: one
+	// duplicate row aborts the whole statement.
+	if _, err := st.Exec("INSERT INTO kv SELECT k + 100, v FROM kv WHERE k < 6"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Exec("INSERT INTO kv SELECT k + 100, v FROM kv WHERE k < 6"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("duplicate INSERT ... SELECT err = %v", err)
+	}
+	res, err = st.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 18 {
+		t.Fatalf("store holds %d rows after aborted INSERT ... SELECT, want 18", n)
+	}
+}
+
+// TestMPReplayRederivesTriggeredWork pins that a recovered multi-partition
+// leg re-derives its workflow consequences: the leg emitted into a bound
+// stream, whose triggered downstream transaction (not logged under
+// upstream backup) must re-run during replay exactly as the live commit
+// ran it.
+func TestMPReplayRederivesTriggeredWork(t *testing.T) {
+	const parts = 2
+	dir := t.TempDir()
+	build := func() *Store {
+		st := Open(gcTestConfig(dir, parts))
+		if err := st.ExecScript(`
+			CREATE TABLE tally (k BIGINT PRIMARY KEY, n BIGINT) PARTITION BY k;
+			CREATE STREAM sigs (k BIGINT) PARTITION BY k;
+		`); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.RegisterProcedure(&pe.Procedure{
+			Name:     "absorb",
+			WriteSet: []string{"tally"},
+			Handler: func(ctx *pe.ProcCtx) error {
+				for _, r := range ctx.Batch {
+					if _, err := ctx.Exec("INSERT INTO tally VALUES (?, 1)", r[0]); err != nil {
+						return err
+					}
+				}
+				return nil
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.BindStream("sigs", "absorb", 1); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+
+	st := build()
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	err := st.MultiPartitionTxn(func(tx *MPTxn) error {
+		for _, k := range []int64{1, 2, 3, 4} {
+			owner := tx.PartitionFor(types.NewInt(k))
+			if _, err := tx.Exec(owner, "INSERT INTO sigs (k) VALUES (?)", types.NewInt(k)); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.Drain() // triggered downstream transactions finish
+	res, err := st.Query("SELECT COUNT(*) FROM tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 4 {
+		t.Fatalf("live tally = %d, want 4", n)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := build()
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	res, err = st2.Query("SELECT COUNT(*) FROM tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 4 {
+		t.Fatalf("recovered tally = %d, want 4 (triggered work not re-derived from the MP leg)", n)
+	}
+}
+
+// TestInsertSelectDefaultPartitionKeyRouting pins that routing hashes the
+// partition key as it will be STORED: an INSERT ... SELECT omitting the
+// partition column takes the column DEFAULT, so its rows must land on the
+// default value's owning partition (not hash(NULL)'s) where keyed routed
+// operations will find them.
+func TestInsertSelectDefaultPartitionKeyRouting(t *testing.T) {
+	const parts = 4
+	st := Open(Config{Partitions: parts})
+	if err := st.ExecScript(`
+		CREATE TABLE dst (id BIGINT PRIMARY KEY, grp BIGINT DEFAULT 0, v BIGINT) PARTITION BY grp;
+		CREATE TABLE src (id BIGINT PRIMARY KEY, v BIGINT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	for i := int64(0); i < 5; i++ {
+		if _, err := st.Exec("INSERT INTO src VALUES (?, ?)", types.NewInt(i), types.NewInt(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := st.Exec("INSERT INTO dst (id, v) SELECT id, v FROM src"); err != nil {
+		t.Fatal(err)
+	}
+	owner := st.partitionFor(types.NewInt(0)) // grp defaults to 0
+	for i := 0; i < parts; i++ {
+		n := st.parts[i].cat.Relation("dst").Table.Count()
+		if i == owner && n != 5 {
+			t.Fatalf("owner partition %d holds %d rows, want 5", i, n)
+		}
+		if i != owner && n != 0 {
+			t.Fatalf("partition %d holds %d misrouted rows", i, n)
+		}
+	}
+	// A routed INSERT with the same key must collide with the materialized
+	// rows (it reaches the same partition), not create a store-wide
+	// duplicate on another one.
+	if _, err := st.Exec("INSERT INTO dst VALUES (3, 0, 9)"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("routed INSERT onto defaulted rows: err = %v, want duplicate key", err)
+	}
+	// An explicit NULL key in a spanning VALUES takes the default too.
+	if _, err := st.Exec("INSERT INTO dst (id, grp, v) VALUES (100, NULL, 1), (101, 7, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err := st.parts[owner].pe.Query("SELECT id FROM dst WHERE id = 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 {
+		t.Fatal("NULL partition key did not route to the default's owner")
+	}
+}
+
+// TestAdHocStreamInsertNeverFiresTriggers pins path-independence of ad-hoc
+// Exec semantics: single-partition ad-hoc inserts into a trigger-bound
+// stream have never fired PE triggers, so a spanning insert taking the
+// coordinated path must not either — the same statement cannot change
+// workflow behavior based on which partitions its tuples hash to.
+// (Application-level MultiPartitionTxn writes DO drive workflows; see
+// TestMPReplayRederivesTriggeredWork.)
+func TestAdHocStreamInsertNeverFiresTriggers(t *testing.T) {
+	const parts = 2
+	st := Open(Config{Partitions: parts})
+	if err := st.ExecScript(`
+		CREATE TABLE tally (k BIGINT PRIMARY KEY, n BIGINT) PARTITION BY k;
+		CREATE STREAM sigs (k BIGINT) PARTITION BY k;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "absorb",
+		WriteSet: []string{"tally"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				if _, err := ctx.Exec("INSERT INTO tally VALUES (?, 1)", r[0]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindStream("sigs", "absorb", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	// Co-located tuples: routed single-partition ad-hoc exec.
+	if _, err := st.Exec("INSERT INTO sigs (k) VALUES (0)"); err != nil {
+		t.Fatal(err)
+	}
+	// Spanning tuples: the coordinated path.
+	k0, k1 := int64(100), int64(-1)
+	for k := k0 + 1; k < k0+1000; k++ {
+		if st.partitionFor(types.NewInt(k)) != st.partitionFor(types.NewInt(k0)) {
+			k1 = k
+			break
+		}
+	}
+	if k1 < 0 {
+		t.Fatal("no spanning key pair found")
+	}
+	if _, err := st.Exec(fmt.Sprintf("INSERT INTO sigs (k) VALUES (%d), (%d)", k0, k1)); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	res, err := st.Query("SELECT COUNT(*) FROM tally")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := res.Rows[0][0].Int(); n != 0 {
+		t.Fatalf("ad-hoc stream inserts fired %d triggered transactions; ad-hoc Exec must not drive workflows on any path", n)
+	}
+}

@@ -274,9 +274,24 @@ func TestPartitionedExecRouting(t *testing.T) {
 		t.Fatalf("replicated count = %v (double counted?)", q.Rows)
 	}
 
-	// A multi-row INSERT spanning partitions is rejected, not misrouted.
-	if _, err := st.Exec("INSERT INTO totals (k, n) VALUES (100, 0), (101, 0), (102, 0)"); err == nil {
-		t.Fatal("cross-partition multi-row INSERT should be rejected")
+	// A multi-row INSERT spanning partitions runs as one coordinated
+	// transaction: every tuple lands on its owning partition.
+	res, err = st.Exec("INSERT INTO totals (k, n) VALUES (100, 0), (101, 0), (102, 0)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.RowsAffected != 3 {
+		t.Fatalf("spanning INSERT affected %d rows", res.RowsAffected)
+	}
+	for _, k := range []int64{100, 101, 102} {
+		owner := st.partitionFor(types.NewInt(k))
+		q, err := st.parts[owner].pe.Query("SELECT k FROM totals WHERE k = ?", types.NewInt(k))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 {
+			t.Fatalf("key %d not on its owning partition %d", k, owner)
+		}
 	}
 }
 
@@ -681,20 +696,26 @@ func TestWritePathSubqueryGuards(t *testing.T) {
 		t.Fatalf("replicated-subquery update affected %d", res.RowsAffected)
 	}
 
-	// INSERT ... SELECT from a partitioned source into a replicated table
-	// would leave each replica holding only its shard.
-	if _, err := st.Exec("INSERT INTO ref SELECT k, n FROM totals"); err == nil ||
-		!strings.Contains(err.Error(), "INSERT ... SELECT from partitioned") {
-		t.Fatalf("insert-select err = %v", err)
-	}
-	// Replicated-to-replicated INSERT ... SELECT stays leg-identical and
-	// keeps working.
-	if _, err := st.Exec("INSERT INTO ref SELECT id + 100, v FROM ref"); err != nil {
+	// INSERT ... SELECT from a partitioned source into a replicated table:
+	// the coordinator materializes the merged source rows once and applies
+	// the identical batch to every replica — each must hold ALL source
+	// rows, not its shard.
+	if _, err := st.Exec("INSERT INTO ref SELECT k + 100, n FROM totals"); err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.NumPartitions(); i++ {
-		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 2 {
-			t.Fatalf("partition %d ref rows = %d want 2", i, n)
+		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 9 { // id=2 + 8 materialized
+			t.Fatalf("partition %d ref rows = %d want 9 (full materialized source on every replica)", i, n)
+		}
+	}
+	// Replicated-to-replicated INSERT ... SELECT stays leg-identical and
+	// keeps working.
+	if _, err := st.Exec("INSERT INTO ref SELECT id + 1000, v FROM ref WHERE id = 2"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < st.NumPartitions(); i++ {
+		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 10 {
+			t.Fatalf("partition %d ref rows = %d want 10", i, n)
 		}
 	}
 }

@@ -133,7 +133,14 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 			return fmt.Errorf("core: ingest into %s: row has %d columns, partition column is #%d",
 				stream, len(r), rel.PartCol+1)
 		}
-		i := s.partitionFor(r[rel.PartCol])
+		// Hash the key as the engine will store it (defaults applied,
+		// coerced), or the tuple would live on a partition keyed reads and
+		// routed INSERTs never consult.
+		v, err := insertPartValue(rel, r[rel.PartCol])
+		if err != nil {
+			return fmt.Errorf("core: ingest into %s: %w", stream, err)
+		}
+		i := s.partitionFor(v)
 		buckets[i] = append(buckets[i], r)
 	}
 	for i, b := range buckets {
@@ -164,27 +171,42 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 		if rel == nil {
 			return s.parts[0].pe.Exec(sqlText, params...) // engine produces the error
 		}
+		if st.Query != nil {
+			return s.execInsertSelect(st, rel, sqlText, params)
+		}
 		if !rel.Partitioned() {
-			// INSERT ... SELECT must read the same rows on every replica
-			// (broadcast) or in full on partition 0 (pinned stream target).
-			if st.Query != nil {
-				s.routeMu.RLock()
-				err := vetSourceSelect(s.parts[0].cat, st.Query, rel.Kind == catalog.KindTable)
-				s.routeMu.RUnlock()
-				if err != nil {
-					return nil, err
-				}
-			}
 			if rel.Kind == catalog.KindTable {
-				return s.broadcastExec(sqlText, params, false)
+				// Replicated reference table: every replica applies the same
+				// statement, coordinated so a failing leg (say, a duplicate
+				// key raced onto one partition) cannot leave the replicas
+				// diverged.
+				return s.coordExecAll(sqlText, params, false)
 			}
 			return s.parts[0].pe.Exec(sqlText, params...)
 		}
-		idx, err := s.insertTarget(st, rel, params)
+		colMap, err := insertColMap(st, rel)
 		if err != nil {
 			return nil, err
 		}
-		return s.parts[idx].pe.Exec(sqlText, params...)
+		targets, err := s.insertTargets(st, rel, colMap, params)
+		if err != nil {
+			return nil, err
+		}
+		if idx, single := singleTarget(targets); single {
+			return s.parts[idx].pe.Exec(sqlText, params...) // today's fast path
+		}
+		// The tuples span partitions: materialize them and run one
+		// coordinated transaction with a row-batch leg per owning partition
+		// — all partitions insert or none do.
+		rows, err := s.staticInsertRows(st, rel, colMap, params)
+		if err != nil {
+			return nil, err
+		}
+		buckets := make(map[int][]types.Row)
+		for i, row := range rows {
+			buckets[targets[i]] = append(buckets[targets[i]], row)
+		}
+		return s.coordInsertBuckets(rel.Name, buckets)
 	case *sql.Update:
 		// Re-keying a row would leave it on a partition that no longer owns
 		// its hash: keyed routing would miss it and routed INSERTs could
@@ -237,16 +259,18 @@ func (s *Store) vetWriteExprs(table string, exprs ...sql.Expr) error {
 	return fanoutSubqueryCheck(cat, broadcast, exprs...)
 }
 
-// routeWrite routes an UPDATE / DELETE by its target relation.
+// routeWrite routes an UPDATE / DELETE by its target relation. Writes that
+// touch every partition (hash-split data, replicated reference tables) run
+// as one coordinated transaction: all legs commit or none.
 func (s *Store) routeWrite(table, sqlText string, params []types.Value) (*pe.Result, error) {
 	rel := s.routingRelation(table)
 	switch {
 	case rel == nil:
 		return s.parts[0].pe.Exec(sqlText, params...)
 	case rel.Partitioned():
-		return s.broadcastExec(sqlText, params, true)
+		return s.coordExecAll(sqlText, params, true)
 	case rel.Kind == catalog.KindTable:
-		return s.broadcastExec(sqlText, params, false)
+		return s.coordExecAll(sqlText, params, false)
 	default:
 		return s.parts[0].pe.Exec(sqlText, params...)
 	}
@@ -259,11 +283,11 @@ func (s *Store) routeWrite(table, sqlText string, params []types.Value) (*pe.Res
 // the logical result (replicated data, where every partition affected the
 // same logical rows).
 //
-// There is no cross-partition atomicity: each leg commits or rolls back
-// on its own, so a failure on one partition leaves the others' changes in
-// place (a cross-partition coordinator is a ROADMAP item). The error says
-// so when it happens; ad-hoc Exec is a setup/tooling path, not the
-// durable write path.
+// Only Exec's default branch (statements the prepared path rejects anyway,
+// like DDL) still lands here: every routed DML write goes through the 2PC
+// coordinator (coordwrite.go) and commits atomically across partitions.
+// This uncoordinated fallback keeps its partial-apply guard as defense in
+// depth, though with every leg failing identically it should not trigger.
 func (s *Store) broadcastExec(sqlText string, params []types.Value, sum bool) (*pe.Result, error) {
 	results := make([]*pe.Result, len(s.parts))
 	errs := make([]error, len(s.parts))
@@ -305,61 +329,126 @@ func (s *Store) broadcastExec(sqlText string, params []types.Value, sum bool) (*
 	return first, nil
 }
 
-// insertTarget resolves the owning partition of an INSERT ... VALUES into a
-// partitioned relation. Every value tuple must hash to the same partition.
-func (s *Store) insertTarget(ins *sql.Insert, rel *catalog.Relation, params []types.Value) (int, error) {
-	if ins.Query != nil {
-		return 0, fmt.Errorf("core: INSERT ... SELECT into partitioned relation %q is not routable; insert per partition", rel.Name)
+// insertColMap resolves the schema ordinal each supplied value of an
+// INSERT feeds (identical to the engine's plan-time mapping, recomputed
+// here because routing happens before any partition plans the statement).
+func insertColMap(ins *sql.Insert, rel *catalog.Relation) ([]int, error) {
+	if len(ins.Columns) == 0 {
+		m := make([]int, rel.Schema.NumColumns())
+		for i := range m {
+			m[i] = i
+		}
+		return m, nil
 	}
-	pos := rel.PartCol
-	if len(ins.Columns) > 0 {
-		partName := rel.Schema.Column(rel.PartCol).Name
-		pos = -1
-		for i, c := range ins.Columns {
-			if strings.EqualFold(c, partName) {
-				pos = i
+	m := make([]int, 0, len(ins.Columns))
+	for _, c := range ins.Columns {
+		ord := -1
+		for i := 0; i < rel.Schema.NumColumns(); i++ {
+			if strings.EqualFold(rel.Schema.Column(i).Name, c) {
+				ord = i
 				break
 			}
 		}
-		if pos < 0 {
-			return 0, fmt.Errorf("core: INSERT into partitioned %q must supply partition column %q", rel.Name, partName)
+		if ord < 0 {
+			return nil, fmt.Errorf("core: INSERT into %q: unknown column %q", rel.Name, c)
 		}
+		m = append(m, ord)
 	}
-	target := -1
-	for _, row := range ins.Rows {
-		if pos >= len(row) {
-			return 0, fmt.Errorf("core: INSERT into %q: tuple has no value for partition column", rel.Name)
-		}
-		v, err := staticExprValue(row[pos], params)
-		if err != nil {
-			return 0, err
-		}
-		i := s.partitionFor(v)
-		if target == -1 {
-			target = i
-		} else if target != i {
-			return 0, fmt.Errorf("core: multi-row INSERT into %q spans partitions; split it by partition key", rel.Name)
-		}
-	}
-	if target == -1 {
-		target = 0
-	}
-	return target, nil
+	return m, nil
 }
 
-// staticExprValue evaluates the partition-key expression of an INSERT tuple
-// without an execution context: literals and positional parameters only.
-func staticExprValue(e sql.Expr, params []types.Value) (types.Value, error) {
-	switch x := e.(type) {
-	case *sql.Literal:
-		return x.Value, nil
-	case *sql.Param:
-		if x.Index < 0 || x.Index >= len(params) {
-			return types.Null, fmt.Errorf("core: parameter ?%d not supplied", x.Index+1)
-		}
-		return params[x.Index], nil
+// insertPartValue resolves the partition-key value a tuple will be STORED
+// with: the column DEFAULT replaces NULL and the value is coerced to the
+// declared type, mirroring ValidateRow — routing must hash what the
+// engine keeps ('5' and 5 land together; a defaulted key lands on the
+// default's owner, not hash(NULL)'s).
+func insertPartValue(rel *catalog.Relation, v types.Value) (types.Value, error) {
+	col := rel.Schema.Column(rel.PartCol)
+	if v.IsNull() && col.HasDeflt {
+		v = col.Default
 	}
-	return types.Null, fmt.Errorf("core: partition key must be a literal or parameter")
+	if v.IsNull() {
+		return v, nil // stored as NULL (or rejected by NOT NULL in the leg)
+	}
+	cv, err := types.Coerce(v, col.Type)
+	if err != nil {
+		return types.Null, fmt.Errorf("core: INSERT into %q: partition key: %w", rel.Name, err)
+	}
+	return cv, nil
+}
+
+// insertTargets resolves the owning partition of every value tuple of an
+// INSERT ... VALUES into a partitioned relation. Tuples hashing to one
+// partition keep the routed fast path; a spanning set becomes a
+// coordinated transaction.
+func (s *Store) insertTargets(ins *sql.Insert, rel *catalog.Relation, colMap []int, params []types.Value) ([]int, error) {
+	pos := -1
+	for i, ord := range colMap {
+		if ord == rel.PartCol {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return nil, fmt.Errorf("core: INSERT into partitioned %q must supply partition column %q",
+			rel.Name, rel.Schema.Column(rel.PartCol).Name)
+	}
+	targets := make([]int, 0, len(ins.Rows))
+	for _, row := range ins.Rows {
+		if pos >= len(row) {
+			return nil, fmt.Errorf("core: INSERT into %q: tuple has no value for partition column", rel.Name)
+		}
+		v, err := sql.StaticValue(row[pos], params)
+		if err != nil {
+			return nil, fmt.Errorf("core: partition key: %w", err)
+		}
+		if v, err = insertPartValue(rel, v); err != nil {
+			return nil, err
+		}
+		targets = append(targets, s.partitionFor(v))
+	}
+	return targets, nil
+}
+
+// singleTarget reports whether every tuple routes to one partition.
+func singleTarget(targets []int) (int, bool) {
+	if len(targets) == 0 {
+		return 0, true
+	}
+	for _, t := range targets[1:] {
+		if t != targets[0] {
+			return 0, false
+		}
+	}
+	return targets[0], true
+}
+
+// staticInsertRows materializes the full-width row images of an
+// INSERT ... VALUES so they can be carried to their owning partitions as
+// coordinated row-batch legs. Every value must be statically evaluable
+// (literal or parameter) — a spanning INSERT with computed expressions has
+// no single partition that could evaluate them.
+func (s *Store) staticInsertRows(ins *sql.Insert, rel *catalog.Relation, colMap []int, params []types.Value) ([]types.Row, error) {
+	arity := rel.Schema.NumColumns()
+	rows := make([]types.Row, 0, len(ins.Rows))
+	for _, exprs := range ins.Rows {
+		if len(exprs) != len(colMap) {
+			return nil, fmt.Errorf("core: INSERT into %q expects %d values, got %d", rel.Name, len(colMap), len(exprs))
+		}
+		row := make(types.Row, arity)
+		for i := range row {
+			row[i] = types.Null
+		}
+		for i, e := range exprs {
+			v, err := sql.StaticValue(e, params)
+			if err != nil {
+				return nil, fmt.Errorf("core: multi-partition INSERT into %q: %w", rel.Name, err)
+			}
+			row[colMap[i]] = v
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
 }
 
 // Query runs an ad-hoc read-only query. Queries touching only unpartitioned
@@ -391,23 +480,15 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 	if !part {
 		return s.parts[0].pe.Query(sqlText, params...)
 	}
-	plan, err := mergePlan(sel, params)
+	plan, legSQL, legParams, err := fanoutLeg(sel, sqlText, params)
 	if err != nil {
 		return nil, err
 	}
-	// AVG pushdown: the legs execute a rewritten projection (SUM + hidden
-	// COUNT per AVG), so serialize the rewritten AST.
-	legSQL, legParams := sqlText, params
-	if len(plan.avgHidden) > 0 {
-		var inlined bool
-		legSQL, inlined, err = rewriteAvgSelect(sel, params)
-		if err != nil {
-			return nil, err
-		}
-		if inlined {
-			legParams = nil
-		}
-	}
+	// Shared side of the coordinator's visibility lock: the fan-out either
+	// runs entirely before a multi-partition transaction or entirely after,
+	// so distributed reads never observe a coordinated write half-applied.
+	s.mpMu.RLock()
+	defer s.mpMu.RUnlock()
 	results := make([]*pe.Result, len(s.parts))
 	errs := make([]error, len(s.parts))
 	var wg sync.WaitGroup
@@ -425,6 +506,30 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 		}
 	}
 	return plan.merge(sel, results)
+}
+
+// fanoutLeg computes the merge plan and the per-leg statement of a
+// distributed SELECT. The leg statement differs from the client's text
+// when AVG is pushed down (SUM + hidden COUNT per AVG, serialized from the
+// rewritten AST). Shared by the query fan-out and the coordinator's
+// transactional INSERT ... SELECT materialization.
+func fanoutLeg(sel *sql.Select, sqlText string, params []types.Value) (*queryMerge, string, []types.Value, error) {
+	plan, err := mergePlan(sel, params)
+	if err != nil {
+		return nil, "", nil, err
+	}
+	legSQL, legParams := sqlText, params
+	if len(plan.avgHidden) > 0 {
+		var inlined bool
+		legSQL, inlined, err = rewriteAvgSelect(sel, params)
+		if err != nil {
+			return nil, "", nil, err
+		}
+		if inlined {
+			legParams = nil
+		}
+	}
+	return plan, legSQL, legParams, nil
 }
 
 // queryScope reports whether the select references any partitioned
@@ -702,7 +807,7 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 		return nil, fmt.Errorf("core: OFFSET cannot be applied across partitions")
 	}
 	if sel.Limit != nil && !m.hasAgg {
-		v, err := staticExprValue(sel.Limit, params)
+		v, err := sql.StaticValue(sel.Limit, params)
 		if err != nil {
 			return nil, fmt.Errorf("core: LIMIT across partitions: %w", err)
 		}

@@ -1,0 +1,337 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// This file is the cross-partition transaction coordinator: a lightweight
+// two-phase-commit protocol over the partition engines' serial-slot
+// barrier (pe.MPSession). It is what lifts §4.3's workflow-locality limit:
+// a statement batch (or an application handler) that touches several
+// partitions executes as ONE atomic transaction instead of being rejected
+// by the router.
+//
+// Protocol and locking:
+//
+//   - Multi-partition transactions are serialized store-wide (mpMu, held
+//     exclusively) and mutually excluded with all-partition barriers such
+//     as Checkpoint (exclMu) — two transactions enlisting partitions in
+//     different orders, or a transaction racing a checkpoint's barrier,
+//     would otherwise deadlock the serial workers. Single-partition work
+//     keeps flowing on partitions the transaction has not enlisted.
+//   - Fan-out reads take mpMu shared, so an ad-hoc distributed query sees
+//     a coordinated transaction entirely or not at all (all-or-nothing
+//     visibility); single-partition requests are serialized per partition
+//     by the worker itself.
+//   - Fragment phase: the handler executes reads and writes on any
+//     partition through MPTxn; the first fragment to touch a partition
+//     enlists it, parking that partition's worker on the barrier until the
+//     decision.
+//   - Prepare phase: every enlisted partition forces a PREPARE record
+//     (its leg's re-executable writes) and votes. Any fragment error, vote
+//     error, or handler error aborts every leg.
+//   - Decision: the coordinator forces a DECIDE record to the coordinator
+//     log (coord.log) — the classic 2PC commit point — then delivers the
+//     decision to every leg and waits for the legs' acknowledgements,
+//     which resolve through the group-commit pipeline.
+//
+// Recovery (core.go) scans coord.log first: a logged PREPARE whose
+// transaction id has a durable commit decision is re-applied; one without
+// is presumed aborted and dropped.
+
+// MPTxn is the handle a coordinated transaction's handler works through.
+// Methods route fragments to partition legs; they may be called from the
+// handler goroutine or — for QueryAll — internal fan-out helpers, and are
+// safe for that concurrent use. Do not call Store query/exec methods from
+// inside the handler (the coordinator holds the store's coordination
+// locks); use the MPTxn methods instead.
+type MPTxn struct {
+	s      *Store
+	id     uint64
+	logged bool
+
+	mu    sync.Mutex
+	sess  []*pe.MPSession
+	wrote bool
+	err   error // sticky: poisons the transaction, forcing abort
+}
+
+// NumPartitions returns the store's partition count.
+func (tx *MPTxn) NumPartitions() int { return len(tx.s.parts) }
+
+// PartitionFor maps a partition-key value to its owning partition.
+func (tx *MPTxn) PartitionFor(v types.Value) int { return tx.s.partitionFor(v) }
+
+// session lazily enlists partition part, parking its worker on the 2PC
+// barrier.
+func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
+	if part < 0 || part >= len(tx.s.parts) {
+		return nil, fmt.Errorf("core: mp txn: no partition %d", part)
+	}
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.err != nil {
+		return nil, tx.err
+	}
+	if tx.sess[part] != nil {
+		return tx.sess[part], nil
+	}
+	sess, err := tx.s.parts[part].pe.EnlistMP(tx.id, tx.logged)
+	if err != nil {
+		tx.err = err
+		return nil, err
+	}
+	tx.sess[part] = sess
+	return sess, nil
+}
+
+// poison records a write-fragment failure. A failed write may have been
+// statement-level rolled back in memory, but it was never recorded in the
+// leg's PREPARE ops — committing anyway could diverge recovered state from
+// memory, so the transaction is forced to abort even if the handler
+// swallows the error.
+func (tx *MPTxn) poison(err error) {
+	tx.mu.Lock()
+	if tx.err == nil {
+		tx.err = err
+	}
+	tx.mu.Unlock()
+}
+
+// Exec runs one write statement on partition part inside the transaction.
+// On a logged transaction the statement (with concrete parameters) becomes
+// part of the partition's PREPARE record and is re-executed at recovery,
+// so it must not depend on hidden nondeterminism.
+func (tx *MPTxn) Exec(part int, sqlText string, params ...types.Value) (*pe.Result, error) {
+	sess, err := tx.session(part)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.Exec(sqlText, params...)
+	if err != nil {
+		tx.poison(err)
+		return nil, err
+	}
+	tx.mu.Lock()
+	tx.wrote = true
+	tx.mu.Unlock()
+	return res, nil
+}
+
+// InsertRows inserts a pre-evaluated row batch into a relation on
+// partition part (the router's coordinated INSERT legs).
+func (tx *MPTxn) InsertRows(part int, table string, rows []types.Row) (*pe.Result, error) {
+	sess, err := tx.session(part)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sess.InsertRows(table, rows)
+	if err != nil {
+		tx.poison(err)
+		return nil, err
+	}
+	tx.mu.Lock()
+	tx.wrote = true
+	tx.mu.Unlock()
+	return res, nil
+}
+
+// Query runs a read on partition part. The read sees the transaction's own
+// uncommitted writes and, because every enlisted worker is parked, a
+// stable snapshot of each partition.
+func (tx *MPTxn) Query(part int, sqlText string, params ...types.Value) (*pe.Result, error) {
+	sess, err := tx.session(part)
+	if err != nil {
+		return nil, err
+	}
+	return sess.Query(sqlText, params...)
+}
+
+// QueryRow is Query returning at most one row (nil when none matched).
+func (tx *MPTxn) QueryRow(part int, sqlText string, params ...types.Value) (types.Row, error) {
+	res, err := tx.Query(part, sqlText, params...)
+	if err != nil {
+		return nil, err
+	}
+	if len(res.Rows) == 0 {
+		return nil, nil
+	}
+	return res.Rows[0], nil
+}
+
+// ExecAll runs the same write on every partition concurrently (enlisting
+// them all) — the coordinated form of a broadcast statement. Results come
+// back in partition order.
+func (tx *MPTxn) ExecAll(sqlText string, params ...types.Value) ([]*pe.Result, error) {
+	n := len(tx.s.parts)
+	results := make([]*pe.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = tx.Exec(i, sqlText, params...)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// QueryAll runs the same read on every partition concurrently (enlisting
+// them all) and returns the per-partition results in partition order —
+// the transactional analogue of the router's query fan-out; the caller
+// merges.
+func (tx *MPTxn) QueryAll(sqlText string, params ...types.Value) ([]*pe.Result, error) {
+	n := len(tx.s.parts)
+	results := make([]*pe.Result, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = tx.Query(i, sqlText, params...)
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// MultiPartitionTxn runs fn as one atomic cross-partition transaction:
+// every write either commits on all partitions it touched or on none, the
+// enlisted partitions' serial slots are held for the duration (no other
+// execution interleaves), and on a durable store the writes are command-
+// logged through 2PC PREPARE/DECIDE records so recovery resolves them
+// atomically too. Returning an error from fn — or any failed write
+// fragment — aborts every leg.
+//
+// Multi-partition transactions serialize store-wide; use them for the
+// cross-partition slice of a workload and keep the per-partition fast
+// path for everything else. Call only from client goroutines — never from
+// inside a stored-procedure handler (the handler's own partition worker
+// would be enlisted while it is busy running the handler, a
+// self-deadlock).
+func (s *Store) MultiPartitionTxn(fn func(tx *MPTxn) error) error {
+	return s.runMP(true, fn)
+}
+
+// runMP is the coordinator. logged selects command logging for the legs
+// (ad-hoc router writes pass false: single-partition ad-hoc Exec is not
+// logged either, and the in-memory atomicity guarantees are identical).
+func (s *Store) runMP(logged bool, fn func(tx *MPTxn) error) error {
+	// exclMu: mutual exclusion with all-partition barriers (Checkpoint);
+	// mpMu: serialization with other MP transactions and fan-out readers.
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	s.mpMu.Lock()
+	defer s.mpMu.Unlock()
+	s.nextMPTxnID++
+	tx := &MPTxn{s: s, id: s.nextMPTxnID, logged: logged, sess: make([]*pe.MPSession, len(s.parts))}
+
+	ferr := runMPHandler(fn, tx)
+	tx.mu.Lock()
+	if ferr == nil {
+		ferr = tx.err // a poisoned transaction aborts even if fn returned nil
+	}
+	tx.mu.Unlock()
+	if ferr == nil {
+		ferr = tx.prepareAll()
+	}
+	if ferr == nil && tx.logged && tx.wrote && s.coordLog != nil {
+		// The commit point: the decision record is forced before any leg
+		// applies. A failed force aborts — nothing has committed yet.
+		if err := s.appendDecision(tx.id); err != nil {
+			ferr = fmt.Errorf("core: mp decision log: %w", err)
+		}
+	}
+	if ferr != nil {
+		tx.finishAll(false)
+		s.met.MPAborts.Add(1)
+		return ferr
+	}
+	s.met.MPTxns.Add(1)
+	return tx.finishAll(true)
+}
+
+// runMPHandler executes fn, converting panics into aborts so a buggy
+// handler cannot leave partition workers parked forever.
+func runMPHandler(fn func(tx *MPTxn) error, tx *MPTxn) (err error) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			err = fmt.Errorf("core: mp txn handler panicked: %v", rec)
+		}
+	}()
+	return fn(tx)
+}
+
+// prepareAll collects every enlisted partition's vote in parallel (each
+// vote is a forced log write; partitions force independently). Any non-nil
+// vote is a veto.
+func (tx *MPTxn) prepareAll() error {
+	var wg sync.WaitGroup
+	votes := make([]error, len(tx.sess))
+	for i, sess := range tx.sess {
+		if sess == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sess *pe.MPSession) {
+			defer wg.Done()
+			votes[i] = sess.Prepare()
+		}(i, sess)
+	}
+	wg.Wait()
+	for i, err := range votes {
+		if err != nil {
+			return fmt.Errorf("core: mp prepare (partition %d): %w", i, err)
+		}
+	}
+	return nil
+}
+
+// finishAll delivers the decision to every enlisted leg in parallel and
+// waits for their resolutions.
+func (tx *MPTxn) finishAll(commit bool) error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(tx.sess))
+	for i, sess := range tx.sess {
+		if sess == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sess *pe.MPSession) {
+			defer wg.Done()
+			errs[i] = sess.Finish(commit)
+		}(i, sess)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// appendDecision forces a commit decision record into the coordinator log.
+func (s *Store) appendDecision(txnID uint64) error {
+	payload := wal.EncodeRecord(&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: txnID, Commit: true})
+	if _, err := s.coordLog.Append(payload); err != nil {
+		return err
+	}
+	s.met.LogRecords.Add(1)
+	s.met.LogBytes.Add(int64(len(payload) + 8))
+	return nil
+}

@@ -40,6 +40,13 @@ type Metrics struct {
 	LogRecords atomic.Int64
 	LogBytes   atomic.Int64
 
+	// MPTxns counts coordinated multi-partition transactions (commit
+	// decisions); MPAborts counts coordinator aborts; MPLegsCommitted
+	// counts per-partition committed legs.
+	MPTxns          atomic.Int64
+	MPAborts        atomic.Int64
+	MPLegsCommitted atomic.Int64
+
 	latency Histogram
 }
 
@@ -57,6 +64,7 @@ type Snapshot struct {
 	BatchesBorder, TriggeredTxns         int64
 	WindowSlides, StreamGCTuples         int64
 	LogRecords, LogBytes                 int64
+	MPTxns, MPAborts, MPLegsCommitted    int64
 	LatencyCount                         int64
 	LatencyP50, LatencyP99, LatencyP9999 time.Duration
 }
@@ -64,22 +72,25 @@ type Snapshot struct {
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		ClientToPE:     m.ClientToPE.Load(),
-		PEToEE:         m.PEToEE.Load(),
-		EEInternal:     m.EEInternal.Load(),
-		TxnCommitted:   m.TxnCommitted.Load(),
-		TxnAborted:     m.TxnAborted.Load(),
-		TuplesIngested: m.TuplesIngested.Load(),
-		BatchesBorder:  m.BatchesBorder.Load(),
-		TriggeredTxns:  m.TriggeredTxns.Load(),
-		WindowSlides:   m.WindowSlides.Load(),
-		StreamGCTuples: m.StreamGCTuples.Load(),
-		LogRecords:     m.LogRecords.Load(),
-		LogBytes:       m.LogBytes.Load(),
-		LatencyCount:   m.latency.Count(),
-		LatencyP50:     m.latency.Quantile(0.50),
-		LatencyP99:     m.latency.Quantile(0.99),
-		LatencyP9999:   m.latency.Quantile(0.9999),
+		ClientToPE:      m.ClientToPE.Load(),
+		PEToEE:          m.PEToEE.Load(),
+		EEInternal:      m.EEInternal.Load(),
+		TxnCommitted:    m.TxnCommitted.Load(),
+		TxnAborted:      m.TxnAborted.Load(),
+		TuplesIngested:  m.TuplesIngested.Load(),
+		BatchesBorder:   m.BatchesBorder.Load(),
+		TriggeredTxns:   m.TriggeredTxns.Load(),
+		WindowSlides:    m.WindowSlides.Load(),
+		StreamGCTuples:  m.StreamGCTuples.Load(),
+		LogRecords:      m.LogRecords.Load(),
+		LogBytes:        m.LogBytes.Load(),
+		MPTxns:          m.MPTxns.Load(),
+		MPAborts:        m.MPAborts.Load(),
+		MPLegsCommitted: m.MPLegsCommitted.Load(),
+		LatencyCount:    m.latency.Count(),
+		LatencyP50:      m.latency.Quantile(0.50),
+		LatencyP99:      m.latency.Quantile(0.99),
+		LatencyP9999:    m.latency.Quantile(0.9999),
 	}
 }
 
@@ -98,6 +109,9 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.StreamGCTuples -= prev.StreamGCTuples
 	d.LogRecords -= prev.LogRecords
 	d.LogBytes -= prev.LogBytes
+	d.MPTxns -= prev.MPTxns
+	d.MPAborts -= prev.MPAborts
+	d.MPLegsCommitted -= prev.MPLegsCommitted
 	d.LatencyCount -= prev.LatencyCount
 	return d
 }

@@ -36,6 +36,16 @@ const (
 	RecCall RecordKind = iota + 1
 	RecBorder
 	RecTriggered
+	// RecPrepare is a 2PC participant leg: the re-executable write ops of
+	// one partition's share of a multi-partition transaction, forced before
+	// the partition votes yes. Recovery applies it only when the
+	// coordinator's decision record says the transaction committed
+	// (presumed abort).
+	RecPrepare
+	// RecDecide marks a 2PC resolution. In the coordinator's log it is the
+	// decision record recovery resolves in-doubt legs from; in a
+	// participant's log it is an unforced marker, skipped at replay.
+	RecDecide
 )
 
 // LogRecord is one command-log entry: enough to re-execute the client
@@ -47,6 +57,11 @@ type LogRecord struct {
 	Batch       []types.Row
 	BatchID     uint64
 	InputStream string
+
+	// 2PC fields (RecPrepare / RecDecide only).
+	MPTxnID uint64
+	Ops     []LoggedOp // RecPrepare: the leg's writes, in execution order
+	Commit  bool       // RecDecide: true = commit
 }
 
 // CommitLogger is the durability hook the partition engine calls at commit
@@ -150,6 +165,9 @@ type Engine struct {
 	// they run inline instead of through the (stopped) worker.
 	replayQueue []*txnRequest
 	replaying   bool
+	// replayDecisions maps multi-partition transaction ids to their commit
+	// decision (from the coordinator log); absent = presumed abort.
+	replayDecisions map[uint64]bool
 
 	// localTriggered is the partition worker's private queue of PE-
 	// triggered executions (they are produced and consumed by the worker,
@@ -588,6 +606,10 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		r.respond(nil, r.fn())
 		return
 	}
+	if r.kind == reqMP {
+		e.executeMP(r)
+		return
+	}
 	if r.kind == reqExec {
 		undo := undoPool.Get().(*storage.UndoLog)
 		ectx := &ee.ExecCtx{Undo: undo, DisableEETriggers: e.cfg.HStoreMode}
@@ -616,16 +638,7 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		Undo:              undo,
 		ProcName:          r.proc.Name,
 		DisableEETriggers: e.cfg.HStoreMode,
-		OnStreamInsert: func(stream string, ids []storage.RowID, rows []types.Row) {
-			for i := range emits {
-				if emits[i].stream == stream {
-					emits[i].ids = append(emits[i].ids, ids...)
-					emits[i].rows = append(emits[i].rows, rows...)
-					return
-				}
-			}
-			emits = append(emits, emission{stream: stream, ids: ids, rows: rows})
-		},
+		OnStreamInsert:    emissionCollector(&emits),
 	}
 	if r.batch != nil {
 		ectx.NewRows = map[string][]types.Row{"batch": r.batch}
@@ -708,30 +721,7 @@ func (e *Engine) executeRequest(r *txnRequest) {
 	// PE triggers: emitted batches become downstream transaction
 	// executions, enqueued ahead of pending border work (ModeWorkflowSerial)
 	// so the workflow chain for batch b completes before batch b+1 starts.
-	for _, em := range emits {
-		b := e.bindings[strings.ToLower(em.stream)]
-		if b == nil {
-			continue
-		}
-		tr := &txnRequest{
-			kind:        reqTriggered,
-			proc:        b.proc,
-			batch:       em.rows,
-			batchID:     r.batchID,
-			inputStream: em.stream,
-			gcIDs:       em.ids,
-			enqueued:    time.Now(),
-			replay:      r.replay,
-		}
-		switch {
-		case e.replaying:
-			e.replayQueue = append(e.replayQueue, tr)
-		case e.cfg.Mode == ModeWorkflowSerial:
-			e.localTriggered = append(e.localTriggered, tr)
-		default:
-			e.sched.push(tr)
-		}
-	}
+	e.dispatchEmits(emits, r.batchID, r.replay)
 	if ack != nil {
 		e.queueAck(r, pctx.out, ack, start)
 		return
@@ -834,6 +824,13 @@ func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, err
 
 // ---------- recovery replay ----------
 
+// SetReplayDecisions installs the coordinator's decision map for recovery:
+// a RecPrepare leg replays only when its transaction id maps to a commit
+// decision; otherwise it is in-doubt and presumed aborted.
+func (e *Engine) SetReplayDecisions(decisions map[uint64]bool) {
+	e.replayDecisions = decisions
+}
+
 // Replay re-executes one logged record during recovery. The engine must
 // not be started. In LogBorderOnly mode, border records re-derive their
 // triggered descendants inline; in LogAllTEs mode triggered records come
@@ -841,6 +838,15 @@ func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, err
 func (e *Engine) Replay(rec *LogRecord) error {
 	if e.started.Load() {
 		return fmt.Errorf("pe: replay requires a stopped engine")
+	}
+	switch rec.Kind {
+	case RecPrepare:
+		if !e.replayDecisions[rec.MPTxnID] {
+			return nil // no commit decision: presumed abort, drop the leg
+		}
+		return e.replayPreparedLeg(rec)
+	case RecDecide:
+		return nil // participant marker; the coordinator log is authoritative
 	}
 	p := e.Procedure(rec.Proc)
 	if p == nil {
@@ -878,7 +884,6 @@ func (e *Engine) Replay(rec *LogRecord) error {
 	// Collect re-derived descendants locally: they must never reach the
 	// scheduler (the worker is stopped, and in LogAllTEs mode they arrive
 	// as their own log records).
-	suppress := e.logMode == LogAllTEs
 	e.replaying = true
 	e.executeRequest(r)
 	cr := <-r.done
@@ -887,13 +892,20 @@ func (e *Engine) Replay(rec *LogRecord) error {
 		e.replayQueue = nil
 		return fmt.Errorf("pe: replay of %s: %w", rec.Proc, cr.Err)
 	}
-	if suppress {
+	return e.drainReplayDerived()
+}
+
+// drainReplayDerived finishes one replayed record's derived work. In
+// LogAllTEs mode the triggered descendants arrive as their own log
+// records, so the queue is discarded; under upstream backup they are
+// re-derived inline, depth-first in FIFO order, exactly as
+// ModeWorkflowSerial would have run them.
+func (e *Engine) drainReplayDerived() error {
+	if e.logMode == LogAllTEs {
 		e.replayQueue = nil
 		e.replaying = false
 		return nil
 	}
-	// Upstream backup: run the derived descendants inline, depth-first in
-	// FIFO order, exactly as ModeWorkflowSerial would have.
 	for len(e.replayQueue) > 0 {
 		next := e.replayQueue[0]
 		e.replayQueue = e.replayQueue[1:]

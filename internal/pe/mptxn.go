@@ -1,0 +1,376 @@
+package pe
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ee"
+	"repro/internal/storage"
+	"repro/internal/types"
+)
+
+// This file is one partition's side of a two-phase-commit transaction: the
+// prepare/commit/abort barrier the cross-partition coordinator
+// (internal/core) drives. The partition worker parks on the session from
+// enlistment until the decision, so the leg occupies the partition's serial
+// slot exactly like any local transaction — no other execution can observe
+// or interleave with its uncommitted writes. The paper's per-partition
+// serializability is preserved: a multi-partition transaction is one entry
+// in every participant's serial history.
+//
+// Durability follows presumed-abort 2PC. Prepare forces a PREPARE record
+// (the leg's re-executable write ops) to this partition's command log
+// before voting yes; the coordinator forces its decision record separately.
+// Commit appends a DECIDE marker through the group-commit pipeline, so the
+// coordinator's acknowledgement — like every other ack in the engine —
+// resolves only once the record is durable. Abort writes nothing: recovery
+// treats a PREPARE with no commit decision as aborted.
+
+// LoggedOp is one re-executable write of a prepared leg, in one of two
+// forms: an ad-hoc SQL statement with its parameters, or a raw row batch
+// into a relation (the router's coordinated INSERT legs). Replay executes
+// the ops in order to reconstruct a committed leg.
+type LoggedOp struct {
+	SQL    string // statement form (empty for the row-batch form)
+	Params []types.Value
+	Table  string // row-batch form: target relation
+	Rows   []types.Row
+}
+
+// mpReply carries one fragment's result back to the coordinator.
+type mpReply struct {
+	res *ee.Result
+	err error
+}
+
+// mpFrag is one unit of work the coordinator sends to the parked worker.
+type mpFrag struct {
+	fn    func(ectx *ee.ExecCtx) (*ee.Result, error)
+	op    *LoggedOp // non-nil: append to the PREPARE record on success
+	reply chan mpReply
+}
+
+// MPSession is one partition's enlistment in a coordinated transaction.
+// All methods are called by the coordinator goroutine, strictly in the
+// order fragments → Prepare → Finish (Finish may come at any point after
+// enlistment on the abort path). The worker executes everything; the
+// session only carries the rendezvous channels.
+type MPSession struct {
+	e      *Engine
+	txnID  uint64
+	logged bool
+
+	frags  chan mpFrag
+	prep   chan chan error
+	decide chan bool
+	done   chan CallResult
+
+	prepared bool
+	finished bool
+}
+
+// EnlistMP queues this partition's participation in coordinated transaction
+// txnID. The worker parks on the session when it reaches the request and
+// serves fragments until the decision. With logged set, write fragments are
+// recorded and forced to the command log at Prepare; unlogged sessions (ad-
+// hoc coordinated writes, which are never command-logged — matching
+// single-partition Exec) skip the log entirely and are atomic in memory
+// only.
+func (e *Engine) EnlistMP(txnID uint64, logged bool) (*MPSession, error) {
+	if err := e.errNotStarted(); err != nil {
+		return nil, err
+	}
+	s := &MPSession{
+		e:      e,
+		txnID:  txnID,
+		logged: logged,
+		frags:  make(chan mpFrag),
+		prep:   make(chan chan error),
+		decide: make(chan bool),
+		done:   make(chan CallResult, 1),
+	}
+	r := &txnRequest{kind: reqMP, mp: s, done: s.done, enqueued: time.Now()}
+	if !e.sched.push(r) {
+		return nil, fmt.Errorf("pe: engine stopped")
+	}
+	return s, nil
+}
+
+// run sends one fragment to the parked worker and waits for its result.
+func (s *MPSession) run(f mpFrag) (*Result, error) {
+	f.reply = make(chan mpReply, 1)
+	s.frags <- f
+	rep := <-f.reply
+	if rep.err != nil {
+		return nil, rep.err
+	}
+	out := &Result{}
+	if rep.res != nil {
+		out.Columns = rep.res.Columns
+		out.Rows = rep.res.Rows
+		out.RowsAffected = rep.res.RowsAffected
+	}
+	return out, nil
+}
+
+// Exec runs one SQL statement inside the leg's transaction context. On a
+// logged session the statement (with its concrete parameters) becomes part
+// of the PREPARE record, so it must be a write whose re-execution is
+// deterministic — which concrete-parameter DML is.
+func (s *MPSession) Exec(sqlText string, params ...types.Value) (*Result, error) {
+	var op *LoggedOp
+	if s.logged {
+		op = &LoggedOp{SQL: sqlText, Params: params}
+	}
+	return s.run(mpFrag{
+		fn: func(ectx *ee.ExecCtx) (*ee.Result, error) {
+			return s.e.ee.ExecSQL(ectx, sqlText, params...)
+		},
+		op: op,
+	})
+}
+
+// Query runs a read inside the leg's transaction context (it sees the
+// leg's own uncommitted writes). Reads are never logged.
+func (s *MPSession) Query(sqlText string, params ...types.Value) (*Result, error) {
+	return s.run(mpFrag{
+		fn: func(ectx *ee.ExecCtx) (*ee.Result, error) {
+			return s.e.ee.ExecSQL(ectx, sqlText, params...)
+		},
+	})
+}
+
+// InsertRows inserts a pre-evaluated row batch into a relation inside the
+// leg — the router's coordinated INSERT form, which avoids re-serializing
+// values (timestamps have no SQL literal) and reuses the engine's
+// default/NOT NULL/coercion checks.
+func (s *MPSession) InsertRows(table string, rows []types.Row) (*Result, error) {
+	var op *LoggedOp
+	if s.logged {
+		op = &LoggedOp{Table: table, Rows: rows}
+	}
+	return s.run(mpFrag{
+		fn: func(ectx *ee.ExecCtx) (*ee.Result, error) {
+			n, err := s.e.ee.InsertRows(ectx, table, rows)
+			if err != nil {
+				return nil, err
+			}
+			return &ee.Result{RowsAffected: n}, nil
+		},
+		op: op,
+	})
+}
+
+// Prepare ends the fragment phase and returns this partition's vote: nil
+// once the leg's PREPARE record is durable (trivially yes when the session
+// is unlogged, wrote nothing, or the store keeps no log). A non-nil vote
+// obliges the coordinator to abort. The worker stays parked either way,
+// waiting for Finish.
+func (s *MPSession) Prepare() error {
+	if s.prepared || s.finished {
+		return fmt.Errorf("pe: mp session already prepared")
+	}
+	s.prepared = true
+	reply := make(chan error, 1)
+	s.prep <- reply
+	return <-reply
+}
+
+// Finish delivers the coordinator's decision and waits for the leg to
+// resolve: on commit, after the DECIDE marker clears the commit pipeline
+// (durable under group commit before the coordinator acknowledges anyone);
+// on abort, after the undo log is rolled back. Finish is valid at any time
+// after enlistment — aborting mid-fragment-phase is the error path.
+func (s *MPSession) Finish(commit bool) error {
+	if s.finished {
+		return fmt.Errorf("pe: mp session already finished")
+	}
+	s.finished = true
+	s.decide <- commit
+	cr := <-s.done
+	return cr.Err
+}
+
+// executeMP is the worker side of the barrier: it parks on the session,
+// serving fragments in its own serial slot, then resolves the decision.
+// Runs on the partition goroutine.
+func (e *Engine) executeMP(r *txnRequest) {
+	s := r.mp
+	start := time.Now()
+	undo := undoPool.Get().(*storage.UndoLog)
+	defer func() {
+		undo.Release()
+		undoPool.Put(undo)
+	}()
+	var emits []emission
+	ectx := &ee.ExecCtx{
+		Undo:              undo,
+		DisableEETriggers: e.cfg.HStoreMode,
+	}
+	// Only logged (application-level) transactions drive workflows: they
+	// are procedure-like, and their replay re-derives the triggered work.
+	// Unlogged ad-hoc legs match single-partition ad-hoc Exec, which never
+	// fires PE triggers — the same statement must not behave differently
+	// just because its tuples happened to span partitions.
+	if s.logged {
+		ectx.OnStreamInsert = emissionCollector(&emits)
+	}
+	var ops []LoggedOp
+	for {
+		select {
+		case f := <-s.frags:
+			res, err := f.fn(ectx)
+			if err == nil && f.op != nil {
+				ops = append(ops, *f.op)
+			}
+			f.reply <- mpReply{res: res, err: err}
+		case reply := <-s.prep:
+			reply <- e.forcePrepare(s.txnID, ops)
+		case commit := <-s.decide:
+			if !commit {
+				undo.Rollback()
+				e.met.TxnAborted.Add(1)
+				r.respond(nil, nil)
+				return
+			}
+			ack, lerr := e.logDecide(s, ops)
+			// The commit point — the coordinator's forced decision record —
+			// has already passed: the leg IS committed, and recovery will
+			// re-apply it from its PREPARE no matter what happens here. The
+			// leg's effects therefore always stay in place; a failed DECIDE
+			// append only poisons this partition's log (every later logged
+			// commit fails loudly) and is surfaced without undoing anything.
+			undo.Release()
+			e.met.TxnCommitted.Add(1)
+			e.met.MPLegsCommitted.Add(1)
+			e.dispatchEmits(emits, 0, r.replay)
+			if lerr != nil {
+				r.respond(nil, fmt.Errorf("pe: mp leg committed but its decide marker failed to append (log poisoned; restart to recover): %w", lerr))
+				return
+			}
+			if ack != nil {
+				e.queueAck(r, nil, ack, start)
+				return
+			}
+			e.met.ObserveLatency(time.Since(start))
+			r.respond(nil, nil)
+			return
+		}
+	}
+}
+
+// forcePrepare writes the leg's PREPARE record and forces it to stable
+// storage — the classic 2PC forced log write: a yes vote promises the leg
+// survives a crash. Legs with nothing logged vote yes for free.
+func (e *Engine) forcePrepare(txnID uint64, ops []LoggedOp) error {
+	if e.logger == nil || len(ops) == 0 {
+		return nil
+	}
+	rec := &LogRecord{Kind: RecPrepare, MPTxnID: txnID, Ops: ops}
+	if e.asyncLog != nil {
+		ack, err := e.asyncLog.LogCommitAsync(rec)
+		if err != nil {
+			return err
+		}
+		if err := e.asyncLog.SyncCommits(); err != nil {
+			return err
+		}
+		return <-ack
+	}
+	return e.logger.LogCommit(rec)
+}
+
+// logDecide appends the leg's DECIDE marker. It is not forced — the
+// coordinator's decision record is the recovery truth — but under group
+// commit the returned future routes the leg's resolution through the ack
+// pipeline, so the coordinator (and therefore the client) is acknowledged
+// only once the marker is durable, like every other commit.
+func (e *Engine) logDecide(s *MPSession, ops []LoggedOp) (<-chan error, error) {
+	if e.logger == nil || !s.logged || len(ops) == 0 {
+		return nil, nil
+	}
+	rec := &LogRecord{Kind: RecDecide, MPTxnID: s.txnID, Commit: true}
+	if e.asyncLog != nil {
+		return e.asyncLog.LogCommitAsync(rec)
+	}
+	return nil, e.logger.LogCommit(rec)
+}
+
+// replayPreparedLeg re-executes a committed leg's ops during recovery.
+// The transaction committed before the crash, so the ops must re-apply
+// cleanly; an error here fails recovery loudly rather than diverging.
+// Stream emissions re-derive their triggered descendants exactly like the
+// live commit path (dispatchEmits) and the other replay kinds.
+func (e *Engine) replayPreparedLeg(rec *LogRecord) error {
+	undo := storage.NewUndoLog()
+	var emits []emission
+	ectx := &ee.ExecCtx{
+		Undo:              undo,
+		DisableEETriggers: e.cfg.HStoreMode,
+		OnStreamInsert:    emissionCollector(&emits),
+	}
+	for _, op := range rec.Ops {
+		var err error
+		if op.Table != "" {
+			_, err = e.ee.InsertRows(ectx, op.Table, op.Rows)
+		} else {
+			_, err = e.ee.ExecSQL(ectx, op.SQL, op.Params...)
+		}
+		if err != nil {
+			undo.Rollback()
+			return fmt.Errorf("pe: replay of prepared mp leg %d: %w", rec.MPTxnID, err)
+		}
+	}
+	undo.Release()
+	e.replaying = true
+	e.dispatchEmits(emits, 0, true)
+	return e.drainReplayDerived()
+}
+
+// emissionCollector returns the OnStreamInsert hook that merges a
+// transaction's stream emissions per stream — shared by the local commit,
+// multi-partition commit, and prepared-leg replay paths.
+func emissionCollector(emits *[]emission) func(string, []storage.RowID, []types.Row) {
+	return func(stream string, ids []storage.RowID, rows []types.Row) {
+		es := *emits
+		for i := range es {
+			if es[i].stream == stream {
+				es[i].ids = append(es[i].ids, ids...)
+				es[i].rows = append(es[i].rows, rows...)
+				return
+			}
+		}
+		*emits = append(es, emission{stream: stream, ids: ids, rows: rows})
+	}
+}
+
+// dispatchEmits turns a committed execution's stream emissions into
+// downstream transaction executions (PE triggers) — shared by the local
+// and multi-partition commit paths.
+func (e *Engine) dispatchEmits(emits []emission, batchID uint64, replay bool) {
+	for _, em := range emits {
+		b := e.bindings[strings.ToLower(em.stream)]
+		if b == nil {
+			continue
+		}
+		tr := &txnRequest{
+			kind:        reqTriggered,
+			proc:        b.proc,
+			batch:       em.rows,
+			batchID:     batchID,
+			inputStream: em.stream,
+			gcIDs:       em.ids,
+			enqueued:    time.Now(),
+			replay:      replay,
+		}
+		switch {
+		case e.replaying:
+			e.replayQueue = append(e.replayQueue, tr)
+		case e.cfg.Mode == ModeWorkflowSerial:
+			e.localTriggered = append(e.localTriggered, tr)
+		default:
+			e.sched.push(tr)
+		}
+	}
+}

@@ -18,6 +18,7 @@ const (
 	reqQuery                    // ad-hoc read-only query
 	reqExec                     // ad-hoc write statement (own transaction)
 	reqBarrier                  // drain marker
+	reqMP                       // multi-partition leg: park on the 2PC barrier
 )
 
 // CallResult is the response to one request.
@@ -45,6 +46,7 @@ type txnRequest struct {
 	gcIDs       []storage.RowID
 	sqlText     string // for reqQuery
 	fn          func() error
+	mp          *MPSession // for reqMP
 	done        chan CallResult
 	enqueued    time.Time
 	replay      bool // true during recovery: do not re-log

@@ -145,6 +145,13 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
 			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	case wire.MsgExec:
+		res, err := s.st.Exec(req.Target, req.Params...)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
 	case wire.MsgFlush:
 		s.st.FlushBatches()
 		s.st.Drain()

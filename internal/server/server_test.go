@@ -182,3 +182,47 @@ func TestExplainOverTCP(t *testing.T) {
 		t.Fatal("bad explain accepted")
 	}
 }
+
+// TestTCPExecSpanningWrite drives an ad-hoc multi-partition write over the
+// wire: the spanning INSERT must commit atomically through the server's
+// coordinator, and a failing statement must leave nothing behind.
+func TestTCPExecSpanningWrite(t *testing.T) {
+	st := core.Open(core.Config{Partitions: 3})
+	if err := st.ExecScript(`CREATE TABLE pkv (k BIGINT PRIMARY KEY, v BIGINT) PARTITION BY k;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	srv.Logf = t.Logf
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Stop() })
+
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	resp, err := c.Exec("INSERT INTO pkv (k, v) VALUES (1, 1), (2, 2), (3, 3), (4, 4)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.RowsAffected != 4 {
+		t.Fatalf("spanning insert affected %d", resp.RowsAffected)
+	}
+	// A duplicate in one leg aborts every leg.
+	if _, err := c.Exec("INSERT INTO pkv (k, v) VALUES (100, 1), (1, 1)"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate key") {
+		t.Fatalf("err = %v", err)
+	}
+	q, err := c.Query("SELECT COUNT(*) FROM pkv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := q.Rows[0][0].Int(); n != 4 {
+		t.Fatalf("count after aborted wire write = %d, want 4", n)
+	}
+}

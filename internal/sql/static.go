@@ -1,0 +1,38 @@
+package sql
+
+import (
+	"fmt"
+
+	"repro/internal/types"
+)
+
+// StaticValue evaluates an expression that must be resolvable without an
+// execution context: literals, positional parameters, and unary minus over
+// either. The router uses it wherever a value decides routing before any
+// partition runs — partition keys of INSERT tuples, LIMIT counts — and for
+// materializing multi-partition INSERT rows.
+func StaticValue(e Expr, params []types.Value) (types.Value, error) {
+	switch x := e.(type) {
+	case *Literal:
+		return x.Value, nil
+	case *Param:
+		if x.Index < 0 || x.Index >= len(params) {
+			return types.Null, fmt.Errorf("sql: parameter ?%d not supplied", x.Index+1)
+		}
+		return params[x.Index], nil
+	case *Unary:
+		if x.Op == "-" {
+			v, err := StaticValue(x.X, params)
+			if err != nil {
+				return types.Null, err
+			}
+			switch v.Type() {
+			case types.TypeInt:
+				return types.NewInt(-v.Int()), nil
+			case types.TypeFloat:
+				return types.NewFloat(-v.Float()), nil
+			}
+		}
+	}
+	return types.Null, fmt.Errorf("sql: value must be a literal or parameter")
+}

@@ -406,11 +406,19 @@ func ScanLog(path string, fn func(lsn uint64, payload []byte) error) (uint64, er
 }
 
 // DefaultLogName and DefaultSnapshotName are the file names used inside a
-// durability directory.
+// durability directory. DefaultCoordLogName holds the 2PC coordinator's
+// decision records — the authority recovery resolves in-doubt prepared
+// legs against.
 const (
 	DefaultLogName      = "command.log"
 	DefaultSnapshotName = "snapshot.bin"
+	DefaultCoordLogName = "coord.log"
 )
+
+// CoordPath resolves the coordinator decision log's location under dir.
+func CoordPath(dir string) string {
+	return filepath.Join(dir, DefaultCoordLogName)
+}
 
 // Paths resolves the standard file locations under dir.
 func Paths(dir string) (logPath, snapPath string) {

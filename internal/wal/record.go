@@ -12,6 +12,14 @@ import (
 // EncodeRecord serializes a partition-engine log record:
 //
 //	kind u8 | proc str | batchID uvarint | inputStream str | params row | batch rows
+//
+// The 2PC kinds (RecPrepare, RecDecide) append their own fields after the
+// common prefix — older kinds keep the exact layout earlier versions
+// wrote, so pre-2PC logs recover unchanged:
+//
+//	RecPrepare: mpTxnID uvarint | nops uvarint | ops (each: form u8,
+//	            form 0 = sql str + params row, form 1 = table str + rows)
+//	RecDecide:  mpTxnID uvarint | commit u8
 func EncodeRecord(rec *pe.LogRecord) []byte {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, byte(rec.Kind))
@@ -20,6 +28,29 @@ func EncodeRecord(rec *pe.LogRecord) []byte {
 	buf = appendString(buf, rec.InputStream)
 	buf = types.EncodeRow(buf, types.Row(rec.Params))
 	buf = types.EncodeRows(buf, rec.Batch)
+	switch rec.Kind {
+	case pe.RecPrepare:
+		buf = binary.AppendUvarint(buf, rec.MPTxnID)
+		buf = binary.AppendUvarint(buf, uint64(len(rec.Ops)))
+		for _, op := range rec.Ops {
+			if op.Table != "" {
+				buf = append(buf, 1)
+				buf = appendString(buf, op.Table)
+				buf = types.EncodeRows(buf, op.Rows)
+			} else {
+				buf = append(buf, 0)
+				buf = appendString(buf, op.SQL)
+				buf = types.EncodeRow(buf, types.Row(op.Params))
+			}
+		}
+	case pe.RecDecide:
+		buf = binary.AppendUvarint(buf, rec.MPTxnID)
+		if rec.Commit {
+			buf = append(buf, 1)
+		} else {
+			buf = append(buf, 0)
+		}
+	}
 	return buf
 }
 
@@ -48,7 +79,7 @@ func DecodeRecord(payload []byte) (*pe.LogRecord, error) {
 		return nil, fmt.Errorf("wal: record params: %w", err)
 	}
 	rec.Params = []types.Value(params)
-	if rec.Batch, _, err = types.DecodeRows(buf); err != nil {
+	if rec.Batch, buf, err = types.DecodeRows(buf); err != nil {
 		return nil, fmt.Errorf("wal: record batch: %w", err)
 	}
 	if len(rec.Params) == 0 {
@@ -56,6 +87,62 @@ func DecodeRecord(payload []byte) (*pe.LogRecord, error) {
 	}
 	if len(rec.Batch) == 0 {
 		rec.Batch = nil
+	}
+	switch rec.Kind {
+	case pe.RecPrepare:
+		id, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		rec.MPTxnID = id
+		buf = buf[n:]
+		nops, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		buf = buf[n:]
+		for i := uint64(0); i < nops; i++ {
+			if len(buf) < 1 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			form := buf[0]
+			buf = buf[1:]
+			var op pe.LoggedOp
+			switch form {
+			case 1:
+				if op.Table, buf, err = readString(buf); err != nil {
+					return nil, fmt.Errorf("wal: prepare op table: %w", err)
+				}
+				if op.Rows, buf, err = types.DecodeRows(buf); err != nil {
+					return nil, fmt.Errorf("wal: prepare op rows: %w", err)
+				}
+			case 0:
+				if op.SQL, buf, err = readString(buf); err != nil {
+					return nil, fmt.Errorf("wal: prepare op sql: %w", err)
+				}
+				var prow types.Row
+				if prow, buf, err = types.DecodeRow(buf); err != nil {
+					return nil, fmt.Errorf("wal: prepare op params: %w", err)
+				}
+				if len(prow) > 0 {
+					op.Params = []types.Value(prow)
+				}
+			default:
+				return nil, fmt.Errorf("wal: unknown prepare op form %d", form)
+			}
+			rec.Ops = append(rec.Ops, op)
+		}
+	case pe.RecDecide:
+		id, n := binary.Uvarint(buf)
+		if n <= 0 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		rec.MPTxnID = id
+		buf = buf[n:]
+		if len(buf) < 1 {
+			return nil, io.ErrUnexpectedEOF
+		}
+		rec.Commit = buf[0] == 1
 	}
 	return rec, nil
 }

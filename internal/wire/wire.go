@@ -29,6 +29,10 @@ const (
 	MsgPing                      // liveness check
 	MsgPong
 	MsgExplain // plan introspection for a SQL statement
+	// MsgExec is an ad-hoc DML statement. On a partitioned store the
+	// router runs spanning writes through the 2PC coordinator, so a remote
+	// client's multi-partition statement commits atomically or not at all.
+	MsgExec
 )
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating

@@ -43,6 +43,22 @@
 //	st := sstore.Open(sstore.Config{Partitions: 4})
 //	st.ExecScript(`CREATE STREAM readings (sensor INT, v FLOAT) PARTITION BY sensor;`)
 //
+// Work that genuinely spans partitions runs through the two-phase-commit
+// coordinator: ad-hoc multi-row INSERTs spanning shards, INSERT ... SELECT,
+// and broadcast UPDATE / DELETE commit atomically across partitions, and
+// Store.MultiPartitionTxn runs an application handler as one atomic,
+// durable cross-partition transaction:
+//
+//	st.MultiPartitionTxn(func(tx *sstore.MPTxn) error {
+//	    from := tx.PartitionFor(sstore.Int(a))
+//	    to := tx.PartitionFor(sstore.Int(b))
+//	    if _, err := tx.Exec(from, "UPDATE acct SET bal = bal - 10 WHERE id = ?", sstore.Int(a)); err != nil {
+//	        return err
+//	    }
+//	    _, err := tx.Exec(to, "UPDATE acct SET bal = bal + 10 WHERE id = ?", sstore.Int(b))
+//	    return err
+//	})
+//
 // The package is a thin façade over internal/core; see DESIGN.md for the
 // architecture and EXPERIMENTS.md for the paper-reproduction results.
 package sstore
@@ -71,6 +87,10 @@ type ProcCtx = pe.ProcCtx
 
 // Result is a statement or procedure result.
 type Result = pe.Result
+
+// MPTxn is the handle of a coordinated cross-partition transaction (see
+// Store.MultiPartitionTxn).
+type MPTxn = core.MPTxn
 
 // Value is one SQL scalar value.
 type Value = types.Value
