@@ -161,6 +161,9 @@ func printSummary(st *core.Store) {
 			rides.Rows[0][0].Int(), rides.Rows[0][1].Int())
 	}
 	fmt.Printf("  stolen-bike alerts=%d\n", alerts.Rows[0][0].Int())
+	if text, err := st.ExplainDataflow("bikeshare"); err == nil {
+		fmt.Print(text)
+	}
 }
 
 func fail(err error) {

@@ -9,6 +9,10 @@
 //	call <proc> [args...]     stored procedure invocation
 //	ingest <stream> v1,v2,... one tuple onto a stream
 //	flush                     dispatch partial batches
+//	dataflows                 list deployed dataflow graphs
+//	explain dataflow <name>   render a graph: nodes, edges, constraints
+//	pause <name>              pause a dataflow (border ingest queues)
+//	resume <name>             resume a paused dataflow
 //	quit
 //
 // Arguments parse as int, then float, then string.
@@ -52,6 +56,28 @@ func main() {
 		case line == "flush":
 			if err := c.Flush(); err != nil {
 				fmt.Println("error:", err)
+			}
+		case strings.EqualFold(line, "dataflows"):
+			resp, err := c.Dataflows()
+			printResp(resp, err)
+		case strings.HasPrefix(strings.ToLower(line), "explain dataflow "):
+			text, err := c.ExplainDataflow(strings.TrimSpace(line[len("explain dataflow "):]))
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Print(text)
+			}
+		case strings.HasPrefix(strings.ToLower(line), "pause "):
+			if err := c.PauseDataflow(strings.TrimSpace(line[len("pause "):])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("paused")
+			}
+		case strings.HasPrefix(strings.ToLower(line), "resume "):
+			if err := c.ResumeDataflow(strings.TrimSpace(line[len("resume "):])); err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Println("resumed")
 			}
 		case strings.HasPrefix(strings.ToLower(line), "explain "):
 			plan, err := c.Explain(strings.TrimSpace(line[len("explain "):]))

@@ -129,6 +129,21 @@ func printBoard(title string, rows []string) {
 }
 
 func printWorkflow() {
+	// Deploy the real graph and render the engine's own view of it —
+	// the declared dataflow is the source of truth, not a hand-drawn
+	// diagram.
+	st := core.Open(core.Config{})
+	if err := voter.Setup(st, 25); err != nil {
+		fail(err)
+	}
+	text, err := st.ExplainDataflow("voter")
+	if err != nil {
+		fail(err)
+	}
+	if err := st.Stop(); err != nil {
+		fmt.Fprintf(os.Stderr, "voterdemo: stop: %v\n", err)
+	}
+	fmt.Print(text, "\n")
 	fmt.Print(`Leaderboard maintenance workflow (Fig. 3):
 
   clients ──text votes──▶ [votes_in stream]

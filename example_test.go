@@ -136,3 +136,87 @@ func ExampleStore_Call() {
 	// second open rejected
 	// 500
 }
+
+// ExampleStore_Deploy declares a two-stage workflow as one named dataflow
+// graph — nodes, stream edges, batch sizes — deploys it atomically, and
+// drives its lifecycle by name: pause (border ingest queues), resume
+// (nothing lost), and catalog introspection via SHOW DATAFLOWS.
+func ExampleStore_Deploy() {
+	st := sstore.Open(sstore.Config{})
+	if err := st.ExecScript(`
+		CREATE STREAM readings (sensor INT, temp FLOAT);
+		CREATE STREAM hot (sensor INT, temp FLOAT);
+		CREATE TABLE alarms (sensor INT, temp FLOAT);
+	`); err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range []*sstore.Procedure{
+		{
+			Name: "filter",
+			Handler: func(ctx *sstore.ProcCtx) error {
+				for _, r := range ctx.Batch {
+					if r[1].Float() > 90 {
+						if err := ctx.Emit("hot", r); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			},
+		},
+		{
+			Name: "record",
+			Handler: func(ctx *sstore.ProcCtx) error {
+				_, err := ctx.Exec("INSERT INTO alarms SELECT sensor, temp FROM batch")
+				return err
+			},
+		},
+	} {
+		if err := st.RegisterProcedure(p); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.Deploy(&sstore.Dataflow{
+		Name: "alarming",
+		Nodes: []sstore.DataflowNode{
+			{Proc: "filter", Input: "readings", Batch: 2, Emits: []string{"hot"}},
+			{Proc: "record", Input: "hot", Batch: 1},
+		},
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		log.Fatal(err)
+	}
+	defer st.Stop()
+
+	// Pause by name: tuples ingested now queue at the border.
+	if err := st.PauseDataflow("alarming"); err != nil {
+		log.Fatal(err)
+	}
+	for _, temp := range []float64{72, 95, 71, 99} {
+		if err := st.Ingest("readings", sstore.Row{sstore.Int(1), sstore.Float(temp)}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := st.ResumeDataflow("alarming"); err != nil { // queued batches dispatch
+		log.Fatal(err)
+	}
+	st.Drain()
+	res, err := st.Query("SELECT temp FROM alarms ORDER BY temp")
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range res.Rows {
+		fmt.Println(r[0].Float())
+	}
+	show, err := st.Query("SHOW DATAFLOWS")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(show.Rows[0][0].Str(), show.Rows[0][1].Str())
+	// Output:
+	// 95
+	// 99
+	// alarming running
+}

@@ -80,10 +80,17 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := st.BindStream("gps", "speed_check", 8); err != nil {
-		log.Fatal(err)
-	}
-	if err := st.BindStream("suspects", "file_alert", 1); err != nil {
+	// The two-stage workflow as one graph: gps is the border stream,
+	// suspects is interior (speed_check declares it emits there), and the
+	// deploy validator checks the shape — a typo'd stream, a second
+	// consumer, or a cycle is rejected before any partition is wired.
+	if err := st.Deploy(&sstore.Dataflow{
+		Name: "stolen_bikes",
+		Nodes: []sstore.DataflowNode{
+			{Proc: "speed_check", Input: "gps", Batch: 8, Emits: []string{"suspects"}},
+			{Proc: "file_alert", Input: "suspects", Batch: 1},
+		},
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := st.Start(); err != nil {

@@ -43,6 +43,11 @@ func build(dir string) *sstore.Store {
 	}); err != nil {
 		log.Fatal(err)
 	}
+	// Deliberately on the legacy single-edge API: BindStream is a compat
+	// shim that deploys an anonymous one-node dataflow ("bind_deposits"),
+	// so old wiring keeps working and still shows up in SHOW DATAFLOWS.
+	// New code should declare a Dataflow and call Deploy (see the other
+	// examples).
 	if err := st.BindStream("deposits", "apply_deposit", 1); err != nil {
 		log.Fatal(err)
 	}

@@ -25,13 +25,6 @@ func main() {
 	`); err != nil {
 		log.Fatal(err)
 	}
-	if err := st.CreateTrigger("trending", "last20",
-		"UPDATE trend SET n = n + 1 WHERE candidate IN (SELECT candidate FROM inserted)",
-		"UPDATE trend SET n = n - 1 WHERE candidate IN (SELECT candidate FROM expired)",
-	); err != nil {
-		log.Fatal(err)
-	}
-
 	validate := &sstore.Procedure{
 		Name:     "validate",
 		ReadSet:  []string{"candidates"},
@@ -96,10 +89,25 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	if err := st.BindStream("votes_in", "validate", 1); err != nil {
-		log.Fatal(err)
-	}
-	if err := st.BindStream("good_votes", "count", 1); err != nil {
+	// The validate → count workflow, its stream edges, and the trending
+	// window's EE trigger deploy together as one graph. Deploy also
+	// reports the forced-serial constraint (validate and count touch
+	// shared writable tables), visible via EXPLAIN DATAFLOW leaderboard.
+	if err := st.Deploy(&sstore.Dataflow{
+		Name: "leaderboard",
+		Nodes: []sstore.DataflowNode{
+			{Proc: "validate", Input: "votes_in", Batch: 1, Emits: []string{"good_votes"}},
+			{Proc: "count", Input: "good_votes", Batch: 1},
+		},
+		Triggers: []sstore.DataflowTrigger{{
+			Name:     "trending",
+			Relation: "last20",
+			Bodies: []string{
+				"UPDATE trend SET n = n + 1 WHERE candidate IN (SELECT candidate FROM inserted)",
+				"UPDATE trend SET n = n - 1 WHERE candidate IN (SELECT candidate FROM expired)",
+			},
+		}},
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := st.Start(); err != nil {

@@ -2,7 +2,8 @@
 // readings feeds a native sliding window; an EE trigger keeps a rolling
 // aggregate current inside the ingesting transaction, and a bound stored
 // procedure (PE trigger) records alarms for hot readings — no polling
-// anywhere.
+// anywhere. The whole pipeline is declared as one Dataflow and deployed
+// atomically.
 package main
 
 import (
@@ -24,17 +25,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// EE trigger: every time the 5-reading window changes, refresh the
-	// rolling average — inside the same transaction as the insert.
-	if err := st.CreateTrigger("roll", "recent",
-		"DELETE FROM rolling",
-		"INSERT INTO rolling SELECT 0, AVG(temp) FROM new",
-	); err != nil {
-		log.Fatal(err)
-	}
-
-	// PE trigger: each batch of readings becomes one transaction execution
-	// of `detect`, which files alarms for readings above threshold.
 	if err := st.RegisterProcedure(&sstore.Procedure{
 		Name: "detect",
 		Handler: func(ctx *sstore.ProcCtx) error {
@@ -45,7 +35,26 @@ func main() {
 	}); err != nil {
 		log.Fatal(err)
 	}
-	if err := st.BindStream("readings", "detect", 4); err != nil {
+
+	// One dataflow declares the whole pipeline: the PE trigger (each batch
+	// of 4 readings becomes one execution of `detect`) and the EE trigger
+	// (every time the 5-reading window changes, refresh the rolling
+	// average inside the same transaction as the insert). Deploy validates
+	// the graph as a unit before wiring anything.
+	if err := st.Deploy(&sstore.Dataflow{
+		Name: "monitor",
+		Nodes: []sstore.DataflowNode{
+			{Proc: "detect", Input: "readings", Batch: 4},
+		},
+		Triggers: []sstore.DataflowTrigger{{
+			Name:     "roll",
+			Relation: "recent",
+			Bodies: []string{
+				"DELETE FROM rolling",
+				"INSERT INTO rolling SELECT 0, AVG(temp) FROM new",
+			},
+		}},
+	}); err != nil {
 		log.Fatal(err)
 	}
 	if err := st.Start(); err != nil {

@@ -55,8 +55,13 @@ const DDL = `
 	CREATE WINDOW w_recent ON gps RANGE 10000000 SLIDE 1000000 TIMESTAMP ts;
 `
 
-// Setup installs schema, procedures, and workflow wiring, then seeds
-// stations/bikes/riders deterministically.
+// Setup installs schema and procedures, deploys the whole mixed workload
+// as one "bikeshare" dataflow graph, then seeds stations/bikes/riders
+// deterministically. The graph captures all three workload classes: the
+// GPS chain (gps → bs_gps → alert_s → bs_alert) is pure streaming, while
+// bs_checkout and bs_return are OLTP entry nodes that participate by
+// emitting station_events into the discount stage — the transactional
+// stream/OLTP combination the paper's §3.2 is about.
 func Setup(st *core.Store, stations, bikesPerStation, riders int) error {
 	if err := st.ExecScript(DDL); err != nil {
 		return err
@@ -69,13 +74,16 @@ func Setup(st *core.Store, stations, bikesPerStation, riders int) error {
 			return err
 		}
 	}
-	if err := st.BindStream("gps", "bs_gps", 16); err != nil {
-		return err
-	}
-	if err := st.BindStream("alert_s", "bs_alert", 1); err != nil {
-		return err
-	}
-	if err := st.BindStream("station_events", "bs_offer", 1); err != nil {
+	if err := st.Deploy(&core.Dataflow{
+		Name: "bikeshare",
+		Nodes: []core.DataflowNode{
+			{Proc: "bs_checkout", Emits: []string{"station_events"}},
+			{Proc: "bs_return", Emits: []string{"station_events"}},
+			{Proc: "bs_gps", Input: "gps", Batch: 16, Emits: []string{"alert_s"}},
+			{Proc: "bs_alert", Input: "alert_s", Batch: 1},
+			{Proc: "bs_offer", Input: "station_events", Batch: 1},
+		},
+	}); err != nil {
 		return err
 	}
 	return seed(st, stations, bikesPerStation, riders)

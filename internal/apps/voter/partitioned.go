@@ -44,22 +44,29 @@ func SetupPartitioned(st *core.Store, contestants int) error {
 			return err
 		}
 	}
-	if err := st.CreateTrigger("trend_maintain", "w_trend",
-		"UPDATE trending SET n = n + 1 WHERE contestant IN (SELECT contestant FROM inserted)",
-		"UPDATE trending SET n = n - 1 WHERE contestant IN (SELECT contestant FROM expired)",
-	); err != nil {
-		return err
-	}
 	if err := st.RegisterProcedure(sp1Partitioned()); err != nil {
 		return err
 	}
 	if err := st.RegisterProcedure(sp2Partitioned()); err != nil {
 		return err
 	}
-	if err := st.BindStream("votes_in", "sp1p_validate", 1); err != nil {
-		return err
-	}
-	return st.BindStream("validated", "sp2p_count", 1)
+	// One graph deployed to every partition; each hash shard runs it
+	// independently over its share of the vote feed.
+	return st.Deploy(&core.Dataflow{
+		Name: "voter_partitioned",
+		Nodes: []core.DataflowNode{
+			{Proc: "sp1p_validate", Input: "votes_in", Batch: 1, Emits: []string{"validated"}},
+			{Proc: "sp2p_count", Input: "validated", Batch: 1},
+		},
+		Triggers: []core.DataflowTrigger{{
+			Name:     "trend_maintain",
+			Relation: "w_trend",
+			Bodies: []string{
+				"UPDATE trending SET n = n + 1 WHERE contestant IN (SELECT contestant FROM inserted)",
+				"UPDATE trending SET n = n - 1 WHERE contestant IN (SELECT contestant FROM expired)",
+			},
+		}},
+	})
 }
 
 // sp1Partitioned validates a vote against partition-local state: the phone

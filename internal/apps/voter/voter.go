@@ -57,24 +57,13 @@ const streamDDL = `
 `
 
 // Setup installs the S-Store variant on a store: schema, the SP1→SP2→SP3
-// workflow (Fig. 3), the trending window, and its EE trigger.
+// workflow (Fig. 3) declared as one "voter" dataflow graph — nodes, stream
+// edges, the trending window's EE trigger — deployed atomically.
 func Setup(st *core.Store, contestants int) error {
 	if err := st.ExecScript(tableDDL + streamDDL); err != nil {
 		return err
 	}
 	if err := seedContestants(st, contestants); err != nil {
-		return err
-	}
-	// Trending leaderboard: maintained incrementally inside the inserting
-	// transaction from the window's deltas — votes entering the last-100
-	// window increment, votes expiring from it decrement. No polling, no
-	// client round trips, no recomputation (native windowing + EE
-	// triggers, §2). Rows are pre-seeded per contestant and SP3 removes a
-	// candidate's row at elimination.
-	if err := st.CreateTrigger("trend_maintain", "w_trend",
-		"UPDATE trending SET n = n + 1 WHERE contestant IN (SELECT contestant FROM inserted)",
-		"UPDATE trending SET n = n - 1 WHERE contestant IN (SELECT contestant FROM expired)",
-	); err != nil {
 		return err
 	}
 	if err := st.RegisterProcedure(sp1()); err != nil {
@@ -86,13 +75,29 @@ func Setup(st *core.Store, contestants int) error {
 	if err := st.RegisterProcedure(sp3()); err != nil {
 		return err
 	}
-	if err := st.BindStream("votes_in", "sp1_validate", 1); err != nil {
-		return err
-	}
-	if err := st.BindStream("validated", "sp2_leaderboard", 1); err != nil {
-		return err
-	}
-	return st.BindStream("removals", "sp3_eliminate", 1)
+	// The trending leaderboard trigger deploys with the graph: maintained
+	// incrementally inside the inserting transaction from the window's
+	// deltas — votes entering the last-100 window increment, votes expiring
+	// from it decrement. No polling, no client round trips, no
+	// recomputation (native windowing + EE triggers, §2). Rows are
+	// pre-seeded per contestant and SP3 removes a candidate's row at
+	// elimination.
+	return st.Deploy(&core.Dataflow{
+		Name: "voter",
+		Nodes: []core.DataflowNode{
+			{Proc: "sp1_validate", Input: "votes_in", Batch: 1, Emits: []string{"validated"}},
+			{Proc: "sp2_leaderboard", Input: "validated", Batch: 1, Emits: []string{"removals"}},
+			{Proc: "sp3_eliminate", Input: "removals", Batch: 1},
+		},
+		Triggers: []core.DataflowTrigger{{
+			Name:     "trend_maintain",
+			Relation: "w_trend",
+			Bodies: []string{
+				"UPDATE trending SET n = n + 1 WHERE contestant IN (SELECT contestant FROM inserted)",
+				"UPDATE trending SET n = n - 1 WHERE contestant IN (SELECT contestant FROM expired)",
+			},
+		}},
+	})
 }
 
 var contestantNames = []string{

@@ -109,15 +109,19 @@ func (r *Relation) SetPartitionColumn(name string) error {
 }
 
 // Catalog is the metadata root. It is mutated only during DDL (which the
-// partition engine serializes like any transaction) and read during
-// planning and execution.
+// partition engine serializes like any transaction) and dataflow
+// deployment, and read during planning and execution.
 type Catalog struct {
-	rels map[string]*Relation
+	rels      map[string]*Relation
+	dataflows map[string]*Dataflow
 }
 
 // New returns an empty catalog.
 func New() *Catalog {
-	return &Catalog{rels: make(map[string]*Relation)}
+	return &Catalog{
+		rels:      make(map[string]*Relation),
+		dataflows: make(map[string]*Dataflow),
+	}
 }
 
 func key(name string) string { return strings.ToLower(name) }

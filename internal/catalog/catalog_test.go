@@ -178,3 +178,63 @@ func TestPartitionColumnMetadata(t *testing.T) {
 		t.Fatal("window PARTITION BY accepted")
 	}
 }
+
+func TestDataflowGraphHelpers(t *testing.T) {
+	df := &Dataflow{
+		Name: "g",
+		Nodes: []DataflowNode{
+			{Proc: "oltp", Emits: []string{"a"}},
+			{Proc: "p1", Input: "in", Batch: 4, Emits: []string{"a"}},
+			{Proc: "p2", Input: "a", Batch: 1, Emits: []string{"b"}},
+			{Proc: "p3", Input: "b", Batch: 1},
+		},
+	}
+	if got := df.BorderStreams(); len(got) != 1 || got[0] != "in" {
+		t.Fatalf("BorderStreams = %v, want [in]", got)
+	}
+	if got := df.InteriorStreams(); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Fatalf("InteriorStreams = %v, want [a b]", got)
+	}
+	if got := df.NumEdges(); got != 6 { // 3 consumed inputs + 3 emits
+		t.Fatalf("NumEdges = %d, want 6", got)
+	}
+	if cyc := df.FindCycle(); cyc != nil {
+		t.Fatalf("acyclic graph reported cycle %v", cyc)
+	}
+	// Close the loop: p3 feeds back into p1's input.
+	df.Nodes[3].Emits = []string{"in"}
+	cyc := df.FindCycle()
+	if cyc == nil {
+		t.Fatal("cycle not detected")
+	}
+	if cyc[0] != cyc[len(cyc)-1] {
+		t.Fatalf("cycle %v does not close", cyc)
+	}
+}
+
+func TestDataflowRegistry(t *testing.T) {
+	c := New()
+	if err := c.RegisterDataflow(&Dataflow{Name: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterDataflow(&Dataflow{Name: "A"}); err == nil {
+		t.Fatal("case-insensitive duplicate accepted")
+	}
+	if err := c.RegisterDataflow(&Dataflow{}); err == nil {
+		t.Fatal("unnamed dataflow accepted")
+	}
+	if c.Dataflow("A") == nil {
+		t.Fatal("case-insensitive lookup failed")
+	}
+	if err := c.RegisterDataflow(&Dataflow{Name: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	dfs := c.Dataflows()
+	if len(dfs) != 2 || dfs[0].Name != "a" || dfs[1].Name != "b" {
+		t.Fatalf("Dataflows = %v", dfs)
+	}
+	c.UnregisterDataflow("a")
+	if c.Dataflow("a") != nil {
+		t.Fatal("unregister failed")
+	}
+}

@@ -110,6 +110,40 @@ func (c *TCP) Explain(sqlText string) (string, error) {
 	return resp.Rows[0][0].Str(), nil
 }
 
+// Dataflows returns the server's SHOW DATAFLOWS listing: one row per
+// deployed graph with its shape, lifecycle state, and counters.
+func (c *TCP) Dataflows() (*wire.Response, error) {
+	return c.roundTrip(&wire.Request{Kind: wire.MsgDataflows})
+}
+
+// ExplainDataflow returns the server's rendering of a deployed dataflow
+// graph (nodes, edges, border/interior classification, constraints).
+func (c *TCP) ExplainDataflow(name string) (string, error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgDataflows, Target: name})
+	if err != nil {
+		return "", err
+	}
+	if len(resp.Rows) == 0 {
+		return "", fmt.Errorf("client: empty dataflow response")
+	}
+	return resp.Rows[0][0].Str(), nil
+}
+
+// PauseDataflow pauses the named dataflow on the server (drain semantics;
+// see core.Store.PauseDataflow).
+func (c *TCP) PauseDataflow(name string) error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgDataflowCtl, Target: name,
+		Params: types.Row{types.NewString("pause")}})
+	return err
+}
+
+// ResumeDataflow resumes the named dataflow on the server.
+func (c *TCP) ResumeDataflow(name string) error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgDataflowCtl, Target: name,
+		Params: types.Row{types.NewString("resume")}})
+	return err
+}
+
 // Ping checks liveness.
 func (c *TCP) Ping() error {
 	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgPing})
@@ -179,6 +213,31 @@ func (c *Loopback) Exec(sqlText string, params ...types.Value) (*wire.Response, 
 	}
 	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
 		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
+}
+
+// Dataflows mirrors TCP.Dataflows over the in-process store.
+func (c *Loopback) Dataflows() (*wire.Response, error) {
+	c.charge()
+	res := c.St.DataflowsResult()
+	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns, Rows: res.Rows}, nil
+}
+
+// ExplainDataflow mirrors TCP.ExplainDataflow.
+func (c *Loopback) ExplainDataflow(name string) (string, error) {
+	c.charge()
+	return c.St.ExplainDataflow(name)
+}
+
+// PauseDataflow mirrors TCP.PauseDataflow.
+func (c *Loopback) PauseDataflow(name string) error {
+	c.charge()
+	return c.St.PauseDataflow(name)
+}
+
+// ResumeDataflow mirrors TCP.ResumeDataflow.
+func (c *Loopback) ResumeDataflow(name string) error {
+	c.charge()
+	return c.St.ResumeDataflow(name)
 }
 
 // Flush implements Conn.

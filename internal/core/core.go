@@ -210,6 +210,20 @@ type Store struct {
 	// runtime DDL (broadcast through Exec), which mutates the catalog maps
 	// on the partition workers while clients are routing.
 	routeMu sync.RWMutex
+	// deployMu serializes dataflow deployment and lifecycle transitions
+	// (Deploy / PauseDataflow / ResumeDataflow) against each other, so two
+	// concurrent deploys cannot both pass validation and double-wire a
+	// stream. Never held while routeMu is already held.
+	deployMu sync.Mutex
+	// pauseGateMu serializes spanning ingest into paused dataflows: the
+	// router checks the store-wide backlog bound and forwards the hash
+	// shares under it, so a batch queues or rejects as a unit instead of
+	// some partitions accepting their share before another rejects.
+	pauseGateMu sync.Mutex
+	// pausedStreams maps each paused graph's consumed streams (lowercased)
+	// to the graph name — the router's pause-gate index, maintained by
+	// PauseDataflow / ResumeDataflow under routeMu.
+	pausedStreams map[string]string
 	// recovered is set once Recover completed for every partition;
 	// recoverErr poisons the store after a partial recovery, which cannot
 	// be retried (replayed partitions would replay twice).
@@ -280,14 +294,18 @@ func (s *Store) ExecScript(ddl string) error {
 }
 
 // CreateTrigger registers an EE trigger on every partition (see
-// ee.Engine.CreateTrigger).
+// ee.Engine.CreateTrigger). Compat shim: it deploys an anonymous
+// trigger-only dataflow named "trigger_<relation>_<name>", so the trigger
+// is validated before any partition is touched and shows up in
+// SHOW DATAFLOWS like any declared graph.
 func (s *Store) CreateTrigger(name, relation string, bodies ...string) error {
-	for _, p := range s.parts {
-		if err := p.ee.CreateTrigger(name, relation, bodies...); err != nil {
-			return err
-		}
-	}
-	return nil
+	return s.Deploy(&Dataflow{
+		Name: "trigger_" + strings.ToLower(relation) + "_" + strings.ToLower(name),
+		Anon: true,
+		Triggers: []DataflowTrigger{
+			{Name: name, Relation: relation, Bodies: bodies},
+		},
+	})
 }
 
 // RegisterProcedure adds a stored procedure to every partition.
@@ -303,13 +321,22 @@ func (s *Store) RegisterProcedure(proc *pe.Procedure) error {
 // BindStream wires a PE trigger on every partition: tuples on stream become
 // batches of batchSize for proc. On a PARTITION BY stream each partition
 // consumes only its hash share.
+//
+// Compat shim: it deploys a single-edge anonymous dataflow named
+// "bind_<stream>", preserving the legacy clamp of batchSize < 1 to 1 (the
+// Dataflow API rejects invalid batch sizes instead). Prefer declaring the
+// whole workflow as one Dataflow and calling Deploy.
 func (s *Store) BindStream(stream, proc string, batchSize int) error {
-	for _, p := range s.parts {
-		if err := p.pe.BindStream(stream, proc, batchSize); err != nil {
-			return err
-		}
+	if batchSize < 1 {
+		batchSize = 1 // documented legacy clamp
 	}
-	return nil
+	return s.Deploy(&Dataflow{
+		Name: "bind_" + strings.ToLower(stream),
+		Anon: true,
+		Nodes: []DataflowNode{
+			{Proc: proc, Input: stream, Batch: batchSize},
+		},
+	})
 }
 
 // Recover restores state from the durability directory: for each partition,
@@ -546,7 +573,13 @@ func (s *Store) FlushBatches() {
 // statement (access paths, join order, grouping). Planning runs on
 // partition 0's goroutine — all partitions share the same schema, so the
 // plan is representative — and never races with execution.
+// "EXPLAIN DATAFLOW <name>" shapes (the leading EXPLAIN already stripped
+// by the caller) render the named dataflow graph instead.
 func (s *Store) Explain(sqlText string) (string, error) {
+	if fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sqlText), ";")); len(fields) == 2 &&
+		strings.EqualFold(fields[0], "DATAFLOW") {
+		return s.ExplainDataflow(fields[1])
+	}
 	var out string
 	err := s.parts[0].pe.RunExclusive(func() error {
 		var err error

@@ -1,0 +1,429 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+// This file is the dataflow-graph deployment layer: the declarative
+// workflow API of the paper's §3 made first-class. An application declares
+// a whole graph — procedure nodes, stream edges with batch sizes, EE
+// triggers — as one Dataflow value and deploys it atomically with
+// Store.Deploy: the graph is validated in full before any partition is
+// touched (unknown streams/procedures, duplicate consumers, cycles,
+// invalid batch sizes, trigger compilation), the forced-serial constraint
+// over shared writable tables is computed as a deploy-time report, and
+// only then is the wiring fanned out to every partition replica and the
+// graph registered in each catalog, where it stays introspectable
+// (SHOW DATAFLOWS, EXPLAIN DATAFLOW <name>) and addressable by name for
+// the pause/resume lifecycle.
+
+// Dataflow is the declarative workflow graph deployed by Store.Deploy.
+type Dataflow = catalog.Dataflow
+
+// DataflowNode is one procedure node of a Dataflow.
+type DataflowNode = catalog.DataflowNode
+
+// DataflowTrigger is one EE trigger deployed with a Dataflow.
+type DataflowTrigger = catalog.DataflowTrigger
+
+// Deploy validates the whole graph against the catalog and the registered
+// procedures, then wires it onto every partition atomically: a graph that
+// fails validation leaves no partition partially wired. On a started
+// store the wiring is applied under an all-partition barrier, so running
+// transactions never observe a half-deployed graph.
+func (s *Store) Deploy(df *Dataflow) error {
+	if df == nil || df.Name == "" {
+		return fmt.Errorf("core: deploy: dataflow needs a name")
+	}
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	norm, err := s.validateDataflow(df)
+	if err != nil {
+		return fmt.Errorf("core: deploy %q: %w", df.Name, err)
+	}
+	if s.parts[0].pe.Started() {
+		return s.runExclusiveAll(func() error { return s.applyDataflow(norm) })
+	}
+	return s.applyDataflow(norm)
+}
+
+// validateDataflow checks the graph as a whole against partition 0 (every
+// partition is an identical replica) and returns a normalized copy —
+// canonical relation/procedure names, computed SerialTables — ready to
+// register. The caller holds deployMu.
+func (s *Store) validateDataflow(df *Dataflow) (*Dataflow, error) {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	p0 := s.parts[0]
+	if p0.cat.Dataflow(df.Name) != nil {
+		return nil, fmt.Errorf("dataflow %q already deployed", df.Name)
+	}
+	if len(df.Nodes) == 0 && len(df.Triggers) == 0 {
+		return nil, fmt.Errorf("a dataflow needs at least one node or trigger")
+	}
+	norm := &Dataflow{Name: df.Name, Anon: df.Anon}
+	consumers := map[string]string{} // stream key -> consuming proc
+	procSeen := map[string]bool{}
+	var procs []*pe.Procedure
+	for _, n := range df.Nodes {
+		p := p0.pe.Procedure(n.Proc)
+		if p == nil {
+			return nil, fmt.Errorf("unknown procedure %q", n.Proc)
+		}
+		if procSeen[strings.ToLower(p.Name)] {
+			return nil, fmt.Errorf("procedure %q appears in more than one node", p.Name)
+		}
+		procSeen[strings.ToLower(p.Name)] = true
+		procs = append(procs, p)
+		nn := DataflowNode{Proc: p.Name, Batch: n.Batch}
+		if n.Input == "" {
+			if n.Batch != 0 {
+				return nil, fmt.Errorf("node %q has no input stream but declares batch size %d", p.Name, n.Batch)
+			}
+		} else {
+			if s.cfg.HStoreMode {
+				return nil, fmt.Errorf("stream bindings are an S-Store feature; the store is in H-Store mode")
+			}
+			rel := p0.cat.Relation(n.Input)
+			if rel == nil {
+				return nil, fmt.Errorf("node %q consumes unknown stream %q", p.Name, n.Input)
+			}
+			if rel.Kind != catalog.KindStream {
+				return nil, fmt.Errorf("node %q input %q is a %s; dataflow edges connect streams", p.Name, n.Input, rel.Kind)
+			}
+			if n.Batch < 1 {
+				return nil, fmt.Errorf("node %q: batch size %d for stream %q is invalid (must be >= 1)", p.Name, n.Batch, rel.Name)
+			}
+			k := strings.ToLower(rel.Name)
+			if prev, dup := consumers[k]; dup {
+				return nil, fmt.Errorf("stream %q already has a consumer in the graph (%s); a stream feeds at most one procedure", rel.Name, prev)
+			}
+			consumers[k] = p.Name
+			if g, bound := p0.pe.BoundGraph(rel.Name); bound {
+				if g == "" {
+					return nil, fmt.Errorf("stream %q already has a consumer (direct BindStream)", rel.Name)
+				}
+				return nil, fmt.Errorf("stream %q already has a consumer in dataflow %q", rel.Name, g)
+			}
+			nn.Input = rel.Name
+		}
+		for _, em := range n.Emits {
+			rel := p0.cat.Relation(em)
+			if rel == nil {
+				return nil, fmt.Errorf("node %q emits to unknown stream %q", p.Name, em)
+			}
+			if rel.Kind != catalog.KindStream {
+				return nil, fmt.Errorf("node %q emits to %q, a %s; only streams carry dataflow edges", p.Name, em, rel.Kind)
+			}
+			nn.Emits = append(nn.Emits, rel.Name)
+		}
+		norm.Nodes = append(norm.Nodes, nn)
+	}
+	if cyc := norm.FindCycle(); cyc != nil {
+		return nil, fmt.Errorf("dataflow has a cycle: %s", strings.Join(cyc, " -> "))
+	}
+	trigSeen := map[string]bool{}
+	for _, t := range df.Triggers {
+		if t.Name == "" {
+			return nil, fmt.Errorf("EE trigger needs a name")
+		}
+		if len(t.Bodies) == 0 {
+			return nil, fmt.Errorf("EE trigger %q needs at least one body statement", t.Name)
+		}
+		tk := strings.ToLower(t.Relation) + "\x00" + t.Name
+		if trigSeen[tk] {
+			return nil, fmt.Errorf("EE trigger %q on %q declared twice", t.Name, t.Relation)
+		}
+		trigSeen[tk] = true
+		if err := p0.ee.CheckTrigger(t.Name, t.Relation, t.Bodies...); err != nil {
+			return nil, err
+		}
+		rel := p0.cat.Relation(t.Relation)
+		norm.Triggers = append(norm.Triggers, DataflowTrigger{
+			Name: t.Name, Relation: rel.Name, Bodies: append([]string(nil), t.Bodies...),
+		})
+	}
+	// The paper's forced-serial constraint, surfaced at deploy time: tables
+	// writable by one node and touched by another force the workflow's
+	// procedures to execute serially. ModeWorkflowSerial provides that
+	// schedule; ModeFIFO cannot, so such a graph is rejected outright.
+	norm.SerialTables = pe.SharedWritableTables(procs)
+	if len(norm.SerialTables) > 0 && s.cfg.Mode == pe.ModeFIFO && !s.cfg.ForceUnsafe {
+		return nil, fmt.Errorf("nodes share writable tables %v, which requires serial workflow execution; "+
+			"ModeFIFO would violate it (use ModeWorkflowSerial)", norm.SerialTables)
+	}
+	return norm, nil
+}
+
+// applyDataflow wires a validated graph onto every partition and registers
+// it in each catalog replica. A failure on any partition (which validation
+// should have made impossible) unwinds the partitions already wired, so
+// the deploy is all-or-nothing.
+func (s *Store) applyDataflow(df *Dataflow) error {
+	for i, p := range s.parts {
+		if err := deployOnPartition(p, df); err != nil {
+			for _, q := range s.parts[:i+1] {
+				undeployFromPartition(q, df)
+			}
+			return fmt.Errorf("core: deploy %q on partition %d: %w", df.Name, p.idx, err)
+		}
+	}
+	s.routeMu.Lock()
+	defer s.routeMu.Unlock()
+	for _, p := range s.parts {
+		// Every partition registers the same *Dataflow, so lifecycle state
+		// (Paused) stays consistent across replicas.
+		if err := p.cat.RegisterDataflow(df); err != nil {
+			return err // unreachable after validation; deployMu serializes deploys
+		}
+	}
+	return nil
+}
+
+func deployOnPartition(p *partition, df *Dataflow) error {
+	for _, t := range df.Triggers {
+		if err := p.ee.CreateTrigger(t.Name, t.Relation, t.Bodies...); err != nil {
+			return err
+		}
+	}
+	for _, n := range df.Nodes {
+		if n.Input == "" {
+			continue
+		}
+		if err := p.pe.BindStreamGraph(df.Name, n.Input, n.Proc, n.Batch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func undeployFromPartition(p *partition, df *Dataflow) {
+	for _, t := range df.Triggers {
+		_ = p.ee.DropTrigger(t.Name, true)
+	}
+	for _, n := range df.Nodes {
+		if n.Input != "" {
+			p.pe.UnbindStream(n.Input)
+		}
+	}
+	p.cat.UnregisterDataflow(df.Name)
+}
+
+// dataflowByName resolves a deployed graph under the router lock.
+func (s *Store) dataflowByName(name string) *Dataflow {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.parts[0].cat.Dataflow(name)
+}
+
+// pausedGraphOf reports the paused dataflow consuming a stream, or ""
+// when its graph is running (or the stream is unbound) — the router's
+// pause-gate lookup. Backed by the pausedStreams map Pause/Resume
+// maintain, so the common nothing-paused case is one nil-map read under
+// the RLock the router holds anyway.
+func (s *Store) pausedGraphOf(stream string) string {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.pausedStreams[strings.ToLower(stream)]
+}
+
+// PauseDataflow halts a graph with drain semantics: the pause gate cuts
+// the graph at every stream edge — border ingest queues (bounded; see
+// pe.Engine.Ingest) and PE-triggered emissions into its streams defer —
+// then PauseDataflow waits for the graph's admitted executions to finish
+// on every partition. Other graphs keep running; the wait is scoped to
+// this graph's in-flight work, not the whole partition. Pause state is
+// not durable: a recovered store starts every graph running.
+func (s *Store) PauseDataflow(name string) error {
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	df := s.dataflowByName(name)
+	if df == nil {
+		return fmt.Errorf("core: unknown dataflow %q", name)
+	}
+	s.routeMu.RLock()
+	paused := df.Paused
+	s.routeMu.RUnlock()
+	if paused {
+		return nil
+	}
+	for _, p := range s.parts {
+		p.pe.PauseGraph(df.Name)
+	}
+	// Publish the paused state before waiting out the drain: the router's
+	// spanning-ingest gate keys off it, and the per-partition gates are
+	// already set, so ingest arriving during the drain must take the
+	// store-wide queue-or-reject path too.
+	s.routeMu.Lock()
+	df.Paused = true
+	if s.pausedStreams == nil {
+		s.pausedStreams = make(map[string]string)
+	}
+	for _, n := range df.Nodes {
+		if n.Input != "" {
+			s.pausedStreams[strings.ToLower(n.Input)] = df.Name
+		}
+	}
+	s.routeMu.Unlock()
+	for _, p := range s.parts {
+		p.pe.WaitGraphIdle(df.Name)
+	}
+	return nil
+}
+
+// ResumeDataflow lifts a graph's pause gate on every partition and
+// dispatches the batches that queued while it was down — no tuple ingested
+// during the pause is lost.
+func (s *Store) ResumeDataflow(name string) error {
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	df := s.dataflowByName(name)
+	if df == nil {
+		return fmt.Errorf("core: unknown dataflow %q", name)
+	}
+	for _, p := range s.parts {
+		if err := p.pe.ResumeGraph(df.Name); err != nil {
+			return err
+		}
+	}
+	s.routeMu.Lock()
+	df.Paused = false
+	for _, n := range df.Nodes {
+		if n.Input != "" {
+			delete(s.pausedStreams, strings.ToLower(n.Input))
+		}
+	}
+	s.routeMu.Unlock()
+	return nil
+}
+
+// Dataflows lists the deployed graphs, sorted by name. The returned values
+// are the live catalog entries; treat them as read-only.
+func (s *Store) Dataflows() []*Dataflow {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.parts[0].cat.Dataflows()
+}
+
+// DataflowsResult renders SHOW DATAFLOWS: one row per deployed graph with
+// its shape, lifecycle state, and per-graph counters.
+func (s *Store) DataflowsResult() *pe.Result {
+	res := &pe.Result{Columns: []string{
+		"name", "state", "nodes", "edges", "triggers", "batches", "triggered", "p50_us", "p99_us",
+	}}
+	for _, df := range s.Dataflows() {
+		state := "running"
+		s.routeMu.RLock()
+		if df.Paused {
+			state = "paused"
+		}
+		s.routeMu.RUnlock()
+		gs := s.met.Graph(df.Name)
+		res.Rows = append(res.Rows, types.Row{
+			types.NewString(df.Name),
+			types.NewString(state),
+			types.NewInt(int64(len(df.Nodes))),
+			types.NewInt(int64(df.NumEdges())),
+			types.NewInt(int64(len(df.Triggers))),
+			types.NewInt(gs.Batches.Load()),
+			types.NewInt(gs.Triggered.Load()),
+			types.NewInt(gs.Latency().Quantile(0.50).Microseconds()),
+			types.NewInt(gs.Latency().Quantile(0.99).Microseconds()),
+		})
+	}
+	return res
+}
+
+// ExplainDataflow renders a deployed graph: nodes, edges, border/interior
+// classification, EE triggers, the ordering constraints the engine
+// enforces for it, and its live counters.
+func (s *Store) ExplainDataflow(name string) (string, error) {
+	df := s.dataflowByName(name)
+	if df == nil {
+		return "", fmt.Errorf("core: unknown dataflow %q", name)
+	}
+	s.routeMu.RLock()
+	paused := df.Paused
+	s.routeMu.RUnlock()
+	var b strings.Builder
+	state := "running"
+	if paused {
+		state = "paused"
+	}
+	kind := ""
+	if df.Anon {
+		kind = ", compat shim"
+	}
+	fmt.Fprintf(&b, "DATAFLOW %s (%s%s)\n", df.Name, state, kind)
+	prod := df.Producers()
+	if len(df.Nodes) > 0 {
+		fmt.Fprintf(&b, "  nodes:\n")
+		for _, n := range df.Nodes {
+			switch {
+			case n.Input == "":
+				fmt.Fprintf(&b, "    %-20s (OLTP entry)", n.Proc)
+			case len(prod[strings.ToLower(n.Input)]) == 0:
+				fmt.Fprintf(&b, "    %-20s <- %s [batch %d] (border)", n.Proc, n.Input, n.Batch)
+			default:
+				fmt.Fprintf(&b, "    %-20s <- %s [batch %d] (interior, from %s)",
+					n.Proc, n.Input, n.Batch, strings.Join(prod[strings.ToLower(n.Input)], ", "))
+			}
+			if len(n.Emits) > 0 {
+				fmt.Fprintf(&b, "  emits -> %s", strings.Join(n.Emits, ", "))
+			}
+			b.WriteString("\n")
+		}
+	}
+	if border := df.BorderStreams(); len(border) > 0 {
+		fmt.Fprintf(&b, "  border streams  : %s\n", strings.Join(border, ", "))
+	}
+	if interior := df.InteriorStreams(); len(interior) > 0 {
+		fmt.Fprintf(&b, "  interior streams: %s\n", strings.Join(interior, ", "))
+	}
+	if len(df.Triggers) > 0 {
+		fmt.Fprintf(&b, "  EE triggers:\n")
+		for _, t := range df.Triggers {
+			fmt.Fprintf(&b, "    %s ON %s (%d statements)\n", t.Name, t.Relation, len(t.Bodies))
+		}
+	}
+	fmt.Fprintf(&b, "  ordering constraints:\n")
+	fmt.Fprintf(&b, "    - natural order: border batches execute in per-partition arrival order\n")
+	if s.cfg.Mode == pe.ModeWorkflowSerial {
+		fmt.Fprintf(&b, "    - workflow order: triggered executions run before pending border work\n")
+	}
+	if len(df.SerialTables) > 0 {
+		fmt.Fprintf(&b, "    - serial execution forced: nodes share writable tables [%s]\n",
+			strings.Join(df.SerialTables, ", "))
+	}
+	gs := s.met.Graph(df.Name)
+	fmt.Fprintf(&b, "  stats: batches=%d triggered=%d latency p50=%s p99=%s\n",
+		gs.Batches.Load(), gs.Triggered.Load(),
+		gs.Latency().Quantile(0.50).Round(time.Microsecond),
+		gs.Latency().Quantile(0.99).Round(time.Microsecond))
+	return b.String(), nil
+}
+
+// dataflowStatement intercepts the dataflow introspection statements —
+// SHOW DATAFLOWS and EXPLAIN DATAFLOW <name> — ahead of SQL parsing, so
+// they work through Query and therefore through any wire client.
+func (s *Store) dataflowStatement(sqlText string) (*pe.Result, bool, error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sqlText), ";"))
+	switch {
+	case len(fields) == 2 && strings.EqualFold(fields[0], "SHOW") && strings.EqualFold(fields[1], "DATAFLOWS"):
+		return s.DataflowsResult(), true, nil
+	case len(fields) == 3 && strings.EqualFold(fields[0], "EXPLAIN") && strings.EqualFold(fields[1], "DATAFLOW"):
+		text, err := s.ExplainDataflow(fields[2])
+		if err != nil {
+			return nil, true, err
+		}
+		return &pe.Result{Columns: []string{"dataflow"},
+			Rows: []types.Row{{types.NewString(text)}}}, true, nil
+	}
+	return nil, false, nil
+}

@@ -1,0 +1,671 @@
+package core
+
+import (
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+const dfDDL = `
+	CREATE TABLE sink (k INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY k;
+	CREATE STREAM feed (k INT, amt BIGINT) PARTITION BY k;
+	CREATE STREAM mid (k INT, amt BIGINT) PARTITION BY k;
+`
+
+// dfStore builds a store with a two-stage absorb pipeline's schema and
+// procedures registered but nothing deployed.
+func dfStore(t testing.TB, cfg Config) *Store {
+	t.Helper()
+	st := Open(cfg)
+	if err := st.ExecScript(dfDDL); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "df_stage1",
+		WriteSet: []string{"mid"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				if err := ctx.Emit("mid", r); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "df_stage2",
+		WriteSet: []string{"sink"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				res, err := ctx.Exec("UPDATE sink SET n = n + ? WHERE k = ?", r[1], r[0])
+				if err != nil {
+					return err
+				}
+				if res.RowsAffected == 0 {
+					if _, err := ctx.Exec("INSERT INTO sink VALUES (?, ?)", r[0], r[1]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func pipelineDF() *Dataflow {
+	return &Dataflow{
+		Name: "pipeline",
+		Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 2, Emits: []string{"mid"}},
+			{Proc: "df_stage2", Input: "mid", Batch: 1},
+		},
+	}
+}
+
+// TestDeployValidation drives every whole-graph check and then proves the
+// rejected deploys left no partition partially wired: after all the
+// failures, ingest still reports the stream unbound on every partition and
+// the corrected graph deploys cleanly.
+func TestDeployValidation(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	bad := []struct {
+		name string
+		df   *Dataflow
+		want string
+	}{
+		{"no name", &Dataflow{}, "needs a name"},
+		{"empty graph", &Dataflow{Name: "empty"}, "at least one node"},
+		{"unknown proc", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "nosuch", Input: "feed", Batch: 1}}}, "unknown procedure"},
+		{"unknown stream", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "nosuch", Batch: 1}}}, "unknown stream"},
+		{"table as input", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "sink", Batch: 1}}}, "is a TABLE"},
+		{"bad batch", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 0}}}, "batch size 0"},
+		{"negative batch", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: -3}}}, "batch size -3"},
+		{"batch without input", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Batch: 4}}}, "no input stream but declares batch size"},
+		{"double consumer", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 1},
+			{Proc: "df_stage2", Input: "feed", Batch: 1}}}, "already has a consumer in the graph"},
+		{"duplicate node proc", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 1},
+			{Proc: "df_stage1", Input: "mid", Batch: 1}}}, "more than one node"},
+		{"unknown emit", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 1, Emits: []string{"nosuch"}}}}, "unknown stream"},
+		{"cycle", &Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "df_stage1", Input: "feed", Batch: 1, Emits: []string{"mid"}},
+			{Proc: "df_stage2", Input: "mid", Batch: 1, Emits: []string{"feed"}}}}, "cycle"},
+		{"unknown trigger relation", &Dataflow{Name: "g", Triggers: []DataflowTrigger{
+			{Name: "tg", Relation: "nosuch", Bodies: []string{"DELETE FROM sink"}}}}, "does not exist"},
+		{"trigger without body", &Dataflow{Name: "g", Triggers: []DataflowTrigger{
+			{Name: "tg", Relation: "feed"}}}, "at least one body"},
+		{"bad trigger body", &Dataflow{Name: "g", Triggers: []DataflowTrigger{
+			{Name: "tg", Relation: "feed", Bodies: []string{"INSERT INTO nosuch SELECT * FROM new"}}}}, "body"},
+	}
+	for _, tc := range bad {
+		err := st.Deploy(tc.df)
+		if err == nil {
+			t.Fatalf("%s: deploy succeeded, want error containing %q", tc.name, tc.want)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not contain %q", tc.name, err, tc.want)
+		}
+	}
+	// Nothing was wired by any failed attempt, on any partition.
+	for i := 0; i < st.NumPartitions(); i++ {
+		for _, stream := range []string{"feed", "mid"} {
+			if err := st.PEAt(i).Ingest(stream, types.Row{types.NewInt(1), types.NewInt(1)}); err == nil ||
+				!strings.Contains(err.Error(), "no bound procedure") {
+				t.Fatalf("partition %d: stream %s unexpectedly wired after failed deploys: %v", i, stream, err)
+			}
+		}
+	}
+	if got := len(st.Dataflows()); got != 0 {
+		t.Fatalf("failed deploys left %d dataflows registered", got)
+	}
+	// The corrected graph deploys cleanly over the same names.
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatalf("corrected deploy: %v", err)
+	}
+	if err := st.Deploy(pipelineDF()); err == nil || !strings.Contains(err.Error(), "already deployed") {
+		t.Fatalf("duplicate graph name not rejected: %v", err)
+	}
+	// Streams consumed by a deployed graph cannot be claimed again.
+	err := st.Deploy(&Dataflow{Name: "rival", Nodes: []DataflowNode{
+		{Proc: "df_stage2", Input: "feed", Batch: 1}}})
+	if err == nil || !strings.Contains(err.Error(), `in dataflow "pipeline"`) {
+		t.Fatalf("cross-graph double consumer not rejected: %v", err)
+	}
+}
+
+// TestDeployRunsEndToEnd deploys the two-stage pipeline on a partitioned
+// store and checks the per-graph counters and catalog introspection.
+func TestDeployRunsEndToEnd(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	for i := 0; i < 10; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	res, err := st.Query("SELECT SUM(n) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("sink sum = %d, want 10", got)
+	}
+	gs := st.Metrics().Graph("pipeline")
+	if gs.Batches.Load() == 0 || gs.Triggered.Load() == 0 {
+		t.Fatalf("graph counters not maintained: batches=%d triggered=%d",
+			gs.Batches.Load(), gs.Triggered.Load())
+	}
+	if gs.Latency().Count() == 0 {
+		t.Fatal("graph latency histogram empty")
+	}
+
+	// SHOW DATAFLOWS through the ad-hoc query path.
+	show, err := st.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(show.Rows) != 1 || show.Rows[0][0].Str() != "pipeline" {
+		t.Fatalf("SHOW DATAFLOWS rows: %v", show.Rows)
+	}
+	if state := show.Rows[0][1].Str(); state != "running" {
+		t.Fatalf("state = %q, want running", state)
+	}
+
+	// EXPLAIN DATAFLOW renders nodes, classification, and constraints.
+	exp, err := st.Query("EXPLAIN DATAFLOW pipeline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := exp.Rows[0][0].Str()
+	for _, want := range []string{
+		"df_stage1", "<- feed [batch 2] (border)",
+		"df_stage2", "<- mid [batch 1] (interior, from df_stage1)",
+		"border streams  : feed",
+		"interior streams: mid",
+		"natural order",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explain output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestDeploySerialConstraintReport checks the deploy-time shared-writable
+// report, and that ModeFIFO rejects such a graph outright.
+func TestDeploySerialConstraintReport(t *testing.T) {
+	build := func(cfg Config) (*Store, error) {
+		st := Open(cfg)
+		if err := st.ExecScript(`
+			CREATE TABLE shared (k INT PRIMARY KEY, n BIGINT DEFAULT 0);
+			CREATE STREAM a (k INT);
+			CREATE STREAM b (k INT);
+		`); err != nil {
+			t.Fatal(err)
+		}
+		for _, name := range []string{"w1", "w2"} {
+			if err := st.RegisterProcedure(&pe.Procedure{
+				Name:     name,
+				WriteSet: []string{"shared"},
+				Handler:  func(ctx *pe.ProcCtx) error { return nil },
+			}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return st, st.Deploy(&Dataflow{Name: "g", Nodes: []DataflowNode{
+			{Proc: "w1", Input: "a", Batch: 1, Emits: []string{"b"}},
+			{Proc: "w2", Input: "b", Batch: 1},
+		}})
+	}
+	st, err := build(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	df := st.Dataflows()[0]
+	if len(df.SerialTables) != 1 || df.SerialTables[0] != "shared" {
+		t.Fatalf("SerialTables = %v, want [shared]", df.SerialTables)
+	}
+	text, err := st.ExplainDataflow("g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(text, "serial execution forced") || !strings.Contains(text, "shared") {
+		t.Fatalf("explain missing serial constraint:\n%s", text)
+	}
+	if _, err := build(Config{Mode: pe.ModeFIFO}); err == nil ||
+		!strings.Contains(err.Error(), "serial") {
+		t.Fatalf("ModeFIFO deploy over shared writable tables not rejected: %v", err)
+	}
+}
+
+// TestPauseResumeLosesNoBatches hammers a paused/resumed graph with
+// concurrent ingest and checks every tuple is eventually processed exactly
+// once (run under -race in CI).
+func TestPauseResumeLosesNoBatches(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	const (
+		writers  = 4
+		perWrite = 200
+	)
+	var sent atomic.Int64
+	var writerWG, pauserWG sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		writerWG.Add(1)
+		go func(w int) {
+			defer writerWG.Done()
+			for i := 0; i < perWrite; i++ {
+				k := int64(w*perWrite + i)
+				if err := st.Ingest("feed", types.Row{types.NewInt(k), types.NewInt(1)}); err != nil {
+					t.Errorf("ingest: %v", err)
+					return
+				}
+				sent.Add(1)
+			}
+		}(w)
+	}
+	// Pause/resume concurrently with the writers.
+	pauserWG.Add(1)
+	go func() {
+		defer pauserWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if err := st.PauseDataflow("pipeline"); err != nil {
+				t.Errorf("pause: %v", err)
+				return
+			}
+			if err := st.ResumeDataflow("pipeline"); err != nil {
+				t.Errorf("resume: %v", err)
+				return
+			}
+		}
+	}()
+	writerWG.Wait()
+	close(stop)
+	pauserWG.Wait()
+	if err := st.ResumeDataflow("pipeline"); err != nil { // lift any final pause
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	res, err := st.Query("SELECT SUM(n), COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != sent.Load() {
+		t.Fatalf("sink sum = %d, want %d (batches lost or duplicated across pause/resume)", got, sent.Load())
+	}
+}
+
+// TestPauseQueuesIngestAndDrains checks the drain semantics: pause cuts
+// the graph at its stream edges (admitted executions finish; a chain
+// caught mid-flight defers its downstream stage), subsequent ingest
+// queues without executing, the graph's state is frozen while paused, and
+// resume dispatches the deferred work plus the backlog with nothing lost.
+func TestPauseQueuesIngestAndDrains(t *testing.T) {
+	st := dfStore(t, Config{})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	for i := 0; i < 4; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.PauseDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	// Pause returned once the admitted executions finished; depending on
+	// where the gate caught the chain, 0..4 rows reached the sink. From
+	// here on the count must not move until resume.
+	res, _ := st.Query("SELECT COUNT(*) FROM sink")
+	frozen := res.Rows[0][0].Int()
+	if frozen > 4 {
+		t.Fatalf("after pause: %d rows, want at most 4", frozen)
+	}
+	// Ingest while paused queues; nothing executes.
+	for i := 4; i < 8; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Drain()
+	res, _ = st.Query("SELECT COUNT(*) FROM sink")
+	if got := res.Rows[0][0].Int(); got != frozen {
+		t.Fatalf("paused graph kept executing: %d rows, want %d", got, frozen)
+	}
+	show, _ := st.Query("SHOW DATAFLOWS")
+	if state := show.Rows[0][1].Str(); state != "paused" {
+		t.Fatalf("state = %q, want paused", state)
+	}
+	if err := st.ResumeDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	res, _ = st.Query("SELECT COUNT(*) FROM sink")
+	if got := res.Rows[0][0].Int(); got != 8 {
+		t.Fatalf("after resume: %d rows, want 8 (deferred + queued batches must dispatch)", got)
+	}
+}
+
+// TestDataflowsSurviveRecovery checks the acceptance flow: a durable store
+// whose graph is re-deployed by setup code is introspectable by name after
+// a crash/recovery cycle, and replay ran through the graph's wiring.
+func TestDataflowsSurviveRecovery(t *testing.T) {
+	dir := t.TempDir()
+	build := func() *Store {
+		st := dfStore(t, Config{Dir: dir, Partitions: 2})
+		if err := st.Deploy(pipelineDF()); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	st := build()
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	if err := st.Stop(); err != nil { // crash: state lives only in the log
+		t.Fatal(err)
+	}
+
+	st2 := build()
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	show, err := st2.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(show.Rows) != 1 || show.Rows[0][0].Str() != "pipeline" ||
+		show.Rows[0][1].Str() != "running" {
+		t.Fatalf("SHOW DATAFLOWS after recovery: %v", show.Rows)
+	}
+	res, err := st2.Query("SELECT SUM(n) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("recovered sink sum = %d, want 10", got)
+	}
+	// The recovered graph still processes new input.
+	if err := st2.Ingest("feed",
+		types.Row{types.NewInt(100), types.NewInt(1)},
+		types.Row{types.NewInt(101), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st2.FlushBatches()
+	st2.Drain()
+	res, _ = st2.Query("SELECT SUM(n) FROM sink")
+	if got := res.Rows[0][0].Int(); got != 12 {
+		t.Fatalf("post-recovery ingest: sum = %d, want 12", got)
+	}
+}
+
+// TestCompatShims checks the legacy single-call API still works and is
+// visible as anonymous graphs: BindStream clamps batch < 1 (documented
+// legacy behavior) where Deploy rejects it, and CreateTrigger deploys a
+// trigger-only graph.
+func TestCompatShims(t *testing.T) {
+	st := dfStore(t, Config{})
+	if err := st.BindStream("feed", "df_stage1", 0); err != nil { // clamped to 1
+		t.Fatalf("legacy clamp lost: %v", err)
+	}
+	if err := st.BindStream("mid", "df_stage2", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.BindStream("mid", "df_stage1", 1); err == nil {
+		t.Fatal("double consumer through the shim not rejected")
+	}
+	if err := st.CreateTrigger("tg", "feed", "DELETE FROM sink"); err != nil {
+		t.Fatal(err)
+	}
+	names := map[string]bool{}
+	for _, df := range st.Dataflows() {
+		if !df.Anon {
+			t.Fatalf("shim-built graph %q not marked anonymous", df.Name)
+		}
+		names[df.Name] = true
+	}
+	for _, want := range []string{"bind_feed", "bind_mid", "trigger_feed_tg"} {
+		if !names[want] {
+			t.Fatalf("missing anonymous graph %q (have %v)", want, names)
+		}
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	// The clamped batch size of 1 dispatches immediately.
+	if err := st.Ingest("feed", types.Row{types.NewInt(1), types.NewInt(5)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	res, err := st.Query("SELECT SUM(n) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 5 {
+		t.Fatalf("shim pipeline sum = %d, want 5", got)
+	}
+}
+
+// TestPausedBacklogBound checks the queue-or-reject semantics: a paused
+// graph queues a bounded backlog and then rejects further ingest.
+func TestPausedBacklogBound(t *testing.T) {
+	st := dfStore(t, Config{})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if err := st.PauseDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	rows := make([]types.Row, 1<<16)
+	for i := range rows {
+		rows[i] = types.Row{types.NewInt(int64(i)), types.NewInt(1)}
+	}
+	if err := st.Ingest("feed", rows...); err != nil {
+		t.Fatalf("backlog within bound rejected: %v", err)
+	}
+	err := st.Ingest("feed", types.Row{types.NewInt(0), types.NewInt(1)})
+	if err == nil || !strings.Contains(err.Error(), "backlog") {
+		t.Fatalf("over-bound ingest not rejected: %v", err)
+	}
+	if err := st.ResumeDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	res, qerr := st.Query("SELECT COUNT(*) FROM sink")
+	if qerr != nil {
+		t.Fatal(qerr)
+	}
+	if got := res.Rows[0][0].Int(); got != 1<<16 {
+		t.Fatalf("resumed backlog processed %d rows, want %d", got, 1<<16)
+	}
+}
+
+// TestPauseGatesOLTPEntryEmissions checks that a paused graph's interior
+// edges are gated too: an OLTP entry node's emission while paused defers
+// the downstream execution until resume (nothing runs, nothing is lost).
+func TestPauseGatesOLTPEntryEmissions(t *testing.T) {
+	st := Open(Config{})
+	if err := st.ExecScript(`
+		CREATE TABLE sunk (k INT PRIMARY KEY, n BIGINT DEFAULT 0);
+		CREATE STREAM events (k INT);
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name: "entry",
+		Handler: func(ctx *pe.ProcCtx) error {
+			return ctx.Emit("events", types.Row{ctx.Params[0]})
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "absorb",
+		WriteSet: []string{"sunk"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				if _, err := ctx.Exec("INSERT INTO sunk (k) VALUES (?)", r[0]); err != nil {
+					return err
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deploy(&Dataflow{Name: "g", Nodes: []DataflowNode{
+		{Proc: "entry", Emits: []string{"events"}},
+		{Proc: "absorb", Input: "events", Batch: 1},
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if err := st.PauseDataflow("g"); err != nil {
+		t.Fatal(err)
+	}
+	// OLTP calls keep working while the graph is paused...
+	for i := 0; i < 3; i++ {
+		if _, err := st.Call("entry", types.NewInt(int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Drain()
+	// ...but their emissions must not execute the paused graph's stages.
+	res, err := st.Query("SELECT COUNT(*) FROM sunk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 0 {
+		t.Fatalf("paused graph executed %d triggered TEs from OLTP emissions", got)
+	}
+	if err := st.ResumeDataflow("g"); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	res, err = st.Query("SELECT COUNT(*) FROM sunk")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != 3 {
+		t.Fatalf("deferred emissions after resume: %d rows, want 3", got)
+	}
+}
+
+// TestPauseScopedToGraph checks that pausing one graph does not block the
+// pause call behind another graph's traffic, and the untouched graph
+// keeps processing while the first is paused.
+func TestPauseScopedToGraph(t *testing.T) {
+	st := dfStore(t, Config{})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	// A second, independent graph over its own stream.
+	if err := st.ExecScript(`CREATE STREAM feed2 (k INT, amt BIGINT);`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "df_other",
+		WriteSet: []string{"sink"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			for _, r := range ctx.Batch {
+				res, err := ctx.Exec("UPDATE sink SET n = n + ? WHERE k = ?", r[1], r[0])
+				if err != nil {
+					return err
+				}
+				if res.RowsAffected == 0 {
+					if _, err := ctx.Exec("INSERT INTO sink VALUES (?, ?)", r[0], r[1]); err != nil {
+						return err
+					}
+				}
+			}
+			return nil
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deploy(&Dataflow{Name: "other", Nodes: []DataflowNode{
+		{Proc: "df_other", Input: "feed2", Batch: 1}}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if err := st.PauseDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	// The untouched graph keeps running while "pipeline" is paused.
+	if err := st.Ingest("feed2", types.Row{types.NewInt(1000), types.NewInt(7)}); err != nil {
+		t.Fatal(err)
+	}
+	st.Drain()
+	res, err := st.Query("SELECT n FROM sink WHERE k = 1000")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 7 {
+		t.Fatalf("other graph blocked by pause: %v", res.Rows)
+	}
+	if err := st.ResumeDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -127,6 +127,26 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 	if rel == nil || !rel.Partitioned() {
 		return s.parts[0].pe.Ingest(stream, rows...)
 	}
+	// Router-level pause gate: a spanning batch into a paused dataflow
+	// must queue or reject as a unit. The store-wide backlog bound is
+	// checked and the shares forwarded under pauseGateMu, so one
+	// partition's full backlog can never reject its share after other
+	// partitions already queued theirs (a client retry would then
+	// duplicate rows). Unpaused ingest takes none of this.
+	if g := s.pausedGraphOf(stream); g != "" {
+		s.pauseGateMu.Lock()
+		defer s.pauseGateMu.Unlock()
+		if s.pausedGraphOf(stream) != "" { // still paused under the gate
+			backlog := 0
+			for _, p := range s.parts {
+				backlog += p.pe.PartialLen(stream)
+			}
+			if backlog+len(rows) > pe.MaxPausedBacklog {
+				return fmt.Errorf("core: dataflow %q is paused and stream %q has a full backlog (%d tuples); resume the dataflow or retry later",
+					g, stream, backlog)
+			}
+		}
+	}
 	buckets := make([][]types.Row, len(s.parts))
 	for _, r := range rows {
 		if rel.PartCol >= len(r) {
@@ -456,6 +476,9 @@ func (s *Store) staticInsertRows(ins *sql.Insert, rel *catalog.Relation, colMap 
 // to every partition and the results are merged (see mergePlan for the
 // supported shapes).
 func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
+	if res, handled, err := s.dataflowStatement(sqlText); handled {
+		return res, err
+	}
 	if len(s.parts) == 1 {
 		return s.parts[0].pe.Query(sqlText, params...)
 	}

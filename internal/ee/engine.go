@@ -301,16 +301,36 @@ func schemaFromDefs(name string, defs []sql.ColumnDef, pk []string) (*types.Sche
 // or the relation (a window) slides. Bodies may reference the pseudo-
 // relation NEW holding the arriving batch / current window contents.
 func (e *Engine) CreateTrigger(name, relation string, bodies ...string) error {
-	rel, err := e.cat.MustRelation(relation)
+	tr, err := e.compileTrigger(name, relation, bodies)
 	if err != nil {
 		return err
 	}
+	k := strings.ToLower(relation)
+	e.triggers[k] = append(e.triggers[k], tr)
+	return nil
+}
+
+// CheckTrigger validates a trigger definition — relation kind, duplicate
+// name, body compilation — without registering it. Dataflow deployment
+// uses it to vet a whole graph before touching any partition.
+func (e *Engine) CheckTrigger(name, relation string, bodies ...string) error {
+	_, err := e.compileTrigger(name, relation, bodies)
+	return err
+}
+
+// compileTrigger runs every CreateTrigger validation and prepares the
+// bodies, returning the ready-to-register trigger.
+func (e *Engine) compileTrigger(name, relation string, bodies []string) (*Trigger, error) {
+	rel, err := e.cat.MustRelation(relation)
+	if err != nil {
+		return nil, err
+	}
 	if rel.Kind == catalog.KindTable {
-		return fmt.Errorf("ee: EE triggers attach to streams or windows, %q is a table", relation)
+		return nil, fmt.Errorf("ee: EE triggers attach to streams or windows, %q is a table", relation)
 	}
 	for _, ts := range e.triggers[strings.ToLower(relation)] {
 		if ts.Name == name {
-			return fmt.Errorf("ee: trigger %q already exists", name)
+			return nil, fmt.Errorf("ee: trigger %q already exists", name)
 		}
 	}
 	tr := &Trigger{Name: name, Relation: rel.Name}
@@ -322,13 +342,11 @@ func (e *Engine) CreateTrigger(name, relation string, bodies ...string) error {
 	for _, b := range bodies {
 		p, err := e.Prepare(b, transient)
 		if err != nil {
-			return fmt.Errorf("ee: trigger %q body: %w", name, err)
+			return nil, fmt.Errorf("ee: trigger %q body: %w", name, err)
 		}
 		tr.Stmts = append(tr.Stmts, p)
 	}
-	k := strings.ToLower(relation)
-	e.triggers[k] = append(e.triggers[k], tr)
-	return nil
+	return tr, nil
 }
 
 // DropTrigger removes an EE trigger by name.

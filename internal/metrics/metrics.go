@@ -48,6 +48,43 @@ type Metrics struct {
 	MPLegsCommitted atomic.Int64
 
 	latency Histogram
+
+	// Per-dataflow counters, keyed by graph name. The set is shared by all
+	// partitions of a store, so each graph's counters aggregate across its
+	// hash shards.
+	graphMu sync.Mutex
+	graphs  map[string]*GraphStats
+}
+
+// GraphStats is one dataflow graph's counter set: its border batches, the
+// PE-triggered executions they fanned into, and the end-to-end latency
+// from border admission to each execution's commit (the last stage of a
+// chain gives the full workflow latency).
+type GraphStats struct {
+	Batches   atomic.Int64 // border (BSP) transaction executions
+	Triggered atomic.Int64 // PE-triggered (ISP) transaction executions
+	latency   Histogram
+}
+
+// ObserveLatency records one end-to-end observation for the graph.
+func (g *GraphStats) ObserveLatency(d time.Duration) { g.latency.Observe(d) }
+
+// Latency returns the graph's end-to-end latency histogram.
+func (g *GraphStats) Latency() *Histogram { return &g.latency }
+
+// Graph returns the named dataflow's counters, creating them on first use.
+func (m *Metrics) Graph(name string) *GraphStats {
+	m.graphMu.Lock()
+	defer m.graphMu.Unlock()
+	if m.graphs == nil {
+		m.graphs = make(map[string]*GraphStats)
+	}
+	g := m.graphs[name]
+	if g == nil {
+		g = &GraphStats{}
+		m.graphs[name] = g
+	}
+	return g
 }
 
 // ObserveLatency records one transaction latency.

@@ -114,11 +114,14 @@ type Config struct {
 	ForceUnsafe bool
 }
 
-// binding wires a stream to the downstream procedure its tuples feed.
+// binding wires a stream to the downstream procedure its tuples feed, as
+// one edge of a dataflow graph (graph == "" for legacy direct binds).
 type binding struct {
 	stream    string
 	proc      *Procedure
 	batchSize int
+	graph     string
+	stats     *metrics.GraphStats // nil when graph == ""
 }
 
 // Engine is one partition's engine. All transaction executions run serially
@@ -130,8 +133,29 @@ type Engine struct {
 	cfg   Config
 	sched *scheduler
 
-	procs    map[string]*Procedure
-	bindings map[string]*binding // lowercased stream name -> consumer
+	procs map[string]*Procedure
+	// bindings maps lowercased stream name -> consumer. Guarded by
+	// ingestMu: dataflow deployment may add edges at runtime (under an
+	// all-partition barrier) while clients are inside Ingest.
+	bindings map[string]*binding
+	// pausedGraphs gates dispatch per dataflow: while a graph is paused,
+	// ingest into its streams queues tuples in partial (bounded by
+	// MaxPausedBacklog) without cutting batches, and PE-triggered
+	// emissions into its streams defer into pausedTriggered. Guarded by
+	// ingestMu.
+	pausedGraphs map[string]bool
+	// pausedTriggered holds the PE-triggered executions deferred while
+	// their graph was paused, in emission order; ResumeGraph dispatches
+	// them ahead of the queued border batches. Guarded by ingestMu.
+	pausedTriggered map[string][]*txnRequest
+
+	// graphInflight counts each graph's admitted-but-unfinished
+	// transaction executions; PauseDataflow's drain waits per graph on it
+	// instead of quiescing the whole partition (other graphs keep
+	// running).
+	flightMu      sync.Mutex
+	flightCond    *sync.Cond
+	graphInflight map[string]int
 
 	// per-procedure prepared-statement caches; the "batch" transient
 	// relation resolves against the bound input stream's schema.
@@ -178,17 +202,51 @@ type Engine struct {
 // New creates a partition engine over an execution engine.
 func New(exec *ee.Engine, cfg Config) *Engine {
 	e := &Engine{
-		ee:       exec,
-		met:      exec.Metrics(),
-		cfg:      cfg,
-		sched:    newScheduler(cfg.Mode),
-		procs:    make(map[string]*Procedure),
-		bindings: make(map[string]*binding),
-		prepared: make(map[string]map[string]*ee.Prepared),
-		partial:  make(map[string][]types.Row),
+		ee:              exec,
+		met:             exec.Metrics(),
+		cfg:             cfg,
+		sched:           newScheduler(cfg.Mode),
+		procs:           make(map[string]*Procedure),
+		bindings:        make(map[string]*binding),
+		pausedGraphs:    make(map[string]bool),
+		pausedTriggered: make(map[string][]*txnRequest),
+		graphInflight:   make(map[string]int),
+		prepared:        make(map[string]map[string]*ee.Prepared),
+		partial:         make(map[string][]types.Row),
 	}
 	e.ackCond = sync.NewCond(&e.ackMu)
+	e.flightCond = sync.NewCond(&e.flightMu)
 	return e
+}
+
+// graphTakeoff records one admitted execution for a graph's in-flight
+// count; graphDone retires it. WaitGraphIdle blocks until the graph has no
+// admitted-but-unfinished executions — the graph-scoped drain pause uses.
+func (e *Engine) graphTakeoff(name string) {
+	e.flightMu.Lock()
+	e.graphInflight[name]++
+	e.flightMu.Unlock()
+}
+
+func (e *Engine) graphDone(name string) {
+	e.flightMu.Lock()
+	e.graphInflight[name]--
+	if e.graphInflight[name] <= 0 {
+		delete(e.graphInflight, name)
+		e.flightCond.Broadcast()
+	}
+	e.flightMu.Unlock()
+}
+
+// WaitGraphIdle blocks until every admitted execution of the named graph
+// has finished. Descendants are counted before their parent retires, so a
+// chain keeps the count positive until its last running stage commits.
+func (e *Engine) WaitGraphIdle(name string) {
+	e.flightMu.Lock()
+	for e.graphInflight[name] > 0 {
+		e.flightCond.Wait()
+	}
+	e.flightMu.Unlock()
 }
 
 // EE exposes the execution engine (used by assembly and tests).
@@ -232,9 +290,28 @@ func (e *Engine) Procedure(name string) *Procedure { return e.procs[strings.ToLo
 // Client-fed streams make proc a border procedure (BSP); procedure-fed
 // streams make it interior (ISP). In HStoreMode bindings are rejected:
 // the baseline has no PE triggers.
+//
+// BindStream is the legacy single-edge API kept as a compat shim over the
+// dataflow-scoped wiring: it silently clamps batchSize < 1 to 1
+// (historical behavior old callers rely on), where the Dataflow deploy
+// path rejects an invalid batch size with an error.
 func (e *Engine) BindStream(stream, procName string, batchSize int) error {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	return e.BindStreamGraph("", stream, procName, batchSize)
+}
+
+// BindStreamGraph wires stream -> proc as one edge of the named dataflow
+// graph. Unlike the legacy BindStream shim it rejects batchSize < 1.
+// Edges of a named graph feed that graph's counters and honor its
+// pause/resume lifecycle.
+func (e *Engine) BindStreamGraph(graph, stream, procName string, batchSize int) error {
 	if e.cfg.HStoreMode {
 		return fmt.Errorf("pe: stream bindings are an S-Store feature; engine is in H-Store mode")
+	}
+	if batchSize < 1 {
+		return fmt.Errorf("pe: batch size %d for stream %q is invalid (must be >= 1)", batchSize, stream)
 	}
 	p := e.Procedure(procName)
 	if p == nil {
@@ -244,16 +321,95 @@ func (e *Engine) BindStream(stream, procName string, batchSize int) error {
 	if rel == nil {
 		return fmt.Errorf("pe: unknown stream %q", stream)
 	}
-	if batchSize < 1 {
-		batchSize = 1
+	var stats *metrics.GraphStats
+	if graph != "" {
+		stats = e.met.Graph(graph)
 	}
 	key := strings.ToLower(stream)
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
 	if _, dup := e.bindings[key]; dup {
 		return fmt.Errorf("pe: stream %q already has a consumer", stream)
 	}
-	e.bindings[key] = &binding{stream: rel.Name, proc: p, batchSize: batchSize}
+	e.bindings[key] = &binding{stream: rel.Name, proc: p, batchSize: batchSize, graph: graph, stats: stats}
 	e.ee.MarkStreamPersistent(stream)
 	return nil
+}
+
+// UnbindStream removes a stream's consumer edge and drops its partial
+// border batch (dataflow deploy rollback).
+func (e *Engine) UnbindStream(stream string) {
+	key := strings.ToLower(stream)
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if b := e.bindings[key]; b != nil {
+		delete(e.partial, b.stream)
+	}
+	delete(e.bindings, key)
+}
+
+// BoundGraph reports the dataflow owning a stream's consumer edge ("" for
+// a legacy direct bind) and whether the stream is bound at all.
+func (e *Engine) BoundGraph(stream string) (string, bool) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	b := e.bindings[strings.ToLower(stream)]
+	if b == nil {
+		return "", false
+	}
+	return b.graph, true
+}
+
+// Started reports whether the partition worker is running.
+func (e *Engine) Started() bool { return e.started.Load() }
+
+// PauseGraph gates dispatch for the named dataflow: subsequent ingest
+// into its streams queues tuples (bounded) instead of cutting batches,
+// and PE-triggered emissions into them defer (see dispatchEmits).
+// Executions already admitted finish — the store-level pause waits for
+// them with WaitGraphIdle after setting the gate.
+func (e *Engine) PauseGraph(name string) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.pausedGraphs[name] = true
+}
+
+// ResumeGraph lifts a dataflow's pause gate and dispatches everything
+// that queued while it was down: first the deferred PE-triggered work
+// (upstream of any border tuple that arrived during the pause), then
+// every full border batch.
+func (e *Engine) ResumeGraph(name string) error {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	delete(e.pausedGraphs, name)
+	deferred := e.pausedTriggered[name]
+	delete(e.pausedTriggered, name)
+	for i, tr := range deferred {
+		if !e.pushTracked(tr) {
+			e.pausedTriggered[name] = deferred[i:]
+			return fmt.Errorf("pe: engine stopped")
+		}
+	}
+	for _, b := range e.bindings {
+		if b.graph != name {
+			continue
+		}
+		if err := e.cutBatchesLocked(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PartialLen reports the tuples buffered (partial batch + paused backlog)
+// for a stream — the router's store-wide paused-backlog accounting.
+func (e *Engine) PartialLen(stream string) int {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	if b := e.bindings[strings.ToLower(stream)]; b != nil {
+		return len(e.partial[b.stream])
+	}
+	return 0
 }
 
 // Start validates the workflow wiring and launches the partition worker.
@@ -283,6 +439,12 @@ func (e *Engine) Stop() {
 	}
 	e.sched.close()
 	e.wg.Wait()
+	// Queued-but-never-executed requests were discarded with the
+	// scheduler; release any graph-idle waiters parked on their counts.
+	e.flightMu.Lock()
+	e.graphInflight = make(map[string]int)
+	e.flightCond.Broadcast()
+	e.flightMu.Unlock()
 	if e.asyncLog != nil {
 		// The worker has exited, so no new acks can be queued; resolving
 		// every future lets the acker drain and terminate.
@@ -316,27 +478,18 @@ func (e *Engine) validateWorkflows() error {
 	// rejection).
 	var procs []*Procedure
 	seen := map[string]bool{}
+	e.ingestMu.Lock()
 	for _, b := range e.bindings {
 		if !seen[b.proc.Name] {
 			seen[b.proc.Name] = true
 			procs = append(procs, b.proc)
 		}
 	}
+	e.ingestMu.Unlock()
 	sort.Slice(procs, func(i, j int) bool { return procs[i].Name < procs[j].Name })
-	writes := map[string]string{} // table -> writer proc
-	for _, p := range procs {
-		for _, t := range p.WriteSet {
-			writes[strings.ToLower(t)] = p.Name
-		}
-	}
-	for _, p := range procs {
-		for _, t := range append(append([]string{}, p.ReadSet...), p.WriteSet...) {
-			if w, ok := writes[strings.ToLower(t)]; ok && w != p.Name {
-				return fmt.Errorf("pe: workflow procedures %s and %s share writable table %q; "+
-					"ModeFIFO would violate the serial-execution requirement (use ModeWorkflowSerial)",
-					w, p.Name, t)
-			}
-		}
+	if shared := SharedWritableTables(procs); len(shared) > 0 {
+		return fmt.Errorf("pe: workflow procedures share writable tables %v; "+
+			"ModeFIFO would violate the serial-execution requirement (use ModeWorkflowSerial)", shared)
 	}
 	return nil
 }
@@ -452,39 +605,68 @@ func (e *Engine) CallAsync(proc string, params ...types.Value) <-chan CallResult
 		done <- CallResult{Err: fmt.Errorf("pe: unknown procedure %q", proc)}
 		return done
 	}
-	r := &txnRequest{kind: reqInvoke, proc: p, params: params, done: done, enqueued: time.Now()}
+	now := time.Now()
+	r := &txnRequest{kind: reqInvoke, proc: p, params: params, done: done, enqueued: now, origin: now}
 	if !e.sched.push(r) {
 		done <- CallResult{Err: fmt.Errorf("pe: engine stopped")}
 	}
 	return done
 }
 
+// MaxPausedBacklog bounds the tuples a paused dataflow may queue per
+// stream; beyond it ingest rejects instead of growing without bound. The
+// router applies the same bound store-wide before splitting a spanning
+// batch, so a multi-partition ingest queues or rejects as a unit.
+const MaxPausedBacklog = 1 << 16
+
 // Ingest pushes tuples onto a border stream. Tuples accumulate into batches
 // of the bound size; each full batch becomes one border transaction
 // execution, processed in arrival order. One client→PE round trip per call
-// regardless of tuple count — the push-based model's economy.
+// regardless of tuple count — the push-based model's economy. While the
+// stream's dataflow is paused, tuples queue (up to MaxPausedBacklog) and
+// are dispatched by ResumeGraph.
 func (e *Engine) Ingest(stream string, rows ...types.Row) error {
 	e.met.ClientToPE.Add(1)
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
 	b := e.bindings[strings.ToLower(stream)]
 	if b == nil {
 		return fmt.Errorf("pe: stream %q has no bound procedure; nothing would consume the tuples", stream)
 	}
-	e.ingestMu.Lock()
-	defer e.ingestMu.Unlock()
-	pend := append(e.partial[b.stream], cloneRows(rows)...)
+	if e.pausedGraphs[b.graph] {
+		if len(e.partial[b.stream])+len(rows) > MaxPausedBacklog {
+			return fmt.Errorf("pe: dataflow %q is paused and stream %q has a full backlog (%d tuples); resume the dataflow or retry later",
+				b.graph, b.stream, len(e.partial[b.stream]))
+		}
+		e.partial[b.stream] = append(e.partial[b.stream], cloneRows(rows)...)
+		return nil
+	}
+	e.partial[b.stream] = append(e.partial[b.stream], cloneRows(rows)...)
+	return e.cutBatchesLocked(b)
+}
+
+// cutBatchesLocked dispatches every full batch buffered for b's stream.
+// The caller holds ingestMu.
+func (e *Engine) cutBatchesLocked(b *binding) error {
+	pend := e.partial[b.stream]
 	for len(pend) >= b.batchSize {
 		batch := pend[:b.batchSize:b.batchSize]
 		pend = pend[b.batchSize:]
 		e.nextBatchID++
+		now := time.Now()
 		r := &txnRequest{
 			kind:        reqBorder,
 			proc:        b.proc,
 			batch:       batch,
 			batchID:     e.nextBatchID,
 			inputStream: b.stream,
-			enqueued:    time.Now(),
+			enqueued:    now,
+			origin:      now,
+			stats:       b.stats,
+			graph:       b.graph,
 		}
-		if !e.sched.push(r) {
+		if !e.pushTracked(r) {
+			e.partial[b.stream] = pend
 			return fmt.Errorf("pe: engine stopped")
 		}
 	}
@@ -492,7 +674,25 @@ func (e *Engine) Ingest(stream string, rows ...types.Row) error {
 	return nil
 }
 
+// pushTracked submits a graph-owned request, keeping its graph's
+// in-flight count consistent with the scheduler's acceptance.
+func (e *Engine) pushTracked(r *txnRequest) bool {
+	if r.graph != "" {
+		r.tracked = true
+		e.graphTakeoff(r.graph)
+	}
+	if e.sched.push(r) {
+		return true
+	}
+	if r.tracked {
+		r.tracked = false
+		e.graphDone(r.graph)
+	}
+	return false
+}
+
 // FlushBatches dispatches any partial border batches (end of input).
+// Streams of paused dataflows keep their queue.
 func (e *Engine) FlushBatches() {
 	e.ingestMu.Lock()
 	defer e.ingestMu.Unlock()
@@ -501,10 +701,15 @@ func (e *Engine) FlushBatches() {
 			continue
 		}
 		b := e.bindings[strings.ToLower(stream)]
+		if b == nil || e.pausedGraphs[b.graph] {
+			continue
+		}
 		e.nextBatchID++
-		e.sched.push(&txnRequest{
+		now := time.Now()
+		e.pushTracked(&txnRequest{
 			kind: reqBorder, proc: b.proc, batch: pend, batchID: e.nextBatchID,
-			inputStream: b.stream, enqueued: time.Now(),
+			inputStream: b.stream, enqueued: now, origin: now, stats: b.stats,
+			graph: b.graph,
 		})
 		e.partial[stream] = nil
 	}
@@ -595,6 +800,13 @@ var undoPool = sync.Pool{New: func() any { return storage.NewUndoLog() }}
 
 func (e *Engine) executeRequest(r *txnRequest) {
 	start := time.Now()
+	if r.tracked {
+		// Retire the graph's in-flight count whatever path this execution
+		// takes (commit, abort, panic recovery). Descendants are counted
+		// inside dispatchEmits, before this defer runs, so a chain never
+		// reads as idle mid-flight.
+		defer e.graphDone(r.graph)
+	}
 	if r.kind == reqQuery {
 		ectx := &ee.ExecCtx{ReadOnly: true}
 		res, err := e.ee.ExecSQL(ectx, r.sqlText, r.params...)
@@ -721,7 +933,22 @@ func (e *Engine) executeRequest(r *txnRequest) {
 	// PE triggers: emitted batches become downstream transaction
 	// executions, enqueued ahead of pending border work (ModeWorkflowSerial)
 	// so the workflow chain for batch b completes before batch b+1 starts.
-	e.dispatchEmits(emits, r.batchID, r.replay)
+	continued := e.dispatchEmits(emits, r.batchID, r.origin, r.replay)
+
+	// Per-dataflow accounting. Latency is observed only where the chain
+	// ends (no dispatched descendants), so the graph's histogram holds
+	// end-to-end workflow latencies rather than every stage's partial time.
+	if r.stats != nil && !r.replay {
+		switch r.kind {
+		case reqBorder:
+			r.stats.Batches.Add(1)
+		case reqTriggered:
+			r.stats.Triggered.Add(1)
+		}
+		if continued == 0 && !r.origin.IsZero() {
+			r.stats.ObserveLatency(time.Since(r.origin))
+		}
+	}
 	if ack != nil {
 		e.queueAck(r, pctx.out, ack, start)
 		return
@@ -804,6 +1031,7 @@ func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, err
 	e.prepMu.Unlock()
 
 	transient := map[string]*types.Schema{}
+	e.ingestMu.Lock()
 	for _, b := range e.bindings {
 		if b.proc == p {
 			if rel := e.ee.Catalog().Relation(b.stream); rel != nil {
@@ -812,6 +1040,7 @@ func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, err
 			break
 		}
 	}
+	e.ingestMu.Unlock()
 	prep, err := e.ee.Prepare(sqlText, transient)
 	if err != nil {
 		return nil, err

@@ -358,6 +358,34 @@ func TestRegistrationErrors(t *testing.T) {
 	}
 }
 
+// TestBatchSizeValidation pins the shim/strict split: the legacy
+// BindStream clamps batchSize < 1 to 1 (documented historical behavior),
+// while the graph-scoped bind rejects it with an error.
+func TestBatchSizeValidation(t *testing.T) {
+	e := newTestPE(t, Config{}, counterDDL)
+	must(t, e.RegisterProcedure(&Procedure{Name: "p", Handler: func(*ProcCtx) error { return nil }}))
+	if err := e.BindStreamGraph("g", "in_s", "p", 0); err == nil ||
+		!strings.Contains(err.Error(), "batch size 0") {
+		t.Fatalf("graph bind accepted batch size 0: %v", err)
+	}
+	if err := e.BindStreamGraph("g", "in_s", "p", -5); err == nil {
+		t.Fatal("graph bind accepted a negative batch size")
+	}
+	// Legacy shim clamps instead.
+	must(t, e.BindStream("in_s", "p", 0))
+	if g, ok := e.BoundGraph("in_s"); !ok || g != "" {
+		t.Fatalf("legacy bind recorded graph %q, ok=%v", g, ok)
+	}
+	e.UnbindStream("in_s")
+	if _, ok := e.BoundGraph("in_s"); ok {
+		t.Fatal("unbind left the stream bound")
+	}
+	must(t, e.BindStreamGraph("g", "in_s", "p", 3))
+	if g, ok := e.BoundGraph("in_s"); !ok || g != "g" {
+		t.Fatalf("graph bind recorded graph %q, ok=%v", g, ok)
+	}
+}
+
 func TestReplayRebuildState(t *testing.T) {
 	// Execute a workflow live with an in-memory logger, then replay the
 	// records into a fresh engine and compare final states.

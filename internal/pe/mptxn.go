@@ -244,7 +244,7 @@ func (e *Engine) executeMP(r *txnRequest) {
 			undo.Release()
 			e.met.TxnCommitted.Add(1)
 			e.met.MPLegsCommitted.Add(1)
-			e.dispatchEmits(emits, 0, r.replay)
+			e.dispatchEmits(emits, 0, r.origin, r.replay)
 			if lerr != nil {
 				r.respond(nil, fmt.Errorf("pe: mp leg committed but its decide marker failed to append (log poisoned; restart to recover): %w", lerr))
 				return
@@ -324,7 +324,7 @@ func (e *Engine) replayPreparedLeg(rec *LogRecord) error {
 	}
 	undo.Release()
 	e.replaying = true
-	e.dispatchEmits(emits, 0, true)
+	e.dispatchEmits(emits, 0, time.Time{}, true)
 	return e.drainReplayDerived()
 }
 
@@ -347,11 +347,20 @@ func emissionCollector(emits *[]emission) func(string, []storage.RowID, []types.
 
 // dispatchEmits turns a committed execution's stream emissions into
 // downstream transaction executions (PE triggers) — shared by the local
-// and multi-partition commit paths.
-func (e *Engine) dispatchEmits(emits []emission, batchID uint64, replay bool) {
+// and multi-partition commit paths. origin is the chain root's admission
+// time, inherited by descendants for end-to-end latency accounting.
+// Emissions into a paused graph's streams defer until ResumeGraph (the
+// pause gate for interior edges and OLTP-entry emissions). The returned
+// count is the descendants this execution's chain continues into —
+// zero means the chain ends here.
+func (e *Engine) dispatchEmits(emits []emission, batchID uint64, origin time.Time, replay bool) int {
+	continued := 0
 	for _, em := range emits {
+		e.ingestMu.Lock()
 		b := e.bindings[strings.ToLower(em.stream)]
+		paused := b != nil && !e.replaying && e.pausedGraphs[b.graph]
 		if b == nil {
+			e.ingestMu.Unlock()
 			continue
 		}
 		tr := &txnRequest{
@@ -362,15 +371,31 @@ func (e *Engine) dispatchEmits(emits []emission, batchID uint64, replay bool) {
 			inputStream: em.stream,
 			gcIDs:       em.ids,
 			enqueued:    time.Now(),
+			origin:      origin,
+			stats:       b.stats,
+			graph:       b.graph,
 			replay:      replay,
 		}
+		if paused {
+			e.pausedTriggered[b.graph] = append(e.pausedTriggered[b.graph], tr)
+			e.ingestMu.Unlock()
+			continued++
+			continue
+		}
+		e.ingestMu.Unlock()
+		continued++
 		switch {
 		case e.replaying:
 			e.replayQueue = append(e.replayQueue, tr)
 		case e.cfg.Mode == ModeWorkflowSerial:
+			if tr.graph != "" {
+				tr.tracked = true
+				e.graphTakeoff(tr.graph)
+			}
 			e.localTriggered = append(e.localTriggered, tr)
 		default:
-			e.sched.push(tr)
+			e.pushTracked(tr)
 		}
 	}
+	return continued
 }

@@ -9,6 +9,8 @@ package pe
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 
 	"repro/internal/ee"
 	"repro/internal/types"
@@ -37,6 +39,34 @@ type Procedure struct {
 	// data, or partition 0's replica silently diverges (seed replicated
 	// data before Start, or broadcast through ad-hoc Exec).
 	PartitionParam int
+}
+
+// SharedWritableTables reports the tables written by one of procs and
+// read or written by another — the paper's forced-serial constraint over
+// a workflow's procedures. Lowercased and sorted for deterministic
+// reports. Shared by Start-time workflow validation and deploy-time graph
+// validation.
+func SharedWritableTables(procs []*Procedure) []string {
+	writes := map[string]string{} // table key -> writer proc
+	for _, p := range procs {
+		for _, t := range p.WriteSet {
+			writes[strings.ToLower(t)] = p.Name
+		}
+	}
+	shared := map[string]bool{}
+	for _, p := range procs {
+		for _, t := range append(append([]string{}, p.ReadSet...), p.WriteSet...) {
+			if w, ok := writes[strings.ToLower(t)]; ok && w != p.Name {
+				shared[strings.ToLower(t)] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(shared))
+	for t := range shared {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // ProcCtx is the interface the control code sees: its input (batch or

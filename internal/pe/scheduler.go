@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/metrics"
 	"repro/internal/storage"
 	"repro/internal/types"
 )
@@ -49,7 +50,19 @@ type txnRequest struct {
 	mp          *MPSession // for reqMP
 	done        chan CallResult
 	enqueued    time.Time
-	replay      bool // true during recovery: do not re-log
+	// origin is the admission time of the chain's root request (border
+	// ingest or OLTP call); PE-triggered descendants inherit it, so the
+	// final stage's commit observes the workflow's end-to-end latency.
+	origin time.Time
+	// stats is the owning dataflow's counter set (nil for legacy direct
+	// bindings and replay).
+	stats *metrics.GraphStats
+	// graph / tracked: the owning dataflow whose in-flight count this
+	// request was admitted under (see Engine.graphTakeoff); tracked
+	// requests retire the count when their execution finishes.
+	graph   string
+	tracked bool
+	replay  bool // true during recovery: do not re-log
 }
 
 // SchedulerMode selects the admission policy.

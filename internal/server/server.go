@@ -10,6 +10,7 @@ import (
 	"io"
 	"log"
 	"net"
+	"strings"
 	"sync"
 
 	"repro/internal/core"
@@ -163,6 +164,35 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Kind: wire.MsgResult, Columns: []string{"plan"},
 			Rows: []types.Row{{types.NewString(plan)}}}
+	case wire.MsgDataflows:
+		if req.Target == "" {
+			res := s.st.DataflowsResult()
+			return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+				Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+		}
+		text, err := s.st.ExplainDataflow(req.Target)
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: []string{"dataflow"},
+			Rows: []types.Row{{types.NewString(text)}}}
+	case wire.MsgDataflowCtl:
+		if len(req.Params) != 1 {
+			return fail(fmt.Errorf("server: dataflow control needs an action parameter"))
+		}
+		var err error
+		switch action := req.Params[0].Str(); strings.ToLower(action) {
+		case "pause":
+			err = s.st.PauseDataflow(req.Target)
+		case "resume":
+			err = s.st.ResumeDataflow(req.Target)
+		default:
+			err = fmt.Errorf("server: unknown dataflow action %q (want pause or resume)", action)
+		}
+		if err != nil {
+			return fail(err)
+		}
+		return &wire.Response{Kind: wire.MsgResult}
 	default:
 		return fail(fmt.Errorf("server: unknown message kind %d", req.Kind))
 	}

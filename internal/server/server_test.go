@@ -226,3 +226,85 @@ func TestTCPExecSpanningWrite(t *testing.T) {
 		t.Fatalf("count after aborted wire write = %d, want 4", n)
 	}
 }
+
+// TestDataflowsOverWire exercises the dataflow surface end to end through
+// the wire protocol: the listing, the per-graph rendering, and the
+// pause/resume lifecycle — and checks that a pause/ingest/resume cycle
+// driven by a remote client loses no tuples.
+func TestDataflowsOverWire(t *testing.T) {
+	srv, _ := newServer(t)
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// newServer wired feed -> absorb through the BindStream shim, which
+	// deploys the anonymous graph "bind_feed".
+	resp, err := c.Dataflows()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].Str() != "bind_feed" {
+		t.Fatalf("dataflows over wire: %v", resp.Rows)
+	}
+	text, err := c.ExplainDataflow("bind_feed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"DATAFLOW bind_feed", "absorb", "<- feed [batch 2] (border)"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("explain over wire missing %q:\n%s", want, text)
+		}
+	}
+	// SHOW DATAFLOWS / EXPLAIN DATAFLOW also work as plain query text.
+	resp, err = c.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].Str() != "bind_feed" {
+		t.Fatalf("SHOW DATAFLOWS over wire: %v", resp.Rows)
+	}
+	if _, err := c.Query("EXPLAIN DATAFLOW nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataflow") {
+		t.Fatalf("explain of unknown dataflow: %v", err)
+	}
+
+	// Pause over the wire: subsequent ingest queues server-side.
+	if err := c.PauseDataflow("bind_feed"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := c.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewString("x")}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	resp, err = c.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.Rows[0][0].Int(); n != 0 {
+		t.Fatalf("paused graph consumed %d rows", n)
+	}
+	resp, _ = c.Dataflows()
+	if state := resp.Rows[0][1].Str(); state != "paused" {
+		t.Fatalf("state over wire = %q, want paused", state)
+	}
+	if err := c.ResumeDataflow("bind_feed"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.Rows[0][0].Int(); n != 4 {
+		t.Fatalf("after resume: %d rows, want 4 (pause lost tuples)", n)
+	}
+	if err := c.PauseDataflow("nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataflow") {
+		t.Fatalf("pause of unknown dataflow: %v", err)
+	}
+}

@@ -33,6 +33,14 @@ const (
 	// router runs spanning writes through the 2PC coordinator, so a remote
 	// client's multi-partition statement commits atomically or not at all.
 	MsgExec
+	// MsgDataflows is dataflow introspection: with an empty Target it
+	// returns the SHOW DATAFLOWS listing (one row per deployed graph);
+	// with Target set it returns the EXPLAIN DATAFLOW rendering of that
+	// graph as a single text row.
+	MsgDataflows
+	// MsgDataflowCtl drives the per-graph lifecycle: Target names the
+	// dataflow and Params[0] is the action, "pause" or "resume".
+	MsgDataflowCtl
 )
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating

@@ -16,6 +16,12 @@
 //
 // # Quick start
 //
+// A workflow is declared as one named Dataflow — procedure nodes, stream
+// edges with batch sizes, and EE triggers together — and deployed
+// atomically: Deploy validates the whole graph (unknown streams or
+// procedures, duplicate consumers, cycles, invalid batch sizes) before
+// touching any partition.
+//
 //	st := sstore.Open(sstore.Config{})
 //	st.ExecScript(`
 //	    CREATE STREAM readings (sensor INT, v FLOAT);
@@ -28,9 +34,22 @@
 //	        return err
 //	    },
 //	})
-//	st.BindStream("readings", "detect", 8)
+//	st.Deploy(&sstore.Dataflow{
+//	    Name:  "alarming",
+//	    Nodes: []sstore.DataflowNode{{Proc: "detect", Input: "readings", Batch: 8}},
+//	})
 //	st.Start()
 //	st.Ingest("readings", sstore.Row{sstore.Int(1), sstore.Float(250)})
+//
+// Deployed graphs are catalog objects: list them with the SHOW DATAFLOWS
+// statement (or sstorecli's dataflows command), render one with
+// EXPLAIN DATAFLOW <name>, and pause/resume one by name with
+// Store.PauseDataflow / Store.ResumeDataflow — while paused, border
+// ingest for the graph's streams queues and nothing is lost across the
+// pause. Multi-stage graphs add Emits declarations so the deploy
+// validator sees the edges; see examples/bikealert. The single-edge
+// Store.BindStream and Store.CreateTrigger calls remain as compat shims
+// that deploy anonymous graphs ("bind_<stream>" / "trigger_<rel>_<name>").
 //
 // # Scale-out
 //
@@ -92,6 +111,18 @@ type Result = pe.Result
 // Store.MultiPartitionTxn).
 type MPTxn = core.MPTxn
 
+// Dataflow is a named workflow graph — procedure nodes, stream edges, EE
+// triggers — deployed atomically as one unit with Store.Deploy.
+type Dataflow = core.Dataflow
+
+// DataflowNode is one procedure node of a Dataflow: a consumed Input
+// stream with its Batch size (empty Input for OLTP entry nodes) and the
+// streams the node Emits to.
+type DataflowNode = core.DataflowNode
+
+// DataflowTrigger is one EE trigger deployed with a Dataflow.
+type DataflowTrigger = core.DataflowTrigger
+
 // Value is one SQL scalar value.
 type Value = types.Value
 
@@ -129,7 +160,7 @@ const (
 )
 
 // Open creates a Store from the configuration. Call ExecScript /
-// RegisterProcedure / BindStream / CreateTrigger, then Start.
+// RegisterProcedure / Deploy, then Start.
 func Open(cfg Config) *Store { return core.Open(cfg) }
 
 // Null is the SQL NULL value.
