@@ -2,11 +2,13 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E8
+//	benchrunner            # E1..E9
 //	benchrunner -e E2 -votes 6000
 //	benchrunner -e E6 -votes 40000
 //	benchrunner -e E7 -votes 20000 -json BENCH_E7.json
 //	benchrunner -e E8 -txns 5000 -json BENCH_E8.json
+//	benchrunner -e E9 -readers 8 -dur 1s -json BENCH_E9.json
+//	benchrunner -e E9 -dur 100ms    # CI smoke
 package main
 
 import (
@@ -22,13 +24,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
-		jsonOut  = flag.String("json", "", "write machine-readable E7/E8 results to this file")
+		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
 		parts    = flag.Int("partitions", 2, "E7/E8: partition count")
 		pipeline = flag.Int("pipeline", 128, "E7/E8: concurrent clients")
 		txns     = flag.Int("txns", 5000, "E8: pair-insert transactions per mode")
+		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines")
+		keys     = flag.Int("keys", 1024, "E9: rows in the read/update table")
+		dur      = flag.Duration("dur", time.Second, "E9: measured duration per mode")
 	)
 	flag.Parse()
 	run := func(name string, fn func() error) {
@@ -207,6 +212,80 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E9", func() error {
+		rows, err := bench.E9(*seed, *keys, *readers, *dur)
+		if err != nil {
+			return err
+		}
+		var serialReads, baseWrites float64
+		for _, r := range rows {
+			switch r.Mode {
+			case "serial-reads":
+				serialReads = r.ReadsSec
+			case "writer-only":
+				baseWrites = r.WritesSec
+			}
+		}
+		fmt.Printf("%-16s %-12s %-10s %-10s %-11s %-12s %s\n",
+			"mode", "reads/sec", "p50", "p99", "vs-serial", "writes/sec", "vs-baseline")
+		for _, r := range rows {
+			speedup, wratio := "-", "-"
+			if r.ReadsSec > 0 && serialReads > 0 {
+				speedup = fmt.Sprintf("%.2fx", r.ReadsSec/serialReads)
+			}
+			if baseWrites > 0 {
+				wratio = fmt.Sprintf("%.2fx", r.WritesSec/baseWrites)
+			}
+			fmt.Printf("%-16s %-12.0f %-10s %-10s %-11s %-12.0f %s\n",
+				r.Mode, r.ReadsSec, r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond),
+				speedup, r.WritesSec, wratio)
+		}
+		if *jsonOut != "" {
+			if err := writeE9JSON(*jsonOut, *seed, *keys, *readers, *dur, rows); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e9JSON is the BENCH_E9.json document.
+type e9JSON struct {
+	Experiment string      `json:"experiment"`
+	Seed       int64       `json:"seed"`
+	Keys       int         `json:"keys"`
+	Readers    int         `json:"readers"`
+	DurationMs int64       `json:"duration_ms"`
+	Rows       []e9JSONRow `json:"results"`
+}
+
+type e9JSONRow struct {
+	Mode      string  `json:"mode"`
+	ReadsSec  float64 `json:"reads_per_sec"`
+	ReadP50us int64   `json:"read_p50_us"`
+	ReadP99us int64   `json:"read_p99_us"`
+	WritesSec float64 `json:"writes_per_sec"`
+}
+
+func writeE9JSON(path string, seed int64, keys, readers int, dur time.Duration, rows []bench.E9Row) error {
+	doc := e9JSON{Experiment: "E9 MVCC snapshot reads vs serial worker read path",
+		Seed: seed, Keys: keys, Readers: readers, DurationMs: dur.Milliseconds()}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, e9JSONRow{
+			Mode:      r.Mode,
+			ReadsSec:  r.ReadsSec,
+			ReadP50us: r.ReadP50.Microseconds(),
+			ReadP99us: r.ReadP99.Microseconds(),
+			WritesSec: r.WritesSec,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e8JSON is the BENCH_E8.json document.

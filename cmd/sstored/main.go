@@ -40,6 +40,8 @@ func main() {
 		syncPol  = flag.String("sync", "never", "command-log fsync policy: never | every | group")
 		gcIval   = flag.Duration("group-interval", 0, "group commit: max wait for a batch fsync (0 = default)")
 		gcBatch  = flag.Int("group-batch", 0, "group commit: fsync early at this many pending commits (0 = default)")
+		gcMin    = flag.Duration("group-min-interval", 0, "adaptive group commit: lower bound of the fsync-latency-tracking flush interval")
+		gcMax    = flag.Duration("group-max-interval", 0, "adaptive group commit: upper bound; > 0 enables adaptation (overrides -group-interval)")
 		logAll   = flag.Bool("log-all-tes", false, "log every transaction execution instead of upstream backup")
 		hstore   = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
 		contest  = flag.Int("contestants", 25, "voter: number of contestants")
@@ -49,11 +51,13 @@ func main() {
 	flag.Parse()
 
 	cfg := core.Config{
-		Dir:                 *dir,
-		HStoreMode:          *hstore,
-		Partitions:          *parts,
-		GroupCommitInterval: *gcIval,
-		GroupCommitMaxBatch: *gcBatch,
+		Dir:                    *dir,
+		HStoreMode:             *hstore,
+		Partitions:             *parts,
+		GroupCommitInterval:    *gcIval,
+		GroupCommitMaxBatch:    *gcBatch,
+		GroupCommitMinInterval: *gcMin,
+		GroupCommitMaxInterval: *gcMax,
 	}
 	switch *syncPol {
 	case "never":

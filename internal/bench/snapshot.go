@@ -1,0 +1,218 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+// ---------- E9: MVCC snapshot reads vs the serial worker read path ----------
+//
+// Every ad-hoc read used to execute as its own transaction on the
+// partition's serial worker, queueing behind writes (and behind every
+// other read). The MVCC read path executes SELECTs on the caller's
+// goroutine against a pinned snapshot instead.
+//
+// E9 prices both under the realistic S-Store load shape: a pipelined
+// writer keeps the partition worker backlogged (clients submit bursts of
+// e9Burst asynchronous calls and reap the futures — the paper's
+// push-based ingest), while N reader goroutines offer a paced stream of
+// point SELECTs (a dashboard / monitoring load of 1/e9ReadPace reads per
+// second each):
+//
+//   - writer-only:    no readers; the writer's unimpeded throughput.
+//   - serial-reads:   readers via pe.Engine.QueryOnWorker, the old path:
+//                     every read queues behind the worker's standing write
+//                     backlog, so read latency is the backlog drain time
+//                     and the offered read rate cannot be served.
+//   - snapshot-reads: readers via Store.Query (MVCC): reads run on the
+//                     reader goroutines at a pinned sequence in
+//                     microseconds, serve the full offered load, and leave
+//                     the writer's throughput essentially untouched.
+
+// E9Row is one row of the snapshot-read experiment.
+type E9Row struct {
+	Mode      string
+	ReadsSec  float64
+	ReadP50   time.Duration
+	ReadP99   time.Duration
+	WritesSec float64
+}
+
+const (
+	e9DDL = `CREATE TABLE kv (k INT PRIMARY KEY, v BIGINT);`
+	// e9Burst is the writer's submission burst: the worker's standing
+	// backlog a serial read must queue behind.
+	e9Burst = 4096
+	// Each reader wakes every e9ReadPace and issues e9ReadBatch point
+	// SELECTs back to back (a dashboard refresh), so the offered load is
+	// readers * e9ReadBatch / e9ReadPace, insulated from the platform's
+	// sleep/wakeup granularity (~1ms on Linux).
+	e9ReadPace  = 4 * time.Millisecond
+	e9ReadBatch = 8
+)
+
+// E9 runs the three modes for dur each, with `readers` concurrent reader
+// goroutines over a table of `keys` rows. Single partition by design: the
+// serial path's bottleneck is the partition worker, and one partition
+// isolates it.
+func E9(seed int64, keys, readers int, dur time.Duration) ([]E9Row, error) {
+	if keys < 1 {
+		keys = 1
+	}
+	var rows []E9Row
+	for _, mode := range []string{"writer-only", "serial-reads", "snapshot-reads"} {
+		row, err := runE9Mode(mode, seed, keys, readers, dur)
+		if err != nil {
+			return nil, fmt.Errorf("E9 %s: %w", mode, err)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runE9Mode(mode string, seed int64, keys, readers int, dur time.Duration) (E9Row, error) {
+	st := core.Open(core.Config{})
+	if err := st.ExecScript(e9DDL); err != nil {
+		return E9Row{}, err
+	}
+	// Each writer transaction updates a 16-key stripe — the multi-row
+	// footprint of a realistic border-batch TE — so execution, not
+	// submission, is the worker's cost and the backlog is a real one.
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "w_bump",
+		WriteSet: []string{"kv"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			lo := ctx.Params[0].Int()
+			_, err := ctx.Exec("UPDATE kv SET v = v + 1 WHERE k >= ? AND k < ?",
+				types.NewInt(lo), types.NewInt(lo+16))
+			return err
+		},
+	}); err != nil {
+		return E9Row{}, err
+	}
+	if err := st.Start(); err != nil {
+		return E9Row{}, err
+	}
+	defer st.Stop()
+	for k := 0; k < keys; k++ {
+		if _, err := st.Exec("INSERT INTO kv VALUES (?, 0)", types.NewInt(int64(k))); err != nil {
+			return E9Row{}, err
+		}
+	}
+
+	if mode == "writer-only" {
+		readers = 0
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, readers)
+	readErrs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(r) + 1))
+			lats := make([]time.Duration, 0, 1<<14)
+			next := time.Now()
+			for {
+				select {
+				case <-stop:
+					latencies[r] = lats
+					return
+				default:
+				}
+				if wait := time.Until(next); wait > 0 {
+					time.Sleep(wait)
+				}
+				for i := 0; i < e9ReadBatch; i++ {
+					k := types.NewInt(rng.Int63n(int64(keys)))
+					s := time.Now()
+					var err error
+					if mode == "serial-reads" {
+						_, err = st.PE().QueryOnWorker("SELECT v FROM kv WHERE k = ?", k)
+					} else {
+						_, err = st.Query("SELECT v FROM kv WHERE k = ?", k)
+					}
+					if err != nil {
+						readErrs[r] = err
+						latencies[r] = lats
+						return
+					}
+					lats = append(lats, time.Since(s))
+				}
+				if next = next.Add(e9ReadPace); next.Before(time.Now()) {
+					next = time.Now() // a slow refresh does not accrue debt
+				}
+			}
+		}(r)
+	}
+
+	// The pipelined writers: two clients alternate bursts of asynchronous
+	// calls, each reaping its futures while the other's burst drains, so
+	// the worker's backlog never empties (the push-based ingest steady
+	// state) yet the submitters spend half their time blocked — leaving
+	// CPU for the readers.
+	const nWriters = 2
+	writeCounts := make([]int, nWriters)
+	writeErrs := make([]error, nWriters)
+	var wwg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < nWriters; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			inflight := make([]<-chan pe.CallResult, 0, e9Burst/nWriters)
+			for time.Since(t0) < dur {
+				inflight = inflight[:0]
+				for i := 0; i < e9Burst/nWriters; i++ {
+					inflight = append(inflight, st.CallAsync("w_bump", types.NewInt(rng.Int63n(int64(keys)))))
+				}
+				for _, fut := range inflight {
+					if cr := <-fut; cr.Err != nil {
+						writeErrs[w] = cr.Err
+						return
+					}
+					writeCounts[w]++
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	writes := 0
+	for w := 0; w < nWriters; w++ {
+		if writeErrs[w] != nil {
+			return E9Row{}, writeErrs[w]
+		}
+		writes += writeCounts[w]
+	}
+	for _, err := range readErrs {
+		if err != nil {
+			return E9Row{}, err
+		}
+	}
+
+	var total int64
+	for _, lats := range latencies {
+		total += int64(len(lats))
+	}
+	row := E9Row{
+		Mode:      mode,
+		ReadsSec:  float64(total) / elapsed.Seconds(),
+		WritesSec: float64(writes) / elapsed.Seconds(),
+	}
+	if readers > 0 {
+		q := latencyQuantiles(latencies)
+		row.ReadP50, row.ReadP99 = q(0.50), q(0.99)
+	}
+	return row, nil
+}

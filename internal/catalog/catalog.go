@@ -114,15 +114,24 @@ func (r *Relation) SetPartitionColumn(name string) error {
 type Catalog struct {
 	rels      map[string]*Relation
 	dataflows map[string]*Dataflow
+	// clock is the partition's commit clock: every table created through
+	// this catalog stamps its row versions from it, so one publish at
+	// commit makes a whole transaction's writes — across all its tables —
+	// visible atomically to snapshot readers.
+	clock *storage.PartitionClock
 }
 
-// New returns an empty catalog.
+// New returns an empty catalog with a fresh partition clock.
 func New() *Catalog {
 	return &Catalog{
 		rels:      make(map[string]*Relation),
 		dataflows: make(map[string]*Dataflow),
+		clock:     storage.NewPartitionClock(),
 	}
 }
+
+// Clock returns the partition's commit clock.
+func (c *Catalog) Clock() *storage.PartitionClock { return c.clock }
 
 func key(name string) string { return strings.ToLower(name) }
 
@@ -211,7 +220,7 @@ func (c *Catalog) create(schema *types.Schema, kind RelationKind, win *WindowSta
 		Name:    name,
 		Kind:    kind,
 		Schema:  schema,
-		Table:   storage.NewTable(schema),
+		Table:   storage.NewTableWithClock(schema, c.clock),
 		Win:     win,
 		PartCol: -1,
 	}

@@ -127,7 +127,9 @@ func (s *Store) execInsertSelect(ins *sql.Insert, rel *catalog.Relation, sqlText
 			if err != nil {
 				return err
 			}
-			merged, err := plan.merge(ins.Query, results)
+			// Merged-HAVING params are positions in the original statement;
+			// bind the caller's slice even when the legs inlined theirs.
+			merged, err := plan.merge(ins.Query, results, params)
 			if err != nil {
 				return err
 			}

@@ -54,6 +54,13 @@ type Config struct {
 	// GroupCommitMaxBatch fsyncs early once this many commits are pending
 	// in a partition's batch (0 = wal.DefaultGroupCommitMaxBatch).
 	GroupCommitMaxBatch int
+	// GroupCommitMaxInterval > 0 makes the commit daemon's tick adaptive:
+	// it tracks observed fsync latency and scales the flush interval
+	// between GroupCommitMinInterval and GroupCommitMaxInterval, batching
+	// more on slow media and flushing sooner on fast media. Overrides
+	// GroupCommitInterval.
+	GroupCommitMinInterval time.Duration
+	GroupCommitMaxInterval time.Duration
 	// LogMode selects upstream backup (border-only, default) or full
 	// per-TE logging.
 	LogMode pe.LogMode
@@ -173,9 +180,11 @@ func (p *partition) recover(cfg *Config, decisions map[uint64]bool) (maxMP uint6
 		lastLSN = meta.LastLSN // log truncated at the last checkpoint
 	}
 	p.log, err = wal.OpenLogOpts(logPath, lastLSN, wal.Options{
-		Policy:              cfg.Sync,
-		GroupCommitInterval: cfg.GroupCommitInterval,
-		GroupCommitMaxBatch: cfg.GroupCommitMaxBatch,
+		Policy:                 cfg.Sync,
+		GroupCommitInterval:    cfg.GroupCommitInterval,
+		GroupCommitMaxBatch:    cfg.GroupCommitMaxBatch,
+		GroupCommitMinInterval: cfg.GroupCommitMinInterval,
+		GroupCommitMaxInterval: cfg.GroupCommitMaxInterval,
 	})
 	if err != nil {
 		return 0, err
@@ -196,11 +205,21 @@ type Store struct {
 	// parked on some partitions while a checkpoint barrier holds the rest
 	// would deadlock the same way.
 	exclMu sync.Mutex
-	// mpMu serializes multi-partition transactions (held exclusively by the
-	// coordinator) against each other and against fan-out reads (held
-	// shared by distributed queries), which gives readers all-or-nothing
-	// visibility of coordinated writes. Always acquired after exclMu.
+	// mpMu serializes multi-partition transactions against each other.
+	// Always acquired after exclMu. (Fan-out reads no longer take it:
+	// they run against MVCC snapshots and coordinate with 2PC commits
+	// through seqMu alone.)
 	mpMu sync.RWMutex
+	// seqMu makes the cross-partition snapshot cut atomic against 2PC
+	// commit publication: querySelect pins one committed sequence per
+	// partition under the read side, and the coordinator publishes a
+	// decided transaction's legs under the write side, so a distributed
+	// read sees a coordinated write on every partition or on none. Held
+	// only for the acquisition / in-memory publication window — snapshot
+	// reads run concurrently with the rest of the 2PC protocol (fragments,
+	// prepare votes, even the decided legs' durability fsyncs, which
+	// resolve after the lock is released).
+	seqMu sync.RWMutex
 	// nextMPTxnID numbers coordinated transactions; recovery restarts it
 	// above every id seen in any log segment.
 	nextMPTxnID uint64

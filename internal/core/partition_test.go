@@ -192,9 +192,15 @@ func TestPartitionedQueryMerge(t *testing.T) {
 		t.Fatalf("AVG(n) = %v want 4", got)
 	}
 
-	// Unsupported shapes fail loudly instead of silently merging wrong.
-	if _, err := st.Query("SELECT k, SUM(n) FROM totals GROUP BY k LIMIT 2"); err == nil {
-		t.Fatal("agg+LIMIT should be rejected")
+	// LIMIT under GROUP BY: withheld from the legs (a per-leg LIMIT would
+	// truncate partial groups) and applied to the merged, ordered result.
+	res, err = st.Query("SELECT k, SUM(n) FROM totals GROUP BY k ORDER BY k LIMIT 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 || res.Rows[0][0].Int() != 0 || res.Rows[1][0].Int() != 1 ||
+		res.Rows[0][1].Int() != 4 || res.Rows[1][1].Int() != 4 {
+		t.Fatalf("agg+LIMIT merge = %v", res.Rows)
 	}
 }
 
@@ -497,7 +503,9 @@ func TestPartitionCountMismatchRejected(t *testing.T) {
 	}
 }
 
-// TestHavingAndSubqueryRejections pins two more merge-unsafe shapes.
+// TestHavingAndSubqueryRejections pins merge-unsafe shapes (and that
+// aggregate HAVING, now executed above the merge, still rejects forms the
+// merged row cannot resolve).
 func TestHavingAndSubqueryRejections(t *testing.T) {
 	st := buildPartApp(t, Config{Partitions: 4})
 	if err := st.Start(); err != nil {
@@ -506,11 +514,11 @@ func TestHavingAndSubqueryRejections(t *testing.T) {
 	defer st.Stop()
 	ingestKeys(t, st, 6, 1)
 
-	// Aggregate HAVING without a projected aggregate filters partial
-	// groups per partition.
-	if _, err := st.Query("SELECT k FROM totals GROUP BY k HAVING COUNT(*) > 1"); err == nil ||
-		!strings.Contains(err.Error(), "HAVING") {
-		t.Fatalf("aggregate HAVING err = %v", err)
+	// Aggregate HAVING executes after the fan-out merge; a group key it
+	// references must be projected for the merged row to carry it.
+	if _, err := st.Query("SELECT SUM(n) FROM totals GROUP BY k HAVING k > 1"); err == nil ||
+		!strings.Contains(err.Error(), "projected") {
+		t.Fatalf("unprojected HAVING key err = %v", err)
 	}
 
 	// Subquery over a partitioned relation inside a JOIN ON clause.

@@ -10,6 +10,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/pe"
 	"repro/internal/sql"
+	"repro/internal/storage"
 	"repro/internal/types"
 )
 
@@ -480,7 +481,7 @@ func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error)
 		return res, err
 	}
 	if len(s.parts) == 1 {
-		return s.parts[0].pe.Query(sqlText, params...)
+		return s.queryPart0(sqlText, params)
 	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -488,9 +489,19 @@ func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error)
 	}
 	sel, ok := stmt.(*sql.Select)
 	if !ok {
-		return s.parts[0].pe.Query(sqlText, params...)
+		return s.queryPart0(sqlText, params)
 	}
 	return s.querySelect(sel, sqlText, params)
+}
+
+// queryPart0 runs a partition-0 query holding routeMu shared: snapshot
+// SELECTs execute on this (caller) goroutine and read catalog maps and
+// index sets, which runtime DDL (ExecScript, under routeMu exclusively)
+// would otherwise mutate underneath them.
+func (s *Store) queryPart0(sqlText string, params []types.Value) (*pe.Result, error) {
+	s.routeMu.RLock()
+	defer s.routeMu.RUnlock()
+	return s.parts[0].pe.Query(sqlText, params...)
 }
 
 // querySelect is Query after parsing; Exec reuses it for ad-hoc SELECTs so
@@ -501,17 +512,33 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 		return nil, err
 	}
 	if !part {
-		return s.parts[0].pe.Query(sqlText, params...)
+		return s.queryPart0(sqlText, params)
 	}
 	plan, legSQL, legParams, err := fanoutLeg(sel, sqlText, params)
 	if err != nil {
 		return nil, err
 	}
-	// Shared side of the coordinator's visibility lock: the fan-out either
-	// runs entirely before a multi-partition transaction or entirely after,
-	// so distributed reads never observe a coordinated write half-applied.
-	s.mpMu.RLock()
-	defer s.mpMu.RUnlock()
+	// Acquire a consistent cross-partition snapshot: one pinned committed
+	// sequence per partition, taken atomically against 2PC commit
+	// publication (seqMu), so a coordinated write is visible on every
+	// partition or on none. The legs then execute on this goroutine's
+	// fan-out workers against those snapshots — no partition worker is
+	// enqueued, and writers (including an in-flight 2PC transaction's
+	// fragment phase) proceed concurrently. routeMu (shared) excludes
+	// runtime DDL for the legs' catalog and index reads; queryScope above
+	// released its own hold, so this is not a recursive read-lock.
+	s.routeMu.RLock()
+	seqs := make([]storage.Seq, len(s.parts))
+	s.seqMu.RLock()
+	for i, p := range s.parts {
+		seqs[i] = p.pe.AcquireSnapshot()
+	}
+	s.seqMu.RUnlock()
+	defer func() {
+		for i, p := range s.parts {
+			p.pe.ReleaseSnapshot(seqs[i])
+		}
+	}()
 	results := make([]*pe.Result, len(s.parts))
 	errs := make([]error, len(s.parts))
 	var wg sync.WaitGroup
@@ -519,32 +546,38 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.parts[i].pe.Query(legSQL, legParams...)
+			results[i], errs[i] = s.parts[i].pe.QueryAtSeq(seqs[i], legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()
+	s.routeMu.RUnlock()
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
-	return plan.merge(sel, results)
+	// The merged HAVING evaluator binds the ORIGINAL parameter slice: its
+	// Param indexes are positions in the client's statement, which stay
+	// valid even when the legs had to inline parameters as literals.
+	return plan.merge(sel, results, params)
 }
 
 // fanoutLeg computes the merge plan and the per-leg statement of a
 // distributed SELECT. The leg statement differs from the client's text
-// when AVG is pushed down (SUM + hidden COUNT per AVG, serialized from the
-// rewritten AST). Shared by the query fan-out and the coordinator's
-// transactional INSERT ... SELECT materialization.
+// when AVG is pushed down (SUM + hidden COUNT per AVG), when HAVING is
+// lifted above the merge (stripped, hidden aggregates appended), or when
+// LIMIT under aggregation is withheld from the legs — all serialized from
+// the rewritten AST via sql.FormatSelect. Shared by the query fan-out and
+// the coordinator's transactional INSERT ... SELECT materialization.
 func fanoutLeg(sel *sql.Select, sqlText string, params []types.Value) (*queryMerge, string, []types.Value, error) {
 	plan, err := mergePlan(sel, params)
 	if err != nil {
 		return nil, "", nil, err
 	}
 	legSQL, legParams := sqlText, params
-	if len(plan.avgHidden) > 0 {
+	if len(plan.avgHidden) > 0 || len(plan.extraItems) > 0 || plan.stripHaving || plan.stripLimit {
 		var inlined bool
-		legSQL, inlined, err = rewriteAvgSelect(sel, params)
+		legSQL, inlined, err = buildLegSQL(sel, plan, params)
 		if err != nil {
 			return nil, "", nil, err
 		}
@@ -715,6 +748,44 @@ type queryMerge struct {
 	// merged rows are trimmed back to.
 	avgHidden map[int]int
 	outWidth  int
+	// HAVING pushup: a HAVING over aggregates filters partial groups if
+	// run per leg, so the legs run without it (stripHaving) and having
+	// filters the merged rows. Aggregates it references that the
+	// projection does not already carry ride as hidden extraItems,
+	// trimmed with the AVG counts.
+	having      mergedExpr
+	stripHaving bool
+	extraItems  []sql.SelectItem
+	// LIMIT under aggregation truncates partial groups per leg, so the
+	// legs run without it (stripLimit) and the merge applies m.limit —
+	// which is always re-applied after the merge regardless.
+	stripLimit bool
+}
+
+// classifyAggFunc maps a projected (or HAVING-referenced) aggregate call
+// to its merge combinator, rejecting forms that cannot be recombined from
+// partition-local partials.
+func classifyAggFunc(f *sql.FuncCall) (aggKind, error) {
+	if f.Distinct {
+		return aggKey, fmt.Errorf("core: %s(DISTINCT ...) cannot be merged across partitions", f.Name)
+	}
+	switch strings.ToUpper(f.Name) {
+	case "COUNT":
+		return aggCount, nil
+	case "SUM":
+		return aggSum, nil
+	case "MIN":
+		return aggMin, nil
+	case "MAX":
+		return aggMax, nil
+	case "AVG":
+		if f.Star {
+			return aggKey, fmt.Errorf("core: AVG(*) cannot be merged across partitions")
+		}
+		return aggAvg, nil // decomposed into SUM + hidden COUNT at fan-out
+	default:
+		return aggKey, fmt.Errorf("core: %s cannot be merged across partitions; compute SUM and COUNT instead", strings.ToUpper(f.Name))
+	}
 }
 
 // mergePlan classifies the select's projection and clauses, rejecting
@@ -729,25 +800,9 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 		}
 		k := aggKey
 		if f, ok := it.Expr.(*sql.FuncCall); ok && sql.IsAggregate(f.Name) {
-			if f.Distinct {
-				return nil, fmt.Errorf("core: %s(DISTINCT ...) cannot be merged across partitions", f.Name)
-			}
-			switch strings.ToUpper(f.Name) {
-			case "COUNT":
-				k = aggCount
-			case "SUM":
-				k = aggSum
-			case "MIN":
-				k = aggMin
-			case "MAX":
-				k = aggMax
-			case "AVG":
-				if f.Star {
-					return nil, fmt.Errorf("core: AVG(*) cannot be merged across partitions")
-				}
-				k = aggAvg // decomposed into SUM + hidden COUNT at fan-out
-			default:
-				return nil, fmt.Errorf("core: %s cannot be merged across partitions; compute SUM and COUNT instead", strings.ToUpper(f.Name))
+			var err error
+			if k, err = classifyAggFunc(f); err != nil {
+				return nil, err
 			}
 		} else if sql.ContainsAggregate(it.Expr) {
 			return nil, fmt.Errorf("core: expression over an aggregate cannot be merged across partitions; select the bare aggregate")
@@ -767,6 +822,25 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 		m.cols = nil // unknown width: plain concatenation
 	}
 	m.outWidth = len(m.cols)
+	// HAVING over aggregates filters partial per-partition groups if run in
+	// the legs, so it is stripped there and applied to the merged groups
+	// instead: each referenced aggregate resolves to a projected column or
+	// rides as a hidden one. (Key-only HAVING on a non-aggregate grouped
+	// select is leg-identical and stays pushed down.)
+	if sel.Having != nil && (m.hasAgg || sql.ContainsAggregate(sel.Having)) {
+		if star {
+			return nil, fmt.Errorf("core: HAVING with aggregates needs an explicit projection to merge across partitions")
+		}
+		m.stripHaving = true
+		pred, err := compileMergeExpr(sel.Having, m.havingResolver(sel))
+		if err != nil {
+			return nil, err
+		}
+		m.having = pred
+		if len(m.extraItems) > 0 {
+			m.hasAgg = true // hidden aggregates force the re-grouping merge
+		}
+	}
 	for i, k := range m.cols {
 		if k != aggAvg {
 			continue
@@ -811,25 +885,18 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 			m.distinct = true
 		}
 	}
-	// HAVING over an aggregate filters partial per-partition groups before
-	// the merge can recombine them — wrong regardless of the projection.
-	// (Key-only HAVING on a non-aggregate grouped select is leg-identical
-	// and safe.)
-	if sel.Having != nil && (m.hasAgg || sql.ContainsAggregate(sel.Having)) {
-		return nil, fmt.Errorf("core: HAVING cannot be applied across partitions; filter the merged result instead")
-	}
-	if m.hasAgg {
-		if sel.Distinct {
-			return nil, fmt.Errorf("core: SELECT DISTINCT with aggregates cannot be merged across partitions")
-		}
-		if sel.Limit != nil {
-			return nil, fmt.Errorf("core: LIMIT with aggregates truncates partial groups per partition; omit it and trim the merged result")
-		}
+	if m.hasAgg && sel.Distinct {
+		return nil, fmt.Errorf("core: SELECT DISTINCT with aggregates cannot be merged across partitions")
 	}
 	if sel.Offset != nil {
 		return nil, fmt.Errorf("core: OFFSET cannot be applied across partitions")
 	}
-	if sel.Limit != nil && !m.hasAgg {
+	if sel.Limit != nil {
+		// The limit is always re-applied to the merged result. Pushing it
+		// into the legs is only a safe pre-filter for plain row selects
+		// (each leg then returns a superset of what the merge keeps); under
+		// aggregation a per-leg LIMIT would truncate partial groups, so the
+		// legs run without it.
 		v, err := sql.StaticValue(sel.Limit, params)
 		if err != nil {
 			return nil, fmt.Errorf("core: LIMIT across partitions: %w", err)
@@ -839,8 +906,56 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 			return nil, fmt.Errorf("core: LIMIT must be a non-negative integer, got %s", v)
 		}
 		m.limit = int(iv.Int())
+		if m.hasAgg {
+			m.stripLimit = true
+		}
 	}
 	return m, nil
+}
+
+// havingResolver maps HAVING leaf expressions to merged-row columns:
+// aggregates reuse an equal projected item or ride as hidden extra items;
+// bare columns must name a projected group key (by alias or source
+// column).
+func (m *queryMerge) havingResolver(sel *sql.Select) func(sql.Expr) (int, bool, error) {
+	return func(e sql.Expr) (int, bool, error) {
+		if fc, ok := e.(*sql.FuncCall); ok && sql.IsAggregate(fc.Name) {
+			k, err := classifyAggFunc(fc)
+			if err != nil {
+				return 0, false, err
+			}
+			for i, it := range sel.Items {
+				if !it.Star && m.cols[i] != aggKey && mergeExprEqual(it.Expr, fc) {
+					return i, true, nil
+				}
+			}
+			for j, ex := range m.extraItems {
+				if mergeExprEqual(ex.Expr, fc) {
+					return m.outWidth + j, true, nil
+				}
+			}
+			pos := len(m.cols)
+			m.cols = append(m.cols, k)
+			m.extraItems = append(m.extraItems, sql.SelectItem{Expr: fc})
+			return pos, true, nil
+		}
+		if cr, ok := e.(*sql.ColumnRef); ok {
+			for i, it := range sel.Items {
+				if it.Star || m.cols[i] != aggKey {
+					continue
+				}
+				if cr.Table == "" && it.Alias != "" && strings.EqualFold(it.Alias, cr.Column) {
+					return i, true, nil
+				}
+				if pc, ok := it.Expr.(*sql.ColumnRef); ok && strings.EqualFold(pc.Column, cr.Column) &&
+					(cr.Table == "" || strings.EqualFold(pc.Table, cr.Table)) {
+					return i, true, nil
+				}
+			}
+			return 0, false, fmt.Errorf("core: HAVING references %q, which must be projected as a group key to merge across partitions", cr.Column)
+		}
+		return 0, false, nil
+	}
 }
 
 // selectExprs collects every expression position of a Select (WHERE,
@@ -858,26 +973,32 @@ func selectExprs(q *sql.Select) []sql.Expr {
 	return exprs
 }
 
-// rewriteAvgSelect serializes the fan-out leg statement for a projection
-// containing AVG: each AVG(x) item becomes SUM(x) (same position, same
-// alias) and a hidden COUNT(x) is appended per AVG, in projection order —
-// matching the positions mergePlan recorded in avgHidden.
+// buildLegSQL serializes the fan-out leg statement when it differs from
+// the client's text: hidden HAVING aggregates are appended to the
+// projection, each AVG item (projected or hidden) becomes SUM at its
+// position plus an appended COUNT — in the order mergePlan recorded in
+// avgHidden — and stripped clauses (HAVING, LIMIT under aggregation) are
+// dropped.
 //
-// When no AVG argument contains a parameter, the hidden COUNT duplicates
-// no '?' and every placeholder keeps its original text order, so the leg
-// text preserves placeholders and binds the caller's params — one cached
-// plan per statement shape. An AVG argument with a parameter forces
-// inlining params as literals (inlined=true: execute with no params),
-// since its duplication would scramble positional binding.
-func rewriteAvgSelect(sel *sql.Select, params []types.Value) (legSQL string, inlined bool, err error) {
+// When the rewrite duplicates or reorders no '?' placeholder, the leg text
+// preserves placeholders and binds the caller's params — one cached plan
+// per statement shape; FormatSelectPlaceholders verifies this and the
+// fallback inlines params as literals (inlined=true: execute with no
+// params).
+func buildLegSQL(sel *sql.Select, m *queryMerge, params []types.Value) (legSQL string, inlined bool, err error) {
 	leg := *sel
-	leg.Items = make([]sql.SelectItem, len(sel.Items), len(sel.Items)+len(sel.Items)/2+1)
-	copy(leg.Items, sel.Items)
+	items := make([]sql.SelectItem, 0, len(m.cols))
+	items = append(items, sel.Items...)
+	items = append(items, m.extraItems...)
+	nBase := len(items)
 	avgArgHasParam := false
-	for i, it := range sel.Items {
-		f, ok := it.Expr.(*sql.FuncCall)
-		if !ok || strings.ToUpper(f.Name) != "AVG" || f.Distinct {
+	for i := 0; i < nBase; i++ {
+		if m.cols[i] != aggAvg {
 			continue
+		}
+		f, ok := items[i].Expr.(*sql.FuncCall)
+		if !ok {
+			return "", false, fmt.Errorf("core: internal: AVG merge column %d is not a function call", i)
 		}
 		for _, a := range f.Args {
 			sql.WalkExpr(a, func(x sql.Expr) {
@@ -886,26 +1007,33 @@ func rewriteAvgSelect(sel *sql.Select, params []types.Value) (legSQL string, inl
 				}
 			})
 		}
-		leg.Items[i] = sql.SelectItem{Expr: &sql.FuncCall{Name: "SUM", Args: f.Args}, Alias: it.Alias}
-		leg.Items = append(leg.Items, sql.SelectItem{Expr: &sql.FuncCall{Name: "COUNT", Args: f.Args}})
+		items[i] = sql.SelectItem{Expr: &sql.FuncCall{Name: "SUM", Args: f.Args}, Alias: items[i].Alias}
+		items = append(items, sql.SelectItem{Expr: &sql.FuncCall{Name: "COUNT", Args: f.Args}})
+	}
+	leg.Items = items
+	if m.stripHaving {
+		leg.Having = nil
+	}
+	if m.stripLimit {
+		leg.Limit = nil
 	}
 	if !avgArgHasParam {
 		if legSQL, err = sql.FormatSelectPlaceholders(&leg); err == nil {
 			return legSQL, false, nil
 		}
-		// Placeholder order could not be preserved; fall through to inlining.
+		// Placeholder order could not be preserved (a moved or stripped '?');
+		// fall through to inlining.
 	}
 	legSQL, err = sql.FormatSelect(&leg, params)
 	return legSQL, true, err
 }
 
-// finalizeAvg divides each merged partial SUM by its hidden COUNT (NULL
-// over zero rows, matching the engine's AVG), trims the hidden columns,
-// and restores the client-visible column names. The column slice is
-// copied before renaming: the leg result's Columns aliases the EE's
-// cached prepared plan, which must not be mutated.
-func (m *queryMerge) finalizeAvg(sel *sql.Select, out *pe.Result) {
-	for _, row := range out.Rows {
+// finalizeAvgValues divides each merged partial SUM by its hidden COUNT
+// (NULL over zero rows, matching the engine's AVG) in place. Hidden
+// columns stay: the post-merge HAVING filter may still read them; trimHidden
+// drops them afterwards.
+func (m *queryMerge) finalizeAvgValues(rows []types.Row) {
+	for _, row := range rows {
 		for pos, hid := range m.avgHidden {
 			sum, cnt := row[pos], row[hid]
 			if sum.IsNull() || cnt.IsNull() || cnt.Int() == 0 {
@@ -915,24 +1043,34 @@ func (m *queryMerge) finalizeAvg(sel *sql.Select, out *pe.Result) {
 			row[pos] = types.NewFloat(sum.Float() / float64(cnt.Int()))
 		}
 	}
-	for i := range out.Rows {
-		out.Rows[i] = out.Rows[i][:m.outWidth]
-	}
-	cols := append([]string(nil), out.Columns...)
-	if len(cols) >= m.outWidth {
-		cols = cols[:m.outWidth]
+}
+
+// trimHidden cuts the merged rows back to the client-visible projection
+// width (dropping AVG counts and hidden HAVING aggregates) and restores
+// the client-visible column names. The column slice is copied before
+// renaming: the leg result's Columns aliases the EE's cached prepared
+// plan, which must not be mutated.
+func (m *queryMerge) trimHidden(sel *sql.Select, out *pe.Result) {
+	if len(m.cols) > m.outWidth {
+		for i := range out.Rows {
+			out.Rows[i] = out.Rows[i][:m.outWidth]
+		}
+		cols := append([]string(nil), out.Columns...)
+		if len(cols) >= m.outWidth {
+			cols = cols[:m.outWidth]
+		}
+		out.Columns = cols
 	}
 	// An unaliased AVG item was executed as SUM in the legs; rename.
 	for pos := range m.avgHidden {
-		if pos < len(sel.Items) && sel.Items[pos].Alias == "" && pos < len(cols) {
-			cols[pos] = "avg"
+		if pos < len(sel.Items) && sel.Items[pos].Alias == "" && pos < len(out.Columns) {
+			out.Columns[pos] = "avg"
 		}
 	}
-	out.Columns = cols
 }
 
 // merge combines the per-partition results according to the plan.
-func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result) (*pe.Result, error) {
+func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result, params []types.Value) (*pe.Result, error) {
 	out := &pe.Result{}
 	for _, r := range results {
 		if r == nil {
@@ -947,10 +1085,24 @@ func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result) (*pe.Result, e
 		if err != nil {
 			return nil, err
 		}
-		out.Rows = rows
 		if len(m.avgHidden) > 0 {
-			m.finalizeAvg(sel, out)
+			m.finalizeAvgValues(rows)
 		}
+		if m.having != nil {
+			kept := rows[:0]
+			for _, row := range rows {
+				v, err := m.having(row, params)
+				if err != nil {
+					return nil, err
+				}
+				if v.IsTrue() {
+					kept = append(kept, row)
+				}
+			}
+			rows = kept
+		}
+		out.Rows = rows
+		m.trimHidden(sel, out)
 	} else {
 		for _, r := range results {
 			if r != nil {

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// TestDistributedHavingPostMerge exercises HAVING above the fan-out merge
+// with groups that genuinely span partitions (grouped by the non-partition
+// column n, which every key shares), where per-leg filtering would return
+// the wrong answer.
+func TestDistributedHavingPostMerge(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 2) // 6 keys, each totals.n = 4, spread over 4 partitions
+
+	// COUNT(*) = 6 only exists globally; every leg's partial count is
+	// smaller, so a leg-side HAVING would discard the group.
+	res, err := st.Query("SELECT n, COUNT(*) FROM totals GROUP BY n HAVING COUNT(*) > 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 4 || res.Rows[0][1].Int() != 6 {
+		t.Fatalf("spanning-group HAVING = %v", res.Rows)
+	}
+
+	// Hidden aggregate: SUM(n) is not projected, rides as a hidden merge
+	// column, and the result is trimmed back to the client projection.
+	res, err = st.Query("SELECT n FROM totals GROUP BY n HAVING SUM(n) > 20")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || len(res.Rows[0]) != 1 || res.Rows[0][0].Int() != 4 {
+		t.Fatalf("hidden-aggregate HAVING = %v", res.Rows)
+	}
+	if len(res.Columns) != 1 {
+		t.Fatalf("hidden column leaked: %v", res.Columns)
+	}
+
+	// AVG in HAVING decomposes into hidden SUM + COUNT like projected AVG.
+	res, err = st.Query("SELECT n FROM totals GROUP BY n HAVING AVG(n) >= 4")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 4 {
+		t.Fatalf("AVG HAVING = %v", res.Rows)
+	}
+
+	// Parameterized HAVING binds against the merged rows.
+	res, err = st.Query("SELECT n, COUNT(*) FROM totals GROUP BY n HAVING COUNT(*) > ?", types.NewInt(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][1].Int() != 6 {
+		t.Fatalf("param HAVING = %v", res.Rows)
+	}
+	if _, err = st.Query("SELECT n, COUNT(*) FROM totals GROUP BY n HAVING COUNT(*) > ?", types.NewInt(6)); err != nil {
+		t.Fatal(err)
+	}
+
+	// Aggregate HAVING combined with key HAVING, ORDER BY and LIMIT: the
+	// whole filter runs post-merge, then order and limit re-apply.
+	res, err = st.Query("SELECT k, SUM(n) FROM totals GROUP BY k HAVING SUM(n) >= 4 AND k >= 2 ORDER BY k LIMIT 3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 || res.Rows[0][0].Int() != 2 || res.Rows[2][0].Int() != 4 {
+		t.Fatalf("combined HAVING+LIMIT = %v", res.Rows)
+	}
+
+	// Global aggregate with LIMIT (stripped from legs, re-applied).
+	res, err = st.Query("SELECT COUNT(*) FROM totals LIMIT 1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Int() != 6 {
+		t.Fatalf("global agg LIMIT = %v", res.Rows)
+	}
+}
+
+// TestSnapshotReadConcurrentWith2PC pins the new concurrency property: a
+// fan-out read completes while a multi-partition transaction is parked
+// mid-protocol on every partition worker, and transfer invariants hold at
+// every snapshot (SUM over the spanning writes is constant).
+func TestSnapshotReadConcurrentWith2PC(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 8, 1) // totals: 8 keys, n = 2 each, total 16
+
+	// Phase 1: a read must finish while an MP transaction holds every
+	// partition's serial slot.
+	enlisted := make(chan struct{})
+	release := make(chan struct{})
+	mpDone := make(chan error, 1)
+	go func() {
+		mpDone <- st.MultiPartitionTxn(func(tx *MPTxn) error {
+			if _, err := tx.ExecAll("UPDATE totals SET n = n + 0"); err != nil {
+				return err
+			}
+			close(enlisted)
+			<-release
+			return nil
+		})
+	}()
+	<-enlisted
+	res, err := st.Query("SELECT SUM(n) FROM totals")
+	if err != nil {
+		t.Fatalf("read during parked 2PC: %v", err)
+	}
+	if res.Rows[0][0].Int() != 16 {
+		t.Fatalf("sum during 2PC = %v", res.Rows)
+	}
+	close(release)
+	if err := <-mpDone; err != nil {
+		t.Fatal(err)
+	}
+
+	// Phase 2: -race hammer — concurrent MP transfers between keys on
+	// different partitions vs fan-out readers; the global sum is invariant
+	// and any torn (half-applied) transfer would break it.
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	var readerErr atomic.Value
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := st.Query("SELECT SUM(n) FROM totals")
+				if err != nil {
+					readerErr.Store(err.Error())
+					return
+				}
+				if got := res.Rows[0][0].Int(); got != 16 {
+					readerErr.Store(fmt.Sprintf("torn 2PC visibility: SUM = %d, want 16", got))
+					return
+				}
+			}
+		}()
+	}
+	for i := 0; i < 150; i++ {
+		from, to := int64(i%8), int64((i+3)%8)
+		err := st.MultiPartitionTxn(func(tx *MPTxn) error {
+			if _, err := tx.Exec(tx.PartitionFor(types.NewInt(from)),
+				"UPDATE totals SET n = n - 1 WHERE k = ?", types.NewInt(from)); err != nil {
+				return err
+			}
+			_, err := tx.Exec(tx.PartitionFor(types.NewInt(to)),
+				"UPDATE totals SET n = n + 1 WHERE k = ?", types.NewInt(to))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if msg := readerErr.Load(); msg != nil {
+			t.Fatal(msg)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if msg := readerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+	if st.Metrics().SnapshotReads.Load() == 0 {
+		t.Fatal("fan-out reads did not use the snapshot path")
+	}
+}
+
+// TestSnapshotReadsVsWriterAndCheckpoint is the store-level -race hammer of
+// the satellite checklist: concurrent fan-out readers vs a procedure
+// writer vs periodic Checkpoint (whose barrier truncates logs and sweeps
+// versions) on a durable multi-partition store.
+func TestSnapshotReadsVsWriterAndCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Partitions: 2, Dir: dir, Sync: wal.SyncNever})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 8, 1) // totals: 8 keys, n = 2 each
+
+	iters := 120
+	if testing.Short() {
+		iters = 25
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	var readerErr atomic.Value
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every key gets +100 atomically per bump call; a snapshot
+				// must never see a remainder other than 0 or 2 per row.
+				res, err := st.Query("SELECT k, n FROM totals")
+				if err != nil {
+					readerErr.Store(err.Error())
+					return
+				}
+				if len(res.Rows) != 8 {
+					readerErr.Store(fmt.Sprintf("saw %d rows, want 8", len(res.Rows)))
+					return
+				}
+				for _, row := range res.Rows {
+					if rem := row[1].Int() % 100; rem != 2 {
+						readerErr.Store(fmt.Sprintf("key %d: n=%d (non-atomic bump visible)", row[0].Int(), row[1].Int()))
+						return
+					}
+				}
+			}
+		}()
+	}
+	for i := 0; i < iters; i++ {
+		k := int64(i % 8)
+		if _, err := st.Call("bump", types.NewInt(k)); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 0 {
+			if err := st.Checkpoint(); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if msg := readerErr.Load(); msg != nil {
+			t.Fatal(msg)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if msg := readerErr.Load(); msg != nil {
+		t.Fatal(msg)
+	}
+}
+
+// TestFanoutReadDoesNotEnqueueOnWorkers pins the acceptance criterion
+// directly: a distributed SELECT leaves every partition's worker queue
+// untouched (WorkerQueries stays zero) and completes even when one
+// partition's worker is busy.
+func TestFanoutReadDoesNotEnqueueOnWorkers(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	block := make(chan struct{})
+	entered := make(chan struct{})
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:    "stall",
+		Handler: func(*pe.ProcCtx) error { close(entered); <-block; return nil },
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 1)
+
+	done := st.CallAsync("stall") // parks partition 0's worker
+	<-entered
+
+	before := st.Metrics().WorkerQueries.Load()
+	res, err := st.Query("SELECT COUNT(*) FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 6 {
+		t.Fatalf("count = %v", res.Rows)
+	}
+	if got := st.Metrics().WorkerQueries.Load(); got != before {
+		t.Fatalf("fan-out read enqueued on a worker (WorkerQueries %d -> %d)", before, got)
+	}
+	close(block)
+	if cr := <-done; cr.Err != nil {
+		t.Fatal(cr.Err)
+	}
+}
+
+// TestHavingParamsSurviveLegInlining regresses the parameter-binding bug:
+// a parameter inside an AVG argument forces the legs to inline literals
+// (legParams becomes nil), but the post-merge HAVING evaluator must still
+// bind the caller's original parameter slice.
+func TestHavingParamsSurviveLegInlining(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 6, 2) // 6 keys, n = 4 each
+
+	res, err := st.Query(
+		"SELECT k, AVG(n + ?) FROM totals GROUP BY k HAVING COUNT(*) > ? ORDER BY k",
+		types.NewInt(1), types.NewInt(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 6 || res.Rows[0][1].Float() != 5 {
+		t.Fatalf("inlined-leg HAVING params = %v", res.Rows)
+	}
+}

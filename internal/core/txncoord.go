@@ -25,10 +25,13 @@ import (
 //     different orders, or a transaction racing a checkpoint's barrier,
 //     would otherwise deadlock the serial workers. Single-partition work
 //     keeps flowing on partitions the transaction has not enlisted.
-//   - Fan-out reads take mpMu shared, so an ad-hoc distributed query sees
-//     a coordinated transaction entirely or not at all (all-or-nothing
-//     visibility); single-partition requests are serialized per partition
-//     by the worker itself.
+//   - Fan-out reads never take mpMu: they pin per-partition MVCC snapshot
+//     sequences under seqMu, whose exclusive side covers only the commit
+//     delivery below — that window is what makes an ad-hoc distributed
+//     query see a coordinated transaction entirely or not at all
+//     (all-or-nothing visibility) while running concurrently with the
+//     rest of the protocol. Single-partition requests are serialized per
+//     partition by the worker itself.
 //   - Fragment phase: the handler executes reads and writes on any
 //     partition through MPTxn; the first fragment to touch a partition
 //     enlists it, parking that partition's worker on the barrier until the
@@ -267,7 +270,17 @@ func (s *Store) runMP(logged bool, fn func(tx *MPTxn) error) error {
 		return ferr
 	}
 	s.met.MPTxns.Add(1)
-	return tx.finishAll(true)
+	// Commit publication window: every leg publishes its partition's
+	// commit sequence during delivery, and holding seqMu exclusively
+	// keeps a fan-out reader's snapshot vector from cutting between two
+	// legs' publications (all-or-nothing visibility). The lock covers
+	// only the in-memory window — the legs' durability acks (a group-
+	// commit fsync on durable stores) resolve after it is released, so
+	// snapshot readers are never parked behind the disk.
+	s.seqMu.Lock()
+	derr := tx.deliverAll(true)
+	s.seqMu.Unlock()
+	return errors.Join(derr, tx.resolveAll())
 }
 
 // runMPHandler executes fn, converting panics into aborts so a buggy
@@ -306,9 +319,11 @@ func (tx *MPTxn) prepareAll() error {
 	return nil
 }
 
-// finishAll delivers the decision to every enlisted leg in parallel and
-// waits for their resolutions.
-func (tx *MPTxn) finishAll(commit bool) error {
+// deliverAll sends the decision to every enlisted leg in parallel and
+// returns once each leg's in-memory state reflects it — the commit
+// publications happen inside this call, which the caller covers with the
+// publication lock.
+func (tx *MPTxn) deliverAll(commit bool) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(tx.sess))
 	for i, sess := range tx.sess {
@@ -318,11 +333,37 @@ func (tx *MPTxn) finishAll(commit bool) error {
 		wg.Add(1)
 		go func(i int, sess *pe.MPSession) {
 			defer wg.Done()
-			errs[i] = sess.Finish(commit)
+			errs[i] = sess.Deliver(commit)
 		}(i, sess)
 	}
 	wg.Wait()
 	return errors.Join(errs...)
+}
+
+// resolveAll waits for every delivered leg's final acknowledgement
+// (durability under group commit).
+func (tx *MPTxn) resolveAll() error {
+	var wg sync.WaitGroup
+	errs := make([]error, len(tx.sess))
+	for i, sess := range tx.sess {
+		if sess == nil {
+			continue
+		}
+		wg.Add(1)
+		go func(i int, sess *pe.MPSession) {
+			defer wg.Done()
+			errs[i] = sess.Resolve()
+		}(i, sess)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// finishAll is deliverAll + resolveAll — the abort path, which needs no
+// publication lock (rollbacks publish nothing).
+func (tx *MPTxn) finishAll(commit bool) error {
+	derr := tx.deliverAll(commit)
+	return errors.Join(derr, tx.resolveAll())
 }
 
 // appendDecision forces a commit decision record into the coordinator log.

@@ -3,6 +3,7 @@ package ee
 import (
 	"fmt"
 	"strings"
+	"sync"
 
 	"repro/internal/catalog"
 	"repro/internal/metrics"
@@ -24,9 +25,13 @@ const (
 
 // Engine is the execution engine: it owns statement preparation, physical
 // execution, native window maintenance, and EE (query-level) triggers.
-// All methods must be called from the partition engine's single execution
-// goroutine; the engine carries no internal locking by design (H-Store's
-// serial single-sited execution model).
+// Mutating methods must be called from the partition engine's single
+// execution goroutine (H-Store's serial single-sited execution model); the
+// only internal locking is the statement cache's, because read-only
+// snapshot executions (ExecCtx.Snapshot) run on client goroutines and
+// prepare their statements concurrently with the worker. Snapshot
+// executions touch no mutable engine state beyond that: they read
+// versioned storage at a pinned sequence.
 type Engine struct {
 	cat *catalog.Catalog
 	met *metrics.Metrics
@@ -39,6 +44,9 @@ type Engine struct {
 	// the consuming transaction execution commits.
 	persistent map[string]bool
 
+	// stmtMu guards stmtCache: the partition worker and snapshot readers
+	// (caller goroutines) share the prepared-statement cache.
+	stmtMu    sync.Mutex
 	stmtCache map[string]*Prepared
 
 	// MaxTriggerDepth bounds EE trigger cascades to catch accidental
@@ -92,6 +100,14 @@ type ExecCtx struct {
 	ProcName string
 	ReadOnly bool
 
+	// Snapshot pins every relation read to the versions visible at
+	// SnapshotSeq (see storage.PartitionClock). A snapshot context must be
+	// read-only; it is safe to execute from any goroutine, concurrently
+	// with the partition worker, provided the caller holds a snapshot pin
+	// so GC cannot outrun the read.
+	Snapshot    bool
+	SnapshotSeq storage.Seq
+
 	// NewRows holds transient relations visible to the current statement
 	// (EE trigger batches).
 	NewRows map[string][]types.Row
@@ -115,21 +131,32 @@ type Result struct {
 }
 
 // PrepareCached prepares a statement and memoizes it by text (statements
-// inside stored procedures are prepared once, H-Store style).
+// inside stored procedures are prepared once, H-Store style). Safe from
+// any goroutine; two concurrent first preparations of the same text both
+// plan and one result wins.
 func (e *Engine) PrepareCached(text string) (*Prepared, error) {
-	if p, ok := e.stmtCache[text]; ok {
+	e.stmtMu.Lock()
+	p, ok := e.stmtCache[text]
+	e.stmtMu.Unlock()
+	if ok {
 		return p, nil
 	}
 	p, err := e.Prepare(text, nil)
 	if err != nil {
 		return nil, err
 	}
+	e.stmtMu.Lock()
 	e.stmtCache[text] = p
+	e.stmtMu.Unlock()
 	return p, nil
 }
 
 // InvalidateCache drops all cached plans (called after DDL).
-func (e *Engine) InvalidateCache() { e.stmtCache = make(map[string]*Prepared) }
+func (e *Engine) InvalidateCache() {
+	e.stmtMu.Lock()
+	e.stmtCache = make(map[string]*Prepared)
+	e.stmtMu.Unlock()
+}
 
 // Execute runs a prepared statement. Top-level calls (depth 0) count as a
 // PE→EE crossing; trigger-chained calls count as EE-internal work.

@@ -255,6 +255,10 @@ func (e *Engine) accessRows(ctx *ExecCtx, access *tableAccess, outer types.Row, 
 		return nil, err
 	}
 	tb := rel.Table
+	// Snapshot contexts read the versions visible at the pinned sequence
+	// (possibly from a client goroutine, concurrently with the partition
+	// worker); everything else reads the writer's current view.
+	snap, seq := ctx.Snapshot, ctx.SnapshotSeq
 	ec := &evalCtx{row: outer, params: params}
 	if access.index != nil && access.eqKey != nil {
 		key := make(types.Row, len(access.eqKey))
@@ -267,8 +271,14 @@ func (e *Engine) accessRows(ctx *ExecCtx, access *tableAccess, outer types.Row, 
 			}
 		}
 		ix := tb.IndexByName(access.index.Name())
-		if ix == nil {
-			return tb.ScanRows(), nil // index dropped since prepare
+		if ix == nil { // index dropped since prepare
+			if snap {
+				return tb.SnapshotRows(seq), nil
+			}
+			return tb.ScanRows(), nil
+		}
+		if snap {
+			return tb.SnapshotLookup(ix, key, seq), nil
 		}
 		ids, _ := ix.Lookup(key)
 		rows := make([]types.Row, 0, len(ids))
@@ -282,6 +292,9 @@ func (e *Engine) accessRows(ctx *ExecCtx, access *tableAccess, outer types.Row, 
 	if access.index != nil && (access.lo != nil || access.hi != nil) {
 		ix := tb.IndexByName(access.index.Name())
 		if ix == nil {
+			if snap {
+				return tb.SnapshotRows(seq), nil
+			}
 			return tb.ScanRows(), nil
 		}
 		var lo, hi types.Row
@@ -305,22 +318,40 @@ func (e *Engine) accessRows(ctx *ExecCtx, access *tableAccess, outer types.Row, 
 			hi = types.Row{hiV}
 		}
 		var rows []types.Row
-		err = ix.Range(lo, hi, func(key types.Row, id storage.RowID) bool {
+		inBounds := func(key types.Row) bool {
 			if access.lo != nil && !access.loInc && key[0].Compare(loV) == 0 {
-				return true
+				return false
 			}
 			if access.hi != nil && !access.hiInc && key[0].Compare(hiV) == 0 {
-				return true
-			}
-			if r, ok := tb.Get(id); ok {
-				rows = append(rows, r)
+				return false
 			}
 			return true
-		})
+		}
+		if snap {
+			err = tb.SnapshotRange(ix, lo, hi, seq, func(key types.Row, r types.Row) bool {
+				if inBounds(key) {
+					rows = append(rows, r)
+				}
+				return true
+			})
+		} else {
+			err = ix.Range(lo, hi, func(key types.Row, id storage.RowID) bool {
+				if !inBounds(key) {
+					return true
+				}
+				if r, ok := tb.Get(id); ok {
+					rows = append(rows, r)
+				}
+				return true
+			})
+		}
 		if err != nil {
 			return nil, err
 		}
 		return rows, nil
+	}
+	if snap {
+		return tb.SnapshotRows(seq), nil
 	}
 	return tb.ScanRows(), nil
 }

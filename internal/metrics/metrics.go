@@ -47,6 +47,22 @@ type Metrics struct {
 	MPAborts        atomic.Int64
 	MPLegsCommitted atomic.Int64
 
+	// SnapshotReads counts read-only queries executed on the caller
+	// goroutine against an MVCC snapshot (off the serial partition
+	// worker); WorkerQueries counts ad-hoc queries that still took the
+	// worker-queued path (non-SELECT fallbacks and explicit baseline use).
+	SnapshotReads atomic.Int64
+	WorkerQueries atomic.Int64
+
+	// Version-chain / GC gauges: GCRuns counts watermark sweeps,
+	// GCVersionsReclaimed the row versions they reclaimed, and
+	// VersionsRetained the versions (live + awaiting-watermark) left in
+	// the store after the latest sweeps (a gauge, maintained by delta so
+	// partitions sharing this set sum correctly).
+	GCRuns              atomic.Int64
+	GCVersionsReclaimed atomic.Int64
+	VersionsRetained    atomic.Int64
+
 	latency Histogram
 
 	// Per-dataflow counters, keyed by graph name. The set is shared by all
@@ -102,6 +118,9 @@ type Snapshot struct {
 	WindowSlides, StreamGCTuples         int64
 	LogRecords, LogBytes                 int64
 	MPTxns, MPAborts, MPLegsCommitted    int64
+	SnapshotReads, WorkerQueries         int64
+	GCRuns, GCVersionsReclaimed          int64
+	VersionsRetained                     int64
 	LatencyCount                         int64
 	LatencyP50, LatencyP99, LatencyP9999 time.Duration
 }
@@ -109,25 +128,30 @@ type Snapshot struct {
 // Snapshot captures the current counter values.
 func (m *Metrics) Snapshot() Snapshot {
 	return Snapshot{
-		ClientToPE:      m.ClientToPE.Load(),
-		PEToEE:          m.PEToEE.Load(),
-		EEInternal:      m.EEInternal.Load(),
-		TxnCommitted:    m.TxnCommitted.Load(),
-		TxnAborted:      m.TxnAborted.Load(),
-		TuplesIngested:  m.TuplesIngested.Load(),
-		BatchesBorder:   m.BatchesBorder.Load(),
-		TriggeredTxns:   m.TriggeredTxns.Load(),
-		WindowSlides:    m.WindowSlides.Load(),
-		StreamGCTuples:  m.StreamGCTuples.Load(),
-		LogRecords:      m.LogRecords.Load(),
-		LogBytes:        m.LogBytes.Load(),
-		MPTxns:          m.MPTxns.Load(),
-		MPAborts:        m.MPAborts.Load(),
-		MPLegsCommitted: m.MPLegsCommitted.Load(),
-		LatencyCount:    m.latency.Count(),
-		LatencyP50:      m.latency.Quantile(0.50),
-		LatencyP99:      m.latency.Quantile(0.99),
-		LatencyP9999:    m.latency.Quantile(0.9999),
+		ClientToPE:          m.ClientToPE.Load(),
+		PEToEE:              m.PEToEE.Load(),
+		EEInternal:          m.EEInternal.Load(),
+		TxnCommitted:        m.TxnCommitted.Load(),
+		TxnAborted:          m.TxnAborted.Load(),
+		TuplesIngested:      m.TuplesIngested.Load(),
+		BatchesBorder:       m.BatchesBorder.Load(),
+		TriggeredTxns:       m.TriggeredTxns.Load(),
+		WindowSlides:        m.WindowSlides.Load(),
+		StreamGCTuples:      m.StreamGCTuples.Load(),
+		LogRecords:          m.LogRecords.Load(),
+		LogBytes:            m.LogBytes.Load(),
+		MPTxns:              m.MPTxns.Load(),
+		MPAborts:            m.MPAborts.Load(),
+		MPLegsCommitted:     m.MPLegsCommitted.Load(),
+		SnapshotReads:       m.SnapshotReads.Load(),
+		WorkerQueries:       m.WorkerQueries.Load(),
+		GCRuns:              m.GCRuns.Load(),
+		GCVersionsReclaimed: m.GCVersionsReclaimed.Load(),
+		VersionsRetained:    m.VersionsRetained.Load(),
+		LatencyCount:        m.latency.Count(),
+		LatencyP50:          m.latency.Quantile(0.50),
+		LatencyP99:          m.latency.Quantile(0.99),
+		LatencyP9999:        m.latency.Quantile(0.9999),
 	}
 }
 
@@ -149,6 +173,11 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.MPTxns -= prev.MPTxns
 	d.MPAborts -= prev.MPAborts
 	d.MPLegsCommitted -= prev.MPLegsCommitted
+	d.SnapshotReads -= prev.SnapshotReads
+	d.WorkerQueries -= prev.WorkerQueries
+	d.GCRuns -= prev.GCRuns
+	d.GCVersionsReclaimed -= prev.GCVersionsReclaimed
+	// VersionsRetained is a gauge: keep s's value, not a difference.
 	d.LatencyCount -= prev.LatencyCount
 	return d
 }

@@ -133,6 +133,16 @@ type Engine struct {
 	cfg   Config
 	sched *scheduler
 
+	// clock is the partition's commit clock (shared with every table via
+	// the catalog). The worker stamps writes with the pending sequence and
+	// publishes at each commit point; snapshot reads pin a published
+	// sequence and run on the caller's goroutine.
+	clock *storage.PartitionClock
+	// commitsSinceGC / lastRetained pace the worker's periodic version
+	// sweeps (worker goroutine only).
+	commitsSinceGC int
+	lastRetained   int
+
 	procs map[string]*Procedure
 	// bindings maps lowercased stream name -> consumer. Guarded by
 	// ingestMu: dataflow deployment may add edges at runtime (under an
@@ -204,6 +214,7 @@ func New(exec *ee.Engine, cfg Config) *Engine {
 	e := &Engine{
 		ee:              exec,
 		met:             exec.Metrics(),
+		clock:           exec.Catalog().Clock(),
 		cfg:             cfg,
 		sched:           newScheduler(cfg.Mode),
 		procs:           make(map[string]*Procedure),
@@ -420,6 +431,11 @@ func (e *Engine) Start() error {
 	if err := e.validateWorkflows(); err != nil {
 		return err
 	}
+	// Publish once so data seeded before Start (DDL-time inserts, snapshot
+	// restore, direct EE writes) is visible to snapshot readers; those
+	// writes were stamped with the pending sequence and never committed
+	// through the worker.
+	e.clock.Publish()
 	e.started.Store(true)
 	if e.asyncLog != nil {
 		e.ackQ = make(chan pendingAck, ackQueueDepth)
@@ -715,12 +731,79 @@ func (e *Engine) FlushBatches() {
 	}
 }
 
-// Query runs an ad-hoc read-only SQL statement as its own transaction.
+// Query runs an ad-hoc read-only SQL statement. SELECTs execute on the
+// caller's goroutine against an MVCC snapshot pinned at the latest
+// committed sequence: they never enter the partition's serial queue, so
+// reads scale with client cores, see only committed state, and are not
+// delayed by running transactions (or a parked 2PC leg). Statements that
+// are not SELECTs fall back to the worker-queued path, preserving their
+// historical error surfaces.
 func (e *Engine) Query(sqlText string, params ...types.Value) (*Result, error) {
 	if err := e.errNotStarted(); err != nil {
 		return nil, err
 	}
+	p, err := e.ee.PrepareCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if !p.IsQuery() {
+		return e.QueryOnWorker(sqlText, params...)
+	}
 	e.met.ClientToPE.Add(1)
+	seq := e.AcquireSnapshot()
+	defer e.ReleaseSnapshot(seq)
+	return e.querySnapshot(p, seq, params)
+}
+
+// AcquireSnapshot pins the latest committed sequence for snapshot reads;
+// the pin holds the GC watermark until ReleaseSnapshot. The router uses
+// the pair to assemble a consistent cross-partition snapshot vector.
+func (e *Engine) AcquireSnapshot() storage.Seq { return e.clock.AcquireSnapshot() }
+
+// ReleaseSnapshot drops a pin taken by AcquireSnapshot.
+func (e *Engine) ReleaseSnapshot(seq storage.Seq) { e.clock.ReleaseSnapshot(seq) }
+
+// QueryAtSeq runs a read-only SELECT on the caller's goroutine at a
+// specific pinned sequence — the router's cross-partition fan-out leg. The
+// caller must hold a pin on seq (AcquireSnapshot) for the duration.
+func (e *Engine) QueryAtSeq(seq storage.Seq, sqlText string, params ...types.Value) (*Result, error) {
+	if err := e.errNotStarted(); err != nil {
+		return nil, err
+	}
+	p, err := e.ee.PrepareCached(sqlText)
+	if err != nil {
+		return nil, err
+	}
+	if !p.IsQuery() {
+		return nil, fmt.Errorf("pe: QueryAtSeq requires a SELECT, got %q", sqlText)
+	}
+	e.met.ClientToPE.Add(1)
+	return e.querySnapshot(p, seq, params)
+}
+
+// querySnapshot executes a prepared SELECT at the pinned sequence. Runs on
+// the caller's goroutine; touches only immutable plans and versioned
+// storage.
+func (e *Engine) querySnapshot(p *ee.Prepared, seq storage.Seq, params []types.Value) (*Result, error) {
+	ectx := &ee.ExecCtx{ReadOnly: true, Snapshot: true, SnapshotSeq: seq}
+	res, err := e.ee.Execute(ectx, p, params...)
+	if err != nil {
+		return nil, err
+	}
+	e.met.SnapshotReads.Add(1)
+	out := &Result{Columns: res.Columns, Rows: res.Rows, RowsAffected: res.RowsAffected}
+	return out, nil
+}
+
+// QueryOnWorker runs an ad-hoc read-only statement through the partition's
+// serial queue — the pre-MVCC read path, kept for non-SELECT fallbacks and
+// as the baseline the E9 experiment prices snapshot reads against.
+func (e *Engine) QueryOnWorker(sqlText string, params ...types.Value) (*Result, error) {
+	if err := e.errNotStarted(); err != nil {
+		return nil, err
+	}
+	e.met.ClientToPE.Add(1)
+	e.met.WorkerQueries.Add(1)
 	done := make(chan CallResult, 1)
 	r := &txnRequest{kind: reqQuery, sqlText: sqlText, params: params, done: done, enqueued: time.Now()}
 	if !e.sched.push(r) {
@@ -815,6 +898,10 @@ func (e *Engine) executeRequest(r *txnRequest) {
 	}
 	if r.kind == reqBarrier {
 		e.drainAcks()
+		// The checkpoint barrier drives a version sweep: the store is
+		// quiescent here, so everything the watermark allows is reclaimed
+		// before the snapshot is cut.
+		e.runGC()
 		r.respond(nil, r.fn())
 		return
 	}
@@ -831,6 +918,7 @@ func (e *Engine) executeRequest(r *txnRequest) {
 			e.met.TxnAborted.Add(1)
 		} else {
 			undo.Release()
+			e.commitPublish()
 			e.met.TxnCommitted.Add(1)
 		}
 		undoPool.Put(undo)
@@ -919,6 +1007,7 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		return
 	}
 	undo.Release()
+	e.commitPublish()
 	e.met.TxnCommitted.Add(1)
 	switch r.kind {
 	case reqBorder:
@@ -954,6 +1043,42 @@ func (e *Engine) executeRequest(r *txnRequest) {
 		return
 	}
 	r.respond(pctx.out, nil)
+}
+
+// commitPublish is the in-memory commit point: it publishes the pending
+// sequence, making the transaction's writes visible to snapshot readers
+// atomically across every table it touched, and paces the periodic
+// version sweep. Partition worker only.
+func (e *Engine) commitPublish() {
+	e.clock.Publish()
+	e.commitsSinceGC++
+	if e.commitsSinceGC >= gcEveryCommits {
+		e.runGC()
+	}
+}
+
+// gcEveryCommits bounds how many commits may pass between version sweeps,
+// so chains stay short even on stores that never checkpoint. Inline
+// per-table sweeps (storage.Table's tombstone-dominance trigger) handle
+// hot tables between these.
+const gcEveryCommits = 1024
+
+// runGC sweeps every relation's version chains and index entries up to
+// the snapshot watermark. Partition worker (or quiescent barrier) only.
+func (e *Engine) runGC() {
+	e.commitsSinceGC = 0
+	wm := e.clock.Watermark()
+	cat := e.ee.Catalog()
+	reclaimed, retained := 0, 0
+	for _, name := range cat.Names() {
+		rc, rt := cat.Relation(name).Table.GC(wm)
+		reclaimed += rc
+		retained += rt
+	}
+	e.met.GCRuns.Add(1)
+	e.met.GCVersionsReclaimed.Add(int64(reclaimed))
+	e.met.VersionsRetained.Add(int64(retained - e.lastRetained))
+	e.lastRetained = retained
 }
 
 // runHandler executes the procedure body, converting panics into aborts so

@@ -64,7 +64,12 @@ type MPSession struct {
 	frags  chan mpFrag
 	prep   chan chan error
 	decide chan bool
-	done   chan CallResult
+	// published is closed once the delivered decision is reflected in
+	// memory (commit sequence published / rollback applied) — the point
+	// the coordinator's publication lock must cover; durability acks
+	// resolve later through done.
+	published chan struct{}
+	done      chan CallResult
 
 	prepared bool
 	finished bool
@@ -82,13 +87,14 @@ func (e *Engine) EnlistMP(txnID uint64, logged bool) (*MPSession, error) {
 		return nil, err
 	}
 	s := &MPSession{
-		e:      e,
-		txnID:  txnID,
-		logged: logged,
-		frags:  make(chan mpFrag),
-		prep:   make(chan chan error),
-		decide: make(chan bool),
-		done:   make(chan CallResult, 1),
+		e:         e,
+		txnID:     txnID,
+		logged:    logged,
+		frags:     make(chan mpFrag),
+		prep:      make(chan chan error),
+		decide:    make(chan bool),
+		published: make(chan struct{}),
+		done:      make(chan CallResult, 1),
 	}
 	r := &txnRequest{kind: reqMP, mp: s, done: s.done, enqueued: time.Now()}
 	if !e.sched.push(r) {
@@ -181,13 +187,33 @@ func (s *MPSession) Prepare() error {
 // resolve: on commit, after the DECIDE marker clears the commit pipeline
 // (durable under group commit before the coordinator acknowledges anyone);
 // on abort, after the undo log is rolled back. Finish is valid at any time
-// after enlistment — aborting mid-fragment-phase is the error path.
+// after enlistment — aborting mid-fragment-phase is the error path. It is
+// Deliver followed by Resolve; the coordinator calls the halves
+// separately so its publication lock covers only the in-memory window.
 func (s *MPSession) Finish(commit bool) error {
+	if err := s.Deliver(commit); err != nil {
+		return err
+	}
+	return s.Resolve()
+}
+
+// Deliver sends the decision to the parked worker and returns once the
+// leg's in-memory state reflects it — the commit sequence published (or
+// the rollback applied). Durability has not necessarily happened yet;
+// Resolve waits for that.
+func (s *MPSession) Deliver(commit bool) error {
 	if s.finished {
 		return fmt.Errorf("pe: mp session already finished")
 	}
 	s.finished = true
 	s.decide <- commit
+	<-s.published
+	return nil
+}
+
+// Resolve waits for the delivered decision's final acknowledgement
+// (through the group-commit pipeline on a durable store).
+func (s *MPSession) Resolve() error {
 	cr := <-s.done
 	return cr.Err
 }
@@ -230,6 +256,7 @@ func (e *Engine) executeMP(r *txnRequest) {
 		case commit := <-s.decide:
 			if !commit {
 				undo.Rollback()
+				close(s.published) // nothing published; unblock Deliver
 				e.met.TxnAborted.Add(1)
 				r.respond(nil, nil)
 				return
@@ -242,6 +269,8 @@ func (e *Engine) executeMP(r *txnRequest) {
 			// append only poisons this partition's log (every later logged
 			// commit fails loudly) and is surfaced without undoing anything.
 			undo.Release()
+			e.commitPublish()
+			close(s.published) // in-memory commit visible; acks may lag
 			e.met.TxnCommitted.Add(1)
 			e.met.MPLegsCommitted.Add(1)
 			e.dispatchEmits(emits, 0, r.origin, r.replay)
@@ -323,6 +352,7 @@ func (e *Engine) replayPreparedLeg(rec *LogRecord) error {
 		}
 	}
 	undo.Release()
+	e.commitPublish()
 	e.replaying = true
 	e.dispatchEmits(emits, 0, time.Time{}, true)
 	return e.drainReplayDerived()

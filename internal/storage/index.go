@@ -6,10 +6,23 @@ import (
 	"repro/internal/types"
 )
 
+// ixRef is one versioned index entry: key -> id, visible to snapshots at
+// sequence s iff born <= s < dead. Writer-view lookups see exactly the
+// live refs (dead == SeqInf). Dead refs are retained for snapshot readers
+// and reclaimed by the watermark GC alongside their row versions.
+type ixRef struct {
+	id   RowID
+	born Seq
+	dead Seq
+}
+
+func (r *ixRef) visibleAt(seq Seq) bool { return r.born <= seq && seq < r.dead }
+
 // Index maps key tuples (a projection of the row) to RowIDs. Two physical
 // layouts exist behind the same API: a hash index (point lookups only) and
 // an ordered skiplist index (point + range scans). Unique indexes hold at
-// most one RowID per key.
+// most one live RowID per key; dead entries from superseded or deleted
+// versions coexist with it until reclaimed.
 type Index struct {
 	name    string
 	cols    []int
@@ -18,12 +31,12 @@ type Index struct {
 
 	hash map[uint64][]hashEntry // hash layout
 	sl   *skiplist              // ordered layout
-	size int
+	size int                    // live refs
 }
 
 type hashEntry struct {
-	key types.Row
-	ids []RowID
+	key  types.Row
+	refs []ixRef
 }
 
 func newIndex(name string, cols []int, unique, ordered bool) *Index {
@@ -48,12 +61,13 @@ func (ix *Index) Unique() bool { return ix.unique }
 // Ordered reports whether the index supports range scans.
 func (ix *Index) Ordered() bool { return ix.ordered }
 
-// Len returns the number of (key, RowID) pairs in the index.
+// Len returns the number of live (key, RowID) pairs in the index.
 func (ix *Index) Len() int { return ix.size }
 
-func (ix *Index) insert(key types.Row, id RowID) error {
+// insert adds a live ref born at the given sequence.
+func (ix *Index) insert(key types.Row, id RowID, born Seq) error {
 	if ix.ordered {
-		if err := ix.sl.insert(key, id, ix.unique); err != nil {
+		if err := ix.sl.insert(key, id, born, ix.unique); err != nil {
 			return fmt.Errorf("index %q: %w", ix.name, err)
 		}
 		ix.size++
@@ -63,23 +77,68 @@ func (ix *Index) insert(key types.Row, id RowID) error {
 	bucket := ix.hash[h]
 	for i := range bucket {
 		if bucket[i].key.Equal(key) {
-			if ix.unique {
+			if ix.unique && liveRef(bucket[i].refs) >= 0 {
 				return fmt.Errorf("index %q: duplicate key %v", ix.name, key)
 			}
-			bucket[i].ids = append(bucket[i].ids, id)
+			bucket[i].refs = append(bucket[i].refs, ixRef{id: id, born: born, dead: SeqInf})
 			ix.hash[h] = bucket
 			ix.size++
 			return nil
 		}
 	}
-	ix.hash[h] = append(bucket, hashEntry{key: key.Clone(), ids: []RowID{id}})
+	ix.hash[h] = append(bucket, hashEntry{key: key.Clone(), refs: []ixRef{{id: id, born: born, dead: SeqInf}}})
 	ix.size++
 	return nil
 }
 
-func (ix *Index) remove(key types.Row, id RowID) {
+// liveRef returns the position of the first live ref with any id (-1 when
+// none). Used for uniqueness checks.
+func liveRef(refs []ixRef) int {
+	for i := range refs {
+		if refs[i].dead == SeqInf {
+			return i
+		}
+	}
+	return -1
+}
+
+// findRef returns the position of the live ref carrying id (-1 when none).
+func findRef(refs []ixRef, id RowID) int {
+	for i := range refs {
+		if refs[i].id == id && refs[i].dead == SeqInf {
+			return i
+		}
+	}
+	return -1
+}
+
+// remove stamps the live ref for id dead at the given sequence. The entry
+// stays visible to snapshots below it until GC'd.
+func (ix *Index) remove(key types.Row, id RowID, dead Seq) {
 	if ix.ordered {
-		if ix.sl.remove(key, id) {
+		if ix.sl.remove(key, id, dead) {
+			ix.size--
+		}
+		return
+	}
+	bucket := ix.hash[key.Hash()]
+	for i := range bucket {
+		if !bucket[i].key.Equal(key) {
+			continue
+		}
+		if j := findRef(bucket[i].refs, id); j >= 0 {
+			bucket[i].refs[j].dead = dead
+			ix.size--
+		}
+		return
+	}
+}
+
+// eraseLive physically removes the live ref for id — the undo of an
+// insert, whose ref never became visible to any snapshot.
+func (ix *Index) eraseLive(key types.Row, id RowID) {
+	if ix.ordered {
+		if ix.sl.eraseLive(key, id) {
 			ix.size--
 		}
 		return
@@ -90,32 +149,69 @@ func (ix *Index) remove(key types.Row, id RowID) {
 		if !bucket[i].key.Equal(key) {
 			continue
 		}
-		ids := bucket[i].ids
-		for j, got := range ids {
-			if got == id {
-				ids[j] = ids[len(ids)-1]
-				ids = ids[:len(ids)-1]
-				ix.size--
-				break
-			}
+		if j := findRef(bucket[i].refs, id); j >= 0 {
+			bucket[i].refs = append(bucket[i].refs[:j], bucket[i].refs[j+1:]...)
+			ix.size--
 		}
-		if len(ids) == 0 {
+		if len(bucket[i].refs) == 0 {
 			bucket[i] = bucket[len(bucket)-1]
 			bucket = bucket[:len(bucket)-1]
-		} else {
-			bucket[i].ids = ids
-		}
-		if len(bucket) == 0 {
-			delete(ix.hash, h)
-		} else {
-			ix.hash[h] = bucket
+			if len(bucket) == 0 {
+				delete(ix.hash, h)
+			} else {
+				ix.hash[h] = bucket
+			}
 		}
 		return
 	}
 }
 
-// Lookup returns the RowIDs stored under exactly key. The second result
-// reports whether the key exists.
+// revive resets the ref for id stamped dead at exactly the given sequence
+// back to live — the undo of a remove within the same (pending,
+// unpublished) transaction. Several dead refs can carry the same (id,
+// dead) when one transaction moves a key away and back repeatedly; undo
+// runs newest-first, so the ref to revive is the most recently created
+// matching one (largest born) — reviveRef shares this rule with the
+// skiplist layout.
+func (ix *Index) revive(key types.Row, id RowID, dead Seq) {
+	if ix.ordered {
+		if ix.sl.revive(key, id, dead) {
+			ix.size++
+		}
+		return
+	}
+	bucket := ix.hash[key.Hash()]
+	for i := range bucket {
+		if !bucket[i].key.Equal(key) {
+			continue
+		}
+		if reviveRef(bucket[i].refs, id, dead) {
+			ix.size++
+		}
+		return
+	}
+}
+
+// reviveRef flips the latest-born ref matching (id, dead) back to live.
+func reviveRef(refs []ixRef, id RowID, dead Seq) bool {
+	best := -1
+	for j := range refs {
+		if refs[j].id == id && refs[j].dead == dead {
+			if best < 0 || refs[j].born > refs[best].born {
+				best = j
+			}
+		}
+	}
+	if best < 0 {
+		return false
+	}
+	refs[best].dead = SeqInf
+	return true
+}
+
+// Lookup returns the RowIDs live under exactly key (writer view, including
+// the running transaction's own changes). The second result reports
+// whether any exist.
 func (ix *Index) Lookup(key types.Row) ([]RowID, bool) {
 	if ix.ordered {
 		ids := ix.sl.lookup(key)
@@ -123,13 +219,38 @@ func (ix *Index) Lookup(key types.Row) ([]RowID, bool) {
 	}
 	for _, e := range ix.hash[key.Hash()] {
 		if e.key.Equal(key) {
-			return append([]RowID(nil), e.ids...), true
+			var ids []RowID
+			for i := range e.refs {
+				if e.refs[i].dead == SeqInf {
+					ids = append(ids, e.refs[i].id)
+				}
+			}
+			return ids, len(ids) > 0
 		}
 	}
 	return nil, false
 }
 
-// LookupUnique returns the single RowID for key on a unique index.
+// lookupAt returns the RowIDs visible under key at sequence s.
+func (ix *Index) lookupAt(key types.Row, seq Seq) []RowID {
+	if ix.ordered {
+		return ix.sl.lookupAt(key, seq)
+	}
+	for _, e := range ix.hash[key.Hash()] {
+		if e.key.Equal(key) {
+			var ids []RowID
+			for i := range e.refs {
+				if e.refs[i].visibleAt(seq) {
+					ids = append(ids, e.refs[i].id)
+				}
+			}
+			return ids
+		}
+	}
+	return nil
+}
+
+// LookupUnique returns the single live RowID for key on a unique index.
 func (ix *Index) LookupUnique(key types.Row) (RowID, bool) {
 	ids, ok := ix.Lookup(key)
 	if !ok || len(ids) == 0 {
@@ -138,7 +259,7 @@ func (ix *Index) LookupUnique(key types.Row) (RowID, bool) {
 	return ids[0], true
 }
 
-// Range iterates (key, id) pairs with lo <= key <= hi in key order.
+// Range iterates live (key, id) pairs with lo <= key <= hi in key order.
 // A nil bound is unbounded on that side. Requires an ordered index.
 func (ix *Index) Range(lo, hi types.Row, fn func(key types.Row, id RowID) bool) error {
 	if !ix.ordered {
@@ -146,4 +267,41 @@ func (ix *Index) Range(lo, hi types.Row, fn func(key types.Row, id RowID) bool) 
 	}
 	ix.sl.scan(lo, hi, fn)
 	return nil
+}
+
+// gc drops refs dead at or below the watermark (and, in the ordered
+// layout, unlinks emptied key nodes).
+func (ix *Index) gc(watermark Seq) {
+	if ix.ordered {
+		ix.sl.gc(watermark)
+		return
+	}
+	for h, bucket := range ix.hash {
+		changed := false
+		for i := 0; i < len(bucket); i++ {
+			refs := bucket[i].refs
+			kept := refs[:0]
+			for _, r := range refs {
+				if r.dead <= watermark {
+					changed = true
+					continue
+				}
+				kept = append(kept, r)
+			}
+			bucket[i].refs = kept
+			if len(kept) == 0 {
+				bucket[i] = bucket[len(bucket)-1]
+				bucket = bucket[:len(bucket)-1]
+				i--
+			}
+		}
+		if !changed {
+			continue
+		}
+		if len(bucket) == 0 {
+			delete(ix.hash, h)
+		} else {
+			ix.hash[h] = bucket
+		}
+	}
 }

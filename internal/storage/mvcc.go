@@ -1,0 +1,108 @@
+package storage
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// Seq is a per-partition commit sequence number. Every row version and
+// index entry is stamped with the sequence interval [born, dead) during
+// which it is visible: a snapshot read at sequence s sees exactly the
+// versions with born <= s < dead.
+//
+// The partition worker stamps in-flight writes with Current()+1 — the
+// pending sequence — and publishes them atomically at commit by advancing
+// the clock. Aborted transactions physically reverse their stamps through
+// the undo log and never publish, so the pending sequence is simply reused
+// by the next transaction.
+type Seq = uint64
+
+// SeqInf is the dead-stamp of a live version: visible to every snapshot at
+// or after its birth.
+const SeqInf Seq = math.MaxUint64
+
+// PartitionClock is one partition's commit clock plus its registry of
+// pinned snapshots. All tables of a partition share one clock, so a single
+// Publish makes a whole transaction's writes — across every table it
+// touched — visible atomically to snapshot readers.
+//
+// Writer methods (WriteSeq, Publish) are called only from the partition
+// worker goroutine; reader methods (Current, AcquireSnapshot,
+// ReleaseSnapshot) are safe from any goroutine.
+type PartitionClock struct {
+	current atomic.Uint64
+
+	// mu guards the pin multiset. AcquireSnapshot reads the clock under mu
+	// and Watermark reads it under mu too, which closes the race where a
+	// GC sweep computes a watermark between a reader's clock load and its
+	// registration (the sweep would otherwise reclaim versions the reader
+	// is entitled to).
+	mu     sync.Mutex
+	active map[Seq]int
+}
+
+// NewPartitionClock returns a clock at sequence zero with no pins.
+func NewPartitionClock() *PartitionClock {
+	return &PartitionClock{active: make(map[Seq]int)}
+}
+
+// Current returns the last published commit sequence.
+func (c *PartitionClock) Current() Seq { return c.current.Load() }
+
+// WriteSeq returns the pending sequence in-flight writes stamp. Worker
+// goroutine only; stable for the whole transaction because only the worker
+// publishes.
+func (c *PartitionClock) WriteSeq() Seq { return c.current.Load() + 1 }
+
+// Publish makes every write stamped with the pending sequence visible to
+// subsequent snapshots — the in-memory commit point. Worker goroutine only.
+func (c *PartitionClock) Publish() Seq { return c.current.Add(1) }
+
+// AcquireSnapshot pins the latest published sequence and returns it. The
+// pin holds the GC watermark at or below the returned sequence until
+// ReleaseSnapshot, so every version visible at acquisition stays readable.
+func (c *PartitionClock) AcquireSnapshot() Seq {
+	c.mu.Lock()
+	s := c.current.Load()
+	c.active[s]++
+	c.mu.Unlock()
+	return s
+}
+
+// ReleaseSnapshot drops one pin on s.
+func (c *PartitionClock) ReleaseSnapshot(s Seq) {
+	c.mu.Lock()
+	if n := c.active[s]; n <= 1 {
+		delete(c.active, s)
+	} else {
+		c.active[s] = n - 1
+	}
+	c.mu.Unlock()
+}
+
+// Watermark returns the reclamation horizon: the oldest sequence any
+// current or future snapshot can read. Versions whose dead stamp is at or
+// below it are invisible to everyone and may be reclaimed.
+func (c *PartitionClock) Watermark() Seq {
+	c.mu.Lock()
+	w := c.current.Load()
+	for s := range c.active {
+		if s < w {
+			w = s
+		}
+	}
+	c.mu.Unlock()
+	return w
+}
+
+// ActiveSnapshots reports the number of outstanding pins (metrics, tests).
+func (c *PartitionClock) ActiveSnapshots() int {
+	c.mu.Lock()
+	n := 0
+	for _, k := range c.active {
+		n += k
+	}
+	c.mu.Unlock()
+	return n
+}

@@ -7,21 +7,22 @@ import (
 )
 
 // skiplist is the ordered index layout: keys sorted by types.Row.Compare,
-// each key holding the set of RowIDs indexed under it. A deterministic
+// each key holding the versioned refs indexed under it. A deterministic
 // xorshift generator drives level assignment so index shape (and therefore
-// benchmarks) are reproducible run to run.
+// benchmarks) are reproducible run to run. Key nodes are retained while
+// any ref — live or awaiting the GC watermark — remains under them.
 const maxLevel = 24
 
 type slNode struct {
 	key  types.Row
-	ids  []RowID
+	refs []ixRef
 	next [maxLevel]*slNode
 }
 
 type skiplist struct {
 	head   *slNode
 	level  int
-	length int // distinct keys
+	length int // distinct keys with at least one ref
 	rng    uint64
 }
 
@@ -59,14 +60,14 @@ func (s *skiplist) findPredecessors(key types.Row, update *[maxLevel]*slNode) *s
 	return x.next[0]
 }
 
-func (s *skiplist) insert(key types.Row, id RowID, unique bool) error {
+func (s *skiplist) insert(key types.Row, id RowID, born Seq, unique bool) error {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
 	if cand != nil && cand.key.Compare(key) == 0 {
-		if unique {
+		if unique && liveRef(cand.refs) >= 0 {
 			return fmt.Errorf("duplicate key %v", key)
 		}
-		cand.ids = append(cand.ids, id)
+		cand.refs = append(cand.refs, ixRef{id: id, born: born, dead: SeqInf})
 		return nil
 	}
 	lvl := s.randLevel()
@@ -76,7 +77,7 @@ func (s *skiplist) insert(key types.Row, id RowID, unique bool) error {
 		}
 		s.level = lvl
 	}
-	n := &slNode{key: key.Clone(), ids: []RowID{id}}
+	n := &slNode{key: key.Clone(), refs: []ixRef{{id: id, born: born, dead: SeqInf}}}
 	for i := 0; i < lvl; i++ {
 		n.next[i] = update[i].next[i]
 		update[i].next[i] = n
@@ -85,49 +86,118 @@ func (s *skiplist) insert(key types.Row, id RowID, unique bool) error {
 	return nil
 }
 
-func (s *skiplist) remove(key types.Row, id RowID) bool {
+// remove stamps the live ref for id dead at the given sequence. The node
+// stays linked for snapshot readers until gc reclaims its last ref.
+func (s *skiplist) remove(key types.Row, id RowID, dead Seq) bool {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
 	if cand == nil || cand.key.Compare(key) != 0 {
 		return false
 	}
-	removed := false
-	for j, got := range cand.ids {
-		if got == id {
-			cand.ids[j] = cand.ids[len(cand.ids)-1]
-			cand.ids = cand.ids[:len(cand.ids)-1]
-			removed = true
-			break
-		}
+	if j := findRef(cand.refs, id); j >= 0 {
+		cand.refs[j].dead = dead
+		return true
 	}
-	if !removed {
+	return false
+}
+
+// eraseLive physically removes the live ref for id (undo of insert),
+// unlinking the node when it empties.
+func (s *skiplist) eraseLive(key types.Row, id RowID) bool {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand == nil || cand.key.Compare(key) != 0 {
 		return false
 	}
-	if len(cand.ids) == 0 {
-		for i := 0; i < s.level; i++ {
-			if update[i].next[i] == cand {
-				update[i].next[i] = cand.next[i]
-			}
-		}
-		for s.level > 1 && s.head.next[s.level-1] == nil {
-			s.level--
-		}
-		s.length--
+	j := findRef(cand.refs, id)
+	if j < 0 {
+		return false
+	}
+	cand.refs = append(cand.refs[:j], cand.refs[j+1:]...)
+	if len(cand.refs) == 0 {
+		s.unlink(cand, &update)
 	}
 	return true
 }
 
+// revive resets the ref for id stamped dead at exactly the given sequence
+// (the latest-born match — see reviveRef).
+func (s *skiplist) revive(key types.Row, id RowID, dead Seq) bool {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand == nil || cand.key.Compare(key) != 0 {
+		return false
+	}
+	return reviveRef(cand.refs, id, dead)
+}
+
+// unlink removes an emptied node; update holds its predecessors.
+func (s *skiplist) unlink(n *slNode, update *[maxLevel]*slNode) {
+	for i := 0; i < s.level; i++ {
+		if update[i].next[i] == n {
+			update[i].next[i] = n.next[i]
+		}
+	}
+	for s.level > 1 && s.head.next[s.level-1] == nil {
+		s.level--
+	}
+	s.length--
+}
+
+// lookup returns the live ids under key (writer view).
 func (s *skiplist) lookup(key types.Row) []RowID {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
-	if cand != nil && cand.key.Compare(key) == 0 {
-		return append([]RowID(nil), cand.ids...)
+	if cand == nil || cand.key.Compare(key) != 0 {
+		return nil
 	}
-	return nil
+	var ids []RowID
+	for i := range cand.refs {
+		if cand.refs[i].dead == SeqInf {
+			ids = append(ids, cand.refs[i].id)
+		}
+	}
+	return ids
 }
 
-// scan visits keys in [lo, hi] (nil = unbounded) in ascending order.
+// lookupAt returns the ids visible under key at sequence s.
+func (s *skiplist) lookupAt(key types.Row, seq Seq) []RowID {
+	var update [maxLevel]*slNode
+	cand := s.findPredecessors(key, &update)
+	if cand == nil || cand.key.Compare(key) != 0 {
+		return nil
+	}
+	var ids []RowID
+	for i := range cand.refs {
+		if cand.refs[i].visibleAt(seq) {
+			ids = append(ids, cand.refs[i].id)
+		}
+	}
+	return ids
+}
+
+// scan visits live refs with keys in [lo, hi] (nil = unbounded) in
+// ascending key order.
 func (s *skiplist) scan(lo, hi types.Row, fn func(key types.Row, id RowID) bool) {
+	s.scanRefs(lo, hi, func(key types.Row, r *ixRef) bool {
+		if r.dead != SeqInf {
+			return true
+		}
+		return fn(key, r.id)
+	})
+}
+
+// scanAt visits refs visible at sequence s with keys in [lo, hi].
+func (s *skiplist) scanAt(lo, hi types.Row, seq Seq, fn func(key types.Row, id RowID) bool) {
+	s.scanRefs(lo, hi, func(key types.Row, r *ixRef) bool {
+		if !r.visibleAt(seq) {
+			return true
+		}
+		return fn(key, r.id)
+	})
+}
+
+func (s *skiplist) scanRefs(lo, hi types.Row, fn func(key types.Row, r *ixRef) bool) {
 	var x *slNode
 	if lo == nil {
 		x = s.head.next[0]
@@ -139,11 +209,36 @@ func (s *skiplist) scan(lo, hi types.Row, fn func(key types.Row, id RowID) bool)
 		if hi != nil && x.key.Compare(hi) > 0 {
 			return
 		}
-		for _, id := range x.ids {
-			if !fn(x.key, id) {
+		for i := range x.refs {
+			if !fn(x.key, &x.refs[i]) {
 				return
 			}
 		}
 		x = x.next[0]
+	}
+}
+
+// gc drops refs dead at or below the watermark and unlinks emptied nodes.
+func (s *skiplist) gc(watermark Seq) {
+	var emptied []types.Row
+	for x := s.head.next[0]; x != nil; x = x.next[0] {
+		kept := x.refs[:0]
+		for _, r := range x.refs {
+			if r.dead <= watermark {
+				continue
+			}
+			kept = append(kept, r)
+		}
+		x.refs = kept
+		if len(kept) == 0 {
+			emptied = append(emptied, x.key)
+		}
+	}
+	for _, key := range emptied {
+		var update [maxLevel]*slNode
+		cand := s.findPredecessors(key, &update)
+		if cand != nil && cand.key.Compare(key) == 0 && len(cand.refs) == 0 {
+			s.unlink(cand, &update)
+		}
 	}
 }

@@ -13,34 +13,46 @@ func intKey(i int64) types.Row { return types.Row{types.NewInt(i)} }
 func TestSkiplistInsertLookupRemove(t *testing.T) {
 	sl := newSkiplist()
 	for i := int64(0); i < 100; i++ {
-		if err := sl.insert(intKey(i), RowID(i+1), true); err != nil {
+		if err := sl.insert(intKey(i), RowID(i+1), 1, true); err != nil {
 			t.Fatal(err)
 		}
 	}
 	if sl.length != 100 {
 		t.Fatalf("length %d", sl.length)
 	}
-	if err := sl.insert(intKey(50), 999, true); err == nil {
+	if err := sl.insert(intKey(50), 999, 2, true); err == nil {
 		t.Fatal("unique violation accepted")
 	}
 	if ids := sl.lookup(intKey(50)); len(ids) != 1 || ids[0] != 51 {
 		t.Fatalf("lookup: %v", ids)
 	}
-	if !sl.remove(intKey(50), 51) {
+	if !sl.remove(intKey(50), 51, 2) {
 		t.Fatal("remove failed")
 	}
-	if sl.remove(intKey(50), 51) {
+	if sl.remove(intKey(50), 51, 3) {
 		t.Fatal("double remove succeeded")
 	}
+	// Writer view no longer sees the entry; a snapshot below the death
+	// sequence still does, until GC passes the watermark.
 	if ids := sl.lookup(intKey(50)); ids != nil {
 		t.Fatal("lookup after remove")
+	}
+	if ids := sl.lookupAt(intKey(50), 1); len(ids) != 1 || ids[0] != 51 {
+		t.Fatalf("snapshot lookup after remove: %v", ids)
+	}
+	sl.gc(2)
+	if ids := sl.lookupAt(intKey(50), 1); ids != nil {
+		t.Fatalf("snapshot lookup after gc: %v", ids)
+	}
+	if sl.length != 99 {
+		t.Fatalf("length after gc %d", sl.length)
 	}
 }
 
 func TestSkiplistDuplicateKeysNonUnique(t *testing.T) {
 	sl := newSkiplist()
 	for i := 0; i < 5; i++ {
-		if err := sl.insert(intKey(7), RowID(i+1), false); err != nil {
+		if err := sl.insert(intKey(7), RowID(i+1), 1, false); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -51,16 +63,20 @@ func TestSkiplistDuplicateKeysNonUnique(t *testing.T) {
 		t.Fatalf("distinct keys: %d", sl.length)
 	}
 	// remove one id at a time; wrong id is a no-op
-	if sl.remove(intKey(7), 99) {
+	if sl.remove(intKey(7), 99, 2) {
 		t.Fatal("removed phantom id")
 	}
 	for i := 0; i < 5; i++ {
-		if !sl.remove(intKey(7), RowID(i+1)) {
+		if !sl.remove(intKey(7), RowID(i+1), 2) {
 			t.Fatal("remove")
 		}
 	}
+	if ids := sl.lookup(intKey(7)); ids != nil {
+		t.Fatalf("live ids after drain: %v", ids)
+	}
+	sl.gc(2)
 	if sl.length != 0 {
-		t.Fatal("key not drained")
+		t.Fatal("key not drained after gc")
 	}
 }
 
@@ -72,16 +88,20 @@ func TestSkiplistMatchesSortedSlice(t *testing.T) {
 	model := map[int64]bool{}
 	for step := 0; step < 20000; step++ {
 		k := rng.Int63n(500)
+		seq := Seq(step + 1)
 		if model[k] {
-			if !sl.remove(intKey(k), RowID(k+1)) {
+			if !sl.remove(intKey(k), RowID(k+1), seq) {
 				t.Fatalf("step %d: remove %d failed", step, k)
 			}
 			delete(model, k)
 		} else {
-			if err := sl.insert(intKey(k), RowID(k+1), true); err != nil {
+			if err := sl.insert(intKey(k), RowID(k+1), seq, true); err != nil {
 				t.Fatalf("step %d: insert %d: %v", step, k, err)
 			}
 			model[k] = true
+		}
+		if step%4096 == 0 {
+			sl.gc(seq) // everything is "committed" in this model
 		}
 	}
 	want := make([]int64, 0, len(model))
@@ -107,7 +127,7 @@ func TestSkiplistMatchesSortedSlice(t *testing.T) {
 func TestSkiplistBoundedScan(t *testing.T) {
 	sl := newSkiplist()
 	for i := int64(0); i < 100; i += 2 { // evens only
-		_ = sl.insert(intKey(i), RowID(i+1), true)
+		_ = sl.insert(intKey(i), RowID(i+1), 1, true)
 	}
 	var got []int64
 	// lo falls between keys; hi is exact

@@ -3,53 +3,97 @@
 // primary-key and unique constraints, and per-transaction undo logs that
 // give the engine physical atomicity.
 //
-// Tables are not internally synchronized: the partition engine executes
-// transactions serially (H-Store style), so at most one writer touches a
-// table at any instant. Read-only snapshot helpers copy out data.
+// Tables are multi-versioned. The partition engine executes transactions
+// serially (H-Store style), so at most one writer touches a table at any
+// instant; every write creates a new row version stamped with the
+// partition's pending commit sequence (see PartitionClock), and commits
+// publish the sequence atomically. Snapshot readers on other goroutines
+// pick a published sequence and read the versions visible at it —
+// concurrently with the writer — through the Snapshot* methods, which take
+// the table's read lock; writer mutations take the write lock only around
+// the structural change, so readers never queue behind whole transactions.
+// Old versions are reclaimed once the watermark (oldest pinned snapshot)
+// passes their death sequence.
 package storage
 
 import (
 	"fmt"
-	"sort"
+
+	"sync"
 
 	"repro/internal/types"
 )
 
-// RowID identifies a live row within one table. IDs are assigned
+// RowID identifies a logical row within one table. IDs are assigned
 // monotonically and never reused, so scanning in RowID order equals
 // insertion order — the property streams rely on for FIFO batches.
 type RowID uint64
 
-// rowSlot is one entry of the table heap. Dead slots are tombstoned and
-// reclaimed by compaction once they outnumber live ones.
-type rowSlot struct {
-	id   RowID
+// rowVersion is one image of a row: visible to snapshots at sequence s iff
+// born <= s < dead. A live version has dead == SeqInf; an uncommitted one
+// has born (or dead, for a pending delete) equal to the clock's pending
+// sequence, which no published snapshot can reach.
+type rowVersion struct {
 	row  types.Row
-	dead bool
+	born Seq
+	dead Seq
 }
 
-// Table is an in-memory row store with attached indexes.
+// rowSlot is one entry of the table heap: a logical row's version chain,
+// newest first. A slot whose newest version is dead is a logical tombstone
+// retained for snapshot readers until the watermark passes.
+type rowSlot struct {
+	id       RowID
+	versions []rowVersion
+}
+
+// liveTop reports whether the slot's newest version is live (writer view).
+func (s *rowSlot) liveTop() bool {
+	return len(s.versions) > 0 && s.versions[0].dead == SeqInf
+}
+
+// Table is an in-memory multi-versioned row store with attached indexes.
 type Table struct {
-	name    string
-	schema  *types.Schema
-	slots   []rowSlot
-	byID    map[RowID]int // RowID -> slot position
-	nextID  RowID
-	dead    int
+	name   string
+	schema *types.Schema
+	clock  *PartitionClock
+
+	// mu is held exclusively around every structural mutation (writes,
+	// undo, GC — all on the partition worker goroutine) and shared by
+	// snapshot readers. Writer-path reads (Scan/Get/Lookup from the worker)
+	// take no lock: the worker is the only mutator.
+	mu sync.RWMutex
+
+	slots []rowSlot
+	byID  map[RowID]int // RowID -> slot position, for every retained slot
+
+	nextID   RowID
+	live     int // slots whose newest version is live
+	deadVers int // versions with a dead stamp (reclaim candidates)
+	// gcMinDead backs inline sweeps off: after a sweep, dead versions must
+	// double before the next attempt, so a pile of still-pinned (or still-
+	// pending) versions cannot trigger an O(n) sweep per delete.
+	gcMinDead int
+
 	indexes []*Index
 	pk      *Index // non-nil when the schema declares a primary key
-	// needSort is set when an undo restore re-inserted a row out of RowID
-	// order; Scan re-sorts lazily so iteration always follows insertion
-	// (RowID) order — the FIFO property streams and windows depend on.
-	needSort bool
 }
 
-// NewTable creates an empty table. When the schema has a primary key, a
-// unique ordered index named "<table>_pkey" is created automatically.
+// NewTable creates an empty table with a private commit clock (standalone
+// use and tests). When the schema has a primary key, a unique ordered index
+// named "<table>_pkey" is created automatically.
 func NewTable(schema *types.Schema) *Table {
+	return NewTableWithClock(schema, NewPartitionClock())
+}
+
+// NewTableWithClock creates an empty table stamping its versions from the
+// given clock — the catalog passes one shared clock per partition so a
+// transaction spanning several tables publishes atomically.
+func NewTableWithClock(schema *types.Schema, clock *PartitionClock) *Table {
 	t := &Table{
 		name:   schema.Name(),
 		schema: schema,
+		clock:  clock,
 		byID:   make(map[RowID]int),
 		nextID: 1,
 	}
@@ -69,8 +113,11 @@ func (t *Table) Name() string { return t.name }
 // Schema returns the table schema.
 func (t *Table) Schema() *types.Schema { return t.schema }
 
-// Count returns the number of live rows.
-func (t *Table) Count() int { return len(t.byID) }
+// Clock returns the commit clock the table stamps versions from.
+func (t *Table) Clock() *PartitionClock { return t.clock }
+
+// Count returns the number of live rows (writer view).
+func (t *Table) Count() int { return t.live }
 
 // PrimaryIndex returns the primary-key index, or nil for keyless tables.
 func (t *Table) PrimaryIndex() *Index { return t.pk }
@@ -89,8 +136,10 @@ func (t *Table) IndexByName(name string) *Index {
 }
 
 // CreateIndex builds an index over the given column ordinals and backfills
-// it from existing rows. ordered selects a skiplist (range-scannable) index;
-// otherwise a hash index is built. Unique indexes reject duplicate keys.
+// it from live rows (each entry born at its row version's birth, so
+// snapshots of current rows resolve through the new index too). ordered
+// selects a skiplist (range-scannable) index; otherwise a hash index is
+// built. Unique indexes reject duplicate keys.
 func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Index, error) {
 	for _, ix := range t.indexes {
 		if ix.Name() == name {
@@ -103,30 +152,36 @@ func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Ind
 		}
 	}
 	ix := newIndex(name, cols, unique, ordered)
-	for _, s := range t.slots {
-		if s.dead {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.liveTop() {
 			continue
 		}
-		if err := ix.insert(s.row.Key(cols), s.id); err != nil {
+		if err := ix.insert(s.versions[0].row.Key(cols), s.id, s.versions[0].born); err != nil {
 			return nil, fmt.Errorf("storage: backfilling %q: %w", name, err)
 		}
 	}
+	t.mu.Lock()
 	t.indexes = append(t.indexes, ix)
+	t.mu.Unlock()
 	return ix, nil
 }
 
-// Get returns the row stored under id. The returned row must be treated as
-// immutable; callers that mutate must Clone first.
+// Get returns the row stored under id (writer view: newest live version).
+// The returned row must be treated as immutable; callers that mutate must
+// Clone first.
 func (t *Table) Get(id RowID) (types.Row, bool) {
 	pos, ok := t.byID[id]
-	if !ok {
+	if !ok || !t.slots[pos].liveTop() {
 		return nil, false
 	}
-	return t.slots[pos].row, true
+	return t.slots[pos].versions[0].row, true
 }
 
 // Insert validates the row against the schema, assigns a RowID, and updates
-// every index. When undo is non-nil a compensating delete is recorded.
+// every index. The new version is stamped with the pending sequence, so it
+// is invisible to snapshots until the clock publishes. When undo is non-nil
+// a compensating delete is recorded.
 func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 	validated, err := t.schema.ValidateRow(row)
 	if err != nil {
@@ -142,55 +197,66 @@ func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 			}
 		}
 	}
+	ws := t.clock.WriteSeq()
+	t.mu.Lock()
 	id := t.nextID
 	t.nextID++
 	t.byID[id] = len(t.slots)
-	t.slots = append(t.slots, rowSlot{id: id, row: validated})
+	t.slots = append(t.slots, rowSlot{id: id, versions: []rowVersion{{row: validated, born: ws, dead: SeqInf}}})
 	for _, ix := range t.indexes {
-		if err := ix.insert(validated.Key(ix.cols), id); err != nil {
+		if err := ix.insert(validated.Key(ix.cols), id, ws); err != nil {
 			panic("storage: index insert failed after uniqueness pre-check: " + err.Error())
 		}
 	}
+	t.live++
+	t.mu.Unlock()
 	if undo != nil {
 		undo.push(undoEntry{table: t, kind: undoInsert, id: id})
 	}
 	return id, nil
 }
 
-// Delete removes the row under id from the heap and all indexes. When undo
-// is non-nil a compensating insert (restoring the same RowID) is recorded.
+// Delete ends the row's current version at the pending sequence and stamps
+// its index entries dead. The version chain is retained for snapshot
+// readers until the watermark passes. When undo is non-nil a compensating
+// revive is recorded.
 func (t *Table) Delete(id RowID, undo *UndoLog) error {
 	pos, ok := t.byID[id]
-	if !ok {
+	if !ok || !t.slots[pos].liveTop() {
 		return fmt.Errorf("storage: %s: delete of missing row %d", t.name, id)
 	}
-	row := t.slots[pos].row
+	ws := t.clock.WriteSeq()
+	t.mu.Lock()
+	s := &t.slots[pos]
+	row := s.versions[0].row
 	for _, ix := range t.indexes {
-		ix.remove(row.Key(ix.cols), id)
+		ix.remove(row.Key(ix.cols), id, ws)
 	}
-	t.slots[pos].dead = true
-	t.slots[pos].row = nil
-	delete(t.byID, id)
-	t.dead++
+	s.versions[0].dead = ws
+	t.live--
+	t.deadVers++
+	t.maybeGCLocked()
+	t.mu.Unlock()
 	if undo != nil {
-		undo.push(undoEntry{table: t, kind: undoDelete, id: id, row: row})
+		undo.push(undoEntry{table: t, kind: undoDelete, id: id})
 	}
-	t.maybeCompact()
 	return nil
 }
 
-// Update replaces the row under id, revalidating and reindexing. When undo
-// is non-nil a compensating update restoring the old image is recorded.
+// Update ends the current version at the pending sequence and prepends a
+// new one, revalidating and reindexing (index entries whose key is
+// unchanged carry over). When undo is non-nil a compensating restore is
+// recorded.
 func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 	pos, ok := t.byID[id]
-	if !ok {
+	if !ok || !t.slots[pos].liveTop() {
 		return fmt.Errorf("storage: %s: update of missing row %d", t.name, id)
 	}
 	validated, err := t.schema.ValidateRow(newRow)
 	if err != nil {
 		return err
 	}
-	old := t.slots[pos].row
+	old := t.slots[pos].versions[0].row
 	// Uniqueness pre-check, ignoring our own entry.
 	for _, ix := range t.indexes {
 		if !ix.unique {
@@ -205,56 +271,119 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 				t.name, newKey, ix.Name())
 		}
 	}
+	ws := t.clock.WriteSeq()
+	t.mu.Lock()
+	s := &t.slots[pos]
 	for _, ix := range t.indexes {
 		oldKey, newKey := old.Key(ix.cols), validated.Key(ix.cols)
 		if oldKey.Equal(newKey) {
 			continue
 		}
-		ix.remove(oldKey, id)
-		if err := ix.insert(newKey, id); err != nil {
+		ix.remove(oldKey, id, ws)
+		if err := ix.insert(newKey, id, ws); err != nil {
 			panic("storage: index update failed after uniqueness pre-check: " + err.Error())
 		}
 	}
-	t.slots[pos].row = validated
+	s.versions[0].dead = ws
+	s.versions = append(s.versions, rowVersion{})
+	copy(s.versions[1:], s.versions)
+	s.versions[0] = rowVersion{row: validated, born: ws, dead: SeqInf}
+	t.deadVers++
+	t.maybeGCLocked()
+	t.mu.Unlock()
 	if undo != nil {
-		undo.push(undoEntry{table: t, kind: undoUpdate, id: id, row: old})
+		undo.push(undoEntry{table: t, kind: undoUpdate, id: id})
 	}
 	return nil
 }
 
-// restoreInsert re-inserts a previously deleted row under its original
-// RowID; used only by undo (the uniqueness invariant held before the
-// deletion, so it holds again).
-func (t *Table) restoreInsert(id RowID, row types.Row) {
-	if _, ok := t.byID[id]; ok {
-		panic(fmt.Sprintf("storage: %s: undo restore collides with live row %d", t.name, id))
+// ---------- undo inverses ----------
+//
+// Rollback physically reverses the pending stamps, newest first, so an
+// aborted transaction leaves no trace in any chain. Pending versions are
+// invisible to snapshots throughout (their stamps exceed every published
+// sequence), so these run under the write lock purely to keep the
+// structures safe for concurrent readers.
+
+// undoInsert pops the version a pending Insert created. The row did not
+// exist before the transaction, so the slot must hold exactly that version.
+func (t *Table) undoInsert(id RowID) {
+	pos, ok := t.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: %s: undo of insert: row %d vanished", t.name, id))
 	}
-	if n := len(t.slots); n > 0 && t.slots[n-1].id > id {
-		t.needSort = true
+	t.mu.Lock()
+	s := &t.slots[pos]
+	if len(s.versions) != 1 || s.versions[0].dead != SeqInf {
+		panic(fmt.Sprintf("storage: %s: undo of insert: row %d has unexpected chain", t.name, id))
 	}
-	t.byID[id] = len(t.slots)
-	t.slots = append(t.slots, rowSlot{id: id, row: row})
+	row := s.versions[0].row
 	for _, ix := range t.indexes {
-		if err := ix.insert(row.Key(ix.cols), id); err != nil {
-			panic("storage: undo restore violated index invariant: " + err.Error())
-		}
+		ix.eraseLive(row.Key(ix.cols), id)
 	}
-	if id >= t.nextID {
-		t.nextID = id + 1
-	}
+	s.versions = nil
+	delete(t.byID, id)
+	t.live--
+	t.mu.Unlock()
 }
 
-// Scan iterates live rows in insertion (RowID) order. The callback returns
-// false to stop early. The callback must not mutate the table.
-func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
-	if t.needSort {
-		t.sortSlots()
+// undoDelete revives the version a pending Delete stamped (the RowID and
+// its position in scan order are preserved — streams' FIFO order survives
+// rollback).
+func (t *Table) undoDelete(id RowID) {
+	pos, ok := t.byID[id]
+	if !ok || len(t.slots[pos].versions) == 0 {
+		panic(fmt.Sprintf("storage: %s: undo of delete: row %d vanished", t.name, id))
 	}
-	for i := range t.slots {
-		if t.slots[i].dead {
+	t.mu.Lock()
+	s := &t.slots[pos]
+	d := s.versions[0].dead
+	row := s.versions[0].row
+	for _, ix := range t.indexes {
+		ix.revive(row.Key(ix.cols), id, d)
+	}
+	s.versions[0].dead = SeqInf
+	t.live++
+	t.deadVers--
+	t.mu.Unlock()
+}
+
+// undoUpdate pops the version a pending Update prepended and revives its
+// predecessor.
+func (t *Table) undoUpdate(id RowID) {
+	pos, ok := t.byID[id]
+	if !ok || len(t.slots[pos].versions) < 2 {
+		panic(fmt.Sprintf("storage: %s: undo of update: row %d has no prior version", t.name, id))
+	}
+	t.mu.Lock()
+	s := &t.slots[pos]
+	newV, oldV := s.versions[0], s.versions[1]
+	for _, ix := range t.indexes {
+		oldKey, newKey := oldV.row.Key(ix.cols), newV.row.Key(ix.cols)
+		if oldKey.Equal(newKey) {
 			continue
 		}
-		if !fn(t.slots[i].id, t.slots[i].row) {
+		ix.eraseLive(newKey, id)
+		ix.revive(oldKey, id, oldV.dead)
+	}
+	s.versions = s.versions[1:]
+	s.versions[0].dead = SeqInf
+	t.deadVers--
+	t.mu.Unlock()
+}
+
+// ---------- writer-view reads ----------
+
+// Scan iterates live rows in insertion (RowID) order — the writer's view,
+// including the running transaction's own uncommitted changes. The
+// callback returns false to stop early and must not mutate the table.
+func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.liveTop() {
+			continue
+		}
+		if !fn(s.id, s.versions[0].row) {
 			return
 		}
 	}
@@ -263,7 +392,7 @@ func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
 // ScanRows returns all live rows in insertion order (copied slice headers;
 // rows themselves are shared and must not be mutated).
 func (t *Table) ScanRows() []types.Row {
-	out := make([]types.Row, 0, len(t.byID))
+	out := make([]types.Row, 0, t.live)
 	t.Scan(func(_ RowID, r types.Row) bool {
 		out = append(out, r)
 		return true
@@ -274,7 +403,7 @@ func (t *Table) ScanRows() []types.Row {
 // Truncate removes every row. When undo is non-nil each removal is
 // undoable.
 func (t *Table) Truncate(undo *UndoLog) {
-	ids := make([]RowID, 0, len(t.byID))
+	ids := make([]RowID, 0, t.live)
 	t.Scan(func(id RowID, _ types.Row) bool { ids = append(ids, id); return true })
 	for _, id := range ids {
 		if err := t.Delete(id, undo); err != nil {
@@ -283,37 +412,203 @@ func (t *Table) Truncate(undo *UndoLog) {
 	}
 }
 
-// sortSlots restores RowID order after undo restores appended rows out of
-// order. It also drops tombstones while it is at it.
-func (t *Table) sortSlots() {
-	live := make([]rowSlot, 0, len(t.byID))
-	for _, s := range t.slots {
-		if !s.dead {
-			live = append(live, s)
+// ---------- snapshot reads ----------
+
+// versionAt resolves the row image visible at sequence s, or nil. Caller
+// holds t.mu (read or write).
+func (s *rowSlot) versionAt(seq Seq) types.Row {
+	for i := range s.versions {
+		v := &s.versions[i]
+		if v.born <= seq && seq < v.dead {
+			return v.row
 		}
 	}
-	sort.Slice(live, func(i, j int) bool { return live[i].id < live[j].id })
-	for i, s := range live {
-		t.byID[s.id] = i
-	}
-	t.slots = live
-	t.dead = 0
-	t.needSort = false
+	return nil
 }
 
-// maybeCompact rewrites the slot array once tombstones dominate, keeping
-// scans O(live).
-func (t *Table) maybeCompact() {
-	if t.dead < 64 || t.dead <= len(t.slots)/2 {
-		return
+// SnapshotGet returns the row visible under id at sequence s. Safe from
+// any goroutine; callers should hold a snapshot pin (see
+// PartitionClock.AcquireSnapshot) so GC cannot outrun them.
+func (t *Table) SnapshotGet(id RowID, seq Seq) (types.Row, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	pos, ok := t.byID[id]
+	if !ok {
+		return nil, false
 	}
-	live := make([]rowSlot, 0, len(t.byID))
-	for _, s := range t.slots {
-		if !s.dead {
-			t.byID[s.id] = len(live)
-			live = append(live, s)
+	r := t.slots[pos].versionAt(seq)
+	return r, r != nil
+}
+
+// snapshotScanChunk bounds how many slots one read-lock hold covers, so a
+// large analytic scan cannot stall the writer for its whole duration.
+const snapshotScanChunk = 4096
+
+// SnapshotScan iterates the rows visible at sequence s in insertion
+// (RowID) order. Safe from any goroutine. The read lock is re-acquired
+// every snapshotScanChunk slots, resuming by RowID (slots stay id-sorted
+// across compaction); the view remains consistent because visibility is
+// purely sequence-based — the caller's pin keeps every visible version
+// alive, slots reclaimed between chunks held nothing visible at s, and
+// slots appended between chunks hold only pending (invisible) versions.
+func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
+	var afterID RowID // resume: first slot with id > afterID
+	for {
+		t.mu.RLock()
+		lo, hi := 0, len(t.slots)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if t.slots[mid].id > afterID {
+				hi = mid
+			} else {
+				lo = mid + 1
+			}
+		}
+		n := 0
+		for i := lo; i < len(t.slots) && n < snapshotScanChunk; i++ {
+			s := &t.slots[i]
+			afterID = s.id
+			n++
+			if r := s.versionAt(seq); r != nil {
+				if !fn(s.id, r) {
+					t.mu.RUnlock()
+					return
+				}
+			}
+		}
+		done := lo+n >= len(t.slots)
+		t.mu.RUnlock()
+		if done {
+			return
 		}
 	}
-	t.slots = live
-	t.dead = 0
+}
+
+// SnapshotRows returns every row visible at sequence s in insertion order.
+func (t *Table) SnapshotRows(seq Seq) []types.Row {
+	var out []types.Row
+	t.SnapshotScan(seq, func(_ RowID, r types.Row) bool {
+		out = append(out, r)
+		return true
+	})
+	return out
+}
+
+// SnapshotLookup returns the rows indexed under exactly key in ix, as
+// visible at sequence s. ix must be an index of this table.
+func (t *Table) SnapshotLookup(ix *Index, key types.Row, seq Seq) []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var out []types.Row
+	for _, id := range ix.lookupAt(key, seq) {
+		if pos, ok := t.byID[id]; ok {
+			if r := t.slots[pos].versionAt(seq); r != nil {
+				out = append(out, r)
+			}
+		}
+	}
+	return out
+}
+
+// SnapshotRange iterates (key, row) pairs with lo <= key <= hi in key
+// order as visible at sequence s. A nil bound is unbounded on that side.
+// Requires an ordered index of this table. Unlike SnapshotScan the read
+// lock is held for the whole range walk (skiplist links have no stable
+// resume token), so very wide ranges delay the writer for the walk's
+// duration; selective ranges — the planner's reason to pick this path —
+// hold it briefly.
+func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key types.Row, row types.Row) bool) error {
+	if !ix.ordered {
+		return fmt.Errorf("index %q: range scan on hash index", ix.name)
+	}
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	ix.sl.scanAt(lo, hi, seq, func(key types.Row, id RowID) bool {
+		pos, ok := t.byID[id]
+		if !ok {
+			return true
+		}
+		r := t.slots[pos].versionAt(seq)
+		if r == nil {
+			return true
+		}
+		return fn(key, r)
+	})
+	return nil
+}
+
+// ---------- version garbage collection ----------
+
+// maybeGCLocked runs an inline sweep once dead versions dominate — the
+// multi-version analogue of tombstone compaction, bounded by the snapshot
+// watermark so pinned readers keep their view. Caller holds t.mu.
+func (t *Table) maybeGCLocked() {
+	if t.deadVers < 64 || t.deadVers <= len(t.slots)/2 || t.deadVers < t.gcMinDead {
+		return
+	}
+	t.gcLocked(t.clock.Watermark())
+}
+
+// GC reclaims every version and index entry dead at or below watermark and
+// compacts away emptied slots, returning the number of row versions
+// reclaimed and retained. Call from the partition worker (or any quiescent
+// point): it mutates under the write lock, excluding snapshot readers but
+// not the (lock-free) writer read path. A table with no dead stamps has
+// nothing to sweep and returns in O(1) — every version is its slot's
+// single live one — so periodic sweeps cost mostly-read tables nothing.
+func (t *Table) GC(watermark Seq) (reclaimed, retained int) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.deadVers == 0 {
+		return 0, t.live
+	}
+	return t.gcLocked(watermark)
+}
+
+// gcLocked is GC's body; caller holds t.mu. A version is reclaimable iff
+// its dead stamp is at or below the watermark: no pinned snapshot (all at
+// or above the watermark) and no future one can see it. Pending stamps
+// exceed the current sequence and therefore the watermark, so an in-flight
+// transaction's chain entries — which undo may still need — are never
+// touched.
+func (t *Table) gcLocked(watermark Seq) (reclaimed, retained int) {
+	j := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		kept := s.versions[:0]
+		for _, v := range s.versions {
+			if v.dead <= watermark {
+				reclaimed++
+				continue
+			}
+			kept = append(kept, v)
+		}
+		s.versions = kept
+		if len(kept) == 0 {
+			delete(t.byID, s.id)
+			continue
+		}
+		retained += len(kept)
+		t.byID[s.id] = j
+		t.slots[j] = t.slots[i]
+		j++
+	}
+	t.slots = t.slots[:j]
+	t.deadVers -= reclaimed
+	t.gcMinDead = t.deadVers * 2
+	for _, ix := range t.indexes {
+		ix.gc(watermark)
+	}
+	return reclaimed, retained
+}
+
+// VersionStats reports the total retained versions and how many of them
+// are dead (awaiting the watermark) — the version-chain gauges.
+func (t *Table) VersionStats() (versions, dead int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range t.slots {
+		versions += len(t.slots[i].versions)
+	}
+	return versions, t.deadVers
 }

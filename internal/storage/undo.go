@@ -1,14 +1,16 @@
 package storage
 
-import "repro/internal/types"
-
 // UndoLog collects the inverse of every mutation a transaction performs so
 // an abort can restore the exact pre-transaction physical state (rows keep
 // their RowIDs across rollback, which keeps streams' FIFO order stable).
 //
-// The log is value-based (before-images), not operation-based, so rollback
-// cannot fail: every compensating action restores state that existed when
-// the forward action ran.
+// With multi-versioned tables the inverses operate on the version chains:
+// an aborted insert pops its pending version, an aborted delete revives
+// the stamped version, an aborted update pops the new image and revives
+// its predecessor. Pending stamps exceed every published sequence, so the
+// whole forward-plus-rollback episode is invisible to snapshot readers.
+// Rollback cannot fail: every compensating action restores chain state
+// that existed when the forward action ran.
 type UndoLog struct {
 	entries []undoEntry
 	marks   []int // savepoint stack (indexes into entries)
@@ -17,9 +19,9 @@ type UndoLog struct {
 type undoKind uint8
 
 const (
-	undoInsert undoKind = iota // forward op was Insert -> undo deletes
-	undoDelete                 // forward op was Delete -> undo re-inserts
-	undoUpdate                 // forward op was Update -> undo restores image
+	undoInsert undoKind = iota // forward op was Insert -> pop the version
+	undoDelete                 // forward op was Delete -> revive the version
+	undoUpdate                 // forward op was Update -> pop + revive prior
 	undoFunc                   // forward op was engine metadata -> undo runs closure
 )
 
@@ -27,8 +29,7 @@ type undoEntry struct {
 	table *Table
 	kind  undoKind
 	id    RowID
-	row   types.Row // before-image for delete/update
-	fn    func()    // compensating closure (undoFunc)
+	fn    func() // compensating closure (undoFunc)
 }
 
 // NewUndoLog returns an empty undo log.
@@ -74,17 +75,11 @@ func (u *UndoLog) Release() {
 func (e undoEntry) apply() {
 	switch e.kind {
 	case undoInsert:
-		// The row was inserted by this txn; nothing else could have removed
-		// it under serial execution.
-		if err := e.table.Delete(e.id, nil); err != nil {
-			panic("storage: undo of insert failed: " + err.Error())
-		}
+		e.table.undoInsert(e.id)
 	case undoDelete:
-		e.table.restoreInsert(e.id, e.row)
+		e.table.undoDelete(e.id)
 	case undoUpdate:
-		if err := e.table.Update(e.id, e.row, nil); err != nil {
-			panic("storage: undo of update failed: " + err.Error())
-		}
+		e.table.undoUpdate(e.id)
 	case undoFunc:
 		e.fn()
 	}

@@ -284,3 +284,63 @@ func TestAppendAsyncOnSyncPoliciesResolvesImmediately(t *testing.T) {
 		l.Close()
 	}
 }
+
+// TestAdaptiveGroupCommitInterval drives fsyncs through an adaptive log
+// and checks the tick tracks observed fsync latency within its clamps.
+func TestAdaptiveGroupCommitInterval(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "adaptive.log")
+	min, max := 200*time.Microsecond, 5*time.Millisecond
+	l, err := OpenLogOpts(path, 0, Options{
+		Policy:                 SyncGroupCommit,
+		GroupCommitMinInterval: min,
+		GroupCommitMaxInterval: max,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	if got := l.CurrentInterval(); got != min {
+		t.Fatalf("initial adaptive interval = %v, want the min %v", got, min)
+	}
+	for i := 0; i < 32; i++ {
+		if _, err := l.Append([]byte("r")); err != nil { // waits for its fsync
+			t.Fatal(err)
+		}
+	}
+	if l.FsyncEWMA() <= 0 {
+		t.Fatal("no fsync latency observed")
+	}
+	iv := l.CurrentInterval()
+	if iv < min || iv > max {
+		t.Fatalf("adaptive interval %v escaped [%v, %v]", iv, min, max)
+	}
+	// The clamp floor itself adapts: a tiny max forces the tick down.
+	l2, err := OpenLogOpts(filepath.Join(t.TempDir(), "b.log"), 0, Options{
+		Policy:                 SyncGroupCommit,
+		GroupCommitMinInterval: time.Millisecond,
+		GroupCommitMaxInterval: time.Microsecond, // < min: clamped up to min
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if got := l2.CurrentInterval(); got != time.Millisecond {
+		t.Fatalf("degenerate clamp: interval %v, want 1ms", got)
+	}
+
+	// A fixed-interval log reports its configured tick and never adapts.
+	l3, err := OpenLogOpts(filepath.Join(t.TempDir(), "c.log"), 0, Options{
+		Policy:              SyncGroupCommit,
+		GroupCommitInterval: 3 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	if _, err := l3.Append([]byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	if got := l3.CurrentInterval(); got != 3*time.Millisecond {
+		t.Fatalf("fixed interval drifted to %v", got)
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -52,6 +53,15 @@ type Options struct {
 	// GroupCommitMaxBatch fsyncs early once this many appends are pending,
 	// bounding batch size under load. Zero means the default.
 	GroupCommitMaxBatch int
+	// GroupCommitMaxInterval > 0 makes the daemon's tick adaptive: an EWMA
+	// of observed fsync latency, clamped to [GroupCommitMinInterval,
+	// GroupCommitMaxInterval]. Slow media batch longer (one fsync
+	// amortizes over more commits, and ticking faster than the disk can
+	// fsync only queues); fast media flush sooner, cutting commit latency
+	// below what a fixed tick would add. GroupCommitInterval is ignored
+	// while adapting.
+	GroupCommitMinInterval time.Duration
+	GroupCommitMaxInterval time.Duration
 }
 
 // commitWaiter is one unresolved commit future: the record at lsn has been
@@ -93,6 +103,19 @@ type Log struct {
 	quit     chan struct{}
 	done     chan struct{}
 	stop     sync.Once
+
+	// Adaptive tick (GroupCommitMaxInterval > 0): fsyncEWMA tracks observed
+	// fsync latency and curInterval holds the clamped tick, both in
+	// nanoseconds (atomics: the daemon writes, metrics/tests read).
+	adaptive    bool
+	minInterval time.Duration
+	maxInterval time.Duration
+	fsyncEWMA   atomic.Int64
+	curInterval atomic.Int64
+	// idle is set while the daemon is parked with nothing pending;
+	// AppendAsync nudges it through kick, so an idle log costs no
+	// periodic wakeups even at a sub-millisecond adaptive tick.
+	idle atomic.Bool
 }
 
 // OpenLog opens (creating if needed) the log at path and positions for
@@ -125,6 +148,20 @@ func OpenLogOpts(path string, startLSN uint64, o Options) (*Log, error) {
 		if l.maxBatch <= 0 {
 			l.maxBatch = DefaultGroupCommitMaxBatch
 		}
+		if o.GroupCommitMaxInterval > 0 {
+			l.adaptive = true
+			l.minInterval = o.GroupCommitMinInterval
+			if l.minInterval < 100*time.Microsecond {
+				l.minInterval = 100 * time.Microsecond
+			}
+			l.maxInterval = o.GroupCommitMaxInterval
+			if l.maxInterval < l.minInterval {
+				l.maxInterval = l.minInterval
+			}
+			l.curInterval.Store(int64(l.minInterval)) // optimistic start
+		} else {
+			l.curInterval.Store(int64(l.interval))
+		}
 		l.kick = make(chan struct{}, 1)
 		l.syncReq = make(chan chan error)
 		l.quit = make(chan struct{})
@@ -132,6 +169,40 @@ func OpenLogOpts(path string, startLSN uint64, o Options) (*Log, error) {
 		go l.daemon()
 	}
 	return l, nil
+}
+
+// CurrentInterval reports the commit daemon's tick: fixed, or the latest
+// adaptive value (tests and metrics).
+func (l *Log) CurrentInterval() time.Duration {
+	return time.Duration(l.curInterval.Load())
+}
+
+// FsyncEWMA reports the daemon's running estimate of fsync latency (zero
+// until the first measured fsync).
+func (l *Log) FsyncEWMA() time.Duration {
+	return time.Duration(l.fsyncEWMA.Load())
+}
+
+// observeFsync folds one measured fsync into the EWMA (alpha 1/4) and
+// re-clamps the adaptive tick.
+func (l *Log) observeFsync(d time.Duration) {
+	if !l.adaptive {
+		return
+	}
+	prev := l.fsyncEWMA.Load()
+	next := int64(d)
+	if prev > 0 {
+		next = prev + (int64(d)-prev)/4
+	}
+	l.fsyncEWMA.Store(next)
+	iv := time.Duration(next)
+	if iv < l.minInterval {
+		iv = l.minInterval
+	}
+	if iv > l.maxInterval {
+		iv = l.maxInterval
+	}
+	l.curInterval.Store(int64(iv))
 }
 
 // GroupCommit reports whether the log batches fsyncs behind commit futures.
@@ -232,7 +303,7 @@ func (l *Log) AppendAsync(payload []byte) (uint64, <-chan error, error) {
 	l.pending = append(l.pending, commitWaiter{lsn: lsn, ch: ch})
 	full := len(l.pending) >= l.maxBatch
 	l.mu.Unlock()
-	if full {
+	if full || l.idle.Load() {
 		select {
 		case l.kick <- struct{}{}:
 		default: // a nudge is already queued
@@ -242,15 +313,20 @@ func (l *Log) AppendAsync(payload []byte) (uint64, <-chan error, error) {
 }
 
 // daemon is the group-commit loop: it fsyncs once per tick, early when a
-// batch fills or a SyncNow arrives, and resolves the covered futures.
+// batch fills or a SyncNow arrives, and resolves the covered futures. The
+// tick is re-armed from CurrentInterval, so under the adaptive option it
+// tracks what the disk actually sustains.
 func (l *Log) daemon() {
 	defer close(l.done)
-	t := time.NewTicker(l.interval)
+	t := time.NewTimer(l.CurrentInterval())
 	defer t.Stop()
 	for {
 		select {
 		case <-t.C:
-			l.syncBatch(nil)
+			if l.syncBatch(nil) == 0 && !l.parkIdle() {
+				return
+			}
+			t.Reset(l.CurrentInterval())
 		case <-l.kick:
 			l.syncBatch(nil)
 		case reply := <-l.syncReq:
@@ -262,24 +338,54 @@ func (l *Log) daemon() {
 	}
 }
 
+// parkIdle blocks the daemon after an empty tick until the next append
+// (AppendAsync kicks when it sees the idle flag) or sync request, so an
+// idle log pays no periodic wakeups. Returns false when the log is
+// closing. The nudged-awake daemon resumes ticking; the first waiting
+// append still resolves within one tick, exactly as under the ticker.
+func (l *Log) parkIdle() bool {
+	l.idle.Store(true)
+	defer l.idle.Store(false)
+	l.mu.Lock()
+	pend := len(l.pending) > 0
+	l.mu.Unlock()
+	if pend {
+		return true // an append raced the flag; keep ticking
+	}
+	select {
+	case <-l.kick:
+		return true
+	case reply := <-l.syncReq:
+		l.syncBatch(reply)
+		return true
+	case <-l.quit:
+		l.syncBatch(nil)
+		return false
+	}
+}
+
 // syncBatch flushes buffered frames, fsyncs, and resolves every pending
-// future with the result. The fsync runs outside the lock so the appender
-// keeps buffering the next batch while the disk works; a record buffered
+// future with the result, returning the batch size (zero = nothing was
+// waiting). The fsync runs outside the lock so the appender keeps
+// buffering the next batch while the disk works; a record buffered
 // mid-fsync joins the next batch, whose own fsync (issued after the flush
 // that covered its bytes) is the one that resolves it.
-func (l *Log) syncBatch(reply chan<- error) {
+func (l *Log) syncBatch(reply chan<- error) int {
 	l.mu.Lock()
 	err := l.flushLocked()
 	batch := l.pending
 	l.pending = nil
 	l.mu.Unlock()
 	if err == nil && (len(batch) > 0 || reply != nil) {
+		start := time.Now()
 		if err = l.f.Sync(); err != nil {
 			l.mu.Lock()
 			if l.err == nil {
 				l.err = err
 			}
 			l.mu.Unlock()
+		} else {
+			l.observeFsync(time.Since(start))
 		}
 	}
 	for _, w := range batch {
@@ -288,6 +394,7 @@ func (l *Log) syncBatch(reply chan<- error) {
 	if reply != nil {
 		reply <- err
 	}
+	return len(batch)
 }
 
 // SyncNow forces everything appended so far to stable storage, resolving

@@ -62,6 +62,19 @@
 //	st := sstore.Open(sstore.Config{Partitions: 4})
 //	st.ExecScript(`CREATE STREAM readings (sensor INT, v FLOAT) PARTITION BY sensor;`)
 //
+// # Snapshot reads
+//
+// Storage is multi-versioned: ad-hoc read-only queries (Store.Query)
+// execute on the calling goroutine against an MVCC snapshot pinned at the
+// latest committed sequence instead of queueing on the serial partition
+// worker, so reads scale with client cores, never block behind writes or
+// an in-flight cross-partition transaction, and always see a consistent
+// committed state (per partition, and as a consistent cut across
+// partitions for fan-out queries). Writes, stored procedures, and the
+// dataflow hot path keep H-Store's serial execution untouched; old row
+// versions are reclaimed by a watermark GC once no reader can see them.
+// See DESIGN.md §1.6 and the E9 experiment.
+//
 // Work that genuinely spans partitions runs through the two-phase-commit
 // coordinator: ad-hoc multi-row INSERTs spanning shards, INSERT ... SELECT,
 // and broadcast UPDATE / DELETE commit atomically across partitions, and
