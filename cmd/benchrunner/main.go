@@ -2,13 +2,14 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E9
+//	benchrunner            # E1..E10
 //	benchrunner -e E2 -votes 6000
 //	benchrunner -e E6 -votes 40000
 //	benchrunner -e E7 -votes 20000 -json BENCH_E7.json
 //	benchrunner -e E8 -txns 5000 -json BENCH_E8.json
 //	benchrunner -e E9 -readers 8 -dur 1s -json BENCH_E9.json
 //	benchrunner -e E9 -dur 100ms    # CI smoke
+//	benchrunner -e E10 -votes 20000 -json BENCH_E10.json
 package main
 
 import (
@@ -24,7 +25,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
@@ -249,6 +250,74 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E10", func() error {
+		res, err := bench.E10(*seed, *votes, *parts, *parts*2, *pipeline)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("partitions       : %d -> %d (%d slots, %d rows moved)\n",
+			res.PartsFrom, res.PartsTo, res.SlotsMigrated, res.RowsMoved)
+		fmt.Printf("votes/sec        : before %.0f, during %.0f, after %.0f\n",
+			res.VotesSecBefore, res.VotesSecDuring, res.VotesSecAfter)
+		fmt.Printf("rebalance wall   : %s\n", res.RebalanceWall.Round(time.Millisecond))
+		fmt.Printf("cutover pause    : p50 %s, p99 %s (budget %s, within: %v)\n",
+			res.PauseP50.Round(time.Microsecond), res.PauseP99.Round(time.Microsecond),
+			res.PauseBudget, res.WithinBudget)
+		fmt.Printf("oracle match     : %v\n", res.Correct)
+		if *jsonOut != "" {
+			if err := writeE10JSON(*jsonOut, *seed, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e10JSON is the BENCH_E10.json document.
+type e10JSON struct {
+	Experiment     string  `json:"experiment"`
+	Seed           int64   `json:"seed"`
+	Votes          int     `json:"votes"`
+	PartsFrom      int     `json:"partitions_from"`
+	PartsTo        int     `json:"partitions_to"`
+	SlotsMigrated  int64   `json:"slots_migrated"`
+	RowsMoved      int64   `json:"rows_moved"`
+	VotesSecBefore float64 `json:"votes_per_sec_before"`
+	VotesSecDuring float64 `json:"votes_per_sec_during"`
+	VotesSecAfter  float64 `json:"votes_per_sec_after"`
+	RebalanceMs    int64   `json:"rebalance_wall_ms"`
+	PauseP50us     int64   `json:"cutover_pause_p50_us"`
+	PauseP99us     int64   `json:"cutover_pause_p99_us"`
+	PauseBudgetUs  int64   `json:"pause_budget_us"`
+	WithinBudget   bool    `json:"within_budget"`
+	Correct        bool    `json:"correct"`
+}
+
+func writeE10JSON(path string, seed int64, res bench.E10Result) error {
+	doc := e10JSON{Experiment: "E10 elastic repartitioning under live Voter load",
+		Seed:           seed,
+		Votes:          res.Votes,
+		PartsFrom:      res.PartsFrom,
+		PartsTo:        res.PartsTo,
+		SlotsMigrated:  res.SlotsMigrated,
+		RowsMoved:      res.RowsMoved,
+		VotesSecBefore: res.VotesSecBefore,
+		VotesSecDuring: res.VotesSecDuring,
+		VotesSecAfter:  res.VotesSecAfter,
+		RebalanceMs:    res.RebalanceWall.Milliseconds(),
+		PauseP50us:     res.PauseP50.Microseconds(),
+		PauseP99us:     res.PauseP99.Microseconds(),
+		PauseBudgetUs:  res.PauseBudget.Microseconds(),
+		WithinBudget:   res.WithinBudget,
+		Correct:        res.Correct,
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e9JSON is the BENCH_E9.json document.

@@ -13,6 +13,7 @@
 //	explain dataflow <name>   render a graph: nodes, edges, constraints
 //	pause <name>              pause a dataflow (border ingest queues)
 //	resume <name>             resume a paused dataflow
+//	partitions <n>            grow the server to n partitions (live rebalance)
 //	quit
 //
 // Arguments parse as int, then float, then string.
@@ -78,6 +79,18 @@ func main() {
 				fmt.Println("error:", err)
 			} else {
 				fmt.Println("resumed")
+			}
+		case strings.HasPrefix(strings.ToLower(line), "partitions "):
+			n, err := strconv.Atoi(strings.TrimSpace(line[len("partitions "):]))
+			if err != nil {
+				fmt.Println("usage: partitions <n>")
+				break
+			}
+			got, err := c.Rebalance(n)
+			if err != nil {
+				fmt.Println("error:", err)
+			} else {
+				fmt.Printf("rebalanced to %d partitions\n", got)
 			}
 		case strings.HasPrefix(strings.ToLower(line), "explain "):
 			plan, err := c.Explain(strings.TrimSpace(line[len("explain "):]))

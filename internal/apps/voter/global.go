@@ -27,7 +27,7 @@ import (
 // rows for the global accepted-vote total (id is a dummy key; each
 // partition holds one partial row, merged by fan-out SUM).
 const globalDDL = oltpDDL + `
-	CREATE TABLE totals_g (id INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY id;
+	CREATE TABLE totals_g (id INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY id PARTIAL;
 `
 
 // SetupGlobal installs the globally-eliminating Voter: schema and per-
@@ -93,12 +93,27 @@ func CastVoteGlobal(st *core.Store, phone, contestant, ts int64, eliminateEvery 
 			types.NewInt(phone), types.NewInt(contestant), types.NewInt(ts)); err != nil {
 			return err
 		}
-		if _, err := tx.Exec(owner, "UPDATE vote_counts SET n = n + 1 WHERE contestant = ?",
-			types.NewInt(contestant)); err != nil {
+		// Upserts: PARTIAL tables on partitions added by a rebalance start
+		// empty, so the first count there creates the partial row.
+		res, err := tx.Exec(owner, "UPDATE vote_counts SET n = n + 1 WHERE contestant = ?",
+			types.NewInt(contestant))
+		if err != nil {
 			return err
 		}
-		if _, err := tx.Exec(owner, "UPDATE totals_g SET n = n + 1 WHERE id = 0"); err != nil {
+		if res.RowsAffected == 0 {
+			if _, err := tx.Exec(owner, "INSERT INTO vote_counts (contestant, n) VALUES (?, 1)",
+				types.NewInt(contestant)); err != nil {
+				return err
+			}
+		}
+		res, err = tx.Exec(owner, "UPDATE totals_g SET n = n + 1 WHERE id = 0")
+		if err != nil {
 			return err
+		}
+		if res.RowsAffected == 0 {
+			if _, err := tx.Exec(owner, "INSERT INTO totals_g VALUES (0, 1)"); err != nil {
+				return err
+			}
 		}
 		accepted = true
 

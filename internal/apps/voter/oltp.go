@@ -20,7 +20,7 @@ import (
 const oltpDDL = `
 	CREATE TABLE contestants (id INT PRIMARY KEY, name VARCHAR NOT NULL);
 	CREATE TABLE votes (phone BIGINT PRIMARY KEY, contestant INT NOT NULL, ts BIGINT) PARTITION BY phone;
-	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY contestant;
+	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY contestant PARTIAL;
 `
 
 // SetupOLTP installs the Call-driven Voter variant: schema, replicated
@@ -75,7 +75,17 @@ func castVote() *pe.Procedure {
 			if _, err := ctx.Exec("INSERT INTO votes VALUES (?, ?, ?)", phone, cand, ctx.Params[2]); err != nil {
 				return err
 			}
-			_, err = ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", cand)
+			// Upsert the partition-local partial: partitions added by a
+			// rebalance start with an empty vote_counts (PARTIAL relations
+			// are never copied), so the first count on a fresh partition
+			// creates its row.
+			res, err := ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", cand)
+			if err != nil {
+				return err
+			}
+			if res.RowsAffected == 0 {
+				_, err = ctx.Exec("INSERT INTO vote_counts (contestant, n) VALUES (?, 1)", cand)
+			}
 			return err
 		},
 	}

@@ -23,8 +23,8 @@ const partitionedDDL = `
 	CREATE TABLE contestants (id INT PRIMARY KEY, name VARCHAR NOT NULL);
 	CREATE TABLE votes (phone BIGINT PRIMARY KEY, contestant INT NOT NULL, ts BIGINT) PARTITION BY phone;
 	CREATE INDEX votes_by_contestant ON votes (contestant);
-	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY contestant;
-	CREATE TABLE trending (contestant INT PRIMARY KEY, n BIGINT) PARTITION BY contestant;
+	CREATE TABLE vote_counts (contestant INT PRIMARY KEY, n BIGINT DEFAULT 0) PARTITION BY contestant PARTIAL;
+	CREATE TABLE trending (contestant INT PRIMARY KEY, n BIGINT) PARTITION BY contestant PARTIAL;
 	CREATE STREAM votes_in (phone BIGINT, contestant INT, ts BIGINT) PARTITION BY phone;
 	CREATE STREAM validated (phone BIGINT, contestant INT, ts BIGINT) PARTITION BY phone;
 	CREATE WINDOW w_trend ON validated ROWS 100 SLIDE 1;
@@ -117,8 +117,16 @@ func sp2Partitioned() *pe.Procedure {
 		WriteSet: []string{"vote_counts", "trending"},
 		Handler: func(ctx *pe.ProcCtx) error {
 			for _, v := range ctx.Batch {
-				if _, err := ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", v[1]); err != nil {
+				// Upsert the partition-local partial: partitions added by a
+				// rebalance start with empty PARTIAL tables.
+				res, err := ctx.Exec("UPDATE vote_counts SET n = n + 1 WHERE contestant = ?", v[1])
+				if err != nil {
 					return err
+				}
+				if res.RowsAffected == 0 {
+					if _, err := ctx.Exec("INSERT INTO vote_counts (contestant, n) VALUES (?, 1)", v[1]); err != nil {
+						return err
+					}
 				}
 				if _, err := ctx.Query("SELECT COUNT(*) FROM votes WHERE contestant = ?", v[1]); err != nil {
 					return err

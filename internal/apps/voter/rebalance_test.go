@@ -1,0 +1,111 @@
+package voter
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/types"
+	"repro/internal/workload"
+)
+
+// TestRebalanceLiveVoterOracle grows a store 2 -> 4 partitions while the
+// OLTP Voter feed is in full flight, with snapshot readers aggregating the
+// partition-local partials throughout. The sequential oracle is the
+// acceptance bar: every valid vote counted exactly once — a slot migration
+// that lost a row, double-applied one, or briefly routed a phone to two
+// owners would break either SUM(n) or the votes row count. Run with -race.
+func TestRebalanceLiveVoterOracle(t *testing.T) {
+	const contestants = 25
+	cfg := workload.DefaultVoterConfig(7, 4000)
+	feed := workload.Votes(cfg)
+
+	st := core.Open(core.Config{Partitions: 2})
+	if err := SetupOLTP(st, contestants); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	const pipeline = 4
+	next := make(chan workload.Vote, pipeline)
+	errs := make([]error, pipeline)
+	var wg sync.WaitGroup
+	for w := 0; w < pipeline; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := range next {
+				if _, err := st.Call("cast_vote",
+					types.NewInt(v.Phone), types.NewInt(v.Contestant), types.NewInt(v.TS)); err != nil {
+					errs[w] = err
+					break
+				}
+			}
+			for range next {
+			} // drain on error so the feeder never blocks
+		}(w)
+	}
+	stopRead := make(chan struct{})
+	readErr := make(chan error, 1)
+	var readWG sync.WaitGroup
+	readWG.Add(1)
+	go func() { // concurrent fan-out reader over the migrating partials
+		defer readWG.Done()
+		for {
+			select {
+			case <-stopRead:
+				return
+			default:
+			}
+			if _, err := st.Query("SELECT SUM(n) FROM vote_counts"); err != nil {
+				readErr <- err
+				return
+			}
+		}
+	}()
+
+	for i, v := range feed {
+		if i == len(feed)/3 { // grow mid-feed, under live load
+			if err := st.Rebalance(4); err != nil {
+				t.Fatal(err)
+			}
+		}
+		next <- v
+	}
+	close(next)
+	wg.Wait()
+	close(stopRead)
+	readWG.Wait()
+	select {
+	case err := <-readErr:
+		t.Fatal(err)
+	default:
+	}
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.NumPartitions() != 4 {
+		t.Fatalf("NumPartitions = %d", st.NumPartitions())
+	}
+
+	want := ExpectedValidVotes(feed, contestants)
+	sum, err := st.Query("SELECT SUM(n) FROM vote_counts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Rows[0][0].Int(); got != want {
+		t.Fatalf("SUM(vote_counts.n) = %d want %d (lost or duplicated votes)", got, want)
+	}
+	cnt, err := st.Query("SELECT COUNT(*) FROM votes")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := cnt.Rows[0][0].Int(); got != want {
+		t.Fatalf("COUNT(votes) = %d want %d", got, want)
+	}
+}

@@ -89,14 +89,24 @@ type Relation struct {
 	// partition; unpartitioned tables are treated as replicated reference
 	// data and unpartitioned streams are pinned to partition 0.
 	PartCol int
+
+	// Partial marks a partitioned relation declared PARTITION BY ... PARTIAL:
+	// its rows are partition-local partial state (e.g. per-partition partial
+	// aggregates maintained by procedures routed on a different key), so
+	// every partition may legitimately hold a row for any key. Fan-out
+	// queries re-aggregate partials; elastic repartitioning must leave their
+	// rows where they are — rehoming them by partition key would collide
+	// unique indexes and double-count aggregates.
+	Partial bool
 }
 
 // Partitioned reports whether the relation declares a partitioning column.
 func (r *Relation) Partitioned() bool { return r.PartCol >= 0 }
 
-// SetPartitionColumn resolves and records the PARTITION BY column. Windows
-// inherit their source stream's partitioning and cannot declare their own.
-func (r *Relation) SetPartitionColumn(name string) error {
+// SetPartitionColumn resolves and records the PARTITION BY column and its
+// optional PARTIAL marker. Windows inherit their source stream's
+// partitioning and cannot declare their own.
+func (r *Relation) SetPartitionColumn(name string, partial bool) error {
 	if r.Kind == KindWindow {
 		return fmt.Errorf("catalog: window %q cannot declare PARTITION BY", r.Name)
 	}
@@ -105,6 +115,7 @@ func (r *Relation) SetPartitionColumn(name string) error {
 		return fmt.Errorf("catalog: relation %q has no column %q to partition by", r.Name, name)
 	}
 	r.PartCol = ord
+	r.Partial = partial
 	return nil
 }
 
@@ -205,9 +216,11 @@ func (c *Catalog) CreateWindow(name string, spec WindowSpec) (*Relation, error) 
 		return nil, err
 	}
 	// A window over a partitioned stream holds partition-local state; it
-	// inherits the source's partitioning (same schema, same ordinal) so the
-	// query router knows to fan reads out across partitions.
+	// inherits the source's partitioning (same schema, same ordinal, same
+	// PARTIAL marker) so the query router knows to fan reads out across
+	// partitions.
 	rel.PartCol = src.PartCol
+	rel.Partial = src.Partial
 	return rel, nil
 }
 

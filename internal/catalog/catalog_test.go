@@ -148,13 +148,13 @@ func TestPartitionColumnMetadata(t *testing.T) {
 	if tbl.Partitioned() {
 		t.Fatal("fresh relation should be unpartitioned")
 	}
-	if err := tbl.SetPartitionColumn("V"); err != nil { // case-insensitive
+	if err := tbl.SetPartitionColumn("V", false); err != nil { // case-insensitive
 		t.Fatal(err)
 	}
 	if !tbl.Partitioned() || tbl.PartCol != 1 {
 		t.Fatalf("PartCol = %d", tbl.PartCol)
 	}
-	if err := tbl.SetPartitionColumn("nope"); err == nil {
+	if err := tbl.SetPartitionColumn("nope", false); err == nil {
 		t.Fatal("unknown partition column accepted")
 	}
 
@@ -164,7 +164,7 @@ func TestPartitionColumnMetadata(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := s.SetPartitionColumn("v"); err != nil {
+	if err := s.SetPartitionColumn("v", false); err != nil {
 		t.Fatal(err)
 	}
 	w, err := c.CreateWindow("w", WindowSpec{Rows: true, Size: 4, Slide: 2, Source: "s"})
@@ -174,7 +174,7 @@ func TestPartitionColumnMetadata(t *testing.T) {
 	if w.PartCol != s.PartCol {
 		t.Fatalf("window PartCol = %d, want %d", w.PartCol, s.PartCol)
 	}
-	if err := w.SetPartitionColumn("v"); err == nil {
+	if err := w.SetPartitionColumn("v", false); err == nil {
 		t.Fatal("window PARTITION BY accepted")
 	}
 }

@@ -144,6 +144,21 @@ func (c *TCP) ResumeDataflow(name string) error {
 	return err
 }
 
+// Rebalance grows the server to target partitions, migrating hash slots
+// live (a no-op if the server already has that many; shrinking errors).
+// Returns the server's partition count after the rebalance.
+func (c *TCP) Rebalance(target int) (int, error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgAdmin, Target: "partitions",
+		Params: types.Row{types.NewInt(int64(target))}})
+	if err != nil {
+		return 0, err
+	}
+	if len(resp.Rows) == 0 {
+		return 0, fmt.Errorf("client: empty rebalance response")
+	}
+	return int(resp.Rows[0][0].Int()), nil
+}
+
 // Ping checks liveness.
 func (c *TCP) Ping() error {
 	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgPing})
@@ -238,6 +253,15 @@ func (c *Loopback) PauseDataflow(name string) error {
 func (c *Loopback) ResumeDataflow(name string) error {
 	c.charge()
 	return c.St.ResumeDataflow(name)
+}
+
+// Rebalance mirrors TCP.Rebalance over the in-process store.
+func (c *Loopback) Rebalance(target int) (int, error) {
+	c.charge()
+	if err := c.St.Rebalance(target); err != nil {
+		return 0, err
+	}
+	return c.St.NumPartitions(), nil
 }
 
 // Flush implements Conn.

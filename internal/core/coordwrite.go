@@ -50,7 +50,7 @@ func (s *Store) coordExecAll(sqlText string, params []types.Value, sum bool) (*p
 func (s *Store) coordInsertBuckets(table string, buckets map[int][]types.Row) (*pe.Result, error) {
 	total := 0
 	err := s.runMP(false, func(tx *MPTxn) error {
-		for part := 0; part < len(s.parts); part++ {
+		for part := 0; part < tx.NumPartitions(); part++ {
 			rows := buckets[part]
 			if len(rows) == 0 {
 				continue
@@ -83,7 +83,7 @@ func (s *Store) execInsertSelect(ins *sql.Insert, rel *catalog.Relation, sqlText
 	if !rel.Partitioned() && !srcPart {
 		if rel.Kind != catalog.KindTable {
 			// Pinned stream target, partition-0 source: everything local.
-			return s.parts[0].pe.Exec(sqlText, params...)
+			return s.partList()[0].pe.Exec(sqlText, params...)
 		}
 		// Replicated target: when the source is replicated too, every leg
 		// computes identical rows and the statement broadcasts untouched
@@ -91,7 +91,7 @@ func (s *Store) execInsertSelect(ins *sql.Insert, rel *catalog.Relation, sqlText
 		// pinned source lives on partition 0 only — fall through to
 		// materialization.
 		s.routeMu.RLock()
-		vetErr := vetSourceSelect(s.parts[0].cat, ins.Query, true)
+		vetErr := vetSourceSelect(s.partList()[0].cat, ins.Query, true)
 		s.routeMu.RUnlock()
 		if vetErr == nil {
 			return s.coordExecAll(sqlText, params, false)
@@ -168,10 +168,10 @@ func (s *Store) execInsertSelect(ins *sql.Insert, rel *catalog.Relation, sqlText
 					return err
 				}
 				row[rel.PartCol] = v
-				p := s.partitionFor(v)
+				p := tx.PartitionFor(v)
 				buckets[p] = append(buckets[p], row)
 			}
-			for part := 0; part < len(s.parts); part++ {
+			for part := 0; part < tx.NumPartitions(); part++ {
 				if len(buckets[part]) == 0 {
 					continue
 				}
@@ -183,7 +183,7 @@ func (s *Store) execInsertSelect(ins *sql.Insert, rel *catalog.Relation, sqlText
 			}
 		case rel.Kind == catalog.KindTable:
 			// Replicated target: identical batch on every replica.
-			for part := 0; part < len(s.parts); part++ {
+			for part := 0; part < tx.NumPartitions(); part++ {
 				if _, err := tx.InsertRows(part, rel.Name, full); err != nil {
 					return err
 				}

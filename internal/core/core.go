@@ -22,15 +22,18 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/catalog"
 	"repro/internal/ee"
 	"repro/internal/metrics"
 	"repro/internal/pe"
+	"repro/internal/storage"
 	"repro/internal/types"
 	"repro/internal/wal"
 )
@@ -196,9 +199,27 @@ func (p *partition) recover(cfg *Config, decisions map[uint64]bool) (maxMP uint6
 // Store is one S-Store instance: a router over Config.Partitions
 // serial-execution partitions (one by default).
 type Store struct {
-	cfg   Config
-	met   *metrics.Metrics
-	parts []*partition
+	cfg Config
+	met *metrics.Metrics
+	// partsPtr is the published partition list. It is immutable once
+	// stored: Rebalance builds an extended copy and swaps the pointer at an
+	// all-partition barrier (under seqMu's write side), so lock-free readers
+	// always see a complete list. Read through partList().
+	partsPtr atomic.Pointer[[]*partition]
+	// slots is the published routing slot table (see catalog.SlotTable):
+	// the single source of routing truth for ingest, keyed procedure calls,
+	// DML routing, and query fan-out. Like partsPtr it is swapped
+	// atomically — one slot's ownership changes per migration cutover.
+	slots atomic.Pointer[catalog.SlotTable]
+	// routingMu fences route-and-enqueue sequences against slot-migration
+	// cutovers: routing fast paths resolve their target partition and
+	// enqueue under the read side, and a cutover takes the write side
+	// before its barrier, so no request routed by the old table can still
+	// be in flight toward a partition that just lost the slot. Ordered
+	// before exclMu; never acquired inside a partition worker.
+	routingMu sync.RWMutex
+	// rebalanceMu serializes Rebalance calls end to end.
+	rebalanceMu sync.Mutex
 	// exclMu serializes all-partition barriers: two interleaved barrier
 	// acquisitions over the same partition set would deadlock each other.
 	// The 2PC coordinator holds it too — a multi-partition transaction
@@ -243,6 +264,11 @@ type Store struct {
 	// to the graph name — the router's pause-gate index, maintained by
 	// PauseDataflow / ResumeDataflow under routeMu.
 	pausedStreams map[string]string
+	// ddl journals every ExecScript applied to the replicas (under routeMu)
+	// and procs every registered procedure, so Rebalance can bring a newly
+	// added partition up to the same schema and procedure set.
+	ddl   []string
+	procs []*pe.Procedure
 	// recovered is set once Recover completed for every partition;
 	// recoverErr poisons the store after a partial recovery, which cannot
 	// be retried (replayed partitions would replay twice).
@@ -258,40 +284,54 @@ func Open(cfg Config) *Store {
 		n = 1
 	}
 	cfg.Partitions = n
-	met := &metrics.Metrics{}
-	s := &Store{cfg: cfg, met: met}
+	s := &Store{cfg: cfg, met: &metrics.Metrics{}}
+	parts := make([]*partition, 0, n)
 	for i := 0; i < n; i++ {
-		cat := catalog.New()
-		exec := ee.New(cat, met)
-		part := pe.New(exec, pe.Config{
-			Mode:        cfg.Mode,
-			HStoreMode:  cfg.HStoreMode,
-			ForceUnsafe: cfg.ForceUnsafe,
-		})
-		s.parts = append(s.parts, &partition{idx: i, cat: cat, ee: exec, pe: part, met: met})
+		parts = append(parts, s.newPartition(i))
 	}
+	s.partsPtr.Store(&parts)
+	s.slots.Store(catalog.NewSlotTable(n))
 	return s
 }
 
+// newPartition builds one empty serial-execution replica (no DDL, no log).
+func (s *Store) newPartition(idx int) *partition {
+	cat := catalog.New()
+	exec := ee.New(cat, s.met)
+	part := pe.New(exec, pe.Config{
+		Mode:        s.cfg.Mode,
+		HStoreMode:  s.cfg.HStoreMode,
+		ForceUnsafe: s.cfg.ForceUnsafe,
+	})
+	return &partition{idx: idx, cat: cat, ee: exec, pe: part, met: s.met}
+}
+
+// partList returns the published partition list. The slice is immutable;
+// Rebalance swaps the pointer to an extended copy at a barrier, so callers
+// may iterate without holding any lock (a list captured just before a
+// rebalance simply misses the partitions added after it, which own no slots
+// a pre-rebalance routing decision could pick).
+func (s *Store) partList() []*partition { return *s.partsPtr.Load() }
+
 // NumPartitions returns the partition count the store was opened with.
-func (s *Store) NumPartitions() int { return len(s.parts) }
+func (s *Store) NumPartitions() int { return len(s.partList()) }
 
 // Catalog exposes partition 0's metadata (read-only use expected; every
 // partition holds an identical schema replica).
-func (s *Store) Catalog() *catalog.Catalog { return s.parts[0].cat }
+func (s *Store) Catalog() *catalog.Catalog { return s.partList()[0].cat }
 
 // EE exposes partition 0's execution engine (tests, tools).
-func (s *Store) EE() *ee.Engine { return s.parts[0].ee }
+func (s *Store) EE() *ee.Engine { return s.partList()[0].ee }
 
 // EEAt exposes partition i's execution engine (tests, tools, and seeding
 // replicated reference data before Start).
-func (s *Store) EEAt(i int) *ee.Engine { return s.parts[i].ee }
+func (s *Store) EEAt(i int) *ee.Engine { return s.partList()[i].ee }
 
 // PE exposes partition 0's partition engine (tests, tools).
-func (s *Store) PE() *pe.Engine { return s.parts[0].pe }
+func (s *Store) PE() *pe.Engine { return s.partList()[0].pe }
 
 // PEAt exposes partition i's partition engine (tests, tools).
-func (s *Store) PEAt(i int) *pe.Engine { return s.parts[i].pe }
+func (s *Store) PEAt(i int) *pe.Engine { return s.partList()[i].pe }
 
 // Metrics returns the engine's counter set (shared by all partitions).
 func (s *Store) Metrics() *metrics.Metrics { return s.met }
@@ -304,11 +344,12 @@ func (s *Store) Metrics() *metrics.Metrics { return s.met }
 func (s *Store) ExecScript(ddl string) error {
 	s.routeMu.Lock()
 	defer s.routeMu.Unlock()
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		if err := p.ee.ExecScript(ddl); err != nil {
 			return err
 		}
 	}
+	s.ddl = append(s.ddl, ddl)
 	return nil
 }
 
@@ -329,11 +370,14 @@ func (s *Store) CreateTrigger(name, relation string, bodies ...string) error {
 
 // RegisterProcedure adds a stored procedure to every partition.
 func (s *Store) RegisterProcedure(proc *pe.Procedure) error {
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		if err := p.pe.RegisterProcedure(proc); err != nil {
 			return err
 		}
 	}
+	s.routeMu.Lock()
+	s.procs = append(s.procs, proc)
+	s.routeMu.Unlock()
 	return nil
 }
 
@@ -380,32 +424,54 @@ func (s *Store) Recover() error {
 	if err := s.checkPartitionCount(); err != nil {
 		return err // nothing replayed: retryable after fixing the config
 	}
+	// The on-disk slot table is advisory at recovery — the coordinator log's
+	// slot-commit records plus the canonical pass below are authoritative —
+	// but a corrupt file still signals a damaged directory.
+	if _, err := wal.LoadSlots(wal.SlotsPath(s.cfg.Dir)); err != nil && err != wal.ErrNoSlots {
+		return err // nothing replayed: retryable
+	}
 	// The coordinator log is scanned before any partition replays: its
 	// decision records are what resolve in-doubt 2PC legs. A torn tail here
 	// drops decisions whose force never completed — those transactions were
 	// never acknowledged, and presuming them aborted is exactly right.
+	// RecSlotCommit records double as the commit decision for a slot
+	// migration's prepared leg on the destination partition; a migration
+	// with RecSlotBegin/RecSlotCopied but no commit record is presumed
+	// aborted the same way.
 	decisions := make(map[uint64]bool)
 	maxMP := uint64(0)
+	evictOwner := make(map[int]int)   // slot → owner per its last committed migration
+	slotMoves := make(map[uint64]int) // slot-move leg id → slot (replay evicts before applying)
 	coordPath := wal.CoordPath(s.cfg.Dir)
 	coordLSN, err := wal.ScanLog(coordPath, func(_ uint64, payload []byte) error {
 		rec, err := wal.DecodeRecord(payload)
 		if err != nil {
 			return err
 		}
-		if rec.Kind == pe.RecDecide {
+		switch rec.Kind {
+		case pe.RecDecide:
 			if rec.Commit {
 				decisions[rec.MPTxnID] = true
 			}
-			if rec.MPTxnID > maxMP {
-				maxMP = rec.MPTxnID
+		case pe.RecSlotCommit:
+			if rec.ToPart >= len(s.partList()) {
+				return fmt.Errorf("core: slot %d was migrated to partition %d, store opened with %d partitions; "+
+					"reopen with Partitions: %d or more", rec.Slot, rec.ToPart, len(s.partList()), rec.ToPart+1)
 			}
+			decisions[rec.MPTxnID] = true
+			evictOwner[rec.Slot] = rec.ToPart
+			slotMoves[rec.MPTxnID] = rec.Slot
+		}
+		if rec.MPTxnID > maxMP {
+			maxMP = rec.MPTxnID
 		}
 		return nil
 	})
 	if err != nil {
 		return fmt.Errorf("core: coordinator log scan: %w", err) // nothing replayed: retryable
 	}
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
+		p.pe.SetReplaySlotMoves(slotMoves, p.evictSlot)
 		pm, err := p.recover(&s.cfg, decisions)
 		if err != nil {
 			s.recoverErr = err // some partitions replayed: a retry would double-apply
@@ -428,50 +494,284 @@ func (s *Store) Recover() error {
 		s.recoverErr = err
 		return err
 	}
+	// A partition added by reopening with a larger Partitions count (or by
+	// an interrupted live rebalance) replays an empty log: seed its
+	// replicated tables from partition 0 before any rows are rehomed onto it.
+	if maxMP, err = s.repairReplicatedTables(decisions, maxMP); err != nil {
+		s.recoverErr = err
+		return err
+	}
+	// Replayed partition logs resurrect the source copies of committed slot
+	// migrations — the cutover's source deletions are in-memory only; the
+	// slot-commit record is what makes them durable. Evict every committed
+	// slot's rows from all partitions but its owner before rehoming anything,
+	// and only for slots with a commit record: an aborted migration's source
+	// copy is the authoritative one.
+	s.evictMigratedSlots(evictOwner)
+	// Canonical pass: rehome any row whose canonical owner under the opened
+	// partition count lives elsewhere. This is what turns reopening with a
+	// larger Partitions into a recovery-time rebalance: rows sit wherever the
+	// old count (or an interrupted migration) left them, and every move is
+	// made durable through the same prepared-leg + slot-commit records a live
+	// migration writes before the source copies are dropped from memory.
+	if maxMP, err = s.rehomeMisplacedRows(decisions, maxMP); err != nil {
+		s.recoverErr = err
+		return err
+	}
+	for _, p := range s.partList() {
+		p.cat.Clock().Publish()
+	}
+	canonical := catalog.NewSlotTable(len(s.partList()))
+	s.slots.Store(canonical)
+	if err := wal.WriteSlots(wal.SlotsPath(s.cfg.Dir), canonical); err != nil {
+		s.recoverErr = err
+		return err
+	}
 	s.nextMPTxnID = maxMP
 	s.recovered = true
 	return nil
 }
 
-// checkPartitionCount verifies the directory was written with this
-// store's partition count, stamping it on first use.
+// checkPartitionCount compares the directory's partition-count stamp with
+// this store's count, stamping it on first use. Opening with more partitions
+// than the stamp is the recovery-time rebalance entry point (the canonical
+// pass redistributes the rows); only shrinking is refused.
 func (s *Store) checkPartitionCount() error {
 	path := filepath.Join(s.cfg.Dir, partitionsFileName)
+	n := len(s.partList())
 	data, err := os.ReadFile(path)
 	switch {
 	case err == nil:
-		n, convErr := strconv.Atoi(strings.TrimSpace(string(data)))
+		disk, convErr := strconv.Atoi(strings.TrimSpace(string(data)))
 		if convErr != nil {
 			return fmt.Errorf("core: corrupt %s file in %s: %q", partitionsFileName, s.cfg.Dir, data)
 		}
-		if n != len(s.parts) {
+		if disk > n {
 			return fmt.Errorf("core: durability dir %s was written with %d partitions, store opened with %d; "+
-				"reopen with Partitions: %d (resharding is not supported)", s.cfg.Dir, n, len(s.parts), n)
+				"shrinking the partition count is not supported — reopen with Partitions: %d or more", s.cfg.Dir, disk, n, disk)
+		}
+		if disk < n {
+			// Growth: stamp the new count; Recover's canonical pass
+			// redistributes the rows exactly as a live Rebalance would.
+			return os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644)
 		}
 		return nil
 	case os.IsNotExist(err):
-		// No stamp. A directory that already holds durability files was
-		// written by a pre-stamp (single-partition) version — treat its
-		// recorded count as 1 rather than blessing whatever count we were
-		// opened with, which would strand its rows on partition 0.
-		legacy, globErr := filepath.Glob(filepath.Join(s.cfg.Dir, wal.DefaultLogName+"*"))
-		if globErr == nil && len(legacy) == 0 {
-			legacy, _ = filepath.Glob(filepath.Join(s.cfg.Dir, wal.DefaultSnapshotName+"*"))
-		}
-		if len(legacy) > 0 && len(s.parts) != 1 {
-			return fmt.Errorf("core: durability dir %s predates partition stamping (single-partition data), store opened with %d partitions; "+
-				"reopen with Partitions: 1 (resharding is not supported)", s.cfg.Dir, len(s.parts))
-		}
-		return os.WriteFile(path, []byte(strconv.Itoa(len(s.parts))+"\n"), 0o644)
+		// No stamp: either a fresh directory or one written by a pre-stamp
+		// (single-partition) version. Both are safe to stamp with the opened
+		// count — legacy single-partition rows are redistributed by the
+		// canonical pass like any other growth.
+		return os.WriteFile(path, []byte(strconv.Itoa(n)+"\n"), 0o644)
 	default:
 		return fmt.Errorf("core: %s file: %w", partitionsFileName, err)
 	}
 }
 
+// migratedRels lists the relations whose rows move with their slot:
+// hash-partitioned tables and streams. Partitioned windows are not
+// migrated — their contents are rebuilt by the stream flowing anew — and
+// neither are PARTIAL relations, whose rows are partition-local partial
+// state (every partition may hold a row for any key, so rehoming them by
+// partition key would collide unique indexes and double-count aggregates).
+func migratedRels(cat *catalog.Catalog) []*catalog.Relation {
+	var rels []*catalog.Relation
+	for _, name := range cat.Names() {
+		if rel := cat.Relation(name); rel.Partitioned() && rel.Kind != catalog.KindWindow && !rel.Partial {
+			rels = append(rels, rel)
+		}
+	}
+	return rels
+}
+
+// replicatedTables lists the tables every partition holds in full.
+func replicatedTables(cat *catalog.Catalog) []*catalog.Relation {
+	var rels []*catalog.Relation
+	for _, name := range cat.Names() {
+		if rel := cat.Relation(name); rel.Kind == catalog.KindTable && !rel.Partitioned() {
+			rels = append(rels, rel)
+		}
+	}
+	return rels
+}
+
+// repairReplicatedTables copies replicated-table contents from partition 0
+// into any partition whose copy is empty — the state a partition with no log
+// to replay recovers into. Replicated writes reach every partition through
+// one coordinated transaction, so an empty copy beside a non-empty partition
+// 0 can only mean the partition is new. The copy is made durable through the
+// same prepared-leg + decision records a coordinated write uses, so a crash
+// right after this pass does not need to re-detect it.
+func (s *Store) repairReplicatedTables(decisions map[uint64]bool, maxMP uint64) (uint64, error) {
+	parts := s.partList()
+	src := replicatedTables(parts[0].cat)
+	for _, p := range parts[1:] {
+		var ops []pe.LoggedOp
+		for _, rel := range src {
+			if rel.Table.Count() == 0 {
+				continue
+			}
+			if local := p.cat.Relation(rel.Name); local == nil || local.Table.Count() > 0 {
+				continue
+			}
+			ops = append(ops, pe.LoggedOp{Table: rel.Name, Rows: rel.Table.ScanRows()})
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		maxMP++
+		rec := &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: maxMP, Ops: ops}
+		if err := p.LogCommit(rec); err != nil {
+			return maxMP, err
+		}
+		payload := wal.EncodeRecord(&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: maxMP, Commit: true})
+		if _, err := s.coordLog.Append(payload); err != nil {
+			return maxMP, err
+		}
+		decisions[maxMP] = true
+		if err := p.pe.Replay(rec); err != nil {
+			return maxMP, err
+		}
+	}
+	return maxMP, nil
+}
+
+// evictSlot removes this partition's rows of one routing slot — the stale
+// local copies a replayed slot-move leg supersedes (see
+// pe.SetReplaySlotMoves).
+func (p *partition) evictSlot(slot int) error {
+	for _, rel := range migratedRels(p.cat) {
+		col := rel.PartCol
+		var ids []storage.RowID
+		rel.Table.Scan(func(id storage.RowID, row types.Row) bool {
+			if catalog.SlotOf(row[col]) == slot {
+				ids = append(ids, id)
+			}
+			return true
+		})
+		for _, id := range ids {
+			if err := rel.Table.Delete(id, nil); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// evictMigratedSlots deletes each committed-migrated slot's rows from every
+// partition except the slot's owner (in-memory; deterministic from the
+// coordinator log, so it needs no logging of its own).
+func (s *Store) evictMigratedSlots(owner map[int]int) {
+	if len(owner) == 0 {
+		return
+	}
+	for _, p := range s.partList() {
+		for _, rel := range migratedRels(p.cat) {
+			col := rel.PartCol
+			var ids []storage.RowID
+			rel.Table.Scan(func(id storage.RowID, row types.Row) bool {
+				if o, ok := owner[catalog.SlotOf(row[col])]; ok && o != p.idx {
+					ids = append(ids, id)
+				}
+				return true
+			})
+			for _, id := range ids {
+				rel.Table.Delete(id, nil)
+			}
+		}
+	}
+}
+
+// rehomeMisplacedRows moves every partitioned row to its canonical owner
+// under the current partition count, one durable migration per slot. The
+// per-row check (rather than a per-slot one) also repairs directories
+// written by the pre-slot-table router when the old partition count did not
+// divide the slot count, where mod-N placement and slot placement disagree
+// within a single slot.
+func (s *Store) rehomeMisplacedRows(decisions map[uint64]bool, maxMP uint64) (uint64, error) {
+	parts := s.partList()
+	n := len(parts)
+	type slotMove struct {
+		from int                    // lowest source partition (recorded in the WAL)
+		rows map[string][]types.Row // table → row images bound for the new owner
+	}
+	moves := make(map[int]*slotMove)
+	type deletion struct {
+		rel *catalog.Relation
+		id  storage.RowID
+	}
+	var dels []deletion
+	for _, p := range parts {
+		for _, rel := range migratedRels(p.cat) {
+			col := rel.PartCol
+			rel.Table.Scan(func(id storage.RowID, row types.Row) bool {
+				slot := catalog.SlotOf(row[col])
+				if slot%n == p.idx {
+					return true
+				}
+				mv := moves[slot]
+				if mv == nil {
+					mv = &slotMove{from: p.idx, rows: make(map[string][]types.Row)}
+					moves[slot] = mv
+				} else if p.idx < mv.from {
+					mv.from = p.idx
+				}
+				mv.rows[rel.Name] = append(mv.rows[rel.Name], row)
+				dels = append(dels, deletion{rel, id})
+				return true
+			})
+		}
+	}
+	if len(moves) == 0 {
+		return maxMP, nil
+	}
+	slots := make([]int, 0, len(moves))
+	for slot := range moves {
+		slots = append(slots, slot)
+	}
+	sort.Ints(slots)
+	for _, slot := range slots {
+		mv := moves[slot]
+		dst := parts[slot%n]
+		names := make([]string, 0, len(mv.rows))
+		for name := range mv.rows {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		maxMP++
+		rec := &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: maxMP}
+		for _, name := range names {
+			rec.Ops = append(rec.Ops, pe.LoggedOp{Table: name, Rows: mv.rows[name]})
+		}
+		// Durability order matches a live migration: the destination's
+		// prepared leg first, then the slot-commit record that decides it.
+		if err := dst.LogCommit(rec); err != nil {
+			return maxMP, err
+		}
+		payload := wal.EncodeRecord(&pe.LogRecord{
+			Kind: pe.RecSlotCommit, Slot: slot, FromPart: mv.from, ToPart: dst.idx, MPTxnID: maxMP,
+		})
+		if _, err := s.coordLog.Append(payload); err != nil {
+			return maxMP, err
+		}
+		decisions[maxMP] = true
+		if err := dst.pe.Replay(rec); err != nil {
+			return maxMP, err
+		}
+		s.met.SlotsMigrated.Add(1)
+	}
+	for _, d := range dels {
+		if err := d.rel.Table.Delete(d.id, nil); err != nil {
+			return maxMP, err
+		}
+	}
+	s.met.SlotRowsMoved.Add(int64(len(dels)))
+	return maxMP, nil
+}
+
 // Start launches the partition workers. When durability is configured but
 // Recover was not called, Start calls it.
 func (s *Store) Start() error {
-	if s.cfg.Dir != "" && s.recovered && s.parts[0].log == nil {
+	if s.cfg.Dir != "" && s.recovered && s.partList()[0].log == nil {
 		// Stop closed the logs; restarting this Store would silently run
 		// with LogCommit as a no-op (acked commits lost on crash), and
 		// re-running Recover would replay the log on top of live state.
@@ -482,9 +782,9 @@ func (s *Store) Start() error {
 			return err
 		}
 	}
-	for i, p := range s.parts {
+	for i, p := range s.partList() {
 		if err := p.pe.Start(); err != nil {
-			for _, q := range s.parts[:i] {
+			for _, q := range s.partList()[:i] {
 				q.pe.Stop()
 			}
 			return err
@@ -497,11 +797,11 @@ func (s *Store) Start() error {
 // any sync/close failure (a dropped fsync at shutdown is data loss under
 // SyncNever, so callers should check).
 func (s *Store) Stop() error {
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		p.pe.Stop()
 	}
 	var errs []error
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		if p.log == nil {
 			continue
 		}
@@ -531,7 +831,7 @@ func (s *Store) Checkpoint() error {
 		return fmt.Errorf("core: no durability directory configured")
 	}
 	return s.runExclusiveAll(func() error {
-		for _, p := range s.parts {
+		for _, p := range s.partList() {
 			_, snapPath := wal.PartitionPaths(s.cfg.Dir, p.idx)
 			meta := wal.Snapshot{NextBatchID: p.pe.NextBatchID()}
 			if p.log != nil {
@@ -545,6 +845,13 @@ func (s *Store) Checkpoint() error {
 					return err
 				}
 			}
+		}
+		// The slot table is stamped beside the snapshots before the
+		// coordinator log is truncated: truncation discards the slot-commit
+		// records, and the snapshots already reflect the migrated placement
+		// they described.
+		if err := wal.WriteSlots(wal.SlotsPath(s.cfg.Dir), s.slots.Load()); err != nil {
+			return err
 		}
 		// The snapshots cover every resolved transaction (the coordinator
 		// cannot be mid-2PC here: it holds exclMu for the whole protocol),
@@ -560,18 +867,19 @@ func (s *Store) Checkpoint() error {
 }
 
 // Call invokes a stored procedure (one OLTP transaction) on its owning
-// partition — selected by the procedure's PartitionParam, partition 0 when
-// unpartitioned.
+// partition — selected via the slot table by the procedure's
+// PartitionParam, partition 0 when unpartitioned. The invocation is routed
+// and enqueued under the routing fence (so a slot-migration cutover cannot
+// slip between the two), then awaited outside it.
 func (s *Store) Call(proc string, params ...types.Value) (*pe.Result, error) {
-	eng, err := s.callTarget(proc, params)
-	if err != nil {
-		return nil, err
-	}
-	return eng.Call(proc, params...)
+	cr := <-s.CallAsync(proc, params...)
+	return cr.Result, cr.Err
 }
 
 // CallAsync submits an invocation to the owning partition without waiting.
 func (s *Store) CallAsync(proc string, params ...types.Value) <-chan pe.CallResult {
+	s.routingMu.RLock()
+	defer s.routingMu.RUnlock()
 	eng, err := s.callTarget(proc, params)
 	if err != nil {
 		done := make(chan pe.CallResult, 1)
@@ -583,7 +891,7 @@ func (s *Store) CallAsync(proc string, params ...types.Value) <-chan pe.CallResu
 
 // FlushBatches dispatches partial border batches on every partition.
 func (s *Store) FlushBatches() {
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		p.pe.FlushBatches()
 	}
 }
@@ -600,9 +908,9 @@ func (s *Store) Explain(sqlText string) (string, error) {
 		return s.ExplainDataflow(fields[1])
 	}
 	var out string
-	err := s.parts[0].pe.RunExclusive(func() error {
+	err := s.partList()[0].pe.RunExclusive(func() error {
 		var err error
-		out, err = s.parts[0].ee.ExplainSQL(sqlText)
+		out, err = s.partList()[0].ee.ExplainSQL(sqlText)
 		return err
 	})
 	return out, err
@@ -610,7 +918,7 @@ func (s *Store) Explain(sqlText string) (string, error) {
 
 // Drain waits for all queued work on every partition to finish.
 func (s *Store) Drain() {
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		p.pe.Drain()
 	}
 }
@@ -618,7 +926,7 @@ func (s *Store) Drain() {
 // RemoveDurableState deletes the snapshots and logs of every partition
 // (test helper).
 func RemoveDurableState(dir string) error {
-	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", wal.DefaultCoordLogName, partitionsFileName} {
+	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", wal.DefaultCoordLogName, wal.DefaultSlotsName, partitionsFileName} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return err

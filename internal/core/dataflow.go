@@ -47,7 +47,7 @@ func (s *Store) Deploy(df *Dataflow) error {
 	if err != nil {
 		return fmt.Errorf("core: deploy %q: %w", df.Name, err)
 	}
-	if s.parts[0].pe.Started() {
+	if s.partList()[0].pe.Started() {
 		return s.runExclusiveAll(func() error { return s.applyDataflow(norm) })
 	}
 	return s.applyDataflow(norm)
@@ -60,7 +60,7 @@ func (s *Store) Deploy(df *Dataflow) error {
 func (s *Store) validateDataflow(df *Dataflow) (*Dataflow, error) {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	p0 := s.parts[0]
+	p0 := s.partList()[0]
 	if p0.cat.Dataflow(df.Name) != nil {
 		return nil, fmt.Errorf("dataflow %q already deployed", df.Name)
 	}
@@ -166,9 +166,9 @@ func (s *Store) validateDataflow(df *Dataflow) (*Dataflow, error) {
 // should have made impossible) unwinds the partitions already wired, so
 // the deploy is all-or-nothing.
 func (s *Store) applyDataflow(df *Dataflow) error {
-	for i, p := range s.parts {
+	for i, p := range s.partList() {
 		if err := deployOnPartition(p, df); err != nil {
-			for _, q := range s.parts[:i+1] {
+			for _, q := range s.partList()[:i+1] {
 				undeployFromPartition(q, df)
 			}
 			return fmt.Errorf("core: deploy %q on partition %d: %w", df.Name, p.idx, err)
@@ -176,7 +176,7 @@ func (s *Store) applyDataflow(df *Dataflow) error {
 	}
 	s.routeMu.Lock()
 	defer s.routeMu.Unlock()
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		// Every partition registers the same *Dataflow, so lifecycle state
 		// (Paused) stays consistent across replicas.
 		if err := p.cat.RegisterDataflow(df); err != nil {
@@ -219,7 +219,7 @@ func undeployFromPartition(p *partition, df *Dataflow) {
 func (s *Store) dataflowByName(name string) *Dataflow {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	return s.parts[0].cat.Dataflow(name)
+	return s.partList()[0].cat.Dataflow(name)
 }
 
 // pausedGraphOf reports the paused dataflow consuming a stream, or ""
@@ -247,13 +247,21 @@ func (s *Store) PauseDataflow(name string) error {
 	if df == nil {
 		return fmt.Errorf("core: unknown dataflow %q", name)
 	}
+	s.pauseAndDrain(df)
+	return nil
+}
+
+// pauseAndDrain is PauseDataflow's body: set the pause gates, publish the
+// paused state, wait out the graph's admitted executions. The caller holds
+// deployMu. A no-op on an already-paused graph (its work has drained).
+func (s *Store) pauseAndDrain(df *Dataflow) {
 	s.routeMu.RLock()
 	paused := df.Paused
 	s.routeMu.RUnlock()
 	if paused {
-		return nil
+		return
 	}
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		p.pe.PauseGraph(df.Name)
 	}
 	// Publish the paused state before waiting out the drain: the router's
@@ -271,10 +279,77 @@ func (s *Store) PauseDataflow(name string) error {
 		}
 	}
 	s.routeMu.Unlock()
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		p.pe.WaitGraphIdle(df.Name)
 	}
-	return nil
+}
+
+// UndeployDataflow removes a deployed graph: the graph is paused and its
+// admitted executions drained, then the wiring (EE triggers, stream
+// consumer edges) is removed from every partition and the graph is
+// unregistered from every catalog replica. Border tuples that queued
+// behind the pause gate during the drain are discarded with the graph.
+// The undeploy is refused while another deployed graph consumes a stream
+// this graph emits to — removing the producer would silently starve the
+// downstream graph; undeploy the consumer first.
+func (s *Store) UndeployDataflow(name string) error {
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	df := s.dataflowByName(name)
+	if df == nil {
+		return fmt.Errorf("core: unknown dataflow %q", name)
+	}
+	interior := map[string]bool{}
+	for _, n := range df.Nodes {
+		for _, em := range n.Emits {
+			interior[strings.ToLower(em)] = true
+		}
+	}
+	for _, other := range s.Dataflows() {
+		if strings.EqualFold(other.Name, df.Name) {
+			continue
+		}
+		for _, n := range other.Nodes {
+			if n.Input != "" && interior[strings.ToLower(n.Input)] {
+				return fmt.Errorf("core: undeploy %q: dataflow %q consumes its stream %q; undeploy the consumer first",
+					df.Name, other.Name, n.Input)
+			}
+		}
+	}
+	started := s.partList()[0].pe.Started()
+	if started {
+		s.pauseAndDrain(df)
+	}
+	remove := func() error {
+		for _, p := range s.partList() {
+			for _, t := range df.Triggers {
+				_ = p.ee.DropTrigger(t.Name, true)
+			}
+			for _, n := range df.Nodes {
+				if n.Input != "" {
+					p.pe.UnbindStream(n.Input)
+				}
+			}
+			p.pe.DropGraph(df.Name)
+		}
+		// Catalog state and the router's pause map change under routeMu:
+		// snapshot readers resolve dataflows under its shared side.
+		s.routeMu.Lock()
+		defer s.routeMu.Unlock()
+		for _, p := range s.partList() {
+			p.cat.UnregisterDataflow(df.Name)
+		}
+		for _, n := range df.Nodes {
+			if n.Input != "" {
+				delete(s.pausedStreams, strings.ToLower(n.Input))
+			}
+		}
+		return nil
+	}
+	if started {
+		return s.runExclusiveAll(remove)
+	}
+	return remove()
 }
 
 // ResumeDataflow lifts a graph's pause gate on every partition and
@@ -287,7 +362,7 @@ func (s *Store) ResumeDataflow(name string) error {
 	if df == nil {
 		return fmt.Errorf("core: unknown dataflow %q", name)
 	}
-	for _, p := range s.parts {
+	for _, p := range s.partList() {
 		if err := p.pe.ResumeGraph(df.Name); err != nil {
 			return err
 		}
@@ -308,7 +383,7 @@ func (s *Store) ResumeDataflow(name string) error {
 func (s *Store) Dataflows() []*Dataflow {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	return s.parts[0].cat.Dataflows()
+	return s.partList()[0].cat.Dataflows()
 }
 
 // DataflowsResult renders SHOW DATAFLOWS: one row per deployed graph with

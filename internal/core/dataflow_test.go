@@ -669,3 +669,140 @@ func TestPauseScopedToGraph(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestUndeployDataflow removes graphs live: in-flight work drains, the
+// wiring and catalog entries disappear on every partition, a producer
+// cannot be removed out from under a downstream consumer graph, and the
+// freed streams are immediately redeployable.
+func TestUndeployDataflow(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	// Two chained graphs: producer feeds mid, consumer drains mid to sink.
+	producer := &Dataflow{Name: "producer", Nodes: []DataflowNode{
+		{Proc: "df_stage1", Input: "feed", Batch: 1, Emits: []string{"mid"}}}}
+	consumer := &Dataflow{Name: "consumer", Nodes: []DataflowNode{
+		{Proc: "df_stage2", Input: "mid", Batch: 1}}}
+	if err := st.Deploy(producer); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Deploy(consumer); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	if err := st.UndeployDataflow("nosuch"); err == nil ||
+		!strings.Contains(err.Error(), "unknown dataflow") {
+		t.Fatalf("unknown undeploy err = %v", err)
+	}
+	// The producer cannot go while the consumer reads its interior stream.
+	if err := st.UndeployDataflow("producer"); err == nil ||
+		!strings.Contains(err.Error(), `dataflow "consumer" consumes its stream "mid"`) {
+		t.Fatalf("producer undeploy err = %v", err)
+	}
+
+	for k := 0; k < 8; k++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(k)), types.NewInt(5)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Drain()
+	// Consumer first, then producer: both drain and unwind cleanly.
+	if err := st.UndeployDataflow("consumer"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.UndeployDataflow("producer"); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(st.Dataflows()); got != 0 {
+		t.Fatalf("%d dataflows still registered", got)
+	}
+	// Everything admitted before the undeploy landed in sink.
+	res, err := st.Query("SELECT COUNT(*), SUM(n) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 8 || res.Rows[0][1].Int() != 40 {
+		t.Fatalf("sink after undeploy: %v", res.Rows)
+	}
+	// The streams are unbound again on every partition...
+	for i := 0; i < st.NumPartitions(); i++ {
+		for _, stream := range []string{"feed", "mid"} {
+			if err := st.PEAt(i).Ingest(stream, types.Row{types.NewInt(1), types.NewInt(1)}); err == nil ||
+				!strings.Contains(err.Error(), "no bound procedure") {
+				t.Fatalf("partition %d: stream %s still wired after undeploy: %v", i, stream, err)
+			}
+		}
+	}
+	// ...so the full pipeline redeploys over the same names and runs.
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ingest("feed", types.Row{types.NewInt(100), types.NewInt(1)},
+		types.Row{types.NewInt(101), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	res, err = st.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 10 {
+		t.Fatalf("sink after redeploy: %v", res.Rows)
+	}
+}
+
+// TestUndeployPausedDataflow undeploys a graph that is already paused with
+// backlog queued behind the gate: the backlog is discarded with the graph
+// and the store stays consistent.
+func TestUndeployPausedDataflow(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if err := st.Ingest("feed", types.Row{types.NewInt(1), types.NewInt(1)},
+		types.Row{types.NewInt(2), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	if err := st.PauseDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	// Queue backlog behind the gate; it is dropped with the graph.
+	if err := st.Ingest("feed", types.Row{types.NewInt(3), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.UndeployDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 2 {
+		t.Fatalf("sink after paused undeploy: %v", res.Rows)
+	}
+	// The freed stream accepts a new deployment and ingest flows again.
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Ingest("feed", types.Row{types.NewInt(4), types.NewInt(1)}); err != nil {
+		t.Fatal(err)
+	}
+	st.FlushBatches()
+	st.Drain()
+	res, err = st.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != 3 {
+		t.Fatalf("sink after redeploy: %v", res.Rows)
+	}
+}

@@ -503,7 +503,7 @@ func TestInsertSelectIntoPartitioned(t *testing.T) {
 	}
 	spread := 0
 	for i := 0; i < parts; i++ {
-		if st.parts[i].cat.Relation("kv").Table.Count() > 0 {
+		if st.partList()[i].cat.Relation("kv").Table.Count() > 0 {
 			spread++
 		}
 	}
@@ -513,7 +513,7 @@ func TestInsertSelectIntoPartitioned(t *testing.T) {
 	// Every row is on its owning partition: keyed fast-path reads find it.
 	for i := int64(0); i < 12; i++ {
 		owner := st.partitionFor(types.NewInt(i))
-		q, err := st.parts[owner].pe.Query("SELECT v FROM kv WHERE k = ?", types.NewInt(i))
+		q, err := st.partList()[owner].pe.Query("SELECT v FROM kv WHERE k = ?", types.NewInt(i))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -646,7 +646,7 @@ func TestInsertSelectDefaultPartitionKeyRouting(t *testing.T) {
 	}
 	owner := st.partitionFor(types.NewInt(0)) // grp defaults to 0
 	for i := 0; i < parts; i++ {
-		n := st.parts[i].cat.Relation("dst").Table.Count()
+		n := st.partList()[i].cat.Relation("dst").Table.Count()
 		if i == owner && n != 5 {
 			t.Fatalf("owner partition %d holds %d rows, want 5", i, n)
 		}
@@ -665,7 +665,7 @@ func TestInsertSelectDefaultPartitionKeyRouting(t *testing.T) {
 	if _, err := st.Exec("INSERT INTO dst (id, grp, v) VALUES (100, NULL, 1), (101, 7, 1)"); err != nil {
 		t.Fatal(err)
 	}
-	q, err := st.parts[owner].pe.Query("SELECT id FROM dst WHERE id = 100")
+	q, err := st.partList()[owner].pe.Query("SELECT id FROM dst WHERE id = 100")
 	if err != nil {
 		t.Fatal(err)
 	}

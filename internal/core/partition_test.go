@@ -123,7 +123,7 @@ func TestPartitionedEndToEnd(t *testing.T) {
 	// partitions at least 2 partitions hold data.
 	used := 0
 	for i := 0; i < st.NumPartitions(); i++ {
-		rel := st.parts[i].cat.Relation("totals")
+		rel := st.partList()[i].cat.Relation("totals")
 		if rel.Table.Count() > 0 {
 			used++
 		}
@@ -247,7 +247,7 @@ func TestPartitionedExecRouting(t *testing.T) {
 	}
 	var stored int
 	for i := 0; i < st.NumPartitions(); i++ {
-		stored += st.parts[i].cat.Relation("totals").Table.Count()
+		stored += st.partList()[i].cat.Relation("totals").Table.Count()
 	}
 	if stored != 9 {
 		t.Fatalf("stored %d rows across partitions, want 9 (no duplication)", stored)
@@ -268,7 +268,7 @@ func TestPartitionedExecRouting(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.NumPartitions(); i++ {
-		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 1 {
+		if n := st.partList()[i].cat.Relation("ref").Table.Count(); n != 1 {
 			t.Fatalf("partition %d ref rows = %d", i, n)
 		}
 	}
@@ -291,7 +291,7 @@ func TestPartitionedExecRouting(t *testing.T) {
 	}
 	for _, k := range []int64{100, 101, 102} {
 		owner := st.partitionFor(types.NewInt(k))
-		q, err := st.parts[owner].pe.Query("SELECT k FROM totals WHERE k = ?", types.NewInt(k))
+		q, err := st.partList()[owner].pe.Query("SELECT k FROM totals WHERE k = ?", types.NewInt(k))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -637,16 +637,18 @@ func TestRound4Guards(t *testing.T) {
 	}
 }
 
-// TestLegacyDirRequiresSinglePartition pins that a pre-stamp durability
-// directory (WAL files, no PARTITIONS file) refuses to open multi-
-// partition instead of stranding its rows on partition 0.
-func TestLegacyDirRequiresSinglePartition(t *testing.T) {
+// TestLegacyDirGrowsOnReopen pins that a pre-stamp durability directory
+// (WAL files, no PARTITIONS file) opens multi-partition and redistributes
+// its rows to their canonical owners instead of stranding them on
+// partition 0 (the pre-rebalance behavior was a hard refusal).
+func TestLegacyDirGrowsOnReopen(t *testing.T) {
 	dir := t.TempDir()
 	st := buildPartApp(t, Config{Dir: dir, Partitions: 1})
 	if err := st.Start(); err != nil {
 		t.Fatal(err)
 	}
 	ingestKeys(t, st, 4, 1)
+	want := totals(t, st)
 	if err := st.Stop(); err != nil {
 		t.Fatal(err)
 	}
@@ -655,18 +657,43 @@ func TestLegacyDirRequiresSinglePartition(t *testing.T) {
 	}
 
 	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4})
-	if err := st2.Start(); err == nil || !strings.Contains(err.Error(), "predates partition stamping") {
-		st2.Stop()
-		t.Fatalf("err = %v", err)
-	}
-
-	st3 := buildPartApp(t, Config{Dir: dir, Partitions: 1})
-	if err := st3.Start(); err != nil {
+	if err := st2.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer st3.Stop()
-	if got := totals(t, st3); len(got) != 4 {
-		t.Fatalf("legacy recovery totals = %v", got)
+	defer st2.Stop()
+	if got := totals(t, st2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("grown recovery totals = %v want %v", got, want)
+	}
+	// Every key now lives on its canonical owner, so keyed calls route.
+	for k := 0; k < 4; k++ {
+		owner := st2.partitionFor(types.NewInt(int64(k)))
+		q, err := st2.partList()[owner].pe.Query("SELECT k FROM totals WHERE k = ?", types.NewInt(int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(q.Rows) != 1 {
+			t.Fatalf("key %d not rehomed to its owning partition %d", k, owner)
+		}
+	}
+}
+
+// TestShrinkRefused pins the one repartitioning direction that stays
+// unsupported: reopening with fewer partitions than the stamp.
+func TestShrinkRefused(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 4})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 4, 1)
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 2})
+	if err := st2.Start(); err == nil || !strings.Contains(err.Error(), "shrinking the partition count is not supported") {
+		st2.Stop()
+		t.Fatalf("err = %v", err)
 	}
 }
 
@@ -712,7 +739,7 @@ func TestWritePathSubqueryGuards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.NumPartitions(); i++ {
-		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 9 { // id=2 + 8 materialized
+		if n := st.partList()[i].cat.Relation("ref").Table.Count(); n != 9 { // id=2 + 8 materialized
 			t.Fatalf("partition %d ref rows = %d want 9 (full materialized source on every replica)", i, n)
 		}
 	}
@@ -722,7 +749,7 @@ func TestWritePathSubqueryGuards(t *testing.T) {
 		t.Fatal(err)
 	}
 	for i := 0; i < st.NumPartitions(); i++ {
-		if n := st.parts[i].cat.Relation("ref").Table.Count(); n != 10 {
+		if n := st.partList()[i].cat.Relation("ref").Table.Count(); n != 10 {
 			t.Fatalf("partition %d ref rows = %d want 10", i, n)
 		}
 	}

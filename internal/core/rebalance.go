@@ -1,0 +1,526 @@
+package core
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/pe"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// This file is online elastic repartitioning: Store.Rebalance grows a
+// running store to a larger partition count and migrates slots to their
+// canonical owners one at a time, under live load. The protocol per slot:
+//
+//   1. BEGIN     — a RecSlotBegin record marks the migration in the
+//                  coordinator log (crash before COMMIT = presumed aborted).
+//   2. Copy      — the slot's rows are read from an MVCC snapshot of the
+//                  source (pinned at S1; writers keep running) and staged on
+//                  the destination (StageInsert: in the heap, in no index,
+//                  visible at no sequence), in chunks on the destination's
+//                  worker so its single-mutator invariant holds.
+//   3. COPIED    — a RecSlotCopied record marks the bulk copy done.
+//   4. Cutover   — under the routing fence (routingMu) and an all-partition
+//                  barrier: catch up the writes between S1 and the barrier
+//                  (DeltaScan), precheck constraints, force the staged rows
+//                  as a prepared leg into the destination's log, append
+//                  RecSlotCommit to the coordinator log (the commit point —
+//                  it doubles as the prepared leg's decision), flip the
+//                  staged rows live, MVCC-delete the source copies, and
+//                  publish the new slot table plus both partitions' commit
+//                  sequences in one seqMu write window.
+//
+// The barrier is entered only after every request already routed to the
+// source has drained: routing fast paths resolve-and-enqueue under
+// routingMu's read side, the cutover holds the write side, and the barrier
+// task queues behind everything previously enqueued — so DeltaScan's upper
+// bound S2 covers every pre-cutover write, and everything after the fence
+// routes by the new table.
+//
+// Not migrated: PARTIAL relations (partition-local partial state stays
+// put), windows (rebuilt by the stream flowing anew), and stream contents
+// (border tuples drain into their consumers before the barrier; recovery
+// rehomes any that were logged). Border backlogs of PAUSED dataflows are
+// not re-routed either — resume them before rebalancing.
+
+// migrateChunk bounds how many rows one destination-worker visit stages,
+// so the copy phase never parks the destination for long.
+const migrateChunk = 512
+
+// testHookAfterCopied, when set, runs after a migration's COPIED record is
+// durable and before the cutover fence is taken. Returning an error aborts
+// the migration with its staged rows dropped — the crash-recovery tests
+// use it to strand a BEGIN/COPIED pair without a COMMIT.
+var testHookAfterCopied func(slot int) error
+
+// Rebalance grows the store to target partitions online: new partition
+// workers are added at runtime (schema, procedures, and dataflows
+// replayed; replicated tables copied durably), then every slot whose
+// canonical owner changed is migrated under live load, one at a time. The
+// per-slot routing pause is bounded by the cutover barrier — bulk copying
+// happens against an MVCC snapshot with all workers running. Shrinking is
+// not supported.
+func (s *Store) Rebalance(target int) error {
+	s.rebalanceMu.Lock()
+	defer s.rebalanceMu.Unlock()
+	n := s.NumPartitions()
+	switch {
+	case target < 1:
+		return fmt.Errorf("core: rebalance to %d partitions: target must be at least 1", target)
+	case target < n:
+		return fmt.Errorf("core: rebalance to %d partitions: store has %d; "+
+			"shrinking the partition count is not supported", target, n)
+	}
+	if !s.partList()[0].pe.Started() {
+		return fmt.Errorf("core: rebalance requires a started store " +
+			"(reopen with a larger Partitions count for offline growth)")
+	}
+	if s.cfg.Dir != "" {
+		// Durable growth intent before anything moves: a crash mid-rebalance
+		// recovers by reopening with the new count, where the canonical
+		// recovery pass finishes the redistribution.
+		path := filepath.Join(s.cfg.Dir, partitionsFileName)
+		if err := os.WriteFile(path, []byte(strconv.Itoa(target)+"\n"), 0o644); err != nil {
+			return fmt.Errorf("core: rebalance: stamping partition count: %w", err)
+		}
+	}
+	if target > n {
+		if err := s.addPartitions(target); err != nil {
+			return err
+		}
+	}
+	for _, mv := range s.slots.Load().Moves(target) {
+		if err := s.migrateSlot(mv.Slot, mv.From, mv.To); err != nil {
+			return err
+		}
+	}
+	if s.cfg.Dir != "" {
+		// The table now equals the canonical assignment for target; stamp it
+		// so a restart that beats the next checkpoint can cross-check it.
+		if err := wal.WriteSlots(wal.SlotsPath(s.cfg.Dir), s.slots.Load()); err != nil {
+			return err
+		}
+	}
+	s.cfg.Partitions = target
+	s.met.Rebalances.Add(1)
+	return nil
+}
+
+// addPartitions builds, seeds, starts, and publishes partitions
+// len(partList())..target-1. exclMu is held across the whole step:
+// replicated tables are only written by coordinated transactions and
+// checkpoints (both need exclMu), so partition 0's copies are stable while
+// they are cloned onto the newcomers. deployMu keeps concurrent Deploy /
+// Pause / Resume from fanning out over a list about to be extended.
+// Runtime ExecScript racing this step is not supported (DDL belongs before
+// Start).
+func (s *Store) addPartitions(target int) error {
+	s.deployMu.Lock()
+	defer s.deployMu.Unlock()
+	s.exclMu.Lock()
+	defer s.exclMu.Unlock()
+	parts := s.partList()
+
+	s.routeMu.RLock()
+	ddl := append([]string(nil), s.ddl...)
+	procs := append([]*pe.Procedure(nil), s.procs...)
+	graphs := parts[0].cat.Dataflows()
+	s.routeMu.RUnlock()
+
+	var added []*partition
+	ok := false
+	defer func() {
+		if ok {
+			return
+		}
+		for _, np := range added {
+			if np.log != nil {
+				np.log.Close()
+				np.log = nil
+			}
+		}
+	}()
+	for idx := len(parts); idx < target; idx++ {
+		np := s.newPartition(idx)
+		for _, script := range ddl {
+			if err := np.ee.ExecScript(script); err != nil {
+				return fmt.Errorf("core: rebalance: DDL replay on partition %d: %w", idx, err)
+			}
+		}
+		for _, proc := range procs {
+			if err := np.pe.RegisterProcedure(proc); err != nil {
+				return fmt.Errorf("core: rebalance: procedure %q on partition %d: %w", proc.Name, idx, err)
+			}
+		}
+		for _, df := range graphs {
+			if err := deployOnPartition(np, df); err != nil {
+				return fmt.Errorf("core: rebalance: dataflow %q on partition %d: %w", df.Name, idx, err)
+			}
+			if err := np.cat.RegisterDataflow(df); err != nil {
+				return err
+			}
+			if df.Paused {
+				np.pe.PauseGraph(df.Name)
+			}
+		}
+		if s.cfg.Dir != "" {
+			logPath, _ := wal.PartitionPaths(s.cfg.Dir, idx)
+			log, err := wal.OpenLogOpts(logPath, 0, wal.Options{
+				Policy:                 s.cfg.Sync,
+				GroupCommitInterval:    s.cfg.GroupCommitInterval,
+				GroupCommitMaxBatch:    s.cfg.GroupCommitMaxBatch,
+				GroupCommitMinInterval: s.cfg.GroupCommitMinInterval,
+				GroupCommitMaxInterval: s.cfg.GroupCommitMaxInterval,
+			})
+			if err != nil {
+				return fmt.Errorf("core: rebalance: opening log for partition %d: %w", idx, err)
+			}
+			np.log = log
+		}
+		added = append(added, np)
+	}
+
+	// Seed replicated tables through the same durable prepared-leg +
+	// decision records recovery's repair pass writes, applied via Replay
+	// while the new engine is still stopped — a crash right after this
+	// recovers the copy from the logs instead of re-detecting it.
+	src := replicatedTables(parts[0].cat)
+	for _, np := range added {
+		var ops []pe.LoggedOp
+		for _, rel := range src {
+			if rel.Table.Count() == 0 {
+				continue
+			}
+			ops = append(ops, pe.LoggedOp{Table: rel.Name, Rows: rel.Table.ScanRows()})
+		}
+		if len(ops) == 0 {
+			continue
+		}
+		s.mpMu.Lock()
+		s.nextMPTxnID++
+		id := s.nextMPTxnID
+		s.mpMu.Unlock()
+		rec := &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: id, Ops: ops}
+		if err := np.LogCommit(rec); err != nil {
+			return err
+		}
+		if err := np.SyncCommits(); err != nil {
+			return err
+		}
+		if s.coordLog != nil {
+			if err := s.appendDecision(id); err != nil {
+				return err
+			}
+		}
+		np.pe.SetReplayDecisions(map[uint64]bool{id: true})
+		if err := np.pe.Replay(rec); err != nil {
+			return fmt.Errorf("core: rebalance: seeding partition %d: %w", np.idx, err)
+		}
+	}
+
+	for _, np := range added {
+		if np.log != nil {
+			np.pe.SetLogger(np, s.cfg.LogMode)
+		}
+		if err := np.pe.Start(); err != nil {
+			for _, q := range added {
+				if q.pe.Started() {
+					q.pe.Stop()
+				}
+			}
+			return err
+		}
+	}
+
+	// Publish the extended list in one seqMu write window: fan-out readers
+	// capture the partition list and pin commit sequences under seqMu's
+	// read side, so they see the new partitions together with their
+	// published clocks or not at all. Routing needs no fence here — the
+	// newcomers own no slots until migrateSlot moves some.
+	extended := make([]*partition, 0, target)
+	extended = append(extended, parts...)
+	extended = append(extended, added...)
+	ns := s.slots.Load().Clone()
+	ns.Parts = target
+	s.seqMu.Lock()
+	s.partsPtr.Store(&extended)
+	s.slots.Store(ns)
+	for _, np := range added {
+		np.cat.Clock().Publish()
+	}
+	s.seqMu.Unlock()
+	ok = true
+	return nil
+}
+
+// migratedTables is migratedRels restricted to base tables: live migration
+// does not copy stream contents (border tuples drain into their consumers
+// before the cutover barrier, so there is nothing routable left to move).
+func migratedTables(cat *catalog.Catalog) []*catalog.Relation {
+	var out []*catalog.Relation
+	for _, rel := range migratedRels(cat) {
+		if rel.Kind == catalog.KindTable {
+			out = append(out, rel)
+		}
+	}
+	return out
+}
+
+// appendSlotRecord forces one slot-migration record to the coordinator log.
+func (s *Store) appendSlotRecord(kind pe.RecordKind, slot, from, to int, id uint64) error {
+	payload := wal.EncodeRecord(&pe.LogRecord{
+		Kind: kind, Slot: slot, FromPart: from, ToPart: to, MPTxnID: id,
+	})
+	if _, err := s.coordLog.Append(payload); err != nil {
+		return err
+	}
+	s.met.LogRecords.Add(1)
+	s.met.LogBytes.Add(int64(len(payload) + 8))
+	return nil
+}
+
+// migrateSlot moves one slot's rows from partition from to partition to
+// with the BEGIN / copy / COPIED / cutover protocol described at the top
+// of this file. Only the cutover pauses the store, and only for the delta.
+func (s *Store) migrateSlot(slot, from, to int) error {
+	parts := s.partList()
+	src, dst := parts[from], parts[to]
+	rels := migratedTables(src.cat)
+
+	s.mpMu.Lock()
+	s.nextMPTxnID++
+	id := s.nextMPTxnID
+	s.mpMu.Unlock()
+
+	if s.coordLog != nil {
+		if err := s.appendSlotRecord(pe.RecSlotBegin, slot, from, to, id); err != nil {
+			return err
+		}
+	}
+
+	// staged maps, per table, the source RowID of every copied row to its
+	// staged destination RowID, so catch-up can unstage rows that died
+	// between the snapshot and the barrier.
+	staged := make(map[string]map[storage.RowID]storage.RowID, len(rels))
+	s1 := src.cat.Clock().AcquireSnapshot()
+	released := false
+	release := func() {
+		if !released {
+			src.cat.Clock().ReleaseSnapshot(s1)
+			released = true
+		}
+	}
+	defer release()
+	abort := func() {
+		_ = dst.pe.RunExclusive(func() error {
+			for _, rel := range rels {
+				dst.cat.Relation(rel.Name).Table.DropStaged()
+			}
+			return nil
+		})
+	}
+
+	// Bulk copy at S1: source workers keep running (snapshot reads), the
+	// destination worker is visited in chunks (staging must happen on it).
+	for _, rel := range rels {
+		ids := make(map[storage.RowID]storage.RowID)
+		staged[rel.Name] = ids
+		dstTable := dst.cat.Relation(rel.Name).Table
+		col := rel.PartCol
+		var batchIDs []storage.RowID
+		var batch []types.Row
+		flush := func() error {
+			if len(batch) == 0 {
+				return nil
+			}
+			bIDs, bRows := batchIDs, batch
+			batchIDs, batch = nil, nil
+			return dst.pe.RunExclusive(func() error {
+				for i, row := range bRows {
+					sid, err := dstTable.StageInsert(row)
+					if err != nil {
+						return err
+					}
+					ids[bIDs[i]] = sid
+				}
+				return nil
+			})
+		}
+		var copyErr error
+		rel.Table.SnapshotScan(s1, func(rid storage.RowID, row types.Row) bool {
+			if catalog.SlotOf(row[col]) != slot {
+				return true
+			}
+			batchIDs = append(batchIDs, rid)
+			batch = append(batch, row)
+			if len(batch) >= migrateChunk {
+				copyErr = flush()
+			}
+			return copyErr == nil
+		})
+		if copyErr == nil {
+			copyErr = flush()
+		}
+		if copyErr != nil {
+			abort()
+			return fmt.Errorf("core: slot %d copy (%s): %w", slot, rel.Name, copyErr)
+		}
+	}
+
+	if s.coordLog != nil {
+		if err := s.appendSlotRecord(pe.RecSlotCopied, slot, from, to, id); err != nil {
+			abort()
+			return err
+		}
+	}
+	if hook := testHookAfterCopied; hook != nil {
+		if err := hook(slot); err != nil {
+			abort()
+			return err
+		}
+	}
+
+	// Cutover: the routing fence first (no new request can resolve a
+	// partition), then the all-partition barrier (everything already
+	// enqueued has drained). Between S1 and the barrier's S2 lies every
+	// write the bulk copy missed.
+	s.routingMu.Lock()
+	var pause time.Duration
+	moved := 0
+	err := s.runExclusiveAll(func() error {
+		start := time.Now()
+		s2 := src.cat.Clock().Current()
+		for _, rel := range rels {
+			dstTable := dst.cat.Relation(rel.Name).Table
+			ids := staged[rel.Name]
+			col := rel.PartCol
+			var dsErr error
+			rel.Table.DeltaScan(s1, s2, func(rid storage.RowID, row types.Row, born bool) bool {
+				if catalog.SlotOf(row[col]) != slot {
+					return true
+				}
+				if born {
+					sid, err := dstTable.StageInsert(row)
+					if err != nil {
+						dsErr = err
+						return false
+					}
+					ids[rid] = sid
+				} else if sid, ok := ids[rid]; ok {
+					if err := dstTable.Unstage(sid); err != nil {
+						dsErr = err
+						return false
+					}
+					delete(ids, rid)
+				}
+				return true
+			})
+			if dsErr != nil {
+				return dsErr
+			}
+		}
+		// Everything fallible happens before the commit record: once it is
+		// durable the flip cannot be allowed to fail.
+		var ops []pe.LoggedOp
+		for _, rel := range rels {
+			dstTable := dst.cat.Relation(rel.Name).Table
+			if dstTable.StagedCount() == 0 {
+				continue
+			}
+			if err := dstTable.PrecheckStaged(); err != nil {
+				return err
+			}
+			ops = append(ops, pe.LoggedOp{Table: rel.Name, Rows: dstTable.StagedRows()})
+		}
+		// The staged images become a prepared leg in the destination's
+		// log, forced durable before the commit point; RecSlotCommit in
+		// the coordinator log doubles as its commit decision. The leg is
+		// written even when empty: a destination can re-own a slot it held
+		// in an earlier epoch, and the leg's replay is what evicts the
+		// stale rows its own log re-creates — including when every row of
+		// the slot died while it lived elsewhere.
+		if err := dst.LogCommit(&pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: id, Ops: ops}); err != nil {
+			return err
+		}
+		if err := dst.SyncCommits(); err != nil {
+			return err
+		}
+		if s.coordLog != nil {
+			if err := s.appendSlotRecord(pe.RecSlotCommit, slot, from, to, id); err != nil {
+				return err
+			}
+		}
+		for _, rel := range rels {
+			moved += dst.cat.Relation(rel.Name).Table.CommitStaged()
+		}
+		// Source deletes are in-memory MVCC kills: readers pinned before the
+		// publication window below keep seeing the old versions, and the
+		// slot-commit record (plus recovery's eviction pass) is what makes
+		// the removal durable.
+		for _, rel := range rels {
+			col := rel.PartCol
+			var dead []storage.RowID
+			rel.Table.Scan(func(rid storage.RowID, row types.Row) bool {
+				if catalog.SlotOf(row[col]) == slot {
+					dead = append(dead, rid)
+				}
+				return true
+			})
+			for _, rid := range dead {
+				if err := rel.Table.Delete(rid, nil); err != nil {
+					return err
+				}
+			}
+		}
+		// One seqMu write window publishes the ownership flip and both
+		// partitions' commit sequences together: a fan-out reader sees the
+		// slot's rows on the source or on the destination, never both.
+		ns := s.slots.Load().Clone()
+		ns.Owner[slot] = uint16(to)
+		s.seqMu.Lock()
+		s.slots.Store(ns)
+		src.cat.Clock().Publish()
+		dst.cat.Clock().Publish()
+		s.seqMu.Unlock()
+		pause = time.Since(start)
+		return nil
+	})
+	s.routingMu.Unlock()
+	if err != nil {
+		abort()
+		return fmt.Errorf("core: slot %d cutover: %w", slot, err)
+	}
+	release()
+	s.met.ObserveCutoverPause(pause)
+	s.met.SlotsMigrated.Add(1)
+	s.met.SlotRowsMoved.Add(int64(moved))
+	return nil
+}
+
+// adminStatement intercepts the administrative statements — today only
+// ALTER SYSTEM PARTITIONS <n> — ahead of SQL parsing, so elastic growth
+// works through Exec/Query and therefore through any wire client. It runs
+// before Exec's routing fence: Rebalance takes routingMu itself.
+func (s *Store) adminStatement(sqlText string) (*pe.Result, bool, error) {
+	fields := strings.Fields(strings.TrimSuffix(strings.TrimSpace(sqlText), ";"))
+	if len(fields) != 4 || !strings.EqualFold(fields[0], "ALTER") ||
+		!strings.EqualFold(fields[1], "SYSTEM") || !strings.EqualFold(fields[2], "PARTITIONS") {
+		return nil, false, nil
+	}
+	n, err := strconv.Atoi(fields[3])
+	if err != nil {
+		return nil, true, fmt.Errorf("core: ALTER SYSTEM PARTITIONS: bad count %q", fields[3])
+	}
+	if err := s.Rebalance(n); err != nil {
+		return nil, true, err
+	}
+	return &pe.Result{Columns: []string{"partitions"},
+		Rows: []types.Row{{types.NewInt(int64(s.NumPartitions()))}}}, true, nil
+}

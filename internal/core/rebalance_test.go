@@ -1,0 +1,435 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/pe"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// checkCanonical asserts every partitioned row sits on its canonical
+// owner under the current slot table (which Rebalance converges to the
+// canonical assignment).
+func checkCanonical(t *testing.T, st *Store) {
+	t.Helper()
+	slots := st.slots.Load()
+	for _, p := range st.partList() {
+		for _, rel := range migratedRels(p.cat) {
+			col := rel.PartCol
+			rel.Table.Scan(func(_ storage.RowID, row types.Row) bool {
+				if owner := slots.Partition(row[col]); owner != p.idx {
+					t.Errorf("%s row %v on partition %d, owner is %d", rel.Name, row, p.idx, owner)
+				}
+				return true
+			})
+		}
+	}
+}
+
+func TestRebalanceLive(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 2})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 16, 2)
+	want := totals(t, st)
+
+	if err := st.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	if st.NumPartitions() != 4 {
+		t.Fatalf("NumPartitions = %d", st.NumPartitions())
+	}
+	if got := totals(t, st); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("post-rebalance totals = %v want %v", got, want)
+	}
+	checkCanonical(t, st)
+	// Keyed calls route to the new owners.
+	for k := 0; k < 16; k++ {
+		res, err := st.Call("bump", types.NewInt(int64(k)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.RowsAffected != 1 {
+			t.Fatalf("bump(%d) affected %d rows", k, res.RowsAffected)
+		}
+	}
+	// New ingest lands on the grown store, including keys owned by the
+	// added partitions.
+	ingestKeys(t, st, 16, 1)
+	got := totals(t, st)
+	for k := int64(0); k < 16; k++ {
+		if got[k] != want[k]+100+2 {
+			t.Fatalf("key %d total = %d want %d", k, got[k], want[k]+100+2)
+		}
+	}
+	if n := st.Metrics().Snapshot().Rebalances; n != 1 {
+		t.Fatalf("Rebalances = %d", n)
+	}
+}
+
+func TestRebalanceReplicatedAndNoop(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 2})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	if _, err := st.Exec("INSERT INTO ref (id, v) VALUES (1, 10)"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebalance(3); err != nil {
+		t.Fatal(err)
+	}
+	// Replicated tables were seeded onto the new partition.
+	for i := 0; i < 3; i++ {
+		if n := st.partList()[i].cat.Relation("ref").Table.Count(); n != 1 {
+			t.Fatalf("partition %d ref rows = %d", i, n)
+		}
+	}
+	q, err := st.Query("SELECT COUNT(*) FROM ref")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rows[0][0].Int() != 1 {
+		t.Fatalf("replicated count = %v", q.Rows)
+	}
+	// Same-size rebalance is a no-op, shrinking is refused.
+	if err := st.Rebalance(3); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebalance(2); err == nil ||
+		!strings.Contains(err.Error(), "shrinking the partition count is not supported") {
+		t.Fatalf("shrink err = %v", err)
+	}
+}
+
+func TestRebalanceDurableSurvivesRestart(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 2, Sync: wal.SyncEveryRecord})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 12, 2)
+	if err := st.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 12, 1)
+	want := totals(t, st)
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4, Sync: wal.SyncEveryRecord})
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	if got := totals(t, st2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered totals = %v want %v", got, want)
+	}
+	checkCanonical(t, st2)
+}
+
+func TestRebalanceCrashBetweenCopiedAndCommit(t *testing.T) {
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 2, Sync: wal.SyncEveryRecord})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 12, 2)
+	want := totals(t, st)
+
+	// Abort the first migration after its COPIED record is durable: the
+	// coordinator log keeps a BEGIN/COPIED pair with no COMMIT, the exact
+	// state a crash in that window leaves behind.
+	testHookAfterCopied = func(slot int) error { return fmt.Errorf("injected crash after COPIED") }
+	err := st.Rebalance(4)
+	testHookAfterCopied = nil
+	if err == nil || !strings.Contains(err.Error(), "injected crash") {
+		t.Fatalf("rebalance err = %v", err)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The growth intent was stamped, so the old count is refused...
+	stOld := buildPartApp(t, Config{Dir: dir, Partitions: 2, Sync: wal.SyncEveryRecord})
+	if err := stOld.Start(); err == nil ||
+		!strings.Contains(err.Error(), "shrinking the partition count is not supported") {
+		stOld.Stop()
+		t.Fatalf("old-count err = %v", err)
+	}
+	// ...and reopening with the target count finishes the redistribution.
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4, Sync: wal.SyncEveryRecord})
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	if got := totals(t, st2); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered totals = %v want %v", got, want)
+	}
+	checkCanonical(t, st2)
+	for k := 0; k < 12; k++ {
+		if res, err := st2.Call("bump", types.NewInt(int64(k))); err != nil || res.RowsAffected != 1 {
+			t.Fatalf("bump(%d) = %v, %v", k, res, err)
+		}
+	}
+}
+
+// TestNullPartitionKeyDefault pins the routing contract for NULL partition
+// keys: a NULL with a column DEFAULT routes (and is stored) as the default,
+// so the keyed read path finds the row without a fan-out; a NULL without a
+// default is stored as NULL on a deterministic owner and survives rebalance.
+func TestNullPartitionKeyDefault(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 2})
+	if err := st.ExecScript(`
+		CREATE TABLE nd (k INT PRIMARY KEY DEFAULT 7, v BIGINT) PARTITION BY k;
+		CREATE TABLE nn (k INT, v BIGINT) PARTITION BY k;
+	`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	if _, err := st.Exec("INSERT INTO nd (k, v) VALUES (NULL, 1)"); err != nil {
+		t.Fatal(err)
+	}
+	// The defaulted key must live on hash(7)'s owner and be visible to the
+	// single-partition keyed read.
+	q, err := st.Query("SELECT v FROM nd WHERE k = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0].Int() != 1 {
+		t.Fatalf("keyed read of defaulted NULL key = %v", q.Rows)
+	}
+	owner := st.partitionFor(types.NewInt(7))
+	if n := st.partList()[owner].cat.Relation("nd").Table.Count(); n != 1 {
+		t.Fatalf("partition %d nd rows = %d", owner, n)
+	}
+
+	// No default: the NULL key is kept as NULL and routes deterministically.
+	if _, err := st.Exec("INSERT INTO nn (k, v) VALUES (NULL, 2)"); err != nil {
+		t.Fatal(err)
+	}
+	q, err = st.Query("SELECT v FROM nn")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 || q.Rows[0][0].Int() != 2 {
+		t.Fatalf("fan-out read of NULL key = %v", q.Rows)
+	}
+	nullOwner := st.partitionFor(types.Null)
+	if n := st.partList()[nullOwner].cat.Relation("nn").Table.Count(); n != 1 {
+		t.Fatalf("partition %d nn rows = %d", nullOwner, n)
+	}
+
+	// Both rows survive a rebalance and stay on their canonical owners.
+	if err := st.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	q, err = st.Query("SELECT v FROM nd WHERE k = 7")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(q.Rows) != 1 {
+		t.Fatalf("post-rebalance keyed read = %v", q.Rows)
+	}
+	checkCanonical(t, st)
+}
+
+// TestRebalanceUnderConcurrentTraffic hammers a migrating store: ingest,
+// keyed calls, fan-out queries, and a multi-partition transaction mix run
+// while the store grows 2 -> 4. Run with -race.
+func TestRebalanceUnderConcurrentTraffic(t *testing.T) {
+	st := buildPartApp(t, Config{Partitions: 2})
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	ingestKeys(t, st, 32, 1)
+
+	const feeders = 4
+	const perFeeder = 200
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	errCh := make(chan error, feeders+2)
+	for f := 0; f < feeders; f++ {
+		wg.Add(1)
+		go func(f int) {
+			defer wg.Done()
+			for i := 0; i < perFeeder; i++ {
+				k := int64((f*perFeeder + i) % 32)
+				if err := st.Ingest("events", types.Row{types.NewInt(k), types.NewInt(1)}); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(f)
+	}
+	wg.Add(1)
+	go func() { // fan-out reader
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := st.Query("SELECT COUNT(*), SUM(n) FROM totals"); err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	wg.Add(1)
+	go func() { // cross-partition writer
+		defer wg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			err := st.MultiPartitionTxn(func(tx *MPTxn) error {
+				_, err := tx.ExecAll("UPDATE ref SET v = v + 1 WHERE id = 1")
+				return err
+			})
+			if err != nil {
+				errCh <- err
+				return
+			}
+		}
+	}()
+	if _, err := st.Exec("INSERT INTO ref (id, v) VALUES (1, 0)"); err != nil {
+		t.Fatal(err)
+	}
+
+	if err := st.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		t.Fatal(err)
+	default:
+	}
+	st.FlushBatches()
+	st.Drain()
+
+	got := totals(t, st)
+	// Every ingested tuple doubled and applied exactly once: 32 keys seeded
+	// once, then feeders*perFeeder spread round-robin over the 32 keys.
+	wantPer := int64(2 * (1 + feeders*perFeeder/32))
+	for k := int64(0); k < 32; k++ {
+		if got[k] != wantPer {
+			t.Fatalf("key %d total = %d want %d (lost or duplicated work)", k, got[k], wantPer)
+		}
+	}
+	checkCanonical(t, st)
+}
+
+// registerDel adds a keyed delete procedure (mirrors bump's routing) so a
+// durable test can kill a totals row through the logged procedure path.
+func registerDel(t *testing.T, st *Store) {
+	t.Helper()
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:           "del",
+		ReadSet:        []string{"totals"},
+		WriteSet:       []string{"totals"},
+		PartitionParam: 1,
+		Handler: func(ctx *pe.ProcCtx) error {
+			_, err := ctx.Exec("DELETE FROM totals WHERE k = ?", ctx.Params[0])
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRebalanceMigrateBackRestart covers slots whose ownership history
+// returns to an earlier owner (e.g. 0 -> 1 -> 0 across 2 -> 3 -> 4): the
+// returning partition's own log already re-creates the slot's rows during
+// replay, so the slot-move leg must supersede those stale local copies —
+// including keys deleted while the slot lived elsewhere, which must NOT
+// be resurrected by the old insert records.
+func TestRebalanceMigrateBackRestart(t *testing.T) {
+	// Keys whose slot stays put 2 -> 3 would not exercise anything; pick
+	// keys whose slot moves away at 3 partitions and returns at 4.
+	var back []int64
+	for k := int64(0); len(back) < 2 && k < 10_000; k++ {
+		s := catalog.SlotOf(types.NewInt(k))
+		if s%4 == s%2 && s%3 != s%2 {
+			back = append(back, k)
+		}
+	}
+	if len(back) < 2 {
+		t.Fatal("no migrate-back keys found")
+	}
+	keep, kill := back[0], back[1]
+
+	dir := t.TempDir()
+	st := buildPartApp(t, Config{Dir: dir, Partitions: 2, Sync: wal.SyncEveryRecord})
+	registerDel(t, st)
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	ingestKeys(t, st, 32, 1)
+	for _, k := range []int64{keep, kill} {
+		if err := st.Ingest("events", types.Row{types.NewInt(k), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Ingest("events", types.Row{types.NewInt(k), types.NewInt(2)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+
+	if err := st.Rebalance(3); err != nil {
+		t.Fatal(err)
+	}
+	// While the slot lives on its interim owner: update keep, delete kill —
+	// both through logged procedures on the interim partition's segment.
+	if _, err := st.Call("bump", types.NewInt(keep)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Call("del", types.NewInt(kill)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Rebalance(4); err != nil {
+		t.Fatal(err)
+	}
+	want := totals(t, st)
+	if _, ok := want[kill]; ok {
+		t.Fatalf("key %d still present before restart", kill)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2 := buildPartApp(t, Config{Dir: dir, Partitions: 4, Sync: wal.SyncEveryRecord})
+	registerDel(t, st2)
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st2.Stop()
+	got := totals(t, st2)
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("recovered totals = %v want %v", got, want)
+	}
+	if _, ok := got[kill]; ok {
+		t.Fatalf("deleted key %d resurrected by recovery", kill)
+	}
+	checkCanonical(t, st2)
+}

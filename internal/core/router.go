@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -30,60 +29,21 @@ import (
 //     referenced and merges the per-partition results (concatenation,
 //     re-aggregation of COUNT/SUM/MIN/MAX, global re-sort, LIMIT).
 //
-// The hash is deterministic across processes (unlike types.Value.Hash,
-// which is seeded per process) because a row routed to partition k before a
-// crash must still be owned by partition k after recovery.
+// Keys do not map to partitions directly: catalog.PartitionHash (FNV-1a
+// over a canonical, cross-process-stable encoding) buckets every key into
+// one of catalog.NumSlots slots, and the store's published SlotTable maps
+// slots to partitions. Rebalance moves ownership one slot at a time, so a
+// routing decision and a cutover synchronize on routingMu: fast paths
+// resolve-and-enqueue under the read side, cutovers swap the table under
+// the write side.
 
-// partitionHash is FNV-1a over a canonical encoding of the value,
-// collapsing BIGINT 2 and FLOAT 2.0 the way Value.Compare equality does.
-func partitionHash(v types.Value) uint64 {
-	const (
-		offset = 14695981039346656037
-		prime  = 1099511628211
-	)
-	h := uint64(offset)
-	mix := func(b byte) {
-		h ^= uint64(b)
-		h *= prime
-	}
-	mix64 := func(u uint64) {
-		for i := 0; i < 8; i++ {
-			mix(byte(u >> (8 * i)))
-		}
-	}
-	switch v.Type() {
-	case types.TypeNull:
-		mix(0)
-	case types.TypeBool:
-		mix(1)
-		if v.Bool() {
-			mix(1)
-		} else {
-			mix(0)
-		}
-	case types.TypeInt, types.TypeFloat:
-		mix(2)
-		f := v.Float()
-		if f == math.Trunc(f) && !math.IsInf(f, 0) && f >= -1e15 && f <= 1e15 {
-			mix64(uint64(int64(f)))
-		} else {
-			mix64(math.Float64bits(f))
-		}
-	case types.TypeString:
-		mix(3)
-		for i := 0; i < len(v.Str()); i++ {
-			mix(v.Str()[i])
-		}
-	case types.TypeTimestamp:
-		mix(4)
-		mix64(uint64(v.Timestamp()))
-	}
-	return h
-}
+// partitionHash is the routing hash (see catalog.PartitionHash).
+func partitionHash(v types.Value) uint64 { return catalog.PartitionHash(v) }
 
-// partitionFor maps a key value to its owning partition index.
+// partitionFor maps a key value to its owning partition index per the
+// published slot table.
 func (s *Store) partitionFor(v types.Value) int {
-	return int(partitionHash(v) % uint64(len(s.parts)))
+	return s.slots.Load().Partition(v)
 }
 
 // routingRelation resolves a relation for routing decisions, synchronized
@@ -93,7 +53,7 @@ func (s *Store) partitionFor(v types.Value) int {
 func (s *Store) routingRelation(name string) *catalog.Relation {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	return s.parts[0].cat.Relation(name)
+	return s.partList()[0].cat.Relation(name)
 }
 
 // callTarget picks the partition engine that owns a procedure invocation.
@@ -101,8 +61,8 @@ func (s *Store) routingRelation(name string) *catalog.Relation {
 // running on partition 0 would write keyed rows to a partition that does
 // not own them.
 func (s *Store) callTarget(proc string, params []types.Value) (*pe.Engine, error) {
-	p0 := s.parts[0]
-	if len(s.parts) == 1 {
+	p0 := s.partList()[0]
+	if len(s.partList()) == 1 {
 		return p0.pe, nil
 	}
 	pr := p0.pe.Procedure(proc)
@@ -113,7 +73,7 @@ func (s *Store) callTarget(proc string, params []types.Value) (*pe.Engine, error
 		return nil, fmt.Errorf("core: procedure %q routes by parameter %d but only %d supplied",
 			proc, pr.PartitionParam, len(params))
 	}
-	return s.parts[s.partitionFor(params[pr.PartitionParam-1])].pe, nil
+	return s.partList()[s.partitionFor(params[pr.PartitionParam-1])].pe, nil
 }
 
 // Ingest pushes tuples onto a bound border stream, hash-splitting them
@@ -121,12 +81,17 @@ func (s *Store) callTarget(proc string, params []types.Value) (*pe.Engine, error
 // is preserved within each partition (the paper's per-partition natural
 // order; there is no cross-partition order, exactly as in H-Store).
 func (s *Store) Ingest(stream string, rows ...types.Row) error {
-	if len(s.parts) == 1 {
-		return s.parts[0].pe.Ingest(stream, rows...)
+	// Route-and-enqueue under the routing fence: a cutover cannot flip a
+	// slot's owner between the hash decision below and the owning worker
+	// receiving its share.
+	s.routingMu.RLock()
+	defer s.routingMu.RUnlock()
+	if len(s.partList()) == 1 {
+		return s.partList()[0].pe.Ingest(stream, rows...)
 	}
 	rel := s.routingRelation(stream)
 	if rel == nil || !rel.Partitioned() {
-		return s.parts[0].pe.Ingest(stream, rows...)
+		return s.partList()[0].pe.Ingest(stream, rows...)
 	}
 	// Router-level pause gate: a spanning batch into a paused dataflow
 	// must queue or reject as a unit. The store-wide backlog bound is
@@ -139,7 +104,7 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 		defer s.pauseGateMu.Unlock()
 		if s.pausedGraphOf(stream) != "" { // still paused under the gate
 			backlog := 0
-			for _, p := range s.parts {
+			for _, p := range s.partList() {
 				backlog += p.pe.PartialLen(stream)
 			}
 			if backlog+len(rows) > pe.MaxPausedBacklog {
@@ -148,7 +113,7 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 			}
 		}
 	}
-	buckets := make([][]types.Row, len(s.parts))
+	buckets := make([][]types.Row, len(s.partList()))
 	for _, r := range rows {
 		if rel.PartCol >= len(r) {
 			return fmt.Errorf("core: ingest into %s: row has %d columns, partition column is #%d",
@@ -168,7 +133,7 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 		if len(b) == 0 {
 			continue
 		}
-		if err := s.parts[i].pe.Ingest(stream, b...); err != nil {
+		if err := s.partList()[i].pe.Ingest(stream, b...); err != nil {
 			return err
 		}
 	}
@@ -179,8 +144,20 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 // logged; durable writes belong in stored procedures), routed per the rules
 // at the top of this file.
 func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) {
-	if len(s.parts) == 1 {
-		return s.parts[0].pe.Exec(sqlText, params...)
+	// Administrative statements run before the routing fence: ALTER SYSTEM
+	// PARTITIONS takes routingMu exclusively inside Rebalance, so it must
+	// not be entered with the shared side held.
+	if res, handled, err := s.adminStatement(sqlText); handled {
+		return res, err
+	}
+	// The routing fence covers the whole statement: keyed INSERT routing
+	// resolves targets and enqueues under it, and the coordinated branches
+	// acquire exclMu inside it (routingMu is ordered before exclMu — the
+	// same order a cutover uses).
+	s.routingMu.RLock()
+	defer s.routingMu.RUnlock()
+	if len(s.partList()) == 1 {
+		return s.partList()[0].pe.Exec(sqlText, params...)
 	}
 	stmt, err := sql.Parse(sqlText)
 	if err != nil {
@@ -190,7 +167,7 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 	case *sql.Insert:
 		rel := s.routingRelation(st.Table)
 		if rel == nil {
-			return s.parts[0].pe.Exec(sqlText, params...) // engine produces the error
+			return s.partList()[0].pe.Exec(sqlText, params...) // engine produces the error
 		}
 		if st.Query != nil {
 			return s.execInsertSelect(st, rel, sqlText, params)
@@ -203,7 +180,7 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 				// diverged.
 				return s.coordExecAll(sqlText, params, false)
 			}
-			return s.parts[0].pe.Exec(sqlText, params...)
+			return s.partList()[0].pe.Exec(sqlText, params...)
 		}
 		colMap, err := insertColMap(st, rel)
 		if err != nil {
@@ -214,7 +191,7 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 			return nil, err
 		}
 		if idx, single := singleTarget(targets); single {
-			return s.parts[idx].pe.Exec(sqlText, params...) // today's fast path
+			return s.partList()[idx].pe.Exec(sqlText, params...) // today's fast path
 		}
 		// The tuples span partitions: materialize them and run one
 		// coordinated transaction with a row-batch leg per owning partition
@@ -274,7 +251,7 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 func (s *Store) vetWriteExprs(table string, exprs ...sql.Expr) error {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	cat := s.parts[0].cat
+	cat := s.partList()[0].cat
 	rel := cat.Relation(table)
 	broadcast := rel == nil || rel.Partitioned() || rel.Kind == catalog.KindTable
 	return fanoutSubqueryCheck(cat, broadcast, exprs...)
@@ -287,13 +264,13 @@ func (s *Store) routeWrite(table, sqlText string, params []types.Value) (*pe.Res
 	rel := s.routingRelation(table)
 	switch {
 	case rel == nil:
-		return s.parts[0].pe.Exec(sqlText, params...)
+		return s.partList()[0].pe.Exec(sqlText, params...)
 	case rel.Partitioned():
 		return s.coordExecAll(sqlText, params, true)
 	case rel.Kind == catalog.KindTable:
 		return s.coordExecAll(sqlText, params, false)
 	default:
-		return s.parts[0].pe.Exec(sqlText, params...)
+		return s.partList()[0].pe.Exec(sqlText, params...)
 	}
 }
 
@@ -310,14 +287,14 @@ func (s *Store) routeWrite(table, sqlText string, params []types.Value) (*pe.Res
 // This uncoordinated fallback keeps its partial-apply guard as defense in
 // depth, though with every leg failing identically it should not trigger.
 func (s *Store) broadcastExec(sqlText string, params []types.Value, sum bool) (*pe.Result, error) {
-	results := make([]*pe.Result, len(s.parts))
-	errs := make([]error, len(s.parts))
+	results := make([]*pe.Result, len(s.partList()))
+	errs := make([]error, len(s.partList()))
 	var wg sync.WaitGroup
-	for i := range s.parts {
+	for i := range s.partList() {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.parts[i].pe.Exec(sqlText, params...)
+			results[i], errs[i] = s.partList()[i].pe.Exec(sqlText, params...)
 		}(i)
 	}
 	wg.Wait()
@@ -333,7 +310,7 @@ func (s *Store) broadcastExec(sqlText string, params []types.Value, sum bool) (*
 	if firstErr != nil {
 		if applied > 0 {
 			return nil, fmt.Errorf("core: broadcast statement failed on %d of %d partitions but committed on the rest "+
-				"(ad-hoc cross-partition writes are not atomic): %w", len(s.parts)-applied, len(s.parts), firstErr)
+				"(ad-hoc cross-partition writes are not atomic): %w", len(s.partList())-applied, len(s.partList()), firstErr)
 		}
 		return nil, firstErr
 	}
@@ -480,7 +457,10 @@ func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error)
 	if res, handled, err := s.dataflowStatement(sqlText); handled {
 		return res, err
 	}
-	if len(s.parts) == 1 {
+	if res, handled, err := s.adminStatement(sqlText); handled {
+		return res, err
+	}
+	if len(s.partList()) == 1 {
 		return s.queryPart0(sqlText, params)
 	}
 	stmt, err := sql.Parse(sqlText)
@@ -501,7 +481,7 @@ func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error)
 func (s *Store) queryPart0(sqlText string, params []types.Value) (*pe.Result, error) {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	return s.parts[0].pe.Query(sqlText, params...)
+	return s.partList()[0].pe.Query(sqlText, params...)
 }
 
 // querySelect is Query after parsing; Exec reuses it for ad-hoc SELECTs so
@@ -527,26 +507,31 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 	// fragment phase) proceed concurrently. routeMu (shared) excludes
 	// runtime DDL for the legs' catalog and index reads; queryScope above
 	// released its own hold, so this is not a recursive read-lock.
+	// The partition list is captured inside the same seqMu hold as the
+	// sequence vector: a rebalance publishes an extended list, the new slot
+	// table, and the migrated partitions' commit sequences in one seqMu
+	// write-side window, so list and vector always describe the same cut.
 	s.routeMu.RLock()
-	seqs := make([]storage.Seq, len(s.parts))
 	s.seqMu.RLock()
-	for i, p := range s.parts {
+	parts := s.partList()
+	seqs := make([]storage.Seq, len(parts))
+	for i, p := range parts {
 		seqs[i] = p.pe.AcquireSnapshot()
 	}
 	s.seqMu.RUnlock()
 	defer func() {
-		for i, p := range s.parts {
+		for i, p := range parts {
 			p.pe.ReleaseSnapshot(seqs[i])
 		}
 	}()
-	results := make([]*pe.Result, len(s.parts))
-	errs := make([]error, len(s.parts))
+	results := make([]*pe.Result, len(parts))
+	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
-	for i := range s.parts {
+	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = s.parts[i].pe.QueryAtSeq(seqs[i], legSQL, legParams...)
+			results[i], errs[i] = parts[i].pe.QueryAtSeq(seqs[i], legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()
@@ -602,7 +587,7 @@ func fanoutLeg(sel *sql.Select, sqlText string, params []types.Value) (*queryMer
 func (s *Store) queryScope(sel *sql.Select) (partitioned bool, err error) {
 	s.routeMu.RLock()
 	defer s.routeMu.RUnlock()
-	cat := s.parts[0].cat
+	cat := s.partList()[0].cat
 	isPart := func(name string) bool {
 		rel := cat.Relation(name)
 		return rel != nil && rel.Partitioned()
@@ -1289,12 +1274,16 @@ func sortRows(sel *sql.Select, res *pe.Result) error {
 // runs fn once while the whole store is quiescent — the all-partition
 // generalization of pe.Engine.RunExclusive that Checkpoint builds on.
 func (s *Store) runExclusiveAll(fn func() error) error {
-	n := len(s.parts)
-	if n == 1 {
-		return s.parts[0].pe.RunExclusive(fn)
-	}
+	// exclMu is taken even for a single partition: the list is captured
+	// under it, so a concurrent rebalance (which grows the list at its own
+	// exclusive barrier) cannot leave this barrier holding a stale subset.
 	s.exclMu.Lock()
 	defer s.exclMu.Unlock()
+	parts := s.partList()
+	n := len(parts)
+	if n == 1 {
+		return parts[0].pe.RunExclusive(fn)
+	}
 	var entered sync.WaitGroup
 	entered.Add(n)
 	release := make(chan struct{})
@@ -1305,7 +1294,7 @@ func (s *Store) runExclusiveAll(fn func() error) error {
 		go func(i int) {
 			defer wg.Done()
 			reached := false
-			errs[i] = s.parts[i].pe.RunExclusive(func() error {
+			errs[i] = parts[i].pe.RunExclusive(func() error {
 				reached = true
 				entered.Done()
 				<-release
@@ -1318,7 +1307,7 @@ func (s *Store) runExclusiveAll(fn func() error) error {
 	}
 	var fnErr error
 	reached0 := false
-	errs[0] = s.parts[0].pe.RunExclusive(func() error {
+	errs[0] = parts[0].pe.RunExclusive(func() error {
 		reached0 = true
 		entered.Done()
 		entered.Wait() // every partition parked at its barrier

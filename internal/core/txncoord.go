@@ -58,6 +58,10 @@ type MPTxn struct {
 	s      *Store
 	id     uint64
 	logged bool
+	// parts is the partition list captured under exclMu — stable for the
+	// transaction's lifetime (a rebalance's cutover barrier cannot run
+	// while the coordinator holds exclMu).
+	parts []*partition
 
 	mu    sync.Mutex
 	sess  []*pe.MPSession
@@ -66,15 +70,16 @@ type MPTxn struct {
 }
 
 // NumPartitions returns the store's partition count.
-func (tx *MPTxn) NumPartitions() int { return len(tx.s.parts) }
+func (tx *MPTxn) NumPartitions() int { return len(tx.parts) }
 
-// PartitionFor maps a partition-key value to its owning partition.
-func (tx *MPTxn) PartitionFor(v types.Value) int { return tx.s.partitionFor(v) }
+// PartitionFor maps a partition-key value to its owning partition per the
+// slot table, which is likewise stable while the transaction runs.
+func (tx *MPTxn) PartitionFor(v types.Value) int { return tx.s.slots.Load().Partition(v) }
 
 // session lazily enlists partition part, parking its worker on the 2PC
 // barrier.
 func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
-	if part < 0 || part >= len(tx.s.parts) {
+	if part < 0 || part >= len(tx.parts) {
 		return nil, fmt.Errorf("core: mp txn: no partition %d", part)
 	}
 	tx.mu.Lock()
@@ -85,7 +90,7 @@ func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
 	if tx.sess[part] != nil {
 		return tx.sess[part], nil
 	}
-	sess, err := tx.s.parts[part].pe.EnlistMP(tx.id, tx.logged)
+	sess, err := tx.parts[part].pe.EnlistMP(tx.id, tx.logged)
 	if err != nil {
 		tx.err = err
 		return nil, err
@@ -172,7 +177,7 @@ func (tx *MPTxn) QueryRow(part int, sqlText string, params ...types.Value) (type
 // them all) — the coordinated form of a broadcast statement. Results come
 // back in partition order.
 func (tx *MPTxn) ExecAll(sqlText string, params ...types.Value) ([]*pe.Result, error) {
-	n := len(tx.s.parts)
+	n := len(tx.parts)
 	results := make([]*pe.Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -197,7 +202,7 @@ func (tx *MPTxn) ExecAll(sqlText string, params ...types.Value) ([]*pe.Result, e
 // the transactional analogue of the router's query fan-out; the caller
 // merges.
 func (tx *MPTxn) QueryAll(sqlText string, params ...types.Value) ([]*pe.Result, error) {
-	n := len(tx.s.parts)
+	n := len(tx.parts)
 	results := make([]*pe.Result, n)
 	errs := make([]error, n)
 	var wg sync.WaitGroup
@@ -246,7 +251,8 @@ func (s *Store) runMP(logged bool, fn func(tx *MPTxn) error) error {
 	s.mpMu.Lock()
 	defer s.mpMu.Unlock()
 	s.nextMPTxnID++
-	tx := &MPTxn{s: s, id: s.nextMPTxnID, logged: logged, sess: make([]*pe.MPSession, len(s.parts))}
+	parts := s.partList()
+	tx := &MPTxn{s: s, id: s.nextMPTxnID, logged: logged, parts: parts, sess: make([]*pe.MPSession, len(parts))}
 
 	ferr := runMPHandler(fn, tx)
 	tx.mu.Lock()

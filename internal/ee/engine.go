@@ -217,7 +217,7 @@ func (e *Engine) ExecDDL(stmt sql.Statement) error {
 			return err
 		}
 		if s.PartitionBy != "" {
-			return rel.SetPartitionColumn(s.PartitionBy)
+			return rel.SetPartitionColumn(s.PartitionBy, s.Partial)
 		}
 		return nil
 	case *sql.CreateStream:
@@ -233,7 +233,7 @@ func (e *Engine) ExecDDL(stmt sql.Statement) error {
 			return err
 		}
 		if s.PartitionBy != "" {
-			return rel.SetPartitionColumn(s.PartitionBy)
+			return rel.SetPartitionColumn(s.PartitionBy, s.Partial)
 		}
 		return nil
 	case *sql.CreateWindow:

@@ -63,7 +63,20 @@ type Metrics struct {
 	GCVersionsReclaimed atomic.Int64
 	VersionsRetained    atomic.Int64
 
+	// Elastic-repartitioning counters: Rebalances counts completed
+	// Store.Rebalance calls, SlotsMigrated the slots whose ownership moved
+	// (including recovery-time migrations), SlotRowsMoved the row images
+	// carried to their new partition.
+	Rebalances    atomic.Int64
+	SlotsMigrated atomic.Int64
+	SlotRowsMoved atomic.Int64
+
 	latency Histogram
+
+	// cutoverPause records, per migrated slot, how long the cutover barrier
+	// held every partition worker parked — the moment routing flips. E10's
+	// acceptance bound compares its p99 against one group-commit interval.
+	cutoverPause Histogram
 
 	// Per-dataflow counters, keyed by graph name. The set is shared by all
 	// partitions of a store, so each graph's counters aggregate across its
@@ -109,6 +122,12 @@ func (m *Metrics) ObserveLatency(d time.Duration) { m.latency.Observe(d) }
 // Latency returns the latency histogram.
 func (m *Metrics) Latency() *Histogram { return &m.latency }
 
+// ObserveCutoverPause records one slot migration's worker-pause duration.
+func (m *Metrics) ObserveCutoverPause(d time.Duration) { m.cutoverPause.Observe(d) }
+
+// CutoverPause returns the slot-migration pause histogram.
+func (m *Metrics) CutoverPause() *Histogram { return &m.cutoverPause }
+
 // Snapshot is a point-in-time copy of every counter.
 type Snapshot struct {
 	ClientToPE, PEToEE, EEInternal       int64
@@ -121,8 +140,12 @@ type Snapshot struct {
 	SnapshotReads, WorkerQueries         int64
 	GCRuns, GCVersionsReclaimed          int64
 	VersionsRetained                     int64
+	Rebalances, SlotsMigrated            int64
+	SlotRowsMoved                        int64
 	LatencyCount                         int64
 	LatencyP50, LatencyP99, LatencyP9999 time.Duration
+	CutoverPauseCount                    int64
+	CutoverPauseP50, CutoverPauseP99     time.Duration
 }
 
 // Snapshot captures the current counter values.
@@ -148,10 +171,16 @@ func (m *Metrics) Snapshot() Snapshot {
 		GCRuns:              m.GCRuns.Load(),
 		GCVersionsReclaimed: m.GCVersionsReclaimed.Load(),
 		VersionsRetained:    m.VersionsRetained.Load(),
+		Rebalances:          m.Rebalances.Load(),
+		SlotsMigrated:       m.SlotsMigrated.Load(),
+		SlotRowsMoved:       m.SlotRowsMoved.Load(),
 		LatencyCount:        m.latency.Count(),
 		LatencyP50:          m.latency.Quantile(0.50),
 		LatencyP99:          m.latency.Quantile(0.99),
 		LatencyP9999:        m.latency.Quantile(0.9999),
+		CutoverPauseCount:   m.cutoverPause.Count(),
+		CutoverPauseP50:     m.cutoverPause.Quantile(0.50),
+		CutoverPauseP99:     m.cutoverPause.Quantile(0.99),
 	}
 }
 
@@ -178,7 +207,11 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.GCRuns -= prev.GCRuns
 	d.GCVersionsReclaimed -= prev.GCVersionsReclaimed
 	// VersionsRetained is a gauge: keep s's value, not a difference.
+	d.Rebalances -= prev.Rebalances
+	d.SlotsMigrated -= prev.SlotsMigrated
+	d.SlotRowsMoved -= prev.SlotRowsMoved
 	d.LatencyCount -= prev.LatencyCount
+	d.CutoverPauseCount -= prev.CutoverPauseCount
 	return d
 }
 

@@ -46,6 +46,16 @@ const (
 	// decision record recovery resolves in-doubt legs from; in a
 	// participant's log it is an unforced marker, skipped at replay.
 	RecDecide
+	// RecSlotBegin / RecSlotCopied / RecSlotCommit narrate one routing
+	// slot's migration in the coordinator log (they never appear in a
+	// partition log). RecSlotCommit is the atomic cutover point: it doubles
+	// as the commit decision for the migration's RecPrepare leg in the
+	// target partition's log, and recovery applies its ownership change to
+	// the slot table. A BEGIN or COPIED with no COMMIT is an interrupted
+	// migration — presumed aborted, ownership unchanged.
+	RecSlotBegin
+	RecSlotCopied
+	RecSlotCommit
 )
 
 // LogRecord is one command-log entry: enough to re-execute the client
@@ -58,10 +68,16 @@ type LogRecord struct {
 	BatchID     uint64
 	InputStream string
 
-	// 2PC fields (RecPrepare / RecDecide only).
+	// 2PC fields (RecPrepare / RecDecide only; RecSlotCommit carries the
+	// MPTxnID of the migration's prepared leg).
 	MPTxnID uint64
 	Ops     []LoggedOp // RecPrepare: the leg's writes, in execution order
 	Commit  bool       // RecDecide: true = commit
+
+	// Slot-migration fields (RecSlotBegin / RecSlotCopied / RecSlotCommit).
+	Slot     int
+	FromPart int
+	ToPart   int
 }
 
 // CommitLogger is the durability hook the partition engine calls at commit
@@ -202,6 +218,11 @@ type Engine struct {
 	// replayDecisions maps multi-partition transaction ids to their commit
 	// decision (from the coordinator log); absent = presumed abort.
 	replayDecisions map[uint64]bool
+	// replaySlotMoves maps a slot-migration leg's transaction id to its
+	// slot, and slotEvict clears that slot's stale local rows before the
+	// leg's images apply (see SetReplaySlotMoves).
+	replaySlotMoves map[uint64]int
+	slotEvict       func(slot int) error
 
 	// localTriggered is the partition worker's private queue of PE-
 	// triggered executions (they are produced and consumed by the worker,
@@ -410,6 +431,16 @@ func (e *Engine) ResumeGraph(name string) error {
 		}
 	}
 	return nil
+}
+
+// DropGraph discards a dataflow's pause gate and any work that deferred
+// behind it (undeploy: the graph is going away, so its queued batches and
+// deferred triggered executions go with it).
+func (e *Engine) DropGraph(name string) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	delete(e.pausedGraphs, name)
+	delete(e.pausedTriggered, name)
 }
 
 // PartialLen reports the tuples buffered (partial batch + paused backlog)
@@ -1183,6 +1214,18 @@ func (e *Engine) prepareForProc(p *Procedure, sqlText string) (*ee.Prepared, err
 // decision; otherwise it is in-doubt and presumed aborted.
 func (e *Engine) SetReplayDecisions(decisions map[uint64]bool) {
 	e.replayDecisions = decisions
+}
+
+// SetReplaySlotMoves marks which prepared legs are slot-migration imports
+// (transaction id → slot) and installs the evictor replay runs before
+// applying one. A partition can re-own a slot it held in an earlier epoch,
+// and its own log then re-creates the slot's rows before the incoming leg
+// replays; the leg's images are the cutover-time truth, so the stale local
+// copies — including rows deleted while the slot lived elsewhere — are
+// evicted first.
+func (e *Engine) SetReplaySlotMoves(moves map[uint64]int, evict func(slot int) error) {
+	e.replaySlotMoves = moves
+	e.slotEvict = evict
 }
 
 // Replay re-executes one logged record during recovery. The engine must

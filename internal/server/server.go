@@ -193,6 +193,20 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 			return fail(err)
 		}
 		return &wire.Response{Kind: wire.MsgResult}
+	case wire.MsgAdmin:
+		switch strings.ToLower(req.Target) {
+		case "partitions":
+			if len(req.Params) != 1 {
+				return fail(fmt.Errorf("server: partitions needs a target count parameter"))
+			}
+			if err := s.st.Rebalance(int(req.Params[0].Int())); err != nil {
+				return fail(err)
+			}
+			return &wire.Response{Kind: wire.MsgResult, Columns: []string{"partitions"},
+				Rows: []types.Row{{types.NewInt(int64(s.st.NumPartitions()))}}}
+		default:
+			return fail(fmt.Errorf("server: unknown admin verb %q", req.Target))
+		}
 	default:
 		return fail(fmt.Errorf("server: unknown message kind %d", req.Kind))
 	}

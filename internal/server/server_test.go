@@ -308,3 +308,59 @@ func TestDataflowsOverWire(t *testing.T) {
 		t.Fatalf("pause of unknown dataflow: %v", err)
 	}
 }
+
+func TestRebalanceOverWire(t *testing.T) {
+	st := core.Open(core.Config{Partitions: 2})
+	if err := st.ExecScript(`CREATE TABLE pt (k INT PRIMARY KEY, v BIGINT) PARTITION BY k;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	srv.Logf = t.Logf
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close(); st.Stop() })
+	c, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	for k := 0; k < 32; k++ {
+		if _, err := c.Exec("INSERT INTO pt (k, v) VALUES (?, ?)",
+			types.NewInt(int64(k)), types.NewInt(int64(k*10))); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The dedicated admin frame...
+	n, err := c.Rebalance(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 || st.NumPartitions() != 4 {
+		t.Fatalf("rebalanced to %d (store has %d)", n, st.NumPartitions())
+	}
+	// ...and the SQL spelling, routed through Exec like any statement.
+	resp, err := c.Exec("ALTER SYSTEM PARTITIONS 5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Rows) != 1 || resp.Rows[0][0].Int() != 5 {
+		t.Fatalf("ALTER SYSTEM response: %v", resp.Rows)
+	}
+	if _, err := c.Rebalance(2); err == nil ||
+		!strings.Contains(err.Error(), "shrinking the partition count is not supported") {
+		t.Fatalf("shrink err = %v", err)
+	}
+	// Data survived both migrations.
+	q, err := c.Query("SELECT COUNT(*), SUM(v) FROM pt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rows[0][0].Int() != 32 || q.Rows[0][1].Int() != 4960 {
+		t.Fatalf("post-rebalance data: %v", q.Rows)
+	}
+}

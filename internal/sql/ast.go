@@ -248,25 +248,33 @@ type ColumnDef struct {
 }
 
 // CreateTable is CREATE TABLE name (cols..., [PRIMARY KEY (cols)])
-// [PARTITION BY (col)]. PartitionBy names the hash-partitioning column in a
-// multi-partition deployment; empty means unpartitioned (the relation lives
-// on partition 0, or is treated as replicated reference data).
+// [PARTITION BY (col) [PARTIAL]]. PartitionBy names the hash-partitioning
+// column in a multi-partition deployment; empty means unpartitioned (the
+// relation lives on partition 0, or is treated as replicated reference
+// data). Partial marks a partitioned relation whose rows are deliberately
+// partition-local partial state (e.g. per-partition partial aggregates
+// maintained by procedures routed on a different key): every partition may
+// hold a row for every key, fan-out queries re-aggregate them, and elastic
+// repartitioning must not move their rows between partitions.
 type CreateTable struct {
 	Name        string
 	Columns     []ColumnDef
 	PrimaryKey  []string
 	PartitionBy string
+	Partial     bool
 	IfNotExists bool
 }
 
-// CreateStream is CREATE STREAM name (cols...) [PARTITION BY (col)].
-// Streams are keyless, append-only relations whose tuples are
+// CreateStream is CREATE STREAM name (cols...) [PARTITION BY (col)
+// [PARTIAL]]. Streams are keyless, append-only relations whose tuples are
 // garbage-collected after consumption; a partitioned stream hash-routes
-// ingested tuples to their owning partition.
+// ingested tuples to their owning partition. Partial has the same meaning
+// as on CreateTable: partition-local state that repartitioning leaves put.
 type CreateStream struct {
 	Name        string
 	Columns     []ColumnDef
 	PartitionBy string
+	Partial     bool
 	IfNotExists bool
 }
 

@@ -519,7 +519,7 @@ func (p *parser) parseCreateTableLike(isStream bool) (Statement, error) {
 	if _, err := p.expect(TokSym, ")"); err != nil {
 		return nil, err
 	}
-	partBy, err := p.parsePartitionBy(cols)
+	partBy, partial, err := p.parsePartitionBy(cols)
 	if err != nil {
 		return nil, err
 	}
@@ -527,40 +527,47 @@ func (p *parser) parseCreateTableLike(isStream bool) (Statement, error) {
 		if len(pk) > 0 {
 			return nil, p.errf("streams are keyless; remove PRIMARY KEY from %s", name)
 		}
-		return &CreateStream{Name: name, Columns: cols, PartitionBy: partBy, IfNotExists: ifne}, nil
+		return &CreateStream{Name: name, Columns: cols, PartitionBy: partBy, Partial: partial, IfNotExists: ifne}, nil
 	}
-	return &CreateTable{Name: name, Columns: cols, PrimaryKey: pk, PartitionBy: partBy, IfNotExists: ifne}, nil
+	return &CreateTable{Name: name, Columns: cols, PrimaryKey: pk, PartitionBy: partBy, Partial: partial, IfNotExists: ifne}, nil
 }
 
 // parsePartitionBy parses the optional trailing PARTITION BY [(] col [)]
-// clause of CREATE TABLE / CREATE STREAM and validates the column exists.
-// PARTITION is a contextual keyword — it is only meaningful right after
-// the column-list close paren, so it stays usable as an identifier
-// elsewhere (column names, etc.).
-func (p *parser) parsePartitionBy(cols []ColumnDef) (string, error) {
+// [PARTIAL] clause of CREATE TABLE / CREATE STREAM and validates the
+// column exists. PARTITION and PARTIAL are contextual keywords — they are
+// only meaningful right after the column-list close paren, so they stay
+// usable as identifiers elsewhere (column names, etc.). PARTIAL declares
+// the relation's rows as partition-local partial state: slot migration
+// leaves them in place instead of rehoming them by partition key.
+func (p *parser) parsePartitionBy(cols []ColumnDef) (string, bool, error) {
 	if !(p.at(TokIdent, "") && strings.EqualFold(p.peek().Text, "PARTITION")) {
-		return "", nil
+		return "", false, nil
 	}
 	p.next() // consume PARTITION
 	if err := p.expectKeyword("BY"); err != nil {
-		return "", err
+		return "", false, err
 	}
 	paren := p.accept(TokSym, "(")
 	col, err := p.ident()
 	if err != nil {
-		return "", err
+		return "", false, err
 	}
 	if paren {
 		if _, err := p.expect(TokSym, ")"); err != nil {
-			return "", err
+			return "", false, err
 		}
+	}
+	partial := false
+	if p.at(TokIdent, "") && strings.EqualFold(p.peek().Text, "PARTIAL") {
+		p.next()
+		partial = true
 	}
 	for _, c := range cols {
 		if strings.EqualFold(c.Name, col) {
-			return col, nil
+			return col, partial, nil
 		}
 	}
-	return "", p.errf("PARTITION BY column %q is not a declared column", col)
+	return "", false, p.errf("PARTITION BY column %q is not a declared column", col)
 }
 
 func (p *parser) parseColumnDef() (ColumnDef, error) {

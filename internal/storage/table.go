@@ -69,6 +69,7 @@ type Table struct {
 
 	nextID   RowID
 	live     int // slots whose newest version is live
+	staged   int // staged slots awaiting CommitStaged (slot migration)
 	deadVers int // versions with a dead stamp (reclaim candidates)
 	// gcMinDead backs inline sweeps off: after a sweep, dead versions must
 	// double before the next attempt, so a pile of still-pinned (or still-
@@ -484,6 +485,37 @@ func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
 	}
 }
 
+// DeltaScan reports the visible difference between two published
+// sequences, in insertion (RowID) order: for every version born in
+// (from, to] and still visible at to, fn is called with born=true; for
+// every version visible at from but dead by to, fn is called with
+// born=false (its row image is the from-visible one). An update surfaces
+// as a death of the old image and a birth of the new; a version both born
+// and dead inside the interval is invisible at both ends and skipped.
+// Used by slot migration's catch-up: the bulk copy runs at from, the
+// cutover applies the delta up to to. The read lock is held for the whole
+// walk — the cutover runs it at a quiescent barrier, where the writer is
+// parked anyway.
+func (t *Table) DeltaScan(from, to Seq, fn func(id RowID, row types.Row, born bool) bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for i := range t.slots {
+		s := &t.slots[i]
+		atFrom := s.versionAt(from)
+		atTo := s.versionAt(to)
+		if atFrom != nil && (atTo == nil || &atFrom[0] != &atTo[0]) {
+			if !fn(s.id, atFrom, false) {
+				return
+			}
+		}
+		if atTo != nil && (atFrom == nil || &atFrom[0] != &atTo[0]) {
+			if !fn(s.id, atTo, true) {
+				return
+			}
+		}
+	}
+}
+
 // SnapshotRows returns every row visible at sequence s in insertion order.
 func (t *Table) SnapshotRows(seq Seq) []types.Row {
 	var out []types.Row
@@ -535,6 +567,172 @@ func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key 
 		return fn(key, r)
 	})
 	return nil
+}
+
+// ---------- staged versions (slot migration) ----------
+//
+// Slot migration bulk-copies a slot's rows into the target partition while
+// both partitions keep serving traffic. The copies must not be visible on
+// the target before the atomic cutover — a fan-out query snapshotting both
+// partitions mid-copy would count every copied row twice. Staged versions
+// solve this: the row occupies a heap slot and a RowID but its visibility
+// interval is empty, so neither snapshot readers nor the writer view see
+// it. CommitStaged flips every staged version live in one critical
+// section at the cutover barrier.
+
+// seqStaged stamps a staged version: born == dead is an empty visibility
+// interval, so versionAt never returns it and liveTop (dead == SeqInf) is
+// false. The value exceeds every publishable sequence, so GC
+// (dead <= watermark) never reclaims a staged version by accident.
+const seqStaged Seq = SeqInf - 1
+
+// isStaged reports whether the slot holds a staged (not yet committed)
+// copy. Staged slots hold exactly one version: invisible rows cannot be
+// updated or deleted by normal operations.
+func (s *rowSlot) isStaged() bool {
+	return len(s.versions) == 1 && s.versions[0].born == seqStaged
+}
+
+// StageInsert validates and stores a row as a staged version — present in
+// the heap, absent from every index, invisible at every sequence. Must run
+// on the partition worker goroutine (migration batches ride RunExclusive),
+// preserving the single-mutator invariant the lock-free writer reads
+// depend on. Uniqueness is checked by PrecheckStaged at cutover, not here.
+func (t *Table) StageInsert(row types.Row) (RowID, error) {
+	validated, err := t.schema.ValidateRow(row)
+	if err != nil {
+		return 0, err
+	}
+	t.mu.Lock()
+	id := t.nextID
+	t.nextID++
+	t.byID[id] = len(t.slots)
+	t.slots = append(t.slots, rowSlot{id: id, versions: []rowVersion{{row: validated, born: seqStaged, dead: seqStaged}}})
+	t.staged++
+	t.mu.Unlock()
+	return id, nil
+}
+
+// Unstage discards one staged row (catch-up saw the source row die during
+// the copy).
+func (t *Table) Unstage(id RowID) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	pos, ok := t.byID[id]
+	if !ok || !t.slots[pos].isStaged() {
+		return fmt.Errorf("storage: %s: unstage of non-staged row %d", t.name, id)
+	}
+	t.slots[pos].versions = nil
+	delete(t.byID, id)
+	t.staged--
+	return nil
+}
+
+// StagedCount reports the number of staged rows.
+func (t *Table) StagedCount() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.staged
+}
+
+// StagedRows returns the staged rows in insertion order — the migration
+// logs exactly these images in its prepare record before committing.
+func (t *Table) StagedRows() []types.Row {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]types.Row, 0, t.staged)
+	for i := range t.slots {
+		if t.slots[i].isStaged() {
+			out = append(out, t.slots[i].versions[0].row)
+		}
+	}
+	return out
+}
+
+// PrecheckStaged verifies that flipping every staged row live would violate
+// no unique constraint — against existing live rows and among the staged
+// rows themselves. The migration calls it at the cutover barrier BEFORE
+// writing its commit record: once the record is durable the flip must not
+// be able to fail. The check stays valid through CommitStaged because the
+// barrier parks every writer.
+func (t *Table) PrecheckStaged() error {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	if t.staged == 0 {
+		return nil
+	}
+	for _, ix := range t.indexes {
+		if !ix.unique {
+			continue
+		}
+		seen := make(map[uint64][]types.Row, t.staged)
+		for i := range t.slots {
+			s := &t.slots[i]
+			if !s.isStaged() {
+				continue
+			}
+			key := s.versions[0].row.Key(ix.cols)
+			if _, exists := ix.Lookup(key); exists {
+				return fmt.Errorf("storage: %s: staged row collides on key %v of unique index %q",
+					t.name, key, ix.Name())
+			}
+			h := key.Hash()
+			for _, prev := range seen[h] {
+				if prev.Equal(key) {
+					return fmt.Errorf("storage: %s: two staged rows share key %v of unique index %q",
+						t.name, key, ix.Name())
+				}
+			}
+			seen[h] = append(seen[h], key)
+		}
+	}
+	return nil
+}
+
+// CommitStaged flips every staged version live at the pending sequence and
+// inserts its index entries; the rows become visible when the clock next
+// publishes. Callers must have run PrecheckStaged under the same exclusive
+// barrier — a constraint violation here is a protocol bug, not an error.
+func (t *Table) CommitStaged() int {
+	ws := t.clock.WriteSeq()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	flipped := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.isStaged() {
+			continue
+		}
+		v := &s.versions[0]
+		v.born, v.dead = ws, SeqInf
+		for _, ix := range t.indexes {
+			if err := ix.insert(v.row.Key(ix.cols), s.id, ws); err != nil {
+				panic("storage: staged index insert failed after precheck: " + err.Error())
+			}
+		}
+		t.live++
+		flipped++
+	}
+	t.staged -= flipped
+	return flipped
+}
+
+// DropStaged discards every staged row (aborted migration).
+func (t *Table) DropStaged() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	dropped := 0
+	for i := range t.slots {
+		s := &t.slots[i]
+		if !s.isStaged() {
+			continue
+		}
+		s.versions = nil
+		delete(t.byID, s.id)
+		dropped++
+	}
+	t.staged -= dropped
+	return dropped
 }
 
 // ---------- version garbage collection ----------

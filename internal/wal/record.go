@@ -20,6 +20,11 @@ import (
 //	RecPrepare: mpTxnID uvarint | nops uvarint | ops (each: form u8,
 //	            form 0 = sql str + params row, form 1 = table str + rows)
 //	RecDecide:  mpTxnID uvarint | commit u8
+//
+// The slot-migration kinds (coordinator log only) append:
+//
+//	RecSlotBegin/Copied/Commit: slot uvarint | from uvarint | to uvarint |
+//	                            mpTxnID uvarint
 func EncodeRecord(rec *pe.LogRecord) []byte {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, byte(rec.Kind))
@@ -50,6 +55,11 @@ func EncodeRecord(rec *pe.LogRecord) []byte {
 		} else {
 			buf = append(buf, 0)
 		}
+	case pe.RecSlotBegin, pe.RecSlotCopied, pe.RecSlotCommit:
+		buf = binary.AppendUvarint(buf, uint64(rec.Slot))
+		buf = binary.AppendUvarint(buf, uint64(rec.FromPart))
+		buf = binary.AppendUvarint(buf, uint64(rec.ToPart))
+		buf = binary.AppendUvarint(buf, rec.MPTxnID)
 	}
 	return buf
 }
@@ -143,6 +153,20 @@ func DecodeRecord(payload []byte) (*pe.LogRecord, error) {
 			return nil, io.ErrUnexpectedEOF
 		}
 		rec.Commit = buf[0] == 1
+	case pe.RecSlotBegin, pe.RecSlotCopied, pe.RecSlotCommit:
+		vals := make([]uint64, 4)
+		for i := range vals {
+			v, n := binary.Uvarint(buf)
+			if n <= 0 {
+				return nil, io.ErrUnexpectedEOF
+			}
+			vals[i] = v
+			buf = buf[n:]
+		}
+		rec.Slot = int(vals[0])
+		rec.FromPart = int(vals[1])
+		rec.ToPart = int(vals[2])
+		rec.MPTxnID = vals[3]
 	}
 	return rec, nil
 }

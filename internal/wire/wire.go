@@ -41,6 +41,10 @@ const (
 	// MsgDataflowCtl drives the per-graph lifecycle: Target names the
 	// dataflow and Params[0] is the action, "pause" or "resume".
 	MsgDataflowCtl
+	// MsgAdmin is an administrative command. Target is the verb; today only
+	// "partitions" (elastic growth) with Params[0] the target partition
+	// count — the server rebalances live and returns the new count.
+	MsgAdmin
 )
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating

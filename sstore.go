@@ -46,7 +46,10 @@
 // EXPLAIN DATAFLOW <name>, and pause/resume one by name with
 // Store.PauseDataflow / Store.ResumeDataflow — while paused, border
 // ingest for the graph's streams queues and nothing is lost across the
-// pause. Multi-stage graphs add Emits declarations so the deploy
+// pause. Store.UndeployDataflow removes a graph live: admitted work
+// drains behind the pause gate, then the wiring and catalog entries
+// unwind on every partition (refused while another graph consumes one of
+// its streams — undeploy the consumer first). Multi-stage graphs add Emits declarations so the deploy
 // validator sees the edges; see examples/bikealert. The single-edge
 // Store.BindStream and Store.CreateTrigger calls remain as compat shims
 // that deploy anonymous graphs ("bind_<stream>" / "trigger_<rel>_<name>").
@@ -61,6 +64,21 @@
 //
 //	st := sstore.Open(sstore.Config{Partitions: 4})
 //	st.ExecScript(`CREATE STREAM readings (sensor INT, v FLOAT) PARTITION BY sensor;`)
+//
+// Routing goes through a 256-entry slot table (hash -> slot -> partition)
+// rather than hash%N arithmetic, which makes the partition count elastic:
+// Store.Rebalance(n) — also reachable as the ALTER SYSTEM PARTITIONS n
+// statement or sstorecli's partitions verb — grows a running store,
+// adding partition workers and migrating slots one at a time under live
+// load (MVCC snapshot copy, catch-up replay, a sub-millisecond cutover
+// barrier per slot). The migration is WAL-logged and crash-safe, and
+// reopening a durable store with a larger Partitions count redistributes
+// at recovery. Shrinking is not supported. Tables declared PARTITION BY
+// col PARTIAL hold deliberate partition-local partial state (for example
+// per-partition counts merged by SUM at query time); they are exempt from
+// migration, and procedures maintaining them should upsert so partials
+// self-initialize on partitions added later. See DESIGN.md §4.5 and the
+// E10 experiment.
 //
 // # Snapshot reads
 //
