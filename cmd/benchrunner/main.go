@@ -2,7 +2,7 @@
 // EXPERIMENTS.md. Run it with no flags for the full suite, or -e to pick
 // one experiment.
 //
-//	benchrunner            # E1..E10
+//	benchrunner            # E1..E11
 //	benchrunner -e E2 -votes 6000
 //	benchrunner -e E6 -votes 40000
 //	benchrunner -e E7 -votes 20000 -json BENCH_E7.json
@@ -10,6 +10,7 @@
 //	benchrunner -e E9 -readers 8 -dur 1s -json BENCH_E9.json
 //	benchrunner -e E9 -dur 100ms    # CI smoke
 //	benchrunner -e E10 -votes 20000 -json BENCH_E10.json
+//	benchrunner -e E11 -txns 5000 -partitions 4 -json BENCH_E11.json
 package main
 
 import (
@@ -25,13 +26,13 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
-		parts    = flag.Int("partitions", 2, "E7/E8: partition count")
-		pipeline = flag.Int("pipeline", 128, "E7/E8: concurrent clients")
-		txns     = flag.Int("txns", 5000, "E8: pair-insert transactions per mode")
+		parts    = flag.Int("partitions", 2, "E7/E8/E11: partition count")
+		pipeline = flag.Int("pipeline", 128, "E7/E8/E11: concurrent clients")
+		txns     = flag.Int("txns", 5000, "E8/E11: pair-insert transactions per mode")
 		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines")
 		keys     = flag.Int("keys", 1024, "E9: rows in the read/update table")
 		dur      = flag.Duration("dur", time.Second, "E9: measured duration per mode")
@@ -273,6 +274,40 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E11", func() error {
+		rows, stats, err := bench.E11(*seed, *txns, *parts, *pipeline)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, r := range rows {
+			if r.Mode == "single-partition" {
+				base = r.TxnsSec
+			}
+		}
+		fmt.Printf("%-18s %-12s %-10s %-10s %-10s %-8s %s\n",
+			"mode", "txns/sec", "p50", "p99", "vs-single", "rows", "correct")
+		for _, r := range rows {
+			ratio := "-"
+			if base > 0 {
+				ratio = fmt.Sprintf("%.2fx", r.TxnsSec/base)
+			}
+			fmt.Printf("%-18s %-12.0f %-10s %-10s %-10s %-8d %v\n",
+				r.Mode, r.TxnsSec, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+				ratio, r.Rows, r.Correct)
+		}
+		fmt.Printf("force batching: %d prepare fsyncs (mean %.1f records), %d decide fsyncs (mean %.1f records) over %d mp txns\n",
+			stats.PrepareBatches, stats.PrepareBatchMean,
+			stats.DecideBatches, stats.DecideBatchMean, stats.MPTxns)
+		if *jsonOut != "" {
+			if err := writeE11JSON(*jsonOut, *seed, *txns, *parts, *pipeline, rows, stats); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
 }
 
 // e10JSON is the BENCH_E10.json document.
@@ -379,6 +414,41 @@ type e8JSONRow struct {
 func writeE8JSON(path string, seed int64, txns, parts, pipeline int, rows []bench.E8Row) error {
 	doc := e8JSON{Experiment: "E8 multi-partition txn throughput vs single-partition baseline",
 		Seed: seed, Txns: txns, Partitions: parts, Pipeline: pipeline}
+	for _, r := range rows {
+		doc.Rows = append(doc.Rows, e8JSONRow{
+			Mode:    r.Mode,
+			TxnsSec: r.TxnsSec,
+			P50us:   r.P50.Microseconds(),
+			P99us:   r.P99.Microseconds(),
+			Rows:    r.Rows,
+			Correct: r.Correct,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// e11JSON is the BENCH_E11.json document: the E8 comparison re-run under
+// the slot-enlistment coordinator, plus the force-batching stats.
+type e11JSON struct {
+	Experiment string         `json:"experiment"`
+	Seed       int64          `json:"seed"`
+	Txns       int            `json:"txns"`
+	Partitions int            `json:"partitions"`
+	Pipeline   int            `json:"pipeline"`
+	GapVsE8    string         `json:"note"`
+	Batching   bench.E11Stats `json:"force_batching"`
+	Rows       []e8JSONRow    `json:"results"`
+}
+
+func writeE11JSON(path string, seed int64, txns, parts, pipeline int, rows []bench.E8Row, stats bench.E11Stats) error {
+	doc := e11JSON{Experiment: "E11 pipelined batched multi-partition commit vs single-partition baseline",
+		Seed: seed, Txns: txns, Partitions: parts, Pipeline: pipeline,
+		GapVsE8:  "same workload and store config as E8; only the commit protocol changed",
+		Batching: stats}
 	for _, r := range rows {
 		doc.Rows = append(doc.Rows, e8JSONRow{
 			Mode:    r.Mode,

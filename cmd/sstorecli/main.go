@@ -61,6 +61,9 @@ func main() {
 		case strings.EqualFold(line, "dataflows"):
 			resp, err := c.Dataflows()
 			printResp(resp, err)
+		case strings.EqualFold(line, "stats"):
+			resp, err := c.Stats()
+			printResp(resp, err)
 		case strings.HasPrefix(strings.ToLower(line), "explain dataflow "):
 			text, err := c.ExplainDataflow(strings.TrimSpace(line[len("explain dataflow "):]))
 			if err != nil {

@@ -159,6 +159,12 @@ func (c *TCP) Rebalance(target int) (int, error) {
 	return int(resp.Rows[0][0].Int()), nil
 }
 
+// Stats fetches a metrics snapshot as metric/value rows (MP commit
+// concurrency, force-batch sizes, latency quantiles, ...).
+func (c *TCP) Stats() (*wire.Response, error) {
+	return c.roundTrip(&wire.Request{Kind: wire.MsgStats})
+}
+
 // Ping checks liveness.
 func (c *TCP) Ping() error {
 	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgPing})
@@ -262,6 +268,14 @@ func (c *Loopback) Rebalance(target int) (int, error) {
 		return 0, err
 	}
 	return c.St.NumPartitions(), nil
+}
+
+// Stats mirrors TCP.Stats over the in-process store.
+func (c *Loopback) Stats() (*wire.Response, error) {
+	c.charge()
+	res := c.St.StatsResult()
+	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
 }
 
 // Flush implements Conn.

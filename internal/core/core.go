@@ -91,6 +91,24 @@ type partition struct {
 	pe  *pe.Engine
 	met *metrics.Metrics // shared across partitions
 	log *wal.Log
+	// mpSlot is this partition's 2PC enlistment slot: a coordinator holds
+	// it from the partition's enlistment until the decision is delivered,
+	// and all-partition barriers (checkpoint, rebalance cutover) hold every
+	// slot. Coordinators acquire slots in ascending partition order (see
+	// txncoord.go for the ordering proof), so transactions over disjoint
+	// partition sets run concurrently where the old global mpMu serialized
+	// them store-wide.
+	mpSlot sync.Mutex
+	// pendPrep counts PREPARE forces appended to this partition's log since
+	// the commit daemon's last fsync; the daemon's OnSyncBatch callback
+	// drains it into the MPPrepareBatchSize histogram.
+	pendPrep atomic.Int64
+	// specTail is the most recent coordinated transaction that published
+	// its writes on this partition while its durability was still settling
+	// (pipelined 2PC — see mpOutcome in txncoord.go). Commits that follow
+	// it on this partition chain their client acks on it; nil once the
+	// outcome resolved.
+	specTail atomic.Pointer[mpOutcome]
 }
 
 // LogCommit implements pe.CommitLogger: serialize and append the record to
@@ -99,6 +117,9 @@ type partition struct {
 func (p *partition) LogCommit(rec *pe.LogRecord) error {
 	if p.log == nil {
 		return nil
+	}
+	if rec.Kind == pe.RecPrepare && p.log.GroupCommit() {
+		p.pendPrep.Add(1)
 	}
 	payload := wal.EncodeRecord(rec)
 	if _, err := p.log.Append(payload); err != nil {
@@ -114,8 +135,18 @@ func (p *partition) LogCommit(rec *pe.LogRecord) error {
 func (p *partition) AsyncCommit() bool { return p.log != nil && p.log.GroupCommit() }
 
 // LogCommitAsync appends the record to this partition's log segment and
-// returns the commit future the engine acknowledges the client on.
+// returns the commit future the engine acknowledges the client on. When a
+// pipelined coordinated transaction has published on this partition but is
+// not yet durable (specTail), an ordinary commit's future is chained on
+// that outcome too: this commit may have read the predecessor's state, so
+// its client must not be acknowledged before the predecessor is safe. The
+// 2PC protocol's own records (PREPARE votes, DECIDE markers) are exempt —
+// their ordering is the coordinator's business, and chaining a
+// transaction's marker on its own outcome would deadlock.
 func (p *partition) LogCommitAsync(rec *pe.LogRecord) (<-chan error, error) {
+	if rec.Kind == pe.RecPrepare && p.log.GroupCommit() {
+		p.pendPrep.Add(1)
+	}
 	payload := wal.EncodeRecord(rec)
 	_, ack, err := p.log.AppendAsync(payload)
 	if err != nil {
@@ -123,6 +154,27 @@ func (p *partition) LogCommitAsync(rec *pe.LogRecord) (<-chan error, error) {
 	}
 	p.met.LogRecords.Add(1)
 	p.met.LogBytes.Add(int64(len(payload) + 8))
+	if rec.Kind != pe.RecPrepare && rec.Kind != pe.RecDecide {
+		if tail := p.specTail.Load(); tail != nil {
+			select {
+			case <-tail.done:
+				if tail.err == nil {
+					return ack, nil // already settled cleanly: no chaining needed
+				}
+			default:
+			}
+			chained := make(chan error, 1)
+			go func() {
+				<-tail.done
+				err := <-ack
+				if tail.err != nil && err == nil {
+					err = fmt.Errorf("core: commit read state of an mp txn whose durability failed: %w", tail.err)
+				}
+				chained <- err
+			}()
+			return chained, nil
+		}
+	}
 	return ack, nil
 }
 
@@ -182,18 +234,30 @@ func (p *partition) recover(cfg *Config, decisions map[uint64]bool) (maxMP uint6
 	if lastLSN < meta.LastLSN {
 		lastLSN = meta.LastLSN // log truncated at the last checkpoint
 	}
-	p.log, err = wal.OpenLogOpts(logPath, lastLSN, wal.Options{
-		Policy:                 cfg.Sync,
-		GroupCommitInterval:    cfg.GroupCommitInterval,
-		GroupCommitMaxBatch:    cfg.GroupCommitMaxBatch,
-		GroupCommitMinInterval: cfg.GroupCommitMinInterval,
-		GroupCommitMaxInterval: cfg.GroupCommitMaxInterval,
-	})
+	p.log, err = wal.OpenLogOpts(logPath, lastLSN, p.logOptions(cfg))
 	if err != nil {
 		return 0, err
 	}
 	p.pe.SetLogger(p, mode)
 	return maxMP, nil
+}
+
+// logOptions builds this partition's WAL options from the store config,
+// wiring the commit daemon's sync-batch callback into the PREPARE
+// batch-size histogram.
+func (p *partition) logOptions(cfg *Config) wal.Options {
+	return wal.Options{
+		Policy:                 cfg.Sync,
+		GroupCommitInterval:    cfg.GroupCommitInterval,
+		GroupCommitMaxBatch:    cfg.GroupCommitMaxBatch,
+		GroupCommitMinInterval: cfg.GroupCommitMinInterval,
+		GroupCommitMaxInterval: cfg.GroupCommitMaxInterval,
+		OnSyncBatch: func(int) {
+			if n := p.pendPrep.Swap(0); n > 0 {
+				p.met.MPPrepareBatchSize().Observe(n)
+			}
+		},
+	}
 }
 
 // Store is one S-Store instance: a router over Config.Partitions
@@ -220,17 +284,15 @@ type Store struct {
 	routingMu sync.RWMutex
 	// rebalanceMu serializes Rebalance calls end to end.
 	rebalanceMu sync.Mutex
-	// exclMu serializes all-partition barriers: two interleaved barrier
-	// acquisitions over the same partition set would deadlock each other.
-	// The 2PC coordinator holds it too — a multi-partition transaction
-	// parked on some partitions while a checkpoint barrier holds the rest
-	// would deadlock the same way.
+	// exclMu serializes all-partition barriers against each other: two
+	// interleaved barrier acquisitions over the same partition set would
+	// deadlock each other. A barrier then acquires every partition's
+	// mpSlot (ascending) before parking the workers, so it also excludes
+	// the 2PC coordinators — which no longer take exclMu themselves: a
+	// coordinator holds only the slots of the partitions its legs touch.
+	// Lock order store-wide: routingMu < exclMu < mpSlots (ascending) <
+	// worker barriers < seqMu.
 	exclMu sync.Mutex
-	// mpMu serializes multi-partition transactions against each other.
-	// Always acquired after exclMu. (Fan-out reads no longer take it:
-	// they run against MVCC snapshots and coordinate with 2PC commits
-	// through seqMu alone.)
-	mpMu sync.RWMutex
 	// seqMu makes the cross-partition snapshot cut atomic against 2PC
 	// commit publication: querySelect pins one committed sequence per
 	// partition under the read side, and the coordinator publishes a
@@ -242,8 +304,20 @@ type Store struct {
 	// resolve after the lock is released).
 	seqMu sync.RWMutex
 	// nextMPTxnID numbers coordinated transactions; recovery restarts it
-	// above every id seen in any log segment.
-	nextMPTxnID uint64
+	// above every id seen in any log segment. Atomic: concurrent
+	// coordinators allocate ids lock-free.
+	nextMPTxnID atomic.Uint64
+	// mpAdmit bounds how many coordinators are in the slot-holding phase
+	// (enlist + fragments + deliver) at once. Without it a large client
+	// pipeline queues deeply on the enlistment slots, and because a
+	// coordinator blocks on its next slot while holding lower ones, queue
+	// depth feeds hold time and hold time feeds queue depth — a metastable
+	// convoy that collapses throughput. The token is released when the
+	// slots release, before the durability waits, so the bound never
+	// limits the pipelined commit tail. Lazily sized off the partition
+	// count at first use.
+	mpAdmit     chan struct{}
+	mpAdmitOnce sync.Once
 	// coordLog holds the 2PC decision records (durable stores only).
 	coordLog *wal.Log
 	// routeMu guards the router's reads of partition 0's catalog against
@@ -335,6 +409,60 @@ func (s *Store) PEAt(i int) *pe.Engine { return s.partList()[i].pe }
 
 // Metrics returns the engine's counter set (shared by all partitions).
 func (s *Store) Metrics() *metrics.Metrics { return s.met }
+
+// StatsResult renders a metrics snapshot as metric/value rows — the body of
+// the wire protocol's MsgStats and sstorecli's `stats` verb. Values are
+// strings so counters, gauges, batch means, and latency quantiles share one
+// column.
+func (s *Store) StatsResult() *pe.Result {
+	snap := s.met.Snapshot()
+	res := &pe.Result{Columns: []string{"metric", "value"}}
+	add := func(name, val string) {
+		res.Rows = append(res.Rows, types.Row{types.NewString(name), types.NewString(val)})
+	}
+	ci := func(name string, v int64) { add(name, strconv.FormatInt(v, 10)) }
+	cf := func(name string, v float64) { add(name, strconv.FormatFloat(v, 'f', 2, 64)) }
+	cd := func(name string, v time.Duration) { add(name, v.String()) }
+	ci("txn_committed", snap.TxnCommitted)
+	ci("txn_aborted", snap.TxnAborted)
+	ci("client_to_pe", snap.ClientToPE)
+	ci("pe_to_ee", snap.PEToEE)
+	ci("ee_internal", snap.EEInternal)
+	ci("tuples_ingested", snap.TuplesIngested)
+	ci("batches_border", snap.BatchesBorder)
+	ci("triggered_txns", snap.TriggeredTxns)
+	ci("window_slides", snap.WindowSlides)
+	ci("stream_gc_tuples", snap.StreamGCTuples)
+	ci("log_records", snap.LogRecords)
+	ci("log_bytes", snap.LogBytes)
+	ci("mp_txns", snap.MPTxns)
+	ci("mp_aborts", snap.MPAborts)
+	ci("mp_legs_committed", snap.MPLegsCommitted)
+	ci("mp_concurrent", snap.MPConcurrent)
+	ci("mp_read_only_legs", snap.MPReadOnlyLegs)
+	ci("mp_one_phase", snap.MPOnePhase)
+	ci("mp_prepare_batches", snap.MPPrepareBatches)
+	cf("mp_prepare_batch_mean", snap.MPPrepareBatchMean)
+	ci("mp_decide_batches", snap.MPDecideBatches)
+	cf("mp_decide_batch_mean", snap.MPDecideBatchMean)
+	ci("snapshot_reads", snap.SnapshotReads)
+	ci("worker_queries", snap.WorkerQueries)
+	ci("gc_runs", snap.GCRuns)
+	ci("gc_versions_reclaimed", snap.GCVersionsReclaimed)
+	ci("versions_retained", snap.VersionsRetained)
+	ci("rebalances", snap.Rebalances)
+	ci("slots_migrated", snap.SlotsMigrated)
+	ci("slot_rows_moved", snap.SlotRowsMoved)
+	ci("latency_count", snap.LatencyCount)
+	cd("latency_p50", snap.LatencyP50)
+	cd("latency_p99", snap.LatencyP99)
+	cd("latency_p9999", snap.LatencyP9999)
+	ci("cutover_pause_count", snap.CutoverPauseCount)
+	cd("cutover_pause_p50", snap.CutoverPauseP50)
+	cd("cutover_pause_p99", snap.CutoverPauseP99)
+	res.RowsAffected = len(res.Rows)
+	return res
+}
 
 // ExecScript runs a DDL script (CREATE TABLE / STREAM / WINDOW / INDEX) on
 // every partition replica. Like the single-partition engine, DDL belongs
@@ -470,6 +598,29 @@ func (s *Store) Recover() error {
 	if err != nil {
 		return fmt.Errorf("core: coordinator log scan: %w", err) // nothing replayed: retryable
 	}
+	// Pre-scan every partition log for participant DECIDE markers and merge
+	// them into the decision map before any partition replays. A one-phase
+	// transaction (exactly one writing leg) skips the coordinator force —
+	// its leg's decide marker, in the same segment as its PREPARE, is the
+	// commit record. For multi-leg transactions the marker is redundant but
+	// never wrong: a participant writes it only after the coordinator's
+	// decision was durably forced, so merging cannot resurrect an aborted
+	// leg anywhere in the store.
+	for _, p := range s.partList() {
+		logPath, _ := wal.PartitionPaths(s.cfg.Dir, p.idx)
+		if _, err := wal.ScanLog(logPath, func(_ uint64, payload []byte) error {
+			rec, err := wal.DecodeRecord(payload)
+			if err != nil {
+				return err
+			}
+			if rec.Kind == pe.RecDecide && rec.Commit {
+				decisions[rec.MPTxnID] = true
+			}
+			return nil
+		}); err != nil {
+			return fmt.Errorf("core: log pre-scan (partition %d): %w", p.idx, err) // nothing replayed: retryable
+		}
+	}
 	for _, p := range s.partList() {
 		p.pe.SetReplaySlotMoves(slotMoves, p.evictSlot)
 		pm, err := p.recover(&s.cfg, decisions)
@@ -481,15 +632,30 @@ func (s *Store) Recover() error {
 			maxMP = pm
 		}
 	}
-	// Decisions are forced one record at a time on the (serialized)
-	// coordinator; batching fsyncs across transactions that cannot overlap
-	// buys nothing, so the coordinator log runs SyncEveryRecord whenever
-	// the store fsyncs at all.
+	// The coordinator log gets its own small group-commit loop whenever the
+	// store batches fsyncs: concurrent coordinators (slot enlistment lets
+	// transactions over disjoint partition sets overlap) append their
+	// DECIDE forces and share one fsync per daemon tick. Under
+	// SyncEveryRecord the decision force stays a dedicated fsync, matching
+	// the partition logs' policy.
 	coordPolicy := wal.SyncEveryRecord
 	if s.cfg.Sync == wal.SyncNever {
 		coordPolicy = wal.SyncNever
 	}
-	s.coordLog, err = wal.OpenLog(coordPath, coordLSN, coordPolicy)
+	coordOpts := wal.Options{Policy: coordPolicy}
+	if s.cfg.Sync == wal.SyncGroupCommit {
+		coordOpts = wal.Options{
+			Policy:                 wal.SyncGroupCommit,
+			GroupCommitInterval:    s.cfg.GroupCommitInterval,
+			GroupCommitMaxBatch:    s.cfg.GroupCommitMaxBatch,
+			GroupCommitMinInterval: s.cfg.GroupCommitMinInterval,
+			GroupCommitMaxInterval: s.cfg.GroupCommitMaxInterval,
+			OnSyncBatch: func(n int) {
+				s.met.MPDecideBatchSize().Observe(int64(n))
+			},
+		}
+	}
+	s.coordLog, err = wal.OpenLogOpts(coordPath, coordLSN, coordOpts)
 	if err != nil {
 		s.recoverErr = err
 		return err
@@ -527,7 +693,7 @@ func (s *Store) Recover() error {
 		s.recoverErr = err
 		return err
 	}
-	s.nextMPTxnID = maxMP
+	s.nextMPTxnID.Store(maxMP)
 	s.recovered = true
 	return nil
 }
@@ -853,10 +1019,16 @@ func (s *Store) Checkpoint() error {
 		if err := wal.WriteSlots(wal.SlotsPath(s.cfg.Dir), s.slots.Load()); err != nil {
 			return err
 		}
-		// The snapshots cover every resolved transaction (the coordinator
-		// cannot be mid-2PC here: it holds exclMu for the whole protocol),
-		// so the decision records are dead weight once the partition logs
-		// are truncated.
+		// The snapshots cover every delivered transaction: the barrier
+		// holds every partition's enlistment slot, and a coordinator
+		// releases its slots only after delivery, so anything still
+		// mid-protocol here has not applied (its in-doubt PREPAREs died
+		// with the partition-log truncation above). A committed
+		// transaction whose decision force is still in flight is already
+		// in the snapshots; its straggler decision append racing this
+		// truncation is harmless on either side of it (the record is dead
+		// weight once the partition logs are empty). Truncate drains the
+		// coordinator log's own group-commit pipeline first.
 		if s.coordLog != nil {
 			if err := s.coordLog.Truncate(); err != nil {
 				return err

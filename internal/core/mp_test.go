@@ -282,7 +282,8 @@ func TestMPRaceHammer(t *testing.T) {
 			}
 		}(w)
 	}
-	// Checkpoint barriers interleaved with the coordinator's exclMu holds.
+	// Checkpoint barriers (all-slot holds) interleaved with the
+	// coordinators' per-partition slot enlistments.
 	wg.Add(1)
 	go func() {
 		defer wg.Done()

@@ -114,13 +114,15 @@ func (s *Store) Rebalance(target int) error {
 }
 
 // addPartitions builds, seeds, starts, and publishes partitions
-// len(partList())..target-1. exclMu is held across the whole step:
-// replicated tables are only written by coordinated transactions and
-// checkpoints (both need exclMu), so partition 0's copies are stable while
-// they are cloned onto the newcomers. deployMu keeps concurrent Deploy /
-// Pause / Resume from fanning out over a list about to be extended.
-// Runtime ExecScript racing this step is not supported (DDL belongs before
-// Start).
+// len(partList())..target-1. exclMu is held across the whole step (one
+// barrier-class operation at a time), and the seeding pass additionally
+// holds every existing partition's 2PC enlistment slot: replicated tables
+// are only written by coordinated transactions, so with all slots held no
+// coordinator is mid-protocol and partition 0's copies are stable (and
+// contain no uncommitted leg writes) while they are cloned onto the
+// newcomers. deployMu keeps concurrent Deploy / Pause / Resume from
+// fanning out over a list about to be extended. Runtime ExecScript racing
+// this step is not supported (DDL belongs before Start).
 func (s *Store) addPartitions(target int) error {
 	s.deployMu.Lock()
 	defer s.deployMu.Unlock()
@@ -190,39 +192,46 @@ func (s *Store) addPartitions(target int) error {
 	// Seed replicated tables through the same durable prepared-leg +
 	// decision records recovery's repair pass writes, applied via Replay
 	// while the new engine is still stopped — a crash right after this
-	// recovers the copy from the logs instead of re-detecting it.
-	src := replicatedTables(parts[0].cat)
-	for _, np := range added {
-		var ops []pe.LoggedOp
-		for _, rel := range src {
-			if rel.Table.Count() == 0 {
+	// recovers the copy from the logs instead of re-detecting it. All
+	// existing enlistment slots are held across the scan so no coordinated
+	// transaction is mid-protocol (replicated tables are written only by
+	// coordinated transactions; see the doc comment above).
+	if err := func() error {
+		acquireAllSlots(parts)
+		defer releaseAllSlots(parts)
+		src := replicatedTables(parts[0].cat)
+		for _, np := range added {
+			var ops []pe.LoggedOp
+			for _, rel := range src {
+				if rel.Table.Count() == 0 {
+					continue
+				}
+				ops = append(ops, pe.LoggedOp{Table: rel.Name, Rows: rel.Table.ScanRows()})
+			}
+			if len(ops) == 0 {
 				continue
 			}
-			ops = append(ops, pe.LoggedOp{Table: rel.Name, Rows: rel.Table.ScanRows()})
-		}
-		if len(ops) == 0 {
-			continue
-		}
-		s.mpMu.Lock()
-		s.nextMPTxnID++
-		id := s.nextMPTxnID
-		s.mpMu.Unlock()
-		rec := &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: id, Ops: ops}
-		if err := np.LogCommit(rec); err != nil {
-			return err
-		}
-		if err := np.SyncCommits(); err != nil {
-			return err
-		}
-		if s.coordLog != nil {
-			if err := s.appendDecision(id); err != nil {
+			id := s.nextMPTxnID.Add(1)
+			rec := &pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: id, Ops: ops}
+			if err := np.LogCommit(rec); err != nil {
 				return err
 			}
+			if err := np.SyncCommits(); err != nil {
+				return err
+			}
+			if s.coordLog != nil {
+				if err := s.appendDecision(id); err != nil {
+					return err
+				}
+			}
+			np.pe.SetReplayDecisions(map[uint64]bool{id: true})
+			if err := np.pe.Replay(rec); err != nil {
+				return fmt.Errorf("core: rebalance: seeding partition %d: %w", np.idx, err)
+			}
 		}
-		np.pe.SetReplayDecisions(map[uint64]bool{id: true})
-		if err := np.pe.Replay(rec); err != nil {
-			return fmt.Errorf("core: rebalance: seeding partition %d: %w", np.idx, err)
-		}
+		return nil
+	}(); err != nil {
+		return err
 	}
 
 	for _, np := range added {
@@ -294,10 +303,7 @@ func (s *Store) migrateSlot(slot, from, to int) error {
 	src, dst := parts[from], parts[to]
 	rels := migratedTables(src.cat)
 
-	s.mpMu.Lock()
-	s.nextMPTxnID++
-	id := s.nextMPTxnID
-	s.mpMu.Unlock()
+	id := s.nextMPTxnID.Add(1)
 
 	if s.coordLog != nil {
 		if err := s.appendSlotRecord(pe.RecSlotBegin, slot, from, to, id); err != nil {

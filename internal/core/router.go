@@ -159,7 +159,10 @@ func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) 
 	if len(s.partList()) == 1 {
 		return s.partList()[0].pe.Exec(sqlText, params...)
 	}
-	stmt, err := sql.Parse(sqlText)
+	// ParseCached shares ASTs between calls; the fan-out planner below is
+	// read-only over the tree (it value-copies the Select before rewriting
+	// a leg), so sharing is safe.
+	stmt, err := sql.ParseCached(sqlText)
 	if err != nil {
 		return nil, err
 	}
@@ -463,7 +466,7 @@ func (s *Store) Query(sqlText string, params ...types.Value) (*pe.Result, error)
 	if len(s.partList()) == 1 {
 		return s.queryPart0(sqlText, params)
 	}
-	stmt, err := sql.Parse(sqlText)
+	stmt, err := sql.ParseCached(sqlText) // shared AST: treated read-only here
 	if err != nil {
 		return nil, err
 	}
@@ -1280,6 +1283,15 @@ func (s *Store) runExclusiveAll(fn func() error) error {
 	s.exclMu.Lock()
 	defer s.exclMu.Unlock()
 	parts := s.partList()
+	// Every 2PC enlistment slot is acquired (ascending) BEFORE any worker
+	// is parked: a coordinator mid-protocol holds slots and needs its
+	// enlisted workers to make progress, so parking workers first could
+	// deadlock against it. With all slots held, no coordinator is
+	// mid-protocol and none can start until the barrier releases.
+	// Coordinators never block on a slot below one they hold (txncoord.go),
+	// so this ascending sweep cannot deadlock against them either.
+	acquireAllSlots(parts)
+	defer releaseAllSlots(parts)
 	n := len(parts)
 	if n == 1 {
 		return parts[0].pe.RunExclusive(fn)

@@ -3,6 +3,7 @@ package core
 import (
 	"errors"
 	"fmt"
+	"sort"
 	"sync"
 
 	"repro/internal/pe"
@@ -17,56 +18,262 @@ import (
 // partitions executes as ONE atomic transaction instead of being rejected
 // by the router.
 //
-// Protocol and locking:
+// Concurrency: slot enlistment. Each partition carries one 2PC enlistment
+// slot (partition.mpSlot); a coordinator acquires the slots of exactly the
+// partitions its legs touch and holds each from enlistment until the
+// decision is delivered. Transactions over disjoint partition sets
+// therefore run fully concurrently; only transactions whose sets overlap
+// serialize, and only on the shared partitions. All-partition barriers
+// (checkpoint, rebalance cutover) acquire every slot, so "no coordinator
+// is mid-protocol" still holds at a barrier.
 //
-//   - Multi-partition transactions are serialized store-wide (mpMu, held
-//     exclusively) and mutually excluded with all-partition barriers such
-//     as Checkpoint (exclMu) — two transactions enlisting partitions in
-//     different orders, or a transaction racing a checkpoint's barrier,
-//     would otherwise deadlock the serial workers. Single-partition work
-//     keeps flowing on partitions the transaction has not enlisted.
-//   - Fan-out reads never take mpMu: they pin per-partition MVCC snapshot
-//     sequences under seqMu, whose exclusive side covers only the commit
-//     delivery below — that window is what makes an ad-hoc distributed
-//     query see a coordinated transaction entirely or not at all
-//     (all-or-nothing visibility) while running concurrently with the
-//     rest of the protocol. Single-partition requests are serialized per
-//     partition by the worker itself.
-//   - Fragment phase: the handler executes reads and writes on any
-//     partition through MPTxn; the first fragment to touch a partition
-//     enlists it, parking that partition's worker on the barrier until the
-//     decision.
-//   - Prepare phase: every enlisted partition forces a PREPARE record
-//     (its leg's re-executable writes) and votes. Any fragment error, vote
-//     error, or handler error aborts every leg.
-//   - Decision: the coordinator forces a DECIDE record to the coordinator
-//     log (coord.log) — the classic 2PC commit point — then delivers the
-//     decision to every leg and waits for the legs' acknowledgements,
-//     which resolve through the group-commit pipeline.
+// Deadlock freedom (the lock-ordering argument):
+//
+//   - A coordinator BLOCKS on a slot only when that slot's index is
+//     greater than every slot it already holds — acquisition is ascending.
+//   - A slot needed out of order (index below one already held) is taken
+//     with TryLock only. On failure the attempt aborts its legs, releases
+//     everything, and retries with the accumulated partition set
+//     pre-acquired in ascending order (after a few failed attempts it
+//     pre-acquires every slot, which trivially succeeds and cannot
+//     livelock).
+//   - Barriers hold exclMu (one barrier at a time) and acquire ALL slots
+//     ascending before parking any worker.
+//
+//   Every blocking slot wait is therefore by a goroutine whose held slots
+//   are all smaller than the one it waits for. A waits-for cycle would
+//   need some participant waiting on a slot smaller than one it holds —
+//   impossible. Slot holders always make progress: fragment execution and
+//   prepare/decide rendezvous complete because each enlisted worker is
+//   dedicated to the transaction, and the group-commit daemons resolve
+//   force futures independently of any coordination lock.
+//
+// Pipelined 2PC: no fsync is ever awaited while a slot is held. The
+// protocol runs in two stretches —
+//
+//   - Under the slots (the serial part): the handler executes fragments
+//     through the parked workers; prepareAll collects votes as pure
+//     rendezvous (each writing leg hands its logged ops back, forcing
+//     nothing); the coordinator appends the PREPARE records to the
+//     participant logs (append, not fsync), installs the transaction's
+//     durability future (mpOutcome) on those partitions, delivers the
+//     commit to memory under seqMu, and releases the slots.
+//   - Off the slots (the pipelined part): the coordinator waits for the
+//     vote appends to become durable, then settles the decision — one
+//     writing leg: the leg's own DECIDE marker is the commit record
+//     (one-phase commit, no coordinator force); two or more: a decision
+//     record in coord.log first, then redundant markers in each
+//     participant log — and finally resolves the outcome and acks the
+//     client.
+//
+// Successive transactions on the same partitions therefore overlap their
+// durability waits: the next coordinator enlists, executes, and appends
+// its own votes while the previous one is still waiting on the disk, so
+// PREPARE/DECIDE/commit records pool in the group-commit daemons' ticks
+// and share fsyncs (the force batching E11 measures). Nothing kicks the
+// daemons early — an immediate per-record sync would shrink batches to
+// one record; the tick interval bounds the added ack latency. The
+// read-only optimization removes two forces outright: a leg that wrote
+// nothing votes yes and releases its worker at PREPARE (no PREPARE
+// record, no marker).
+//
+// The client ack is gated on the full chain — votes durable, decision
+// durable, markers durable, and every predecessor outcome this
+// transaction may have read resolved (see mpOutcome) — so pipelining
+// never acknowledges state that could vanish in a crash; un-acked
+// transactions recover by presumed abort.
+//
+// Admission control (Store.mpAdmit) caps how many coordinators occupy
+// the slot-holding stretch at once. Unbounded admission is metastable:
+// past a knee, queue depth feeds hold time (every enlistment waits
+// behind deeper slot queues) and throughput collapses to a stable bad
+// equilibrium. The cap — one token per partition, covering only the
+// slot stretch, never the durability tail — keeps slot queues shallow
+// while leaving the pipeline depth unbounded.
+//
+// Commit publication and fan-out reads: fan-out reads never take slots —
+// they pin per-partition MVCC snapshot sequences under seqMu, whose
+// exclusive side covers only the commit delivery window, so a distributed
+// read sees a coordinated transaction entirely or not at all while running
+// concurrently with the rest of the protocol.
 //
 // Recovery (core.go) scans coord.log first: a logged PREPARE whose
-// transaction id has a durable commit decision is re-applied; one without
-// is presumed aborted and dropped.
+// transaction id has a durable commit decision (coordinator record, or the
+// partition's own decide marker for one-phase commits) is re-applied; one
+// without is presumed aborted and dropped.
+
+// errMPRetry is the internal sentinel a slot-order violation raises: the
+// attempt must abort and rerun with the needed slots pre-acquired. It
+// poisons the transaction, so it surfaces even through handlers that
+// swallow fragment errors.
+var errMPRetry = errors.New("core: mp slot order retry")
+
+// mpMaxTryAttempts bounds optimistic retries before the coordinator gives
+// up on partial acquisition and pre-acquires every slot (which always
+// succeeds — ascending blocking acquisition cannot deadlock and is not
+// subject to TryLock failure).
+const mpMaxTryAttempts = 3
+
+// mpOutcome is a committed multi-partition transaction's durability future.
+// It is installed on every partition the transaction wrote (replacing, and
+// chaining to, the previous occupant) before the commit is delivered to
+// memory and the slots release. Anything that subsequently commits on one
+// of those partitions — a successor coordinated transaction or an ordinary
+// single-partition write — may have read this transaction's published but
+// not-yet-durable state, so its own client acknowledgement must wait for
+// this outcome too (resolved err == nil) or fail loudly (err != nil: the
+// store's logs are poisoned and the observed state may not survive a
+// restart). This is the speculation chain that lets the slots release
+// before the PREPARE forces resolve: pipelined 2PC with acknowledgement
+// dependencies instead of slot-held fsyncs.
+type mpOutcome struct {
+	done  chan struct{} // closed once err is final
+	err   error
+	preds []*mpOutcome // unresolved predecessors captured at install
+}
+
+// installOutcome publishes tx's durability future on every partition that
+// got a PREPARE record. Must run before deliverAll(true) — the workers are
+// still parked, so nothing can commit against the published state and miss
+// the dependency.
+func (tx *MPTxn) installOutcome() {
+	o := &mpOutcome{done: make(chan struct{})}
+	for _, i := range tx.prepParts {
+		if prev := tx.parts[i].specTail.Swap(o); prev != nil {
+			select {
+			case <-prev.done:
+				if prev.err != nil {
+					o.preds = append(o.preds, prev)
+				}
+			default:
+				o.preds = append(o.preds, prev)
+			}
+		}
+	}
+	tx.outcome = o
+}
+
+// resolveOutcome finalizes tx's durability future: it waits for every
+// captured predecessor (transitively ordering the speculation chain), folds
+// their failures into err, resolves the future, and clears the partitions'
+// tails when still pointing here. Returns the final error the client sees.
+func (tx *MPTxn) resolveOutcome(err error) error {
+	o := tx.outcome
+	for _, p := range o.preds {
+		<-p.done
+		if p.err != nil && err == nil {
+			err = fmt.Errorf("core: mp txn read state of a predecessor whose durability failed: %w", p.err)
+		}
+	}
+	o.err = err
+	close(o.done)
+	for _, i := range tx.prepParts {
+		tx.parts[i].specTail.CompareAndSwap(o, nil)
+	}
+	return err
+}
+
+// appendPrepares appends every writing leg's PREPARE record (the ops each
+// vote handed back) to its partition's log and kicks the log's daemon. The
+// appends are not yet durable — the returned futures in voteAcks resolve
+// when they are, and waitVotes collects them after the slots release.
+// Append order is safe: each leg's worker is still parked, so nothing else
+// can put a later record into that partition's log first.
+func (tx *MPTxn) appendPrepares() error {
+	for i, sess := range tx.sess {
+		if sess == nil {
+			continue
+		}
+		ops := sess.LoggedOps()
+		if len(ops) == 0 {
+			continue
+		}
+		p := tx.parts[i]
+		if p.log == nil {
+			continue
+		}
+		ack, err := p.LogCommitAsync(&pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: tx.id, Ops: ops})
+		if err != nil {
+			return fmt.Errorf("core: mp prepare append (partition %d): %w", i, err)
+		}
+		tx.prepParts = append(tx.prepParts, i)
+		tx.voteAcks = append(tx.voteAcks, ack)
+	}
+	return nil
+}
+
+// waitVotes blocks until every PREPARE record appended by appendPrepares
+// is durable — the classic 2PC forced-vote wait, except the enlistment
+// slots were already released: successors execute (and append their own
+// votes, which batch into the same daemon fsyncs) while this transaction
+// waits only for the disk.
+func (tx *MPTxn) waitVotes() error {
+	var errs []error
+	for k, ack := range tx.voteAcks {
+		if err := <-ack; err != nil {
+			errs = append(errs, fmt.Errorf("core: mp prepare force (partition %d): %w", tx.prepParts[k], err))
+		}
+	}
+	return errors.Join(errs...)
+}
+
+// appendMarkers appends the commit DECIDE marker to every prepared leg's
+// partition log and waits for durability. For a one-phase transaction the
+// single marker is the commit record itself; for multi-leg transactions
+// the markers are appended only after the coordinator's decision record is
+// durable, so a surviving marker always witnesses a decided commit (the
+// recovery pre-scan relies on that). The markers ride the partition
+// daemons' batches alongside successor transactions' votes and commits.
+func (tx *MPTxn) appendMarkers() error {
+	acks := make([]<-chan error, 0, len(tx.prepParts))
+	var errs []error
+	for _, i := range tx.prepParts {
+		p := tx.parts[i]
+		ack, err := p.LogCommitAsync(&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: tx.id, Commit: true})
+		if err != nil {
+			errs = append(errs, fmt.Errorf("core: mp decide marker append (partition %d): %w", i, err))
+			continue
+		}
+		acks = append(acks, ack)
+	}
+	for _, ack := range acks {
+		if err := <-ack; err != nil {
+			errs = append(errs, err)
+		}
+	}
+	return errors.Join(errs...)
+}
 
 // MPTxn is the handle a coordinated transaction's handler works through.
 // Methods route fragments to partition legs; they may be called from the
 // handler goroutine or — for QueryAll — internal fan-out helpers, and are
 // safe for that concurrent use. Do not call Store query/exec methods from
-// inside the handler (the coordinator holds the store's coordination
-// locks); use the MPTxn methods instead.
+// inside the handler (the coordinator holds the enlisted partitions'
+// slots); use the MPTxn methods instead.
 type MPTxn struct {
 	s      *Store
 	id     uint64
 	logged bool
-	// parts is the partition list captured under exclMu — stable for the
-	// transaction's lifetime (a rebalance's cutover barrier cannot run
-	// while the coordinator holds exclMu).
+	// parts is the partition list captured at start — stable for the
+	// transaction's lifetime (the caller holds routingMu's read side, so a
+	// rebalance cutover cannot swap the list mid-transaction).
 	parts []*partition
 
-	mu    sync.Mutex
-	sess  []*pe.MPSession
-	wrote bool
-	err   error // sticky: poisons the transaction, forcing abort
+	// prepParts/voteAcks track the writing legs whose PREPARE records were
+	// appended (futures resolve when the votes are durable); outcome is the
+	// transaction's durability future installed on those partitions for
+	// successor-ack chaining. Coordinator-goroutine-only, set post-handler.
+	prepParts []int
+	voteAcks  []<-chan error
+	outcome   *mpOutcome
+
+	mu        sync.Mutex
+	sess      []*pe.MPSession
+	held      []bool // slot i is acquired
+	requested []bool // slot i was needed at least once (retry pre-set)
+	maxHeld   int    // highest held slot index (-1 when none)
+	wrote     bool
+	err       error // sticky: poisons the transaction, forcing abort
 }
 
 // NumPartitions returns the store's partition count.
@@ -76,8 +283,12 @@ func (tx *MPTxn) NumPartitions() int { return len(tx.parts) }
 // slot table, which is likewise stable while the transaction runs.
 func (tx *MPTxn) PartitionFor(v types.Value) int { return tx.s.slots.Load().Partition(v) }
 
-// session lazily enlists partition part, parking its worker on the 2PC
-// barrier.
+// session lazily acquires partition part's enlistment slot and enlists the
+// partition, parking its worker on the 2PC barrier. Slots already held
+// (pre-acquired on a retry) enlist directly. An in-order slot (above every
+// held one) is acquired blocking; an out-of-order slot is TryLock-only —
+// failure poisons the transaction with errMPRetry and the coordinator
+// reruns the handler with the needed set pre-acquired.
 func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
 	if part < 0 || part >= len(tx.parts) {
 		return nil, fmt.Errorf("core: mp txn: no partition %d", part)
@@ -90,6 +301,19 @@ func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
 	if tx.sess[part] != nil {
 		return tx.sess[part], nil
 	}
+	tx.requested[part] = true
+	if !tx.held[part] {
+		if part > tx.maxHeld {
+			tx.parts[part].mpSlot.Lock()
+		} else if !tx.parts[part].mpSlot.TryLock() {
+			tx.err = errMPRetry
+			return nil, errMPRetry
+		}
+		tx.held[part] = true
+		if part > tx.maxHeld {
+			tx.maxHeld = part
+		}
+	}
 	sess, err := tx.parts[part].pe.EnlistMP(tx.id, tx.logged)
 	if err != nil {
 		tx.err = err
@@ -97,6 +321,120 @@ func (tx *MPTxn) session(part int) (*pe.MPSession, error) {
 	}
 	tx.sess[part] = sess
 	return sess, nil
+}
+
+// Enlist pre-declares the transaction's partition set, acquiring every
+// slot before any fragment runs. A handler that knows its access set up
+// front — the common case; H-Store-style procedures declare their
+// partitions — should call it: lazy per-fragment acquisition blocks on a
+// slot while holding others, and under load that hold-and-wait couples
+// queue depth to hold time, a metastable convoy.
+//
+// Enlist avoids hold-and-wait entirely when the transaction holds nothing
+// yet: each round blocks on exactly one contended slot while holding no
+// others (which can never join a deadlock cycle), then claims the rest
+// with TryLock; any failure releases the round and blocks on the slot
+// that refused. With slots pre-held (a coordinator retry), a blocking
+// acquire is legal only above them (the ascending-order rule), so a
+// contended lower slot falls back to the errMPRetry protocol instead.
+// Partitions already enlisted are skipped, so Enlist composes with lazy
+// sessions on the same transaction.
+func (tx *MPTxn) Enlist(parts ...int) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	if tx.err != nil {
+		return tx.err
+	}
+	sorted := append([]int(nil), parts...)
+	sort.Ints(sorted)
+	want := sorted[:0]
+	for i, p := range sorted {
+		if p < 0 || p >= len(tx.parts) {
+			return fmt.Errorf("core: mp txn: no partition %d", p)
+		}
+		tx.requested[p] = true
+		if !tx.held[p] && (i == 0 || sorted[i-1] != p) {
+			want = append(want, p)
+		}
+	}
+	first := 0
+	for len(want) > 0 {
+		got := want[:0:0]
+		release := func() {
+			for _, p := range got {
+				tx.parts[p].mpSlot.Unlock()
+			}
+		}
+		b := want[first]
+		if b > tx.maxHeld {
+			tx.parts[b].mpSlot.Lock()
+		} else if !tx.parts[b].mpSlot.TryLock() {
+			tx.err = errMPRetry
+			return errMPRetry
+		}
+		got = append(got, b)
+		retry := -1
+		for _, p := range want {
+			if p == b {
+				continue
+			}
+			if !tx.parts[p].mpSlot.TryLock() {
+				retry = p
+				break
+			}
+			got = append(got, p)
+		}
+		if retry >= 0 {
+			release()
+			if tx.maxHeld >= 0 {
+				// Slots are pre-held below the contended one: blocking
+				// here could deadlock, so fall back to the coordinator's
+				// rerun-with-preacquired protocol.
+				tx.err = errMPRetry
+				return errMPRetry
+			}
+			for i, p := range want {
+				if p == retry {
+					first = i
+					break
+				}
+			}
+			continue
+		}
+		for _, p := range got {
+			tx.held[p] = true
+			if p > tx.maxHeld {
+				tx.maxHeld = p
+			}
+		}
+		break
+	}
+	for _, p := range sorted {
+		if tx.sess[p] != nil {
+			continue
+		}
+		sess, err := tx.parts[p].pe.EnlistMP(tx.id, tx.logged)
+		if err != nil {
+			tx.err = err
+			return err
+		}
+		tx.sess[p] = sess
+	}
+	return nil
+}
+
+// releaseSlots unlocks every held slot (idempotent; order is irrelevant
+// for release).
+func (tx *MPTxn) releaseSlots() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
+	for i, h := range tx.held {
+		if h {
+			tx.parts[i].mpSlot.Unlock()
+			tx.held[i] = false
+		}
+	}
+	tx.maxHeld = -1
 }
 
 // poison records a write-fragment failure. A failed write may have been
@@ -224,69 +562,199 @@ func (tx *MPTxn) QueryAll(sqlText string, params ...types.Value) ([]*pe.Result, 
 
 // MultiPartitionTxn runs fn as one atomic cross-partition transaction:
 // every write either commits on all partitions it touched or on none, the
-// enlisted partitions' serial slots are held for the duration (no other
-// execution interleaves), and on a durable store the writes are command-
-// logged through 2PC PREPARE/DECIDE records so recovery resolves them
-// atomically too. Returning an error from fn — or any failed write
-// fragment — aborts every leg.
+// enlisted partitions' serial slots are held from enlistment until the
+// decision (no other execution interleaves), and on a durable store the
+// writes are command-logged through 2PC PREPARE/DECIDE records so recovery
+// resolves them atomically too. Returning an error from fn — or any failed
+// write fragment — aborts every leg.
 //
-// Multi-partition transactions serialize store-wide; use them for the
-// cross-partition slice of a workload and keep the per-partition fast
-// path for everything else. Call only from client goroutines — never from
-// inside a stored-procedure handler (the handler's own partition worker
-// would be enlisted while it is busy running the handler, a
-// self-deadlock).
+// Transactions over disjoint partition sets run concurrently; overlapping
+// sets serialize on the shared partitions only. The per-partition fast
+// path stays preferable for single-partition work. Call only from client
+// goroutines — never from inside a stored-procedure handler (the handler's
+// own partition worker would be enlisted while it is busy running the
+// handler, a self-deadlock).
 func (s *Store) MultiPartitionTxn(fn func(tx *MPTxn) error) error {
+	// The routing fence pins the slot table and partition list for the
+	// transaction's lifetime: a migration cutover (write side) waits until
+	// no coordinator is mid-protocol. Internal callers (coordinated router
+	// writes) already hold the read side and call runMP directly.
+	s.routingMu.RLock()
+	defer s.routingMu.RUnlock()
 	return s.runMP(true, fn)
 }
 
 // runMP is the coordinator. logged selects command logging for the legs
 // (ad-hoc router writes pass false: single-partition ad-hoc Exec is not
 // logged either, and the in-memory atomicity guarantees are identical).
+// Callers must hold routingMu's read side.
+//
+// Each attempt acquires slots optimistically as fragments route; a slot-
+// order violation (errMPRetry) aborts the attempt's legs and reruns fn
+// with every partition requested so far pre-acquired in ascending order.
+// Handlers are re-executable by the same determinism argument command
+// logging already relies on. After mpMaxTryAttempts the coordinator
+// pre-acquires all slots, which cannot fail.
 func (s *Store) runMP(logged bool, fn func(tx *MPTxn) error) error {
-	// exclMu: mutual exclusion with all-partition barriers (Checkpoint);
-	// mpMu: serialization with other MP transactions and fan-out readers.
-	s.exclMu.Lock()
-	defer s.exclMu.Unlock()
-	s.mpMu.Lock()
-	defer s.mpMu.Unlock()
-	s.nextMPTxnID++
+	s.met.MPConcurrent.Add(1)
+	defer s.met.MPConcurrent.Add(-1)
 	parts := s.partList()
-	tx := &MPTxn{s: s, id: s.nextMPTxnID, logged: logged, parts: parts, sess: make([]*pe.MPSession, len(parts))}
+	// Admission: bound the coordinators competing for enlistment slots
+	// (see mpAdmit). The token covers the slot-holding phase only —
+	// attemptMP hands it back as soon as the slots release, so the
+	// durability tail pipelines without consuming a token.
+	s.mpAdmitOnce.Do(func() {
+		s.mpAdmit = make(chan struct{}, len(parts))
+	})
+	s.mpAdmit <- struct{}{}
+	admitDone := sync.OnceFunc(func() { <-s.mpAdmit })
+	defer admitDone()
+	need := make([]bool, len(parts))
+	for attempt := 0; ; attempt++ {
+		if attempt == mpMaxTryAttempts {
+			for i := range need {
+				need[i] = true
+			}
+		}
+		err, retry := s.attemptMP(logged, fn, parts, need, admitDone)
+		if !retry {
+			return err
+		}
+	}
+}
+
+// attemptMP runs one optimistic attempt of a coordinated transaction,
+// pre-acquiring the slots marked in need (ascending). retry reports a
+// slot-order violation; the caller reruns with need extended by every
+// partition this attempt requested.
+func (s *Store) attemptMP(logged bool, fn func(tx *MPTxn) error, parts []*partition, need []bool, admitDone func()) (err error, retry bool) {
+	tx := &MPTxn{
+		s:         s,
+		id:        s.nextMPTxnID.Add(1),
+		logged:    logged,
+		parts:     parts,
+		sess:      make([]*pe.MPSession, len(parts)),
+		held:      make([]bool, len(parts)),
+		requested: make([]bool, len(parts)),
+		maxHeld:   -1,
+	}
+	defer tx.releaseSlots() // no-op on the paths that released already
+	for i, n := range need {
+		if n {
+			parts[i].mpSlot.Lock()
+			tx.held[i] = true
+			tx.maxHeld = i
+		}
+	}
 
 	ferr := runMPHandler(fn, tx)
 	tx.mu.Lock()
 	if ferr == nil {
 		ferr = tx.err // a poisoned transaction aborts even if fn returned nil
 	}
+	if errors.Is(tx.err, errMPRetry) {
+		// Slot-order violation: roll the attempt back and rerun with the
+		// accumulated need-set pre-acquired. Not counted as an abort — the
+		// transaction has not failed, it is being re-ordered.
+		for i, r := range tx.requested {
+			if r {
+				need[i] = true
+			}
+		}
+		tx.mu.Unlock()
+		tx.finishAll(false)
+		return nil, true
+	}
 	tx.mu.Unlock()
 	if ferr == nil {
 		ferr = tx.prepareAll()
 	}
-	if ferr == nil && tx.logged && tx.wrote && s.coordLog != nil {
-		// The commit point: the decision record is forced before any leg
-		// applies. A failed force aborts — nothing has committed yet.
-		if err := s.appendDecision(tx.id); err != nil {
-			ferr = fmt.Errorf("core: mp decision log: %w", err)
-		}
-	}
 	if ferr != nil {
-		tx.finishAll(false)
+		tx.deliverAll(false)
+		tx.releaseSlots()
+		tx.resolveAll()
 		s.met.MPAborts.Add(1)
-		return ferr
+		return ferr, false
 	}
 	s.met.MPTxns.Add(1)
+	// Every vote is in: the transaction commits. The votes' PREPARE
+	// records are appended now — an append failure is still a clean
+	// abort, nothing has been delivered — but their fsyncs are NOT
+	// waited for under the slots. That wait moves below, after release:
+	// pipelined 2PC.
+	if err := tx.appendPrepares(); err != nil {
+		tx.deliverAll(false)
+		tx.releaseSlots()
+		tx.resolveAll()
+		s.met.MPAborts.Add(1)
+		return err, false
+	}
+	// The durability future goes up on the written partitions before any
+	// of this transaction's state becomes visible: everything that
+	// subsequently commits on those partitions chains its own client ack
+	// on this outcome (see mpOutcome). Install while the workers are
+	// still parked so no commit can slip between publication and the
+	// dependency becoming observable.
+	if len(tx.prepParts) > 0 {
+		tx.installOutcome()
+	}
 	// Commit publication window: every leg publishes its partition's
 	// commit sequence during delivery, and holding seqMu exclusively
 	// keeps a fan-out reader's snapshot vector from cutting between two
 	// legs' publications (all-or-nothing visibility). The lock covers
-	// only the in-memory window — the legs' durability acks (a group-
-	// commit fsync on durable stores) resolve after it is released, so
-	// snapshot readers are never parked behind the disk.
+	// only the in-memory window — durability resolves after it is
+	// released, so snapshot readers are never parked behind the disk.
 	s.seqMu.Lock()
 	derr := tx.deliverAll(true)
 	s.seqMu.Unlock()
-	return errors.Join(derr, tx.resolveAll())
+	// Slots release before every durability wait: the partitions'
+	// in-memory state is committed and their workers are free, so the
+	// next coordinator enlists, executes, and appends its own votes —
+	// which batch into the same daemon fsyncs this transaction is about
+	// to wait on — while this coordinator settles durability off-slot.
+	// Crash safety rests on two rules. First, the client is acknowledged
+	// only after the full chain below resolves (votes durable, decision
+	// durable, markers durable, predecessor outcomes resolved), so an
+	// acked transaction always recovers committed. Second, anything that
+	// committed against this transaction's published-but-undurable state
+	// had its ack chained on this outcome, so the crash window exposes
+	// no acknowledged dependent either. Un-acked transactions recover by
+	// presumed abort: no decision record and no marker means aborted.
+	tx.releaseSlots()
+	admitDone()
+	var derr2 error
+	if verr := tx.waitVotes(); verr != nil {
+		// The legs already applied and published; a failed vote force
+		// cannot abort them. The log is poisoned — surface it loudly
+		// (this client and every chained successor fails rather than
+		// being acknowledged against maybe-lost state).
+		derr2 = fmt.Errorf("core: mp prepare force (legs committed, log poisoned): %w", verr)
+	} else if len(tx.prepParts) > 0 {
+		if len(tx.prepParts) == 1 {
+			// One-phase commit: the single writing leg's DECIDE marker
+			// (appended after its vote is durable, in the same log) is
+			// the commit record; recovery finds it in the partition
+			// log's pre-scan. No coordinator force needed.
+			s.met.MPOnePhase.Add(1)
+			derr2 = tx.appendMarkers()
+		} else if err := s.appendDecision(tx.id); err != nil {
+			// Same poisoned-log shape as a failed vote force: the
+			// decision may not survive, so neither client nor chained
+			// successors may be acknowledged cleanly.
+			derr2 = fmt.Errorf("core: mp decision log (legs committed, coord log poisoned): %w", err)
+		} else {
+			// Decision durable: the markers appended now are redundant
+			// copies of it in each participant log (they make each leg
+			// self-resolving if the coordinator log is ever truncated
+			// first) and can never witness an undecided commit.
+			derr2 = tx.appendMarkers()
+		}
+	}
+	var oerr error
+	if tx.outcome != nil {
+		oerr = tx.resolveOutcome(derr2)
+	}
+	return errors.Join(derr, oerr, tx.resolveAll()), false
 }
 
 // runMPHandler executes fn, converting panics into aborts so a buggy
@@ -300,9 +768,13 @@ func runMPHandler(fn func(tx *MPTxn) error, tx *MPTxn) (err error) {
 	return fn(tx)
 }
 
-// prepareAll collects every enlisted partition's vote in parallel (each
-// vote is a forced log write; partitions force independently). Any non-nil
-// vote is a veto.
+// prepareAll collects every enlisted partition's vote in parallel. A vote
+// is a pure rendezvous — no log write: a writing leg hands its logged op
+// set back for the coordinator to append after all votes are in, and a
+// read-only leg votes yes and releases its worker on the spot (its slot
+// stays held until the decision window — releasing it early would let a
+// conflicting transaction slip between this transaction's reads and its
+// commit). Any non-nil vote is a veto.
 func (tx *MPTxn) prepareAll() error {
 	var wg sync.WaitGroup
 	votes := make([]error, len(tx.sess))
@@ -328,7 +800,7 @@ func (tx *MPTxn) prepareAll() error {
 // deliverAll sends the decision to every enlisted leg in parallel and
 // returns once each leg's in-memory state reflects it — the commit
 // publications happen inside this call, which the caller covers with the
-// publication lock.
+// publication lock. Read-only legs released at PREPARE are skipped.
 func (tx *MPTxn) deliverAll(commit bool) error {
 	var wg sync.WaitGroup
 	errs := make([]error, len(tx.sess))
@@ -373,12 +845,49 @@ func (tx *MPTxn) finishAll(commit bool) error {
 }
 
 // appendDecision forces a commit decision record into the coordinator log.
+// Under group commit the append shares coord.log's daemon fsync with every
+// other in-flight coordinator's decision. The wait rides the daemon's own
+// tick — kicking an immediate fsync per decision would shrink batches to
+// one record and burn the disk (and, on small machines, the CPU) on
+// per-transaction syncs; the tick bounds the added latency at one
+// group-commit interval, well off the enlistment-slot critical path.
 func (s *Store) appendDecision(txnID uint64) error {
 	payload := wal.EncodeRecord(&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: txnID, Commit: true})
-	if _, err := s.coordLog.Append(payload); err != nil {
+	if s.coordLog.GroupCommit() {
+		_, ack, err := s.coordLog.AppendAsync(payload)
+		if err != nil {
+			return err
+		}
+		if err := <-ack; err != nil {
+			return err
+		}
+	} else if _, err := s.coordLog.Append(payload); err != nil {
 		return err
 	}
 	s.met.LogRecords.Add(1)
 	s.met.LogBytes.Add(int64(len(payload) + 8))
 	return nil
+}
+
+// acquireAllSlots locks every partition's enlistment slot in ascending
+// order — the all-partition barrier's first step (after exclMu, before
+// parking workers). With every slot held, no coordinator is mid-protocol
+// anywhere in the store. sort keeps the contract obvious if partition
+// lists ever stop being index-ordered.
+func acquireAllSlots(parts []*partition) {
+	idx := make([]int, len(parts))
+	for i := range parts {
+		idx[i] = i
+	}
+	sort.Ints(idx)
+	for _, i := range idx {
+		parts[i].mpSlot.Lock()
+	}
+}
+
+// releaseAllSlots unlocks every partition's enlistment slot.
+func releaseAllSlots(parts []*partition) {
+	for _, p := range parts {
+		p.mpSlot.Unlock()
+	}
 }

@@ -46,6 +46,23 @@ type Metrics struct {
 	MPTxns          atomic.Int64
 	MPAborts        atomic.Int64
 	MPLegsCommitted atomic.Int64
+	// MPConcurrent is a gauge of in-flight multi-partition coordinators —
+	// under slot enlistment, transactions over disjoint partition sets
+	// overlap, so this exceeds 1 under concurrent MP load (the overlap the
+	// concurrency tests assert). MPReadOnlyLegs counts legs released at
+	// PREPARE by the read-only optimization (no DECIDE force, worker freed
+	// one phase early). MPOnePhase counts transactions that enlisted a
+	// single logged partition after routing and skipped the coordinator's
+	// decision force entirely.
+	MPConcurrent   atomic.Int64
+	MPReadOnlyLegs atomic.Int64
+	MPOnePhase     atomic.Int64
+	// mpPrepareBatch / mpDecideBatch record how many 2PC force records each
+	// group-commit fsync covered: prepare batches per partition log, decide
+	// batches on the coordinator log. Means above 1 are the fsync
+	// amortization the batched-commit path buys.
+	mpPrepareBatch CountHist
+	mpDecideBatch  CountHist
 
 	// SnapshotReads counts read-only queries executed on the caller
 	// goroutine against an MVCC snapshot (off the serial partition
@@ -128,24 +145,34 @@ func (m *Metrics) ObserveCutoverPause(d time.Duration) { m.cutoverPause.Observe(
 // CutoverPause returns the slot-migration pause histogram.
 func (m *Metrics) CutoverPause() *Histogram { return &m.cutoverPause }
 
+// MPPrepareBatchSize returns the PREPARE-forces-per-fsync histogram.
+func (m *Metrics) MPPrepareBatchSize() *CountHist { return &m.mpPrepareBatch }
+
+// MPDecideBatchSize returns the DECIDE-forces-per-fsync histogram.
+func (m *Metrics) MPDecideBatchSize() *CountHist { return &m.mpDecideBatch }
+
 // Snapshot is a point-in-time copy of every counter.
 type Snapshot struct {
-	ClientToPE, PEToEE, EEInternal       int64
-	TxnCommitted, TxnAborted             int64
-	TuplesIngested                       int64
-	BatchesBorder, TriggeredTxns         int64
-	WindowSlides, StreamGCTuples         int64
-	LogRecords, LogBytes                 int64
-	MPTxns, MPAborts, MPLegsCommitted    int64
-	SnapshotReads, WorkerQueries         int64
-	GCRuns, GCVersionsReclaimed          int64
-	VersionsRetained                     int64
-	Rebalances, SlotsMigrated            int64
-	SlotRowsMoved                        int64
-	LatencyCount                         int64
-	LatencyP50, LatencyP99, LatencyP9999 time.Duration
-	CutoverPauseCount                    int64
-	CutoverPauseP50, CutoverPauseP99     time.Duration
+	ClientToPE, PEToEE, EEInternal        int64
+	TxnCommitted, TxnAborted              int64
+	TuplesIngested                        int64
+	BatchesBorder, TriggeredTxns          int64
+	WindowSlides, StreamGCTuples          int64
+	LogRecords, LogBytes                  int64
+	MPTxns, MPAborts, MPLegsCommitted     int64
+	MPConcurrent, MPReadOnlyLegs          int64
+	MPOnePhase                            int64
+	MPPrepareBatches, MPDecideBatches     int64
+	MPPrepareBatchMean, MPDecideBatchMean float64
+	SnapshotReads, WorkerQueries          int64
+	GCRuns, GCVersionsReclaimed           int64
+	VersionsRetained                      int64
+	Rebalances, SlotsMigrated             int64
+	SlotRowsMoved                         int64
+	LatencyCount                          int64
+	LatencyP50, LatencyP99, LatencyP9999  time.Duration
+	CutoverPauseCount                     int64
+	CutoverPauseP50, CutoverPauseP99      time.Duration
 }
 
 // Snapshot captures the current counter values.
@@ -166,6 +193,13 @@ func (m *Metrics) Snapshot() Snapshot {
 		MPTxns:              m.MPTxns.Load(),
 		MPAborts:            m.MPAborts.Load(),
 		MPLegsCommitted:     m.MPLegsCommitted.Load(),
+		MPConcurrent:        m.MPConcurrent.Load(),
+		MPReadOnlyLegs:      m.MPReadOnlyLegs.Load(),
+		MPOnePhase:          m.MPOnePhase.Load(),
+		MPPrepareBatches:    m.mpPrepareBatch.Count(),
+		MPDecideBatches:     m.mpDecideBatch.Count(),
+		MPPrepareBatchMean:  m.mpPrepareBatch.Mean(),
+		MPDecideBatchMean:   m.mpDecideBatch.Mean(),
 		SnapshotReads:       m.SnapshotReads.Load(),
 		WorkerQueries:       m.WorkerQueries.Load(),
 		GCRuns:              m.GCRuns.Load(),
@@ -202,6 +236,12 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.MPTxns -= prev.MPTxns
 	d.MPAborts -= prev.MPAborts
 	d.MPLegsCommitted -= prev.MPLegsCommitted
+	// MPConcurrent is a gauge: keep s's value, not a difference.
+	d.MPReadOnlyLegs -= prev.MPReadOnlyLegs
+	d.MPOnePhase -= prev.MPOnePhase
+	d.MPPrepareBatches -= prev.MPPrepareBatches
+	d.MPDecideBatches -= prev.MPDecideBatches
+	// Batch-size means keep s's values (cumulative averages).
 	d.SnapshotReads -= prev.SnapshotReads
 	d.WorkerQueries -= prev.WorkerQueries
 	d.GCRuns -= prev.GCRuns
@@ -291,6 +331,79 @@ func (h *Histogram) Quantile(q float64) time.Duration {
 		return 0
 	}
 	s := append([]time.Duration(nil), h.samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := int(q * float64(len(s)-1))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// CountHist is a concurrency-safe histogram over dimensionless counts
+// (batch sizes), with the same reservoir scheme as Histogram.
+type CountHist struct {
+	mu      sync.Mutex
+	count   int64
+	sum     int64
+	max     int64
+	samples []int64
+}
+
+// Observe records one count sample.
+func (h *CountHist) Observe(n int64) {
+	if n < 0 {
+		n = 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.count++
+	h.sum += n
+	if n > h.max {
+		h.max = n
+	}
+	if len(h.samples) < reservoirSize {
+		h.samples = append(h.samples, n)
+	} else {
+		h.samples[int(h.count)%reservoirSize] = n
+	}
+}
+
+// Count returns the number of samples observed.
+func (h *CountHist) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Mean returns the mean count (0 with no samples).
+func (h *CountHist) Mean() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.sum) / float64(h.count)
+}
+
+// Max returns the largest count observed.
+func (h *CountHist) Max() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Quantile returns the approximate q-quantile (exact while fewer than
+// reservoirSize samples have been observed).
+func (h *CountHist) Quantile(q float64) int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := append([]int64(nil), h.samples...)
 	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
 	idx := int(q * float64(len(s)-1))
 	if idx < 0 {

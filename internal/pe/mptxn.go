@@ -19,13 +19,15 @@ import (
 // serializability is preserved: a multi-partition transaction is one entry
 // in every participant's serial history.
 //
-// Durability follows presumed-abort 2PC. Prepare forces a PREPARE record
-// (the leg's re-executable write ops) to this partition's command log
-// before voting yes; the coordinator forces its decision record separately.
-// Commit appends a DECIDE marker through the group-commit pipeline, so the
-// coordinator's acknowledgement — like every other ack in the engine —
-// resolves only once the record is durable. Abort writes nothing: recovery
-// treats a PREPARE with no commit decision as aborted.
+// Durability follows presumed-abort 2PC, pipelined: the worker never
+// writes the log. Prepare is a rendezvous that hands the leg's
+// re-executable write ops back to the coordinator, which appends the
+// PREPARE record (and later the DECIDE marker) itself and waits for the
+// fsyncs only after this worker is released — the coordinator gates the
+// client acknowledgement on that durability chain, not the worker. The
+// worker is freed the moment the commit is delivered to memory. Abort
+// writes nothing: recovery treats a PREPARE with no commit decision as
+// aborted.
 
 // LoggedOp is one re-executable write of a prepared leg, in one of two
 // forms: an ad-hoc SQL statement with its parameters, or a raw row batch
@@ -48,7 +50,19 @@ type mpReply struct {
 type mpFrag struct {
 	fn    func(ectx *ee.ExecCtx) (*ee.Result, error)
 	op    *LoggedOp // non-nil: append to the PREPARE record on success
+	write bool      // a write fragment disqualifies the read-only release
 	reply chan mpReply
+}
+
+// prepReply is one partition's PREPARE vote. A readOnly vote means the leg
+// wrote nothing and its worker was released at PREPARE — the coordinator
+// must not deliver a decision to it.
+type prepReply struct {
+	err      error
+	readOnly bool
+	// ops is the leg's logged write set, handed to the coordinator so it
+	// can append (and force) the PREPARE record off the partition worker.
+	ops []LoggedOp
 }
 
 // MPSession is one partition's enlistment in a coordinated transaction.
@@ -62,7 +76,7 @@ type MPSession struct {
 	logged bool
 
 	frags  chan mpFrag
-	prep   chan chan error
+	prep   chan chan prepReply
 	decide chan bool
 	// published is closed once the delivered decision is reflected in
 	// memory (commit sequence published / rollback applied) — the point
@@ -73,6 +87,12 @@ type MPSession struct {
 
 	prepared bool
 	finished bool
+	// releasedPrep is set by Prepare when the worker took the read-only
+	// release: the leg is done, Deliver must not rendezvous with it.
+	releasedPrep bool
+	// ops is the leg's logged write set as returned by the PREPARE vote;
+	// the coordinator appends it as the leg's PREPARE record.
+	ops []LoggedOp
 }
 
 // EnlistMP queues this partition's participation in coordinated transaction
@@ -87,11 +107,16 @@ func (e *Engine) EnlistMP(txnID uint64, logged bool) (*MPSession, error) {
 		return nil, err
 	}
 	s := &MPSession{
-		e:         e,
-		txnID:     txnID,
-		logged:    logged,
-		frags:     make(chan mpFrag),
-		prep:      make(chan chan error),
+		e:      e,
+		txnID:  txnID,
+		logged: logged,
+		// frags is buffered one deep so the first fragment rides along
+		// with the enlistment: the coordinator queues it before the worker
+		// even reaches the request, and a woken worker executes
+		// enlist + first fragment in one pickup instead of parking on an
+		// empty session and waiting for a second rendezvous.
+		frags:     make(chan mpFrag, 1),
+		prep:      make(chan chan prepReply),
 		decide:    make(chan bool),
 		published: make(chan struct{}),
 		done:      make(chan CallResult, 1),
@@ -133,7 +158,8 @@ func (s *MPSession) Exec(sqlText string, params ...types.Value) (*Result, error)
 		fn: func(ectx *ee.ExecCtx) (*ee.Result, error) {
 			return s.e.ee.ExecSQL(ectx, sqlText, params...)
 		},
-		op: op,
+		op:    op,
+		write: true,
 	})
 }
 
@@ -164,32 +190,49 @@ func (s *MPSession) InsertRows(table string, rows []types.Row) (*Result, error) 
 			}
 			return &ee.Result{RowsAffected: n}, nil
 		},
-		op: op,
+		op:    op,
+		write: true,
 	})
 }
 
-// Prepare ends the fragment phase and returns this partition's vote: nil
-// once the leg's PREPARE record is durable (trivially yes when the session
-// is unlogged, wrote nothing, or the store keeps no log). A non-nil vote
-// obliges the coordinator to abort. The worker stays parked either way,
-// waiting for Finish.
+// Prepare ends the fragment phase and returns this partition's vote. A
+// nil vote means the leg is ready to commit; its logged write set is then
+// available through LoggedOps for the coordinator to append as the leg's
+// PREPARE record (the worker does not log it — appending and forcing the
+// vote is coordinator work, off the partition's serial slot). A non-nil
+// vote obliges the coordinator to abort. A leg that wrote nothing takes
+// the read-only 2PC optimization: it votes yes with no ops and its worker
+// is released immediately — no PREPARE record, no DECIDE, and Deliver
+// becomes a no-op for it. Writing legs keep their worker parked, waiting
+// for Finish.
 func (s *MPSession) Prepare() error {
 	if s.prepared || s.finished {
 		return fmt.Errorf("pe: mp session already prepared")
 	}
 	s.prepared = true
-	reply := make(chan error, 1)
-	s.prep <- reply
-	return <-reply
+	ch := make(chan prepReply, 1)
+	s.prep <- ch
+	rep := <-ch
+	if rep.readOnly {
+		s.releasedPrep = true
+	}
+	s.ops = rep.ops
+	return rep.err
 }
 
-// Finish delivers the coordinator's decision and waits for the leg to
-// resolve: on commit, after the DECIDE marker clears the commit pipeline
-// (durable under group commit before the coordinator acknowledges anyone);
-// on abort, after the undo log is rolled back. Finish is valid at any time
-// after enlistment — aborting mid-fragment-phase is the error path. It is
-// Deliver followed by Resolve; the coordinator calls the halves
-// separately so its publication lock covers only the in-memory window.
+// LoggedOps returns the leg's logged write set — valid after a successful
+// Prepare. Nil for read-only, unlogged, or not-yet-prepared sessions. The
+// coordinator appends these as the leg's PREPARE record before delivering
+// the commit decision.
+func (s *MPSession) LoggedOps() []LoggedOp { return s.ops }
+
+// Finish delivers the coordinator's decision and waits for the leg's
+// worker to wind down: on commit, after the effects publish (durability is
+// the coordinator's to settle afterwards); on abort, after the undo log is
+// rolled back. Finish is valid at any time after enlistment — aborting
+// mid-fragment-phase is the error path. It is Deliver followed by Resolve;
+// the coordinator calls the halves separately so its publication lock
+// covers only the in-memory window.
 func (s *MPSession) Finish(commit bool) error {
 	if err := s.Deliver(commit); err != nil {
 		return err
@@ -200,23 +243,34 @@ func (s *MPSession) Finish(commit bool) error {
 // Deliver sends the decision to the parked worker and returns once the
 // leg's in-memory state reflects it — the commit sequence published (or
 // the rollback applied). Durability has not necessarily happened yet;
-// Resolve waits for that.
+// Resolve waits for that. A leg released at PREPARE (read-only
+// optimization) has no parked worker anymore: Deliver is a no-op for it.
 func (s *MPSession) Deliver(commit bool) error {
 	if s.finished {
 		return fmt.Errorf("pe: mp session already finished")
 	}
 	s.finished = true
+	if s.releasedPrep {
+		return nil
+	}
 	s.decide <- commit
 	<-s.published
 	return nil
 }
 
-// Resolve waits for the delivered decision's final acknowledgement
-// (through the group-commit pipeline on a durable store).
+// Resolve waits for the worker's completion acknowledgement — sent as the
+// worker unparks, right after the delivered decision is reflected in
+// memory. It carries execution errors only; durability is settled by the
+// coordinator after the slots release.
 func (s *MPSession) Resolve() error {
 	cr := <-s.done
 	return cr.Err
 }
+
+// ReleasedAtPrepare reports whether this leg took the read-only release:
+// it wrote nothing, voted yes, and freed its worker at PREPARE. Meaningful
+// after Prepare returned.
+func (s *MPSession) ReleasedAtPrepare() bool { return s.releasedPrep }
 
 // executeMP is the worker side of the barrier: it parks on the session,
 // serving fragments in its own serial slot, then resolves the decision.
@@ -243,6 +297,7 @@ func (e *Engine) executeMP(r *txnRequest) {
 		ectx.OnStreamInsert = emissionCollector(&emits)
 	}
 	var ops []LoggedOp
+	wrote := false
 	for {
 		select {
 		case f := <-s.frags:
@@ -250,9 +305,32 @@ func (e *Engine) executeMP(r *txnRequest) {
 			if err == nil && f.op != nil {
 				ops = append(ops, *f.op)
 			}
+			if f.write {
+				// Even a failed write disqualifies the read-only release:
+				// it may have left undo entries the abort path must roll
+				// back on this worker.
+				wrote = true
+			}
 			f.reply <- mpReply{res: res, err: err}
 		case reply := <-s.prep:
-			reply <- e.forcePrepare(s.txnID, ops)
+			if !wrote {
+				// Read-only 2PC optimization: the leg has nothing to
+				// force and nothing to roll back — vote yes, skip the
+				// PREPARE force and the DECIDE marker entirely, and free
+				// the partition's serial slot one full phase early.
+				reply <- prepReply{readOnly: true}
+				e.met.MPReadOnlyLegs.Add(1)
+				e.met.ObserveLatency(time.Since(start))
+				r.respond(nil, nil)
+				return
+			}
+			// The vote hands the leg's logged ops to the coordinator, which
+			// appends the PREPARE record itself (the worker stays parked
+			// until the decision, so nothing else can slip a record into
+			// this partition's log ahead of it). Durability of the vote is
+			// the coordinator's to wait for — off this worker, off the
+			// partition's serial slot.
+			reply <- prepReply{ops: ops}
 		case commit := <-s.decide:
 			if !commit {
 				undo.Rollback()
@@ -261,69 +339,24 @@ func (e *Engine) executeMP(r *txnRequest) {
 				r.respond(nil, nil)
 				return
 			}
-			ack, lerr := e.logDecide(s, ops)
-			// The commit point — the coordinator's forced decision record —
-			// has already passed: the leg IS committed, and recovery will
-			// re-apply it from its PREPARE no matter what happens here. The
-			// leg's effects therefore always stay in place; a failed DECIDE
-			// append only poisons this partition's log (every later logged
-			// commit fails loudly) and is surfaced without undoing anything.
+			// The coordinator delivers commit only after every leg's
+			// PREPARE record is appended (though not necessarily durable
+			// yet — the coordinator waits for the forces after this worker
+			// is freed, and gates the client ack on them). The leg's
+			// effects publish and the worker frees immediately; the DECIDE
+			// marker is likewise the coordinator's to append once the
+			// decision itself is durable.
 			undo.Release()
 			e.commitPublish()
 			close(s.published) // in-memory commit visible; acks may lag
 			e.met.TxnCommitted.Add(1)
 			e.met.MPLegsCommitted.Add(1)
 			e.dispatchEmits(emits, 0, r.origin, r.replay)
-			if lerr != nil {
-				r.respond(nil, fmt.Errorf("pe: mp leg committed but its decide marker failed to append (log poisoned; restart to recover): %w", lerr))
-				return
-			}
-			if ack != nil {
-				e.queueAck(r, nil, ack, start)
-				return
-			}
 			e.met.ObserveLatency(time.Since(start))
 			r.respond(nil, nil)
 			return
 		}
 	}
-}
-
-// forcePrepare writes the leg's PREPARE record and forces it to stable
-// storage — the classic 2PC forced log write: a yes vote promises the leg
-// survives a crash. Legs with nothing logged vote yes for free.
-func (e *Engine) forcePrepare(txnID uint64, ops []LoggedOp) error {
-	if e.logger == nil || len(ops) == 0 {
-		return nil
-	}
-	rec := &LogRecord{Kind: RecPrepare, MPTxnID: txnID, Ops: ops}
-	if e.asyncLog != nil {
-		ack, err := e.asyncLog.LogCommitAsync(rec)
-		if err != nil {
-			return err
-		}
-		if err := e.asyncLog.SyncCommits(); err != nil {
-			return err
-		}
-		return <-ack
-	}
-	return e.logger.LogCommit(rec)
-}
-
-// logDecide appends the leg's DECIDE marker. It is not forced — the
-// coordinator's decision record is the recovery truth — but under group
-// commit the returned future routes the leg's resolution through the ack
-// pipeline, so the coordinator (and therefore the client) is acknowledged
-// only once the marker is durable, like every other commit.
-func (e *Engine) logDecide(s *MPSession, ops []LoggedOp) (<-chan error, error) {
-	if e.logger == nil || !s.logged || len(ops) == 0 {
-		return nil, nil
-	}
-	rec := &LogRecord{Kind: RecDecide, MPTxnID: s.txnID, Commit: true}
-	if e.asyncLog != nil {
-		return e.asyncLog.LogCommitAsync(rec)
-	}
-	return nil, e.logger.LogCommit(rec)
 }
 
 // replayPreparedLeg re-executes a committed leg's ops during recovery.

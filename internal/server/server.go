@@ -207,6 +207,10 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		default:
 			return fail(fmt.Errorf("server: unknown admin verb %q", req.Target))
 		}
+	case wire.MsgStats:
+		res := s.st.StatsResult()
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
 	default:
 		return fail(fmt.Errorf("server: unknown message kind %d", req.Kind))
 	}

@@ -1,0 +1,119 @@
+package sql
+
+import "sync"
+
+// Parser pooling and a prepared-statement cache for the wire hot path.
+//
+// Every ad-hoc Exec/Query used to lex and parse its statement from scratch,
+// allocating a fresh token slice and parser per call. Interactive workloads
+// re-send a small set of statement shapes with '?' placeholders, so the text
+// itself is a perfect cache key: ParseCached memoizes the parsed AST per
+// statement text, and on a miss parses with a pooled parser whose token
+// buffer is recycled across calls.
+//
+// Cached Statements are shared between goroutines. Callers MUST treat them
+// as immutable — anything that needs to rewrite an AST must copy the nodes
+// it changes first (the router's fan-out planner already does: it copies the
+// SelectStmt value before retargeting it at a leg).
+
+// parserPool recycles parser structs — and, through them, token-slice
+// backing arrays — between parses. Parsers are zeroed before reuse; only
+// the token buffer's capacity survives.
+var parserPool = sync.Pool{New: func() any { return new(parser) }}
+
+// parsePooled is Parse with the allocations hoisted into parserPool.
+func parsePooled(input string) (Statement, error) {
+	p := parserPool.Get().(*parser)
+	toks, err := lexAppend(input, p.toks[:0])
+	if err != nil {
+		p.toks = toks
+		putParser(p)
+		return nil, err
+	}
+	p.toks, p.pos, p.src, p.params = toks, 0, input, 0
+	stmt, err := p.parseStatement()
+	if err == nil {
+		p.accept(TokSym, ";")
+		if !p.at(TokEOF, "") {
+			err = p.errf("unexpected %s after statement", p.peek())
+		}
+	}
+	putParser(p)
+	if err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func putParser(p *parser) {
+	toks := p.toks[:0]
+	*p = parser{toks: toks}
+	parserPool.Put(p)
+}
+
+// stmtCacheLimit bounds each cache generation. Two generations are live at
+// once, so the cache holds at most 2*stmtCacheLimit statements.
+const stmtCacheLimit = 4096
+
+// stmtCache is a bounded two-generation statement cache. Entries are added
+// to cur; when cur fills, it becomes prev and a fresh cur starts. Hits in
+// prev are promoted back into cur, so hot statements survive rotation and
+// cold ones age out after at most two generations.
+type stmtCache struct {
+	mu   sync.RWMutex
+	cur  map[string]Statement
+	prev map[string]Statement
+}
+
+var cache stmtCache
+
+func (c *stmtCache) get(text string) (Statement, bool) {
+	c.mu.RLock()
+	s, ok := c.cur[text]
+	c.mu.RUnlock()
+	if ok {
+		return s, true
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if s, ok := c.cur[text]; ok {
+		return s, true
+	}
+	if s, ok := c.prev[text]; ok {
+		c.putLocked(text, s)
+		return s, true
+	}
+	return nil, false
+}
+
+func (c *stmtCache) put(text string, s Statement) {
+	c.mu.Lock()
+	c.putLocked(text, s)
+	c.mu.Unlock()
+}
+
+func (c *stmtCache) putLocked(text string, s Statement) {
+	if c.cur == nil {
+		c.cur = make(map[string]Statement, 64)
+	}
+	if len(c.cur) >= stmtCacheLimit {
+		c.prev = c.cur
+		c.cur = make(map[string]Statement, 64)
+	}
+	c.cur[text] = s
+}
+
+// ParseCached parses one SQL statement, memoizing the result by statement
+// text. The returned Statement may be shared with concurrent callers and
+// must be treated as read-only. Parse errors are not cached.
+func ParseCached(input string) (Statement, error) {
+	if s, ok := cache.get(input); ok {
+		return s, nil
+	}
+	stmt, err := parsePooled(input)
+	if err != nil {
+		return nil, err
+	}
+	cache.put(input, stmt)
+	return stmt, nil
+}

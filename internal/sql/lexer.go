@@ -64,7 +64,12 @@ var keywords = map[string]bool{
 
 // Lex tokenizes input, returning the token stream or a positioned error.
 func Lex(input string) ([]Token, error) {
-	var toks []Token
+	return lexAppend(input, nil)
+}
+
+// lexAppend tokenizes input into toks (appending, so a caller can recycle a
+// buffer's backing array across parses).
+func lexAppend(input string, toks []Token) ([]Token, error) {
 	i := 0
 	n := len(input)
 	for i < n {

@@ -62,6 +62,12 @@ type Options struct {
 	// while adapting.
 	GroupCommitMinInterval time.Duration
 	GroupCommitMaxInterval time.Duration
+	// OnSyncBatch, when non-nil, is called by the commit daemon after each
+	// successful fsync that covered at least one pending future, with the
+	// number of records the fsync made durable — the observable batching
+	// the 2PC force amortization reports as a histogram. Called from the
+	// daemon goroutine; keep it cheap and non-blocking.
+	OnSyncBatch func(n int)
 }
 
 // commitWaiter is one unresolved commit future: the record at lsn has been
@@ -116,6 +122,9 @@ type Log struct {
 	// AppendAsync nudges it through kick, so an idle log costs no
 	// periodic wakeups even at a sub-millisecond adaptive tick.
 	idle atomic.Bool
+
+	// onSyncBatch is Options.OnSyncBatch (nil when unset).
+	onSyncBatch func(n int)
 }
 
 // OpenLog opens (creating if needed) the log at path and positions for
@@ -140,6 +149,7 @@ func OpenLogOpts(path string, startLSN uint64, o Options) (*Log, error) {
 		lsn:    startLSN,
 	}
 	if o.Policy == SyncGroupCommit {
+		l.onSyncBatch = o.OnSyncBatch
 		l.interval = o.GroupCommitInterval
 		if l.interval <= 0 {
 			l.interval = DefaultGroupCommitInterval
@@ -393,6 +403,9 @@ func (l *Log) syncBatch(reply chan<- error) int {
 	}
 	if reply != nil {
 		reply <- err
+	}
+	if l.onSyncBatch != nil && len(batch) > 0 && err == nil {
+		l.onSyncBatch(len(batch))
 	}
 	return len(batch)
 }

@@ -45,6 +45,11 @@ const (
 	// "partitions" (elastic growth) with Params[0] the target partition
 	// count — the server rebalances live and returns the new count.
 	MsgAdmin
+	// MsgStats asks for a metrics snapshot. The response carries one
+	// name/value row per counter, so operators can watch MP commit
+	// concurrency and force-batch sizes live from sstorecli. New kinds are
+	// appended here to keep existing byte values stable on the wire.
+	MsgStats
 )
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating
