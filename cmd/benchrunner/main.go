@@ -11,6 +11,7 @@
 //	benchrunner -e E9 -dur 100ms    # CI smoke
 //	benchrunner -e E10 -votes 20000 -json BENCH_E10.json
 //	benchrunner -e E11 -txns 5000 -partitions 4 -json BENCH_E11.json
+//	benchrunner -e E12 -readers 4 -dur 2s -json BENCH_E12.json
 package main
 
 import (
@@ -26,16 +27,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
 		parts    = flag.Int("partitions", 2, "E7/E8/E11: partition count")
 		pipeline = flag.Int("pipeline", 128, "E7/E8/E11: concurrent clients")
 		txns     = flag.Int("txns", 5000, "E8/E11: pair-insert transactions per mode")
-		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines")
-		keys     = flag.Int("keys", 1024, "E9: rows in the read/update table")
-		dur      = flag.Duration("dur", time.Second, "E9: measured duration per mode")
+		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines; E12: readers per serving node")
+		keys     = flag.Int("keys", 1024, "E9/E12: rows in the read/update table")
+		dur      = flag.Duration("dur", time.Second, "E9/E12: measured duration per mode")
 	)
 	flag.Parse()
 	run := func(name string, fn func() error) {
@@ -308,6 +309,89 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E12", func() error {
+		res, err := bench.E12(*seed, *keys, *readers, *dur)
+		if err != nil {
+			return err
+		}
+		var base float64
+		for _, r := range res.Rows {
+			if r.Replicas == 0 {
+				base = r.ReadsSec
+			}
+		}
+		fmt.Printf("%-14s %-12s %-10s %-10s %-12s %-12s %s\n",
+			"mode", "reads/sec", "p50", "p99", "vs-primary", "writes/sec", "lag(records)")
+		for _, r := range res.Rows {
+			ratio := "-"
+			if base > 0 {
+				ratio = fmt.Sprintf("%.2fx", r.ReadsSec/base)
+			}
+			fmt.Printf("%-14s %-12.0f %-10s %-10s %-12s %-12.0f %d\n",
+				r.Mode, r.ReadsSec, r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond),
+				ratio, r.WritesSec, r.LagRecords)
+		}
+		fmt.Printf("failover: RTO %s, acked %d, recovered sum %d, zero acked-write loss: %v\n",
+			res.FailoverRTO.Round(time.Microsecond), res.AckedBumps, res.RecoveredSum, res.ZeroLoss)
+		if *jsonOut != "" {
+			if err := writeE12JSON(*jsonOut, *seed, *keys, *readers, *dur, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e12JSON is the BENCH_E12.json document.
+type e12JSON struct {
+	Experiment     string       `json:"experiment"`
+	Seed           int64        `json:"seed"`
+	Keys           int          `json:"keys"`
+	ReadersPerNode int          `json:"readers_per_node"`
+	DurationMs     int64        `json:"duration_ms"`
+	Rows           []e12JSONRow `json:"results"`
+	FailoverRTOms  float64      `json:"failover_rto_ms"`
+	AckedBumps     int64        `json:"failover_acked_writes"`
+	RecoveredSum   int64        `json:"failover_recovered_sum"`
+	ZeroLoss       bool         `json:"zero_acked_write_loss"`
+}
+
+type e12JSONRow struct {
+	Mode       string  `json:"mode"`
+	Replicas   int     `json:"replicas"`
+	ReadsSec   float64 `json:"reads_per_sec"`
+	ReadP50us  int64   `json:"read_p50_us"`
+	ReadP99us  int64   `json:"read_p99_us"`
+	WritesSec  float64 `json:"writes_per_sec"`
+	LagRecords int64   `json:"end_lag_records"`
+}
+
+func writeE12JSON(path string, seed int64, keys, readers int, dur time.Duration, res *bench.E12Result) error {
+	doc := e12JSON{Experiment: "E12 WAL-shipped read replicas: follower read scaling and failover",
+		Seed: seed, Keys: keys, ReadersPerNode: readers, DurationMs: dur.Milliseconds(),
+		FailoverRTOms: float64(res.FailoverRTO.Microseconds()) / 1000,
+		AckedBumps:    res.AckedBumps,
+		RecoveredSum:  res.RecoveredSum,
+		ZeroLoss:      res.ZeroLoss,
+	}
+	for _, r := range res.Rows {
+		doc.Rows = append(doc.Rows, e12JSONRow{
+			Mode:       r.Mode,
+			Replicas:   r.Replicas,
+			ReadsSec:   r.ReadsSec,
+			ReadP50us:  r.ReadP50.Microseconds(),
+			ReadP99us:  r.ReadP99.Microseconds(),
+			WritesSec:  r.WritesSec,
+			LagRecords: r.LagRecords,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e10JSON is the BENCH_E10.json document.

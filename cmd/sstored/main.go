@@ -13,6 +13,15 @@
 //	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore -sync group
 //	sstored -app bikeshare
 //	sstored -ddl schema.sql            # bare engine with custom schema
+//
+// With -follow, sstored runs as a read replica of another sstored: it tails
+// the primary's WAL over the wire (the primary must be durable), serves
+// snapshot SELECTs from the replayed state, and — when the primary stops
+// answering for -heartbeat-timeout — promotes itself to a live primary and
+// starts accepting writes. The follower must be started with the same
+// schema flags (-app / -ddl / -partitions / -log-all-tes) as the primary:
+//
+//	sstored -addr 127.0.0.1:7478 -app voter -follow 127.0.0.1:7477
 package main
 
 import (
@@ -22,9 +31,11 @@ import (
 	"os"
 	"os/signal"
 	"syscall"
+	"time"
 
 	"repro/internal/apps/bikeshare"
 	"repro/internal/apps/voter"
+	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/pe"
 	"repro/internal/server"
@@ -47,8 +58,16 @@ func main() {
 		contest  = flag.Int("contestants", 25, "voter: number of contestants")
 		stations = flag.Int("stations", 20, "bikeshare: number of stations")
 		parts    = flag.Int("partitions", 1, "number of serial-execution partitions (PARTITION BY relations hash-split across them)")
+		follow   = flag.String("follow", "", "primary address to follow as a read replica (WAL shipping; implies volatile)")
+		hbTO     = flag.Duration("heartbeat-timeout", 3*time.Second, "follower: promote to primary after the primary is unreachable this long (0 = never auto-promote)")
+		replPoll = flag.Duration("repl-poll", 0, "follower: idle delay between WAL fetch rounds (0 = default)")
 	)
 	flag.Parse()
+
+	if *follow != "" && *dir != "" {
+		log.Printf("sstored: -follow ignores -dir %q; a follower's state comes from the shipped WAL", *dir)
+		*dir = ""
+	}
 
 	cfg := core.Config{
 		Dir:                    *dir,
@@ -71,6 +90,11 @@ func main() {
 	}
 	if *logAll {
 		cfg.LogMode = pe.LogAllTEs
+	}
+	if *dir != "" && cfg.Sync == wal.SyncNever {
+		log.Printf("sstored: -sync never buffers the command log in memory; " +
+			"followers of this node cannot replicate until records reach disk — " +
+			"use -sync group (or every) when serving read replicas")
 	}
 	st := core.Open(cfg)
 
@@ -116,15 +140,51 @@ func main() {
 			log.Fatalf("sstored: ddl: %v", err)
 		}
 	}
-	if err := st.Start(); err != nil {
-		log.Fatalf("sstored: start: %v", err)
+	var srv *server.Server
+	if *follow != "" {
+		src, err := client.DialTCP(*follow)
+		if err != nil {
+			log.Fatalf("sstored: follow %s: %v", *follow, err)
+		}
+		var fsrv *server.Server
+		fol, err := core.NewFollower(st, src, core.FollowerOpts{
+			PollInterval:     *replPoll,
+			HeartbeatTimeout: *hbTO,
+			OnPromote: func(_ *core.Store, perr error) {
+				if perr != nil {
+					log.Printf("sstored: auto-promotion failed: %v", perr)
+					return
+				}
+				if fsrv != nil {
+					fsrv.ClearFollower()
+				}
+				fmt.Println("sstored: primary unreachable; promoted to primary, accepting writes")
+			},
+		})
+		if err != nil {
+			log.Fatalf("sstored: follower: %v", err)
+		}
+		srv = server.NewFollower(fol)
+		fsrv = srv
+		if err := fol.Run(); err != nil {
+			log.Fatalf("sstored: follower: %v", err)
+		}
+	} else {
+		if err := st.Start(); err != nil {
+			log.Fatalf("sstored: start: %v", err)
+		}
+		srv = server.New(st)
 	}
-	srv := server.New(st)
 	if err := srv.Listen(*addr); err != nil {
 		log.Fatalf("sstored: %v", err)
 	}
-	fmt.Printf("sstored listening on %s (app=%s, partitions=%d, durable=%v)\n",
-		srv.Addr(), *app, st.NumPartitions(), *dir != "")
+	if *follow != "" {
+		fmt.Printf("sstored following %s on %s (app=%s, partitions=%d, read replica)\n",
+			*follow, srv.Addr(), *app, st.NumPartitions())
+	} else {
+		fmt.Printf("sstored listening on %s (app=%s, partitions=%d, durable=%v)\n",
+			srv.Addr(), *app, st.NumPartitions(), *dir != "")
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)

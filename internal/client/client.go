@@ -13,7 +13,9 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/pe"
 	"repro/internal/types"
+	"repro/internal/wal"
 	"repro/internal/wire"
 )
 
@@ -165,6 +167,45 @@ func (c *TCP) Stats() (*wire.Response, error) {
 	return c.roundTrip(&wire.Request{Kind: wire.MsgStats})
 }
 
+// PinSnapshot pins a session-scoped snapshot on the server: subsequent
+// Query calls on this connection read the pinned consistent cut until
+// UnpinSnapshot (or Close) releases it. Re-pinning replaces the cut.
+func (c *TCP) PinSnapshot() error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgPinSnapshot})
+	return err
+}
+
+// UnpinSnapshot releases this connection's snapshot pin, if any.
+func (c *TCP) UnpinSnapshot() error {
+	_, err := c.roundTrip(&wire.Request{Kind: wire.MsgUnpinSnapshot})
+	return err
+}
+
+// FetchBatch implements core.ReplicationSource over the wire: a follower
+// sstored drives its apply loop with these fetches against the primary.
+func (c *TCP) FetchBatch(part int, afterLSN uint64, maxBytes int) (core.ReplBatch, error) {
+	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgReplFetch, Params: types.Row{
+		types.NewInt(int64(part)), types.NewInt(int64(afterLSN)), types.NewInt(int64(maxBytes)),
+	}})
+	if err != nil {
+		return core.ReplBatch{}, err
+	}
+	if len(resp.Rows) == 0 {
+		return core.ReplBatch{}, fmt.Errorf("client: repl fetch response missing horizon row")
+	}
+	batch := core.ReplBatch{EndLSN: uint64(resp.Rows[0][0].Int())}
+	for _, row := range resp.Rows[1:] {
+		if len(row) != 2 {
+			return core.ReplBatch{}, fmt.Errorf("client: malformed repl frame row")
+		}
+		batch.Frames = append(batch.Frames, wal.Frame{
+			LSN:     uint64(row[0].Int()),
+			Payload: []byte(row[1].Str()),
+		})
+	}
+	return batch, nil
+}
+
 // Ping checks liveness.
 func (c *TCP) Ping() error {
 	resp, err := c.roundTrip(&wire.Request{Kind: wire.MsgPing})
@@ -188,6 +229,9 @@ func (c *TCP) Close() error { return c.conn.Close() }
 type Loopback struct {
 	St  *core.Store
 	RTT time.Duration
+
+	pinMu sync.Mutex
+	pin   *core.SnapshotPin // session pin, mirroring the TCP session state
 }
 
 func (c *Loopback) charge() {
@@ -213,15 +257,57 @@ func (c *Loopback) Ingest(stream string, rows ...types.Row) error {
 	return c.St.Ingest(stream, rows...)
 }
 
-// Query implements Conn.
+// Query implements Conn. With a session pin held (PinSnapshot) the query
+// reads the pinned cut, like a pinned TCP session.
 func (c *Loopback) Query(sqlText string, params ...types.Value) (*wire.Response, error) {
 	c.charge()
-	res, err := c.St.Query(sqlText, params...)
+	c.pinMu.Lock()
+	pin := c.pin
+	c.pinMu.Unlock()
+	var res *pe.Result
+	var err error
+	if pin != nil {
+		res, err = c.St.QueryPinned(pin, sqlText, params...)
+	} else {
+		res, err = c.St.Query(sqlText, params...)
+	}
 	if err != nil {
 		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}, err
 	}
 	return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
 		Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}, nil
+}
+
+// PinSnapshot mirrors TCP.PinSnapshot: queries on this Loopback read one
+// pinned cut until UnpinSnapshot or Close.
+func (c *Loopback) PinSnapshot() error {
+	c.charge()
+	pin := c.St.PinSnapshot()
+	c.pinMu.Lock()
+	if c.pin != nil {
+		c.pin.Release()
+	}
+	c.pin = pin
+	c.pinMu.Unlock()
+	return nil
+}
+
+// UnpinSnapshot mirrors TCP.UnpinSnapshot.
+func (c *Loopback) UnpinSnapshot() error {
+	c.charge()
+	c.pinMu.Lock()
+	if c.pin != nil {
+		c.pin.Release()
+		c.pin = nil
+	}
+	c.pinMu.Unlock()
+	return nil
+}
+
+// FetchBatch mirrors TCP.FetchBatch: Loopback also satisfies
+// core.ReplicationSource for in-process wiring through the client API.
+func (c *Loopback) FetchBatch(part int, afterLSN uint64, maxBytes int) (core.ReplBatch, error) {
+	return c.St.ReplicationBatch(part, afterLSN, maxBytes)
 }
 
 // Exec mirrors TCP.Exec: an ad-hoc DML statement, atomic across
@@ -286,10 +372,21 @@ func (c *Loopback) Flush() error {
 	return nil
 }
 
-// Close implements Conn.
-func (c *Loopback) Close() error { return nil }
+// Close implements Conn (releases the session pin, like a disconnect; no
+// RTT charge — teardown is not a measured interaction).
+func (c *Loopback) Close() error {
+	c.pinMu.Lock()
+	if c.pin != nil {
+		c.pin.Release()
+		c.pin = nil
+	}
+	c.pinMu.Unlock()
+	return nil
+}
 
 var (
-	_ Conn = (*TCP)(nil)
-	_ Conn = (*Loopback)(nil)
+	_ Conn                   = (*TCP)(nil)
+	_ Conn                   = (*Loopback)(nil)
+	_ core.ReplicationSource = (*TCP)(nil)
+	_ core.ReplicationSource = (*Loopback)(nil)
 )

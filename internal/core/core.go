@@ -453,6 +453,10 @@ func (s *Store) StatsResult() *pe.Result {
 	ci("rebalances", snap.Rebalances)
 	ci("slots_migrated", snap.SlotsMigrated)
 	ci("slot_rows_moved", snap.SlotRowsMoved)
+	ci("repl_records_applied", snap.ReplRecordsApplied)
+	ci("repl_lag", snap.ReplLag)
+	ci("follower_reads", snap.FollowerReads)
+	ci("promotions", snap.Promotions)
 	ci("latency_count", snap.LatencyCount)
 	cd("latency_p50", snap.LatencyP50)
 	cd("latency_p99", snap.LatencyP99)
@@ -568,8 +572,9 @@ func (s *Store) Recover() error {
 	// aborted the same way.
 	decisions := make(map[uint64]bool)
 	maxMP := uint64(0)
-	evictOwner := make(map[int]int)   // slot → owner per its last committed migration
-	slotMoves := make(map[uint64]int) // slot-move leg id → slot (replay evicts before applying)
+	evictOwner := make(map[int]int)    // slot → owner per its last committed migration
+	slotMoves := make(map[uint64]int)  // slot-move leg id → slot (replay evicts before applying)
+	pausedSet := make(map[string]bool) // dataflow → paused at crash (pause with no later resume)
 	coordPath := wal.CoordPath(s.cfg.Dir)
 	coordLSN, err := wal.ScanLog(coordPath, func(_ uint64, payload []byte) error {
 		rec, err := wal.DecodeRecord(payload)
@@ -581,6 +586,10 @@ func (s *Store) Recover() error {
 			if rec.Commit {
 				decisions[rec.MPTxnID] = true
 			}
+		case pe.RecPauseGraph:
+			pausedSet[rec.Proc] = true
+		case pe.RecResumeGraph:
+			delete(pausedSet, rec.Proc)
 		case pe.RecSlotCommit:
 			if rec.ToPart >= len(s.partList()) {
 				return fmt.Errorf("core: slot %d was migrated to partition %d, store opened with %d partitions; "+
@@ -687,6 +696,9 @@ func (s *Store) Recover() error {
 	for _, p := range s.partList() {
 		p.cat.Clock().Publish()
 	}
+	// A graph paused before the crash stays paused after recovery (durable
+	// pause state; records for undeployed graphs are ignored inside).
+	s.restorePausedGraphs(pausedSet)
 	canonical := catalog.NewSlotTable(len(s.partList()))
 	s.slots.Store(canonical)
 	if err := wal.WriteSlots(wal.SlotsPath(s.cfg.Dir), canonical); err != nil {
@@ -1032,6 +1044,23 @@ func (s *Store) Checkpoint() error {
 		if s.coordLog != nil {
 			if err := s.coordLog.Truncate(); err != nil {
 				return err
+			}
+			// Pause state lives in the coordinator log and truncation just
+			// discarded it; re-stamp every currently paused graph so the
+			// pause still survives a crash after this checkpoint.
+			s.routeMu.RLock()
+			var paused []string
+			for _, df := range s.partList()[0].cat.Dataflows() {
+				if df.Paused {
+					paused = append(paused, df.Name)
+				}
+			}
+			s.routeMu.RUnlock()
+			for _, name := range paused {
+				payload := wal.EncodeRecord(&pe.LogRecord{Kind: pe.RecPauseGraph, Proc: name})
+				if _, err := s.coordLog.Append(payload); err != nil {
+					return err
+				}
 			}
 		}
 		return nil

@@ -8,6 +8,7 @@ import (
 	"repro/internal/catalog"
 	"repro/internal/pe"
 	"repro/internal/types"
+	"repro/internal/wal"
 )
 
 // This file is the dataflow-graph deployment layer: the declarative
@@ -238,8 +239,10 @@ func (s *Store) pausedGraphOf(stream string) string {
 // pe.Engine.Ingest) and PE-triggered emissions into its streams defer —
 // then PauseDataflow waits for the graph's admitted executions to finish
 // on every partition. Other graphs keep running; the wait is scoped to
-// this graph's in-flight work, not the whole partition. Pause state is
-// not durable: a recovered store starts every graph running.
+// this graph's in-flight work, not the whole partition. On a durable
+// store the pause is logged (coordinator log) before it takes effect, so
+// a crash cannot silently resume a paused graph: recovery restores the
+// gate (see Recover / restorePausedGraphs).
 func (s *Store) PauseDataflow(name string) error {
 	s.deployMu.Lock()
 	defer s.deployMu.Unlock()
@@ -247,8 +250,67 @@ func (s *Store) PauseDataflow(name string) error {
 	if df == nil {
 		return fmt.Errorf("core: unknown dataflow %q", name)
 	}
+	s.routeMu.RLock()
+	paused := df.Paused
+	s.routeMu.RUnlock()
+	if paused {
+		return nil
+	}
+	// Durable-before-effective: if the force fails the graph keeps running,
+	// which the caller learns from the error; the reverse order would leave
+	// a paused graph that silently resumes after a crash — the bug this
+	// record exists to fix.
+	if err := s.logPauseState(pe.RecPauseGraph, df.Name); err != nil {
+		return err
+	}
 	s.pauseAndDrain(df)
 	return nil
+}
+
+// logPauseState forces one pause-lifecycle record (RecPauseGraph /
+// RecResumeGraph, graph name in Proc) to the coordinator log. A no-op on
+// non-durable stores and before recovery opens the log.
+func (s *Store) logPauseState(kind pe.RecordKind, graph string) error {
+	if s.coordLog == nil {
+		return nil
+	}
+	payload := wal.EncodeRecord(&pe.LogRecord{Kind: kind, Proc: graph})
+	if _, err := s.coordLog.Append(payload); err != nil {
+		return fmt.Errorf("core: pause-state log: %w", err)
+	}
+	if err := s.coordLog.SyncNow(); err != nil {
+		return fmt.Errorf("core: pause-state sync: %w", err)
+	}
+	return nil
+}
+
+// restorePausedGraphs re-installs the pause gates recovery collected from
+// the coordinator log (a pause record with no later resume). Runs before
+// Start, single-threaded; the locks only keep the published state
+// consistent with the live pause path. Records for graphs that are no
+// longer deployed are stale (undeploy logs a resume, but a crash can beat
+// it) and are ignored.
+func (s *Store) restorePausedGraphs(paused map[string]bool) {
+	for name := range paused {
+		df := s.partList()[0].cat.Dataflow(name)
+		if df == nil {
+			continue
+		}
+		for _, p := range s.partList() {
+			p.pe.PauseGraph(df.Name)
+		}
+		s.routeMu.Lock()
+		df.Paused = true
+		if s.pausedStreams == nil {
+			s.pausedStreams = make(map[string]string)
+		}
+		for _, n := range df.Nodes {
+			if n.Input != "" {
+				s.pausedStreams[strings.ToLower(n.Input)] = df.Name
+			}
+		}
+		s.routeMu.Unlock()
+	}
 }
 
 // pauseAndDrain is PauseDataflow's body: set the pause gates, publish the
@@ -347,9 +409,15 @@ func (s *Store) UndeployDataflow(name string) error {
 		return nil
 	}
 	if started {
-		return s.runExclusiveAll(remove)
+		if err := s.runExclusiveAll(remove); err != nil {
+			return err
+		}
+	} else if err := remove(); err != nil {
+		return err
 	}
-	return remove()
+	// Clear any durable pause for the name: the graph is gone, and a later
+	// redeploy under the same name must not recover into a stale pause.
+	return s.logPauseState(pe.RecResumeGraph, df.Name)
 }
 
 // ResumeDataflow lifts a graph's pause gate on every partition and
@@ -361,6 +429,12 @@ func (s *Store) ResumeDataflow(name string) error {
 	df := s.dataflowByName(name)
 	if df == nil {
 		return fmt.Errorf("core: unknown dataflow %q", name)
+	}
+	// Durable-before-effective, mirroring PauseDataflow: a logged resume
+	// that fails to apply leaves the graph paused and the caller informed;
+	// the reverse order would resurrect the pause after a crash.
+	if err := s.logPauseState(pe.RecResumeGraph, df.Name); err != nil {
+		return err
 	}
 	for _, p := range s.partList() {
 		if err := p.pe.ResumeGraph(df.Name); err != nil {

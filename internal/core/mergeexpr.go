@@ -4,347 +4,34 @@ package core
 // result instead of per leg. Per-partition groups are partial, so HAVING
 // over an aggregate (HAVING SUM(x) > 10) must run after re-aggregation;
 // the router strips it from the leg statements, carries any aggregates it
-// references as hidden projection columns, and filters the merged rows
-// with this small evaluator. Semantics mirror the execution engine's
-// (three-valued logic, NULL-propagating comparisons and arithmetic).
+// references as hidden projection columns, and filters the merged rows.
+// The evaluator is the execution engine's own (ee.CompileResolved): leaves
+// the merge carries as columns resolve to merged-row positions, and every
+// operator keeps the engine's semantics (three-valued logic, NULL
+// propagation, float widening), so distributed HAVING cannot drift from
+// single-partition execution. A separate hand-rolled evaluator used to
+// live here and drifted exactly that way.
 
 import (
-	"fmt"
-	"strings"
-
+	"repro/internal/ee"
 	"repro/internal/sql"
-	"repro/internal/types"
 )
 
 // mergedExpr evaluates against one merged output row (pre-trim, so hidden
 // aggregate columns are addressable).
-type mergedExpr func(row types.Row, params []types.Value) (types.Value, error)
+type mergedExpr = ee.CompiledExpr
 
 // compileMergeExpr compiles expr into a closure over merged rows. resolve
 // maps leaf expressions the merge carries as columns — projected group
 // keys and (hidden or projected) aggregates — to their output positions;
-// it returns ok=false for leaves it cannot place, which is a compile
-// error here.
+// it returns ok=false for leaves it cannot place, which falls through to
+// structural compilation in the engine (column refs then fail: there is no
+// table scope after the merge).
 func compileMergeExpr(expr sql.Expr, resolve func(sql.Expr) (int, bool, error)) (mergedExpr, error) {
-	if pos, ok, err := resolve(expr); err != nil {
-		return nil, err
-	} else if ok {
-		return func(row types.Row, _ []types.Value) (types.Value, error) {
-			if pos >= len(row) {
-				return types.Null, fmt.Errorf("core: merged HAVING column %d out of range", pos)
-			}
-			return row[pos], nil
-		}, nil
-	}
-	switch x := expr.(type) {
-	case *sql.Literal:
-		v := x.Value
-		return func(types.Row, []types.Value) (types.Value, error) { return v, nil }, nil
-	case *sql.Param:
-		idx := x.Index
-		return func(_ types.Row, params []types.Value) (types.Value, error) {
-			if idx >= len(params) {
-				return types.Null, fmt.Errorf("core: HAVING parameter %d not supplied", idx+1)
-			}
-			return params[idx], nil
-		}, nil
-	case *sql.Unary:
-		sub, err := compileMergeExpr(x.X, resolve)
-		if err != nil {
-			return nil, err
-		}
-		if x.Op == "NOT" {
-			return func(row types.Row, params []types.Value) (types.Value, error) {
-				v, err := sub(row, params)
-				if err != nil || v.IsNull() {
-					return types.Null, err
-				}
-				return types.NewBool(!v.IsTrue()), nil
-			}, nil
-		}
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			v, err := sub(row, params)
-			if err != nil || v.IsNull() {
-				return types.Null, err
-			}
-			switch v.Type() {
-			case types.TypeInt:
-				return types.NewInt(-v.Int()), nil
-			case types.TypeFloat:
-				return types.NewFloat(-v.Float()), nil
-			}
-			return types.Null, fmt.Errorf("core: unary minus applied to %s", v.Type())
-		}, nil
-	case *sql.Binary:
-		return compileMergeBinary(x, resolve)
-	case *sql.IsNull:
-		sub, err := compileMergeExpr(x.X, resolve)
-		if err != nil {
-			return nil, err
-		}
-		negate := x.Negate
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			v, err := sub(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			return types.NewBool(v.IsNull() != negate), nil
-		}, nil
-	case *sql.Between:
-		sub, err := compileMergeExpr(x.X, resolve)
-		if err != nil {
-			return nil, err
-		}
-		lo, err := compileMergeExpr(x.Lo, resolve)
-		if err != nil {
-			return nil, err
-		}
-		hi, err := compileMergeExpr(x.Hi, resolve)
-		if err != nil {
-			return nil, err
-		}
-		negate := x.Negate
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			v, err := sub(row, params)
-			if err != nil || v.IsNull() {
-				return types.Null, err
-			}
-			lv, err := lo(row, params)
-			if err != nil || lv.IsNull() {
-				return types.Null, err
-			}
-			hv, err := hi(row, params)
-			if err != nil || hv.IsNull() {
-				return types.Null, err
-			}
-			in := v.Compare(lv) >= 0 && v.Compare(hv) <= 0
-			return types.NewBool(in != negate), nil
-		}, nil
-	case *sql.InList:
-		sub, err := compileMergeExpr(x.X, resolve)
-		if err != nil {
-			return nil, err
-		}
-		items := make([]mergedExpr, len(x.List))
-		for i, it := range x.List {
-			if items[i], err = compileMergeExpr(it, resolve); err != nil {
-				return nil, err
-			}
-		}
-		negate := x.Negate
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			v, err := sub(row, params)
-			if err != nil || v.IsNull() {
-				return types.Null, err
-			}
-			sawNull := false
-			for _, it := range items {
-				iv, err := it(row, params)
-				if err != nil {
-					return types.Null, err
-				}
-				if iv.IsNull() {
-					sawNull = true
-					continue
-				}
-				if v.Compare(iv) == 0 {
-					return types.NewBool(!negate), nil
-				}
-			}
-			if sawNull {
-				return types.Null, nil
-			}
-			return types.NewBool(negate), nil
-		}, nil
-	}
-	return nil, fmt.Errorf("core: HAVING across partitions cannot evaluate %T after the merge; project the value and filter client-side", expr)
-}
-
-func compileMergeBinary(x *sql.Binary, resolve func(sql.Expr) (int, bool, error)) (mergedExpr, error) {
-	l, err := compileMergeExpr(x.L, resolve)
-	if err != nil {
-		return nil, err
-	}
-	r, err := compileMergeExpr(x.R, resolve)
-	if err != nil {
-		return nil, err
-	}
-	op := x.Op
-	switch op {
-	case "AND", "OR":
-		and := op == "AND"
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			lv, err := l(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			if and && !lv.IsNull() && !lv.IsTrue() {
-				return types.NewBool(false), nil
-			}
-			if !and && lv.IsTrue() {
-				return types.NewBool(true), nil
-			}
-			rv, err := r(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			if and {
-				switch {
-				case !rv.IsNull() && !rv.IsTrue():
-					return types.NewBool(false), nil
-				case lv.IsNull() || rv.IsNull():
-					return types.Null, nil
-				}
-				return types.NewBool(true), nil
-			}
-			switch {
-			case rv.IsTrue():
-				return types.NewBool(true), nil
-			case lv.IsNull() || rv.IsNull():
-				return types.Null, nil
-			}
-			return types.NewBool(false), nil
-		}, nil
-	case "=", "!=", "<", "<=", ">", ">=":
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			lv, err := l(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			rv, err := r(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			if lv.IsNull() || rv.IsNull() {
-				return types.Null, nil
-			}
-			c := lv.Compare(rv)
-			var b bool
-			switch op {
-			case "=":
-				b = c == 0
-			case "!=":
-				b = c != 0
-			case "<":
-				b = c < 0
-			case "<=":
-				b = c <= 0
-			case ">":
-				b = c > 0
-			case ">=":
-				b = c >= 0
-			}
-			return types.NewBool(b), nil
-		}, nil
-	case "+", "-", "*", "/", "%":
-		return func(row types.Row, params []types.Value) (types.Value, error) {
-			lv, err := l(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			rv, err := r(row, params)
-			if err != nil {
-				return types.Null, err
-			}
-			return mergeArith(op, lv, rv)
-		}, nil
-	}
-	return nil, fmt.Errorf("core: HAVING across partitions does not support operator %q", op)
-}
-
-// mergeArith mirrors the execution engine's arithmetic (NULL-propagating,
-// float-widening, timestamp-permitting, zero-division error — keep in
-// lockstep with ee's evalArith; unifying the two evaluators behind an
-// exported ee compile-with-resolver hook is a noted follow-up).
-func mergeArith(op string, l, r types.Value) (types.Value, error) {
-	if l.IsNull() || r.IsNull() {
-		return types.Null, nil
-	}
-	if !l.IsNumeric() && l.Type() != types.TypeTimestamp {
-		return types.Null, fmt.Errorf("core: HAVING arithmetic on %s", l.Type())
-	}
-	if !r.IsNumeric() && r.Type() != types.TypeTimestamp {
-		return types.Null, fmt.Errorf("core: HAVING arithmetic on %s", r.Type())
-	}
-	if l.Type() == types.TypeFloat || r.Type() == types.TypeFloat {
-		a, b := l.Float(), r.Float()
-		switch op {
-		case "+":
-			return types.NewFloat(a + b), nil
-		case "-":
-			return types.NewFloat(a - b), nil
-		case "*":
-			return types.NewFloat(a * b), nil
-		case "/":
-			if b == 0 {
-				return types.Null, fmt.Errorf("core: division by zero in HAVING")
-			}
-			return types.NewFloat(a / b), nil
-		case "%":
-			if b == 0 {
-				return types.Null, fmt.Errorf("core: division by zero in HAVING")
-			}
-			if int64(b) == 0 {
-				// Fractional divisor truncating to zero: mirror the engine's
-				// integer modulus without its divide-by-zero panic.
-				return types.Null, fmt.Errorf("core: modulus by a divisor truncating to zero in HAVING")
-			}
-			return types.NewInt(int64(a) % int64(b)), nil
-		}
-	}
-	a, b := l.Int(), r.Int()
-	switch op {
-	case "+":
-		return types.NewInt(a + b), nil
-	case "-":
-		return types.NewInt(a - b), nil
-	case "*":
-		return types.NewInt(a * b), nil
-	case "/":
-		if b == 0 {
-			return types.Null, fmt.Errorf("core: division by zero in HAVING")
-		}
-		return types.NewInt(a / b), nil
-	case "%":
-		if b == 0 {
-			return types.Null, fmt.Errorf("core: division by zero in HAVING")
-		}
-		return types.NewInt(a % b), nil
-	}
-	return types.Null, fmt.Errorf("core: unknown arithmetic operator %q", op)
+	return ee.CompileResolved(expr, resolve)
 }
 
 // mergeExprEqual reports structural equality of two expressions — the
 // matcher that lets HAVING reuse a projected aggregate's merged column
 // instead of carrying a hidden duplicate.
-func mergeExprEqual(a, b sql.Expr) bool {
-	switch x := a.(type) {
-	case *sql.Literal:
-		y, ok := b.(*sql.Literal)
-		return ok && x.Value.Equal(y.Value) && x.Value.Type() == y.Value.Type()
-	case *sql.ColumnRef:
-		y, ok := b.(*sql.ColumnRef)
-		return ok && strings.EqualFold(x.Table, y.Table) && strings.EqualFold(x.Column, y.Column)
-	case *sql.Param:
-		y, ok := b.(*sql.Param)
-		return ok && x.Index == y.Index
-	case *sql.Unary:
-		y, ok := b.(*sql.Unary)
-		return ok && x.Op == y.Op && mergeExprEqual(x.X, y.X)
-	case *sql.Binary:
-		y, ok := b.(*sql.Binary)
-		return ok && x.Op == y.Op && mergeExprEqual(x.L, y.L) && mergeExprEqual(x.R, y.R)
-	case *sql.FuncCall:
-		y, ok := b.(*sql.FuncCall)
-		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star || x.Distinct != y.Distinct || len(x.Args) != len(y.Args) {
-			return false
-		}
-		for i := range x.Args {
-			if !mergeExprEqual(x.Args[i], y.Args[i]) {
-				return false
-			}
-		}
-		return true
-	}
-	return false
-}
+func mergeExprEqual(a, b sql.Expr) bool { return ee.ExprEqual(a, b) }

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/types"
+)
+
+// TestPauseSurvivesReopen is the durable-pause contract: a graph paused
+// before a crash must come back paused — reopening must not silently
+// resume ingesting — and a resume before the crash must come back running.
+func TestPauseSurvivesReopen(t *testing.T) {
+	dir := t.TempDir()
+	cfg := gcTestConfig(dir, 1)
+	st := dfStore(t, cfg)
+	if err := st.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Drain()
+	if err := st.PauseDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Reopen: the graph must recover paused.
+	st2 := dfStore(t, cfg)
+	if err := st2.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Start(); err != nil {
+		t.Fatal(err)
+	}
+	show, err := st2.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state := show.Rows[0][1].Str(); state != "paused" {
+		t.Fatalf("reopened state = %q, want paused (pause lost at recovery)", state)
+	}
+	// Ingest queues without executing while the recovered pause holds.
+	res, err := st2.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	frozen := res.Rows[0][0].Int()
+	for i := 10; i < 14; i++ {
+		if err := st2.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st2.Drain()
+	res, err = st2.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != frozen {
+		t.Fatalf("recovered pause did not gate ingest: %d rows, want %d", got, frozen)
+	}
+	// Resume dispatches the queued backlog (two full batches of 2).
+	if err := st2.ResumeDataflow("pipeline"); err != nil {
+		t.Fatal(err)
+	}
+	st2.FlushBatches()
+	st2.Drain()
+	res, err = st2.Query("SELECT COUNT(*) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Rows[0][0].Int(); got != frozen+4 {
+		t.Fatalf("post-resume sink rows = %d, want %d", got, frozen+4)
+	}
+	if err := st2.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The resume was durable too: the next reopen comes back running.
+	st3 := dfStore(t, cfg)
+	if err := st3.Deploy(pipelineDF()); err != nil {
+		t.Fatal(err)
+	}
+	if err := st3.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st3.Stop()
+	show, err = st3.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if state := show.Rows[0][1].Str(); state != "running" {
+		t.Fatalf("state after durable resume = %q, want running", state)
+	}
+}

@@ -1,0 +1,697 @@
+package core
+
+// This file is the high-availability half of the durability story: WAL
+// shipping. A primary partition's command log already contains everything
+// needed to rebuild the partition (that is what crash recovery replays), so
+// a follower replica is recovery run continuously: it tails each partition
+// segment plus the coordinator log, replays hardened records into its own
+// MVCC storage through the same pe.Replay path recovery uses, and serves
+// snapshot SELECTs from the replayed state. Promotion is then crash
+// recovery's endgame — resolve in-doubt 2PC legs, evict migrated slots,
+// restore pause state — run on state that is already warm.
+//
+// The in-doubt rule is the one subtlety. The pipelined commit path releases
+// a transaction's partition slots before its markers append, so records
+// from successor transactions can precede the RecDecide marker in a
+// partition segment. A follower must therefore never infer an abort from
+// what follows an unresolved RecPrepare: it stalls that partition's apply
+// stream (buffering subsequent frames) until a commit decision arrives from
+// the coordinator stream or an in-stream marker — and only at promotion,
+// when no decision can ever arrive, are the still-undecided prepares
+// presumed aborted, exactly as recovery presumes them.
+//
+// Known limits, by design: a follower must attach before the primary's
+// first checkpoint (truncation discards the log prefix a late follower
+// would need — ErrShipGap reports the hole; re-seed with a fresh follower);
+// cross-partition reads on a follower see each partition's prefix at an
+// independent point (per-partition consistent prefix, not a cross-partition
+// atomic cut); and a promoted store runs non-durable (its state was never
+// logged locally) — re-point clients and schedule a re-seeded standby.
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/pe"
+	"repro/internal/sql"
+	"repro/internal/storage"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// CoordStream is the pseudo-partition index of the coordinator log in the
+// replication protocol (partition streams use their real index ≥ 0).
+const CoordStream = -1
+
+// ReplBatch is one fetch's worth of shipped WAL: the intact frames past the
+// follower's position and the segment's current horizon LSN (for lag
+// accounting; the horizon may be beyond the last returned frame when the
+// byte budget truncated the batch).
+type ReplBatch struct {
+	Frames []wal.Frame
+	EndLSN uint64
+}
+
+// ReplicationSource feeds a follower hardened WAL frames. Implementations:
+// StoreSource (in-process replica sets) and client.TCP (a second sstored
+// following over the wire).
+type ReplicationSource interface {
+	FetchBatch(part int, afterLSN uint64, maxBytes int) (ReplBatch, error)
+}
+
+// StoreSource adapts a durable primary Store into a ReplicationSource for
+// in-process followers.
+type StoreSource struct{ St *Store }
+
+// FetchBatch implements ReplicationSource.
+func (s StoreSource) FetchBatch(part int, afterLSN uint64, maxBytes int) (ReplBatch, error) {
+	return s.St.ReplicationBatch(part, afterLSN, maxBytes)
+}
+
+// ReplicationBatch reads hardened WAL frames for one partition stream
+// (CoordStream for the coordinator log) past afterLSN. It reads the segment
+// file directly rather than hooking the log writer: the read is race-free
+// against Stop, ships only what an fsync made real, and keeps working after
+// the primary process died — which is exactly when a promoting follower
+// drains the tail.
+func (s *Store) ReplicationBatch(part int, afterLSN uint64, maxBytes int) (ReplBatch, error) {
+	if s.cfg.Dir == "" {
+		return ReplBatch{}, fmt.Errorf("core: replication requires a durable primary (no Dir configured)")
+	}
+	var path string
+	if part == CoordStream {
+		path = wal.CoordPath(s.cfg.Dir)
+	} else if part < 0 || part >= len(s.partList()) {
+		return ReplBatch{}, fmt.Errorf("core: replication fetch for partition %d of %d", part, len(s.partList()))
+	} else {
+		path, _ = wal.PartitionPaths(s.cfg.Dir, part)
+	}
+	frames, end, err := wal.ReadFrames(path, afterLSN, maxBytes)
+	if err != nil {
+		return ReplBatch{}, err
+	}
+	return ReplBatch{Frames: frames, EndLSN: end}, nil
+}
+
+// LSNVector returns the last allocated LSN of every partition log — the
+// write position a ReplicaSession forwards to get read-your-writes on a
+// follower. An acknowledged write's record is at or before this position on
+// its partition.
+func (s *Store) LSNVector() []uint64 {
+	parts := s.partList()
+	vec := make([]uint64, len(parts))
+	for i, p := range parts {
+		if p.log != nil {
+			vec[i] = p.log.LSN()
+		}
+	}
+	return vec
+}
+
+// FollowerOpts tunes a follower replica.
+type FollowerOpts struct {
+	// PollInterval is the idle delay between fetch rounds (default 2ms).
+	PollInterval time.Duration
+	// MaxBatchBytes bounds one fetch's payload (default 1MiB).
+	MaxBatchBytes int
+	// ReadTimeout bounds how long a session read waits for the follower to
+	// catch up to its LSN vector (default 5s).
+	ReadTimeout time.Duration
+	// HeartbeatTimeout > 0 arms auto-promotion: when every fetch has failed
+	// for this long (the primary is unreachable — a wire source), the
+	// follower promotes itself and reports through OnPromote. Zero leaves
+	// promotion explicit (in-process sources can read the dead primary's
+	// files forever, so "unreachable" never happens there).
+	HeartbeatTimeout time.Duration
+	// OnPromote is called after an automatic promotion completes (or fails).
+	OnPromote func(st *Store, err error)
+}
+
+// replStream is one shipped log's cursor state. Owned by the apply
+// goroutine except applied, which readers poll for session waits.
+type replStream struct {
+	part    int           // partition index, or CoordStream
+	fetched uint64        // last LSN buffered from the source
+	applied atomic.Uint64 // last LSN applied (or resolved) into storage
+	horizon uint64        // last LSN known present in the segment
+	pending []pendingRec  // fetched but not yet applied (stalled behind an in-doubt prepare)
+}
+
+type pendingRec struct {
+	lsn uint64
+	rec *pe.LogRecord
+}
+
+// Follower is a read replica: a non-durable, never-started Store whose
+// state is maintained by replaying the primary's shipped WAL. Reads are
+// served from MVCC snapshots (SnapshotQueryAtSeq needs no partition
+// worker); Promote turns it into a live primary.
+//
+// The follower Store must be opened with the same DDL, procedures,
+// dataflows, and partition count as the primary — replay executes the
+// primary's logged procedure invocations against the local catalog.
+type Follower struct {
+	st   *Store
+	src  ReplicationSource
+	opts FollowerOpts
+
+	// Apply-goroutine-owned protocol state. The partitions' replayDecisions
+	// maps alias decisions, and replaySlotMoves alias slotMoves: the same
+	// goroutine that mutates them calls pe.Replay, so there is no race.
+	coord      *replStream
+	parts      []*replStream
+	decisions  map[uint64]bool // mp txn id → durable commit decision
+	slotMoves  map[uint64]int  // slot-migration leg id → slot
+	evictOwner map[int]int     // slot → owner per its last committed migration
+	paused     map[string]bool // dataflows paused on the primary
+	maxMP      uint64
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	done     chan struct{}
+	running  atomic.Bool
+	promoted atomic.Bool
+
+	mu  sync.Mutex
+	err error // sticky fatal apply error (divergence: gap, decode, replay)
+}
+
+// NewFollower wires a follower replica over src. st must be a fresh,
+// non-durable (Dir == ""), never-started Store with the primary's schema
+// already applied; call Run to start replication.
+func NewFollower(st *Store, src ReplicationSource, opts FollowerOpts) (*Follower, error) {
+	if st.cfg.Dir != "" {
+		return nil, fmt.Errorf("core: follower store must be non-durable (Dir set to %q); its state comes from the shipped WAL", st.cfg.Dir)
+	}
+	if st.partList()[0].pe.Started() {
+		return nil, fmt.Errorf("core: follower store must not be started; replay requires stopped partition engines")
+	}
+	if ss, ok := src.(StoreSource); ok && ss.St.NumPartitions() != st.NumPartitions() {
+		return nil, fmt.Errorf("core: follower has %d partitions, primary has %d; counts must match", st.NumPartitions(), ss.St.NumPartitions())
+	}
+	if opts.PollInterval <= 0 {
+		opts.PollInterval = 2 * time.Millisecond
+	}
+	if opts.MaxBatchBytes <= 0 {
+		opts.MaxBatchBytes = 1 << 20
+	}
+	if opts.ReadTimeout <= 0 {
+		opts.ReadTimeout = 5 * time.Second
+	}
+	f := &Follower{
+		st:         st,
+		src:        src,
+		opts:       opts,
+		coord:      &replStream{part: CoordStream},
+		decisions:  make(map[uint64]bool),
+		slotMoves:  make(map[uint64]int),
+		evictOwner: make(map[int]int),
+		paused:     make(map[string]bool),
+		stop:       make(chan struct{}),
+		done:       make(chan struct{}),
+	}
+	for _, p := range st.partList() {
+		f.parts = append(f.parts, &replStream{part: p.idx})
+		p.pe.SetReplayDecisions(f.decisions)
+		p.pe.SetReplaySlotMoves(f.slotMoves, p.evictSlot)
+	}
+	return f, nil
+}
+
+// Store exposes the follower's underlying store (stats, catalog). Do not
+// write to it or start it; Promote does that once.
+func (f *Follower) Store() *Store { return f.st }
+
+// Err returns the sticky fatal error, if replication has diverged.
+func (f *Follower) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.err
+}
+
+func (f *Follower) setErr(err error) {
+	f.mu.Lock()
+	if f.err == nil {
+		f.err = err
+	}
+	f.mu.Unlock()
+}
+
+// Lag returns the replication lag in log records, summed across streams
+// (horizon minus applied; LSNs are dense, so the difference counts records).
+func (f *Follower) Lag() int64 { return f.st.met.ReplLag.Load() }
+
+// Applied returns the sum of applied LSNs across streams — a monotone
+// caught-up-ness score (see MostCaughtUp).
+func (f *Follower) Applied() uint64 {
+	total := f.coord.applied.Load()
+	for _, strm := range f.parts {
+		total += strm.applied.Load()
+	}
+	return total
+}
+
+// MostCaughtUp picks the follower with the highest applied position — the
+// promotion candidate that minimizes lost (never-acked) tail work.
+func MostCaughtUp(fs []*Follower) *Follower {
+	var best *Follower
+	var bestApplied uint64
+	for _, f := range fs {
+		if a := f.Applied(); best == nil || a > bestApplied {
+			best, bestApplied = f, a
+		}
+	}
+	return best
+}
+
+// Run starts the apply loop. One background goroutine owns all replication
+// state; reads run on caller goroutines against MVCC snapshots, exactly as
+// they do against a live primary's writer.
+func (f *Follower) Run() error {
+	if f.promoted.Load() {
+		return fmt.Errorf("core: follower was promoted")
+	}
+	if !f.running.CompareAndSwap(false, true) {
+		return fmt.Errorf("core: follower already running")
+	}
+	go f.run()
+	return nil
+}
+
+func (f *Follower) run() {
+	defer close(f.done)
+	var downSince time.Time
+	for {
+		select {
+		case <-f.stop:
+			return
+		default:
+		}
+		progress, ferr := f.pollOnce()
+		if f.Err() != nil {
+			return // diverged: hold state for inspection, refuse promotion
+		}
+		switch {
+		case ferr == nil:
+			downSince = time.Time{}
+		case errors.Is(ferr, wal.ErrShipGap):
+			f.setErr(ferr)
+			return
+		case f.opts.HeartbeatTimeout > 0:
+			if downSince.IsZero() {
+				downSince = time.Now()
+			} else if time.Since(downSince) >= f.opts.HeartbeatTimeout {
+				// Primary unreachable past the heartbeat window: take over.
+				// Promote joins this goroutine via done, so hand off first.
+				go func() {
+					st, err := f.Promote()
+					if f.opts.OnPromote != nil {
+						f.opts.OnPromote(st, err)
+					}
+				}()
+				return
+			}
+		}
+		if !progress {
+			select {
+			case <-f.stop:
+				return
+			case <-time.After(f.opts.PollInterval):
+			}
+		}
+	}
+}
+
+// pollOnce runs one fetch-and-apply round over every stream. It returns
+// whether any frame was buffered or applied, plus the last fetch error
+// (heartbeat signal). Decode and replay failures set the sticky error.
+func (f *Follower) pollOnce() (progress bool, fetchErr error) {
+	// Coordinator stream first: its decisions unblock stalled partitions in
+	// the same round.
+	batch, err := f.src.FetchBatch(CoordStream, f.coord.fetched, f.opts.MaxBatchBytes)
+	if err != nil {
+		fetchErr = err
+	} else {
+		for _, fr := range batch.Frames {
+			rec, derr := wal.DecodeRecord(fr.Payload)
+			if derr != nil {
+				f.setErr(fmt.Errorf("core: replicated coordinator record at LSN %d: %w", fr.LSN, derr))
+				return progress, fetchErr
+			}
+			f.applyCoord(rec)
+			f.coord.fetched = fr.LSN
+			f.coord.applied.Store(fr.LSN)
+			progress = true
+		}
+		if batch.EndLSN > f.coord.horizon {
+			f.coord.horizon = batch.EndLSN
+		}
+	}
+	for _, strm := range f.parts {
+		batch, err := f.src.FetchBatch(strm.part, strm.fetched, f.opts.MaxBatchBytes)
+		if err != nil {
+			fetchErr = err
+			continue
+		}
+		for _, fr := range batch.Frames {
+			rec, derr := wal.DecodeRecord(fr.Payload)
+			if derr != nil {
+				f.setErr(fmt.Errorf("core: replicated record at LSN %d (partition %d): %w", fr.LSN, strm.part, derr))
+				return progress, fetchErr
+			}
+			// An in-stream decide marker is a durable commit decision (a
+			// participant writes it only after the coordinator's force — and
+			// for one-phase transactions it IS the commit record).
+			if rec.Kind == pe.RecDecide && rec.Commit {
+				f.decisions[rec.MPTxnID] = true
+			}
+			if rec.MPTxnID > f.maxMP {
+				f.maxMP = rec.MPTxnID
+			}
+			strm.pending = append(strm.pending, pendingRec{lsn: fr.LSN, rec: rec})
+			strm.fetched = fr.LSN
+			progress = true
+		}
+		if batch.EndLSN > strm.horizon {
+			strm.horizon = batch.EndLSN
+		}
+		applied, err := f.drainPending(strm, false)
+		if err != nil {
+			f.setErr(err)
+			return progress, fetchErr
+		}
+		progress = progress || applied
+	}
+	f.updateLag()
+	return progress, fetchErr
+}
+
+// applyCoord folds one coordinator-log record into the protocol state.
+func (f *Follower) applyCoord(rec *pe.LogRecord) {
+	switch rec.Kind {
+	case pe.RecDecide:
+		if rec.Commit {
+			f.decisions[rec.MPTxnID] = true
+		}
+	case pe.RecSlotCommit:
+		// A slot migration's commit record doubles as the decision for the
+		// destination's prepared leg, and names the slot's new owner.
+		f.decisions[rec.MPTxnID] = true
+		f.slotMoves[rec.MPTxnID] = rec.Slot
+		f.evictOwner[rec.Slot] = rec.ToPart
+	case pe.RecPauseGraph:
+		f.paused[rec.Proc] = true
+	case pe.RecResumeGraph:
+		delete(f.paused, rec.Proc)
+	}
+	if rec.MPTxnID > f.maxMP {
+		f.maxMP = rec.MPTxnID
+	}
+}
+
+// drainPending applies a partition stream's buffered records in log order,
+// stopping at an in-doubt prepare (unless promoting, when the missing
+// decision is final and the prepare is presumed aborted — recovery's rule).
+func (f *Follower) drainPending(strm *replStream, promoting bool) (applied bool, err error) {
+	p := f.st.partList()[strm.part]
+	for len(strm.pending) > 0 {
+		pr := strm.pending[0]
+		switch {
+		case pr.rec.Kind == pe.RecDecide:
+			// Already folded into decisions at fetch time; the marker itself
+			// applies nothing.
+		case pr.rec.Kind == pe.RecPrepare && !f.decisions[pr.rec.MPTxnID]:
+			if !promoting {
+				return applied, nil // in-doubt: stall this stream
+			}
+			// Promoting: no decision can ever arrive — presumed abort, drop
+			// the leg and continue with the records behind it (they executed
+			// on the primary and never read this leg's unpublished writes).
+		default:
+			if rerr := p.replay(pr.rec, f.st.cfg.LogMode); rerr != nil {
+				return applied, fmt.Errorf("core: replica replay at LSN %d (partition %d): %w", pr.lsn, strm.part, rerr)
+			}
+			f.st.met.ReplRecordsApplied.Add(1)
+		}
+		strm.pending = strm.pending[1:]
+		strm.applied.Store(pr.lsn)
+		applied = true
+	}
+	return applied, nil
+}
+
+// updateLag recomputes the lag gauge: records known hardened on the primary
+// but not yet applied here, summed across streams.
+func (f *Follower) updateLag() {
+	lag := int64(0)
+	if h, a := f.coord.horizon, f.coord.applied.Load(); h > a {
+		lag += int64(h - a)
+	}
+	for _, strm := range f.parts {
+		if h, a := strm.horizon, strm.applied.Load(); h > a {
+			lag += int64(h - a)
+		}
+	}
+	f.st.met.ReplLag.Store(lag)
+}
+
+// Promote turns the follower into a live primary: stop the apply loop,
+// drain every stream to its end (file reads outlive the primary process, so
+// an in-process drain reaches the hardened tail even after a crash),
+// resolve in-doubt 2PC state exactly as crash recovery would, and start the
+// partition workers. The returned Store is the follower's own store, now
+// serving reads and writes — non-durable (see the file comment), so
+// schedule a re-seeded standby behind it.
+//
+// Every acknowledged write survives promotion: an ack implies the record
+// was fsynced on the primary, fsynced records are exactly what FetchBatch
+// ships, and the drain loops until the segments are dry.
+func (f *Follower) Promote() (*Store, error) {
+	f.stopOnce.Do(func() { close(f.stop) })
+	if f.running.Load() {
+		<-f.done
+	}
+	if !f.promoted.CompareAndSwap(false, true) {
+		return nil, fmt.Errorf("core: follower already promoted")
+	}
+	if err := f.Err(); err != nil {
+		return nil, fmt.Errorf("core: cannot promote a diverged follower: %w", err)
+	}
+	// Final drain: pull until a full round moves nothing. Fetch errors stop
+	// a round from progressing (a dead wire source), which ends the loop
+	// with whatever was already hardened and shipped.
+	for {
+		progress, ferr := f.pollOnce()
+		if err := f.Err(); err != nil {
+			return nil, fmt.Errorf("core: cannot promote a diverged follower: %w", err)
+		}
+		if ferr != nil && errors.Is(ferr, wal.ErrShipGap) {
+			f.setErr(ferr)
+			return nil, fmt.Errorf("core: cannot promote a diverged follower: %w", ferr)
+		}
+		if !progress {
+			break
+		}
+	}
+	// Presumed-abort the in-doubt prepares and apply the records stalled
+	// behind them.
+	for _, strm := range f.parts {
+		if _, err := f.drainPending(strm, true); err != nil {
+			f.setErr(err)
+			return nil, err
+		}
+	}
+	st := f.st
+	// Committed slot migrations: drop the stale source copies and route the
+	// slots to their migrated owners (the rows already sit there; no rehome
+	// needed on the live path).
+	st.evictMigratedSlots(f.evictOwner)
+	if len(f.evictOwner) > 0 {
+		tbl := st.slots.Load().Clone()
+		for slot, owner := range f.evictOwner {
+			tbl.Owner[slot] = uint16(owner)
+		}
+		st.slots.Store(tbl)
+	}
+	for _, p := range st.partList() {
+		p.cat.Clock().Publish()
+	}
+	st.restorePausedGraphs(f.paused)
+	st.nextMPTxnID.Store(f.maxMP)
+	f.updateLag()
+	if err := st.Start(); err != nil {
+		return nil, err
+	}
+	st.met.Promotions.Add(1)
+	return st, nil
+}
+
+// Query runs a read-only SELECT against the follower's replayed state (no
+// session ordering constraint — a consistent prefix per partition).
+func (f *Follower) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
+	res, _, err := f.query(nil, sqlText, params)
+	return res, err
+}
+
+// query is the follower read path: optionally wait for the session's LSN
+// floor, then run the SELECT on MVCC snapshots — partition 0 for
+// unpartitioned scopes, a pinned fan-out + merge for partitioned ones
+// (querySelect's shape, on SnapshotQueryAtSeq so no worker is needed). It
+// returns the applied-LSN vector observed before pinning, which the session
+// folds back in for monotonic reads.
+func (f *Follower) query(min []uint64, sqlText string, params []types.Value) (*pe.Result, []uint64, error) {
+	if f.promoted.Load() {
+		return nil, nil, fmt.Errorf("core: follower was promoted; query the promoted store directly")
+	}
+	if err := f.waitApplied(min); err != nil {
+		return nil, nil, err
+	}
+	st := f.st
+	stmt, err := sql.ParseCached(sqlText)
+	if err != nil {
+		return nil, nil, err
+	}
+	sel, ok := stmt.(*sql.Select)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: follower replica is read-only; only SELECT is supported")
+	}
+	st.met.FollowerReads.Add(1)
+	// Applied LSNs are stored after each record's publish, so state applied
+	// up to this vector is visible to the snapshots pinned below.
+	seen := make([]uint64, len(f.parts))
+	for i, strm := range f.parts {
+		seen[i] = strm.applied.Load()
+	}
+	partitioned := false
+	if len(st.partList()) > 1 {
+		if partitioned, err = st.queryScope(sel); err != nil {
+			return nil, nil, err
+		}
+	}
+	if !partitioned {
+		st.routeMu.RLock()
+		defer st.routeMu.RUnlock()
+		p := st.partList()[0]
+		seq := p.pe.AcquireSnapshot()
+		defer p.pe.ReleaseSnapshot(seq)
+		res, err := p.pe.SnapshotQueryAtSeq(seq, sqlText, params...)
+		if err != nil {
+			return nil, nil, err
+		}
+		return res, seen, nil
+	}
+	plan, legSQL, legParams, err := fanoutLeg(sel, sqlText, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	// Pin one snapshot per partition. Unlike the primary's querySelect there
+	// is no seqMu cut against 2PC publication: the apply goroutine publishes
+	// a coordinated transaction's legs at independent moments, so a
+	// follower fan-out is a consistent prefix per partition, not an atomic
+	// cross-partition cut (see the file comment).
+	st.routeMu.RLock()
+	parts := st.partList()
+	seqs := make([]storage.Seq, len(parts))
+	for i, p := range parts {
+		seqs[i] = p.pe.AcquireSnapshot()
+	}
+	defer func() {
+		for i, p := range parts {
+			p.pe.ReleaseSnapshot(seqs[i])
+		}
+	}()
+	results := make([]*pe.Result, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i := range parts {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = parts[i].pe.SnapshotQueryAtSeq(seqs[i], legSQL, legParams...)
+		}(i)
+	}
+	wg.Wait()
+	st.routeMu.RUnlock()
+	for _, err := range errs {
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	res, err := plan.merge(sel, results, params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return res, seen, nil
+}
+
+// waitApplied blocks until every partition stream has applied at least its
+// entry in min (a primary LSNVector), within the read timeout.
+func (f *Follower) waitApplied(min []uint64) error {
+	if len(min) == 0 {
+		return nil
+	}
+	if len(min) > len(f.parts) {
+		return fmt.Errorf("core: session LSN vector has %d partitions, follower has %d", len(min), len(f.parts))
+	}
+	deadline := time.Now().Add(f.opts.ReadTimeout)
+	for i, want := range min {
+		strm := f.parts[i]
+		for strm.applied.Load() < want {
+			if err := f.Err(); err != nil {
+				return err
+			}
+			if f.promoted.Load() {
+				return fmt.Errorf("core: follower was promoted; query the promoted store directly")
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("core: replica read timed out waiting for LSN %d on partition %d (applied %d)", want, i, strm.applied.Load())
+			}
+			time.Sleep(100 * time.Microsecond)
+		}
+	}
+	return nil
+}
+
+// ReplicaSession orders one client's follower reads: Forward installs a
+// floor (the primary's LSNVector after a write, for read-your-writes), and
+// each successful Query raises the floor to the state it observed
+// (monotonic reads across queries).
+type ReplicaSession struct {
+	f   *Follower
+	mu  sync.Mutex
+	min []uint64
+}
+
+// Session opens a read session on the follower.
+func (f *Follower) Session() *ReplicaSession { return &ReplicaSession{f: f} }
+
+// Forward raises the session's LSN floor (entries merge by max; a shorter
+// vector leaves later partitions unconstrained).
+func (rs *ReplicaSession) Forward(vec []uint64) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(vec) > len(rs.min) {
+		rs.min = append(rs.min, make([]uint64, len(vec)-len(rs.min))...)
+	}
+	for i, v := range vec {
+		if v > rs.min[i] {
+			rs.min[i] = v
+		}
+	}
+}
+
+// Query runs a SELECT no staler than the session floor.
+func (rs *ReplicaSession) Query(sqlText string, params ...types.Value) (*pe.Result, error) {
+	rs.mu.Lock()
+	min := append([]uint64(nil), rs.min...)
+	rs.mu.Unlock()
+	res, seen, err := rs.f.query(min, sqlText, params)
+	if err != nil {
+		return nil, err
+	}
+	rs.Forward(seen)
+	return res, nil
+}

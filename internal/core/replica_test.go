@@ -1,0 +1,450 @@
+package core
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// kvFollower builds a non-durable replica store with the kv schema and
+// attaches it to primary as an in-process follower. The caller owns Run /
+// Promote; cleanup stops whichever store ends up running.
+func kvFollower(t *testing.T, primary *Store, parts int) *Follower {
+	t.Helper()
+	fst := buildKV(t, Config{Partitions: parts})
+	f, err := NewFollower(fst, StoreSource{St: primary}, FollowerOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+// keySet full-scans kv through fn and returns the key set. Full scans, not
+// point lookups: replayed rows live on the partition that logged them, and
+// a full scan's fan-out sees every partition regardless of hash placement.
+func keySet(t *testing.T, query func(string, ...types.Value) (*pe.Result, error)) map[int64]int {
+	t.Helper()
+	res, err := query("SELECT k FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make(map[int64]int, len(res.Rows))
+	for _, r := range res.Rows {
+		keys[r[0].Int()]++
+	}
+	return keys
+}
+
+// TestFollowerReplicatesAndServesReads is the basic shipping contract: a
+// follower tails the primary's WAL, a session forwarded to the primary's
+// LSN vector reads its own writes, lag converges to zero on an idle
+// primary, and the replication counters surface through the stats surface.
+func TestFollowerReplicatesAndServesReads(t *testing.T) {
+	const parts = 2
+	st := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	f := kvFollower(t, st, parts)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Store().Stop()
+
+	const n = 60
+	for k := int64(0); k < n; k++ {
+		if _, err := st.Call("put", types.NewInt(k), types.NewInt(k*10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rs := f.Session()
+	rs.Forward(st.LSNVector())
+	res, err := rs.Query("SELECT COUNT(*), SUM(v) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantSum := int64(n*(n-1)/2) * 10
+	if res.Rows[0][0].Int() != n || res.Rows[0][1].Int() != wantSum {
+		t.Fatalf("follower aggregate = %v, want [%d %d]", res.Rows, n, wantSum)
+	}
+	keys := keySet(t, rs.Query)
+	for k := int64(0); k < n; k++ {
+		if keys[k] != 1 {
+			t.Fatalf("key %d appears %d times on the follower", k, keys[k])
+		}
+	}
+
+	// Read-your-writes across a fresh write: forward the vector taken after
+	// the ack and the row must be visible.
+	if _, err := st.Call("put", types.NewInt(1000), types.NewInt(7)); err != nil {
+		t.Fatal(err)
+	}
+	rs.Forward(st.LSNVector())
+	if keys := keySet(t, rs.Query); keys[1000] != 1 {
+		t.Fatalf("read-your-writes: key 1000 missing after Forward (keys=%d)", len(keys))
+	}
+
+	// Writes are rejected on the replica.
+	if _, err := f.Query("INSERT INTO kv VALUES (9, 9)"); err == nil ||
+		!strings.Contains(err.Error(), "read-only") {
+		t.Fatalf("replica write err = %v", err)
+	}
+
+	// Idle primary: lag must converge to zero.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Lag() != 0 {
+		if time.Now().After(deadline) {
+			t.Fatalf("replication lag stuck at %d", f.Lag())
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The counters surface through the stats rows (sstorecli stats).
+	stats := f.Store().StatsResult()
+	got := map[string]int64{}
+	for _, r := range stats.Rows {
+		if v, err := strconv.ParseInt(r[1].Str(), 10, 64); err == nil {
+			got[r[0].Str()] = v
+		}
+	}
+	if got["repl_records_applied"] < n {
+		t.Fatalf("repl_records_applied = %d, want >= %d", got["repl_records_applied"], n)
+	}
+	if _, ok := got["repl_lag"]; !ok {
+		t.Fatal("repl_lag missing from stats")
+	}
+	if got["follower_reads"] == 0 {
+		t.Fatal("follower_reads not counted")
+	}
+}
+
+// TestFollowerAppliesMultiPartitionWrites ships logged 2PC work
+// (MultiPartitionTxn — the command-logged coordinated path): each leg's
+// partition record is a PREPARE whose decision travels on the coordinator
+// stream, so the follower must stall every leg until its decision arrives
+// and then apply it. The session read sees both legs of every transaction.
+func TestFollowerAppliesMultiPartitionWrites(t *testing.T) {
+	const parts = 2
+	st := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	f := kvFollower(t, st, parts)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	defer f.Store().Stop()
+
+	// Each transaction writes one row to each partition; single-partition
+	// puts interleave so the decided legs apply amid ordinary records.
+	total := 0
+	for base := int64(0); base < 80; base += 2 {
+		base := base
+		if err := st.MultiPartitionTxn(func(tx *MPTxn) error {
+			if _, err := tx.Exec(0, "INSERT INTO kv VALUES (?, 1)", types.NewInt(base)); err != nil {
+				return err
+			}
+			_, err := tx.Exec(1, "INSERT INTO kv VALUES (?, 1)", types.NewInt(base+1))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		total += 2
+		if _, err := st.Call("put", types.NewInt(1000+base), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+		total++
+	}
+	rs := f.Session()
+	rs.Forward(st.LSNVector())
+	res, err := rs.Query("SELECT COUNT(*), SUM(v) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].Int() != int64(total) || res.Rows[0][1].Int() != int64(total) {
+		t.Fatalf("after coordinated writes: %v, want [%d %d]", res.Rows, total, total)
+	}
+}
+
+// TestFollowerStallsInDoubtPrepare is the correctness heart of shipping
+// under pipelined commit: slots release before markers append, so records
+// can follow an undecided PREPARE in a partition segment. The follower must
+// stall that stream — never inferring an abort — while still applying other
+// streams; only promotion presumes the in-doubt leg aborted, and the
+// stalled successors (whose decisions did arrive) apply then.
+func TestFollowerStallsInDoubtPrepare(t *testing.T) {
+	const parts = 2
+	dir := t.TempDir()
+	st := buildKV(t, gcTestConfig(dir, parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 10; k++ {
+		if _, err := st.Call("put", types.NewInt(k), types.NewInt(k)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Hand-crafted crash state. Partition 0: an in-doubt PREPARE (txn 99,
+	// key 777 — no decision anywhere) followed by a decided PREPARE (txn
+	// 101, key 887). Partition 1: txn 101's other leg (key 888). The
+	// coordinator log holds the commit decision for 101 only.
+	logPath0, _ := wal.PartitionPaths(dir, 0)
+	logPath1, _ := wal.PartitionPaths(dir, 1)
+	appendRecords(t, logPath0,
+		&pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 99, Ops: []pe.LoggedOp{putOp(777, 777)}},
+		&pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 101, Ops: []pe.LoggedOp{putOp(887, 887)}})
+	appendRecords(t, logPath1,
+		&pe.LogRecord{Kind: pe.RecPrepare, MPTxnID: 101, Ops: []pe.LoggedOp{putOp(888, 888)}})
+	appendRecords(t, wal.CoordPath(dir),
+		&pe.LogRecord{Kind: pe.RecDecide, MPTxnID: 101, Commit: true})
+
+	f := kvFollower(t, st, parts)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Partition 1's decided leg applies (proving the loop is live) while
+	// partition 0 stays stalled behind txn 99.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if keys := keySet(t, f.Query); keys[888] == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("decided leg on partition 1 never applied")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	keys := keySet(t, f.Query)
+	if keys[777] != 0 {
+		t.Fatal("in-doubt prepare was applied by a running follower")
+	}
+	if keys[887] != 0 {
+		t.Fatal("follower applied a record past an in-doubt prepare (inferred an abort it must not)")
+	}
+
+	// Promotion: txn 99 is presumed aborted, txn 101's stalled leg applies.
+	promoted, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Stop()
+	keys = keySet(t, promoted.Query)
+	if keys[777] != 0 {
+		t.Fatal("presumed-abort leg resurrected at promotion")
+	}
+	if keys[887] != 1 || keys[888] != 1 {
+		t.Fatalf("decided txn 101 incomplete after promotion: 887=%d 888=%d", keys[887], keys[888])
+	}
+	for k := int64(0); k < 10; k++ {
+		if keys[k] != 1 {
+			t.Fatalf("acked key %d lost across promotion", k)
+		}
+	}
+}
+
+// TestFailoverPromoteNoAckedWriteLost kills the primary mid-burst and
+// promotes the follower. The oracle is the ISSUE's acceptance bar: every
+// write acknowledged to a client survives on the promoted store, nothing
+// appears that was never submitted, nothing is applied twice — and the
+// promoted store accepts new writes.
+func TestFailoverPromoteNoAckedWriteLost(t *testing.T) {
+	const parts = 2
+	const total = 600
+	const writers = 4
+	st := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f := kvFollower(t, st, parts)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var acked [total]atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for k := w; k < total; k += writers {
+				if _, err := st.Call("put", types.NewInt(int64(k)), types.NewInt(int64(k))); err != nil {
+					return // the primary died under us; unacked writes may vanish
+				}
+				acked[k].Store(true)
+			}
+		}(w)
+	}
+	// The crash, mid-burst.
+	crash := make(chan struct{})
+	go func() {
+		defer close(crash)
+		time.Sleep(3 * time.Millisecond)
+		_ = st.Stop()
+	}()
+	wg.Wait()
+	<-crash
+
+	promoted, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer promoted.Stop()
+	keys := keySet(t, promoted.Query)
+	nAcked := 0
+	for k := 0; k < total; k++ {
+		if acked[k].Load() {
+			nAcked++
+			if keys[int64(k)] == 0 {
+				t.Fatalf("acked key %d lost across failover", k)
+			}
+		}
+	}
+	for k, n := range keys {
+		if k < 0 || k >= total {
+			t.Fatalf("phantom key %d on promoted store", k)
+		}
+		if n != 1 {
+			t.Fatalf("key %d applied %d times", k, n)
+		}
+	}
+	t.Logf("failover oracle: %d acked, %d present", nAcked, len(keys))
+
+	// The promoted store is live for both writes and reads.
+	if _, err := promoted.Call("put", types.NewInt(int64(total)), types.NewInt(1)); err != nil {
+		t.Fatalf("promoted store rejected a write: %v", err)
+	}
+	if keys := keySet(t, promoted.Query); keys[total] != 1 {
+		t.Fatal("write to promoted store not visible")
+	}
+	// The follower surface is closed after promotion.
+	if _, err := f.Query("SELECT COUNT(*) FROM kv"); err == nil ||
+		!strings.Contains(err.Error(), "promoted") {
+		t.Fatalf("post-promotion follower query err = %v", err)
+	}
+}
+
+// TestFollowerReadsVsWriterVsPromotionHammer races session reads against a
+// primary writer and then a promotion, under -race in CI: reads must only
+// ever succeed or fail with the promotion notice — never a torn result or
+// a data race.
+func TestFollowerReadsVsWriterVsPromotionHammer(t *testing.T) {
+	const parts = 2
+	st := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	f := kvFollower(t, st, parts)
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	var readerWG sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			rs := f.Session()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res, err := rs.Query("SELECT COUNT(*), SUM(v) FROM kv")
+				if err != nil {
+					if strings.Contains(err.Error(), "promoted") {
+						return
+					}
+					t.Errorf("replica read: %v", err)
+					return
+				}
+				// v mirrors k, so the pair must always be consistent.
+				if res.Rows[0][0].Int() > 0 && !res.Rows[0][1].IsNull() &&
+					res.Rows[0][1].Int() != res.Rows[0][0].Int() {
+					t.Errorf("torn replica read: %v", res.Rows)
+					return
+				}
+			}
+		}()
+	}
+	for k := int64(0); k < 300; k++ {
+		if _, err := st.Call("put", types.NewInt(k), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	promoted, err := f.Promote()
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(stop)
+	readerWG.Wait()
+	defer promoted.Stop()
+	if keys := keySet(t, promoted.Query); len(keys) != 300 {
+		t.Fatalf("promoted store has %d keys, want 300", len(keys))
+	}
+}
+
+// TestFollowerRejectsMisconfiguration pins the constructor's guardrails and
+// the session-vector shape check.
+func TestFollowerRejectsMisconfiguration(t *testing.T) {
+	const parts = 2
+	st := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+
+	durable := buildKV(t, gcTestConfig(t.TempDir(), parts))
+	if _, err := NewFollower(durable, StoreSource{St: st}, FollowerOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "non-durable") {
+		t.Fatalf("durable follower err = %v", err)
+	}
+	started := buildKV(t, Config{Partitions: parts})
+	if err := started.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer started.Stop()
+	if _, err := NewFollower(started, StoreSource{St: st}, FollowerOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "must not be started") {
+		t.Fatalf("started follower err = %v", err)
+	}
+	narrow := buildKV(t, Config{Partitions: parts + 1})
+	if _, err := NewFollower(narrow, StoreSource{St: st}, FollowerOpts{}); err == nil ||
+		!strings.Contains(err.Error(), "counts must match") {
+		t.Fatalf("partition-mismatch err = %v", err)
+	}
+
+	// Replication needs a durable primary.
+	volatile := buildKV(t, Config{Partitions: parts})
+	if _, err := volatile.ReplicationBatch(0, 0, 0); err == nil ||
+		!strings.Contains(err.Error(), "durable primary") {
+		t.Fatalf("volatile primary fetch err = %v", err)
+	}
+
+	// An over-wide session vector is rejected rather than hanging.
+	f := kvFollower(t, st, parts)
+	rs := f.Session()
+	rs.Forward(make([]uint64, parts+3))
+	if _, err := rs.Query("SELECT COUNT(*) FROM kv"); err == nil ||
+		!strings.Contains(err.Error(), "LSN vector") {
+		t.Fatalf("wide vector err = %v", err)
+	}
+}

@@ -266,7 +266,9 @@ func evalArith(op string, l, r types.Value) (types.Value, error) {
 			}
 			return types.NewFloat(a / b), nil
 		case "%":
-			if b == 0 {
+			if int64(b) == 0 {
+				// Catches both a true zero and a fractional divisor truncating
+				// to zero, which would panic the integer modulus below.
 				return types.Null, fmt.Errorf("ee: division by zero")
 			}
 			return types.NewInt(int64(a) % int64(b)), nil
@@ -586,6 +588,18 @@ type slotExpr struct{ slot int }
 
 func (e slotExpr) eval(ec *evalCtx) (types.Value, error) { return ec.row[e.slot], nil }
 
+// resolvedExpr reads a caller-resolved slot. Unlike slotExpr it bounds-checks:
+// the row shape is owned by the caller (e.g. the distributed-query merge),
+// not by this planner.
+type resolvedExpr struct{ slot int }
+
+func (e resolvedExpr) eval(ec *evalCtx) (types.Value, error) {
+	if e.slot >= len(ec.row) {
+		return types.Null, fmt.Errorf("ee: resolved column %d out of range for %d-wide row", e.slot, len(ec.row))
+	}
+	return ec.row[e.slot], nil
+}
+
 // ---------- compilation ----------
 
 // exprCompiler compiles sql.Expr trees against a scope. When aggSlots is
@@ -598,9 +612,21 @@ type exprCompiler struct {
 	aggSlots map[sql.Expr]int // aggregate FuncCall node -> slot
 	groupBy  []sql.Expr       // GROUP BY expressions (slot = position)
 	subplan  func(*sql.Select) (int, error)
+	// resolve, when non-nil, maps whole subexpressions to row slots before
+	// structural compilation — the hook external row shapes (the
+	// cross-partition merge) compile against. ok=false falls through to
+	// normal compilation of the node.
+	resolve func(sql.Expr) (int, bool, error)
 }
 
 func (c *exprCompiler) compile(e sql.Expr) (compiled, error) {
+	if c.resolve != nil {
+		if pos, ok, err := c.resolve(e); err != nil {
+			return nil, err
+		} else if ok {
+			return resolvedExpr{slot: pos}, nil
+		}
+	}
 	if c.aggSlots != nil {
 		// Whole-expression match against GROUP BY entries.
 		for i, g := range c.groupBy {
@@ -622,6 +648,11 @@ func (c *exprCompiler) compile(e sql.Expr) (compiled, error) {
 	case *sql.ColumnRef:
 		if c.aggSlots != nil {
 			return nil, fmt.Errorf("ee: column %q must appear in GROUP BY or inside an aggregate", x.Column)
+		}
+		if c.scope == nil {
+			// Resolver-only compilation: any column the resolver did not
+			// place has no row slot to read.
+			return nil, fmt.Errorf("ee: column %q cannot be evaluated in this context", x.Column)
 		}
 		slot, _, err := c.scope.resolve(x.Table, x.Column)
 		if err != nil {
@@ -763,6 +794,36 @@ func checkArity(name string, n int) error {
 	return nil
 }
 
+// ---------- resolver-based compilation (exported) ----------
+
+// CompiledExpr is an expression compiled by CompileResolved: it evaluates
+// against a caller-shaped row with the engine's semantics (three-valued
+// logic, NULL-propagating comparisons and arithmetic, float widening).
+type CompiledExpr func(row types.Row, params []types.Value) (types.Value, error)
+
+// CompileResolved compiles e for evaluation over rows whose shape the
+// caller owns. resolve maps whole subexpressions to row positions (ok=true)
+// — e.g. the distributed-query merge places projected group keys and hidden
+// aggregates — and everything it declines compiles structurally with the
+// engine's operator semantics, so external evaluation (distributed HAVING)
+// cannot drift from single-partition execution. Column references the
+// resolver declines are compile errors: there is no table scope here.
+func CompileResolved(e sql.Expr, resolve func(sql.Expr) (int, bool, error)) (CompiledExpr, error) {
+	c := &exprCompiler{resolve: resolve}
+	comp, err := c.compile(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(row types.Row, params []types.Value) (types.Value, error) {
+		ec := evalCtx{row: row, params: params}
+		return comp.eval(&ec)
+	}, nil
+}
+
+// ExprEqual reports structural equality of two expressions (function names
+// compare case-insensitively, mirroring the parser's keyword handling).
+func ExprEqual(a, b sql.Expr) bool { return exprEqual(a, b) }
+
 // exprEqual reports structural equality of two expressions (used to match
 // select-list expressions against GROUP BY entries).
 func exprEqual(a, b sql.Expr) bool {
@@ -784,7 +845,7 @@ func exprEqual(a, b sql.Expr) bool {
 		return ok && x.Op == y.Op && exprEqual(x.L, y.L) && exprEqual(x.R, y.R)
 	case *sql.FuncCall:
 		y, ok := b.(*sql.FuncCall)
-		if !ok || x.Name != y.Name || x.Star != y.Star || x.Distinct != y.Distinct || len(x.Args) != len(y.Args) {
+		if !ok || !strings.EqualFold(x.Name, y.Name) || x.Star != y.Star || x.Distinct != y.Distinct || len(x.Args) != len(y.Args) {
 			return false
 		}
 		for i := range x.Args {

@@ -535,9 +535,18 @@ func (pl *planner) planSelect(s *sql.Select) (*selectPlan, []string, error) {
 	return plan, colNames, nil
 }
 
-// compileOrder compiles one ORDER BY key. A bare identifier matching a
-// select-item alias sorts by that output expression.
+// compileOrder compiles one ORDER BY key. A bare integer literal is a
+// 1-based output ordinal (standard SQL, and what the distributed merge's
+// sortRows resolves — the two paths must order identically); a bare
+// identifier matching a select-item alias sorts by that output expression.
 func (pl *planner) compileOrder(e sql.Expr, cmp *exprCompiler, items []sql.Expr, s *sql.Select, plan *selectPlan) (compiled, error) {
+	if lit, ok := e.(*sql.Literal); ok && lit.Value.Type() == types.TypeInt {
+		n := int(lit.Value.Int())
+		if n < 1 || n > len(items) {
+			return nil, fmt.Errorf("ORDER BY position %d is not in the select list", n)
+		}
+		return projRef{plan: plan, idx: n - 1}, nil
+	}
 	if cr, ok := e.(*sql.ColumnRef); ok && cr.Table == "" {
 		idx := 0
 		for _, it := range s.Items {

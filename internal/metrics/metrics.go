@@ -88,6 +88,17 @@ type Metrics struct {
 	SlotsMigrated atomic.Int64
 	SlotRowsMoved atomic.Int64
 
+	// Replication counters: ReplRecordsApplied counts WAL records a
+	// follower replayed into its storage, FollowerReads the snapshot
+	// SELECTs served by a follower, Promotions the follower→primary
+	// promotions completed. ReplLag is a gauge of how many log records
+	// the follower still trails the shipping horizon by, summed across
+	// partition streams.
+	ReplRecordsApplied atomic.Int64
+	ReplLag            atomic.Int64
+	FollowerReads      atomic.Int64
+	Promotions         atomic.Int64
+
 	latency Histogram
 
 	// cutoverPause records, per migrated slot, how long the cutover barrier
@@ -169,6 +180,8 @@ type Snapshot struct {
 	VersionsRetained                      int64
 	Rebalances, SlotsMigrated             int64
 	SlotRowsMoved                         int64
+	ReplRecordsApplied, ReplLag           int64
+	FollowerReads, Promotions             int64
 	LatencyCount                          int64
 	LatencyP50, LatencyP99, LatencyP9999  time.Duration
 	CutoverPauseCount                     int64
@@ -208,6 +221,10 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rebalances:          m.Rebalances.Load(),
 		SlotsMigrated:       m.SlotsMigrated.Load(),
 		SlotRowsMoved:       m.SlotRowsMoved.Load(),
+		ReplRecordsApplied:  m.ReplRecordsApplied.Load(),
+		ReplLag:             m.ReplLag.Load(),
+		FollowerReads:       m.FollowerReads.Load(),
+		Promotions:          m.Promotions.Load(),
 		LatencyCount:        m.latency.Count(),
 		LatencyP50:          m.latency.Quantile(0.50),
 		LatencyP99:          m.latency.Quantile(0.99),
@@ -250,6 +267,10 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.Rebalances -= prev.Rebalances
 	d.SlotsMigrated -= prev.SlotsMigrated
 	d.SlotRowsMoved -= prev.SlotRowsMoved
+	d.ReplRecordsApplied -= prev.ReplRecordsApplied
+	// ReplLag is a gauge: keep s's value, not a difference.
+	d.FollowerReads -= prev.FollowerReads
+	d.Promotions -= prev.Promotions
 	d.LatencyCount -= prev.LatencyCount
 	d.CutoverPauseCount -= prev.CutoverPauseCount
 	return d

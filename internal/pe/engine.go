@@ -56,6 +56,12 @@ const (
 	RecSlotBegin
 	RecSlotCopied
 	RecSlotCommit
+	// RecPauseGraph / RecResumeGraph make a dataflow's pause state durable
+	// (coordinator log only; Proc carries the graph name). Recovery replays
+	// them in order: a pause with no later resume restores the pause gate,
+	// so a paused graph does not silently resume ingesting after a crash.
+	RecPauseGraph
+	RecResumeGraph
 )
 
 // LogRecord is one command-log entry: enough to re-execute the client
@@ -801,6 +807,15 @@ func (e *Engine) QueryAtSeq(seq storage.Seq, sqlText string, params ...types.Val
 	if err := e.errNotStarted(); err != nil {
 		return nil, err
 	}
+	return e.SnapshotQueryAtSeq(seq, sqlText, params...)
+}
+
+// SnapshotQueryAtSeq is QueryAtSeq without the started-engine guard: the
+// snapshot path runs entirely on the caller's goroutine against versioned
+// storage and never touches the partition worker, so it is also safe on an
+// engine that was never started — the follower-replica read path, where
+// records arrive via Replay and reads must not require a live worker.
+func (e *Engine) SnapshotQueryAtSeq(seq storage.Seq, sqlText string, params ...types.Value) (*Result, error) {
 	p, err := e.ee.PrepareCached(sqlText)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,356 @@
+package server
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+	"repro/internal/wal"
+)
+
+// durableKV builds the replication fixture: a hash-partitioned kv table
+// with a key-routed put procedure, durable when dir != "" (a follower
+// store passes dir == "" and is never started).
+func durableKV(t *testing.T, dir string, parts int) *core.Store {
+	t.Helper()
+	cfg := core.Config{Partitions: parts}
+	if dir != "" {
+		cfg.Dir = dir
+		cfg.Sync = wal.SyncGroupCommit
+		cfg.GroupCommitInterval = 500 * time.Microsecond
+		cfg.GroupCommitMaxBatch = 8
+	}
+	st := core.Open(cfg)
+	if err := st.ExecScript(`CREATE TABLE kv (k BIGINT PRIMARY KEY, v BIGINT) PARTITION BY k;`); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:           "put",
+		WriteSet:       []string{"kv"},
+		PartitionParam: 1,
+		Handler: func(ctx *pe.ProcCtx) error {
+			_, err := ctx.Exec("INSERT INTO kv VALUES (?, ?)", ctx.Params[0], ctx.Params[1])
+			return err
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+func listen(t *testing.T, srv *Server) {
+	t.Helper()
+	srv.Logf = t.Logf
+	if err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// waitCount polls a COUNT(*) over the wire until it reaches want.
+func waitCount(t *testing.T, c *client.TCP, want int64) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		resp, err := c.Query("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := resp.Rows[0][0].Int(); got == want {
+			return
+		} else if time.Now().After(deadline) {
+			t.Fatalf("follower count = %d, want %d", got, want)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// TestFollowerOverWire runs the full second-process topology in one test:
+// a durable primary behind a TCP server, a follower whose replication
+// source is a TCP client of that server, and a second server fronting the
+// follower for read traffic. The follower must tail continuously, reject
+// every write verb, and pass the replication counters through MsgStats.
+func TestFollowerOverWire(t *testing.T) {
+	const parts = 2
+	st := durableKV(t, t.TempDir(), parts)
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	listen(t, srv)
+	t.Cleanup(func() { srv.Close(); st.Stop() })
+
+	pc, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pc.Close()
+	for k := int64(0); k < 30; k++ {
+		if _, err := pc.Call("put", types.NewInt(k), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The raw fetch surface first: frames are dense from LSN 1 and the
+	// horizon row matches, so the wire framing loses nothing.
+	batch, err := pc.FetchBatch(0, 0, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch.EndLSN == 0 || uint64(len(batch.Frames)) != batch.EndLSN {
+		t.Fatalf("fetch framing: %d frames, horizon %d", len(batch.Frames), batch.EndLSN)
+	}
+	for i, fr := range batch.Frames {
+		if fr.LSN != uint64(i+1) || len(fr.Payload) == 0 {
+			t.Fatalf("frame %d: lsn %d, %d payload bytes", i, fr.LSN, len(fr.Payload))
+		}
+	}
+	if _, err := pc.FetchBatch(99, 0, 1<<20); err == nil {
+		t.Fatal("fetch of out-of-range partition succeeded")
+	}
+
+	// Follower fed by its own TCP connection — the sstored -follow shape.
+	src, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	fst := durableKV(t, "", parts)
+	f, err := core.NewFollower(fst, src, core.FollowerOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fsrv := NewFollower(f)
+	listen(t, fsrv)
+	t.Cleanup(fsrv.Close)
+
+	fc, err := client.DialTCP(fsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	if err := fc.Ping(); err != nil {
+		t.Fatal(err)
+	}
+	waitCount(t, fc, 30)
+	// Tailing is continuous, not a one-shot seed.
+	for k := int64(100); k < 110; k++ {
+		if _, err := pc.Call("put", types.NewInt(k), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitCount(t, fc, 40)
+
+	// Every mutating verb is rejected while fronting a replica.
+	if _, err := fc.Call("put", types.NewInt(999), types.NewInt(1)); err == nil ||
+		!strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica call err = %v", err)
+	}
+	if _, err := fc.Exec("INSERT INTO kv VALUES (999, 1)"); err == nil ||
+		!strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica exec err = %v", err)
+	}
+	if err := fc.Ingest("feed", types.Row{types.NewInt(1)}); err == nil ||
+		!strings.Contains(err.Error(), "read-only replica") {
+		t.Fatalf("replica ingest err = %v", err)
+	}
+
+	// Stats pass through: the replication counters are visible to
+	// `sstorecli stats` pointed at the replica.
+	resp, err := fc.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := make(map[string]int64)
+	for _, r := range resp.Rows {
+		if v, err := strconv.ParseInt(r[1].Str(), 10, 64); err == nil {
+			stats[r[0].Str()] = v
+		}
+	}
+	if stats["repl_records_applied"] < 40 {
+		t.Fatalf("repl_records_applied = %d, want >= 40", stats["repl_records_applied"])
+	}
+	if _, ok := stats["repl_lag"]; !ok {
+		t.Fatalf("stats over wire missing repl_lag: %v", stats)
+	}
+	if stats["follower_reads"] == 0 {
+		t.Fatal("follower_reads not counted over the wire")
+	}
+}
+
+// TestFollowerAutoPromoteOverWire kills the primary under a heartbeat-armed
+// follower: the fetch failures trip auto-promotion, ClearFollower flips the
+// replica server to primary dispatch, and the promoted node serves both the
+// replicated history and new writes.
+func TestFollowerAutoPromoteOverWire(t *testing.T) {
+	const parts = 2
+	st := durableKV(t, t.TempDir(), parts)
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(st)
+	listen(t, srv)
+
+	pc, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(0); k < 50; k++ {
+		if _, err := pc.Call("put", types.NewInt(k), types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	pc.Close()
+
+	src, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	fst := durableKV(t, "", parts)
+	promoted := make(chan error, 1)
+	var fsrv *Server
+	f, err := core.NewFollower(fst, src, core.FollowerOpts{
+		HeartbeatTimeout: 100 * time.Millisecond,
+		OnPromote: func(_ *core.Store, err error) {
+			if err == nil {
+				fsrv.ClearFollower()
+			}
+			promoted <- err
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Run(); err != nil {
+		t.Fatal(err)
+	}
+	fsrv = NewFollower(f)
+	listen(t, fsrv)
+	t.Cleanup(fsrv.Close)
+
+	fc, err := client.DialTCP(fsrv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fc.Close()
+	waitCount(t, fc, 50)
+
+	// Primary dies. The follower's fetches now fail until the heartbeat
+	// window elapses and it takes over.
+	srv.Close()
+	if err := st.Stop(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-promoted:
+		if err != nil {
+			t.Fatalf("auto-promotion failed: %v", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("auto-promotion never fired")
+	}
+	t.Cleanup(func() { f.Store().Stop() })
+
+	// The same server (and even the same connection) now accepts writes.
+	if _, err := fc.Call("put", types.NewInt(500), types.NewInt(1)); err != nil {
+		t.Fatalf("write after promotion: %v", err)
+	}
+	resp, err := fc.Query("SELECT COUNT(*), SUM(v) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Rows[0][0].Int() != 51 || resp.Rows[0][1].Int() != 51 {
+		t.Fatalf("promoted state: %v", resp.Rows)
+	}
+}
+
+// TestSnapshotPinOverWire covers the session-pin protocol frames: a pinned
+// connection reads one stable cut while other sessions write and read
+// fresh state, unpin resumes fresh reads, and a dropped connection releases
+// its pin server-side (the serve loop's deferred session close).
+func TestSnapshotPinOverWire(t *testing.T) {
+	srv, _ := newServer(t)
+	c1, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c1.Close()
+	c2, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c2.Close()
+
+	for k := int64(0); k < 10; k++ {
+		if _, err := c2.Call("put", types.NewInt(k), types.NewString("a")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c1.PinSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	for k := int64(100); k < 110; k++ {
+		if _, err := c2.Call("put", types.NewInt(k), types.NewString("b")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The pinned session holds its cut across repeated reads; the unpinned
+	// session sees the writes land.
+	for i := 0; i < 3; i++ {
+		resp, err := c1.Query("SELECT COUNT(*) FROM kv")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n := resp.Rows[0][0].Int(); n != 10 {
+			t.Fatalf("pinned session count = %d, want 10", n)
+		}
+	}
+	resp, err := c2.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.Rows[0][0].Int(); n != 20 {
+		t.Fatalf("unpinned session count = %d, want 20", n)
+	}
+	if err := c1.UnpinSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	resp, err = c1.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.Rows[0][0].Int(); n != 20 {
+		t.Fatalf("post-unpin count = %d, want 20", n)
+	}
+
+	// Re-pin replaces the cut rather than stacking pins, and dropping the
+	// connection releases the pin without leaking it (the server keeps
+	// accepting; a fresh session reads latest state).
+	if err := c1.PinSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if err := c1.PinSnapshot(); err != nil {
+		t.Fatal(err)
+	}
+	c1.Close()
+	c3, err := client.DialTCP(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	resp, err = c3.Query("SELECT COUNT(*) FROM kv")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := resp.Rows[0][0].Int(); n != 20 {
+		t.Fatalf("fresh session after pinned disconnect: %d rows", n)
+	}
+}

@@ -12,8 +12,10 @@ import (
 	"net"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
+	"repro/internal/pe"
 	"repro/internal/types"
 	"repro/internal/wire"
 )
@@ -22,6 +24,11 @@ import (
 type Server struct {
 	st *core.Store
 	ln net.Listener
+
+	// fol, when set, puts the server in read-replica mode: queries are
+	// served by the follower, writes are rejected, and ClearFollower (after
+	// promotion) atomically switches the server to full primary dispatch.
+	fol atomic.Pointer[core.Follower]
 
 	mu     sync.Mutex
 	conns  map[net.Conn]struct{}
@@ -32,10 +39,38 @@ type Server struct {
 	Logf func(format string, args ...any)
 }
 
+// session is one connection's server-side state. Each connection gets its
+// own; the serving goroutine is the only accessor.
+type session struct {
+	pin *core.SnapshotPin // session snapshot pin (MsgPinSnapshot), if held
+	rs  *core.ReplicaSession
+}
+
+func (sess *session) close() {
+	if sess.pin != nil {
+		sess.pin.Release()
+		sess.pin = nil
+	}
+}
+
 // New creates a server for the store (which must already be Started).
 func New(st *core.Store) *Server {
 	return &Server{st: st, conns: make(map[net.Conn]struct{}), Logf: log.Printf}
 }
+
+// NewFollower creates a server in read-replica mode: reads are served by
+// the follower's replayed state, writes are rejected. After the follower
+// promotes, call ClearFollower to switch live connections to full primary
+// dispatch of the promoted store.
+func NewFollower(f *core.Follower) *Server {
+	s := New(f.Store())
+	s.fol.Store(f)
+	return s
+}
+
+// ClearFollower leaves read-replica mode (the follower was promoted; its
+// store — which this server already fronts — is now the primary).
+func (s *Server) ClearFollower() { s.fol.Store(nil) }
 
 // Listen binds addr (e.g. "127.0.0.1:7477") and begins accepting.
 func (s *Server) Listen(addr string) error {
@@ -92,8 +127,10 @@ func (s *Server) acceptLoop() {
 }
 
 func (s *Server) serve(conn net.Conn) {
+	sess := &session{}
 	defer s.wg.Done()
 	defer func() {
+		sess.close() // a dropped connection must not leak its snapshot pin
 		s.mu.Lock()
 		delete(s.conns, conn)
 		s.mu.Unlock()
@@ -112,7 +149,7 @@ func (s *Server) serve(conn net.Conn) {
 			s.Logf("server: bad frame: %v", err)
 			return
 		}
-		resp := s.dispatch(req)
+		resp := s.dispatch(req, sess)
 		if err := wire.WriteFrame(conn, wire.EncodeResponse(resp)); err != nil {
 			s.Logf("server: write: %v", err)
 			return
@@ -120,9 +157,12 @@ func (s *Server) serve(conn net.Conn) {
 	}
 }
 
-func (s *Server) dispatch(req *wire.Request) *wire.Response {
+func (s *Server) dispatch(req *wire.Request, sess *session) *wire.Response {
 	fail := func(err error) *wire.Response {
 		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}
+	}
+	if f := s.fol.Load(); f != nil {
+		return s.dispatchFollower(req, sess, f)
 	}
 	switch req.Kind {
 	case wire.MsgPing:
@@ -140,7 +180,13 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		}
 		return &wire.Response{Kind: wire.MsgResult, RowsAffected: int64(len(req.Rows))}
 	case wire.MsgQuery:
-		res, err := s.st.Query(req.Target, req.Params...)
+		var res *pe.Result
+		var err error
+		if sess.pin != nil {
+			res, err = s.st.QueryPinned(sess.pin, req.Target, req.Params...)
+		} else {
+			res, err = s.st.Query(req.Target, req.Params...)
+		}
 		if err != nil {
 			return fail(err)
 		}
@@ -211,7 +257,71 @@ func (s *Server) dispatch(req *wire.Request) *wire.Response {
 		res := s.st.StatsResult()
 		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
 			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	case wire.MsgPinSnapshot:
+		if sess.pin != nil {
+			sess.pin.Release() // re-pin replaces the session's cut
+		}
+		sess.pin = s.st.PinSnapshot()
+		return &wire.Response{Kind: wire.MsgResult}
+	case wire.MsgUnpinSnapshot:
+		if sess.pin != nil {
+			sess.pin.Release()
+			sess.pin = nil
+		}
+		return &wire.Response{Kind: wire.MsgResult}
+	case wire.MsgReplFetch:
+		return s.replFetch(req)
 	default:
 		return fail(fmt.Errorf("server: unknown message kind %d", req.Kind))
+	}
+}
+
+// replFetch answers one replication fetch: Params = [partition, afterLSN,
+// maxBytes]; the response's first row is the segment horizon, then one
+// [lsn, payload] row per frame (payloads travel as strings — Go strings
+// carry arbitrary bytes).
+func (s *Server) replFetch(req *wire.Request) *wire.Response {
+	if len(req.Params) != 3 {
+		return &wire.Response{Kind: wire.MsgError,
+			Err: "server: repl fetch needs [partition, afterLSN, maxBytes] parameters"}
+	}
+	batch, err := s.st.ReplicationBatch(int(req.Params[0].Int()),
+		uint64(req.Params[1].Int()), int(req.Params[2].Int()))
+	if err != nil {
+		return &wire.Response{Kind: wire.MsgError, Err: err.Error()}
+	}
+	rows := make([]types.Row, 0, len(batch.Frames)+1)
+	rows = append(rows, types.Row{types.NewInt(int64(batch.EndLSN))})
+	for _, fr := range batch.Frames {
+		rows = append(rows, types.Row{types.NewInt(int64(fr.LSN)), types.NewString(string(fr.Payload))})
+	}
+	return &wire.Response{Kind: wire.MsgResult, Columns: []string{"lsn", "payload"},
+		Rows: rows, RowsAffected: int64(len(batch.Frames))}
+}
+
+// dispatchFollower serves a connection while the server fronts a read
+// replica: liveness, reads (with per-connection session ordering), and
+// stats pass through; everything that would mutate state is rejected.
+func (s *Server) dispatchFollower(req *wire.Request, sess *session, f *core.Follower) *wire.Response {
+	switch req.Kind {
+	case wire.MsgPing:
+		return &wire.Response{Kind: wire.MsgPong}
+	case wire.MsgQuery:
+		if sess.rs == nil {
+			sess.rs = f.Session()
+		}
+		res, err := sess.rs.Query(req.Target, req.Params...)
+		if err != nil {
+			return &wire.Response{Kind: wire.MsgError, Err: err.Error()}
+		}
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	case wire.MsgStats:
+		res := f.Store().StatsResult()
+		return &wire.Response{Kind: wire.MsgResult, Columns: res.Columns,
+			Rows: res.Rows, RowsAffected: int64(res.RowsAffected)}
+	default:
+		return &wire.Response{Kind: wire.MsgError,
+			Err: "server: this node is a read-only replica (follower mode)"}
 	}
 }

@@ -25,6 +25,10 @@ import (
 //
 //	RecSlotBegin/Copied/Commit: slot uvarint | from uvarint | to uvarint |
 //	                            mpTxnID uvarint
+//
+// The dataflow pause kinds (RecPauseGraph / RecResumeGraph, coordinator
+// log only) carry the graph name in the proc field of the common prefix
+// and append nothing.
 func EncodeRecord(rec *pe.LogRecord) []byte {
 	buf := make([]byte, 0, 64)
 	buf = append(buf, byte(rec.Kind))

@@ -1,0 +1,184 @@
+package wal
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestReadFramesTailAndResume covers the shipping primitives: full read,
+// cursor resume, byte-budgeted batches with a horizon skim, a missing
+// segment, and the torn-tail stop.
+func TestReadFramesTailAndResume(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ship.log")
+	l, err := OpenLog(path, 0, SyncEveryRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var payloads [][]byte
+	for i := 0; i < 10; i++ {
+		p := []byte{byte('a' + i), byte('a' + i)}
+		payloads = append(payloads, p)
+		if _, err := l.Append(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Full read from the start.
+	frames, end, err := ReadFrames(path, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 10 || end != 10 {
+		t.Fatalf("full read: %d frames, end %d", len(frames), end)
+	}
+	for i, fr := range frames {
+		if fr.LSN != uint64(i+1) || string(fr.Payload) != string(payloads[i]) {
+			t.Fatalf("frame %d: lsn=%d payload=%q", i, fr.LSN, fr.Payload)
+		}
+	}
+
+	// Resume from a mid-segment cursor.
+	frames, end, err = ReadFrames(path, 7, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 3 || frames[0].LSN != 8 || end != 10 {
+		t.Fatalf("resume: %d frames, first %d, end %d", len(frames), frames[0].LSN, end)
+	}
+
+	// A caught-up cursor sees no frames but the full horizon.
+	frames, end, err = ReadFrames(path, 10, 0)
+	if err != nil || len(frames) != 0 || end != 10 {
+		t.Fatalf("caught up: %d frames, end %d, err %v", len(frames), end, err)
+	}
+
+	// A tiny byte budget truncates the batch (at least one frame ships) but
+	// still skims the horizon for lag accounting.
+	frames, end, err = ReadFrames(path, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || end != 10 {
+		t.Fatalf("budgeted: %d frames, end %d", len(frames), end)
+	}
+
+	// Missing segment: empty, no error (the primary has not written yet).
+	frames, end, err = ReadFrames(filepath.Join(dir, "none.log"), 0, 0)
+	if err != nil || frames != nil || end != 0 {
+		t.Fatalf("missing: %v %d %v", frames, end, err)
+	}
+
+	// A torn tail (half a frame) stops the read silently at the last intact
+	// record — exactly ScanLog's rule.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data[:len(data)-3], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	frames, end, err = ReadFrames(path, 0, 0)
+	if err != nil || len(frames) != 9 || end != 9 {
+		t.Fatalf("torn tail: %d frames, end %d, err %v", len(frames), end, err)
+	}
+}
+
+// TestReadFramesGapAfterTruncate pins the re-seed contract: a checkpoint
+// truncation restarts the segment at a later LSN, and a reader positioned
+// before the restart must get ErrShipGap — not silently skip the hole.
+func TestReadFramesGapAfterTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "gap.log")
+	l, err := OpenLog(path, 0, SyncEveryRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if _, err := l.Append([]byte{byte(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	// LSNs continue past the truncation; the file now starts at 6.
+	if _, err := l.Append([]byte("after")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A reader at LSN 2 has lost records 3..5: gap.
+	if _, _, err := ReadFrames(path, 2, 0); !errors.Is(err, ErrShipGap) {
+		t.Fatalf("gap err = %v, want ErrShipGap", err)
+	}
+	// A reader exactly at the truncation point resumes cleanly.
+	frames, end, err := ReadFrames(path, 5, 0)
+	if err != nil || len(frames) != 1 || frames[0].LSN != 6 || end != 6 {
+		t.Fatalf("resume at cut: %v %d %v", frames, end, err)
+	}
+	// A fresh reader (afterLSN 0) attaches wherever the segment now starts.
+	frames, _, err = ReadFrames(path, 0, 0)
+	if err != nil || len(frames) != 1 {
+		t.Fatalf("fresh attach: %v %v", frames, err)
+	}
+}
+
+// TestReadFramesStaleCursorAfterTruncate poisons the tailing cursor cache:
+// a reader ships frames (caching its position), the log is checkpointed
+// and rewritten, and the next fetch from the old position must not trust
+// the stale offset — it revalidates, falls back to a full scan, and
+// reports the gap.
+func TestReadFramesStaleCursorAfterTruncate(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "stale.log")
+	l, err := OpenLog(path, 0, SyncEveryRecord)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if _, err := l.Append([]byte("0123456789")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Tail in two budgeted steps so cursors for mid-segment LSNs exist.
+	if _, _, err := ReadFrames(path, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if frames, _, err := ReadFrames(path, 1, 1); err != nil || len(frames) != 1 || frames[0].LSN != 2 {
+		t.Fatalf("cursor resume: %v %v", frames, err)
+	}
+
+	// Checkpoint: the file restarts at LSN 7; every cached offset is junk.
+	if err := l.Truncate(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.Append([]byte("after-checkpoint")); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The cached position for LSN 2 no longer matches the file: gap.
+	if _, _, err := ReadFrames(path, 2, 0); !errors.Is(err, ErrShipGap) {
+		t.Fatalf("stale cursor err = %v, want ErrShipGap", err)
+	}
+	// The truncation boundary itself resumes cleanly via the rescan.
+	frames, end, err := ReadFrames(path, 6, 0)
+	if err != nil || len(frames) != 1 || frames[0].LSN != 7 || end != 7 {
+		t.Fatalf("resume at cut: %v %d %v", frames, end, err)
+	}
+	// The new cursor (LSN 7) works for the caught-up idle poll.
+	frames, end, err = ReadFrames(path, 7, 0)
+	if err != nil || len(frames) != 0 || end != 7 {
+		t.Fatalf("idle poll: %v %d %v", frames, end, err)
+	}
+}

@@ -50,6 +50,19 @@ const (
 	// concurrency and force-batch sizes live from sstorecli. New kinds are
 	// appended here to keep existing byte values stable on the wire.
 	MsgStats
+	// MsgPinSnapshot pins a session-scoped cross-partition snapshot: every
+	// MsgQuery on the connection then reads the pinned cut until
+	// MsgUnpinSnapshot (or disconnect) releases it. Re-pinning replaces the
+	// session's pin.
+	MsgPinSnapshot
+	// MsgUnpinSnapshot releases the session's snapshot pin, if any.
+	MsgUnpinSnapshot
+	// MsgReplFetch is the replication channel: Params carry
+	// [partition, afterLSN, maxBytes] (partition -1 is the coordinator log)
+	// and the response's first row is the segment horizon [endLSN], followed
+	// by one [lsn, payload] row per shipped frame. A remote follower drives
+	// its apply loop with these fetches.
+	MsgReplFetch
 )
 
 // MaxFrame bounds a frame to keep a corrupt length prefix from allocating
