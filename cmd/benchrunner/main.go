@@ -12,6 +12,8 @@
 //	benchrunner -e E10 -votes 20000 -json BENCH_E10.json
 //	benchrunner -e E11 -txns 5000 -partitions 4 -json BENCH_E11.json
 //	benchrunner -e E12 -readers 4 -dur 2s -json BENCH_E12.json
+//	benchrunner -e E13 -rows 20000 -ops 30000 -json BENCH_E13.json
+//	benchrunner -e E13 -rows 4000 -ops 4000    # CI smoke
 package main
 
 import (
@@ -27,7 +29,7 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
@@ -37,6 +39,8 @@ func main() {
 		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines; E12: readers per serving node")
 		keys     = flag.Int("keys", 1024, "E9/E12: rows in the read/update table")
 		dur      = flag.Duration("dur", time.Second, "E9/E12: measured duration per mode")
+		rows     = flag.Int("rows", 20000, "E13: padded rows loaded (data is ~402 bytes/row; budget is a quarter of it)")
+		ops      = flag.Int("ops", 30000, "E13: skewed hot-phase operations")
 	)
 	flag.Parse()
 	run := func(name string, fn func() error) {
@@ -342,6 +346,94 @@ func main() {
 		}
 		return nil
 	})
+	run("E13", func() error {
+		res, err := bench.E13(*seed, *rows, *ops, *parts)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("table: %d rows (~%d MiB), budget %d MiB (4x over-subscription), hot set %d keys\n",
+			res.Rows, res.DataBytes>>20, res.Budget>>20, res.HotKeys)
+		fmt.Printf("%-11s %-12s %-10s %-10s %-10s %-10s %-10s %-9s %s\n",
+			"mode", "hot-ops/sec", "hot-p50", "hot-p99", "cold-p50", "cold-p99", "evictions", "faults", "resident")
+		for _, r := range res.Modes {
+			fmt.Printf("%-11s %-12.0f %-10s %-10s %-10s %-10s %-10d %-9d %d\n",
+				r.Mode, r.HotOpsSec, r.HotP50.Round(time.Microsecond), r.HotP99.Round(time.Microsecond),
+				r.ColdP50.Round(time.Microsecond), r.ColdP99.Round(time.Microsecond),
+				r.Evictions, r.Faults, r.ResidentBytes)
+		}
+		fmt.Printf("budgeted vs unlimited : %.2fx hot-path throughput (acceptance: >= 0.75x)\n", res.ThroughputRatio)
+		fmt.Printf("resident <= budget    : %v\n", res.ResidentWithinBudget)
+		fmt.Printf("cold_* stats rows     : %v\n", res.StatsRowsPresent)
+		fmt.Printf("sums agree            : %v\n", res.Correct)
+		if *jsonOut != "" {
+			if err := writeE13JSON(*jsonOut, *seed, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e13JSON is the BENCH_E13.json document.
+type e13JSON struct {
+	Experiment           string       `json:"experiment"`
+	Seed                 int64        `json:"seed"`
+	Rows                 int          `json:"rows"`
+	DataBytes            int64        `json:"data_bytes"`
+	BudgetBytes          int64        `json:"memory_budget_bytes"`
+	HotKeys              int          `json:"hot_keys"`
+	Ops                  int          `json:"hot_ops"`
+	Modes                []e13JSONRow `json:"results"`
+	ThroughputRatio      float64      `json:"budgeted_vs_unlimited_hot_throughput"`
+	ResidentWithinBudget bool         `json:"resident_within_budget"`
+	StatsRowsPresent     bool         `json:"cold_stats_rows_present"`
+	Correct              bool         `json:"correct"`
+}
+
+type e13JSONRow struct {
+	Mode          string  `json:"mode"`
+	HotOpsSec     float64 `json:"hot_ops_per_sec"`
+	HotP50us      int64   `json:"hot_p50_us"`
+	HotP99us      int64   `json:"hot_p99_us"`
+	ColdP50us     int64   `json:"cold_read_p50_us"`
+	ColdP99us     int64   `json:"cold_read_p99_us"`
+	Evictions     int64   `json:"cold_evictions"`
+	Faults        int64   `json:"cold_faults"`
+	ResidentBytes int64   `json:"cold_resident_bytes"`
+}
+
+func writeE13JSON(path string, seed int64, res *bench.E13Result) error {
+	doc := e13JSON{Experiment: "E13 anti-caching: larger-than-memory tables vs all-in-memory baseline",
+		Seed:                 seed,
+		Rows:                 res.Rows,
+		DataBytes:            res.DataBytes,
+		BudgetBytes:          res.Budget,
+		HotKeys:              res.HotKeys,
+		Ops:                  res.Ops,
+		ThroughputRatio:      res.ThroughputRatio,
+		ResidentWithinBudget: res.ResidentWithinBudget,
+		StatsRowsPresent:     res.StatsRowsPresent,
+		Correct:              res.Correct,
+	}
+	for _, r := range res.Modes {
+		doc.Modes = append(doc.Modes, e13JSONRow{
+			Mode:          r.Mode,
+			HotOpsSec:     r.HotOpsSec,
+			HotP50us:      r.HotP50.Microseconds(),
+			HotP99us:      r.HotP99.Microseconds(),
+			ColdP50us:     r.ColdP50.Microseconds(),
+			ColdP99us:     r.ColdP99.Microseconds(),
+			Evictions:     r.Evictions,
+			Faults:        r.Faults,
+			ResidentBytes: r.ResidentBytes,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e12JSON is the BENCH_E12.json document.

@@ -5,6 +5,7 @@
 // Input lines are dispatched by shape:
 //
 //	SELECT ...                ad-hoc query
+//	DEPLOY DATAFLOW g (...)   deploy a workflow graph (see sql.DeployDataflow)
 //	exec <sql>                ad-hoc DML (atomic across partitions when it spans them)
 //	call <proc> [args...]     stored procedure invocation
 //	ingest <stream> v1,v2,... one tuple onto a stream

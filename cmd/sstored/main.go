@@ -13,6 +13,8 @@
 //	sstored -addr 127.0.0.1:7477 -app voter -dir /var/lib/sstore -sync group
 //	sstored -app bikeshare
 //	sstored -ddl schema.sql            # bare engine with custom schema
+//	sstored -ddl schema.sql -memory-budget 67108864   # anti-caching: tables
+//	    larger than 64 MiB of resident rows spill cold tuples to disk
 //
 // With -follow, sstored runs as a read replica of another sstored: it tails
 // the primary's WAL over the wire (the primary must be durable), serves
@@ -44,23 +46,24 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7477", "listen address")
-		dir      = flag.String("dir", "", "durability directory (empty = volatile)")
-		app      = flag.String("app", "none", "built-in application: voter | bikeshare | none")
-		ddlFile  = flag.String("ddl", "", "DDL script to execute at startup")
-		syncPol  = flag.String("sync", "never", "command-log fsync policy: never | every | group")
-		gcIval   = flag.Duration("group-interval", 0, "group commit: max wait for a batch fsync (0 = default)")
-		gcBatch  = flag.Int("group-batch", 0, "group commit: fsync early at this many pending commits (0 = default)")
-		gcMin    = flag.Duration("group-min-interval", 0, "adaptive group commit: lower bound of the fsync-latency-tracking flush interval")
-		gcMax    = flag.Duration("group-max-interval", 0, "adaptive group commit: upper bound; > 0 enables adaptation (overrides -group-interval)")
-		logAll   = flag.Bool("log-all-tes", false, "log every transaction execution instead of upstream backup")
-		hstore   = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
-		contest  = flag.Int("contestants", 25, "voter: number of contestants")
-		stations = flag.Int("stations", 20, "bikeshare: number of stations")
-		parts    = flag.Int("partitions", 1, "number of serial-execution partitions (PARTITION BY relations hash-split across them)")
-		follow   = flag.String("follow", "", "primary address to follow as a read replica (WAL shipping; implies volatile)")
-		hbTO     = flag.Duration("heartbeat-timeout", 3*time.Second, "follower: promote to primary after the primary is unreachable this long (0 = never auto-promote)")
-		replPoll = flag.Duration("repl-poll", 0, "follower: idle delay between WAL fetch rounds (0 = default)")
+		addr      = flag.String("addr", "127.0.0.1:7477", "listen address")
+		dir       = flag.String("dir", "", "durability directory (empty = volatile)")
+		app       = flag.String("app", "none", "built-in application: voter | bikeshare | none")
+		ddlFile   = flag.String("ddl", "", "DDL script to execute at startup")
+		syncPol   = flag.String("sync", "never", "command-log fsync policy: never | every | group")
+		gcIval    = flag.Duration("group-interval", 0, "group commit: max wait for a batch fsync (0 = default)")
+		gcBatch   = flag.Int("group-batch", 0, "group commit: fsync early at this many pending commits (0 = default)")
+		gcMin     = flag.Duration("group-min-interval", 0, "adaptive group commit: lower bound of the fsync-latency-tracking flush interval")
+		gcMax     = flag.Duration("group-max-interval", 0, "adaptive group commit: upper bound; > 0 enables adaptation (overrides -group-interval)")
+		logAll    = flag.Bool("log-all-tes", false, "log every transaction execution instead of upstream backup")
+		hstore    = flag.Bool("hstore", false, "H-Store baseline mode (streaming features disabled)")
+		contest   = flag.Int("contestants", 25, "voter: number of contestants")
+		stations  = flag.Int("stations", 20, "bikeshare: number of stations")
+		parts     = flag.Int("partitions", 1, "number of serial-execution partitions (PARTITION BY relations hash-split across them)")
+		memBudget = flag.Int64("memory-budget", 0, "anti-caching: resident-row heap budget in bytes across all base tables (0 = unlimited; cold tuples spill to a page store under -dir)")
+		follow    = flag.String("follow", "", "primary address to follow as a read replica (WAL shipping; implies volatile)")
+		hbTO      = flag.Duration("heartbeat-timeout", 3*time.Second, "follower: promote to primary after the primary is unreachable this long (0 = never auto-promote)")
+		replPoll  = flag.Duration("repl-poll", 0, "follower: idle delay between WAL fetch rounds (0 = default)")
 	)
 	flag.Parse()
 
@@ -77,6 +80,7 @@ func main() {
 		GroupCommitMaxBatch:    *gcBatch,
 		GroupCommitMinInterval: *gcMin,
 		GroupCommitMaxInterval: *gcMax,
+		MemoryBudget:           *memBudget,
 	}
 	switch *syncPol {
 	case "never":

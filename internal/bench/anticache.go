@@ -1,0 +1,278 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+// ---------- E13: anti-caching — larger-than-memory tables ----------
+
+// E13Row is one mode of the anti-caching comparison: the same skewed
+// point workload against an unlimited store (everything resident) and a
+// budgeted one (the evictor holds the table at MemoryBudget, cold tuples
+// live in the page store).
+type E13Row struct {
+	Mode          string // "unlimited" | "budgeted"
+	HotOpsSec     float64
+	HotP50        time.Duration // client-observed latency of the skewed phase
+	HotP99        time.Duration
+	ColdP50       time.Duration // uniform cold-tail point reads (fault-in path under a budget)
+	ColdP99       time.Duration
+	Evictions     int64
+	Faults        int64
+	ResidentBytes int64
+	Sum           int64 // SUM(v) after the run; must match across modes
+}
+
+// E13Result is the whole experiment: both modes plus the acceptance
+// checks EXPERIMENTS.md records.
+type E13Result struct {
+	Rows      int   // table size
+	DataBytes int64 // in-memory bytes of the full table (4x the budget)
+	Budget    int64 // core.Config.MemoryBudget for the budgeted mode
+	HotKeys   int   // size of the skewed hot set (10% of the keyspace)
+	Ops       int   // measured hot-phase operations
+
+	Modes                []E13Row
+	ThroughputRatio      float64 // budgeted hot ops/sec over unlimited
+	ResidentWithinBudget bool    // end-of-run resident gauge <= Budget
+	StatsRowsPresent     bool    // cold_* rows surfaced by Store stats
+	Correct              bool    // sums agree across modes
+}
+
+// e13RowBytes is the storage accounting (storage.rowMemSize) of one row of
+// the padded table: 24 bytes of header + 40 per column + the pad length.
+const (
+	e13Pad      = 258
+	e13RowBytes = 24 + 3*40 + e13Pad
+)
+
+// e13Op is one pre-generated operation, so both modes execute the identical
+// sequence and the final table state is comparable.
+type e13Op struct {
+	key  int64
+	bump bool
+}
+
+// E13 loads a padded key-value table whose in-memory footprint is exactly
+// four times the anti-caching budget, drives a 90/10-skewed point workload
+// (reads and updates routed by key), then sweeps the cold tail with uniform
+// point reads. The hot set stays resident via the clock bit, so the skewed
+// phase should run within a fraction of the unlimited baseline while the
+// resident gauge holds at the budget; the cold sweep pays the fault-in
+// path, whose latency the store's ColdFaultLatency histogram records.
+func E13(seed int64, rows, ops, partitions int) (*E13Result, error) {
+	if rows < 100 {
+		rows = 100
+	}
+	res := &E13Result{
+		Rows:      rows,
+		DataBytes: int64(rows) * e13RowBytes,
+		Budget:    int64(rows) * e13RowBytes / 4,
+		HotKeys:   rows / 10,
+		Ops:       ops,
+	}
+	// Pre-generate the op sequence: 90% of ops hit the hot 10% of keys,
+	// one in three ops is an update.
+	rng := rand.New(rand.NewSource(seed))
+	opsList := make([]e13Op, ops)
+	for i := range opsList {
+		k := int64(rng.Intn(res.HotKeys))
+		if rng.Intn(10) == 9 {
+			k = int64(rng.Intn(rows))
+		}
+		opsList[i] = e13Op{key: k, bump: i%3 == 0}
+	}
+	for _, budget := range []int64{0, res.Budget} {
+		row, statsPresent, err := runE13Mode(budget, rows, partitions, opsList)
+		if err != nil {
+			return nil, err
+		}
+		if budget > 0 {
+			res.StatsRowsPresent = statsPresent
+		}
+		res.Modes = append(res.Modes, row)
+	}
+	unlimited, budgeted := res.Modes[0], res.Modes[1]
+	if unlimited.HotOpsSec > 0 {
+		res.ThroughputRatio = budgeted.HotOpsSec / unlimited.HotOpsSec
+	}
+	res.ResidentWithinBudget = budgeted.ResidentBytes > 0 && budgeted.ResidentBytes <= res.Budget
+	res.Correct = unlimited.Sum == budgeted.Sum &&
+		budgeted.Evictions > 0 && budgeted.Faults > 0
+	return res, nil
+}
+
+func runE13Mode(budget int64, rows, partitions int, opsList []e13Op) (E13Row, bool, error) {
+	mode := "unlimited"
+	if budget > 0 {
+		mode = "budgeted"
+	}
+	st := core.Open(core.Config{Partitions: partitions, MemoryBudget: budget})
+	if err := setupE13(st); err != nil {
+		return E13Row{}, false, err
+	}
+	if err := st.Start(); err != nil {
+		return E13Row{}, false, err
+	}
+	pad := types.NewString(strings.Repeat("x", e13Pad))
+	for k := 0; k < rows; k++ {
+		if _, err := st.Call("e13put",
+			types.NewInt(int64(k)), types.NewInt(int64(k)%97), pad); err != nil {
+			st.Stop()
+			return E13Row{}, false, err
+		}
+	}
+
+	// Skewed hot phase: a small worker pool drains the shared op sequence.
+	const workers = 8
+	latencies := make([][]time.Duration, workers)
+	errs := make([]error, workers)
+	next := make(chan e13Op, workers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lats := make([]time.Duration, 0, len(opsList)/workers+1)
+			for op := range next {
+				proc := "e13get"
+				if op.bump {
+					proc = "e13bump"
+				}
+				s := time.Now()
+				if _, err := st.Call(proc, types.NewInt(op.key)); err != nil {
+					errs[w] = err
+					break
+				}
+				lats = append(lats, time.Since(s))
+			}
+			latencies[w] = lats
+			for range next {
+			} // drain on error so the feeder never blocks
+		}(w)
+	}
+	for _, op := range opsList {
+		next <- op
+	}
+	close(next)
+	wg.Wait()
+	elapsed := time.Since(t0)
+	for _, err := range errs {
+		if err != nil {
+			st.Stop()
+			return E13Row{}, false, err
+		}
+	}
+
+	// Cold sweep: uniform point reads across the whole keyspace. Under a
+	// budget most of these fault tuples back in from the page store; the
+	// store's ColdFaultLatency histogram is the recorded p99 source.
+	faultHist := &st.Metrics().ColdFaultLatency
+	for k := 0; k < rows; k += 7 {
+		s := time.Now()
+		if _, err := st.Call("e13get", types.NewInt(int64(k))); err != nil {
+			st.Stop()
+			return E13Row{}, false, err
+		}
+		faultHist.Observe(time.Since(s))
+	}
+
+	// A worker barrier per partition runs the GC + eviction sweep, which
+	// trims back to budget and publishes the cold_* counters.
+	for i := 0; i < st.NumPartitions(); i++ {
+		if err := st.PEAt(i).RunExclusive(func() error { return nil }); err != nil {
+			st.Stop()
+			return E13Row{}, false, err
+		}
+	}
+	sum, err := st.Query("SELECT SUM(v) FROM e13kv")
+	if err != nil {
+		st.Stop()
+		return E13Row{}, false, err
+	}
+	snap := st.Metrics().Snapshot()
+	q := latencyQuantiles(latencies)
+	row := E13Row{
+		Mode:          mode,
+		HotOpsSec:     float64(len(opsList)) / elapsed.Seconds(),
+		HotP50:        q(0.50),
+		HotP99:        q(0.99),
+		ColdP50:       faultHist.Quantile(0.50),
+		ColdP99:       faultHist.Quantile(0.99),
+		Evictions:     snap.ColdEvictions,
+		Faults:        snap.ColdFaults,
+		ResidentBytes: snap.ColdResidentBytes,
+		Sum:           sum.Rows[0][0].Int(),
+	}
+	// Operator surface: the stats report must carry the three
+	// anti-caching rows.
+	want := map[string]bool{"cold_evictions": false, "cold_faults": false, "cold_resident_bytes": false}
+	for _, r := range st.StatsResult().Rows {
+		if _, ok := want[r[0].Str()]; ok {
+			want[r[0].Str()] = true
+		}
+	}
+	statsPresent := want["cold_evictions"] && want["cold_faults"] && want["cold_resident_bytes"]
+	if err := st.Stop(); err != nil {
+		return E13Row{}, false, err
+	}
+	return row, statsPresent, nil
+}
+
+func setupE13(st *core.Store) error {
+	if err := st.ExecScript(`CREATE TABLE e13kv (k BIGINT PRIMARY KEY, v BIGINT, pad VARCHAR) PARTITION BY k;`); err != nil {
+		return err
+	}
+	procs := []*pe.Procedure{
+		{
+			Name:           "e13put",
+			WriteSet:       []string{"e13kv"},
+			PartitionParam: 1,
+			Handler: func(ctx *pe.ProcCtx) error {
+				_, err := ctx.Exec("INSERT INTO e13kv VALUES (?, ?, ?)",
+					ctx.Params[0], ctx.Params[1], ctx.Params[2])
+				return err
+			},
+		},
+		{
+			Name:           "e13get",
+			ReadSet:        []string{"e13kv"},
+			PartitionParam: 1,
+			Handler: func(ctx *pe.ProcCtx) error {
+				res, err := ctx.Exec("SELECT v, pad FROM e13kv WHERE k = ?", ctx.Params[0])
+				if err != nil {
+					return err
+				}
+				if len(res.Rows) != 1 {
+					return fmt.Errorf("e13get: key %v not found", ctx.Params[0])
+				}
+				ctx.SetResult(res)
+				return nil
+			},
+		},
+		{
+			Name:           "e13bump",
+			WriteSet:       []string{"e13kv"},
+			PartitionParam: 1,
+			Handler: func(ctx *pe.ProcCtx) error {
+				_, err := ctx.Exec("UPDATE e13kv SET v = v + 1 WHERE k = ?", ctx.Params[0])
+				return err
+			},
+		},
+	}
+	for _, p := range procs {
+		if err := st.RegisterProcedure(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}

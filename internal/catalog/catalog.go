@@ -11,6 +11,7 @@ import (
 	"strings"
 
 	"repro/internal/storage"
+	"repro/internal/storage/coldstore"
 	"repro/internal/types"
 )
 
@@ -90,6 +91,13 @@ type Relation struct {
 	// data and unpartitioned streams are pinned to partition 0.
 	PartCol int
 
+	// Evictable marks the relation as a candidate for anti-caching: the
+	// evictor may move its cold committed row versions to the partition's
+	// cold store. Only base tables qualify — streams are transient queues
+	// the PE drains and windows are by definition the hot working set, so
+	// both always stay memory-resident.
+	Evictable bool
+
 	// Partial marks a partitioned relation declared PARTITION BY ... PARTIAL:
 	// its rows are partition-local partial state (e.g. per-partition partial
 	// aggregates maintained by procedures routed on a different key), so
@@ -130,6 +138,10 @@ type Catalog struct {
 	// commit makes a whole transaction's writes — across all its tables —
 	// visible atomically to snapshot readers.
 	clock *storage.PartitionClock
+
+	// cold, when set, is the partition's shared cold store; every base
+	// table (existing and future) is attached to it and marked evictable.
+	cold *coldstore.Store
 }
 
 // New returns an empty catalog with a fresh partition clock.
@@ -237,8 +249,54 @@ func (c *Catalog) create(schema *types.Schema, kind RelationKind, win *WindowSta
 		Win:     win,
 		PartCol: -1,
 	}
+	if kind == KindTable && c.cold != nil {
+		r.Evictable = true
+		r.Table.AttachColdStore(c.cold)
+	}
 	c.rels[key(name)] = r
 	return r, nil
+}
+
+// AttachColdStore enables anti-caching: every base table — present and
+// future — shares the given cold store and becomes evictable. Streams
+// and windows stay hot (see Relation.Evictable).
+func (c *Catalog) AttachColdStore(cs *coldstore.Store) {
+	c.cold = cs
+	for _, r := range c.rels {
+		if r.Kind == KindTable {
+			r.Evictable = true
+			r.Table.AttachColdStore(cs)
+		}
+	}
+}
+
+// ColdStore returns the attached cold store, or nil.
+func (c *Catalog) ColdStore() *coldstore.Store { return c.cold }
+
+// DetachColdStore clears and returns the cold-store handle so the owner
+// can close it at shutdown. Relations keep any stubs they hold; those
+// are unreadable once the store closes, exactly like a closed WAL.
+func (c *Catalog) DetachColdStore() *coldstore.Store {
+	cs := c.cold
+	c.cold = nil
+	return cs
+}
+
+// EvictableTables lists every evictable relation's table, sorted by name
+// (the evictor's deterministic round-robin order).
+func (c *Catalog) EvictableTables() []*storage.Table {
+	var out []*Relation
+	for _, r := range c.rels {
+		if r.Evictable {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	tbls := make([]*storage.Table, len(out))
+	for i, r := range out {
+		tbls[i] = r.Table
+	}
+	return tbls
 }
 
 // Drop removes a relation. Dropping a stream with dependent windows fails.

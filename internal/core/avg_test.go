@@ -162,8 +162,18 @@ func TestAvgDistinctStillRejected(t *testing.T) {
 		!strings.Contains(err.Error(), "DISTINCT") {
 		t.Fatalf("AVG(DISTINCT) err = %v", err)
 	}
-	// Expressions over AVG still cannot merge (the rewrite is item-level).
-	if _, err := st.Query("SELECT AVG(n) + 1 FROM totals"); err == nil {
-		t.Fatal("expression over AVG should be rejected")
+	// Expressions over AVG merge via the post-merge evaluator: the legs
+	// ship the decomposed SUM + COUNT, the router divides, then applies
+	// the surrounding expression.
+	avg, err := st.Query("SELECT AVG(n) FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	plus, err := st.Query("SELECT AVG(n) + 1 FROM totals")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := plus.Rows[0][0].Float(), avg.Rows[0][0].Float()+1; got != want {
+		t.Fatalf("AVG(n) + 1 = %v, want %v", got, want)
 	}
 }

@@ -34,6 +34,7 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/pe"
 	"repro/internal/storage"
+	"repro/internal/storage/coldstore"
 	"repro/internal/types"
 	"repro/internal/wal"
 )
@@ -79,6 +80,17 @@ type Config struct {
 	// single-partition engine; N > 1 hash-partitions PARTITION BY relations
 	// across N replicas of the schema.
 	Partitions int
+	// MemoryBudget > 0 activates anti-caching: it bounds the approximate
+	// heap bytes of resident row versions across all base tables (streams
+	// and windows always stay hot). Each partition gets an equal share and
+	// a cold-tuple page store — a file under Dir, or a temp file when the
+	// store is non-durable — and the partition worker moves cold committed
+	// versions past the snapshot watermark to cold pages at GC rhythm,
+	// faulting them back through a clock buffer pool on access. The cold
+	// store is volatile by design: recovery re-derives evicted data from
+	// the checkpoint + log replay, so cold pages are never fsynced.
+	// 0 disables anti-caching (every table fully memory-resident).
+	MemoryBudget int64
 }
 
 // partition is one serial-execution replica: catalog + EE + PE + WAL
@@ -373,11 +385,55 @@ func (s *Store) newPartition(idx int) *partition {
 	cat := catalog.New()
 	exec := ee.New(cat, s.met)
 	part := pe.New(exec, pe.Config{
-		Mode:        s.cfg.Mode,
-		HStoreMode:  s.cfg.HStoreMode,
-		ForceUnsafe: s.cfg.ForceUnsafe,
+		Mode:         s.cfg.Mode,
+		HStoreMode:   s.cfg.HStoreMode,
+		ForceUnsafe:  s.cfg.ForceUnsafe,
+		MemoryBudget: s.partitionBudget(),
 	})
 	return &partition{idx: idx, cat: cat, ee: exec, pe: part, met: s.met}
+}
+
+// partitionBudget is each partition's share of the store-wide memory
+// budget (resident rows split roughly evenly under hash partitioning).
+func (s *Store) partitionBudget() int64 {
+	if s.cfg.MemoryBudget <= 0 {
+		return 0
+	}
+	n := int64(s.cfg.Partitions)
+	if n < 1 {
+		n = 1
+	}
+	return s.cfg.MemoryBudget / n
+}
+
+// attachColdStore opens the partition's cold-tuple page store and wires
+// it into the catalog (idempotent). Durable stores keep the file beside
+// the WAL segments; non-durable stores use a temp file. Either way the
+// store is volatile — Open truncates, Close removes.
+func (s *Store) attachColdStore(p *partition) error {
+	if s.cfg.MemoryBudget <= 0 || p.cat.ColdStore() != nil {
+		return nil
+	}
+	var path string
+	if s.cfg.Dir != "" {
+		if err := os.MkdirAll(s.cfg.Dir, 0o755); err != nil {
+			return fmt.Errorf("core: cold store dir: %w", err)
+		}
+		path = filepath.Join(s.cfg.Dir, fmt.Sprintf("cold-%d.pages", p.idx))
+	} else {
+		f, err := os.CreateTemp("", fmt.Sprintf("sstore-cold-%d-*.pages", p.idx))
+		if err != nil {
+			return fmt.Errorf("core: cold store temp file: %w", err)
+		}
+		path = f.Name()
+		f.Close()
+	}
+	cs, err := coldstore.Open(path, coldstore.Options{})
+	if err != nil {
+		return fmt.Errorf("core: cold store (partition %d): %w", p.idx, err)
+	}
+	p.cat.AttachColdStore(cs)
+	return nil
 }
 
 // partList returns the published partition list. The slice is immutable;
@@ -450,6 +506,9 @@ func (s *Store) StatsResult() *pe.Result {
 	ci("gc_runs", snap.GCRuns)
 	ci("gc_versions_reclaimed", snap.GCVersionsReclaimed)
 	ci("versions_retained", snap.VersionsRetained)
+	ci("cold_evictions", snap.ColdEvictions)
+	ci("cold_faults", snap.ColdFaults)
+	ci("cold_resident_bytes", snap.ColdResidentBytes)
 	ci("rebalances", snap.Rebalances)
 	ci("slots_migrated", snap.SlotsMigrated)
 	ci("slot_rows_moved", snap.SlotRowsMoved)
@@ -960,6 +1019,13 @@ func (s *Store) Start() error {
 			return err
 		}
 	}
+	// Anti-caching attaches after recovery: replay rebuilds every table
+	// fully resident, and the evictor trims to budget once workers run.
+	for _, p := range s.partList() {
+		if err := s.attachColdStore(p); err != nil {
+			return err
+		}
+	}
 	for i, p := range s.partList() {
 		if err := p.pe.Start(); err != nil {
 			for _, q := range s.partList()[:i] {
@@ -996,6 +1062,15 @@ func (s *Store) Stop() error {
 			errs = append(errs, fmt.Errorf("core: coordinator log close: %w", err))
 		}
 		s.coordLog = nil
+	}
+	// Cold stores are volatile: Close removes the page file. Evicted
+	// stubs become unreadable past this point, like the closed logs.
+	for _, p := range s.partList() {
+		if cs := p.cat.DetachColdStore(); cs != nil {
+			if err := cs.Close(); err != nil {
+				errs = append(errs, fmt.Errorf("core: cold store close (partition %d): %w", p.idx, err))
+			}
+		}
 	}
 	return errors.Join(errs...)
 }
@@ -1127,7 +1202,7 @@ func (s *Store) Drain() {
 // RemoveDurableState deletes the snapshots and logs of every partition
 // (test helper).
 func RemoveDurableState(dir string) error {
-	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", wal.DefaultCoordLogName, wal.DefaultSlotsName, partitionsFileName} {
+	for _, pat := range []string{wal.DefaultLogName + "*", wal.DefaultSnapshotName + "*", wal.DefaultCoordLogName, wal.DefaultSlotsName, partitionsFileName, "cold-*.pages"} {
 		matches, err := filepath.Glob(filepath.Join(dir, pat))
 		if err != nil {
 			return err

@@ -806,3 +806,76 @@ func TestUndeployPausedDataflow(t *testing.T) {
 		t.Fatalf("sink after redeploy: %v", res.Rows)
 	}
 }
+
+// TestDeployDataflowStatement deploys the two-stage pipeline through the
+// textual DDL form — the path a wire client like sstorecli uses — and
+// checks the graph runs end to end, including an EE trigger declared
+// inline, and that parser and validator errors both surface through the
+// statement.
+func TestDeployDataflowStatement(t *testing.T) {
+	st := dfStore(t, Config{Partitions: 2})
+	if err := st.ExecScript(`CREATE TABLE audit (k INT PRIMARY KEY, amt BIGINT) PARTITION BY k;`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := st.Exec(`DEPLOY DATAFLOW pipeline (
+		NODE df_stage1 INPUT feed BATCH 2 EMITS (mid),
+		NODE df_stage2 INPUT mid BATCH 1,
+		TRIGGER audit_feed ON feed AS ('INSERT INTO audit SELECT k, amt FROM new')
+	);`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].Str() != "pipeline" {
+		t.Fatalf("deploy result: %+v", res)
+	}
+	if err := st.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer st.Stop()
+	for i := 0; i < 10; i++ {
+		if err := st.Ingest("feed", types.Row{types.NewInt(int64(i)), types.NewInt(1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.FlushBatches()
+	st.Drain()
+	sum, err := st.Query("SELECT SUM(n) FROM sink")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sum.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("sink sum = %d, want 10", got)
+	}
+	aud, err := st.Query("SELECT COUNT(*) FROM audit")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := aud.Rows[0][0].Int(); got != 10 {
+		t.Fatalf("audit rows = %d, want 10 (EE trigger from the text form)", got)
+	}
+	show, err := st.Query("SHOW DATAFLOWS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(show.Rows) != 1 || show.Rows[0][0].Str() != "pipeline" {
+		t.Fatalf("SHOW DATAFLOWS after text deploy: %v", show.Rows)
+	}
+
+	// The Query path accepts the statement too, and runs the same
+	// whole-graph validation as the Go API.
+	if _, err := st.Query("DEPLOY DATAFLOW pipeline (NODE df_stage2 INPUT mid BATCH 1)"); err == nil ||
+		!strings.Contains(err.Error(), "already deployed") {
+		t.Fatalf("duplicate name through text form: %v", err)
+	}
+	if _, err := st.Query("DEPLOY DATAFLOW g2 (NODE nosuch INPUT feed BATCH 1)"); err == nil ||
+		!strings.Contains(err.Error(), "unknown procedure") {
+		t.Fatalf("validator bypassed by text form: %v", err)
+	}
+	if _, err := st.Query("DEPLOY DATAFLOW broken (NODE df_stage1 INPUT feed)"); err == nil ||
+		!strings.Contains(err.Error(), "BATCH") {
+		t.Fatalf("parse error not surfaced: %v", err)
+	}
+	if got := len(st.Dataflows()); got != 1 {
+		t.Fatalf("failed text deploys left %d dataflows", got)
+	}
+}

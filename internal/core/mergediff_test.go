@@ -72,6 +72,23 @@ func TestMergeDifferentialOneVsManyPartitions(t *testing.T) {
 		{sql: "SELECT g, SUM(v) FROM m GROUP BY g ORDER BY g"},
 		{sql: "SELECT g, SUM(v) FROM m GROUP BY g HAVING SUM(v) > 15 ORDER BY 2 DESC, g"},
 		{sql: "SELECT g, SUM(v) FROM m GROUP BY g ORDER BY g LIMIT 3"},
+		// Expressions over aggregates in the projection: legs compute the
+		// contained aggregates, the router evaluates the expression over
+		// the merged partials.
+		{sql: "SELECT g, SUM(v) / COUNT(v) FROM m GROUP BY g"},
+		{sql: "SELECT SUM(v) / COUNT(v) FROM m"},
+		{sql: "SELECT g, MAX(v) - MIN(v) FROM m GROUP BY g"},
+		{sql: "SELECT g, SUM(v) + COUNT(*) AS s FROM m GROUP BY g ORDER BY s DESC, g"},
+		{sql: "SELECT g, AVG(v) * 2 FROM m GROUP BY g"},
+		{sql: "SELECT g, COUNT(*) - COUNT(v) FROM m GROUP BY g"},
+		{sql: "SELECT g, SUM(v) + g FROM m GROUP BY g"},
+		{sql: "SELECT g, SUM(v) * ? FROM m GROUP BY g",
+			params: []types.Value{types.NewInt(2)}},
+		{sql: "SELECT g, SUM(v) / (COUNT(*) + ?) FROM m GROUP BY g",
+			params: []types.Value{types.NewInt(1)}},
+		{sql: "SELECT g, SUM(v), SUM(v) / COUNT(v) FROM m GROUP BY g HAVING SUM(v) > 15"},
+		{sql: "SELECT g, SUM(v) % 5 FROM m GROUP BY g ORDER BY g LIMIT 4"},
+		{sql: "SELECT g, SUM(v) / COUNT(v) AS r FROM m GROUP BY g HAVING COUNT(*) > 7 ORDER BY g"},
 	}
 	for _, q := range queries {
 		a, err := one.Query(q.sql, q.params...)

@@ -172,6 +172,9 @@ func (s *Store) addPartitions(target int) error {
 				np.pe.PauseGraph(df.Name)
 			}
 		}
+		if err := s.attachColdStore(np); err != nil {
+			return fmt.Errorf("core: rebalance: partition %d: %w", idx, err)
+		}
 		if s.cfg.Dir != "" {
 			logPath, _ := wal.PartitionPaths(s.cfg.Dir, idx)
 			log, err := wal.OpenLogOpts(logPath, 0, wal.Options{

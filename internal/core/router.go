@@ -144,9 +144,13 @@ func (s *Store) Ingest(stream string, rows ...types.Row) error {
 // logged; durable writes belong in stored procedures), routed per the rules
 // at the top of this file.
 func (s *Store) Exec(sqlText string, params ...types.Value) (*pe.Result, error) {
-	// Administrative statements run before the routing fence: ALTER SYSTEM
-	// PARTITIONS takes routingMu exclusively inside Rebalance, so it must
-	// not be entered with the shared side held.
+	// Dataflow and administrative statements run before the routing fence:
+	// DEPLOY takes the all-partition barrier and ALTER SYSTEM PARTITIONS
+	// takes routingMu exclusively inside Rebalance, so neither must be
+	// entered with the shared side held.
+	if res, handled, err := s.dataflowStatement(sqlText); handled {
+		return res, err
+	}
 	if res, handled, err := s.adminStatement(sqlText); handled {
 		return res, err
 	}
@@ -563,7 +567,7 @@ func fanoutLeg(sel *sql.Select, sqlText string, params []types.Value) (*queryMer
 		return nil, "", nil, err
 	}
 	legSQL, legParams := sqlText, params
-	if len(plan.avgHidden) > 0 || len(plan.extraItems) > 0 || plan.stripHaving || plan.stripLimit {
+	if len(plan.avgHidden) > 0 || len(plan.extraItems) > 0 || len(plan.exprLeg) > 0 || plan.stripHaving || plan.stripLimit {
 		var inlined bool
 		legSQL, inlined, err = buildLegSQL(sel, plan, params)
 		if err != nil {
@@ -748,6 +752,30 @@ type queryMerge struct {
 	// legs run without it (stripLimit) and the merge applies m.limit —
 	// which is always re-applied after the merge regardless.
 	stripLimit bool
+	// Expression-over-aggregate pushdown (SELECT SUM(a)/COUNT(b) ...):
+	// partition-local evaluation of such an expression is unmergeable, so
+	// the legs project the expression's first aggregate at the item's
+	// position (exprLeg) — a genuine partial, combined by its kind in
+	// m.cols — any further aggregates it references resolve like HAVING's
+	// (reusing a projected column or riding hidden), and exprCols
+	// re-evaluates the full expression over each merged row before the
+	// hidden columns are trimmed.
+	exprCols map[int]mergedExpr
+	exprLeg  map[int]sql.Expr
+}
+
+// firstAggregate returns the first aggregate call in expr's walk order,
+// or nil when it contains none.
+func firstAggregate(e sql.Expr) *sql.FuncCall {
+	var first *sql.FuncCall
+	sql.WalkExpr(e, func(x sql.Expr) {
+		if first == nil {
+			if fc, ok := x.(*sql.FuncCall); ok && sql.IsAggregate(fc.Name) {
+				first = fc
+			}
+		}
+	})
+	return first
 }
 
 // classifyAggFunc maps a projected (or HAVING-referenced) aggregate call
@@ -781,6 +809,12 @@ func classifyAggFunc(f *sql.FuncCall) (aggKind, error) {
 func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 	m := &queryMerge{distinct: sel.Distinct, limit: -1}
 	star := false
+	type aggExprItem struct {
+		pos   int
+		expr  sql.Expr
+		first *sql.FuncCall
+	}
+	var exprItems []aggExprItem
 	for _, it := range sel.Items {
 		if it.Star {
 			star = true
@@ -793,7 +827,16 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 				return nil, err
 			}
 		} else if sql.ContainsAggregate(it.Expr) {
-			return nil, fmt.Errorf("core: expression over an aggregate cannot be merged across partitions; select the bare aggregate")
+			// Expression over aggregates: classify the position by the
+			// expression's first aggregate (what the legs will compute
+			// here); compilation waits until the whole projection is
+			// classified so hidden columns land after it.
+			first := firstAggregate(it.Expr)
+			var err error
+			if k, err = classifyAggFunc(first); err != nil {
+				return nil, err
+			}
+			exprItems = append(exprItems, aggExprItem{pos: len(m.cols), expr: it.Expr, first: first})
 		}
 		if k != aggKey {
 			m.hasAgg = true
@@ -810,6 +853,25 @@ func mergePlan(sel *sql.Select, params []types.Value) (*queryMerge, error) {
 		m.cols = nil // unknown width: plain concatenation
 	}
 	m.outWidth = len(m.cols)
+	if len(exprItems) > 0 && !star {
+		m.exprCols = make(map[int]mergedExpr, len(exprItems))
+		m.exprLeg = make(map[int]sql.Expr, len(exprItems))
+		resolver := m.havingResolver(sel)
+		for _, xi := range exprItems {
+			pos, first := xi.pos, xi.first
+			fn, err := compileMergeExpr(xi.expr, func(e sql.Expr) (int, bool, error) {
+				if fc, ok := e.(*sql.FuncCall); ok && sql.IsAggregate(fc.Name) && mergeExprEqual(fc, first) {
+					return pos, true, nil // the leg's partial at this position
+				}
+				return resolver(e)
+			})
+			if err != nil {
+				return nil, err
+			}
+			m.exprCols[pos] = fn
+			m.exprLeg[pos] = first
+		}
+	}
 	// HAVING over aggregates filters partial per-partition groups if run in
 	// the legs, so it is stripped there and applied to the merged groups
 	// instead: each referenced aggregate resolves to a projected column or
@@ -978,6 +1040,12 @@ func buildLegSQL(sel *sql.Select, m *queryMerge, params []types.Value) (legSQL s
 	items := make([]sql.SelectItem, 0, len(m.cols))
 	items = append(items, sel.Items...)
 	items = append(items, m.extraItems...)
+	// An expression-over-aggregates item runs post-merge; its leg slot
+	// carries the expression's first aggregate (an AVG there is decomposed
+	// by the loop below like any other).
+	for pos, first := range m.exprLeg {
+		items[pos] = sql.SelectItem{Expr: first, Alias: items[pos].Alias}
+	}
 	nBase := len(items)
 	avgArgHasParam := false
 	for i := 0; i < nBase; i++ {
@@ -1033,6 +1101,32 @@ func (m *queryMerge) finalizeAvgValues(rows []types.Row) {
 	}
 }
 
+// finalizeExprValues overwrites each expression-over-aggregates position
+// with the expression evaluated over the merged row. All of a row's
+// expressions read before any write: an expression may reference its own
+// position's partial (the leg-projected first aggregate).
+func (m *queryMerge) finalizeExprValues(rows []types.Row, params []types.Value) error {
+	poss := make([]int, 0, len(m.exprCols))
+	for pos := range m.exprCols {
+		poss = append(poss, pos)
+	}
+	sort.Ints(poss)
+	vals := make([]types.Value, len(poss))
+	for _, row := range rows {
+		for j, pos := range poss {
+			v, err := m.exprCols[pos](row, params)
+			if err != nil {
+				return err
+			}
+			vals[j] = v
+		}
+		for j, pos := range poss {
+			row[pos] = vals[j]
+		}
+	}
+	return nil
+}
+
 // trimHidden cuts the merged rows back to the client-visible projection
 // width (dropping AVG counts and hidden HAVING aggregates) and restores
 // the client-visible column names. The column slice is copied before
@@ -1049,10 +1143,17 @@ func (m *queryMerge) trimHidden(sel *sql.Select, out *pe.Result) {
 		}
 		out.Columns = cols
 	}
-	// An unaliased AVG item was executed as SUM in the legs; rename.
+	// An unaliased AVG item was executed as SUM in the legs; rename. An
+	// unaliased expression item was executed as its first aggregate;
+	// restore the engine's default expression column name.
 	for pos := range m.avgHidden {
 		if pos < len(sel.Items) && sel.Items[pos].Alias == "" && pos < len(out.Columns) {
 			out.Columns[pos] = "avg"
+		}
+	}
+	for pos := range m.exprCols {
+		if pos < len(sel.Items) && sel.Items[pos].Alias == "" && pos < len(out.Columns) {
+			out.Columns[pos] = "expr"
 		}
 	}
 }
@@ -1075,6 +1176,11 @@ func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result, params []types
 		}
 		if len(m.avgHidden) > 0 {
 			m.finalizeAvgValues(rows)
+		}
+		if len(m.exprCols) > 0 {
+			if err := m.finalizeExprValues(rows, params); err != nil {
+				return nil, err
+			}
 		}
 		if m.having != nil {
 			kept := rows[:0]

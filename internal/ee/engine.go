@@ -273,6 +273,8 @@ func (e *Engine) ExecDDL(stmt sql.Statement) error {
 		return err
 	case *sql.CreateTrigger:
 		return fmt.Errorf("ee: CREATE TRIGGER requires a body; use Engine.CreateTrigger")
+	case *sql.DeployDataflow:
+		return fmt.Errorf("ee: DEPLOY DATAFLOW needs the store's graph wiring; run it through the store's Query/Exec, not a DDL script")
 	case *sql.Drop:
 		if s.Kind == "TRIGGER" {
 			return e.DropTrigger(s.Name, s.IfExists)

@@ -88,6 +88,19 @@ type Metrics struct {
 	SlotsMigrated atomic.Int64
 	SlotRowsMoved atomic.Int64
 
+	// Anti-caching counters: ColdEvictions counts row versions moved to
+	// the cold store, ColdFaults the stub resolutions (reads that went to
+	// the cold store's buffer pool). ColdResidentBytes is a gauge of heap
+	// bytes held by in-memory versions of evictable tables (maintained by
+	// delta so partitions sharing this set sum correctly), which the
+	// evictor works to keep at the configured MemoryBudget.
+	ColdEvictions     atomic.Int64
+	ColdFaults        atomic.Int64
+	ColdResidentBytes atomic.Int64
+	// ColdFaultLatency records the wall time of fault-in rounds observed by
+	// benchmarks (E13's fault-in p99 source).
+	ColdFaultLatency Histogram
+
 	// Replication counters: ReplRecordsApplied counts WAL records a
 	// follower replayed into its storage, FollowerReads the snapshot
 	// SELECTs served by a follower, Promotions the follower→primary
@@ -180,6 +193,8 @@ type Snapshot struct {
 	VersionsRetained                      int64
 	Rebalances, SlotsMigrated             int64
 	SlotRowsMoved                         int64
+	ColdEvictions, ColdFaults             int64
+	ColdResidentBytes                     int64
 	ReplRecordsApplied, ReplLag           int64
 	FollowerReads, Promotions             int64
 	LatencyCount                          int64
@@ -221,6 +236,9 @@ func (m *Metrics) Snapshot() Snapshot {
 		Rebalances:          m.Rebalances.Load(),
 		SlotsMigrated:       m.SlotsMigrated.Load(),
 		SlotRowsMoved:       m.SlotRowsMoved.Load(),
+		ColdEvictions:       m.ColdEvictions.Load(),
+		ColdFaults:          m.ColdFaults.Load(),
+		ColdResidentBytes:   m.ColdResidentBytes.Load(),
 		ReplRecordsApplied:  m.ReplRecordsApplied.Load(),
 		ReplLag:             m.ReplLag.Load(),
 		FollowerReads:       m.FollowerReads.Load(),
@@ -267,6 +285,9 @@ func (s Snapshot) Delta(prev Snapshot) Snapshot {
 	d.Rebalances -= prev.Rebalances
 	d.SlotsMigrated -= prev.SlotsMigrated
 	d.SlotRowsMoved -= prev.SlotRowsMoved
+	d.ColdEvictions -= prev.ColdEvictions
+	d.ColdFaults -= prev.ColdFaults
+	// ColdResidentBytes is a gauge: keep s's value, not a difference.
 	d.ReplRecordsApplied -= prev.ReplRecordsApplied
 	// ReplLag is a gauge: keep s's value, not a difference.
 	d.FollowerReads -= prev.FollowerReads

@@ -134,6 +134,11 @@ type Config struct {
 	// ForceUnsafe permits ModeFIFO even when a workflow's procedures share
 	// writable tables (used only by the scheduler ablation experiments).
 	ForceUnsafe bool
+	// MemoryBudget bounds the heap bytes of resident row versions across
+	// this partition's evictable tables (0 = unlimited). When exceeded,
+	// the evictor — running at the GC rhythm — moves cold committed
+	// versions into the catalog's attached cold store until back under.
+	MemoryBudget int64
 }
 
 // binding wires a stream to the downstream procedure its tuples feed, as
@@ -161,9 +166,13 @@ type Engine struct {
 	// sequence and run on the caller's goroutine.
 	clock *storage.PartitionClock
 	// commitsSinceGC / lastRetained pace the worker's periodic version
-	// sweeps (worker goroutine only).
+	// sweeps (worker goroutine only). lastColdEvict / lastColdFault turn
+	// the tables' cumulative anti-caching counters into metric deltas.
 	commitsSinceGC int
 	lastRetained   int
+	lastColdEvict  uint64
+	lastColdFault  uint64
+	lastResident   int64
 
 	procs map[string]*Procedure
 	// bindings maps lowercased stream name -> consumer. Guarded by
@@ -1100,8 +1109,24 @@ func (e *Engine) commitPublish() {
 	e.commitsSinceGC++
 	if e.commitsSinceGC >= gcEveryCommits {
 		e.runGC()
+		return
+	}
+	// With a memory budget, probe the resident ledger between full sweeps
+	// (cheap: one RLock per evictable table) so a burst of large inserts
+	// cannot run the heap far past budget before the next 1024-commit GC.
+	if e.cfg.MemoryBudget > 0 && e.commitsSinceGC%evictProbeCommits == 0 {
+		var resident int64
+		for _, t := range e.ee.Catalog().EvictableTables() {
+			resident += t.ResidentBytes()
+		}
+		if resident > e.cfg.MemoryBudget+e.cfg.MemoryBudget/8 {
+			e.runGC()
+		}
 	}
 }
+
+// evictProbeCommits paces the between-sweep budget probe.
+const evictProbeCommits = 64
 
 // gcEveryCommits bounds how many commits may pass between version sweeps,
 // so chains stay short even on stores that never checkpoint. Inline
@@ -1125,6 +1150,49 @@ func (e *Engine) runGC() {
 	e.met.GCVersionsReclaimed.Add(int64(reclaimed))
 	e.met.VersionsRetained.Add(int64(retained - e.lastRetained))
 	e.lastRetained = retained
+	e.runEvict(wm)
+}
+
+// runEvict is the anti-caching pass, riding the GC rhythm on the worker
+// (DESIGN.md §7): release cold slots the watermark has unpinned, then —
+// when the partition's evictable tables exceed the memory budget — move
+// cold committed versions (clock second-chance over untouched tuples)
+// into the cold store until resident bytes are back at budget.
+func (e *Engine) runEvict(wm storage.Seq) {
+	cat := e.ee.Catalog()
+	tables := cat.EvictableTables()
+	if len(tables) == 0 {
+		return
+	}
+	var resident int64
+	var evictTot, faultTot uint64
+	for _, t := range tables {
+		t.ReleaseColdFrees(wm)
+		resident += t.ResidentBytes()
+		_, ev, fa := t.ColdStats()
+		evictTot += ev
+		faultTot += fa
+	}
+	if need := resident - e.cfg.MemoryBudget; need > 0 && e.cfg.MemoryBudget > 0 {
+		// Round-robin the overage across tables; a table with nothing
+		// evictable (all pinned, touched, or oversized) just yields its
+		// share to the next pass.
+		for _, t := range tables {
+			if need <= 0 {
+				break
+			}
+			n, freed := t.Evict(wm, need)
+			need -= freed
+			resident -= freed
+			evictTot += uint64(n)
+		}
+	}
+	e.met.ColdEvictions.Add(int64(evictTot - e.lastColdEvict))
+	e.met.ColdFaults.Add(int64(faultTot - e.lastColdFault))
+	e.met.ColdResidentBytes.Add(resident - e.lastResident)
+	e.lastColdEvict = evictTot
+	e.lastColdFault = faultTot
+	e.lastResident = resident
 }
 
 // runHandler executes the procedure body, converting panics into aborts so

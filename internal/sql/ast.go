@@ -318,13 +318,48 @@ type Drop struct {
 	IfExists bool
 }
 
-func (*Select) stmt()        {}
-func (*Insert) stmt()        {}
-func (*Update) stmt()        {}
-func (*Delete) stmt()        {}
-func (*CreateTable) stmt()   {}
-func (*CreateStream) stmt()  {}
-func (*CreateWindow) stmt()  {}
-func (*CreateIndex) stmt()   {}
-func (*CreateTrigger) stmt() {}
-func (*Drop) stmt()          {}
+// DeployDataflow is the textual form of the dataflow Deploy API — a whole
+// workflow graph declared as one statement:
+//
+//	DEPLOY DATAFLOW pipeline (
+//	    NODE ingest INPUT ticks BATCH 10 EMITS (clean),
+//	    NODE report INPUT clean BATCH 1,
+//	    TRIGGER audit ON clean AS ('INSERT INTO log SELECT * FROM clean')
+//	)
+//
+// DEPLOY, DATAFLOW, NODE, INPUT, BATCH and EMITS are soft keywords (plain
+// identifiers), so existing schemas keep using those words as names.
+type DeployDataflow struct {
+	Name     string
+	Nodes    []DataflowNodeDef
+	Triggers []DataflowTriggerDef
+}
+
+// DataflowNodeDef is one NODE clause: a stored procedure, its optional
+// input stream and batch size, and the streams its handler emits to.
+type DataflowNodeDef struct {
+	Proc  string
+	Input string // empty for OLTP entry-point nodes
+	Batch int
+	Emits []string
+}
+
+// DataflowTriggerDef is one TRIGGER clause: an EE trigger with inline SQL
+// body statements, deployed with the graph.
+type DataflowTriggerDef struct {
+	Name     string
+	Relation string
+	Bodies   []string
+}
+
+func (*Select) stmt()         {}
+func (*Insert) stmt()         {}
+func (*Update) stmt()         {}
+func (*Delete) stmt()         {}
+func (*CreateTable) stmt()    {}
+func (*CreateStream) stmt()   {}
+func (*CreateWindow) stmt()   {}
+func (*CreateIndex) stmt()    {}
+func (*CreateTrigger) stmt()  {}
+func (*Drop) stmt()           {}
+func (*DeployDataflow) stmt() {}

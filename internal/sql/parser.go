@@ -94,6 +94,8 @@ func (p *parser) expect(kind TokenKind, text string) (Token, error) {
 			want = "identifier"
 		case TokInt:
 			want = "integer"
+		case TokString:
+			want = "string literal"
 		default:
 			want = fmt.Sprintf("token kind %d", kind)
 		}
@@ -137,9 +139,140 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseCreate()
 	case p.at(TokKeyword, "DROP"):
 		return p.parseDrop()
+	case p.atWord("DEPLOY"):
+		return p.parseDeployDataflow()
 	default:
 		return nil, p.errf("expected a statement, found %s", p.peek())
 	}
+}
+
+// ---------- DEPLOY DATAFLOW ----------
+
+// atWord reports whether the next token is the identifier word — a soft
+// keyword, so the word stays usable as a relation or column name.
+func (p *parser) atWord(word string) bool {
+	return p.at(TokIdent, "") && strings.EqualFold(p.peek().Text, word)
+}
+
+func (p *parser) acceptWord(word string) bool {
+	if p.atWord(word) {
+		p.next()
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectWord(word string) error {
+	if p.acceptWord(word) {
+		return nil
+	}
+	return p.errf("expected %s, found %s", word, p.peek())
+}
+
+// parseDeployDataflow parses
+//
+//	DEPLOY DATAFLOW name ( clause [, clause ...] )
+//
+// where each clause is one of
+//
+//	NODE proc [INPUT stream BATCH n] [EMITS (s1, s2, ...)]
+//	TRIGGER name ON relation AS ('stmt' [, 'stmt' ...])
+func (p *parser) parseDeployDataflow() (*DeployDataflow, error) {
+	p.next() // DEPLOY
+	if err := p.expectWord("DATAFLOW"); err != nil {
+		return nil, err
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	df := &DeployDataflow{Name: name}
+	if _, err := p.expect(TokSym, "("); err != nil {
+		return nil, err
+	}
+	for {
+		switch {
+		case p.acceptWord("NODE"):
+			var nd DataflowNodeDef
+			if nd.Proc, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if p.acceptWord("INPUT") {
+				if nd.Input, err = p.ident(); err != nil {
+					return nil, err
+				}
+				if err := p.expectWord("BATCH"); err != nil {
+					return nil, err
+				}
+				t, err := p.expect(TokInt, "")
+				if err != nil {
+					return nil, err
+				}
+				if nd.Batch, err = strconv.Atoi(t.Text); err != nil {
+					return nil, p.errf("batch size %q out of range", t.Text)
+				}
+			}
+			if p.acceptWord("EMITS") {
+				if _, err := p.expect(TokSym, "("); err != nil {
+					return nil, err
+				}
+				for {
+					s, err := p.ident()
+					if err != nil {
+						return nil, err
+					}
+					nd.Emits = append(nd.Emits, s)
+					if !p.accept(TokSym, ",") {
+						break
+					}
+				}
+				if _, err := p.expect(TokSym, ")"); err != nil {
+					return nil, err
+				}
+			}
+			df.Nodes = append(df.Nodes, nd)
+		case p.keyword("TRIGGER"):
+			var td DataflowTriggerDef
+			if td.Name, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("ON"); err != nil {
+				return nil, err
+			}
+			if td.Relation, err = p.ident(); err != nil {
+				return nil, err
+			}
+			if err := p.expectKeyword("AS"); err != nil {
+				return nil, err
+			}
+			if _, err := p.expect(TokSym, "("); err != nil {
+				return nil, err
+			}
+			for {
+				t, err := p.expect(TokString, "")
+				if err != nil {
+					return nil, err
+				}
+				td.Bodies = append(td.Bodies, t.Text)
+				if !p.accept(TokSym, ",") {
+					break
+				}
+			}
+			if _, err := p.expect(TokSym, ")"); err != nil {
+				return nil, err
+			}
+			df.Triggers = append(df.Triggers, td)
+		default:
+			return nil, p.errf("expected NODE or TRIGGER, found %s", p.peek())
+		}
+		if !p.accept(TokSym, ",") {
+			break
+		}
+	}
+	if _, err := p.expect(TokSym, ")"); err != nil {
+		return nil, err
+	}
+	return df, nil
 }
 
 // ---------- SELECT ----------

@@ -279,3 +279,72 @@ func TestLiteralTypes(t *testing.T) {
 		}
 	}
 }
+
+func TestParseDeployDataflow(t *testing.T) {
+	stmt := mustParse(t, `
+		DEPLOY DATAFLOW pipeline (
+			NODE ingest INPUT ticks BATCH 10 EMITS (clean, rejects),
+			NODE report INPUT clean BATCH 1,
+			NODE oltp_entry,
+			TRIGGER audit ON clean AS ('INSERT INTO log SELECT * FROM new', 'DELETE FROM scratch')
+		);`)
+	df, ok := stmt.(*DeployDataflow)
+	if !ok {
+		t.Fatalf("not a DeployDataflow: %T", stmt)
+	}
+	if df.Name != "pipeline" || len(df.Nodes) != 3 || len(df.Triggers) != 1 {
+		t.Fatalf("graph shape: %+v", df)
+	}
+	n0 := df.Nodes[0]
+	if n0.Proc != "ingest" || n0.Input != "ticks" || n0.Batch != 10 ||
+		len(n0.Emits) != 2 || n0.Emits[0] != "clean" || n0.Emits[1] != "rejects" {
+		t.Errorf("node 0: %+v", n0)
+	}
+	if n1 := df.Nodes[1]; n1.Proc != "report" || n1.Input != "clean" || n1.Batch != 1 || n1.Emits != nil {
+		t.Errorf("node 1: %+v", n1)
+	}
+	if n2 := df.Nodes[2]; n2.Proc != "oltp_entry" || n2.Input != "" || n2.Batch != 0 {
+		t.Errorf("node 2: %+v", n2)
+	}
+	tg := df.Triggers[0]
+	if tg.Name != "audit" || tg.Relation != "clean" || len(tg.Bodies) != 2 ||
+		tg.Bodies[0] != "INSERT INTO log SELECT * FROM new" || tg.Bodies[1] != "DELETE FROM scratch" {
+		t.Errorf("trigger: %+v", tg)
+	}
+
+	// Soft keywords: lowercase statement parses, and the words stay usable
+	// as plain identifiers elsewhere.
+	lower := mustParse(t, "deploy dataflow g (node p input s batch 2)").(*DeployDataflow)
+	if lower.Name != "g" || lower.Nodes[0].Batch != 2 {
+		t.Errorf("lowercase form: %+v", lower)
+	}
+	sel := mustParse(t, "SELECT deploy, node, batch FROM dataflow WHERE input = emits").(*Select)
+	if len(sel.Items) != 3 || sel.From.Name != "dataflow" {
+		t.Errorf("soft keywords as identifiers: %+v", sel)
+	}
+}
+
+func TestParseDeployDataflowErrors(t *testing.T) {
+	bad := []string{
+		"DEPLOY",
+		"DEPLOY DATAFLOW",
+		"DEPLOY DATAFLOW g",
+		"DEPLOY DATAFLOW g ()",
+		"DEPLOY DATAFLOW g (NODE)",
+		"DEPLOY DATAFLOW g (NODE p INPUT s)",
+		"DEPLOY DATAFLOW g (NODE p INPUT s BATCH)",
+		"DEPLOY DATAFLOW g (NODE p INPUT s BATCH x)",
+		"DEPLOY DATAFLOW g (NODE p EMITS ())",
+		"DEPLOY DATAFLOW g (NODE p INPUT s BATCH 2,)",
+		"DEPLOY DATAFLOW g (TRIGGER t ON r AS ())",
+		"DEPLOY DATAFLOW g (TRIGGER t ON r AS ('x') extra)",
+		"DEPLOY DATAFLOW g (TRIGGER t r AS ('x'))",
+		"DEPLOY DATAFLOW g (WIDGET x)",
+		"DEPLOY DATAFLOW g (NODE p) trailing",
+	}
+	for _, s := range bad {
+		if _, err := Parse(s); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", s)
+		}
+	}
+}

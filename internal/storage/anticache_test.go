@@ -1,0 +1,165 @@
+package storage
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage/coldstore"
+	"repro/internal/types"
+)
+
+// coldTable builds a votes table attached to a fresh cold store.
+func coldTable(t *testing.T) (*Table, *coldstore.Store) {
+	t.Helper()
+	cs, err := coldstore.Open(filepath.Join(t.TempDir(), "cold.pages"), coldstore.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { cs.Close() })
+	tb := NewTable(votesSchema(t))
+	tb.AttachColdStore(cs)
+	return tb, cs
+}
+
+func fillVotes(t *testing.T, tb *Table, n int) []RowID {
+	t.Helper()
+	ids := make([]RowID, 0, n)
+	for i := 0; i < n; i++ {
+		id, err := tb.Insert(types.Row{
+			types.NewInt(int64(i)), types.NewInt(int64(i % 3)), types.NewString("note"),
+		}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	tb.Clock().Publish()
+	return ids
+}
+
+// TestTableEvictFaultRoundtrip: evicting everything leaves stubs whose
+// reads — worker Get (rehydrating) and snapshot reads (read-through) —
+// return the original rows, and the resident ledger tracks both moves.
+func TestTableEvictFaultRoundtrip(t *testing.T) {
+	tb, _ := coldTable(t)
+	ids := fillVotes(t, tb, 50)
+	before := tb.ResidentBytes()
+
+	nv, bytes := tb.Evict(tb.Clock().Current(), 1<<30)
+	if nv != 50 || bytes != before {
+		t.Fatalf("Evict = (%d, %d), want (50, %d)", nv, bytes, before)
+	}
+	if rb := tb.ResidentBytes(); rb != 0 {
+		t.Fatalf("ResidentBytes after full eviction = %d", rb)
+	}
+	// Snapshot read-through: no rehydration, chain untouched.
+	snap := tb.Clock().AcquireSnapshot()
+	row, ok := tb.SnapshotGet(ids[7], snap)
+	if !ok || row[0].Int() != 7 || row[2].Str() != "note" {
+		t.Fatalf("SnapshotGet over stub = %v %v", row, ok)
+	}
+	tb.Clock().ReleaseSnapshot(snap)
+	if rb := tb.ResidentBytes(); rb != 0 {
+		t.Fatalf("snapshot read rehydrated: ResidentBytes = %d", rb)
+	}
+	// Worker Get: faults and reinstalls.
+	row, ok = tb.Get(ids[7])
+	if !ok || row[0].Int() != 7 {
+		t.Fatalf("Get over stub = %v %v", row, ok)
+	}
+	if rb := tb.ResidentBytes(); rb <= 0 {
+		t.Fatalf("worker fault did not rehydrate: ResidentBytes = %d", rb)
+	}
+	cv, ev, fa := tb.ColdStats()
+	if cv != 49 || ev != 50 || fa < 2 {
+		t.Fatalf("ColdStats = (%d, %d, %d), want (49, 50, >=2)", cv, ev, fa)
+	}
+}
+
+// TestTableEvictSecondChance: a touched tuple survives one eviction pass
+// (its clock bit is cleared instead) and goes cold on the next.
+func TestTableEvictSecondChance(t *testing.T) {
+	tb, _ := coldTable(t)
+	ids := fillVotes(t, tb, 10)
+	if _, ok := tb.Get(ids[3]); !ok { // sets the clock bit
+		t.Fatal("Get")
+	}
+	tb.Evict(tb.Clock().Current(), 1<<30)
+	if cv, _, _ := tb.ColdStats(); cv != 9 {
+		t.Fatalf("first pass evicted %d versions, want 9 (touched tuple spared)", cv)
+	}
+	if row, ok := tb.Get(ids[3]); !ok || row[0].Int() != 3 {
+		t.Fatal("touched tuple should still be resident")
+	}
+	// The Get above re-armed the bit; two passes take it down.
+	tb.Evict(tb.Clock().Current(), 1<<30)
+	tb.Evict(tb.Clock().Current(), 1<<30)
+	if cv, _, _ := tb.ColdStats(); cv != 10 {
+		t.Fatalf("clock bit never expires: %d cold versions, want 10", cv)
+	}
+}
+
+// TestTableEvictRespectsWatermark: versions born after the watermark
+// (unpublished or still visible only to newer snapshots) stay hot.
+func TestTableEvictRespectsWatermark(t *testing.T) {
+	tb, _ := coldTable(t)
+	fillVotes(t, tb, 5) // born at seq 1, published
+	wm := tb.Clock().Current()
+	// A second batch committed after the watermark we will evict at.
+	for i := 5; i < 8; i++ {
+		if _, err := tb.Insert(types.Row{
+			types.NewInt(int64(i)), types.NewInt(0), types.Null,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Clock().Publish()
+	tb.Evict(wm, 1<<30)
+	if cv, _, _ := tb.ColdStats(); cv != 5 {
+		t.Fatalf("evicted %d versions at watermark %d, want 5", cv, wm)
+	}
+}
+
+// TestTableGCFreesReclaimedStubs covers both cold-slot free paths: a
+// superseded version evicted as a stub is freed directly when GC drops
+// it, and a slot superseded by a worker rehydration (Delete pre-faults
+// its target) is freed once the deferred-free watermark passes.
+func TestTableGCFreesReclaimedStubs(t *testing.T) {
+	tb, cs := coldTable(t)
+	ids := fillVotes(t, tb, 8)
+
+	// Supersede 4 rows before eviction: their old versions evict as
+	// stubs and die at the update, so GC frees those slots directly.
+	for i, id := range ids[:4] {
+		if err := tb.Update(id, types.Row{
+			types.NewInt(int64(i)), types.NewInt(9), types.Null,
+		}, nil); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tb.Clock().Publish()
+	tb.Evict(tb.Clock().Current(), 1<<30) // evicts old and new versions alike
+	cv, _, _ := tb.ColdStats()
+	if cv != 12 {
+		t.Fatalf("cold versions after eviction = %d, want 12", cv)
+	}
+	tb.GC(tb.Clock().Current())
+	if cv, _, _ = tb.ColdStats(); cv != 8 {
+		t.Fatalf("cold versions after GC = %d, want 8", cv)
+	}
+	if frees := cs.Stats().Frees; frees != 4 {
+		t.Fatalf("direct frees = %d, want 4", frees)
+	}
+
+	// Delete an evicted row: the worker faults it back in first (its
+	// undo image must be hot), deferring the old slot's free to the
+	// watermark.
+	if err := tb.Delete(ids[5], nil); err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock().Publish()
+	tb.ReleaseColdFrees(tb.Clock().Current())
+	if frees := cs.Stats().Frees; frees != 5 {
+		t.Fatalf("frees after deferred release = %d, want 5", frees)
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"sync"
 
+	"repro/internal/storage/coldstore"
 	"repro/internal/types"
 )
 
@@ -32,19 +33,25 @@ type RowID uint64
 // rowVersion is one image of a row: visible to snapshots at sequence s iff
 // born <= s < dead. A live version has dead == SeqInf; an uncommitted one
 // has born (or dead, for a pending delete) equal to the clock's pending
-// sequence, which no published snapshot can reach.
+// sequence, which no published snapshot can reach. An evicted version is a
+// stub: row is nil and cold names its tuple in the cold store — the stamps
+// stay resident, so visibility checks never need disk (see cold.go).
 type rowVersion struct {
 	row  types.Row
 	born Seq
 	dead Seq
+	cold coldstore.Ref
 }
 
 // rowSlot is one entry of the table heap: a logical row's version chain,
 // newest first. A slot whose newest version is dead is a logical tombstone
-// retained for snapshot readers until the watermark passes.
+// retained for snapshot readers until the watermark passes. touched is the
+// anti-caching second-chance bit, accessed atomically (plain uint32 so GC's
+// slot compaction may copy the struct).
 type rowSlot struct {
 	id       RowID
 	versions []rowVersion
+	touched  uint32
 }
 
 // liveTop reports whether the slot's newest version is live (writer view).
@@ -78,6 +85,16 @@ type Table struct {
 
 	indexes []*Index
 	pk      *Index // non-nil when the schema declares a primary key
+
+	// Anti-caching state (cold.go). cold is nil unless attached; the
+	// resident-bytes ledger is maintained regardless so attaching is free.
+	cold          *coldstore.Store
+	residentBytes int64  // approximate heap bytes of non-stub versions
+	coldVers      int    // versions currently evicted (stubs)
+	coldEvictions uint64 // versions moved cold, cumulative (worker-only)
+	coldFaults    uint64 // stub resolutions, cumulative (atomic)
+	evictCursor   int    // round-robin clock hand over slots (worker-only)
+	encBuf        []byte // eviction scratch (worker-only)
 }
 
 // NewTable creates an empty table with a private commit clock (standalone
@@ -158,7 +175,8 @@ func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Ind
 		if !s.liveTop() {
 			continue
 		}
-		if err := ix.insert(s.versions[0].row.Key(cols), s.id, s.versions[0].born); err != nil {
+		row := t.resolveVersion(s.versions[0].row, s.versions[0].cold)
+		if err := ix.insert(row.Key(cols), s.id, s.versions[0].born); err != nil {
 			return nil, fmt.Errorf("storage: backfilling %q: %w", name, err)
 		}
 	}
@@ -170,11 +188,16 @@ func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Ind
 
 // Get returns the row stored under id (writer view: newest live version).
 // The returned row must be treated as immutable; callers that mutate must
-// Clone first.
+// Clone first. An evicted row is faulted back into the chain (worker-only,
+// like every writer-view access).
 func (t *Table) Get(id RowID) (types.Row, bool) {
 	pos, ok := t.byID[id]
 	if !ok || !t.slots[pos].liveTop() {
 		return nil, false
+	}
+	t.slots[pos].touch()
+	if t.slots[pos].versions[0].row == nil {
+		return t.faultHead(pos), true
 	}
 	return t.slots[pos].versions[0].row, true
 }
@@ -210,6 +233,7 @@ func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 		}
 	}
 	t.live++
+	t.residentBytes += rowMemSize(validated)
 	t.mu.Unlock()
 	if undo != nil {
 		undo.push(undoEntry{table: t, kind: undoInsert, id: id})
@@ -225,6 +249,9 @@ func (t *Table) Delete(id RowID, undo *UndoLog) error {
 	pos, ok := t.byID[id]
 	if !ok || !t.slots[pos].liveTop() {
 		return fmt.Errorf("storage: %s: delete of missing row %d", t.name, id)
+	}
+	if t.slots[pos].versions[0].row == nil {
+		t.faultHead(pos) // index removal needs the key columns
 	}
 	ws := t.clock.WriteSeq()
 	t.mu.Lock()
@@ -256,6 +283,9 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 	validated, err := t.schema.ValidateRow(newRow)
 	if err != nil {
 		return err
+	}
+	if t.slots[pos].versions[0].row == nil {
+		t.faultHead(pos) // reindexing and undo need the old image hot
 	}
 	old := t.slots[pos].versions[0].row
 	// Uniqueness pre-check, ignoring our own entry.
@@ -290,6 +320,7 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 	copy(s.versions[1:], s.versions)
 	s.versions[0] = rowVersion{row: validated, born: ws, dead: SeqInf}
 	t.deadVers++
+	t.residentBytes += rowMemSize(validated)
 	t.maybeGCLocked()
 	t.mu.Unlock()
 	if undo != nil {
@@ -325,6 +356,7 @@ func (t *Table) undoInsert(id RowID) {
 	s.versions = nil
 	delete(t.byID, id)
 	t.live--
+	t.residentBytes -= rowMemSize(row)
 	t.mu.Unlock()
 }
 
@@ -370,6 +402,7 @@ func (t *Table) undoUpdate(id RowID) {
 	s.versions = s.versions[1:]
 	s.versions[0].dead = SeqInf
 	t.deadVers--
+	t.residentBytes -= rowMemSize(newV.row)
 	t.mu.Unlock()
 }
 
@@ -378,13 +411,20 @@ func (t *Table) undoUpdate(id RowID) {
 // Scan iterates live rows in insertion (RowID) order — the writer's view,
 // including the running transaction's own uncommitted changes. The
 // callback returns false to stop early and must not mutate the table.
+// Evicted rows are resolved read-through without rehydrating the chain
+// (and without setting the touch bit), so a full scan — a checkpoint,
+// say — neither blows the memory budget nor flushes the hot set.
 func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
 	for i := range t.slots {
 		s := &t.slots[i]
 		if !s.liveTop() {
 			continue
 		}
-		if !fn(s.id, s.versions[0].row) {
+		row := s.versions[0].row
+		if row == nil {
+			row = t.readCold(s.versions[0].cold)
+		}
+		if !fn(s.id, row) {
 			return
 		}
 	}
@@ -415,13 +455,14 @@ func (t *Table) Truncate(undo *UndoLog) {
 
 // ---------- snapshot reads ----------
 
-// versionAt resolves the row image visible at sequence s, or nil. Caller
-// holds t.mu (read or write).
-func (s *rowSlot) versionAt(seq Seq) types.Row {
+// versionAt resolves the version visible at sequence s, or nil. Caller
+// holds t.mu (read or write). The returned pointer is valid only while
+// the lock is held; callers that release it must copy row/cold out first.
+func (s *rowSlot) versionAt(seq Seq) *rowVersion {
 	for i := range s.versions {
 		v := &s.versions[i]
 		if v.born <= seq && seq < v.dead {
-			return v.row
+			return v
 		}
 	}
 	return nil
@@ -429,16 +470,25 @@ func (s *rowSlot) versionAt(seq Seq) types.Row {
 
 // SnapshotGet returns the row visible under id at sequence s. Safe from
 // any goroutine; callers should hold a snapshot pin (see
-// PartitionClock.AcquireSnapshot) so GC cannot outrun them.
+// PartitionClock.AcquireSnapshot) so GC cannot outrun them. Evicted
+// versions resolve read-through after the lock is released — page I/O
+// never runs under the table lock.
 func (t *Table) SnapshotGet(id RowID, seq Seq) (types.Row, bool) {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 	pos, ok := t.byID[id]
 	if !ok {
+		t.mu.RUnlock()
 		return nil, false
 	}
-	r := t.slots[pos].versionAt(seq)
-	return r, r != nil
+	v := t.slots[pos].versionAt(seq)
+	if v == nil {
+		t.mu.RUnlock()
+		return nil, false
+	}
+	t.slots[pos].touch()
+	row, ref := v.row, v.cold
+	t.mu.RUnlock()
+	return t.resolveVersion(row, ref), true
 }
 
 // snapshotScanChunk bounds how many slots one read-lock hold covers, so a
@@ -452,8 +502,18 @@ const snapshotScanChunk = 4096
 // purely sequence-based — the caller's pin keeps every visible version
 // alive, slots reclaimed between chunks held nothing visible at s, and
 // slots appended between chunks hold only pending (invisible) versions.
+// Visible rows are buffered per chunk and the callback runs after the
+// lock is dropped, so stub resolution (cold page-in) never holds up the
+// writer; captured cold refs stay readable because the caller's pin
+// keeps the watermark from passing them (see cold.go).
 func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
+	type hit struct {
+		id  RowID
+		row types.Row
+		ref coldstore.Ref
+	}
 	var afterID RowID // resume: first slot with id > afterID
+	buf := make([]hit, 0, 256)
 	for {
 		t.mu.RLock()
 		lo, hi := 0, len(t.slots)
@@ -466,19 +526,22 @@ func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
 			}
 		}
 		n := 0
+		buf = buf[:0]
 		for i := lo; i < len(t.slots) && n < snapshotScanChunk; i++ {
 			s := &t.slots[i]
 			afterID = s.id
 			n++
-			if r := s.versionAt(seq); r != nil {
-				if !fn(s.id, r) {
-					t.mu.RUnlock()
-					return
-				}
+			if v := s.versionAt(seq); v != nil {
+				buf = append(buf, hit{id: s.id, row: v.row, ref: v.cold})
 			}
 		}
 		done := lo+n >= len(t.slots)
 		t.mu.RUnlock()
+		for _, h := range buf {
+			if !fn(h.id, t.resolveVersion(h.row, h.ref)) {
+				return
+			}
+		}
 		if done {
 			return
 		}
@@ -503,13 +566,17 @@ func (t *Table) DeltaScan(from, to Seq, fn func(id RowID, row types.Row, born bo
 		s := &t.slots[i]
 		atFrom := s.versionAt(from)
 		atTo := s.versionAt(to)
-		if atFrom != nil && (atTo == nil || &atFrom[0] != &atTo[0]) {
-			if !fn(s.id, atFrom, false) {
+		// Version identity (not row identity) decides "same image": an
+		// evicted version's row is nil until resolved. Cold resolution may
+		// run under the lock here — the cutover holds the writer at a
+		// barrier anyway.
+		if atFrom != nil && atFrom != atTo {
+			if !fn(s.id, t.resolveVersion(atFrom.row, atFrom.cold), false) {
 				return
 			}
 		}
-		if atTo != nil && (atFrom == nil || &atFrom[0] != &atTo[0]) {
-			if !fn(s.id, atTo, true) {
+		if atTo != nil && atFrom != atTo {
+			if !fn(s.id, t.resolveVersion(atTo.row, atTo.cold), true) {
 				return
 			}
 		}
@@ -527,16 +594,25 @@ func (t *Table) SnapshotRows(seq Seq) []types.Row {
 }
 
 // SnapshotLookup returns the rows indexed under exactly key in ix, as
-// visible at sequence s. ix must be an index of this table.
+// visible at sequence s. ix must be an index of this table. Stubs are
+// resolved after the lock is released.
 func (t *Table) SnapshotLookup(ix *Index, key types.Row, seq Seq) []types.Row {
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 	var out []types.Row
+	var refs []coldstore.Ref // cold refs, paired with nil entries in out
 	for _, id := range ix.lookupAt(key, seq) {
 		if pos, ok := t.byID[id]; ok {
-			if r := t.slots[pos].versionAt(seq); r != nil {
-				out = append(out, r)
+			if v := t.slots[pos].versionAt(seq); v != nil {
+				t.slots[pos].touch()
+				out = append(out, v.row)
+				refs = append(refs, v.cold)
 			}
+		}
+	}
+	t.mu.RUnlock()
+	for i, r := range out {
+		if r == nil {
+			out[i] = t.readCold(refs[i])
 		}
 	}
 	return out
@@ -553,19 +629,34 @@ func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key 
 	if !ix.ordered {
 		return fmt.Errorf("index %q: range scan on hash index", ix.name)
 	}
+	type hit struct {
+		key types.Row
+		row types.Row
+		ref coldstore.Ref
+	}
+	var hits []hit
 	t.mu.RLock()
-	defer t.mu.RUnlock()
 	ix.sl.scanAt(lo, hi, seq, func(key types.Row, id RowID) bool {
 		pos, ok := t.byID[id]
 		if !ok {
 			return true
 		}
-		r := t.slots[pos].versionAt(seq)
-		if r == nil {
+		v := t.slots[pos].versionAt(seq)
+		if v == nil {
 			return true
 		}
-		return fn(key, r)
+		hits = append(hits, hit{key: key, row: v.row, ref: v.cold})
+		return true
 	})
+	t.mu.RUnlock()
+	// Emit (and resolve stubs) after the walk: the skiplist has no stable
+	// resume token, so the pairs are captured in one lock hold and cold
+	// page-in happens lock-free.
+	for _, h := range hits {
+		if !fn(h.key, t.resolveVersion(h.row, h.ref)) {
+			return nil
+		}
+	}
 	return nil
 }
 
@@ -609,6 +700,7 @@ func (t *Table) StageInsert(row types.Row) (RowID, error) {
 	t.byID[id] = len(t.slots)
 	t.slots = append(t.slots, rowSlot{id: id, versions: []rowVersion{{row: validated, born: seqStaged, dead: seqStaged}}})
 	t.staged++
+	t.residentBytes += rowMemSize(validated)
 	t.mu.Unlock()
 	return id, nil
 }
@@ -622,6 +714,7 @@ func (t *Table) Unstage(id RowID) error {
 	if !ok || !t.slots[pos].isStaged() {
 		return fmt.Errorf("storage: %s: unstage of non-staged row %d", t.name, id)
 	}
+	t.residentBytes -= rowMemSize(t.slots[pos].versions[0].row)
 	t.slots[pos].versions = nil
 	delete(t.byID, id)
 	t.staged--
@@ -727,6 +820,7 @@ func (t *Table) DropStaged() int {
 		if !s.isStaged() {
 			continue
 		}
+		t.residentBytes -= rowMemSize(s.versions[0].row)
 		s.versions = nil
 		delete(t.byID, s.id)
 		dropped++
@@ -777,6 +871,15 @@ func (t *Table) gcLocked(watermark Seq) (reclaimed, retained int) {
 		for _, v := range s.versions {
 			if v.dead <= watermark {
 				reclaimed++
+				// A reclaimed stub's cold slot can be freed immediately: the
+				// version is invisible at the watermark and every active pin
+				// is at or above it, so no reader can hold its ref.
+				if v.cold != 0 {
+					t.cold.Free(v.cold)
+					t.coldVers--
+				} else {
+					t.residentBytes -= rowMemSize(v.row)
+				}
 				continue
 			}
 			kept = append(kept, v)

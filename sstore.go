@@ -93,6 +93,23 @@
 // versions are reclaimed by a watermark GC once no reader can see them.
 // See DESIGN.md §1.6 and the E9 experiment.
 //
+// # Anti-caching (larger-than-memory tables)
+//
+// Config.MemoryBudget > 0 bounds the heap bytes of resident row versions:
+// each partition gets an equal share plus a cold-tuple page store on disk
+// (under Config.Dir, or a temp file when volatile), and the partition
+// worker evicts cold committed versions — least recently touched first,
+// via a per-tuple clock bit — into 32 KiB slotted pages at GC rhythm,
+// leaving in-memory stubs that keep their MVCC visibility stamps. Reads
+// that hit a stub fault the tuple back through a pinned clock-replacement
+// buffer pool: the serial worker rehydrates it into the version chain,
+// while snapshot readers decode read-through without stalling the worker.
+// The cold store is deliberately volatile (never fsynced); recovery
+// re-derives evicted data from the checkpoint + command-log replay, so
+// durability guarantees are unchanged. Watch the cold_evictions /
+// cold_faults / cold_resident_bytes rows of Store.StatsResult, and see
+// DESIGN.md §7 and the E13 experiment.
+//
 // Work that genuinely spans partitions runs through the two-phase-commit
 // coordinator: ad-hoc multi-row INSERTs spanning shards, INSERT ... SELECT,
 // and broadcast UPDATE / DELETE commit atomically across partitions, and
