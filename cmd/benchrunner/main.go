@@ -14,6 +14,8 @@
 //	benchrunner -e E12 -readers 4 -dur 2s -json BENCH_E12.json
 //	benchrunner -e E13 -rows 20000 -ops 30000 -json BENCH_E13.json
 //	benchrunner -e E13 -rows 4000 -ops 4000    # CI smoke
+//	benchrunner -e E14 -readers 8 -dur 1s -json BENCH_E14.json
+//	benchrunner -e E14 -readers 2 -dur 100ms   # CI smoke
 package main
 
 import (
@@ -29,16 +31,16 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 all")
+		exp      = flag.String("e", "all", "experiment to run: E1 E2 E3 E4 E5 E6 E7 E8 E9 E10 E11 E12 E13 E14 all")
 		votes    = flag.Int("votes", 6000, "voter feed size")
 		seed     = flag.Int64("seed", 42, "workload seed")
 		jsonOut  = flag.String("json", "", "write machine-readable E7/E8/E9 results to this file")
 		parts    = flag.Int("partitions", 2, "E7/E8/E11: partition count")
 		pipeline = flag.Int("pipeline", 128, "E7/E8/E11: concurrent clients")
 		txns     = flag.Int("txns", 5000, "E8/E11: pair-insert transactions per mode")
-		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines; E12: readers per serving node")
-		keys     = flag.Int("keys", 1024, "E9/E12: rows in the read/update table")
-		dur      = flag.Duration("dur", time.Second, "E9/E12: measured duration per mode")
+		readers  = flag.Int("readers", 8, "E9: concurrent reader goroutines; E12: readers per serving node; E14: top rung of the reader ladder")
+		keys     = flag.Int("keys", 1024, "E9/E12/E14: rows in the read/update table")
+		dur      = flag.Duration("dur", time.Second, "E9/E12/E14: measured duration per mode")
 		rows     = flag.Int("rows", 20000, "E13: padded rows loaded (data is ~402 bytes/row; budget is a quarter of it)")
 		ops      = flag.Int("ops", 30000, "E13: skewed hot-phase operations")
 	)
@@ -373,6 +375,81 @@ func main() {
 		}
 		return nil
 	})
+
+	run("E14", func() error {
+		res, err := bench.E14(*seed, *keys, *readers, *dur)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("cpus: %d, keys: %d, writer-only baseline: %.0f writes/sec\n",
+			res.CPUs, res.Keys, res.BaselineWritesSec)
+		fmt.Printf("%-8s %-11s %-10s %-10s %-11s %-12s %-8s %-9s %s\n",
+			"readers", "reads/sec", "read-p50", "read-p99", "writes/sec", "vs-baseline", "epochs", "stalls", "reused")
+		for _, r := range res.Rows {
+			fmt.Printf("%-8d %-11.0f %-10s %-10s %-11.0f %-12s %-8d %-9d %d\n",
+				r.Readers, r.ReadsSec,
+				r.ReadP50.Round(time.Microsecond), r.ReadP99.Round(time.Microsecond),
+				r.WritesSec, fmt.Sprintf("%.2fx", r.WritesSec/res.BaselineWritesSec),
+				r.EpochAdvances, r.EpochStalls, r.NodesReused)
+		}
+		if *jsonOut != "" {
+			if err := writeE14JSON(*jsonOut, *seed, *dur, res); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", *jsonOut)
+		}
+		return nil
+	})
+}
+
+// e14JSON is the BENCH_E14.json document.
+type e14JSON struct {
+	Experiment        string       `json:"experiment"`
+	Seed              int64        `json:"seed"`
+	CPUs              int          `json:"cpus"`
+	Keys              int          `json:"keys"`
+	DurationMs        int64        `json:"duration_ms_per_rung"`
+	BaselineWritesSec float64      `json:"writer_only_writes_per_sec"`
+	Rungs             []e14JSONRow `json:"results"`
+}
+
+type e14JSONRow struct {
+	Readers       int     `json:"readers"`
+	ReadsSec      float64 `json:"reads_per_sec"`
+	ReadP50us     int64   `json:"read_p50_us"`
+	ReadP99us     int64   `json:"read_p99_us"`
+	WritesSec     float64 `json:"writes_per_sec"`
+	EpochAdvances uint64  `json:"epoch_advances"`
+	EpochStalls   uint64  `json:"epoch_stalls"`
+	NodesReused   uint64  `json:"nodes_reused"`
+}
+
+func writeE14JSON(path string, seed int64, dur time.Duration, res *bench.E14Result) error {
+	doc := e14JSON{
+		Experiment:        "E14 lock-free snapshot read scaling: saturated readers vs pipelined writer",
+		Seed:              seed,
+		CPUs:              res.CPUs,
+		Keys:              res.Keys,
+		DurationMs:        dur.Milliseconds(),
+		BaselineWritesSec: res.BaselineWritesSec,
+	}
+	for _, r := range res.Rows {
+		doc.Rungs = append(doc.Rungs, e14JSONRow{
+			Readers:       r.Readers,
+			ReadsSec:      r.ReadsSec,
+			ReadP50us:     r.ReadP50.Microseconds(),
+			ReadP99us:     r.ReadP99.Microseconds(),
+			WritesSec:     r.WritesSec,
+			EpochAdvances: r.EpochAdvances,
+			EpochStalls:   r.EpochStalls,
+			NodesReused:   r.NodesReused,
+		})
+	}
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
 }
 
 // e13JSON is the BENCH_E13.json document.

@@ -30,8 +30,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
 	"syscall"
 	"time"
 
@@ -64,8 +67,23 @@ func main() {
 		follow    = flag.String("follow", "", "primary address to follow as a read replica (WAL shipping; implies volatile)")
 		hbTO      = flag.Duration("heartbeat-timeout", 3*time.Second, "follower: promote to primary after the primary is unreachable this long (0 = never auto-promote)")
 		replPoll  = flag.Duration("repl-poll", 0, "follower: idle delay between WAL fetch rounds (0 = default)")
+		pinWork   = flag.Bool("pin-workers", false, "lock each partition worker goroutine to its own OS thread")
+		pprofAddr = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. 127.0.0.1:6060) with mutex and block profiling enabled")
 	)
 	flag.Parse()
+
+	if *pprofAddr != "" {
+		// Sampling rates chosen to expose contention without measurable
+		// overhead: 1-in-100 mutex contention events, block events >= 1ms.
+		runtime.SetMutexProfileFraction(100)
+		runtime.SetBlockProfileRate(int(time.Millisecond))
+		go func() {
+			log.Printf("sstored: pprof on http://%s/debug/pprof/", *pprofAddr)
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				log.Printf("sstored: pprof: %v", err)
+			}
+		}()
+	}
 
 	if *follow != "" && *dir != "" {
 		log.Printf("sstored: -follow ignores -dir %q; a follower's state comes from the shipped WAL", *dir)
@@ -81,6 +99,7 @@ func main() {
 		GroupCommitMinInterval: *gcMin,
 		GroupCommitMaxInterval: *gcMax,
 		MemoryBudget:           *memBudget,
+		PinWorkers:             *pinWork,
 	}
 	switch *syncPol {
 	case "never":

@@ -1,0 +1,222 @@
+package bench
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pe"
+	"repro/internal/types"
+)
+
+// ---------- E14: lock-free snapshot read scaling ----------
+//
+// E9 showed snapshot reads escaping the serial worker; E14 asks how far
+// they scale once the read path is lock-free. The old path took the
+// table's RWMutex on every read, so concurrent readers serialized on one
+// cache line even though none of them blocked a writer. The epoch-based
+// path touches only a per-stripe epoch counter on entry/exit and walks
+// version chains with atomic loads, so N readers should cost ~N times
+// one reader's throughput until the cores run out.
+//
+// The harness holds the write side fixed — the same pipelined w_bump
+// ingest as E9, keeping the partition worker backlogged and the version
+// chains churning — and doubles the number of *saturated* reader
+// goroutines (tight-loop point SELECTs, no pacing) each rung: 1, 2, 4,
+// ... up to the requested maximum. For each rung it reports aggregate
+// reads/sec, read latency quantiles, the writer's throughput (which the
+// readers must not dent), and the partition's epoch-manager counters
+// (advances, stalls, version nodes recycled) over the measured window.
+//
+// The reads/sec column is the headline: on an M-core host it should
+// grow near-linearly until readers+writers exceed M. On a single-core
+// host the rungs necessarily time-slice one CPU, so aggregate
+// throughput stays flat rather than growing — the scaling claim then
+// rests on per-reader fairness (p50 grows with the rung size while
+// aggregate holds) plus the -race hammers proving reader independence.
+// CPUs records which regime produced the numbers.
+
+// E14Row is one rung of the reader-scaling ladder.
+type E14Row struct {
+	Readers   int
+	ReadsSec  float64
+	ReadP50   time.Duration
+	ReadP99   time.Duration
+	WritesSec float64
+	// Epoch-manager activity during the measured window: how often the
+	// worker advanced the reclamation epoch, how many advances found a
+	// straggling reader still pinned two epochs back, and how many
+	// retired version/index nodes were handed back through the pools.
+	EpochAdvances uint64
+	EpochStalls   uint64
+	NodesReused   uint64
+}
+
+// E14Result is the whole experiment: the writer-only baseline the rungs
+// are judged against, plus one row per reader count.
+type E14Result struct {
+	CPUs              int
+	Keys              int
+	BaselineWritesSec float64
+	Rows              []E14Row
+}
+
+// E14 runs the ladder 1, 2, 4, ... maxReaders (each rung against a fresh
+// store) after a writer-only baseline. Single partition by design, as in
+// E9: the experiment isolates the read path, and one partition pins the
+// whole write load onto one worker the readers must coexist with.
+func E14(seed int64, keys, maxReaders int, dur time.Duration) (*E14Result, error) {
+	if keys < 1 {
+		keys = 1
+	}
+	if maxReaders < 1 {
+		maxReaders = 1
+	}
+	res := &E14Result{CPUs: runtime.GOMAXPROCS(0), Keys: keys}
+	base, err := runE14Rung(seed, keys, 0, dur)
+	if err != nil {
+		return nil, fmt.Errorf("E14 baseline: %w", err)
+	}
+	res.BaselineWritesSec = base.WritesSec
+	var ladder []int
+	for r := 1; r < maxReaders; r *= 2 {
+		ladder = append(ladder, r)
+	}
+	ladder = append(ladder, maxReaders) // always land the top rung exactly
+	for _, readers := range ladder {
+		row, err := runE14Rung(seed, keys, readers, dur)
+		if err != nil {
+			return nil, fmt.Errorf("E14 readers=%d: %w", readers, err)
+		}
+		res.Rows = append(res.Rows, row)
+	}
+	return res, nil
+}
+
+func runE14Rung(seed int64, keys, readers int, dur time.Duration) (E14Row, error) {
+	st := core.Open(core.Config{})
+	if err := st.ExecScript(e9DDL); err != nil {
+		return E14Row{}, err
+	}
+	if err := st.RegisterProcedure(&pe.Procedure{
+		Name:     "w_bump",
+		WriteSet: []string{"kv"},
+		Handler: func(ctx *pe.ProcCtx) error {
+			lo := ctx.Params[0].Int()
+			_, err := ctx.Exec("UPDATE kv SET v = v + 1 WHERE k >= ? AND k < ?",
+				types.NewInt(lo), types.NewInt(lo+16))
+			return err
+		},
+	}); err != nil {
+		return E14Row{}, err
+	}
+	if err := st.Start(); err != nil {
+		return E14Row{}, err
+	}
+	defer st.Stop()
+	for k := 0; k < keys; k++ {
+		if _, err := st.Exec("INSERT INTO kv VALUES (?, 0)", types.NewInt(int64(k))); err != nil {
+			return E14Row{}, err
+		}
+	}
+
+	epochs := st.PE().EE().Catalog().Clock().Epochs()
+	adv0, stall0, _, reused0 := epochs.Stats()
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	latencies := make([][]time.Duration, readers)
+	readErrs := make([]error, readers)
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(r) + 1))
+			lats := make([]time.Duration, 0, 1<<16)
+			for {
+				select {
+				case <-stop:
+					latencies[r] = lats
+					return
+				default:
+				}
+				k := types.NewInt(rng.Int63n(int64(keys)))
+				s := time.Now()
+				if _, err := st.Query("SELECT v FROM kv WHERE k = ?", k); err != nil {
+					readErrs[r] = err
+					latencies[r] = lats
+					return
+				}
+				lats = append(lats, time.Since(s))
+			}
+		}(r)
+	}
+
+	// The same pipelined write load as E9: two clients alternate bursts
+	// of asynchronous w_bump calls so the worker's backlog never empties.
+	const nWriters = 2
+	writeCounts := make([]int, nWriters)
+	writeErrs := make([]error, nWriters)
+	var wwg sync.WaitGroup
+	t0 := time.Now()
+	for w := 0; w < nWriters; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)*7919))
+			inflight := make([]<-chan pe.CallResult, 0, e9Burst/nWriters)
+			for time.Since(t0) < dur {
+				inflight = inflight[:0]
+				for i := 0; i < e9Burst/nWriters; i++ {
+					inflight = append(inflight, st.CallAsync("w_bump", types.NewInt(rng.Int63n(int64(keys)))))
+				}
+				for _, fut := range inflight {
+					if cr := <-fut; cr.Err != nil {
+						writeErrs[w] = cr.Err
+						return
+					}
+					writeCounts[w]++
+				}
+			}
+		}(w)
+	}
+	wwg.Wait()
+	elapsed := time.Since(t0)
+	close(stop)
+	wg.Wait()
+	adv1, stall1, _, reused1 := epochs.Stats()
+
+	writes := 0
+	for w := 0; w < nWriters; w++ {
+		if writeErrs[w] != nil {
+			return E14Row{}, writeErrs[w]
+		}
+		writes += writeCounts[w]
+	}
+	for _, err := range readErrs {
+		if err != nil {
+			return E14Row{}, err
+		}
+	}
+
+	var total int64
+	for _, lats := range latencies {
+		total += int64(len(lats))
+	}
+	row := E14Row{
+		Readers:       readers,
+		ReadsSec:      float64(total) / elapsed.Seconds(),
+		WritesSec:     float64(writes) / elapsed.Seconds(),
+		EpochAdvances: adv1 - adv0,
+		EpochStalls:   stall1 - stall0,
+		NodesReused:   reused1 - reused0,
+	}
+	if readers > 0 {
+		q := latencyQuantiles(latencies)
+		row.ReadP50, row.ReadP99 = q(0.50), q(0.99)
+	}
+	return row, nil
+}

@@ -91,6 +91,9 @@ type Config struct {
 	// the checkpoint + log replay, so cold pages are never fsynced.
 	// 0 disables anti-caching (every table fully memory-resident).
 	MemoryBudget int64
+	// PinWorkers locks each partition worker goroutine to its own OS
+	// thread. See pe.Config.PinWorkers.
+	PinWorkers bool
 }
 
 // partition is one serial-execution replica: catalog + EE + PE + WAL
@@ -389,6 +392,7 @@ func (s *Store) newPartition(idx int) *partition {
 		HStoreMode:   s.cfg.HStoreMode,
 		ForceUnsafe:  s.cfg.ForceUnsafe,
 		MemoryBudget: s.partitionBudget(),
+		PinWorkers:   s.cfg.PinWorkers,
 	})
 	return &partition{idx: idx, cat: cat, ee: exec, pe: part, met: s.met}
 }

@@ -24,7 +24,7 @@ import (
 type SnapshotPin struct {
 	s     *Store
 	parts []*partition
-	seqs  []storage.Seq
+	pins  []storage.SnapPin
 
 	mu       sync.Mutex // serializes queries on the pin and guards released
 	released bool
@@ -34,12 +34,12 @@ type SnapshotPin struct {
 func (s *Store) PinSnapshot() *SnapshotPin {
 	s.seqMu.RLock()
 	parts := s.partList()
-	seqs := make([]storage.Seq, len(parts))
+	pins := make([]storage.SnapPin, len(parts))
 	for i, p := range parts {
-		seqs[i] = p.pe.AcquireSnapshot()
+		pins[i] = p.pe.AcquireSnapshot()
 	}
 	s.seqMu.RUnlock()
-	return &SnapshotPin{s: s, parts: parts, seqs: seqs}
+	return &SnapshotPin{s: s, parts: parts, pins: pins}
 }
 
 // Release drops the pin. Idempotent.
@@ -51,13 +51,17 @@ func (pin *SnapshotPin) Release() {
 	}
 	pin.released = true
 	for i, p := range pin.parts {
-		p.pe.ReleaseSnapshot(pin.seqs[i])
+		p.pe.ReleaseSnapshot(pin.pins[i])
 	}
 }
 
 // Seqs returns the pinned sequence vector (diagnostics, tests).
 func (pin *SnapshotPin) Seqs() []storage.Seq {
-	return append([]storage.Seq(nil), pin.seqs...)
+	seqs := make([]storage.Seq, len(pin.pins))
+	for i, p := range pin.pins {
+		seqs[i] = p.Seq()
+	}
+	return seqs
 }
 
 // QueryPinned runs a SELECT against the pinned cut: repeated queries on one
@@ -92,7 +96,7 @@ func (s *Store) QueryPinned(pin *SnapshotPin, sqlText string, params ...types.Va
 	if !partitioned {
 		s.routeMu.RLock()
 		defer s.routeMu.RUnlock()
-		return pin.parts[0].pe.QueryAtSeq(pin.seqs[0], sqlText, params...)
+		return pin.parts[0].pe.QueryAtSeq(pin.pins[0].Seq(), sqlText, params...)
 	}
 	plan, legSQL, legParams, err := fanoutLeg(sel, sqlText, params)
 	if err != nil {
@@ -106,7 +110,7 @@ func (s *Store) QueryPinned(pin *SnapshotPin, sqlText string, params ...types.Va
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = pin.parts[i].pe.QueryAtSeq(pin.seqs[i], legSQL, legParams...)
+			results[i], errs[i] = pin.parts[i].pe.QueryAtSeq(pin.pins[i].Seq(), legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()

@@ -285,6 +285,37 @@ func migratedTables(cat *catalog.Catalog) []*catalog.Relation {
 	return out
 }
 
+// rehomePartials moves the source's buffered partial border batches whose
+// tuples key to the migrated slot onto the destination. Queued FULL batches
+// drained into their consumers before the cutover barrier, but a half-full
+// batch never enters the queue: left behind, its tuples would execute on
+// the old owner at the next cut or flush and rebuild migrated rows there.
+// Called with routingMu still held exclusively, so the moved tuples enqueue
+// on the destination ahead of any post-cutover ingest for their keys.
+func (s *Store) rehomePartials(src, dst *partition, slot int) error {
+	for _, rel := range migratedRels(src.cat) {
+		if rel.Kind != catalog.KindStream {
+			continue
+		}
+		rel := rel
+		moved := src.pe.ExtractPartial(rel.Name, func(row types.Row) bool {
+			if rel.PartCol >= len(row) {
+				return false
+			}
+			// Hash exactly as the router did when it picked the source.
+			v, err := insertPartValue(rel, row[rel.PartCol])
+			return err == nil && catalog.SlotOf(v) == slot
+		})
+		if len(moved) == 0 {
+			continue
+		}
+		if err := dst.pe.Ingest(rel.Name, moved...); err != nil {
+			return fmt.Errorf("re-homing %d buffered %s tuples: %w", len(moved), rel.Name, err)
+		}
+	}
+	return nil
+}
+
 // appendSlotRecord forces one slot-migration record to the coordinator log.
 func (s *Store) appendSlotRecord(kind pe.RecordKind, slot, from, to int, id uint64) error {
 	payload := wal.EncodeRecord(&pe.LogRecord{
@@ -363,7 +394,7 @@ func (s *Store) migrateSlot(slot, from, to int) error {
 			})
 		}
 		var copyErr error
-		rel.Table.SnapshotScan(s1, func(rid storage.RowID, row types.Row) bool {
+		rel.Table.SnapshotScan(s1.Seq(), func(rid storage.RowID, row types.Row) bool {
 			if catalog.SlotOf(row[col]) != slot {
 				return true
 			}
@@ -411,7 +442,7 @@ func (s *Store) migrateSlot(slot, from, to int) error {
 			ids := staged[rel.Name]
 			col := rel.PartCol
 			var dsErr error
-			rel.Table.DeltaScan(s1, s2, func(rid storage.RowID, row types.Row, born bool) bool {
+			rel.Table.DeltaScan(s1.Seq(), s2, func(rid storage.RowID, row types.Row, born bool) bool {
 				if catalog.SlotOf(row[col]) != slot {
 					return true
 				}
@@ -501,6 +532,9 @@ func (s *Store) migrateSlot(slot, from, to int) error {
 		pause = time.Since(start)
 		return nil
 	})
+	if err == nil {
+		err = s.rehomePartials(src, dst, slot)
+	}
 	s.routingMu.Unlock()
 	if err != nil {
 		abort()

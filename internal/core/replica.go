@@ -575,9 +575,9 @@ func (f *Follower) query(min []uint64, sqlText string, params []types.Value) (*p
 		st.routeMu.RLock()
 		defer st.routeMu.RUnlock()
 		p := st.partList()[0]
-		seq := p.pe.AcquireSnapshot()
-		defer p.pe.ReleaseSnapshot(seq)
-		res, err := p.pe.SnapshotQueryAtSeq(seq, sqlText, params...)
+		pin := p.pe.AcquireSnapshot()
+		defer p.pe.ReleaseSnapshot(pin)
+		res, err := p.pe.SnapshotQueryAtSeq(pin.Seq(), sqlText, params...)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -594,13 +594,13 @@ func (f *Follower) query(min []uint64, sqlText string, params []types.Value) (*p
 	// cross-partition cut (see the file comment).
 	st.routeMu.RLock()
 	parts := st.partList()
-	seqs := make([]storage.Seq, len(parts))
+	pins := make([]storage.SnapPin, len(parts))
 	for i, p := range parts {
-		seqs[i] = p.pe.AcquireSnapshot()
+		pins[i] = p.pe.AcquireSnapshot()
 	}
 	defer func() {
 		for i, p := range parts {
-			p.pe.ReleaseSnapshot(seqs[i])
+			p.pe.ReleaseSnapshot(pins[i])
 		}
 	}()
 	results := make([]*pe.Result, len(parts))
@@ -610,7 +610,7 @@ func (f *Follower) query(min []uint64, sqlText string, params []types.Value) (*p
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = parts[i].pe.SnapshotQueryAtSeq(seqs[i], legSQL, legParams...)
+			results[i], errs[i] = parts[i].pe.SnapshotQueryAtSeq(pins[i].Seq(), legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()

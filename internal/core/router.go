@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -521,29 +522,29 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 	s.routeMu.RLock()
 	s.seqMu.RLock()
 	parts := s.partList()
-	seqs := make([]storage.Seq, len(parts))
+	fs := fanoutPool.Get().(*fanoutScratch)
+	fs.size(len(parts))
+	defer fs.release()
 	for i, p := range parts {
-		seqs[i] = p.pe.AcquireSnapshot()
+		fs.pins[i] = p.pe.AcquireSnapshot()
 	}
 	s.seqMu.RUnlock()
 	defer func() {
 		for i, p := range parts {
-			p.pe.ReleaseSnapshot(seqs[i])
+			p.pe.ReleaseSnapshot(fs.pins[i])
 		}
 	}()
-	results := make([]*pe.Result, len(parts))
-	errs := make([]error, len(parts))
 	var wg sync.WaitGroup
 	for i := range parts {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			results[i], errs[i] = parts[i].pe.QueryAtSeq(seqs[i], legSQL, legParams...)
+			fs.results[i], fs.errs[i] = parts[i].pe.QueryAtSeq(fs.pins[i].Seq(), legSQL, legParams...)
 		}(i)
 	}
 	wg.Wait()
 	s.routeMu.RUnlock()
-	for _, err := range errs {
+	for _, err := range fs.errs {
 		if err != nil {
 			return nil, err
 		}
@@ -551,7 +552,39 @@ func (s *Store) querySelect(sel *sql.Select, sqlText string, params []types.Valu
 	// The merged HAVING evaluator binds the ORIGINAL parameter slice: its
 	// Param indexes are positions in the client's statement, which stay
 	// valid even when the legs had to inline parameters as literals.
-	return plan.merge(sel, results, params)
+	return plan.merge(sel, fs.results, params)
+}
+
+// fanoutScratch is the per-query buffer set of the snapshot fan-out: one
+// pin, result slot, and error slot per partition. Pooled so a steady read
+// load stops allocating them; every pointer is cleared on release so a
+// pooled entry never keeps leg results alive.
+type fanoutScratch struct {
+	pins    []storage.SnapPin
+	results []*pe.Result
+	errs    []error
+}
+
+var fanoutPool = sync.Pool{New: func() any { return new(fanoutScratch) }}
+
+func (fs *fanoutScratch) size(n int) {
+	if cap(fs.pins) < n {
+		fs.pins = make([]storage.SnapPin, n)
+		fs.results = make([]*pe.Result, n)
+		fs.errs = make([]error, n)
+	}
+	fs.pins = fs.pins[:n]
+	fs.results = fs.results[:n]
+	fs.errs = fs.errs[:n]
+}
+
+func (fs *fanoutScratch) release() {
+	for i := range fs.pins {
+		fs.pins[i] = storage.SnapPin{}
+		fs.results[i] = nil
+		fs.errs[i] = nil
+	}
+	fanoutPool.Put(fs)
 }
 
 // fanoutLeg computes the merge plan and the per-leg statement of a
@@ -1198,6 +1231,15 @@ func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result, params []types
 		out.Rows = rows
 		m.trimHidden(sel, out)
 	} else {
+		total := 0
+		for _, r := range results {
+			if r != nil {
+				total += len(r.Rows)
+			}
+		}
+		if total > 0 {
+			out.Rows = make([]types.Row, 0, total)
+		}
 		for _, r := range results {
 			if r != nil {
 				out.Rows = append(out.Rows, r.Rows...)
@@ -1224,6 +1266,7 @@ func (m *queryMerge) merge(sel *sql.Select, results []*pe.Result, params []types
 func (m *queryMerge) mergeGroups(results []*pe.Result) ([]types.Row, error) {
 	var order []string
 	groups := make(map[string]types.Row)
+	var kb []byte // reused across rows; string(kb) map lookups don't allocate
 	for _, r := range results {
 		if r == nil {
 			continue
@@ -1232,16 +1275,16 @@ func (m *queryMerge) mergeGroups(results []*pe.Result) ([]types.Row, error) {
 			if len(row) != len(m.cols) {
 				return nil, fmt.Errorf("core: merge: result width %d != projection width %d", len(row), len(m.cols))
 			}
-			var kb strings.Builder
+			kb = kb[:0]
 			for i, k := range m.cols {
 				if k == aggKey {
-					kb.WriteString(row[i].SQLLiteral())
-					kb.WriteByte(0)
+					kb = appendKeyValue(kb, row[i])
+					kb = append(kb, 0)
 				}
 			}
-			key := kb.String()
-			acc, ok := groups[key]
+			acc, ok := groups[string(kb)]
 			if !ok {
+				key := string(kb)
 				groups[key] = row.Clone()
 				order = append(order, key)
 				continue
@@ -1292,19 +1335,46 @@ func combineAgg(k aggKind, acc, v types.Value) types.Value {
 func dedupeRows(rows []types.Row) []types.Row {
 	seen := make(map[string]bool, len(rows))
 	out := rows[:0]
+	var kb []byte
 	for _, r := range rows {
-		var kb strings.Builder
+		kb = kb[:0]
 		for _, v := range r {
-			kb.WriteString(v.SQLLiteral())
-			kb.WriteByte(0)
+			kb = appendKeyValue(kb, v)
+			kb = append(kb, 0)
 		}
-		if seen[kb.String()] {
+		if seen[string(kb)] {
 			continue
 		}
-		seen[kb.String()] = true
+		seen[string(kb)] = true
 		out = append(out, r)
 	}
 	return out
+}
+
+// appendKeyValue appends a type-tagged encoding of v — allocation-free for
+// every value type — used as a group/DISTINCT equality key. The tag keeps
+// values of different types distinct (SQLLiteral renders INT 1 and DOUBLE
+// 1.0 identically), which is safe: legs project a column with one type.
+func appendKeyValue(kb []byte, v types.Value) []byte {
+	kb = append(kb, byte(v.Type()))
+	switch v.Type() {
+	case types.TypeNull:
+	case types.TypeBool:
+		if v.IsTrue() {
+			kb = append(kb, 1)
+		} else {
+			kb = append(kb, 0)
+		}
+	case types.TypeInt, types.TypeTimestamp:
+		kb = strconv.AppendInt(kb, v.Int(), 10)
+	case types.TypeFloat:
+		kb = strconv.AppendFloat(kb, v.Float(), 'g', -1, 64)
+	case types.TypeString:
+		kb = append(kb, v.Str()...)
+	default:
+		kb = append(kb, v.SQLLiteral()...)
+	}
+	return kb
 }
 
 // sortRows re-applies the ORDER BY to the merged rows. Each order key must

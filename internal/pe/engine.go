@@ -2,6 +2,7 @@ package pe
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
@@ -139,6 +140,13 @@ type Config struct {
 	// the evictor — running at the GC rhythm — moves cold committed
 	// versions into the catalog's attached cold store until back under.
 	MemoryBudget int64
+	// PinWorkers locks the partition worker goroutine to one OS thread
+	// (runtime.LockOSThread). With one worker per partition and enough
+	// cores, each serial execution loop then keeps its cache and (on NUMA
+	// hosts, combined with OS-level thread affinity policy) its memory
+	// node — the first step of the roadmap's NUMA awareness. Off by
+	// default: on overcommitted hosts dedicating threads can hurt.
+	PinWorkers bool
 }
 
 // binding wires a stream to the downstream procedure its tuples feed, as
@@ -469,6 +477,36 @@ func (e *Engine) PartialLen(stream string) int {
 	return 0
 }
 
+// ExtractPartial removes and returns, in arrival order, the buffered
+// border tuples of stream selected by match. Slot migration uses it to
+// re-home a half-full batch's tuples along with their keys — left behind,
+// they would execute on the old owner at the next cut or flush and rebuild
+// migrated rows there. Paused dataflows keep their backlog (documented:
+// resume before rebalancing), and unbound streams buffer nothing.
+func (e *Engine) ExtractPartial(stream string, match func(types.Row) bool) []types.Row {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	b := e.bindings[strings.ToLower(stream)]
+	if b == nil || e.pausedGraphs[b.graph] {
+		return nil
+	}
+	pend := e.partial[b.stream]
+	var taken []types.Row
+	kept := pend[:0]
+	for _, r := range pend {
+		if match(r) {
+			taken = append(taken, r)
+		} else {
+			kept = append(kept, r)
+		}
+	}
+	if len(taken) == 0 {
+		return nil
+	}
+	e.partial[b.stream] = kept
+	return taken
+}
+
 // Start validates the workflow wiring and launches the partition worker.
 func (e *Engine) Start() error {
 	if e.started.Load() {
@@ -562,6 +600,10 @@ func (e *Engine) validateWorkflows() error {
 // shared lock is touched once per burst rather than once per transaction.
 func (e *Engine) worker() {
 	defer e.wg.Done()
+	if e.cfg.PinWorkers {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
 	var pending []*txnRequest
 	for {
 		if len(e.localTriggered) > 0 {
@@ -796,18 +838,18 @@ func (e *Engine) Query(sqlText string, params ...types.Value) (*Result, error) {
 		return e.QueryOnWorker(sqlText, params...)
 	}
 	e.met.ClientToPE.Add(1)
-	seq := e.AcquireSnapshot()
-	defer e.ReleaseSnapshot(seq)
-	return e.querySnapshot(p, seq, params)
+	pin := e.AcquireSnapshot()
+	defer e.ReleaseSnapshot(pin)
+	return e.querySnapshot(p, pin.Seq(), params)
 }
 
 // AcquireSnapshot pins the latest committed sequence for snapshot reads;
 // the pin holds the GC watermark until ReleaseSnapshot. The router uses
 // the pair to assemble a consistent cross-partition snapshot vector.
-func (e *Engine) AcquireSnapshot() storage.Seq { return e.clock.AcquireSnapshot() }
+func (e *Engine) AcquireSnapshot() storage.SnapPin { return e.clock.AcquireSnapshot() }
 
 // ReleaseSnapshot drops a pin taken by AcquireSnapshot.
-func (e *Engine) ReleaseSnapshot(seq storage.Seq) { e.clock.ReleaseSnapshot(seq) }
+func (e *Engine) ReleaseSnapshot(pin storage.SnapPin) { e.clock.ReleaseSnapshot(pin) }
 
 // QueryAtSeq runs a read-only SELECT on the caller's goroutine at a
 // specific pinned sequence — the router's cross-partition fan-out leg. The
@@ -1150,6 +1192,12 @@ func (e *Engine) runGC() {
 	e.met.GCVersionsReclaimed.Add(int64(reclaimed))
 	e.met.VersionsRetained.Add(int64(retained - e.lastRetained))
 	e.lastRetained = retained
+	// Advance the reclamation epoch at the same rhythm: nodes the sweeps
+	// above unlinked re-enter the allocation pools two advances later, once
+	// every reader that could still hold them has left its epoch. A false
+	// return (a straggling reader two epochs back) just means the next
+	// sweep retries.
+	e.clock.Epochs().Advance()
 	e.runEvict(wm)
 }
 
@@ -1401,8 +1449,20 @@ func (e *Engine) drainReplayDerived() error {
 	return nil
 }
 
-// NextBatchID exposes the border batch counter for snapshots.
-func (e *Engine) NextBatchID() uint64 { return e.nextBatchID }
+// NextBatchID exposes the border batch counter for snapshots. It takes
+// ingestMu: a checkpoint barrier stops the worker, but client goroutines
+// may still be buffering partial batches (and cutting full ones) under
+// that lock; a batch cut after this read executes after the barrier and
+// lands in the truncated log, so replay re-derives any higher ID.
+func (e *Engine) NextBatchID() uint64 {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	return e.nextBatchID
+}
 
 // SetNextBatchID restores the border batch counter from a snapshot.
-func (e *Engine) SetNextBatchID(v uint64) { e.nextBatchID = v }
+func (e *Engine) SetNextBatchID(v uint64) {
+	e.ingestMu.Lock()
+	defer e.ingestMu.Unlock()
+	e.nextBatchID = v
+}

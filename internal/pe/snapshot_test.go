@@ -77,7 +77,8 @@ func TestSnapshotPinSurvivesDeleteTruncateCheckpointGC(t *testing.T) {
 		}
 	}
 
-	seq := e.AcquireSnapshot()
+	pin := e.AcquireSnapshot()
+	seq := pin.Seq()
 	if _, err := e.Exec("DELETE FROM kv WHERE k = 2"); err != nil {
 		t.Fatal(err)
 	}
@@ -107,7 +108,7 @@ func TestSnapshotPinSurvivesDeleteTruncateCheckpointGC(t *testing.T) {
 	if res, err = e.Query("SELECT COUNT(*) FROM kv"); err != nil || res.Rows[0][0].Int() != 0 {
 		t.Fatalf("live count: %v %v", res, err)
 	}
-	e.ReleaseSnapshot(seq)
+	e.ReleaseSnapshot(pin)
 
 	// With the pin gone the barrier sweep reclaims every dead version.
 	if err := e.RunExclusive(func() error { return nil }); err != nil {

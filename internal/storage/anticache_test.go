@@ -54,7 +54,7 @@ func TestTableEvictFaultRoundtrip(t *testing.T) {
 	}
 	// Snapshot read-through: no rehydration, chain untouched.
 	snap := tb.Clock().AcquireSnapshot()
-	row, ok := tb.SnapshotGet(ids[7], snap)
+	row, ok := tb.SnapshotGet(ids[7], snap.Seq())
 	if !ok || row[0].Int() != 7 || row[2].Str() != "note" {
 		t.Fatalf("SnapshotGet over stub = %v %v", row, ok)
 	}

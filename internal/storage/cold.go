@@ -1,8 +1,6 @@
 package storage
 
 import (
-	"sync/atomic"
-
 	"repro/internal/storage/coldstore"
 	"repro/internal/types"
 )
@@ -11,19 +9,22 @@ import (
 // evict committed row versions older than the snapshot watermark out of
 // their in-memory version chains into cold pages, leaving a stub: the
 // rowVersion keeps its born/dead stamps (visibility never needs disk)
-// but row becomes nil and cold holds the page ref. Readers that hit a
-// stub fault the tuple back in through the buffer pool:
+// but its payload becomes {row: nil, cold: ref}. Eviction and
+// rehydration are each one atomic payload-pointer store, so concurrent
+// lock-free readers always see a whole payload — resident or stub,
+// never torn. Readers that hit a stub fault the tuple back in through
+// the buffer pool:
 //
 //   - The partition worker (writer view: Get, Update, Delete) faults
 //     synchronously and reinstalls the row in the chain, so a tuple the
 //     writer touches turns hot again. The superseded cold slot is freed
 //     only after the watermark passes the rehydration point, because a
-//     snapshot reader may have captured the ref before the reinstall.
-//   - Snapshot readers resolve stubs read-through: they capture the ref
-//     under the table read lock, release the lock, and decode from the
-//     buffer pool privately — page I/O never runs under the table lock
-//     and never mutates the chain, so the serial writer is not stalled
-//     and the lock-free writer read path sees no concurrent mutation.
+//     snapshot reader may have captured the stub payload before the
+//     reinstall.
+//   - Snapshot readers resolve stubs read-through: they capture the
+//     payload inside their epoch, leave it, and decode from the buffer
+//     pool privately — page I/O never delays the writer or epoch
+//     advance, and never mutates the chain.
 //
 // Eviction itself runs only on the partition worker (at GC rhythm), so
 // the single-mutator invariant covers stubbing out versions too. Index
@@ -48,9 +49,7 @@ func rowMemSize(r types.Row) int64 {
 // making it evictable. Call before the table serves traffic (catalog
 // creation or recovery setup).
 func (t *Table) AttachColdStore(cs *coldstore.Store) {
-	t.mu.Lock()
 	t.cold = cs
-	t.mu.Unlock()
 }
 
 // Evictable reports whether a cold store is attached.
@@ -59,26 +58,21 @@ func (t *Table) Evictable() bool { return t.cold != nil }
 // ResidentBytes returns the approximate heap bytes of in-memory row
 // versions (stubs excluded) — the quantity the evictor works to keep
 // under budget.
-func (t *Table) ResidentBytes() int64 {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.residentBytes
-}
+func (t *Table) ResidentBytes() int64 { return t.residentBytes.Load() }
 
 // ColdStats reports evicted-version and fault counters.
 func (t *Table) ColdStats() (coldVersions int, evictions, faults uint64) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.coldVers, t.coldEvictions, atomic.LoadUint64(&t.coldFaults)
+	return int(t.coldVers.Load()), t.coldEvictions.Load(), t.coldFaults.Load()
 }
 
 // readCold resolves a stub read-through: decode the tuple from the
 // buffer pool without touching the version chain. Safe from any
-// goroutine; must not be called holding t.mu (pool I/O can block).
-// Failure here means the anti-caching invariants broke (a ref freed
-// while still reachable, or a torn page) — not a recoverable condition.
+// goroutine; must not be called inside an epoch guard (pool I/O can
+// block, stalling epoch advance). Failure here means the anti-caching
+// invariants broke (a ref freed while still reachable, or a torn page)
+// — not a recoverable condition.
 func (t *Table) readCold(ref coldstore.Ref) types.Row {
-	atomic.AddUint64(&t.coldFaults, 1)
+	t.coldFaults.Add(1)
 	view, release, err := t.cold.View(ref)
 	if err != nil {
 		panic("storage: " + t.name + ": cold fault: " + err.Error())
@@ -91,8 +85,8 @@ func (t *Table) readCold(ref coldstore.Ref) types.Row {
 	return row
 }
 
-// resolveVersion returns the row image of v, faulting read-through when
-// evicted. Caller must not hold t.mu.
+// resolveVersion returns the row image of a captured payload, faulting
+// read-through when evicted. Call outside any epoch guard.
 func (t *Table) resolveVersion(row types.Row, ref coldstore.Ref) types.Row {
 	if row != nil || ref == 0 {
 		return row
@@ -100,24 +94,23 @@ func (t *Table) resolveVersion(row types.Row, ref coldstore.Ref) types.Row {
 	return t.readCold(ref)
 }
 
-// faultHead rehydrates the newest version of the slot at pos into the
-// chain and returns its row. Worker-only (single-mutator): the ref
-// cannot change between the pool read and the reinstall. The superseded
-// cold slot is deferred-freed at the current sequence — any snapshot
-// reader that captured the ref holds a pin at or below it, so the slot
-// outlives every such reader.
-func (t *Table) faultHead(pos int) types.Row {
-	v := &t.slots[pos].versions[0]
-	ref := v.cold
-	row := t.readCold(ref)
-	sz := rowMemSize(row)
-	t.mu.Lock()
-	v.row = row
-	v.cold = 0
-	t.residentBytes += sz
-	t.coldVers--
-	t.mu.Unlock()
-	t.cold.DeferFree(ref, uint64(t.clock.Current()))
+// faultHead rehydrates the newest version of the slot into the chain and
+// returns its row. Worker-only (single-mutator): the payload cannot
+// change between the pool read and the reinstall, which is one atomic
+// store. The superseded cold slot is deferred-freed at the current
+// sequence — any snapshot reader that captured the stub payload holds a
+// pin at or below it, so the slot outlives every such reader.
+func (t *Table) faultHead(s *rowSlot) types.Row {
+	v := s.head.Load()
+	pl := v.payload.Load()
+	if pl.row != nil {
+		return pl.row
+	}
+	row := t.readCold(pl.cold)
+	v.payload.Store(&versionPayload{row: row})
+	t.residentBytes.Add(rowMemSize(row))
+	t.coldVers.Add(-1)
+	t.cold.DeferFree(pl.cold, uint64(t.clock.Current()))
 	return row
 }
 
@@ -125,43 +118,45 @@ func (t *Table) faultHead(pos int) types.Row {
 // skips the slot once before evicting. Set on point accesses (Get,
 // snapshot point reads, faults) but not on full scans, so one analytic
 // pass cannot flush the hot set.
-func (s *rowSlot) touch() { atomic.StoreUint32(&s.touched, 1) }
+func (s *rowSlot) touch() { s.touched.Store(1) }
 
 // Evict moves committed row versions into the cold store until roughly
 // `need` resident bytes are freed, round-robin from the last cursor
 // position with one clock (second-chance) pass per slot. Only versions
 // with born <= watermark qualify: they are published, stable (no undo
 // can touch them), and identical on every replica's logical timeline.
-// Worker-only; runs under the write lock, so snapshot readers wait for
-// the round (pool writes are buffered — no disk I/O on this path unless
-// the pool spills).
+// Worker-only. Each eviction is one atomic payload swap, so concurrent
+// snapshot readers are never blocked and never see a torn version — a
+// reader that captured the resident payload just before the swap keeps
+// reading its row; one that captures the stub after it faults
+// read-through.
 func (t *Table) Evict(watermark Seq, need int64) (versions int, bytes int64) {
 	if t.cold == nil || need <= 0 {
 		return 0, 0
 	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	d := t.slots()
 	scanned := 0
-	for scanned < len(t.slots) && bytes < need {
-		if t.evictCursor >= len(t.slots) {
+	for scanned < len(d) && bytes < need {
+		if t.evictCursor >= len(d) {
 			t.evictCursor = 0
 		}
-		s := &t.slots[t.evictCursor]
+		s := d[t.evictCursor]
 		t.evictCursor++
 		scanned++
-		if s.isStaged() || len(s.versions) == 0 {
+		if s.head.Load() == nil || s.isStaged() {
 			continue
 		}
-		if atomic.LoadUint32(&s.touched) == 1 {
-			atomic.StoreUint32(&s.touched, 0) // second chance
+		if s.touched.Load() == 1 {
+			s.touched.Store(0) // second chance
 			continue
 		}
-		for i := range s.versions {
-			v := &s.versions[i]
-			if v.row == nil || v.born > watermark || v.born == seqStaged {
+		for v := s.head.Load(); v != nil; v = v.next.Load() {
+			pl := v.payload.Load()
+			born := v.born.Load()
+			if pl.row == nil || born > watermark || born == seqStaged {
 				continue
 			}
-			t.encBuf = types.EncodeRow(t.encBuf[:0], v.row)
+			t.encBuf = types.EncodeRow(t.encBuf[:0], pl.row)
 			if len(t.encBuf) > t.cold.MaxTuple() {
 				continue // oversized tuples stay hot
 			}
@@ -169,12 +164,11 @@ func (t *Table) Evict(watermark Seq, need int64) (versions int, bytes int64) {
 			if err != nil {
 				return versions, bytes // disk trouble: stop, stay hot
 			}
-			sz := rowMemSize(v.row)
-			v.cold = ref
-			v.row = nil
-			t.residentBytes -= sz
-			t.coldVers++
-			t.coldEvictions++
+			sz := rowMemSize(pl.row)
+			v.payload.Store(&versionPayload{cold: ref})
+			t.residentBytes.Add(-sz)
+			t.coldVers.Add(1)
+			t.coldEvictions.Add(1)
 			versions++
 			bytes += sz
 		}

@@ -2,6 +2,8 @@ package storage
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
@@ -10,41 +12,61 @@ import (
 // sequence s iff born <= s < dead. Writer-view lookups see exactly the
 // live refs (dead == SeqInf). Dead refs are retained for snapshot readers
 // and reclaimed by the watermark GC alongside their row versions.
+//
+// Ref slices are immutable once published: every mutation clones and
+// republishes through an atomic pointer, so lock-free readers iterate a
+// stable snapshot of the slice.
 type ixRef struct {
 	id   RowID
 	born Seq
 	dead Seq
 }
 
-func (r *ixRef) visibleAt(seq Seq) bool { return r.born <= seq && seq < r.dead }
+func (r ixRef) visibleAt(seq Seq) bool { return r.born <= seq && seq < r.dead }
 
 // Index maps key tuples (a projection of the row) to RowIDs. Two physical
 // layouts exist behind the same API: a hash index (point lookups only) and
 // an ordered skiplist index (point + range scans). Unique indexes hold at
 // most one live RowID per key; dead entries from superseded or deleted
 // versions coexist with it until reclaimed.
+//
+// Both layouts are single-writer (the partition worker) / many-reader with
+// zero reader locks: the hash layout keeps copy-on-write bucket slices in
+// a sync.Map, the ordered layout an atomic-linked skiplist. A reader that
+// loads a bucket or node the writer then prunes keeps a consistent stale
+// view; everything it can still see there is either dead at or below the
+// watermark (invisible at any pinned sequence) or pending (invisible at
+// any published one).
 type Index struct {
 	name    string
 	cols    []int
 	unique  bool
 	ordered bool
 
-	hash map[uint64][]hashEntry // hash layout
-	sl   *skiplist              // ordered layout
-	size int                    // live refs
+	hash sync.Map // uint64 -> []*hashKey, COW slices; hash layout
+	sl   *skiplist
+	size atomic.Int64 // live refs
 }
 
-type hashEntry struct {
+// hashKey is one distinct key of a hash bucket. key is immutable; refs is
+// replaced copy-on-write. The node itself is never recycled, so a stale
+// reader holding it is always safe.
+type hashKey struct {
 	key  types.Row
-	refs []ixRef
+	refs atomic.Pointer[[]ixRef]
 }
 
-func newIndex(name string, cols []int, unique, ordered bool) *Index {
+func (k *hashKey) loadRefs() []ixRef {
+	if p := k.refs.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
+
+func newIndex(name string, cols []int, unique, ordered bool, em *EpochManager) *Index {
 	ix := &Index{name: name, cols: append([]int(nil), cols...), unique: unique, ordered: ordered}
 	if ordered {
-		ix.sl = newSkiplist()
-	} else {
-		ix.hash = make(map[uint64][]hashEntry)
+		ix.sl = newSkiplist(em)
 	}
 	return ix
 }
@@ -62,32 +84,57 @@ func (ix *Index) Unique() bool { return ix.unique }
 func (ix *Index) Ordered() bool { return ix.ordered }
 
 // Len returns the number of live (key, RowID) pairs in the index.
-func (ix *Index) Len() int { return ix.size }
+func (ix *Index) Len() int { return int(ix.size.Load()) }
 
-// insert adds a live ref born at the given sequence.
+// bucket loads the COW key list under hash h (hash layout only).
+func (ix *Index) bucket(h uint64) []*hashKey {
+	if v, ok := ix.hash.Load(h); ok {
+		return v.([]*hashKey)
+	}
+	return nil
+}
+
+// findKey returns the bucket's node for key, or nil.
+func findKey(keys []*hashKey, key types.Row) *hashKey {
+	for _, k := range keys {
+		if k.key.Equal(key) {
+			return k
+		}
+	}
+	return nil
+}
+
+// insert adds a live ref born at the given sequence. Worker-only.
 func (ix *Index) insert(key types.Row, id RowID, born Seq) error {
 	if ix.ordered {
 		if err := ix.sl.insert(key, id, born, ix.unique); err != nil {
 			return fmt.Errorf("index %q: %w", ix.name, err)
 		}
-		ix.size++
+		ix.size.Add(1)
 		return nil
 	}
 	h := key.Hash()
-	bucket := ix.hash[h]
-	for i := range bucket {
-		if bucket[i].key.Equal(key) {
-			if ix.unique && liveRef(bucket[i].refs) >= 0 {
-				return fmt.Errorf("index %q: duplicate key %v", ix.name, key)
-			}
-			bucket[i].refs = append(bucket[i].refs, ixRef{id: id, born: born, dead: SeqInf})
-			ix.hash[h] = bucket
-			ix.size++
-			return nil
+	keys := ix.bucket(h)
+	if k := findKey(keys, key); k != nil {
+		refs := k.loadRefs()
+		if ix.unique && liveRef(refs) >= 0 {
+			return fmt.Errorf("index %q: duplicate key %v", ix.name, key)
 		}
+		nw := make([]ixRef, len(refs)+1)
+		copy(nw, refs)
+		nw[len(refs)] = ixRef{id: id, born: born, dead: SeqInf}
+		k.refs.Store(&nw)
+		ix.size.Add(1)
+		return nil
 	}
-	ix.hash[h] = append(bucket, hashEntry{key: key.Clone(), refs: []ixRef{{id: id, born: born, dead: SeqInf}}})
-	ix.size++
+	nk := &hashKey{key: key.Clone()}
+	rs := []ixRef{{id: id, born: born, dead: SeqInf}}
+	nk.refs.Store(&rs)
+	nb := make([]*hashKey, len(keys)+1)
+	copy(nb, keys)
+	nb[len(keys)] = nk
+	ix.hash.Store(h, nb)
+	ix.size.Add(1)
 	return nil
 }
 
@@ -113,56 +160,70 @@ func findRef(refs []ixRef, id RowID) int {
 }
 
 // remove stamps the live ref for id dead at the given sequence. The entry
-// stays visible to snapshots below it until GC'd.
+// stays visible to snapshots below it until GC'd. Worker-only.
 func (ix *Index) remove(key types.Row, id RowID, dead Seq) {
 	if ix.ordered {
 		if ix.sl.remove(key, id, dead) {
-			ix.size--
+			ix.size.Add(-1)
 		}
 		return
 	}
-	bucket := ix.hash[key.Hash()]
-	for i := range bucket {
-		if !bucket[i].key.Equal(key) {
-			continue
-		}
-		if j := findRef(bucket[i].refs, id); j >= 0 {
-			bucket[i].refs[j].dead = dead
-			ix.size--
-		}
+	k := findKey(ix.bucket(key.Hash()), key)
+	if k == nil {
 		return
+	}
+	refs := k.loadRefs()
+	if j := findRef(refs, id); j >= 0 {
+		nw := append([]ixRef(nil), refs...)
+		nw[j].dead = dead
+		k.refs.Store(&nw)
+		ix.size.Add(-1)
 	}
 }
 
 // eraseLive physically removes the live ref for id — the undo of an
-// insert, whose ref never became visible to any snapshot.
+// insert, whose ref never became visible to any snapshot. Worker-only.
 func (ix *Index) eraseLive(key types.Row, id RowID) {
 	if ix.ordered {
 		if ix.sl.eraseLive(key, id) {
-			ix.size--
+			ix.size.Add(-1)
 		}
 		return
 	}
 	h := key.Hash()
-	bucket := ix.hash[h]
-	for i := range bucket {
-		if !bucket[i].key.Equal(key) {
-			continue
-		}
-		if j := findRef(bucket[i].refs, id); j >= 0 {
-			bucket[i].refs = append(bucket[i].refs[:j], bucket[i].refs[j+1:]...)
-			ix.size--
-		}
-		if len(bucket[i].refs) == 0 {
-			bucket[i] = bucket[len(bucket)-1]
-			bucket = bucket[:len(bucket)-1]
-			if len(bucket) == 0 {
-				delete(ix.hash, h)
-			} else {
-				ix.hash[h] = bucket
-			}
-		}
+	keys := ix.bucket(h)
+	k := findKey(keys, key)
+	if k == nil {
 		return
+	}
+	refs := k.loadRefs()
+	j := findRef(refs, id)
+	if j < 0 {
+		return
+	}
+	nw := make([]ixRef, 0, len(refs)-1)
+	nw = append(nw, refs[:j]...)
+	nw = append(nw, refs[j+1:]...)
+	k.refs.Store(&nw)
+	ix.size.Add(-1)
+	if len(nw) == 0 {
+		ix.dropKey(h, keys, k)
+	}
+}
+
+// dropKey republishes the bucket without the emptied key node (removing
+// the whole bucket when it was the last).
+func (ix *Index) dropKey(h uint64, keys []*hashKey, k *hashKey) {
+	nb := make([]*hashKey, 0, len(keys)-1)
+	for _, kk := range keys {
+		if kk != k {
+			nb = append(nb, kk)
+		}
+	}
+	if len(nb) == 0 {
+		ix.hash.Delete(h)
+	} else {
+		ix.hash.Store(h, nb)
 	}
 }
 
@@ -172,28 +233,32 @@ func (ix *Index) eraseLive(key types.Row, id RowID) {
 // dead) when one transaction moves a key away and back repeatedly; undo
 // runs newest-first, so the ref to revive is the most recently created
 // matching one (largest born) — reviveRef shares this rule with the
-// skiplist layout.
+// skiplist layout. Worker-only.
 func (ix *Index) revive(key types.Row, id RowID, dead Seq) {
 	if ix.ordered {
 		if ix.sl.revive(key, id, dead) {
-			ix.size++
+			ix.size.Add(1)
 		}
 		return
 	}
-	bucket := ix.hash[key.Hash()]
-	for i := range bucket {
-		if !bucket[i].key.Equal(key) {
-			continue
-		}
-		if reviveRef(bucket[i].refs, id, dead) {
-			ix.size++
-		}
+	k := findKey(ix.bucket(key.Hash()), key)
+	if k == nil {
 		return
 	}
+	refs := k.loadRefs()
+	best := reviveRef(refs, id, dead)
+	if best < 0 {
+		return
+	}
+	nw := append([]ixRef(nil), refs...)
+	nw[best].dead = SeqInf
+	k.refs.Store(&nw)
+	ix.size.Add(1)
 }
 
-// reviveRef flips the latest-born ref matching (id, dead) back to live.
-func reviveRef(refs []ixRef, id RowID, dead Seq) bool {
+// reviveRef returns the position of the latest-born ref matching (id,
+// dead), or -1. The caller flips it live on a cloned slice.
+func reviveRef(refs []ixRef, id RowID, dead Seq) int {
 	best := -1
 	for j := range refs {
 		if refs[j].id == id && refs[j].dead == dead {
@@ -202,11 +267,7 @@ func reviveRef(refs []ixRef, id RowID, dead Seq) bool {
 			}
 		}
 	}
-	if best < 0 {
-		return false
-	}
-	refs[best].dead = SeqInf
-	return true
+	return best
 }
 
 // Lookup returns the RowIDs live under exactly key (writer view, including
@@ -217,37 +278,36 @@ func (ix *Index) Lookup(key types.Row) ([]RowID, bool) {
 		ids := ix.sl.lookup(key)
 		return ids, len(ids) > 0
 	}
-	for _, e := range ix.hash[key.Hash()] {
-		if e.key.Equal(key) {
-			var ids []RowID
-			for i := range e.refs {
-				if e.refs[i].dead == SeqInf {
-					ids = append(ids, e.refs[i].id)
-				}
-			}
-			return ids, len(ids) > 0
+	k := findKey(ix.bucket(key.Hash()), key)
+	if k == nil {
+		return nil, false
+	}
+	var ids []RowID
+	for _, r := range k.loadRefs() {
+		if r.dead == SeqInf {
+			ids = append(ids, r.id)
 		}
 	}
-	return nil, false
+	return ids, len(ids) > 0
 }
 
-// lookupAt returns the RowIDs visible under key at sequence s.
+// lookupAt returns the RowIDs visible under key at sequence s. Safe from
+// reader goroutines inside an epoch.
 func (ix *Index) lookupAt(key types.Row, seq Seq) []RowID {
 	if ix.ordered {
 		return ix.sl.lookupAt(key, seq)
 	}
-	for _, e := range ix.hash[key.Hash()] {
-		if e.key.Equal(key) {
-			var ids []RowID
-			for i := range e.refs {
-				if e.refs[i].visibleAt(seq) {
-					ids = append(ids, e.refs[i].id)
-				}
-			}
-			return ids
+	k := findKey(ix.bucket(key.Hash()), key)
+	if k == nil {
+		return nil
+	}
+	var ids []RowID
+	for _, r := range k.loadRefs() {
+		if r.visibleAt(seq) {
+			ids = append(ids, r.id)
 		}
 	}
-	return nil
+	return ids
 }
 
 // LookupUnique returns the single live RowID for key on a unique index.
@@ -270,38 +330,52 @@ func (ix *Index) Range(lo, hi types.Row, fn func(key types.Row, id RowID) bool) 
 }
 
 // gc drops refs dead at or below the watermark (and, in the ordered
-// layout, unlinks emptied key nodes).
+// layout, unlinks emptied key nodes). Worker-only.
 func (ix *Index) gc(watermark Seq) {
 	if ix.ordered {
 		ix.sl.gc(watermark)
 		return
 	}
-	for h, bucket := range ix.hash {
-		changed := false
-		for i := 0; i < len(bucket); i++ {
-			refs := bucket[i].refs
-			kept := refs[:0]
-			for _, r := range refs {
-				if r.dead <= watermark {
-					changed = true
-					continue
+	ix.hash.Range(func(hk, hv any) bool {
+		keys := hv.([]*hashKey)
+		var emptied []*hashKey
+		for _, k := range keys {
+			refs := k.loadRefs()
+			drop := false
+			for i := range refs {
+				if refs[i].dead <= watermark {
+					drop = true
+					break
 				}
-				kept = append(kept, r)
 			}
-			bucket[i].refs = kept
-			if len(kept) == 0 {
-				bucket[i] = bucket[len(bucket)-1]
-				bucket = bucket[:len(bucket)-1]
-				i--
+			if !drop {
+				continue
+			}
+			nw := make([]ixRef, 0, len(refs))
+			for _, r := range refs {
+				if r.dead > watermark {
+					nw = append(nw, r)
+				}
+			}
+			k.refs.Store(&nw)
+			if len(nw) == 0 {
+				emptied = append(emptied, k)
 			}
 		}
-		if !changed {
-			continue
+		if len(emptied) == 0 {
+			return true
 		}
-		if len(bucket) == 0 {
-			delete(ix.hash, h)
+		nb := make([]*hashKey, 0, len(keys)-len(emptied))
+		for _, k := range keys {
+			if len(k.loadRefs()) > 0 {
+				nb = append(nb, k)
+			}
+		}
+		if len(nb) == 0 {
+			ix.hash.Delete(hk)
 		} else {
-			ix.hash[h] = bucket
+			ix.hash.Store(hk, nb)
 		}
-	}
+		return true
+	})
 }

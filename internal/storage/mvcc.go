@@ -2,6 +2,7 @@ package storage
 
 import (
 	"math"
+	"math/rand/v2"
 	"sync"
 	"sync/atomic"
 )
@@ -22,10 +23,36 @@ type Seq = uint64
 // or after its birth.
 const SeqInf Seq = math.MaxUint64
 
+// pinShardCount stripes the snapshot-pin registry so concurrent
+// AcquireSnapshot/ReleaseSnapshot calls from many wire connections (and a
+// follower's apply/read goroutines) do not serialize on one mutex. Power
+// of two.
+const pinShardCount = 16
+
+// pinShard is one stripe of the pin multiset, padded so neighboring
+// stripes' locks never share a cache line.
+type pinShard struct {
+	mu     sync.Mutex
+	active map[Seq]int
+	_      [96]byte
+}
+
+// SnapPin is a held snapshot pin: the pinned sequence plus the registry
+// stripe that recorded it (ReleaseSnapshot must decrement the same
+// stripe). Treat it as an opaque token; the zero value is inert.
+type SnapPin struct {
+	seq Seq
+	sh  *pinShard
+}
+
+// Seq returns the pinned commit sequence.
+func (p SnapPin) Seq() Seq { return p.seq }
+
 // PartitionClock is one partition's commit clock plus its registry of
-// pinned snapshots. All tables of a partition share one clock, so a single
-// Publish makes a whole transaction's writes — across every table it
-// touched — visible atomically to snapshot readers.
+// pinned snapshots and its epoch-reclamation manager. All tables of a
+// partition share one clock, so a single Publish makes a whole
+// transaction's writes — across every table it touched — visible
+// atomically to snapshot readers.
 //
 // Writer methods (WriteSeq, Publish) are called only from the partition
 // worker goroutine; reader methods (Current, AcquireSnapshot,
@@ -33,19 +60,30 @@ const SeqInf Seq = math.MaxUint64
 type PartitionClock struct {
 	current atomic.Uint64
 
-	// mu guards the pin multiset. AcquireSnapshot reads the clock under mu
-	// and Watermark reads it under mu too, which closes the race where a
-	// GC sweep computes a watermark between a reader's clock load and its
-	// registration (the sweep would otherwise reclaim versions the reader
-	// is entitled to).
-	mu     sync.Mutex
-	active map[Seq]int
+	// shards hold the pin multiset. An acquire reads the clock and
+	// registers under one stripe's lock, and Watermark takes each stripe's
+	// lock in turn, which closes the race where a GC sweep computes a
+	// watermark between a reader's clock load and its registration: any
+	// pin a stripe scan misses was registered after the scan began and
+	// therefore pinned a sequence at or above the watermark being
+	// computed.
+	shards [pinShardCount]pinShard
+
+	epochs *EpochManager
 }
 
 // NewPartitionClock returns a clock at sequence zero with no pins.
 func NewPartitionClock() *PartitionClock {
-	return &PartitionClock{active: make(map[Seq]int)}
+	c := &PartitionClock{epochs: NewEpochManager()}
+	for i := range c.shards {
+		c.shards[i].active = make(map[Seq]int)
+	}
+	return c
 }
+
+// Epochs returns the partition's epoch-reclamation manager (shared by
+// every table stamping from this clock).
+func (c *PartitionClock) Epochs() *EpochManager { return c.epochs }
 
 // Current returns the last published commit sequence.
 func (c *PartitionClock) Current() Seq { return c.current.Load() }
@@ -59,50 +97,64 @@ func (c *PartitionClock) WriteSeq() Seq { return c.current.Load() + 1 }
 // subsequent snapshots — the in-memory commit point. Worker goroutine only.
 func (c *PartitionClock) Publish() Seq { return c.current.Add(1) }
 
-// AcquireSnapshot pins the latest published sequence and returns it. The
-// pin holds the GC watermark at or below the returned sequence until
-// ReleaseSnapshot, so every version visible at acquisition stays readable.
-func (c *PartitionClock) AcquireSnapshot() Seq {
-	c.mu.Lock()
+// AcquireSnapshot pins the latest published sequence on a randomly chosen
+// registry stripe. The pin holds the GC watermark at or below the pinned
+// sequence until ReleaseSnapshot, so every version visible at acquisition
+// stays readable.
+func (c *PartitionClock) AcquireSnapshot() SnapPin {
+	sh := &c.shards[rand.Uint32()&(pinShardCount-1)]
+	sh.mu.Lock()
 	s := c.current.Load()
-	c.active[s]++
-	c.mu.Unlock()
-	return s
+	sh.active[s]++
+	sh.mu.Unlock()
+	return SnapPin{seq: s, sh: sh}
 }
 
-// ReleaseSnapshot drops one pin on s.
-func (c *PartitionClock) ReleaseSnapshot(s Seq) {
-	c.mu.Lock()
-	if n := c.active[s]; n <= 1 {
-		delete(c.active, s)
-	} else {
-		c.active[s] = n - 1
+// ReleaseSnapshot drops the pin. The zero pin is a no-op.
+func (c *PartitionClock) ReleaseSnapshot(p SnapPin) {
+	if p.sh == nil {
+		return
 	}
-	c.mu.Unlock()
+	p.sh.mu.Lock()
+	if n := p.sh.active[p.seq]; n <= 1 {
+		delete(p.sh.active, p.seq)
+	} else {
+		p.sh.active[p.seq] = n - 1
+	}
+	p.sh.mu.Unlock()
 }
 
 // Watermark returns the reclamation horizon: the oldest sequence any
-// current or future snapshot can read. Versions whose dead stamp is at or
-// below it are invisible to everyone and may be reclaimed.
+// current or future snapshot can read, computed as the minimum over every
+// pin stripe. Versions whose dead stamp is at or below it are invisible to
+// everyone and may be reclaimed. A pin registered on a stripe after its
+// scan pinned a sequence at or above the clock value loaded below, so the
+// minimum stays conservative.
 func (c *PartitionClock) Watermark() Seq {
-	c.mu.Lock()
 	w := c.current.Load()
-	for s := range c.active {
-		if s < w {
-			w = s
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for s := range sh.active {
+			if s < w {
+				w = s
+			}
 		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return w
 }
 
 // ActiveSnapshots reports the number of outstanding pins (metrics, tests).
 func (c *PartitionClock) ActiveSnapshots() int {
-	c.mu.Lock()
 	n := 0
-	for _, k := range c.active {
-		n += k
+	for i := range c.shards {
+		sh := &c.shards[i]
+		sh.mu.Lock()
+		for _, k := range sh.active {
+			n += k
+		}
+		sh.mu.Unlock()
 	}
-	c.mu.Unlock()
 	return n
 }

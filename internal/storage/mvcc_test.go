@@ -85,7 +85,8 @@ func TestSnapshotReaderSurvivesDeleteAndGC(t *testing.T) {
 	id, _ := tb.Insert(voteRow(1, 9), nil)
 	clock.Publish()
 
-	s := clock.AcquireSnapshot()
+	pin := clock.AcquireSnapshot()
+	s := pin.Seq()
 	if err := tb.Delete(id, nil); err != nil {
 		t.Fatal(err)
 	}
@@ -102,7 +103,7 @@ func TestSnapshotReaderSurvivesDeleteAndGC(t *testing.T) {
 		t.Fatalf("pinned index probe: %v", rows)
 	}
 
-	clock.ReleaseSnapshot(s)
+	clock.ReleaseSnapshot(pin)
 	rec, retained := tb.GC(clock.Watermark())
 	if rec != 1 || retained != 0 {
 		t.Fatalf("post-release GC: reclaimed=%d retained=%d", rec, retained)
@@ -201,7 +202,8 @@ func TestSnapshotHammer(t *testing.T) {
 					return
 				default:
 				}
-				s := clock.AcquireSnapshot()
+				pin := clock.AcquireSnapshot()
+				s := pin.Seq()
 				seen := make(map[int64]bool, nRows)
 				gen := int64(-1)
 				consistent := true
@@ -221,14 +223,14 @@ func TestSnapshotHammer(t *testing.T) {
 					return true
 				})
 				if !consistent || len(seen) != nRows {
-					clock.ReleaseSnapshot(s)
+					clock.ReleaseSnapshot(pin)
 					errs <- fmt.Errorf("reader: inconsistent snapshot at seq %d: %d rows consistent=%v", s, len(seen), consistent)
 					return
 				}
 				// Point probe and range probe agree with the scan.
 				k := rng.Int63n(int64(nRows))
 				if rows := tb.SnapshotLookup(pk, types.Row{types.NewInt(k)}, s); len(rows) != 1 || rows[0][1].Int() != gen {
-					clock.ReleaseSnapshot(s)
+					clock.ReleaseSnapshot(pin)
 					errs <- fmt.Errorf("reader: point probe key %d at seq %d: %v", k, s, rows)
 					return
 				}
@@ -242,7 +244,7 @@ func TestSnapshotHammer(t *testing.T) {
 						n++
 						return true
 					})
-				clock.ReleaseSnapshot(s)
+				clock.ReleaseSnapshot(pin)
 				if !consistent || n != nRows {
 					errs <- fmt.Errorf("reader: range probe at seq %d: n=%d consistent=%v", s, n, consistent)
 					return
@@ -348,7 +350,7 @@ func TestRollbackKeyPingPongKeepsPinnedIndexView(t *testing.T) {
 
 	key := types.Row{types.NewInt(1)}
 	for _, ix := range []*Index{tb.PrimaryIndex(), tb.IndexByName("h")} {
-		if rows := tb.SnapshotLookup(ix, key, pin); len(rows) != 1 || rows[0][1].Int() != 7 {
+		if rows := tb.SnapshotLookup(ix, key, pin.Seq()); len(rows) != 1 || rows[0][1].Int() != 7 {
 			t.Fatalf("index %q: pinned lookup after ping-pong rollback = %v", ix.Name(), rows)
 		}
 		if ids, _ := ix.Lookup(key); len(ids) != 1 {
@@ -358,7 +360,7 @@ func TestRollbackKeyPingPongKeepsPinnedIndexView(t *testing.T) {
 	// And after the aborted stamps, a fresh commit + GC leaves one clean ref.
 	clock.Publish()
 	tb.GC(clock.Watermark() /* == pin */)
-	if rows := tb.SnapshotLookup(tb.PrimaryIndex(), key, pin); len(rows) != 1 {
+	if rows := tb.SnapshotLookup(tb.PrimaryIndex(), key, pin.Seq()); len(rows) != 1 {
 		t.Fatal("pinned lookup lost the row after GC")
 	}
 }
@@ -386,7 +388,7 @@ func TestSnapshotScanChunkingStaysConsistent(t *testing.T) {
 	}
 	clock.Publish()
 	got := 0
-	tb.SnapshotScan(pin, func(_ RowID, _ types.Row) bool { got++; return true })
+	tb.SnapshotScan(pin.Seq(), func(_ RowID, _ types.Row) bool { got++; return true })
 	if got != n {
 		t.Fatalf("pinned chunked scan saw %d rows, want %d", got, n)
 	}

@@ -2,32 +2,53 @@ package storage
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/types"
 )
 
 // skiplist is the ordered index layout: keys sorted by types.Row.Compare,
-// each key holding the versioned refs indexed under it. A deterministic
-// xorshift generator drives level assignment so index shape (and therefore
-// benchmarks) are reproducible run to run. Key nodes are retained while
-// any ref — live or awaiting the GC watermark — remains under them.
+// each key node holding the versioned refs indexed under it. A
+// deterministic xorshift generator drives level assignment so index shape
+// (and therefore benchmarks) are reproducible run to run.
+//
+// The structure is single-writer / many-reader with zero reader locks:
+// next links are atomic pointers and each node's ref slice is replaced
+// copy-on-write, so a snapshot reader traversing mid-mutation sees either
+// the old or the new state of any link, never a torn one. Unlinked key
+// nodes are epoch-retired (epoch.go) — a straggling reader that entered
+// before the unlink keeps a fully intact node, including its outgoing
+// links, until every such reader exits.
 const maxLevel = 24
 
+// slNode is one key's node. key and the ref slice a reader loads are
+// immutable once published; mutation publishes a fresh slice. The fields
+// are rewritten in place only between pool reuse and republication, when
+// the epoch grace period guarantees no reader holds the node.
 type slNode struct {
 	key  types.Row
-	refs []ixRef
-	next [maxLevel]*slNode
+	refs atomic.Pointer[[]ixRef]
+	next [maxLevel]atomic.Pointer[slNode]
+}
+
+// loadRefs returns the node's current ref slice (nil-safe). The slice is
+// immutable; callers must not modify it.
+func (n *slNode) loadRefs() []ixRef {
+	if p := n.refs.Load(); p != nil {
+		return *p
+	}
+	return nil
 }
 
 type skiplist struct {
 	head   *slNode
-	level  int
-	length int // distinct keys with at least one ref
+	length int // worker-only: distinct keys with at least one ref
 	rng    uint64
+	em     *EpochManager
 }
 
-func newSkiplist() *skiplist {
-	return &skiplist{head: &slNode{}, level: 1, rng: 0x9E3779B97F4A7C15}
+func newSkiplist(em *EpochManager) *skiplist {
+	return &skiplist{head: &slNode{}, rng: 0x9E3779B97F4A7C15, em: em}
 }
 
 func (s *skiplist) randLevel() int {
@@ -48,39 +69,50 @@ func (s *skiplist) randLevel() int {
 
 // findPredecessors fills update with the rightmost node at each level whose
 // key is strictly less than key, returning the candidate node (which may or
-// may not match key).
+// may not match key). Descends from the top level unconditionally — unused
+// high levels cost one nil check each — so readers need no shared level
+// counter. Safe from reader goroutines inside an epoch.
 func (s *skiplist) findPredecessors(key types.Row, update *[maxLevel]*slNode) *slNode {
 	x := s.head
-	for i := s.level - 1; i >= 0; i-- {
-		for x.next[i] != nil && x.next[i].key.Compare(key) < 0 {
-			x = x.next[i]
+	for i := maxLevel - 1; i >= 0; i-- {
+		for {
+			nx := x.next[i].Load()
+			if nx == nil || nx.key.Compare(key) >= 0 {
+				break
+			}
+			x = nx
 		}
 		update[i] = x
 	}
-	return x.next[0]
+	return x.next[0].Load()
 }
 
 func (s *skiplist) insert(key types.Row, id RowID, born Seq, unique bool) error {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
 	if cand != nil && cand.key.Compare(key) == 0 {
-		if unique && liveRef(cand.refs) >= 0 {
+		refs := cand.loadRefs()
+		if unique && liveRef(refs) >= 0 {
 			return fmt.Errorf("duplicate key %v", key)
 		}
-		cand.refs = append(cand.refs, ixRef{id: id, born: born, dead: SeqInf})
+		nw := make([]ixRef, len(refs)+1)
+		copy(nw, refs)
+		nw[len(refs)] = ixRef{id: id, born: born, dead: SeqInf}
+		cand.refs.Store(&nw)
 		return nil
 	}
 	lvl := s.randLevel()
-	if lvl > s.level {
-		for i := s.level; i < lvl; i++ {
-			update[i] = s.head
-		}
-		s.level = lvl
-	}
-	n := &slNode{key: key.Clone(), refs: []ixRef{{id: id, born: born, dead: SeqInf}}}
+	n := slNodePool.Get().(*slNode)
+	n.key = key.Clone()
+	rs := []ixRef{{id: id, born: born, dead: SeqInf}}
+	n.refs.Store(&rs)
 	for i := 0; i < lvl; i++ {
-		n.next[i] = update[i].next[i]
-		update[i].next[i] = n
+		n.next[i].Store(update[i].next[i].Load())
+	}
+	// Publish bottom-up: once a level links the node, every lower level
+	// already does, so a reader descending into n never falls off.
+	for i := 0; i < lvl; i++ {
+		update[i].next[i].Store(n)
 	}
 	s.length++
 	return nil
@@ -94,27 +126,34 @@ func (s *skiplist) remove(key types.Row, id RowID, dead Seq) bool {
 	if cand == nil || cand.key.Compare(key) != 0 {
 		return false
 	}
-	if j := findRef(cand.refs, id); j >= 0 {
-		cand.refs[j].dead = dead
+	refs := cand.loadRefs()
+	if j := findRef(refs, id); j >= 0 {
+		nw := append([]ixRef(nil), refs...)
+		nw[j].dead = dead
+		cand.refs.Store(&nw)
 		return true
 	}
 	return false
 }
 
 // eraseLive physically removes the live ref for id (undo of insert),
-// unlinking the node when it empties.
+// unlinking and retiring the node when it empties.
 func (s *skiplist) eraseLive(key types.Row, id RowID) bool {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
 	if cand == nil || cand.key.Compare(key) != 0 {
 		return false
 	}
-	j := findRef(cand.refs, id)
+	refs := cand.loadRefs()
+	j := findRef(refs, id)
 	if j < 0 {
 		return false
 	}
-	cand.refs = append(cand.refs[:j], cand.refs[j+1:]...)
-	if len(cand.refs) == 0 {
+	nw := make([]ixRef, 0, len(refs)-1)
+	nw = append(nw, refs[:j]...)
+	nw = append(nw, refs[j+1:]...)
+	cand.refs.Store(&nw)
+	if len(nw) == 0 {
 		s.unlink(cand, &update)
 	}
 	return true
@@ -128,20 +167,29 @@ func (s *skiplist) revive(key types.Row, id RowID, dead Seq) bool {
 	if cand == nil || cand.key.Compare(key) != 0 {
 		return false
 	}
-	return reviveRef(cand.refs, id, dead)
+	refs := cand.loadRefs()
+	best := reviveRef(refs, id, dead)
+	if best < 0 {
+		return false
+	}
+	nw := append([]ixRef(nil), refs...)
+	nw[best].dead = SeqInf
+	cand.refs.Store(&nw)
+	return true
 }
 
-// unlink removes an emptied node; update holds its predecessors.
+// unlink removes an emptied node from every level (top-down, so higher
+// search lanes stop routing through it first) and retires it; update holds
+// its predecessors. A reader already on n keeps following its intact next
+// links until the grace period expires.
 func (s *skiplist) unlink(n *slNode, update *[maxLevel]*slNode) {
-	for i := 0; i < s.level; i++ {
-		if update[i].next[i] == n {
-			update[i].next[i] = n.next[i]
+	for i := maxLevel - 1; i >= 0; i-- {
+		if update[i].next[i].Load() == n {
+			update[i].next[i].Store(n.next[i].Load())
 		}
 	}
-	for s.level > 1 && s.head.next[s.level-1] == nil {
-		s.level--
-	}
 	s.length--
+	s.em.RetireSLNode(n)
 }
 
 // lookup returns the live ids under key (writer view).
@@ -152,15 +200,16 @@ func (s *skiplist) lookup(key types.Row) []RowID {
 		return nil
 	}
 	var ids []RowID
-	for i := range cand.refs {
-		if cand.refs[i].dead == SeqInf {
-			ids = append(ids, cand.refs[i].id)
+	for _, r := range cand.loadRefs() {
+		if r.dead == SeqInf {
+			ids = append(ids, r.id)
 		}
 	}
 	return ids
 }
 
-// lookupAt returns the ids visible under key at sequence s.
+// lookupAt returns the ids visible under key at sequence s. Safe from
+// reader goroutines inside an epoch.
 func (s *skiplist) lookupAt(key types.Row, seq Seq) []RowID {
 	var update [maxLevel]*slNode
 	cand := s.findPredecessors(key, &update)
@@ -168,9 +217,9 @@ func (s *skiplist) lookupAt(key types.Row, seq Seq) []RowID {
 		return nil
 	}
 	var ids []RowID
-	for i := range cand.refs {
-		if cand.refs[i].visibleAt(seq) {
-			ids = append(ids, cand.refs[i].id)
+	for _, r := range cand.loadRefs() {
+		if r.visibleAt(seq) {
+			ids = append(ids, r.id)
 		}
 	}
 	return ids
@@ -179,7 +228,7 @@ func (s *skiplist) lookupAt(key types.Row, seq Seq) []RowID {
 // scan visits live refs with keys in [lo, hi] (nil = unbounded) in
 // ascending key order.
 func (s *skiplist) scan(lo, hi types.Row, fn func(key types.Row, id RowID) bool) {
-	s.scanRefs(lo, hi, func(key types.Row, r *ixRef) bool {
+	s.scanRefs(lo, hi, func(key types.Row, r ixRef) bool {
 		if r.dead != SeqInf {
 			return true
 		}
@@ -187,9 +236,10 @@ func (s *skiplist) scan(lo, hi types.Row, fn func(key types.Row, id RowID) bool)
 	})
 }
 
-// scanAt visits refs visible at sequence s with keys in [lo, hi].
+// scanAt visits refs visible at sequence s with keys in [lo, hi]. Safe
+// from reader goroutines inside an epoch.
 func (s *skiplist) scanAt(lo, hi types.Row, seq Seq, fn func(key types.Row, id RowID) bool) {
-	s.scanRefs(lo, hi, func(key types.Row, r *ixRef) bool {
+	s.scanRefs(lo, hi, func(key types.Row, r ixRef) bool {
 		if !r.visibleAt(seq) {
 			return true
 		}
@@ -197,10 +247,10 @@ func (s *skiplist) scanAt(lo, hi types.Row, seq Seq, fn func(key types.Row, id R
 	})
 }
 
-func (s *skiplist) scanRefs(lo, hi types.Row, fn func(key types.Row, r *ixRef) bool) {
+func (s *skiplist) scanRefs(lo, hi types.Row, fn func(key types.Row, r ixRef) bool) {
 	var x *slNode
 	if lo == nil {
-		x = s.head.next[0]
+		x = s.head.next[0].Load()
 	} else {
 		var update [maxLevel]*slNode
 		x = s.findPredecessors(lo, &update)
@@ -209,35 +259,45 @@ func (s *skiplist) scanRefs(lo, hi types.Row, fn func(key types.Row, r *ixRef) b
 		if hi != nil && x.key.Compare(hi) > 0 {
 			return
 		}
-		for i := range x.refs {
-			if !fn(x.key, &x.refs[i]) {
+		for _, r := range x.loadRefs() {
+			if !fn(x.key, r) {
 				return
 			}
 		}
-		x = x.next[0]
+		x = x.next[0].Load()
 	}
 }
 
 // gc drops refs dead at or below the watermark and unlinks emptied nodes.
 func (s *skiplist) gc(watermark Seq) {
 	var emptied []types.Row
-	for x := s.head.next[0]; x != nil; x = x.next[0] {
-		kept := x.refs[:0]
-		for _, r := range x.refs {
-			if r.dead <= watermark {
-				continue
+	for x := s.head.next[0].Load(); x != nil; x = x.next[0].Load() {
+		refs := x.loadRefs()
+		drop := false
+		for i := range refs {
+			if refs[i].dead <= watermark {
+				drop = true
+				break
 			}
-			kept = append(kept, r)
 		}
-		x.refs = kept
-		if len(kept) == 0 {
+		if !drop {
+			continue
+		}
+		nw := make([]ixRef, 0, len(refs))
+		for _, r := range refs {
+			if r.dead > watermark {
+				nw = append(nw, r)
+			}
+		}
+		x.refs.Store(&nw)
+		if len(nw) == 0 {
 			emptied = append(emptied, x.key)
 		}
 	}
 	for _, key := range emptied {
 		var update [maxLevel]*slNode
 		cand := s.findPredecessors(key, &update)
-		if cand != nil && cand.key.Compare(key) == 0 && len(cand.refs) == 0 {
+		if cand != nil && cand.key.Compare(key) == 0 && len(cand.loadRefs()) == 0 {
 			s.unlink(cand, &update)
 		}
 	}

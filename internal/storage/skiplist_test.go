@@ -11,7 +11,7 @@ import (
 func intKey(i int64) types.Row { return types.Row{types.NewInt(i)} }
 
 func TestSkiplistInsertLookupRemove(t *testing.T) {
-	sl := newSkiplist()
+	sl := newSkiplist(NewEpochManager())
 	for i := int64(0); i < 100; i++ {
 		if err := sl.insert(intKey(i), RowID(i+1), 1, true); err != nil {
 			t.Fatal(err)
@@ -50,7 +50,7 @@ func TestSkiplistInsertLookupRemove(t *testing.T) {
 }
 
 func TestSkiplistDuplicateKeysNonUnique(t *testing.T) {
-	sl := newSkiplist()
+	sl := newSkiplist(NewEpochManager())
 	for i := 0; i < 5; i++ {
 		if err := sl.insert(intKey(7), RowID(i+1), 1, false); err != nil {
 			t.Fatal(err)
@@ -84,7 +84,7 @@ func TestSkiplistDuplicateKeysNonUnique(t *testing.T) {
 // inserts and deletes, a full scan must equal the sorted model exactly.
 func TestSkiplistMatchesSortedSlice(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
-	sl := newSkiplist()
+	sl := newSkiplist(NewEpochManager())
 	model := map[int64]bool{}
 	for step := 0; step < 20000; step++ {
 		k := rng.Int63n(500)
@@ -125,7 +125,7 @@ func TestSkiplistMatchesSortedSlice(t *testing.T) {
 }
 
 func TestSkiplistBoundedScan(t *testing.T) {
-	sl := newSkiplist()
+	sl := newSkiplist(NewEpochManager())
 	for i := int64(0); i < 100; i += 2 { // evens only
 		_ = sl.insert(intKey(i), RowID(i+1), 1, true)
 	}

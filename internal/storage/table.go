@@ -10,16 +10,16 @@
 // publish the sequence atomically. Snapshot readers on other goroutines
 // pick a published sequence and read the versions visible at it —
 // concurrently with the writer — through the Snapshot* methods, which take
-// the table's read lock; writer mutations take the write lock only around
-// the structural change, so readers never queue behind whole transactions.
-// Old versions are reclaimed once the watermark (oldest pinned snapshot)
-// passes their death sequence.
+// no locks at all: the slot directory, version chains, and index
+// structures are published through atomic pointers, and reclaimed memory
+// is recycled only after an epoch grace period (epoch.go) guarantees no
+// reader still holds it. Old versions are unlinked once the watermark
+// (oldest pinned snapshot) passes their death sequence.
 package storage
 
 import (
 	"fmt"
-
-	"sync"
+	"sync/atomic"
 
 	"repro/internal/storage/coldstore"
 	"repro/internal/types"
@@ -30,71 +30,123 @@ import (
 // insertion order — the property streams rely on for FIFO batches.
 type RowID uint64
 
+// versionPayload is a version's row image — either a resident row or a
+// cold-store stub (row nil, cold naming the tuple on disk). The pair is
+// swapped through one atomic pointer so eviction and rehydration are
+// single atomic stores a concurrent reader sees whole. Payload objects are
+// immutable once published and never recycled; a reader that captured one
+// may use it after leaving its epoch.
+type versionPayload struct {
+	row  types.Row
+	cold coldstore.Ref
+}
+
 // rowVersion is one image of a row: visible to snapshots at sequence s iff
 // born <= s < dead. A live version has dead == SeqInf; an uncommitted one
 // has born (or dead, for a pending delete) equal to the clock's pending
-// sequence, which no published snapshot can reach. An evicted version is a
-// stub: row is nil and cold names its tuple in the cold store — the stamps
-// stay resident, so visibility checks never need disk (see cold.go).
+// sequence, which no published snapshot can reach. Versions form a
+// singly-linked chain, newest first, through atomic next pointers.
+//
+// Nodes are pooled: after being unlinked they are epoch-retired and only
+// rewritten for a new row once every reader that could hold one has left
+// its epoch — which is why every field a reader dereferences is atomic.
 type rowVersion struct {
-	row  types.Row
-	born Seq
-	dead Seq
-	cold coldstore.Ref
+	born    atomic.Uint64
+	dead    atomic.Uint64
+	payload atomic.Pointer[versionPayload]
+	next    atomic.Pointer[rowVersion]
+}
+
+// newRowVersion draws a pooled node and initializes it. Worker-only; the
+// node is private until linked into a published chain.
+func newRowVersion(row types.Row, ref coldstore.Ref, born, dead Seq) *rowVersion {
+	v := versionPool.Get().(*rowVersion)
+	v.born.Store(born)
+	v.dead.Store(dead)
+	v.payload.Store(&versionPayload{row: row, cold: ref})
+	v.next.Store(nil)
+	return v
 }
 
 // rowSlot is one entry of the table heap: a logical row's version chain,
 // newest first. A slot whose newest version is dead is a logical tombstone
-// retained for snapshot readers until the watermark passes. touched is the
-// anti-caching second-chance bit, accessed atomically (plain uint32 so GC's
-// slot compaction may copy the struct).
+// retained for snapshot readers until the watermark passes; a slot whose
+// head is nil is empty (undone insert / unstaged copy) and is dropped at
+// the next directory rebuild. touched is the anti-caching second-chance
+// bit. Slots are heap objects referenced from the directory and never
+// recycled, so stale readers always hold intact memory.
 type rowSlot struct {
-	id       RowID
-	versions []rowVersion
-	touched  uint32
+	id      RowID
+	head    atomic.Pointer[rowVersion]
+	touched atomic.Uint32
 }
 
-// liveTop reports whether the slot's newest version is live (writer view).
-func (s *rowSlot) liveTop() bool {
-	return len(s.versions) > 0 && s.versions[0].dead == SeqInf
+// liveHead returns the newest version when it is live (writer view), else
+// nil.
+func (s *rowSlot) liveHead() *rowVersion {
+	h := s.head.Load()
+	if h != nil && h.dead.Load() == SeqInf {
+		return h
+	}
+	return nil
+}
+
+// versionAt resolves the version visible at sequence seq, or nil. Safe
+// from reader goroutines inside an epoch: the chain is newest-first and
+// every link is atomic, so a concurrent writer prepending or a GC pruning
+// the dead tail leaves the walk on intact nodes.
+func (s *rowSlot) versionAt(seq Seq) *rowVersion {
+	for v := s.head.Load(); v != nil; v = v.next.Load() {
+		if v.born.Load() <= seq && seq < v.dead.Load() {
+			return v
+		}
+	}
+	return nil
 }
 
 // Table is an in-memory multi-versioned row store with attached indexes.
+//
+// Concurrency contract: exactly one goroutine mutates at a time — the
+// partition worker (or recovery, or a quiescent migration barrier, which
+// the engine serializes against the worker). Mutators use the plain
+// worker-only fields freely. Any goroutine may read through the Snapshot*
+// methods, which run lock-free under an epoch guard; shared state they
+// touch (directory, chains, indexes, counters) is published atomically.
 type Table struct {
 	name   string
 	schema *types.Schema
 	clock  *PartitionClock
 
-	// mu is held exclusively around every structural mutation (writes,
-	// undo, GC — all on the partition worker goroutine) and shared by
-	// snapshot readers. Writer-path reads (Scan/Get/Lookup from the worker)
-	// take no lock: the worker is the only mutator.
-	mu sync.RWMutex
+	// dir is the published slot directory in ascending-RowID order.
+	// Appends republish a longer slice header over the same backing array
+	// (a reader's shorter header never covers the newly written element);
+	// GC compaction republishes a freshly built array, so a reader's
+	// stale header keeps indexing untouched memory either way.
+	dir  atomic.Pointer[[]*rowSlot]
+	byID map[RowID]*rowSlot // worker-only RowID -> slot
 
-	slots []rowSlot
-	byID  map[RowID]int // RowID -> slot position, for every retained slot
-
-	nextID   RowID
-	live     int // slots whose newest version is live
-	staged   int // staged slots awaiting CommitStaged (slot migration)
-	deadVers int // versions with a dead stamp (reclaim candidates)
+	nextID RowID // worker-only
 	// gcMinDead backs inline sweeps off: after a sweep, dead versions must
 	// double before the next attempt, so a pile of still-pinned (or still-
 	// pending) versions cannot trigger an O(n) sweep per delete.
-	gcMinDead int
+	gcMinDead int // worker-only
 
-	indexes []*Index
+	live     atomic.Int64 // slots whose newest version is live
+	staged   atomic.Int64 // staged slots awaiting CommitStaged (slot migration)
+	deadVers atomic.Int64 // versions with a dead stamp (reclaim candidates)
+
+	indexes atomic.Pointer[[]*Index]
 	pk      *Index // non-nil when the schema declares a primary key
 
 	// Anti-caching state (cold.go). cold is nil unless attached; the
 	// resident-bytes ledger is maintained regardless so attaching is free.
 	cold          *coldstore.Store
-	residentBytes int64  // approximate heap bytes of non-stub versions
-	coldVers      int    // versions currently evicted (stubs)
-	coldEvictions uint64 // versions moved cold, cumulative (worker-only)
-	coldFaults    uint64 // stub resolutions, cumulative (atomic)
-	evictCursor   int    // round-robin clock hand over slots (worker-only)
-	encBuf        []byte // eviction scratch (worker-only)
+	residentBytes atomic.Int64  // approximate heap bytes of non-stub versions
+	coldVers      atomic.Int64  // versions currently evicted (stubs)
+	coldEvictions atomic.Uint64 // versions moved cold, cumulative
+	coldFaults    atomic.Uint64 // stub resolutions, cumulative
+	evictCursor   int           // round-robin clock hand over slots (worker-only)
+	encBuf        []byte        // eviction scratch (worker-only)
 }
 
 // NewTable creates an empty table with a private commit clock (standalone
@@ -112,9 +164,11 @@ func NewTableWithClock(schema *types.Schema, clock *PartitionClock) *Table {
 		name:   schema.Name(),
 		schema: schema,
 		clock:  clock,
-		byID:   make(map[RowID]int),
+		byID:   make(map[RowID]*rowSlot),
 		nextID: 1,
 	}
+	empty := make([]*rowSlot, 0)
+	t.dir.Store(&empty)
 	if schema.HasPrimaryKey() {
 		pk, err := t.CreateIndex(schema.Name()+"_pkey", schema.PrimaryKey(), true, true)
 		if err != nil {
@@ -135,20 +189,65 @@ func (t *Table) Schema() *types.Schema { return t.schema }
 func (t *Table) Clock() *PartitionClock { return t.clock }
 
 // Count returns the number of live rows (writer view).
-func (t *Table) Count() int { return t.live }
+func (t *Table) Count() int { return int(t.live.Load()) }
 
 // PrimaryIndex returns the primary-key index, or nil for keyless tables.
 func (t *Table) PrimaryIndex() *Index { return t.pk }
 
-// Indexes returns all indexes on the table.
-func (t *Table) Indexes() []*Index { return append([]*Index(nil), t.indexes...) }
+// idxs returns the published index list (shared, immutable slice).
+func (t *Table) idxs() []*Index {
+	if p := t.indexes.Load(); p != nil {
+		return *p
+	}
+	return nil
+}
 
-// IndexByName finds an index by name, or nil.
+// Indexes returns all indexes on the table.
+func (t *Table) Indexes() []*Index { return append([]*Index(nil), t.idxs()...) }
+
+// IndexByName finds an index by name, or nil. Safe from any goroutine.
 func (t *Table) IndexByName(name string) *Index {
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		if ix.Name() == name {
 			return ix
 		}
+	}
+	return nil
+}
+
+// slots returns the published directory. Readers must hold an epoch guard
+// for the pointers inside to stay reusable-safe; the worker may call it
+// bare.
+func (t *Table) slots() []*rowSlot { return *t.dir.Load() }
+
+// appendSlot publishes a directory one slot longer. Worker-only.
+func (t *Table) appendSlot(s *rowSlot) {
+	cur := t.slots()
+	nxt := append(cur, s)
+	t.dir.Store(&nxt)
+}
+
+// slotSearch returns the first directory position whose id is >= minID
+// (len(d) when none) — the directory is ascending in RowID.
+func slotSearch(d []*rowSlot, minID RowID) int {
+	lo, hi := 0, len(d)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if d[mid].id < minID {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// slotByID finds the slot for id in the published directory, or nil.
+// Readers' replacement for the worker-only byID map.
+func slotByID(d []*rowSlot, id RowID) *rowSlot {
+	i := slotSearch(d, id)
+	if i < len(d) && d[i].id == id {
+		return d[i]
 	}
 	return nil
 }
@@ -157,9 +256,9 @@ func (t *Table) IndexByName(name string) *Index {
 // it from live rows (each entry born at its row version's birth, so
 // snapshots of current rows resolve through the new index too). ordered
 // selects a skiplist (range-scannable) index; otherwise a hash index is
-// built. Unique indexes reject duplicate keys.
+// built. Unique indexes reject duplicate keys. Worker-only (DDL).
 func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Index, error) {
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		if ix.Name() == name {
 			return nil, fmt.Errorf("storage: index %q already exists on %s", name, t.name)
 		}
@@ -169,20 +268,23 @@ func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Ind
 			return nil, fmt.Errorf("storage: index %q references column %d outside schema of %s", name, c, t.name)
 		}
 	}
-	ix := newIndex(name, cols, unique, ordered)
-	for i := range t.slots {
-		s := &t.slots[i]
-		if !s.liveTop() {
+	ix := newIndex(name, cols, unique, ordered, t.clock.Epochs())
+	for _, s := range t.slots() {
+		h := s.liveHead()
+		if h == nil {
 			continue
 		}
-		row := t.resolveVersion(s.versions[0].row, s.versions[0].cold)
-		if err := ix.insert(row.Key(cols), s.id, s.versions[0].born); err != nil {
+		pl := h.payload.Load()
+		row := t.resolveVersion(pl.row, pl.cold)
+		if err := ix.insert(row.Key(cols), s.id, h.born.Load()); err != nil {
 			return nil, fmt.Errorf("storage: backfilling %q: %w", name, err)
 		}
 	}
-	t.mu.Lock()
-	t.indexes = append(t.indexes, ix)
-	t.mu.Unlock()
+	cur := t.idxs()
+	nw := make([]*Index, len(cur)+1)
+	copy(nw, cur)
+	nw[len(cur)] = ix
+	t.indexes.Store(&nw)
 	return ix, nil
 }
 
@@ -191,15 +293,19 @@ func (t *Table) CreateIndex(name string, cols []int, unique, ordered bool) (*Ind
 // Clone first. An evicted row is faulted back into the chain (worker-only,
 // like every writer-view access).
 func (t *Table) Get(id RowID) (types.Row, bool) {
-	pos, ok := t.byID[id]
-	if !ok || !t.slots[pos].liveTop() {
+	s, ok := t.byID[id]
+	if !ok {
 		return nil, false
 	}
-	t.slots[pos].touch()
-	if t.slots[pos].versions[0].row == nil {
-		return t.faultHead(pos), true
+	h := s.liveHead()
+	if h == nil {
+		return nil, false
 	}
-	return t.slots[pos].versions[0].row, true
+	s.touch()
+	if pl := h.payload.Load(); pl.row != nil {
+		return pl.row, true
+	}
+	return t.faultHead(s), true
 }
 
 // Insert validates the row against the schema, assigns a RowID, and updates
@@ -213,7 +319,7 @@ func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 	}
 	// Check unique constraints before touching any state so a failed insert
 	// leaves the table untouched.
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		if ix.unique {
 			if _, exists := ix.Lookup(validated.Key(ix.cols)); exists {
 				return 0, fmt.Errorf("storage: %s: duplicate key %v for unique index %q",
@@ -222,19 +328,19 @@ func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 		}
 	}
 	ws := t.clock.WriteSeq()
-	t.mu.Lock()
 	id := t.nextID
 	t.nextID++
-	t.byID[id] = len(t.slots)
-	t.slots = append(t.slots, rowSlot{id: id, versions: []rowVersion{{row: validated, born: ws, dead: SeqInf}}})
-	for _, ix := range t.indexes {
+	s := &rowSlot{id: id}
+	s.head.Store(newRowVersion(validated, 0, ws, SeqInf))
+	t.byID[id] = s
+	t.appendSlot(s)
+	for _, ix := range t.idxs() {
 		if err := ix.insert(validated.Key(ix.cols), id, ws); err != nil {
 			panic("storage: index insert failed after uniqueness pre-check: " + err.Error())
 		}
 	}
-	t.live++
-	t.residentBytes += rowMemSize(validated)
-	t.mu.Unlock()
+	t.live.Add(1)
+	t.residentBytes.Add(rowMemSize(validated))
 	if undo != nil {
 		undo.push(undoEntry{table: t, kind: undoInsert, id: id})
 	}
@@ -246,25 +352,26 @@ func (t *Table) Insert(row types.Row, undo *UndoLog) (RowID, error) {
 // readers until the watermark passes. When undo is non-nil a compensating
 // revive is recorded.
 func (t *Table) Delete(id RowID, undo *UndoLog) error {
-	pos, ok := t.byID[id]
-	if !ok || !t.slots[pos].liveTop() {
+	s, ok := t.byID[id]
+	if !ok {
 		return fmt.Errorf("storage: %s: delete of missing row %d", t.name, id)
 	}
-	if t.slots[pos].versions[0].row == nil {
-		t.faultHead(pos) // index removal needs the key columns
+	h := s.liveHead()
+	if h == nil {
+		return fmt.Errorf("storage: %s: delete of missing row %d", t.name, id)
+	}
+	row := h.payload.Load().row
+	if row == nil {
+		row = t.faultHead(s) // index removal needs the key columns
 	}
 	ws := t.clock.WriteSeq()
-	t.mu.Lock()
-	s := &t.slots[pos]
-	row := s.versions[0].row
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		ix.remove(row.Key(ix.cols), id, ws)
 	}
-	s.versions[0].dead = ws
-	t.live--
-	t.deadVers++
-	t.maybeGCLocked()
-	t.mu.Unlock()
+	h.dead.Store(ws)
+	t.live.Add(-1)
+	t.deadVers.Add(1)
+	t.maybeGC()
 	if undo != nil {
 		undo.push(undoEntry{table: t, kind: undoDelete, id: id})
 	}
@@ -276,20 +383,24 @@ func (t *Table) Delete(id RowID, undo *UndoLog) error {
 // unchanged carry over). When undo is non-nil a compensating restore is
 // recorded.
 func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
-	pos, ok := t.byID[id]
-	if !ok || !t.slots[pos].liveTop() {
+	s, ok := t.byID[id]
+	if !ok {
+		return fmt.Errorf("storage: %s: update of missing row %d", t.name, id)
+	}
+	h := s.liveHead()
+	if h == nil {
 		return fmt.Errorf("storage: %s: update of missing row %d", t.name, id)
 	}
 	validated, err := t.schema.ValidateRow(newRow)
 	if err != nil {
 		return err
 	}
-	if t.slots[pos].versions[0].row == nil {
-		t.faultHead(pos) // reindexing and undo need the old image hot
+	old := h.payload.Load().row
+	if old == nil {
+		old = t.faultHead(s) // reindexing and undo need the old image hot
 	}
-	old := t.slots[pos].versions[0].row
 	// Uniqueness pre-check, ignoring our own entry.
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		if !ix.unique {
 			continue
 		}
@@ -303,9 +414,7 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 		}
 	}
 	ws := t.clock.WriteSeq()
-	t.mu.Lock()
-	s := &t.slots[pos]
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		oldKey, newKey := old.Key(ix.cols), validated.Key(ix.cols)
 		if oldKey.Equal(newKey) {
 			continue
@@ -315,14 +424,16 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 			panic("storage: index update failed after uniqueness pre-check: " + err.Error())
 		}
 	}
-	s.versions[0].dead = ws
-	s.versions = append(s.versions, rowVersion{})
-	copy(s.versions[1:], s.versions)
-	s.versions[0] = rowVersion{row: validated, born: ws, dead: SeqInf}
-	t.deadVers++
-	t.residentBytes += rowMemSize(validated)
-	t.maybeGCLocked()
-	t.mu.Unlock()
+	nv := newRowVersion(validated, 0, ws, SeqInf)
+	nv.next.Store(h)
+	// Stamp the old head dead, then swing the head pointer. A reader at a
+	// published sequence p < ws sees the old head as visible either way
+	// (p < dead in both states) and the new version as pending-invisible.
+	h.dead.Store(ws)
+	s.head.Store(nv)
+	t.deadVers.Add(1)
+	t.residentBytes.Add(rowMemSize(validated))
+	t.maybeGC()
 	if undo != nil {
 		undo.push(undoEntry{table: t, kind: undoUpdate, id: id})
 	}
@@ -334,76 +445,81 @@ func (t *Table) Update(id RowID, newRow types.Row, undo *UndoLog) error {
 // Rollback physically reverses the pending stamps, newest first, so an
 // aborted transaction leaves no trace in any chain. Pending versions are
 // invisible to snapshots throughout (their stamps exceed every published
-// sequence), so these run under the write lock purely to keep the
-// structures safe for concurrent readers.
+// sequence), so each step is a single atomic store concurrent readers
+// either see or don't — both states read consistently. Popped nodes are
+// epoch-retired before reuse.
 
 // undoInsert pops the version a pending Insert created. The row did not
 // exist before the transaction, so the slot must hold exactly that version.
 func (t *Table) undoInsert(id RowID) {
-	pos, ok := t.byID[id]
+	s, ok := t.byID[id]
 	if !ok {
 		panic(fmt.Sprintf("storage: %s: undo of insert: row %d vanished", t.name, id))
 	}
-	t.mu.Lock()
-	s := &t.slots[pos]
-	if len(s.versions) != 1 || s.versions[0].dead != SeqInf {
+	h := s.head.Load()
+	if h == nil || h.next.Load() != nil || h.dead.Load() != SeqInf {
 		panic(fmt.Sprintf("storage: %s: undo of insert: row %d has unexpected chain", t.name, id))
 	}
-	row := s.versions[0].row
-	for _, ix := range t.indexes {
+	row := h.payload.Load().row // pending versions are never evicted
+	for _, ix := range t.idxs() {
 		ix.eraseLive(row.Key(ix.cols), id)
 	}
-	s.versions = nil
+	s.head.Store(nil)
 	delete(t.byID, id)
-	t.live--
-	t.residentBytes -= rowMemSize(row)
-	t.mu.Unlock()
+	t.live.Add(-1)
+	t.residentBytes.Add(-rowMemSize(row))
+	t.clock.Epochs().RetireVersion(h)
 }
 
 // undoDelete revives the version a pending Delete stamped (the RowID and
 // its position in scan order are preserved — streams' FIFO order survives
 // rollback).
 func (t *Table) undoDelete(id RowID) {
-	pos, ok := t.byID[id]
-	if !ok || len(t.slots[pos].versions) == 0 {
+	s, ok := t.byID[id]
+	if !ok || s.head.Load() == nil {
 		panic(fmt.Sprintf("storage: %s: undo of delete: row %d vanished", t.name, id))
 	}
-	t.mu.Lock()
-	s := &t.slots[pos]
-	d := s.versions[0].dead
-	row := s.versions[0].row
-	for _, ix := range t.indexes {
+	h := s.head.Load()
+	d := h.dead.Load()
+	row := h.payload.Load().row // faulted hot by the Delete being undone
+	for _, ix := range t.idxs() {
 		ix.revive(row.Key(ix.cols), id, d)
 	}
-	s.versions[0].dead = SeqInf
-	t.live++
-	t.deadVers--
-	t.mu.Unlock()
+	h.dead.Store(SeqInf)
+	t.live.Add(1)
+	t.deadVers.Add(-1)
 }
 
 // undoUpdate pops the version a pending Update prepended and revives its
 // predecessor.
 func (t *Table) undoUpdate(id RowID) {
-	pos, ok := t.byID[id]
-	if !ok || len(t.slots[pos].versions) < 2 {
+	s, ok := t.byID[id]
+	if !ok {
+		panic(fmt.Sprintf("storage: %s: undo of update: row %d vanished", t.name, id))
+	}
+	newV := s.head.Load()
+	if newV == nil {
+		panic(fmt.Sprintf("storage: %s: undo of update: row %d vanished", t.name, id))
+	}
+	oldV := newV.next.Load()
+	if oldV == nil {
 		panic(fmt.Sprintf("storage: %s: undo of update: row %d has no prior version", t.name, id))
 	}
-	t.mu.Lock()
-	s := &t.slots[pos]
-	newV, oldV := s.versions[0], s.versions[1]
-	for _, ix := range t.indexes {
-		oldKey, newKey := oldV.row.Key(ix.cols), newV.row.Key(ix.cols)
+	newRow := newV.payload.Load().row
+	oldRow := oldV.payload.Load().row // faulted hot by the Update being undone
+	for _, ix := range t.idxs() {
+		oldKey, newKey := oldRow.Key(ix.cols), newRow.Key(ix.cols)
 		if oldKey.Equal(newKey) {
 			continue
 		}
 		ix.eraseLive(newKey, id)
-		ix.revive(oldKey, id, oldV.dead)
+		ix.revive(oldKey, id, oldV.dead.Load())
 	}
-	s.versions = s.versions[1:]
-	s.versions[0].dead = SeqInf
-	t.deadVers--
-	t.residentBytes -= rowMemSize(newV.row)
-	t.mu.Unlock()
+	s.head.Store(oldV)
+	oldV.dead.Store(SeqInf)
+	t.deadVers.Add(-1)
+	t.residentBytes.Add(-rowMemSize(newRow))
+	t.clock.Epochs().RetireVersion(newV)
 }
 
 // ---------- writer-view reads ----------
@@ -415,14 +531,15 @@ func (t *Table) undoUpdate(id RowID) {
 // (and without setting the touch bit), so a full scan — a checkpoint,
 // say — neither blows the memory budget nor flushes the hot set.
 func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
-	for i := range t.slots {
-		s := &t.slots[i]
-		if !s.liveTop() {
+	for _, s := range t.slots() {
+		h := s.liveHead()
+		if h == nil {
 			continue
 		}
-		row := s.versions[0].row
+		pl := h.payload.Load()
+		row := pl.row
 		if row == nil {
-			row = t.readCold(s.versions[0].cold)
+			row = t.readCold(pl.cold)
 		}
 		if !fn(s.id, row) {
 			return
@@ -433,7 +550,7 @@ func (t *Table) Scan(fn func(id RowID, row types.Row) bool) {
 // ScanRows returns all live rows in insertion order (copied slice headers;
 // rows themselves are shared and must not be mutated).
 func (t *Table) ScanRows() []types.Row {
-	out := make([]types.Row, 0, t.live)
+	out := make([]types.Row, 0, t.Count())
 	t.Scan(func(_ RowID, r types.Row) bool {
 		out = append(out, r)
 		return true
@@ -444,7 +561,7 @@ func (t *Table) ScanRows() []types.Row {
 // Truncate removes every row. When undo is non-nil each removal is
 // undoable.
 func (t *Table) Truncate(undo *UndoLog) {
-	ids := make([]RowID, 0, t.live)
+	ids := make([]RowID, 0, t.Count())
 	t.Scan(func(id RowID, _ types.Row) bool { ids = append(ids, id); return true })
 	for _, id := range ids {
 		if err := t.Delete(id, undo); err != nil {
@@ -454,89 +571,77 @@ func (t *Table) Truncate(undo *UndoLog) {
 }
 
 // ---------- snapshot reads ----------
-
-// versionAt resolves the version visible at sequence s, or nil. Caller
-// holds t.mu (read or write). The returned pointer is valid only while
-// the lock is held; callers that release it must copy row/cold out first.
-func (s *rowSlot) versionAt(seq Seq) *rowVersion {
-	for i := range s.versions {
-		v := &s.versions[i]
-		if v.born <= seq && seq < v.dead {
-			return v
-		}
-	}
-	return nil
-}
+//
+// Every Snapshot* method runs lock-free: enter an epoch, walk the
+// atomically published structures, capture payload pointers, exit the
+// epoch, then resolve cold stubs and run callbacks outside it — page I/O
+// and caller code never delay epoch advance more than a chunk. Callers
+// must hold a snapshot pin (PartitionClock.AcquireSnapshot) so version GC
+// and cold-slot frees cannot outrun them.
 
 // SnapshotGet returns the row visible under id at sequence s. Safe from
-// any goroutine; callers should hold a snapshot pin (see
-// PartitionClock.AcquireSnapshot) so GC cannot outrun them. Evicted
-// versions resolve read-through after the lock is released — page I/O
-// never runs under the table lock.
+// any goroutine.
 func (t *Table) SnapshotGet(id RowID, seq Seq) (types.Row, bool) {
-	t.mu.RLock()
-	pos, ok := t.byID[id]
-	if !ok {
-		t.mu.RUnlock()
+	em := t.clock.Epochs()
+	g := em.Enter()
+	s := slotByID(t.slots(), id)
+	if s == nil {
+		g.Exit()
 		return nil, false
 	}
-	v := t.slots[pos].versionAt(seq)
+	v := s.versionAt(seq)
 	if v == nil {
-		t.mu.RUnlock()
+		g.Exit()
 		return nil, false
 	}
-	t.slots[pos].touch()
-	row, ref := v.row, v.cold
-	t.mu.RUnlock()
-	return t.resolveVersion(row, ref), true
+	s.touch()
+	pl := v.payload.Load()
+	g.Exit()
+	return t.resolveVersion(pl.row, pl.cold), true
 }
 
-// snapshotScanChunk bounds how many slots one read-lock hold covers, so a
-// large analytic scan cannot stall the writer for its whole duration.
+// snapshotScanChunk bounds how many slots one epoch hold covers, so a
+// large analytic scan cannot stall epoch advance (and therefore node
+// reuse) for its whole duration.
 const snapshotScanChunk = 4096
 
 // SnapshotScan iterates the rows visible at sequence s in insertion
-// (RowID) order. Safe from any goroutine. The read lock is re-acquired
-// every snapshotScanChunk slots, resuming by RowID (slots stay id-sorted
-// across compaction); the view remains consistent because visibility is
-// purely sequence-based — the caller's pin keeps every visible version
-// alive, slots reclaimed between chunks held nothing visible at s, and
-// slots appended between chunks hold only pending (invisible) versions.
-// Visible rows are buffered per chunk and the callback runs after the
-// lock is dropped, so stub resolution (cold page-in) never holds up the
-// writer; captured cold refs stay readable because the caller's pin
-// keeps the watermark from passing them (see cold.go).
+// (RowID) order. Safe from any goroutine. The epoch is re-entered every
+// snapshotScanChunk slots, resuming by RowID (the directory stays
+// id-sorted across compaction); the view remains consistent because
+// visibility is purely sequence-based — the caller's pin keeps every
+// visible version alive, slots reclaimed between chunks held nothing
+// visible at s, and slots appended between chunks hold only pending
+// (invisible) versions. Visible payloads are captured per chunk and the
+// callback runs outside the epoch, so stub resolution (cold page-in)
+// never delays epoch advance; captured cold refs stay readable because
+// the caller's pin keeps the watermark from passing them (see cold.go).
 func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
 	type hit struct {
 		id  RowID
 		row types.Row
 		ref coldstore.Ref
 	}
+	em := t.clock.Epochs()
 	var afterID RowID // resume: first slot with id > afterID
 	buf := make([]hit, 0, 256)
 	for {
-		t.mu.RLock()
-		lo, hi := 0, len(t.slots)
-		for lo < hi {
-			mid := (lo + hi) / 2
-			if t.slots[mid].id > afterID {
-				hi = mid
-			} else {
-				lo = mid + 1
-			}
-		}
+		g := em.Enter()
+		d := t.slots()
+		lo := slotSearch(d, afterID+1)
 		n := 0
 		buf = buf[:0]
-		for i := lo; i < len(t.slots) && n < snapshotScanChunk; i++ {
-			s := &t.slots[i]
+		for i := lo; i < len(d) && n < snapshotScanChunk; i++ {
+			s := d[i]
 			afterID = s.id
 			n++
 			if v := s.versionAt(seq); v != nil {
-				buf = append(buf, hit{id: s.id, row: v.row, ref: v.cold})
+				pl := v.payload.Load()
+				buf = append(buf, hit{id: s.id, row: pl.row, ref: pl.cold})
 			}
 		}
-		done := lo+n >= len(t.slots)
-		t.mu.RUnlock()
+		done := lo+n >= len(d)
+		g.Exit()
 		for _, h := range buf {
 			if !fn(h.id, t.resolveVersion(h.row, h.ref)) {
 				return
@@ -556,27 +661,25 @@ func (t *Table) SnapshotScan(seq Seq, fn func(id RowID, row types.Row) bool) {
 // as a death of the old image and a birth of the new; a version both born
 // and dead inside the interval is invisible at both ends and skipped.
 // Used by slot migration's catch-up: the bulk copy runs at from, the
-// cutover applies the delta up to to. The read lock is held for the whole
-// walk — the cutover runs it at a quiescent barrier, where the writer is
-// parked anyway.
+// cutover applies the delta up to to at a quiescent barrier, where the
+// writer is parked — one epoch hold for the whole walk is harmless there.
 func (t *Table) DeltaScan(from, to Seq, fn func(id RowID, row types.Row, born bool) bool) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for i := range t.slots {
-		s := &t.slots[i]
+	g := t.clock.Epochs().Enter()
+	defer g.Exit()
+	for _, s := range t.slots() {
 		atFrom := s.versionAt(from)
 		atTo := s.versionAt(to)
 		// Version identity (not row identity) decides "same image": an
-		// evicted version's row is nil until resolved. Cold resolution may
-		// run under the lock here — the cutover holds the writer at a
-		// barrier anyway.
+		// evicted version's row is nil until resolved.
 		if atFrom != nil && atFrom != atTo {
-			if !fn(s.id, t.resolveVersion(atFrom.row, atFrom.cold), false) {
+			pl := atFrom.payload.Load()
+			if !fn(s.id, t.resolveVersion(pl.row, pl.cold), false) {
 				return
 			}
 		}
 		if atTo != nil && atFrom != atTo {
-			if !fn(s.id, t.resolveVersion(atTo.row, atTo.cold), true) {
+			pl := atTo.payload.Load()
+			if !fn(s.id, t.resolveVersion(pl.row, pl.cold), true) {
 				return
 			}
 		}
@@ -595,21 +698,23 @@ func (t *Table) SnapshotRows(seq Seq) []types.Row {
 
 // SnapshotLookup returns the rows indexed under exactly key in ix, as
 // visible at sequence s. ix must be an index of this table. Stubs are
-// resolved after the lock is released.
+// resolved outside the epoch.
 func (t *Table) SnapshotLookup(ix *Index, key types.Row, seq Seq) []types.Row {
-	t.mu.RLock()
+	g := t.clock.Epochs().Enter()
+	d := t.slots()
 	var out []types.Row
 	var refs []coldstore.Ref // cold refs, paired with nil entries in out
 	for _, id := range ix.lookupAt(key, seq) {
-		if pos, ok := t.byID[id]; ok {
-			if v := t.slots[pos].versionAt(seq); v != nil {
-				t.slots[pos].touch()
-				out = append(out, v.row)
-				refs = append(refs, v.cold)
+		if s := slotByID(d, id); s != nil {
+			if v := s.versionAt(seq); v != nil {
+				s.touch()
+				pl := v.payload.Load()
+				out = append(out, pl.row)
+				refs = append(refs, pl.cold)
 			}
 		}
 	}
-	t.mu.RUnlock()
+	g.Exit()
 	for i, r := range out {
 		if r == nil {
 			out[i] = t.readCold(refs[i])
@@ -620,11 +725,11 @@ func (t *Table) SnapshotLookup(ix *Index, key types.Row, seq Seq) []types.Row {
 
 // SnapshotRange iterates (key, row) pairs with lo <= key <= hi in key
 // order as visible at sequence s. A nil bound is unbounded on that side.
-// Requires an ordered index of this table. Unlike SnapshotScan the read
-// lock is held for the whole range walk (skiplist links have no stable
-// resume token), so very wide ranges delay the writer for the walk's
-// duration; selective ranges — the planner's reason to pick this path —
-// hold it briefly.
+// Requires an ordered index of this table. The skiplist walk has no
+// stable resume token, so one epoch hold covers the whole range — a wide
+// range delays epoch advance (memory reuse) for the walk's duration but,
+// unlike the old read-lock, never delays the writer. Pairs are captured
+// in the epoch and emitted (with cold page-in) outside it.
 func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key types.Row, row types.Row) bool) error {
 	if !ix.ordered {
 		return fmt.Errorf("index %q: range scan on hash index", ix.name)
@@ -635,23 +740,22 @@ func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key 
 		ref coldstore.Ref
 	}
 	var hits []hit
-	t.mu.RLock()
+	g := t.clock.Epochs().Enter()
+	d := t.slots()
 	ix.sl.scanAt(lo, hi, seq, func(key types.Row, id RowID) bool {
-		pos, ok := t.byID[id]
-		if !ok {
+		s := slotByID(d, id)
+		if s == nil {
 			return true
 		}
-		v := t.slots[pos].versionAt(seq)
+		v := s.versionAt(seq)
 		if v == nil {
 			return true
 		}
-		hits = append(hits, hit{key: key, row: v.row, ref: v.cold})
+		pl := v.payload.Load()
+		hits = append(hits, hit{key: key, row: pl.row, ref: pl.cold})
 		return true
 	})
-	t.mu.RUnlock()
-	// Emit (and resolve stubs) after the walk: the skiplist has no stable
-	// resume token, so the pairs are captured in one lock hold and cold
-	// page-in happens lock-free.
+	g.Exit()
 	for _, h := range hits {
 		if !fn(h.key, t.resolveVersion(h.row, h.ref)) {
 			return nil
@@ -672,8 +776,8 @@ func (t *Table) SnapshotRange(ix *Index, lo, hi types.Row, seq Seq, fn func(key 
 // section at the cutover barrier.
 
 // seqStaged stamps a staged version: born == dead is an empty visibility
-// interval, so versionAt never returns it and liveTop (dead == SeqInf) is
-// false. The value exceeds every publishable sequence, so GC
+// interval, so versionAt never returns it and liveHead (dead == SeqInf) is
+// nil. The value exceeds every publishable sequence, so GC
 // (dead <= watermark) never reclaims a staged version by accident.
 const seqStaged Seq = SeqInf - 1
 
@@ -681,62 +785,58 @@ const seqStaged Seq = SeqInf - 1
 // copy. Staged slots hold exactly one version: invisible rows cannot be
 // updated or deleted by normal operations.
 func (s *rowSlot) isStaged() bool {
-	return len(s.versions) == 1 && s.versions[0].born == seqStaged
+	h := s.head.Load()
+	return h != nil && h.born.Load() == seqStaged && h.next.Load() == nil
 }
 
 // StageInsert validates and stores a row as a staged version — present in
 // the heap, absent from every index, invisible at every sequence. Must run
 // on the partition worker goroutine (migration batches ride RunExclusive),
-// preserving the single-mutator invariant the lock-free writer reads
-// depend on. Uniqueness is checked by PrecheckStaged at cutover, not here.
+// preserving the single-mutator invariant the lock-free structures depend
+// on. Uniqueness is checked by PrecheckStaged at cutover, not here.
 func (t *Table) StageInsert(row types.Row) (RowID, error) {
 	validated, err := t.schema.ValidateRow(row)
 	if err != nil {
 		return 0, err
 	}
-	t.mu.Lock()
 	id := t.nextID
 	t.nextID++
-	t.byID[id] = len(t.slots)
-	t.slots = append(t.slots, rowSlot{id: id, versions: []rowVersion{{row: validated, born: seqStaged, dead: seqStaged}}})
-	t.staged++
-	t.residentBytes += rowMemSize(validated)
-	t.mu.Unlock()
+	s := &rowSlot{id: id}
+	s.head.Store(newRowVersion(validated, 0, seqStaged, seqStaged))
+	t.byID[id] = s
+	t.appendSlot(s)
+	t.staged.Add(1)
+	t.residentBytes.Add(rowMemSize(validated))
 	return id, nil
 }
 
 // Unstage discards one staged row (catch-up saw the source row die during
-// the copy).
+// the copy). Worker-only.
 func (t *Table) Unstage(id RowID) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	pos, ok := t.byID[id]
-	if !ok || !t.slots[pos].isStaged() {
+	s, ok := t.byID[id]
+	if !ok || !s.isStaged() {
 		return fmt.Errorf("storage: %s: unstage of non-staged row %d", t.name, id)
 	}
-	t.residentBytes -= rowMemSize(t.slots[pos].versions[0].row)
-	t.slots[pos].versions = nil
+	h := s.head.Load()
+	t.residentBytes.Add(-rowMemSize(h.payload.Load().row))
+	s.head.Store(nil)
 	delete(t.byID, id)
-	t.staged--
+	t.staged.Add(-1)
+	t.clock.Epochs().RetireVersion(h)
 	return nil
 }
 
 // StagedCount reports the number of staged rows.
-func (t *Table) StagedCount() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.staged
-}
+func (t *Table) StagedCount() int { return int(t.staged.Load()) }
 
 // StagedRows returns the staged rows in insertion order — the migration
 // logs exactly these images in its prepare record before committing.
+// Worker/barrier-only.
 func (t *Table) StagedRows() []types.Row {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	out := make([]types.Row, 0, t.staged)
-	for i := range t.slots {
-		if t.slots[i].isStaged() {
-			out = append(out, t.slots[i].versions[0].row)
+	out := make([]types.Row, 0, t.StagedCount())
+	for _, s := range t.slots() {
+		if s.isStaged() {
+			out = append(out, s.head.Load().payload.Load().row)
 		}
 	}
 	return out
@@ -749,22 +849,19 @@ func (t *Table) StagedRows() []types.Row {
 // be able to fail. The check stays valid through CommitStaged because the
 // barrier parks every writer.
 func (t *Table) PrecheckStaged() error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	if t.staged == 0 {
+	if t.StagedCount() == 0 {
 		return nil
 	}
-	for _, ix := range t.indexes {
+	for _, ix := range t.idxs() {
 		if !ix.unique {
 			continue
 		}
-		seen := make(map[uint64][]types.Row, t.staged)
-		for i := range t.slots {
-			s := &t.slots[i]
+		seen := make(map[uint64][]types.Row, t.StagedCount())
+		for _, s := range t.slots() {
 			if !s.isStaged() {
 				continue
 			}
-			key := s.versions[0].row.Key(ix.cols)
+			key := s.head.Load().payload.Load().row.Key(ix.cols)
 			if _, exists := ix.Lookup(key); exists {
 				return fmt.Errorf("storage: %s: staged row collides on key %v of unique index %q",
 					t.name, key, ix.Name())
@@ -788,128 +885,172 @@ func (t *Table) PrecheckStaged() error {
 // barrier — a constraint violation here is a protocol bug, not an error.
 func (t *Table) CommitStaged() int {
 	ws := t.clock.WriteSeq()
-	t.mu.Lock()
-	defer t.mu.Unlock()
 	flipped := 0
-	for i := range t.slots {
-		s := &t.slots[i]
+	for _, s := range t.slots() {
 		if !s.isStaged() {
 			continue
 		}
-		v := &s.versions[0]
-		v.born, v.dead = ws, SeqInf
-		for _, ix := range t.indexes {
-			if err := ix.insert(v.row.Key(ix.cols), s.id, ws); err != nil {
+		h := s.head.Load()
+		row := h.payload.Load().row
+		// Flip dead first: [seqStaged, SeqInf) is still empty for every
+		// published sequence, so a concurrent reader never sees a
+		// half-flipped interval as visible.
+		h.dead.Store(SeqInf)
+		h.born.Store(ws)
+		for _, ix := range t.idxs() {
+			if err := ix.insert(row.Key(ix.cols), s.id, ws); err != nil {
 				panic("storage: staged index insert failed after precheck: " + err.Error())
 			}
 		}
-		t.live++
+		t.live.Add(1)
 		flipped++
 	}
-	t.staged -= flipped
+	t.staged.Add(-int64(flipped))
 	return flipped
 }
 
-// DropStaged discards every staged row (aborted migration).
+// DropStaged discards every staged row (aborted migration). Worker-only.
 func (t *Table) DropStaged() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	em := t.clock.Epochs()
 	dropped := 0
-	for i := range t.slots {
-		s := &t.slots[i]
+	for _, s := range t.slots() {
 		if !s.isStaged() {
 			continue
 		}
-		t.residentBytes -= rowMemSize(s.versions[0].row)
-		s.versions = nil
+		h := s.head.Load()
+		t.residentBytes.Add(-rowMemSize(h.payload.Load().row))
+		s.head.Store(nil)
 		delete(t.byID, s.id)
+		em.RetireVersion(h)
 		dropped++
 	}
-	t.staged -= dropped
+	t.staged.Add(-int64(dropped))
 	return dropped
 }
 
 // ---------- version garbage collection ----------
 
-// maybeGCLocked runs an inline sweep once dead versions dominate — the
+// maybeGC runs an inline sweep once dead versions dominate — the
 // multi-version analogue of tombstone compaction, bounded by the snapshot
-// watermark so pinned readers keep their view. Caller holds t.mu.
-func (t *Table) maybeGCLocked() {
-	if t.deadVers < 64 || t.deadVers <= len(t.slots)/2 || t.deadVers < t.gcMinDead {
+// watermark so pinned readers keep their view. Worker-only.
+func (t *Table) maybeGC() {
+	dead := int(t.deadVers.Load())
+	if dead < 64 || dead <= len(t.slots())/2 || dead < t.gcMinDead {
 		return
 	}
-	t.gcLocked(t.clock.Watermark())
+	t.gcSweep(t.clock.Watermark())
 }
 
 // GC reclaims every version and index entry dead at or below watermark and
 // compacts away emptied slots, returning the number of row versions
 // reclaimed and retained. Call from the partition worker (or any quiescent
-// point): it mutates under the write lock, excluding snapshot readers but
-// not the (lock-free) writer read path. A table with no dead stamps has
-// nothing to sweep and returns in O(1) — every version is its slot's
-// single live one — so periodic sweeps cost mostly-read tables nothing.
+// point): it is a mutation. Concurrent snapshot readers are undisturbed —
+// unlinked nodes stay intact until their epoch grace period ends. A table
+// with no dead stamps has nothing to sweep and returns in O(1), so
+// periodic sweeps cost mostly-read tables nothing.
 func (t *Table) GC(watermark Seq) (reclaimed, retained int) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.deadVers == 0 {
-		return 0, t.live
+	if t.deadVers.Load() == 0 {
+		return 0, t.Count()
 	}
-	return t.gcLocked(watermark)
+	return t.gcSweep(watermark)
 }
 
-// gcLocked is GC's body; caller holds t.mu. A version is reclaimable iff
-// its dead stamp is at or below the watermark: no pinned snapshot (all at
-// or above the watermark) and no future one can see it. Pending stamps
-// exceed the current sequence and therefore the watermark, so an in-flight
+// gcSweep is GC's body. A version is reclaimable iff its dead stamp is at
+// or below the watermark: no pinned snapshot (all at or above the
+// watermark) and no future one can see it. Pending stamps exceed the
+// current sequence and therefore the watermark, so an in-flight
 // transaction's chain entries — which undo may still need — are never
-// touched.
-func (t *Table) gcLocked(watermark Seq) (reclaimed, retained int) {
-	j := 0
-	for i := range t.slots {
-		s := &t.slots[i]
-		kept := s.versions[:0]
-		for _, v := range s.versions {
-			if v.dead <= watermark {
-				reclaimed++
-				// A reclaimed stub's cold slot can be freed immediately: the
-				// version is invisible at the watermark and every active pin
-				// is at or above it, so no reader can hold its ref.
-				if v.cold != 0 {
-					t.cold.Free(v.cold)
-					t.coldVers--
-				} else {
-					t.residentBytes -= rowMemSize(v.row)
-				}
-				continue
-			}
-			kept = append(kept, v)
-		}
-		s.versions = kept
-		if len(kept) == 0 {
-			delete(t.byID, s.id)
+// touched. Chains are newest-first with monotonically decreasing stamps,
+// so the reclaimable versions form a suffix: one atomic store cuts the
+// chain, and a straggling reader past the cut finishes on intact retired
+// nodes.
+func (t *Table) gcSweep(watermark Seq) (reclaimed, retained int) {
+	em := t.clock.Epochs()
+	d := t.slots()
+	dropped := 0
+	for _, s := range d {
+		head := s.head.Load()
+		if head == nil {
+			dropped++ // emptied by undo/unstage; rebuild discards it
 			continue
 		}
-		retained += len(kept)
-		t.byID[s.id] = j
-		t.slots[j] = t.slots[i]
-		j++
+		if head.dead.Load() <= watermark {
+			// The newest version is reclaimable, so the whole chain is:
+			// the slot is a fully expired tombstone.
+			for v := head; v != nil; v = v.next.Load() {
+				reclaimed++
+				t.reclaimVersion(v, em)
+			}
+			s.head.Store(nil)
+			delete(t.byID, s.id)
+			dropped++
+			continue
+		}
+		kept := 1
+		pred := head
+		for {
+			v := pred.next.Load()
+			if v == nil {
+				break
+			}
+			if v.dead.Load() <= watermark {
+				pred.next.Store(nil)
+				for ; v != nil; v = v.next.Load() {
+					reclaimed++
+					t.reclaimVersion(v, em)
+				}
+				break
+			}
+			pred = v
+			kept++
+		}
+		retained += kept
 	}
-	t.slots = t.slots[:j]
-	t.deadVers -= reclaimed
-	t.gcMinDead = t.deadVers * 2
-	for _, ix := range t.indexes {
+	if dropped > 0 {
+		nd := make([]*rowSlot, 0, len(d)-dropped)
+		for _, s := range d {
+			if s.head.Load() != nil {
+				nd = append(nd, s)
+			}
+		}
+		t.dir.Store(&nd)
+		if t.evictCursor > len(nd) {
+			t.evictCursor = 0
+		}
+	}
+	t.deadVers.Add(int64(-reclaimed))
+	t.gcMinDead = int(t.deadVers.Load()) * 2
+	for _, ix := range t.idxs() {
 		ix.gc(watermark)
 	}
 	return reclaimed, retained
 }
 
-// VersionStats reports the total retained versions and how many of them
-// are dead (awaiting the watermark) — the version-chain gauges.
-func (t *Table) VersionStats() (versions, dead int) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	for i := range t.slots {
-		versions += len(t.slots[i].versions)
+// reclaimVersion settles a reclaimed version's ledger entry and retires
+// the node. A reclaimed stub's cold slot can be freed immediately: the
+// version is invisible at the watermark and every active pin is at or
+// above it, so no reader can hold its ref.
+func (t *Table) reclaimVersion(v *rowVersion, em *EpochManager) {
+	pl := v.payload.Load()
+	if pl.cold != 0 {
+		t.cold.Free(pl.cold)
+		t.coldVers.Add(-1)
+	} else {
+		t.residentBytes.Add(-rowMemSize(pl.row))
 	}
-	return versions, t.deadVers
+	em.RetireVersion(v)
+}
+
+// VersionStats reports the total retained versions and how many of them
+// are dead (awaiting the watermark) — the version-chain gauges. Safe from
+// any goroutine.
+func (t *Table) VersionStats() (versions, dead int) {
+	g := t.clock.Epochs().Enter()
+	for _, s := range t.slots() {
+		for v := s.head.Load(); v != nil; v = v.next.Load() {
+			versions++
+		}
+	}
+	g.Exit()
+	return versions, int(t.deadVers.Load())
 }

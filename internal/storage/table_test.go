@@ -223,8 +223,8 @@ func TestCompaction(t *testing.T) {
 		}
 		tb.Clock().Publish()
 	}
-	if len(tb.slots) > 300 {
-		t.Fatalf("compaction did not run: %d slots for %d rows", len(tb.slots), tb.Count())
+	if len(tb.slots()) > 300 {
+		t.Fatalf("compaction did not run: %d slots for %d rows", len(tb.slots()), tb.Count())
 	}
 	// Order still correct after compaction.
 	var seen []int64
